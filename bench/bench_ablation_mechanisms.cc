@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Ablations of the mechanism parameters the paper fixes by fiat:
+ * the 30 ms stop-go stall, the 20% DVFS frequency floor, and the
+ * migration interval/penalty (Table 3). Swept on a subset of
+ * workloads to show where the chosen values sit.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace coolcmp;
+
+namespace {
+
+const char *sweepWorkloads[] = {"workload3", "workload7",
+                                "workload11"};
+
+struct SweepResult
+{
+    double bips = 0.0;
+    double duty = 0.0;
+    std::uint64_t emergencies = 0;
+    std::uint64_t migrations = 0;
+};
+
+SweepResult
+sweep(const DtmConfig &cfg, const PolicyConfig &policy)
+{
+    Experiment experiment(cfg);
+    SweepResult out;
+    for (const char *name : sweepWorkloads) {
+        const RunMetrics m =
+            experiment.runCached(findWorkload(name), policy);
+        out.bips += m.bips() / 3.0;
+        out.duty += m.dutyCycle / 3.0;
+        out.emergencies += m.emergencies;
+        out.migrations += m.migrations;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+
+    bench::banner("Ablation: stop-go stall length (paper: 30 ms)");
+    TextTable stall({"stall (ms)", "avg BIPS", "avg duty",
+                     "emergencies"});
+    for (double ms : {10.0, 20.0, 30.0, 60.0}) {
+        DtmConfig cfg = bench::paperConfig();
+        cfg.stopGoStall = ms * 1e-3;
+        const SweepResult r = sweep(cfg, baselinePolicy());
+        stall.addRow({TextTable::num(ms, 0), TextTable::num(r.bips),
+                      TextTable::percent(r.duty),
+                      std::to_string(r.emergencies)});
+    }
+    stall.print(std::cout);
+
+    bench::banner("Ablation: DVFS frequency floor (paper: 20%)");
+    const PolicyConfig distDvfs{ThrottleMechanism::Dvfs,
+                                ControlScope::Distributed,
+                                MigrationKind::None};
+    TextTable floor({"min scale", "avg BIPS", "avg duty",
+                     "emergencies"});
+    for (double lo : {0.1, 0.2, 0.4, 0.6}) {
+        DtmConfig cfg = bench::paperConfig();
+        cfg.minFreqScale = lo;
+        cfg.minTransition = 0.02 * (1.0 - lo);
+        const SweepResult r = sweep(cfg, distDvfs);
+        floor.addRow({TextTable::percent(lo, 0),
+                      TextTable::num(r.bips),
+                      TextTable::percent(r.duty),
+                      std::to_string(r.emergencies)});
+    }
+    floor.print(std::cout);
+
+    bench::banner("Ablation: migration interval and penalty "
+                  "(paper: 10 ms / 100 us)");
+    const PolicyConfig stopCounter{ThrottleMechanism::StopGo,
+                                   ControlScope::Distributed,
+                                   MigrationKind::CounterBased};
+    TextTable mig({"interval (ms)", "penalty (us)", "avg BIPS",
+                   "migrations"});
+    for (double interval : {5.0, 10.0, 20.0, 40.0}) {
+        DtmConfig cfg = bench::paperConfig();
+        cfg.kernel.migrationMinInterval = interval * 1e-3;
+        const SweepResult r = sweep(cfg, stopCounter);
+        mig.addRow({TextTable::num(interval, 0), "100",
+                    TextTable::num(r.bips),
+                    std::to_string(r.migrations)});
+    }
+    for (double penalty : {0.0, 500.0, 2000.0}) {
+        DtmConfig cfg = bench::paperConfig();
+        cfg.kernel.migrationPenalty = penalty * 1e-6;
+        const SweepResult r = sweep(cfg, stopCounter);
+        mig.addRow({"10", TextTable::num(penalty, 0),
+                    TextTable::num(r.bips),
+                    std::to_string(r.migrations)});
+    }
+    mig.print(std::cout);
+    return 0;
+}

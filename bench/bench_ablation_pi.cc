@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablation of the formal controller (Section 4.1): the paper claims
+ * the PI constants "can actually deviate significantly while still
+ * achieving the intended goals" and that a derivative term adds
+ * little. Sweeps Kp/Ki scale and Kd on a subset of workloads.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "control/loop_analysis.hh"
+
+using namespace coolcmp;
+
+namespace {
+
+const char *sweepWorkloads[] = {"workload1", "workload7",
+                                "workload12"};
+
+double
+averageOver(Experiment &experiment, const PolicyConfig &policy)
+{
+    double bips = 0.0;
+    for (const char *name : sweepWorkloads)
+        bips +=
+            experiment.runCached(findWorkload(name), policy).bips();
+    return bips / 3.0;
+}
+
+std::uint64_t
+emergenciesOver(Experiment &experiment, const PolicyConfig &policy)
+{
+    std::uint64_t total = 0;
+    for (const char *name : sweepWorkloads)
+        total += experiment.runCached(findWorkload(name), policy)
+                     .emergencies;
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    const PolicyConfig distDvfs{ThrottleMechanism::Dvfs,
+                                ControlScope::Distributed,
+                                MigrationKind::None};
+
+    bench::banner("Ablation (Section 4.1): PI constant robustness");
+    std::cout << "Offline stability check (closed-loop poles of the "
+                 "PI + first-order thermal plant):\n\n";
+    TextTable stability({"gain scale", "stable", "settling (ms)",
+                         "overshoot"});
+    for (double scale : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+        PidGains gains = paperPiGains();
+        gains.kp *= scale;
+        gains.ki *= scale;
+        const LoopAnalysis loop =
+            analyzeLoop(gains, thermalPlant(40.0, 5e-3), 0.2);
+        stability.addRow(
+            {TextTable::num(scale, 1), loop.stable ? "yes" : "NO",
+             TextTable::num(loop.settlingTime * 1e3, 2),
+             TextTable::percent(loop.overshoot)});
+    }
+    stability.print(std::cout);
+
+    std::cout << "\nFull-system sweep (dist. DVFS over workloads 1, 7,"
+                 " 12):\n\n";
+    TextTable sweep({"Kp/Ki scale", "avg BIPS", "emergencies"});
+    for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+        DtmConfig cfg = bench::paperConfig();
+        cfg.piGains.kp *= scale;
+        cfg.piGains.ki *= scale;
+        Experiment experiment(cfg);
+        sweep.addRow({TextTable::num(scale, 2),
+                      TextTable::num(
+                          averageOver(experiment, distDvfs)),
+                      std::to_string(
+                          emergenciesOver(experiment, distDvfs))});
+    }
+    sweep.print(std::cout);
+
+    std::cout << "\nDerivative term (PID vs PI):\n\n";
+    TextTable pid({"Kd", "avg BIPS", "emergencies"});
+    for (double kd : {0.0, 1e-6, 1e-5, 1e-4}) {
+        DtmConfig cfg = bench::paperConfig();
+        cfg.piGains.kd = kd;
+        Experiment experiment(cfg);
+        pid.addRow({TextTable::num(kd * 1e6, 1) + "e-6",
+                    TextTable::num(averageOver(experiment, distDvfs)),
+                    std::to_string(
+                        emergenciesOver(experiment, distDvfs))});
+    }
+    pid.print(std::cout);
+    std::cout << "\nExpectation from the paper: broad insensitivity to "
+                 "the gains; the derivative term adds little.\n";
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reproduces Figure 3 and Table 5 of the paper: the four non-migration
+ * policies over the twelve Table 4 workloads.
+ *
+ * Figure 3 plots per-workload instruction throughput of global
+ * stop-go, global ("synchronous") DVFS, and distributed DVFS,
+ * normalized to the distributed stop-go baseline. Table 5 reports the
+ * average BIPS, effective duty cycle, and relative throughput.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace coolcmp;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    Experiment experiment(bench::paperConfig());
+
+    const PolicyConfig globalStop{ThrottleMechanism::StopGo,
+                                  ControlScope::Global,
+                                  MigrationKind::None};
+    const PolicyConfig distStop = baselinePolicy();
+    const PolicyConfig globalDvfs{ThrottleMechanism::Dvfs,
+                                  ControlScope::Global,
+                                  MigrationKind::None};
+    const PolicyConfig distDvfs{ThrottleMechanism::Dvfs,
+                                ControlScope::Distributed,
+                                MigrationKind::None};
+
+    const auto base = bench::runAllCached(experiment, distStop);
+    const auto gStop = bench::runAllCached(experiment, globalStop);
+    const auto gDvfs = bench::runAllCached(experiment, globalDvfs);
+    const auto dDvfs = bench::runAllCached(experiment, distDvfs);
+
+    bench::banner("Figure 3: per-workload throughput relative to "
+                  "distributed stop-go");
+    TextTable fig3({"workload", "mix", "Global stop-go", "Global DVFS",
+                    "Dist. DVFS"});
+    const auto &workloads = table4Workloads();
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        fig3.addRow({workloads[i].label(), workloads[i].mixTag(),
+                     TextTable::num(gStop[i].bips() / base[i].bips()),
+                     TextTable::num(gDvfs[i].bips() / base[i].bips()),
+                     TextTable::num(dDvfs[i].bips() / base[i].bips())});
+    }
+    fig3.print(std::cout);
+
+    std::ofstream csv("figure3.csv");
+    fig3.printCsv(csv);
+    std::cout << "\n(series written to figure3.csv)\n";
+
+    std::cout << "\nDist. DVFS relative throughput as bars:\n";
+    AsciiChart chart(48);
+    for (std::size_t i = 0; i < workloads.size(); ++i)
+        chart.addBar(workloads[i].label() + " (" +
+                         workloads[i].mixTag() + ")",
+                     dDvfs[i].bips() / base[i].bips());
+    chart.print(std::cout);
+
+    bench::banner("Table 5: averages across all workloads "
+                  "(measured vs paper)");
+    TextTable t5({"policy", "BIPS", "duty cycle", "rel. throughput"});
+    struct Row
+    {
+        const char *name;
+        const std::vector<RunMetrics> *runs;
+        double paperBips, paperDuty, paperRel;
+    };
+    const Row rows[] = {
+        {"Stop-go (global)", &gStop, 2.79, 0.1977, 0.62},
+        {"Dist. stop-go", &base, 4.53, 0.3257, 1.00},
+        {"Global DVFS", &gDvfs, 9.36, 0.6649, 2.07},
+        {"Dist. DVFS", &dDvfs, 11.36, 0.8102, 2.51},
+    };
+    for (const Row &row : rows) {
+        t5.addRow({row.name,
+                   bench::versus(Experiment::averageBips(*row.runs),
+                                 row.paperBips),
+                   bench::versus(
+                       Experiment::averageDuty(*row.runs) * 100.0,
+                       row.paperDuty * 100.0, 1) + "%",
+                   bench::versus(Experiment::relativeThroughput(
+                                     *row.runs, base),
+                                 row.paperRel)});
+    }
+    t5.print(std::cout);
+    return 0;
+}

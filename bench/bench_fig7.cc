@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Figure 7 of the paper: per-workload performance delta of
+ * counter-based and sensor-based migration over plain distributed DVFS
+ * (the best-performing practical policy of the original four).
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace coolcmp;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    Experiment experiment(bench::paperConfig());
+
+    const PolicyConfig distDvfs{ThrottleMechanism::Dvfs,
+                                ControlScope::Distributed,
+                                MigrationKind::None};
+    PolicyConfig counter = distDvfs;
+    counter.migration = MigrationKind::CounterBased;
+    PolicyConfig sensor = distDvfs;
+    sensor.migration = MigrationKind::SensorBased;
+
+    const auto plain = bench::runAllCached(experiment, distDvfs);
+    const auto ctr = bench::runAllCached(experiment, counter);
+    const auto sns = bench::runAllCached(experiment, sensor);
+
+    // Paper values digitized from Figure 7 (percent deltas).
+    const double paperCounter[12] = {-2.5, 0.3, 1.2, 0.5, 1.0, 1.8,
+                                     2.5, 1.5, 1.0, 2.0, 5.5, 1.5};
+    const double paperSensor[12] = {0.8, 0.5, 2.0, 0.8, 1.5, 3.0,
+                                    4.0, 2.3, 1.5, 2.8, 7.5, 2.5};
+
+    bench::banner("Figure 7: migration gains/losses over dist. DVFS");
+    TextTable table({"workload", "mix", "counter delta",
+                     "paper counter", "sensor delta", "paper sensor"});
+    const auto &workloads = table4Workloads();
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const double dCtr =
+            (ctr[i].bips() / plain[i].bips() - 1.0) * 100.0;
+        const double dSns =
+            (sns[i].bips() / plain[i].bips() - 1.0) * 100.0;
+        table.addRow({workloads[i].label(), workloads[i].mixTag(),
+                      TextTable::num(dCtr, 1) + "%",
+                      TextTable::num(paperCounter[i], 1) + "%",
+                      TextTable::num(dSns, 1) + "%",
+                      TextTable::num(paperSensor[i], 1) + "%"});
+    }
+    table.print(std::cout);
+
+    std::ofstream csv("figure7.csv");
+    table.printCsv(csv);
+    std::cout << "\n(series written to figure7.csv; paper values "
+                 "digitized from the figure)\n";
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrates: the
+ * exact matrix-exponential thermal step vs RK4, the one-time
+ * discretization cost, LU solves, and the cycle-level core model.
+ * These justify the engineering choice called out in DESIGN.md: the
+ * exact propagator makes full 0.5-second policy sweeps affordable.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/chip_model.hh"
+#include "thermal/floorplan.hh"
+#include "thermal/rc_network.hh"
+#include "thermal/transient.hh"
+#include "uarch/ooo_core.hh"
+#include "util/logging.hh"
+
+namespace coolcmp {
+namespace {
+
+const Floorplan &
+chipPlan()
+{
+    static const Floorplan plan = makeCmpFloorplan(4);
+    return plan;
+}
+
+const RcNetwork &
+chipNetwork()
+{
+    static const RcNetwork net(chipPlan(), PackageParams::desktop());
+    return net;
+}
+
+void
+BM_ZohPropagatorStep(benchmark::State &state)
+{
+    const double dt = 100000.0 / 3.6e9;
+    ZohPropagator solver(chipNetwork(), dt);
+    Vector powers(chipPlan().numBlocks(), 1.0);
+    for (auto _ : state) {
+        solver.step(powers, dt);
+        benchmark::DoNotOptimize(solver.temperatures());
+    }
+}
+BENCHMARK(BM_ZohPropagatorStep);
+
+void
+BM_Rk4SolverStep(benchmark::State &state)
+{
+    const double dt = 100000.0 / 3.6e9;
+    Rk4Solver solver(chipNetwork());
+    Vector powers(chipPlan().numBlocks(), 1.0);
+    for (auto _ : state) {
+        solver.step(powers, dt);
+        benchmark::DoNotOptimize(solver.temperatures());
+    }
+}
+BENCHMARK(BM_Rk4SolverStep);
+
+void
+BM_Discretization(benchmark::State &state)
+{
+    const double dt = 100000.0 / 3.6e9;
+    for (auto _ : state) {
+        auto disc = ZohPropagator::makeDiscretization(chipNetwork(), dt);
+        benchmark::DoNotOptimize(disc);
+    }
+}
+BENCHMARK(BM_Discretization);
+
+void
+BM_SteadyStateSolve(benchmark::State &state)
+{
+    Vector powers(chipPlan().numBlocks(), 1.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(chipNetwork().steadyState(powers));
+    }
+}
+BENCHMARK(BM_SteadyStateSolve);
+
+void
+BM_OooCoreKilocycles(benchmark::State &state)
+{
+    OooCore core(CoreConfig::table3(), StreamParams{}, 42);
+    ActivityCounts counts;
+    for (auto _ : state)
+        core.run(1000, counts);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_OooCoreKilocycles);
+
+void
+BM_BranchPredictorLookup(benchmark::State &state)
+{
+    TournamentPredictor predictor(16384);
+    std::uint64_t pc = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            predictor.lookup(pc, (pc & 3) != 0));
+        pc += 4;
+    }
+}
+BENCHMARK(BM_BranchPredictorLookup);
+
+} // namespace
+} // namespace coolcmp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces Table 1 of the paper: per-benchmark steady-state
+ * temperatures (and oscillation ranges) measured on a Pentium M
+ * notebook through a 1 C-quantized edge-of-die diode.
+ *
+ * Our substitute: the same 22 benchmark models on the mobile
+ * single-core platform (CoreConfig::mobile + PackageParams::mobile),
+ * reading the same style of sensor from the compact thermal model.
+ * Absolute temperatures depend on the calibrated power model; the
+ * reproduction targets the paper's ordering (gzip and sixtrack
+ * hottest, mcf coolest) and its oscillating set (bzip2, ammp, facerec,
+ * fma3d).
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_util.hh"
+
+using namespace coolcmp;
+
+namespace {
+
+/** Paper values for the stable benchmarks (Table 1a). */
+const std::map<std::string, double> paperStable = {
+    {"gzip", 70}, {"mcf", 59}, {"parser", 67}, {"twolf", 67},
+    {"mesa", 65}, {"swim", 62}, {"lucas", 63}, {"sixtrack", 71},
+};
+
+/** Paper ranges for the oscillating benchmarks (Table 1b). */
+const std::map<std::string, std::pair<double, double>> paperRanges = {
+    {"bzip2", {67, 72}},
+    {"ammp", {58, 64}},
+    {"facerec", {65, 71}},
+    {"fma3d", {61, 67}},
+};
+
+} // namespace
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    bench::banner(
+        "Table 1: mobile (Pentium M-class) steady-state temperatures");
+
+    TextTable stable({"benchmark", "category", "steady temp (C)",
+                      "paper (C)"});
+    TextTable ranges({"benchmark", "category", "range (C)", "paper"});
+
+    for (const auto &profile : spec2000Profiles()) {
+        const MobileThermalReading r =
+            measureMobileSteadyState(profile.name);
+        if (r.oscillating) {
+            std::string paper = "-";
+            if (auto it = paperRanges.find(r.benchmark);
+                it != paperRanges.end()) {
+                paper = TextTable::num(it->second.first, 0) + "-" +
+                    TextTable::num(it->second.second, 0);
+            }
+            ranges.addRow({r.benchmark, r.category,
+                           TextTable::num(r.minPhaseTemp, 0) + "-" +
+                               TextTable::num(r.maxPhaseTemp, 0),
+                           paper});
+        } else {
+            std::string paper = "-";
+            if (auto it = paperStable.find(r.benchmark);
+                it != paperStable.end()) {
+                paper = TextTable::num(it->second, 0);
+            }
+            stable.addRow({r.benchmark, r.category,
+                           TextTable::num(r.steadyTemp, 0), paper});
+        }
+    }
+
+    std::cout << "(a) Stable benchmarks\n";
+    stable.print(std::cout);
+    std::cout << "\n(b) Benchmarks without a steady temperature\n";
+    ranges.print(std::cout);
+    std::cout << "\nNote: '-' means the paper's Table 1 does not list "
+                 "that benchmark.\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces Table 6 of the paper: performance-counter-based migration
+ * layered on each of the four base policies, with the speedup over the
+ * matching non-migration policy.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace coolcmp;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    Experiment experiment(bench::paperConfig());
+
+    struct Row
+    {
+        PolicyConfig base;
+        double paperBips, paperDuty, paperRel, paperSpeedup;
+    };
+    const Row rows[] = {
+        {{ThrottleMechanism::StopGo, ControlScope::Global,
+          MigrationKind::None}, 5.34, 0.3793, 1.18, 1.91},
+        {{ThrottleMechanism::StopGo, ControlScope::Distributed,
+          MigrationKind::None}, 9.15, 0.6512, 2.02, 2.02},
+        {{ThrottleMechanism::Dvfs, ControlScope::Global,
+          MigrationKind::None}, 9.88, 0.7005, 2.18, 1.06},
+        {{ThrottleMechanism::Dvfs, ControlScope::Distributed,
+          MigrationKind::None}, 11.62, 0.8242, 2.57, 1.02},
+    };
+
+    const auto baseline =
+        bench::runAllCached(experiment, baselinePolicy());
+
+    bench::banner("Table 6: counter-based migration policies "
+                  "(measured vs paper)");
+    TextTable table({"policy", "BIPS", "duty cycle", "rel. throughput",
+                     "speedup over non-migration"});
+    for (const Row &row : rows) {
+        PolicyConfig withMig = row.base;
+        withMig.migration = MigrationKind::CounterBased;
+        const auto mig = bench::runAllCached(experiment, withMig);
+        const auto plain = bench::runAllCached(experiment, row.base);
+        table.addRow({withMig.label(),
+                      bench::versus(Experiment::averageBips(mig),
+                                    row.paperBips),
+                      bench::versus(
+                          Experiment::averageDuty(mig) * 100.0,
+                          row.paperDuty * 100.0, 1) + "%",
+                      bench::versus(Experiment::relativeThroughput(
+                                        mig, baseline),
+                                    row.paperRel),
+                      bench::versus(Experiment::relativeThroughput(
+                                        mig, plain),
+                                    row.paperSpeedup)});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Table 7 of the paper: sensor-based migration layered on
+ * each of the four base policies, with speedups over both the matching
+ * non-migration policy and the counter-based variant.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace coolcmp;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    Experiment experiment(bench::paperConfig());
+
+    struct Row
+    {
+        PolicyConfig base;
+        double paperBips, paperDuty, paperRel, paperVsNone,
+            paperVsCounter;
+    };
+    const Row rows[] = {
+        {{ThrottleMechanism::StopGo, ControlScope::Global,
+          MigrationKind::None}, 5.43, 0.3864, 1.20, 1.95, 1.02},
+        {{ThrottleMechanism::StopGo, ControlScope::Distributed,
+          MigrationKind::None}, 9.27, 0.6661, 2.05, 2.05, 1.01},
+        {{ThrottleMechanism::Dvfs, ControlScope::Global,
+          MigrationKind::None}, 9.63, 0.6837, 2.13, 1.03, 0.97},
+        {{ThrottleMechanism::Dvfs, ControlScope::Distributed,
+          MigrationKind::None}, 11.70, 0.8264, 2.59, 1.03, 1.01},
+    };
+
+    const auto baseline =
+        bench::runAllCached(experiment, baselinePolicy());
+
+    bench::banner("Table 7: sensor-based migration policies "
+                  "(measured vs paper)");
+    TextTable table({"policy", "BIPS", "duty cycle", "rel. throughput",
+                     "vs non-migration", "vs counter-based"});
+    for (const Row &row : rows) {
+        PolicyConfig sensor = row.base;
+        sensor.migration = MigrationKind::SensorBased;
+        PolicyConfig counter = row.base;
+        counter.migration = MigrationKind::CounterBased;
+        const auto sns = bench::runAllCached(experiment, sensor);
+        const auto ctr = bench::runAllCached(experiment, counter);
+        const auto plain = bench::runAllCached(experiment, row.base);
+        table.addRow({sensor.label(),
+                      bench::versus(Experiment::averageBips(sns),
+                                    row.paperBips),
+                      bench::versus(
+                          Experiment::averageDuty(sns) * 100.0,
+                          row.paperDuty * 100.0, 1) + "%",
+                      bench::versus(Experiment::relativeThroughput(
+                                        sns, baseline),
+                                    row.paperRel),
+                      bench::versus(Experiment::relativeThroughput(
+                                        sns, plain),
+                                    row.paperVsNone),
+                      bench::versus(Experiment::relativeThroughput(
+                                        sns, ctr),
+                                    row.paperVsCounter)});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces Table 8 of the paper: the complete 12-cell taxonomy
+ * matrix of relative instruction throughput, normalized workload by
+ * workload to the distributed stop-go baseline.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_util.hh"
+
+using namespace coolcmp;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    Experiment experiment(bench::paperConfig());
+
+    // Paper's Table 8 values, keyed by policy slug.
+    const std::map<std::string, double> paper = {
+        {"global-stopgo", 0.62},         {"global-dvfs", 2.1},
+        {"dist-stopgo", 1.0},            {"dist-dvfs", 2.5},
+        {"global-stopgo-counter", 1.2},  {"global-dvfs-counter", 2.2},
+        {"dist-stopgo-counter", 2.0},    {"dist-dvfs-counter", 2.6},
+        {"global-stopgo-sensor", 1.2},   {"global-dvfs-sensor", 2.1},
+        {"dist-stopgo-sensor", 2.1},     {"dist-dvfs-sensor", 2.6},
+    };
+
+    const auto baseline =
+        bench::runAllCached(experiment, baselinePolicy());
+
+    bench::banner("Table 8: relative throughput of all 12 policy "
+                  "combinations (measured vs paper)");
+    std::cout << "Taxonomy axes (Table 2): mechanism x scope x "
+                 "migration.\n\n";
+
+    TextTable table({"scope", "migration", "stop-go", "DVFS"});
+    for (MigrationKind mig :
+         {MigrationKind::None, MigrationKind::CounterBased,
+          MigrationKind::SensorBased}) {
+        for (ControlScope scope :
+             {ControlScope::Global, ControlScope::Distributed}) {
+            std::vector<std::string> row{scopeName(scope),
+                                         migrationName(mig)};
+            for (ThrottleMechanism mech :
+                 {ThrottleMechanism::StopGo, ThrottleMechanism::Dvfs}) {
+                const PolicyConfig policy{mech, scope, mig};
+                const auto runs =
+                    bench::runAllCached(experiment, policy);
+                const double rel =
+                    Experiment::relativeThroughput(runs, baseline);
+                row.push_back(policy == baselinePolicy()
+                                  ? "baseline (paper baseline)"
+                                  : bench::versus(rel,
+                                                  paper.at(
+                                                      policy.slug()),
+                                                  2) + "X");
+            }
+            table.addRow(std::move(row));
+        }
+    }
+    table.print(std::cout);
+
+    // Safety summary: the paper's policies avoid all emergencies.
+    std::uint64_t totalEmergencies = 0;
+    double hottest = 0.0;
+    for (const auto &policy : allPolicies()) {
+        for (const auto &m : bench::runAllCached(experiment, policy)) {
+            totalEmergencies += m.emergencies;
+            hottest = std::max(hottest, m.peakTemp);
+        }
+    }
+    std::cout << "\nThermal safety across all 144 runs: "
+              << totalEmergencies << " emergency samples, hottest "
+              << TextTable::num(hottest) << " C (threshold "
+              << TextTable::num(experiment.config().thresholdTemp)
+              << " C)\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches. Every bench binary is
+ * standalone: it builds (or loads from cache) the power traces, runs
+ * the required DTM simulations, and prints the paper's table or figure
+ * next to the paper's published values.
+ */
+
+#ifndef COOLCMP_BENCH_BENCH_UTIL_HH
+#define COOLCMP_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace coolcmp::bench {
+
+/** The paper's evaluation configuration (Section 3 / Table 3). */
+inline DtmConfig
+paperConfig()
+{
+    return DtmConfig{};
+}
+
+/** Run one policy over all 12 workloads through the result cache. */
+inline std::vector<RunMetrics>
+runAllCached(Experiment &experiment, const PolicyConfig &policy)
+{
+    std::vector<RunMetrics> out;
+    out.reserve(table4Workloads().size());
+    for (const auto &workload : table4Workloads()) {
+        std::cerr << "  [" << policy.slug() << "] " << workload.name
+                  << "\r" << std::flush;
+        out.push_back(experiment.runCached(workload, policy));
+    }
+    std::cerr << std::string(60, ' ') << "\r";
+    return out;
+}
+
+/** Print a banner naming the reproduced artifact. */
+inline void
+banner(const std::string &title)
+{
+    std::cout << "\n=== " << title << " ===\n\n";
+}
+
+/** Format "measured (paper: X)" comparison cells. */
+inline std::string
+versus(double measured, double paper, int precision = 2)
+{
+    return TextTable::num(measured, precision) + " (paper " +
+        TextTable::num(paper, precision) + ")";
+}
+
+} // namespace coolcmp::bench
+
+#endif // COOLCMP_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Quickstart: run one multiprogrammed workload under two thermal
+ * management policies and compare throughput, duty cycle, and thermal
+ * safety.
+ *
+ * Build and run:
+ *     cmake -B build -G Ninja && cmake --build build
+ *     ./build/examples/quickstart
+ *
+ * The first run generates the power traces for the four benchmarks
+ * (cached under .coolcmp-traces/); later runs start immediately.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace coolcmp;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Inform);
+
+    // An Experiment bundles the 4-core chip of the paper's Table 3:
+    // the floorplan, the HotSpot-style RC thermal model, the power
+    // model, and the power-trace builder.
+    Experiment experiment;
+
+    // Table 4's workload7: two integer and two floating-point codes,
+    // the example the paper uses to motivate migration (Section 2.5).
+    const Workload &workload = findWorkload("workload7");
+    std::cout << "Workload: " << workload.label() << " ("
+              << workload.mixTag() << ")\n\n";
+
+    // Policies are cells of the Table 2 taxonomy: a throttling
+    // mechanism (stop-go or PI-controlled DVFS), a scope (global or
+    // per-core), and an optional OS migration policy.
+    const PolicyConfig baseline = baselinePolicy(); // dist. stop-go
+    const PolicyConfig best{ThrottleMechanism::Dvfs,
+                            ControlScope::Distributed,
+                            MigrationKind::SensorBased};
+
+    TextTable table({"policy", "BIPS", "duty cycle", "peak temp (C)",
+                     "emergencies", "migrations"});
+    for (const PolicyConfig &policy : {baseline, best}) {
+        const RunMetrics m = experiment.run(workload, policy);
+        table.addRow({policy.label(), TextTable::num(m.bips()),
+                      TextTable::percent(m.dutyCycle),
+                      TextTable::num(m.peakTemp),
+                      std::to_string(m.emergencies),
+                      std::to_string(m.migrations)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nBoth policies respect the 84.2 C constraint; the "
+                 "multi-loop design (per-core PI DVFS inside, OS "
+                 "migration outside) simply wastes far less "
+                 "performance doing so.\n";
+    return 0;
+}

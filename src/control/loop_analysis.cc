@@ -1,0 +1,40 @@
+#include "control/loop_analysis.hh"
+
+#include "control/state_space.hh"
+
+namespace coolcmp {
+
+LoopAnalysis
+analyzeLoop(const PidGains &controller, const TransferFunction &plant,
+            double horizon)
+{
+    const TransferFunction open =
+        pidTransferFunction(controller).series(plant);
+    const TransferFunction closed = open.feedback();
+
+    LoopAnalysis out;
+    out.poles = closed.poles();
+    out.stable = closed.isStable();
+    out.dcGain = closed.dcGain();
+    if (out.stable) {
+        // Sample finely enough for the fastest pole.
+        double fastest = 0.0;
+        for (const auto &p : out.poles)
+            fastest = std::max(fastest, std::abs(p.real()));
+        const double dt = fastest > 0.0
+            ? std::min(horizon / 200.0, 0.1 / fastest)
+            : horizon / 200.0;
+        const TimeResponse resp = stepResponse(closed, horizon, dt);
+        out.settlingTime = resp.settlingTime();
+        out.overshoot = resp.overshoot();
+    }
+    return out;
+}
+
+TransferFunction
+thermalPlant(double gain, double tau)
+{
+    return firstOrderLag(gain, tau);
+}
+
+} // namespace coolcmp

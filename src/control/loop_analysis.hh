@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Closed-loop analysis of the thermal DVFS control loop.
+ *
+ * Section 4.1 of the paper verifies in MATLAB that the PI loop around
+ * the (first-order) thermal plant has all closed-loop poles in the open
+ * left half plane. These helpers reproduce that analysis natively so a
+ * policy designer can check candidate gains before running the full
+ * thermal/timing simulator.
+ */
+
+#ifndef COOLCMP_CONTROL_LOOP_ANALYSIS_HH
+#define COOLCMP_CONTROL_LOOP_ANALYSIS_HH
+
+#include <complex>
+#include <vector>
+
+#include "control/pi_controller.hh"
+#include "control/transfer_function.hh"
+
+namespace coolcmp {
+
+/** Summary of a closed-loop design check. */
+struct LoopAnalysis
+{
+    std::vector<std::complex<double>> poles; ///< closed-loop poles
+    bool stable = false;      ///< all poles strictly in the LHP
+    double settlingTime = 0;  ///< 2% settling time of the step response
+    double overshoot = 0;     ///< fractional step-response overshoot
+    double dcGain = 0;        ///< closed-loop DC gain (1 => no offset)
+};
+
+/**
+ * Analyze the unity-feedback loop of controller C and plant P.
+ *
+ * @param controller controller gains (PI or PID)
+ * @param plant plant transfer function (e.g. power->temperature lag)
+ * @param horizon step-response simulation length in seconds
+ */
+LoopAnalysis analyzeLoop(const PidGains &controller,
+                         const TransferFunction &plant, double horizon);
+
+/**
+ * First-order thermal plant linking frequency-scale actuation to
+ * hotspot temperature rise: a change ds in the frequency scale changes
+ * steady-state temperature by roughly gain*ds with time constant tau.
+ *
+ * @param gain degrees C per unit frequency scale (tens of degrees)
+ * @param tau dominant thermal time constant in seconds (milliseconds)
+ */
+TransferFunction thermalPlant(double gain, double tau);
+
+} // namespace coolcmp
+
+#endif // COOLCMP_CONTROL_LOOP_ANALYSIS_HH

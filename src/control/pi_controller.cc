@@ -1,0 +1,101 @@
+#include "control/pi_controller.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+TransferFunction
+pidTransferFunction(const PidGains &gains)
+{
+    // (Kd s^2 + Kp s + Ki) / s
+    return TransferFunction(Polynomial({gains.ki, gains.kp, gains.kd}),
+                            Polynomial({0.0, 1.0}), Domain::Continuous);
+}
+
+DiscretePidCoeffs
+discretizePidZoh(const PidGains &gains, double dt)
+{
+    if (dt <= 0.0)
+        fatal("discretizePidZoh requires a positive sample time");
+    DiscretePidCoeffs c;
+    // ZOH (step-invariant) equivalent of Kp + Ki/s:
+    //   G(z) = Kp + Ki*dt*z^-1 / (1 - z^-1)
+    // => u[n] = u[n-1] + Kp*(e[n] - e[n-1]) + Ki*dt*e[n-1].
+    c.c0 = gains.kp;
+    c.c1 = -gains.kp + gains.ki * dt;
+    // Backward-difference derivative.
+    if (gains.kd != 0.0) {
+        const double kd = gains.kd / dt;
+        c.c0 += kd;
+        c.c1 += -2.0 * kd;
+        c.c2 += kd;
+    }
+    return c;
+}
+
+DiscretePidCoeffs
+discretizePidTustin(const PidGains &gains, double dt)
+{
+    if (dt <= 0.0)
+        fatal("discretizePidTustin requires a positive sample time");
+    DiscretePidCoeffs c;
+    // Trapezoidal integral: u[n] = u[n-1] + Kp*(e[n]-e[n-1])
+    //                              + Ki*dt/2*(e[n]+e[n-1]).
+    c.c0 = gains.kp + gains.ki * dt / 2.0;
+    c.c1 = -gains.kp + gains.ki * dt / 2.0;
+    if (gains.kd != 0.0) {
+        const double kd = gains.kd / dt;
+        c.c0 += kd;
+        c.c1 += -2.0 * kd;
+        c.c2 += kd;
+    }
+    return c;
+}
+
+DiscretePidCoeffs
+negate(const DiscretePidCoeffs &c)
+{
+    return {-c.c0, -c.c1, -c.c2};
+}
+
+DiscretePidController::DiscretePidController(
+    const DiscretePidCoeffs &coeffs, double lo, double hi, double initial)
+    : coeffs_(coeffs), lo_(lo), hi_(hi),
+      initial_(std::clamp(initial, lo, hi)), prevOutput_(initial_)
+{
+    if (!(lo < hi))
+        fatal("DiscretePidController requires lo < hi");
+}
+
+double
+DiscretePidController::update(double error)
+{
+    if (!primed_) {
+        // Avoid a spurious proportional/derivative kick on sample 0 by
+        // pretending the error has always been at its current value.
+        prevError_ = error;
+        prevError2_ = error;
+        primed_ = true;
+    }
+    double u = prevOutput_ + coeffs_.c0 * error + coeffs_.c1 * prevError_
+        + coeffs_.c2 * prevError2_;
+    u = std::clamp(u, lo_, hi_);
+    prevError2_ = prevError_;
+    prevError_ = error;
+    // Storing the *clipped* value is the anti-windup mechanism.
+    prevOutput_ = u;
+    return u;
+}
+
+void
+DiscretePidController::reset()
+{
+    prevOutput_ = initial_;
+    prevError_ = 0.0;
+    prevError2_ = 0.0;
+    primed_ = false;
+}
+
+} // namespace coolcmp

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Continuous PI/PID controller descriptions and their zero-order-hold
+ * discretization (the MATLAB c2d step in Section 4.2 of the paper).
+ */
+
+#ifndef COOLCMP_CONTROL_PI_CONTROLLER_HH
+#define COOLCMP_CONTROL_PI_CONTROLLER_HH
+
+#include "control/transfer_function.hh"
+
+namespace coolcmp {
+
+/**
+ * Gains of a continuous PID controller
+ * G(s) = Kp + Ki/s + Kd*s. The paper uses a pure PI law
+ * (Kp = 0.0107, Ki = 248.5) and reports that the derivative term adds
+ * little for thermal control; Kd is retained for the ablation study.
+ */
+struct PidGains
+{
+    double kp = 0.0;
+    double ki = 0.0;
+    double kd = 0.0;
+};
+
+/** The exact constants the paper uses for every experiment. */
+constexpr PidGains paperPiGains()
+{
+    return {0.0107, 248.5, 0.0};
+}
+
+/** Laplace transfer function of a PID law; PI when kd == 0. */
+TransferFunction pidTransferFunction(const PidGains &gains);
+
+/**
+ * Difference-equation coefficients of the discretized controller:
+ * u[n] = u[n-1] + c0*e[n] + c1*e[n-1] + c2*e[n-2] (c2 = 0 for PI).
+ */
+struct DiscretePidCoeffs
+{
+    double c0 = 0.0;
+    double c1 = 0.0;
+    double c2 = 0.0;
+};
+
+/**
+ * Zero-order-hold discretization of a PID law at step dt.
+ *
+ * For PI this yields u[n] = u[n-1] + Kp*(e[n]-e[n-1]) + Ki*dt*e[n-1];
+ * with the paper's negative-gain convention (error = measured - target,
+ * so the frequency must *fall* when the error is positive) and the
+ * paper's constants at dt = 100k cycles / 3.6 GHz, negate() of this
+ * reproduces u[n] = u[n-1] - 0.0107 e[n] + 0.003796 e[n-1] exactly.
+ *
+ * The derivative term uses the backward difference
+ * Kd * (e[n] - 2 e[n-1] + e[n-2]) / dt.
+ */
+DiscretePidCoeffs discretizePidZoh(const PidGains &gains, double dt);
+
+/**
+ * Bilinear (Tustin) discretization of a PID law at step dt: the
+ * trapezoidal integral rule instead of ZOH's forward rectangle. Both
+ * converge to the same controller as dt -> 0; Tustin halves the
+ * integral phase lag at the cost of feeding through half of e[n]
+ * immediately.
+ */
+DiscretePidCoeffs discretizePidTustin(const PidGains &gains, double dt);
+
+/** Negate coefficients (controller acting against the error sign). */
+DiscretePidCoeffs negate(const DiscretePidCoeffs &c);
+
+/**
+ * Stateful discrete PI(D) regulator with output clipping.
+ *
+ * Clipping the stored previous output is what prevents integral windup
+ * (Section 4.2): because the integral state *is* the clipped previous
+ * output, no hidden integral component can accumulate while the
+ * actuator is saturated.
+ */
+class DiscretePidController
+{
+  public:
+    /**
+     * @param coeffs difference-equation coefficients (already signed)
+     * @param lo,hi actuator limits (e.g. frequency scale 0.2..1.0)
+     * @param initial initial output, clipped into [lo, hi]
+     */
+    DiscretePidController(const DiscretePidCoeffs &coeffs, double lo,
+                          double hi, double initial);
+
+    /** Advance one sample with the given error; returns the clipped
+     *  output. */
+    double update(double error);
+
+    /** Most recent output without advancing. */
+    double output() const { return prevOutput_; }
+
+    /** Most recent error fed to update(). */
+    double lastError() const { return prevError_; }
+
+    /** Reset the regulator state (output back to initial). */
+    void reset();
+
+  private:
+    DiscretePidCoeffs coeffs_;
+    double lo_;
+    double hi_;
+    double initial_;
+    double prevOutput_;
+    double prevError_ = 0.0;
+    double prevError2_ = 0.0;
+    bool primed_ = false;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_CONTROL_PI_CONTROLLER_HH

@@ -1,0 +1,146 @@
+#include "control/state_space.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+StateSpace::StateSpace(Matrix a, Matrix b, Matrix c, double d)
+    : a_(std::move(a)), b_(std::move(b)), c_(std::move(c)), d_(d)
+{
+}
+
+StateSpace
+StateSpace::fromTransferFunction(const TransferFunction &tf)
+{
+    if (tf.domain() != Domain::Continuous)
+        fatal("StateSpace realization expects a continuous system");
+    const Polynomial &num = tf.num();
+    const Polynomial &den = tf.den();
+    const std::size_t n = den.degree();
+    if (num.degree() > n)
+        fatal("StateSpace realization requires a proper system");
+    if (n == 0)
+        fatal("StateSpace realization requires a dynamic system");
+
+    const double denLead = den.coeff(n);
+    // Monic denominator coefficients a0..a(n-1).
+    std::vector<double> ac(n);
+    for (std::size_t i = 0; i < n; ++i)
+        ac[i] = den.coeff(i) / denLead;
+    // Normalized numerator b0..bn.
+    std::vector<double> bc(n + 1, 0.0);
+    for (std::size_t i = 0; i <= num.degree(); ++i)
+        bc[i] = num.coeff(i) / denLead;
+
+    const double d = bc[n];
+
+    Matrix a(n, n);
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        a(i, i + 1) = 1.0;
+    for (std::size_t j = 0; j < n; ++j)
+        a(n - 1, j) = -ac[j];
+
+    Matrix b(n, 1);
+    b(n - 1, 0) = 1.0;
+
+    Matrix c(1, n);
+    for (std::size_t j = 0; j < n; ++j)
+        c(0, j) = bc[j] - d * ac[j];
+
+    return StateSpace(std::move(a), std::move(b), std::move(c), d);
+}
+
+double
+StateSpace::output(const Vector &x, double u) const
+{
+    double y = d_ * u;
+    for (std::size_t j = 0; j < c_.cols(); ++j)
+        y += c_(0, j) * x[j];
+    return y;
+}
+
+void
+StateSpace::step(Vector &x, double u, double dt) const
+{
+    const std::size_t n = order();
+    auto deriv = [&](const Vector &state, Vector &dx) {
+        a_.multiply(state.data(), dx.data());
+        for (std::size_t i = 0; i < n; ++i)
+            dx[i] += b_(i, 0) * u;
+    };
+    Vector k1(n), k2(n), k3(n), k4(n), tmp(n);
+    deriv(x, k1);
+    for (std::size_t i = 0; i < n; ++i)
+        tmp[i] = x[i] + 0.5 * dt * k1[i];
+    deriv(tmp, k2);
+    for (std::size_t i = 0; i < n; ++i)
+        tmp[i] = x[i] + 0.5 * dt * k2[i];
+    deriv(tmp, k3);
+    for (std::size_t i = 0; i < n; ++i)
+        tmp[i] = x[i] + dt * k3[i];
+    deriv(tmp, k4);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+}
+
+double
+TimeResponse::finalValue() const
+{
+    if (value.empty())
+        fatal("empty TimeResponse");
+    return value.back();
+}
+
+double
+TimeResponse::settlingTime(double band) const
+{
+    const double target = finalValue();
+    const double tol = std::abs(target) * band;
+    double settled = time.empty() ? 0.0 : time.back();
+    for (std::size_t i = value.size(); i-- > 0;) {
+        if (std::abs(value[i] - target) > tol)
+            break;
+        settled = time[i];
+    }
+    return settled;
+}
+
+double
+TimeResponse::overshoot() const
+{
+    const double target = finalValue();
+    if (target == 0.0)
+        return 0.0;
+    double peak = target;
+    for (double v : value)
+        if ((target > 0.0 && v > peak) || (target < 0.0 && v < peak))
+            peak = v;
+    return (peak - target) / target;
+}
+
+TimeResponse
+stepResponse(const TransferFunction &tf, double duration, double dt)
+{
+    if (duration <= 0.0 || dt <= 0.0)
+        fatal("stepResponse requires positive duration and step");
+    const StateSpace ss = StateSpace::fromTransferFunction(tf);
+    Vector x(ss.order(), 0.0);
+    TimeResponse resp;
+    const auto steps = static_cast<std::size_t>(duration / dt);
+    resp.time.reserve(steps + 1);
+    resp.value.reserve(steps + 1);
+    double t = 0.0;
+    resp.time.push_back(t);
+    resp.value.push_back(ss.output(x, 1.0));
+    for (std::size_t i = 0; i < steps; ++i) {
+        ss.step(x, 1.0, dt);
+        t += dt;
+        resp.time.push_back(t);
+        resp.value.push_back(ss.output(x, 1.0));
+    }
+    return resp;
+}
+
+} // namespace coolcmp

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * State-space realizations and time-domain responses of transfer
+ * functions. Used by tests and the policy_designer example to verify
+ * settling behaviour of the thermal PI loop, standing in for the
+ * MATLAB step-response checks in Section 4.1 of the paper.
+ */
+
+#ifndef COOLCMP_CONTROL_STATE_SPACE_HH
+#define COOLCMP_CONTROL_STATE_SPACE_HH
+
+#include <vector>
+
+#include "control/transfer_function.hh"
+#include "linalg/matrix.hh"
+
+namespace coolcmp {
+
+/**
+ * Single-input single-output state space model
+ * x' = A x + B u, y = C x + D u.
+ */
+class StateSpace
+{
+  public:
+    /**
+     * Controllable canonical realization of a proper continuous
+     * transfer function (deg num <= deg den). Fails fatally on
+     * improper or discrete inputs.
+     */
+    static StateSpace fromTransferFunction(const TransferFunction &tf);
+
+    const Matrix &a() const { return a_; }
+    const Matrix &b() const { return b_; }
+    const Matrix &c() const { return c_; }
+    double d() const { return d_; }
+
+    /** System order. */
+    std::size_t order() const { return a_.rows(); }
+
+    /** Output for state x and input u. */
+    double output(const Vector &x, double u) const;
+
+    /** One RK4 step of the state equation with input held at u. */
+    void step(Vector &x, double u, double dt) const;
+
+  private:
+    StateSpace(Matrix a, Matrix b, Matrix c, double d);
+
+    Matrix a_;
+    Matrix b_;
+    Matrix c_;
+    double d_;
+};
+
+/** A sampled time-domain response. */
+struct TimeResponse
+{
+    std::vector<double> time;
+    std::vector<double> value;
+
+    /** Final sampled value. */
+    double finalValue() const;
+
+    /**
+     * Time after which the response stays within +/- band (fraction of
+     * the final value) of the final value; returns the last sample time
+     * if it never settles.
+     */
+    double settlingTime(double band = 0.02) const;
+
+    /** Peak overshoot beyond the final value, as a fraction of it
+     *  (0 when the response never exceeds the final value). */
+    double overshoot() const;
+};
+
+/** Unit step response of a continuous transfer function. */
+TimeResponse stepResponse(const TransferFunction &tf, double duration,
+                          double dt);
+
+} // namespace coolcmp
+
+#endif // COOLCMP_CONTROL_STATE_SPACE_HH

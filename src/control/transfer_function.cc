@@ -1,0 +1,107 @@
+#include "control/transfer_function.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+TransferFunction::TransferFunction(Polynomial num, Polynomial den,
+                                   Domain domain)
+    : num_(std::move(num)), den_(std::move(den)), domain_(domain)
+{
+    if (den_.isZero())
+        fatal("TransferFunction denominator must be nonzero");
+}
+
+std::vector<std::complex<double>>
+TransferFunction::poles() const
+{
+    return den_.roots();
+}
+
+std::vector<std::complex<double>>
+TransferFunction::zeros() const
+{
+    if (num_.isZero())
+        return {};
+    return num_.roots();
+}
+
+bool
+TransferFunction::isStable(double margin) const
+{
+    for (const auto &p : poles()) {
+        if (domain_ == Domain::Continuous) {
+            if (p.real() >= -margin)
+                return false;
+        } else {
+            if (std::abs(p) >= 1.0 - margin)
+                return false;
+        }
+    }
+    return true;
+}
+
+double
+TransferFunction::dcGain() const
+{
+    const double x0 = domain_ == Domain::Continuous ? 0.0 : 1.0;
+    const double d = den_(x0);
+    const double n = num_(x0);
+    if (d == 0.0) {
+        return n >= 0.0 ? std::numeric_limits<double>::infinity()
+                        : -std::numeric_limits<double>::infinity();
+    }
+    return n / d;
+}
+
+std::complex<double>
+TransferFunction::evaluate(std::complex<double> x) const
+{
+    return num_(x) / den_(x);
+}
+
+TransferFunction
+TransferFunction::series(const TransferFunction &rhs) const
+{
+    if (domain_ != rhs.domain_)
+        fatal("series connection across domains");
+    return {num_ * rhs.num_, den_ * rhs.den_, domain_};
+}
+
+TransferFunction
+TransferFunction::parallel(const TransferFunction &rhs) const
+{
+    if (domain_ != rhs.domain_)
+        fatal("parallel connection across domains");
+    return {num_ * rhs.den_ + rhs.num_ * den_, den_ * rhs.den_, domain_};
+}
+
+TransferFunction
+TransferFunction::feedback() const
+{
+    // G / (1 + G) = num / (den + num)
+    return {num_, den_ + num_, domain_};
+}
+
+TransferFunction
+TransferFunction::feedback(const TransferFunction &h) const
+{
+    if (domain_ != h.domain_)
+        fatal("feedback connection across domains");
+    // G / (1 + G H) = num*denH / (den*denH + num*numH)
+    return {num_ * h.den_, den_ * h.den_ + num_ * h.num_, domain_};
+}
+
+TransferFunction
+firstOrderLag(double gain, double tau)
+{
+    if (tau <= 0.0)
+        fatal("firstOrderLag requires a positive time constant");
+    return TransferFunction(Polynomial({gain}), Polynomial({1.0, tau}),
+                            Domain::Continuous);
+}
+
+} // namespace coolcmp

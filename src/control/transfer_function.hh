@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Rational transfer functions in the Laplace (s) or z domain.
+ *
+ * This is the formal-control substrate the paper leans on in Section 4:
+ * the PI law G(s) = Kp + Ki/s, its discretization, and the root-locus
+ * style stability criterion ("all poles must lie to the left of the
+ * y-axis in the Laplace space").
+ */
+
+#ifndef COOLCMP_CONTROL_TRANSFER_FUNCTION_HH
+#define COOLCMP_CONTROL_TRANSFER_FUNCTION_HH
+
+#include <complex>
+#include <vector>
+
+#include "linalg/polynomial.hh"
+
+namespace coolcmp {
+
+/** Domain a transfer function lives in. */
+enum class Domain { Continuous, Discrete };
+
+/** Rational transfer function num(x)/den(x). */
+class TransferFunction
+{
+  public:
+    /**
+     * @param num numerator polynomial (lowest degree first)
+     * @param den denominator polynomial; must be nonzero
+     * @param domain continuous (s) or discrete (z)
+     */
+    TransferFunction(Polynomial num, Polynomial den,
+                     Domain domain = Domain::Continuous);
+
+    const Polynomial &num() const { return num_; }
+    const Polynomial &den() const { return den_; }
+    Domain domain() const { return domain_; }
+
+    /** Poles (roots of the denominator). */
+    std::vector<std::complex<double>> poles() const;
+
+    /** Zeros (roots of the numerator). */
+    std::vector<std::complex<double>> zeros() const;
+
+    /**
+     * Stability check: continuous systems need all poles strictly in
+     * the open left half plane; discrete systems need them strictly
+     * inside the unit circle.
+     *
+     * @param margin required distance from the stability boundary.
+     */
+    bool isStable(double margin = 0.0) const;
+
+    /** DC gain: G(0) for continuous, G(1) for discrete. Infinite gains
+     *  (pole at the evaluation point) return +/-inf. */
+    double dcGain() const;
+
+    /** Evaluate at a complex frequency point. */
+    std::complex<double> evaluate(std::complex<double> x) const;
+
+    /** Series connection: this * rhs (domains must match). */
+    TransferFunction series(const TransferFunction &rhs) const;
+
+    /** Parallel connection: this + rhs (domains must match). */
+    TransferFunction parallel(const TransferFunction &rhs) const;
+
+    /**
+     * Closed loop with negative feedback through h:
+     * G_cl = G / (1 + G*H). Unity feedback by default.
+     */
+    TransferFunction feedback() const;
+    TransferFunction feedback(const TransferFunction &h) const;
+
+  private:
+    Polynomial num_;
+    Polynomial den_;
+    Domain domain_;
+};
+
+/** First-order lag K / (tau s + 1): the thermal plant seen by the PI
+ *  controller (a hotspot's dominant RC time constant). */
+TransferFunction firstOrderLag(double gain, double tau);
+
+} // namespace coolcmp
+
+#endif // COOLCMP_CONTROL_TRANSFER_FUNCTION_HH

@@ -1,0 +1,55 @@
+#include "core/chip_model.hh"
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+ChipModel::ChipModel(int numCores, const DtmConfig &config)
+    : ChipModel(makeCmpFloorplan(numCores), config)
+{
+}
+
+ChipModel::ChipModel(Floorplan floorplan, const DtmConfig &config)
+    : floorplan_(std::move(floorplan)),
+      network_(floorplan_, config.package),
+      leakage_(floorplan_, config.leakage),
+      stepSeconds_(config.stepSeconds()),
+      disc_(ZohPropagator::makeDiscretization(network_, stepSeconds_)),
+      l2Block_(floorplan_.indexOf(-1, UnitKind::L2))
+{
+    buildIndex();
+}
+
+void
+ChipModel::buildIndex()
+{
+    const auto cores = static_cast<std::size_t>(floorplan_.numCores());
+    blockIndex_.assign(cores * numCoreUnitKinds, 0);
+    for (std::size_t c = 0; c < cores; ++c)
+        for (UnitKind kind : coreUnitKinds())
+            blockIndex_[c * numCoreUnitKinds +
+                        static_cast<std::size_t>(kind)] =
+                floorplan_.indexOf(static_cast<int>(c), kind);
+}
+
+std::unique_ptr<ZohPropagator>
+ChipModel::makeSolver(double dt) const
+{
+    if (dt == stepSeconds_)
+        return std::make_unique<ZohPropagator>(network_, dt, disc_);
+    return std::make_unique<ZohPropagator>(network_, dt);
+}
+
+std::size_t
+ChipModel::blockOf(int core, UnitKind kind) const
+{
+    if (kind == UnitKind::L2)
+        return l2Block_;
+    if (core < 0 || core >= floorplan_.numCores())
+        panic("blockOf: bad core ", core);
+    return blockIndex_[static_cast<std::size_t>(core) *
+                           numCoreUnitKinds +
+                       static_cast<std::size_t>(kind)];
+}
+
+} // namespace coolcmp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Immutable physical chip model shared across DTM simulations: the
+ * floorplan, the RC thermal network, the precomputed exact-step
+ * discretization, and the leakage calibration. Building the matrix
+ * exponential once and sharing it across the 144 policy-workload runs
+ * of the evaluation is what makes the full sweep affordable.
+ */
+
+#ifndef COOLCMP_CORE_CHIP_MODEL_HH
+#define COOLCMP_CORE_CHIP_MODEL_HH
+
+#include <memory>
+
+#include "core/dtm_config.hh"
+#include "power/leakage.hh"
+#include "thermal/floorplan.hh"
+#include "thermal/rc_network.hh"
+#include "thermal/transient.hh"
+
+namespace coolcmp {
+
+/** Shared physical state of one chip configuration. */
+class ChipModel
+{
+  public:
+    /**
+     * Build the CMP chip of the paper's Table 3.
+     * @param numCores 1, 2 or 4
+     * @param config DTM configuration (package, leakage, step length)
+     */
+    ChipModel(int numCores, const DtmConfig &config);
+
+    /** Build from an explicit floorplan (e.g. the mobile chip). */
+    ChipModel(Floorplan floorplan, const DtmConfig &config);
+
+    int numCores() const { return floorplan_.numCores(); }
+    const Floorplan &floorplan() const { return floorplan_; }
+    const RcNetwork &network() const { return network_; }
+    const LeakageModel &leakage() const { return leakage_; }
+
+    /** Shared exact-step discretization at config.stepSeconds(). */
+    std::shared_ptr<const ZohDiscretization> discretization() const
+    {
+        return disc_;
+    }
+
+    /** Make a fresh transient solver over this chip. */
+    std::unique_ptr<ZohPropagator> makeSolver(double dt) const;
+
+    /** Floorplan block index of (core, unit). */
+    std::size_t blockOf(int core, UnitKind kind) const;
+
+    /** Floorplan block index of the shared L2. */
+    std::size_t l2Block() const { return l2Block_; }
+
+  private:
+    Floorplan floorplan_;
+    RcNetwork network_;
+    LeakageModel leakage_;
+    double stepSeconds_;
+    std::shared_ptr<const ZohDiscretization> disc_;
+    std::vector<std::size_t> blockIndex_; ///< [core][unit]
+    std::size_t l2Block_;
+
+    void buildIndex();
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_CORE_CHIP_MODEL_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Configuration of the thermal/timing DTM simulator: the paper's
+ * thermal constraint, controller constants, and penalties (Sections
+ * 3-6 and Table 3).
+ */
+
+#ifndef COOLCMP_CORE_DTM_CONFIG_HH
+#define COOLCMP_CORE_DTM_CONFIG_HH
+
+#include <cstdint>
+
+#include "control/pi_controller.hh"
+#include "os/kernel.hh"
+#include "power/leakage.hh"
+#include "power/power_model.hh"
+#include "thermal/package.hh"
+#include "util/units.hh"
+
+namespace coolcmp {
+
+/** All knobs of one DTM simulation. */
+struct DtmConfig
+{
+    // --- Thermal constraint (Section 3.5). ---
+    double thresholdTemp = 84.2;  ///< C; never to be exceeded
+    double stopGoTrip = 83.5;     ///< trip "just below the threshold"
+    double dvfsSetpoint = 82.5;   ///< PI target "just below threshold"
+
+    // --- Stop-go mechanism (Sections 2.3, 5.1). ---
+    double stopGoStall = milliseconds(30);
+
+    // --- DVFS mechanism (Section 4 and Table 3). ---
+    PidGains piGains = paperPiGains();
+    double minFreqScale = 0.2;         ///< 20% = 720 MHz
+    double minTransition = 0.02 * 0.8; ///< 2% of the scale range
+    double dvfsTransitionPenalty = microseconds(10);
+
+    // --- Simulation timing (Section 3). ---
+    std::uint64_t intervalCycles = 100000; ///< one thermal sample
+    double duration = seconds(0.5);        ///< silicon time per run
+
+    // --- OS parameters (Section 6, Table 3). ---
+    KernelParams kernel;
+
+    // --- Sensor modeling (ideal by default; Section 4.1 notes sensor
+    //     delay is negligible at these time scales). ---
+    double sensorNoise = 0.0;
+    double sensorQuantization = 0.0;
+
+    // --- Initialization: start from the steady state whose hottest
+    //     block sits this far below the threshold (a warm, regulated
+    //     operating point; the heatsink time constant is far longer
+    //     than the simulated 0.5 s). ---
+    double initMargin = 3.0;
+
+    // --- Migration trigger (Section 6.1): actuate when at least this
+    //     many cores report a critical-hotspot identity change; the
+    //     fallback also evaluates when core imbalance exceeds
+    //     fallbackSpread C at the 10 ms boundary. ---
+    int hotspotChangeQuorum = 2;
+    double hotspotTempDelta = 0.75; ///< C; a critical-hotspot move this
+                                    ///< large also counts as a change
+    double fallbackSpread = 1.5;
+
+    // --- Package / power calibrations. ---
+    PackageParams package = PackageParams::desktop();
+    PowerModelParams power = PowerModelParams::table3Calibrated();
+    LeakageParams leakage;
+
+    /** Wall-clock length of one simulation step (one trace interval at
+     *  nominal frequency): 100k cycles / 3.6 GHz = 27.78 us. */
+    double stepSeconds() const
+    {
+        return static_cast<double>(intervalCycles) / power.nominalFreq;
+    }
+
+    /** Number of whole steps in the run. */
+    std::uint64_t numSteps() const
+    {
+        return static_cast<std::uint64_t>(duration / stepSeconds());
+    }
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_CORE_DTM_CONFIG_HH

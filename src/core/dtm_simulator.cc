@@ -1,0 +1,314 @@
+#include "core/dtm_simulator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+DtmSimulator::DtmSimulator(
+    std::shared_ptr<const ChipModel> chip, const PolicyConfig &policy,
+    const DtmConfig &config,
+    std::vector<std::shared_ptr<const PowerTrace>> traces)
+    : chip_(std::move(chip)), policy_(policy), config_(config),
+      throttles_(policy.mechanism, policy.scope, chip_->numCores(),
+                 config_),
+      solver_(chip_->makeSolver(config_.stepSeconds())),
+      sensors_(makeRegisterFileSensors(chip_->floorplan(),
+                                       config_.sensorQuantization,
+                                       config_.sensorNoise)),
+      l2IdleWatts_(config_.power.units[UnitKind::L2].idleWatts)
+{
+    if (traces.size() < static_cast<std::size_t>(chip_->numCores()))
+        fatal("need at least one process per core");
+    std::vector<Process> processes;
+    processes.reserve(traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i)
+        processes.emplace_back(static_cast<int>(i), traces[i]);
+    kernel_ = std::make_unique<OsKernel>(
+        chip_->numCores(), std::move(processes), config_.kernel);
+    migration_ = makeMigrationPolicy(
+        policy_.migration, static_cast<int>(traces.size()),
+        chip_->numCores(), config_);
+    initializeThermalState();
+}
+
+void
+DtmSimulator::setSampleHook(std::function<void(const StepSample &)> hook,
+                            std::uint64_t stride)
+{
+    hook_ = std::move(hook);
+    hookStride_ = std::max<std::uint64_t>(stride, 1);
+}
+
+Vector
+DtmSimulator::averageBlockPowers() const
+{
+    const Floorplan &plan = chip_->floorplan();
+    Vector powers(plan.numBlocks(), 0.0);
+    powers[chip_->l2Block()] = l2IdleWatts_;
+    for (int c = 0; c < chip_->numCores(); ++c) {
+        const Process *proc = kernel_->runningOn(c);
+        if (!proc)
+            continue;
+        const PowerTrace &trace = proc->trace();
+        PerUnit<double> avg(0.0);
+        for (std::size_t i = 0; i < trace.numPoints(); ++i)
+            for (std::size_t u = 0; u < numUnitKinds; ++u)
+                avg[static_cast<UnitKind>(u)] +=
+                    trace.point(i).power[static_cast<UnitKind>(u)];
+        for (auto &v : avg)
+            v /= static_cast<double>(trace.numPoints());
+        for (UnitKind kind : coreUnitKinds())
+            powers[chip_->blockOf(c, kind)] += avg[kind];
+        powers[chip_->l2Block()] +=
+            std::max(0.0, avg[UnitKind::L2] - l2IdleWatts_);
+    }
+    return powers;
+}
+
+void
+DtmSimulator::initializeThermalState()
+{
+    // Start the run at the steady state of the workload's average
+    // power, scaled so the hottest block sits initMargin below the
+    // threshold: the long-run operating point an ideal regulator would
+    // hold (the heatsink moves far too slowly to re-equilibrate within
+    // the simulated 0.5 s, so the initial point matters and must be a
+    // plausible one).
+    const Vector dynAvg = averageBlockPowers();
+    const RcNetwork &net = chip_->network();
+    const double target =
+        config_.thresholdTemp - config_.initMargin - net.ambient();
+
+    double alpha = 1.0;
+    Vector temps;
+    for (int iter = 0; iter < 12; ++iter) {
+        Vector powers = dynAvg;
+        for (auto &p : powers)
+            p *= alpha;
+        if (!temps.empty()) {
+            // Leakage at the current temperature estimate (full Vdd:
+            // the regulated mix of speeds is not known yet, and
+            // leakage is a secondary correction here).
+            chip_->leakage().addLeakage(
+                temps, [&](std::size_t) {
+                    return config_.power.nominalVdd;
+                },
+                powers);
+        }
+        temps = net.steadyState(powers);
+        double hottest = -1e9;
+        for (std::size_t b = 0; b < net.numInputs(); ++b)
+            hottest = std::max(hottest, temps[b] - net.ambient());
+        if (hottest <= 0.0)
+            break;
+        const double ratio = target / hottest;
+        alpha *= std::clamp(ratio, 0.2, 2.0);
+        alpha = std::clamp(alpha, 0.01, 1.0);
+        if (std::abs(ratio - 1.0) < 0.01)
+            break;
+    }
+    solver_->setTemperatures(temps);
+    // Wind the DVFS controllers to the regulated operating point:
+    // dynamic power scales cubically, so the sustainable fraction
+    // alpha corresponds to a frequency scale of alpha^(1/3).
+    throttles_.initializeScale(std::cbrt(alpha));
+}
+
+RunMetrics
+DtmSimulator::run()
+{
+    const int numCores = chip_->numCores();
+    const auto nc = static_cast<std::size_t>(numCores);
+    const double dt = config_.stepSeconds();
+    const double cyclesPerStep =
+        static_cast<double>(config_.intervalCycles);
+    const std::uint64_t steps = config_.numSteps();
+
+    RunMetrics metrics;
+    metrics.duration = static_cast<double>(steps) * dt;
+    metrics.coreInstructions.assign(nc, 0.0);
+    metrics.coreDuty.assign(nc, 0.0);
+    metrics.coreMeanFreq.assign(nc, 0.0);
+    metrics.processInstructions.assign(kernel_->numProcesses(), 0.0);
+
+    Vector blockPowers(chip_->floorplan().numBlocks(), 0.0);
+    std::vector<double> coreHottest(nc, 0.0);
+    std::vector<double> intRf(nc, 0.0);
+    std::vector<double> fpRf(nc, 0.0);
+
+    // OS-tick window accumulators for the outer loop.
+    const double tick = config_.kernel.timerInterval;
+    double nextTick = tick;
+    std::vector<double> tickStartIntRf(nc, 0.0);
+    std::vector<double> tickStartFpRf(nc, 0.0);
+    std::vector<double> winFreqCubed(nc, 0.0);
+    std::vector<double> winAvail(nc, 0.0);
+    double winSteps = 0.0;
+    bool tickPrimed = false;
+
+    for (std::uint64_t n = 0; n < steps; ++n) {
+        const double now = static_cast<double>(n) * dt;
+        const double tEnd = now + dt;
+        kernel_->advanceTo(now);
+
+        // --- Execute one interval on each core. ---
+        std::fill(blockPowers.begin(), blockPowers.end(), 0.0);
+        double l2Power = l2IdleWatts_;
+        for (int c = 0; c < numCores; ++c) {
+            const auto ci = static_cast<std::size_t>(c);
+            Process *proc = kernel_->runningOn(c);
+            const double s = throttles_.freqScale(c);
+            const double blockedUntil = std::max(
+                throttles_.unavailableUntil(c),
+                kernel_->frozenUntil(c));
+            const double blocked =
+                std::clamp(blockedUntil - now, 0.0, dt);
+            const double avail = 1.0 - blocked / dt;
+            const double s3 = s * s * s;
+
+            if (proc && avail > 0.0) {
+                const TracePoint &pt = proc->currentPoint();
+                const double insts =
+                    proc->advance(s * avail * cyclesPerStep);
+                metrics.coreInstructions[ci] += insts;
+                metrics.processInstructions[static_cast<std::size_t>(
+                    proc->id())] += insts;
+                metrics.totalInstructions += insts;
+                for (UnitKind kind : coreUnitKinds())
+                    blockPowers[chip_->blockOf(c, kind)] +=
+                        pt.power[kind] * s3 * avail;
+                l2Power += std::max(0.0, pt.power[UnitKind::L2] -
+                                             l2IdleWatts_) *
+                    s3 * avail;
+            }
+            const double work = s * avail;
+            metrics.coreDuty[ci] += work;
+            metrics.coreMeanFreq[ci] += s;
+            winFreqCubed[ci] += s3 * avail;
+            winAvail[ci] += avail;
+        }
+        blockPowers[chip_->l2Block()] += l2Power;
+
+        // --- Close the leakage loop at the step's start state. ---
+        chip_->leakage().addLeakage(
+            solver_->temperatures(),
+            [&](std::size_t block) {
+                const int core =
+                    chip_->floorplan().blocks()[block].core;
+                const double vs = core >= 0
+                    ? throttles_.voltageScale(core) : 1.0;
+                return config_.power.nominalVdd * vs;
+            },
+            blockPowers);
+
+        // --- Advance the thermal state by one exact step. ---
+        solver_->step(blockPowers, dt);
+
+        // --- Read sensors and run the inner control loop. ---
+        for (int c = 0; c < numCores; ++c) {
+            const auto ci = static_cast<std::size_t>(c);
+            intRf[ci] = sensors_[ci].intRf.read(*solver_);
+            fpRf[ci] = sensors_[ci].fpRf.read(*solver_);
+            coreHottest[ci] = std::max(intRf[ci], fpRf[ci]);
+        }
+        throttles_.update(coreHottest, tEnd);
+
+        const double hottestBlock = solver_->maxBlockTemp();
+        metrics.peakTemp = std::max(metrics.peakTemp, hottestBlock);
+        if (hottestBlock > config_.thresholdTemp)
+            metrics.emergencies += 1;
+
+        winSteps += 1.0;
+
+        // --- Outer loop: OS timer tick. ---
+        if (!tickPrimed) {
+            tickStartIntRf = intRf;
+            tickStartFpRf = fpRf;
+            tickPrimed = true;
+        }
+        if (tEnd + 1e-12 >= nextTick) {
+            MigrationObservation obs;
+            obs.now = tEnd;
+            obs.cores.resize(nc);
+            obs.intRfSlope.resize(nc);
+            obs.fpRfSlope.resize(nc);
+            obs.freqCubed.resize(nc);
+            obs.execShare.resize(nc);
+            const double window = winSteps * dt;
+            for (int c = 0; c < numCores; ++c) {
+                const auto ci = static_cast<std::size_t>(c);
+                CoreHotspotState &core = obs.cores[ci];
+                const bool intHot = intRf[ci] >= fpRf[ci];
+                core.criticalUnit =
+                    intHot ? UnitKind::IntRF : UnitKind::FpRF;
+                core.criticalTemp = intHot ? intRf[ci] : fpRf[ci];
+                core.secondaryTemp = intHot ? fpRf[ci] : intRf[ci];
+                const Process *proc = kernel_->runningOn(c);
+                core.process = proc ? proc->id() : -1;
+                obs.intRfSlope[ci] =
+                    (intRf[ci] - tickStartIntRf[ci]) / window;
+                obs.fpRfSlope[ci] =
+                    (fpRf[ci] - tickStartFpRf[ci]) / window;
+                obs.freqCubed[ci] = winAvail[ci] > 1e-9
+                    ? winFreqCubed[ci] / winAvail[ci] : 0.0;
+                obs.execShare[ci] = winAvail[ci] / winSteps;
+            }
+            const std::vector<int> before = kernel_->assignment();
+            migration_->onTick(obs, *kernel_);
+            const std::vector<int> &after = kernel_->assignment();
+            for (int c = 0; c < numCores; ++c) {
+                if (before[static_cast<std::size_t>(c)] !=
+                    after[static_cast<std::size_t>(c)]) {
+                    // The OS hands the core a different thread: any
+                    // stop-go stall is lifted (the trip re-fires at
+                    // the next sample if the hotspot is still hot).
+                    throttles_.clearStall(c, tEnd);
+                }
+            }
+
+            tickStartIntRf = intRf;
+            tickStartFpRf = fpRf;
+            std::fill(winFreqCubed.begin(), winFreqCubed.end(), 0.0);
+            std::fill(winAvail.begin(), winAvail.end(), 0.0);
+            winSteps = 0.0;
+            nextTick += tick;
+        }
+
+        // --- Optional probe. ---
+        if (hook_ && n % hookStride_ == 0) {
+            StepSample sample;
+            sample.time = tEnd;
+            sample.intRfTemp = intRf;
+            sample.fpRfTemp = fpRf;
+            sample.freqScale.resize(nc);
+            for (int c = 0; c < numCores; ++c)
+                sample.freqScale[static_cast<std::size_t>(c)] =
+                    throttles_.freqScale(c);
+            sample.assignment = kernel_->assignment();
+            sample.maxBlockTemp = hottestBlock;
+            sample.blockTemp.resize(
+                chip_->floorplan().numBlocks());
+            for (std::size_t b = 0; b < sample.blockTemp.size(); ++b)
+                sample.blockTemp[b] = solver_->blockTemp(b);
+            hook_(sample);
+        }
+    }
+
+    const double stepCount = static_cast<double>(steps);
+    double dutySum = 0.0;
+    for (std::size_t c = 0; c < nc; ++c) {
+        metrics.coreDuty[c] /= stepCount;
+        metrics.coreMeanFreq[c] /= stepCount;
+        dutySum += metrics.coreDuty[c];
+    }
+    metrics.dutyCycle = dutySum / static_cast<double>(numCores);
+    metrics.throttleActuations = throttles_.actuations();
+    metrics.migrations = kernel_->migrationCount();
+    metrics.migrationPenaltyTime = kernel_->totalPenaltyTime();
+    return metrics;
+}
+
+} // namespace coolcmp

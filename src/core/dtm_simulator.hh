@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The thermal/timing DTM simulator (Figure 2 of the paper): consumes
+ * per-benchmark power traces, applies a DTM policy (throttling scope +
+ * mechanism + migration), models DVFS/stall/migration timing, closes
+ * the leakage-temperature loop through the RC thermal model, and
+ * reports instruction throughput and adjusted duty cycle.
+ *
+ * Time advances in fixed steps of one trace interval (100k cycles at
+ * nominal frequency = 27.78 us). Within a step each core executes
+ * s * avail * intervalCycles cycles, where s is its frequency scale
+ * and avail is the fraction of the step not blocked by stop-go stalls,
+ * PLL relock penalties, or migration context switches.
+ */
+
+#ifndef COOLCMP_CORE_DTM_SIMULATOR_HH
+#define COOLCMP_CORE_DTM_SIMULATOR_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/chip_model.hh"
+#include "core/dtm_config.hh"
+#include "core/metrics.hh"
+#include "core/migration.hh"
+#include "core/taxonomy.hh"
+#include "core/throttle.hh"
+#include "os/kernel.hh"
+#include "power/trace.hh"
+#include "thermal/sensor.hh"
+
+namespace coolcmp {
+
+/** Per-step probe for time-series outputs (Figure 5). */
+struct StepSample
+{
+    double time = 0.0;
+    std::vector<double> intRfTemp;   ///< per core, C
+    std::vector<double> fpRfTemp;    ///< per core, C
+    std::vector<double> freqScale;   ///< per core
+    std::vector<int> assignment;     ///< core -> process id
+    double maxBlockTemp = 0.0;
+    std::vector<double> blockTemp;   ///< per floorplan block, C
+};
+
+/** One DTM simulation: a policy, a chip, and a set of processes. */
+class DtmSimulator
+{
+  public:
+    /**
+     * @param chip shared physical chip model
+     * @param policy the Table 2 cell to evaluate
+     * @param config DTM constants
+     * @param traces one power trace per process (>= numCores; process
+     * i initially runs on core i)
+     */
+    DtmSimulator(std::shared_ptr<const ChipModel> chip,
+                 const PolicyConfig &policy, const DtmConfig &config,
+                 std::vector<std::shared_ptr<const PowerTrace>> traces);
+
+    /** Optional per-step probe (sampled every `stride` steps). */
+    void setSampleHook(std::function<void(const StepSample &)> hook,
+                       std::uint64_t stride = 1);
+
+    /** Run for config.duration and return the metrics. */
+    RunMetrics run();
+
+    /** Access to the kernel after a run (assignments, counters). */
+    const OsKernel &kernel() const { return *kernel_; }
+
+    /** Access to the migration policy after a run. */
+    const MigrationPolicy &migrationPolicy() const { return *migration_; }
+
+  private:
+    std::shared_ptr<const ChipModel> chip_;
+    PolicyConfig policy_;
+    DtmConfig config_;
+    std::unique_ptr<OsKernel> kernel_;
+    ThrottleBank throttles_;
+    std::unique_ptr<MigrationPolicy> migration_;
+    std::unique_ptr<ZohPropagator> solver_;
+    std::vector<CoreSensors> sensors_;
+    double l2IdleWatts_;
+
+    std::function<void(const StepSample &)> hook_;
+    std::uint64_t hookStride_ = 1;
+
+    /** Initialize the thermal state at a regulated operating point. */
+    void initializeThermalState();
+
+    /** Average per-block dynamic power with the initial assignment. */
+    Vector averageBlockPowers() const;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_CORE_DTM_SIMULATOR_HH

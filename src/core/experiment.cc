@@ -1,0 +1,312 @@
+#include "core/experiment.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "thermal/sensor.hh"
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+Experiment::Experiment(const DtmConfig &config,
+                       const TraceBuilderConfig &traceConfig)
+    : config_(config), builder_(traceConfig),
+      chip_(std::make_shared<const ChipModel>(4, config_))
+{
+    if (traceConfig.power.nominalFreq != config.power.nominalFreq)
+        fatal("trace and DTM configs disagree on nominal frequency");
+}
+
+std::shared_ptr<const PowerTrace>
+Experiment::trace(const std::string &name)
+{
+    auto it = traces_.find(name);
+    if (it != traces_.end())
+        return it->second;
+    auto trace = std::make_shared<const PowerTrace>(
+        builder_.build(findProfile(name)));
+    traces_.emplace(name, trace);
+    return trace;
+}
+
+std::unique_ptr<DtmSimulator>
+Experiment::makeSimulator(const Workload &workload,
+                          const PolicyConfig &policy)
+{
+    std::vector<std::shared_ptr<const PowerTrace>> traces;
+    traces.reserve(workload.benchmarks.size());
+    for (const auto &name : workload.benchmarks)
+        traces.push_back(trace(name));
+    return std::make_unique<DtmSimulator>(chip_, policy, config_,
+                                          std::move(traces));
+}
+
+RunMetrics
+Experiment::run(const Workload &workload, const PolicyConfig &policy)
+{
+    return makeSimulator(workload, policy)->run();
+}
+
+namespace {
+
+void
+mixBytes(std::uint64_t &hash, const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+}
+
+void
+mixDouble(std::uint64_t &hash, double v)
+{
+    mixBytes(hash, &v, sizeof(v));
+}
+
+bool
+saveMetrics(const std::string &path, const RunMetrics &m)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out.precision(15);
+    out << "coolcmp-metrics-v1\n";
+    out << m.duration << " " << m.totalInstructions << " "
+        << m.dutyCycle << " " << m.peakTemp << " " << m.emergencies
+        << " " << m.throttleActuations << " " << m.migrations << " "
+        << m.migrationPenaltyTime << "\n";
+    auto dumpVec = [&out](const std::vector<double> &v) {
+        out << v.size();
+        for (double x : v)
+            out << " " << x;
+        out << "\n";
+    };
+    dumpVec(m.coreInstructions);
+    dumpVec(m.coreDuty);
+    dumpVec(m.coreMeanFreq);
+    dumpVec(m.processInstructions);
+    return static_cast<bool>(out);
+}
+
+bool
+loadMetrics(const std::string &path, RunMetrics &m)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string magic;
+    if (!std::getline(in, magic) || magic != "coolcmp-metrics-v1")
+        return false;
+    if (!(in >> m.duration >> m.totalInstructions >> m.dutyCycle >>
+          m.peakTemp >> m.emergencies >> m.throttleActuations >>
+          m.migrations >> m.migrationPenaltyTime))
+        return false;
+    auto readVec = [&in](std::vector<double> &v) {
+        std::size_t n = 0;
+        if (!(in >> n) || n > 4096)
+            return false;
+        v.resize(n);
+        for (double &x : v)
+            if (!(in >> x))
+                return false;
+        return true;
+    };
+    return readVec(m.coreInstructions) && readVec(m.coreDuty) &&
+        readVec(m.coreMeanFreq) && readVec(m.processInstructions);
+}
+
+} // namespace
+
+std::uint64_t
+Experiment::configKey() const
+{
+    std::uint64_t hash = builder_.configKey();
+    const DtmConfig &c = config_;
+    for (double v : {c.thresholdTemp, c.stopGoTrip, c.dvfsSetpoint,
+                     c.stopGoStall, c.piGains.kp, c.piGains.ki,
+                     c.piGains.kd, c.minFreqScale, c.minTransition,
+                     c.dvfsTransitionPenalty,
+                     static_cast<double>(c.intervalCycles), c.duration,
+                     c.kernel.timerInterval,
+                     c.kernel.migrationMinInterval,
+                     c.kernel.migrationPenalty,
+                     c.kernel.timeSliceQuantum, c.sensorNoise,
+                     c.sensorQuantization, c.initMargin,
+                     static_cast<double>(c.hotspotChangeQuorum),
+                     c.hotspotTempDelta, c.fallbackSpread,
+                     c.package.dieThickness, c.package.convectionR,
+                     c.package.ambient, c.package.dieCapFactor,
+                     c.package.spreaderSide, c.package.sinkSide,
+                     c.power.nominalFreq, c.power.nominalVdd,
+                     c.leakage.densityAtRef, c.leakage.beta,
+                     c.leakage.refTemp})
+        mixDouble(hash, v);
+    for (const auto &unit : c.power.units) {
+        mixDouble(hash, unit.idleWatts);
+        mixDouble(hash, unit.energyPerAccess);
+    }
+    return hash;
+}
+
+RunMetrics
+Experiment::runCached(const Workload &workload,
+                      const PolicyConfig &policy,
+                      const std::string &resultDir)
+{
+    if (resultDir.empty())
+        return run(workload, policy);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(configKey()));
+    const std::string path = resultDir + "/" + workload.name + "-" +
+        policy.slug() + "-" + buf + ".metrics";
+    RunMetrics cached;
+    if (loadMetrics(path, cached))
+        return cached;
+    const RunMetrics fresh = run(workload, policy);
+    std::error_code ec;
+    std::filesystem::create_directories(resultDir, ec);
+    if (!saveMetrics(path, fresh))
+        warn("cannot write result cache file ", path);
+    return fresh;
+}
+
+std::vector<RunMetrics>
+Experiment::runAllWorkloads(const PolicyConfig &policy)
+{
+    std::vector<RunMetrics> out;
+    out.reserve(table4Workloads().size());
+    for (const auto &workload : table4Workloads())
+        out.push_back(run(workload, policy));
+    return out;
+}
+
+double
+Experiment::averageBips(const std::vector<RunMetrics> &runs)
+{
+    if (runs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &m : runs)
+        sum += m.bips();
+    return sum / static_cast<double>(runs.size());
+}
+
+double
+Experiment::averageDuty(const std::vector<RunMetrics> &runs)
+{
+    if (runs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &m : runs)
+        sum += m.dutyCycle;
+    return sum / static_cast<double>(runs.size());
+}
+
+double
+Experiment::relativeThroughput(const std::vector<RunMetrics> &runs,
+                               const std::vector<RunMetrics> &baseline)
+{
+    if (runs.size() != baseline.size() || runs.empty())
+        panic("relativeThroughput needs matched run sets");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (baseline[i].bips() <= 0.0)
+            panic("baseline run has zero throughput");
+        sum += runs[i].bips() / baseline[i].bips();
+    }
+    return sum / static_cast<double>(runs.size());
+}
+
+MobileThermalReading
+measureMobileSteadyState(const std::string &benchmark,
+                         const std::string &traceCacheDir)
+{
+    const BenchmarkProfile &profile = findProfile(benchmark);
+
+    // Mobile platform: Banias-class core, package, and power model.
+    TraceBuilderConfig traceConfig;
+    traceConfig.core = CoreConfig::mobile();
+    traceConfig.power = PowerModelParams::mobileCalibrated();
+    traceConfig.cacheDir = traceCacheDir;
+
+    DtmConfig dtm;
+    dtm.package = PackageParams::mobile();
+    dtm.power = traceConfig.power;
+    dtm.leakage = LeakageParams::mobile();
+
+    ChipModel chip(makeMobileFloorplan(), dtm);
+    TraceBuilder builder(traceConfig);
+    const PowerTrace trace = builder.build(profile);
+
+    // The notebook's single ACPI diode sits at the edge of the die
+    // (we use the i-cache block bordering the L2) and reads in whole
+    // degrees Celsius.
+    const std::size_t diodeBlock = chip.blockOf(0, UnitKind::ICache);
+
+    // Steady temperature of a set of trace intervals: average the
+    // per-unit powers, close the leakage loop, and solve.
+    auto steadyDiode = [&](std::size_t beginPt, std::size_t endPt) {
+        PerUnit<double> avg(0.0);
+        for (std::size_t i = beginPt; i < endPt; ++i)
+            for (std::size_t u = 0; u < numUnitKinds; ++u)
+                avg[static_cast<UnitKind>(u)] +=
+                    trace.point(i).power[static_cast<UnitKind>(u)];
+        for (auto &v : avg)
+            v /= static_cast<double>(endPt - beginPt);
+
+        Vector powers(chip.floorplan().numBlocks(), 0.0);
+        for (UnitKind kind : coreUnitKinds())
+            powers[chip.blockOf(0, kind)] = avg[kind];
+        powers[chip.l2Block()] = avg[UnitKind::L2];
+
+        Vector temps = chip.network().steadyState(powers);
+        for (int iter = 0; iter < 4; ++iter) {
+            Vector withLeak = powers;
+            chip.leakage().addLeakage(
+                temps,
+                [&](std::size_t) { return dtm.power.nominalVdd; },
+                withLeak);
+            temps = chip.network().steadyState(withLeak);
+        }
+        return temps[diodeBlock];
+    };
+
+    MobileThermalReading out;
+    out.benchmark = benchmark;
+    out.category = benchCategoryName(profile.category);
+
+    // Whole-trace steady temperature.
+    const double overall = steadyDiode(0, trace.numPoints());
+
+    // Per-phase steady temperatures (phases partition the trace).
+    double minPhase = overall;
+    double maxPhase = overall;
+    std::size_t begin = 0;
+    std::size_t phase = profile.phaseAt(0, trace.numPoints());
+    for (std::size_t i = 1; i <= trace.numPoints(); ++i) {
+        const std::size_t p = i < trace.numPoints()
+            ? profile.phaseAt(i, trace.numPoints())
+            : phase + 1;
+        if (p != phase) {
+            const double t = steadyDiode(begin, i);
+            minPhase = std::min(minPhase, t);
+            maxPhase = std::max(maxPhase, t);
+            begin = i;
+            phase = p;
+        }
+    }
+
+    // ACPI rounding to whole degrees.
+    out.steadyTemp = std::round(overall);
+    out.minPhaseTemp = std::round(minPhase);
+    out.maxPhaseTemp = std::round(maxPhase);
+    out.oscillating = out.maxPhaseTemp - out.minPhaseTemp > 2.0;
+    return out;
+}
+
+} // namespace coolcmp

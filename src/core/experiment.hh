@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Experiment driver: wires the trace builder, chip model, and DTM
+ * simulator together for the paper's evaluation sweeps, sharing the
+ * expensive immutable pieces (power traces, matrix exponentials)
+ * across runs.
+ */
+
+#ifndef COOLCMP_CORE_EXPERIMENT_HH
+#define COOLCMP_CORE_EXPERIMENT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dtm_config.hh"
+#include "core/dtm_simulator.hh"
+#include "core/metrics.hh"
+#include "core/taxonomy.hh"
+#include "power/trace_builder.hh"
+#include "workload/workloads.hh"
+
+namespace coolcmp {
+
+/** Shared context for a family of DTM runs on the 4-core CMP. */
+class Experiment
+{
+  public:
+    explicit Experiment(const DtmConfig &config = {},
+                        const TraceBuilderConfig &traceConfig = {});
+
+    const DtmConfig &config() const { return config_; }
+    std::shared_ptr<const ChipModel> chip() const { return chip_; }
+
+    /** Power trace for a benchmark (built once, then shared). */
+    std::shared_ptr<const PowerTrace> trace(const std::string &name);
+
+    /** Build a simulator for one workload and policy. */
+    std::unique_ptr<DtmSimulator> makeSimulator(
+        const Workload &workload, const PolicyConfig &policy);
+
+    /** Run one workload under one policy. */
+    RunMetrics run(const Workload &workload, const PolicyConfig &policy);
+
+    /**
+     * Run with an on-disk result cache: benches regenerating several
+     * of the paper's tables share hundreds of (workload, policy) runs,
+     * so completed runs are memoized under resultDir keyed by a hash
+     * of every configuration input. Pass an empty dir to disable.
+     */
+    RunMetrics runCached(const Workload &workload,
+                         const PolicyConfig &policy,
+                         const std::string &resultDir =
+                             ".coolcmp-results");
+
+    /** Hash of the full experiment configuration. */
+    std::uint64_t configKey() const;
+
+    /**
+     * Run one policy over all Table 4 workloads.
+     * @return per-workload metrics in Table 4 order.
+     */
+    std::vector<RunMetrics> runAllWorkloads(const PolicyConfig &policy);
+
+    /** Average BIPS across a set of runs. */
+    static double averageBips(const std::vector<RunMetrics> &runs);
+
+    /** Average duty cycle across a set of runs. */
+    static double averageDuty(const std::vector<RunMetrics> &runs);
+
+    /**
+     * Mean per-workload throughput ratio of `runs` over `baseline`
+     * (the paper's "relative throughput", normalized workload by
+     * workload to distributed stop-go).
+     */
+    static double relativeThroughput(
+        const std::vector<RunMetrics> &runs,
+        const std::vector<RunMetrics> &baseline);
+
+  private:
+    DtmConfig config_;
+    TraceBuilder builder_;
+    std::shared_ptr<const ChipModel> chip_;
+    std::map<std::string, std::shared_ptr<const PowerTrace>> traces_;
+};
+
+/** Table 1 reproduction: mobile single-core steady-state thermals. */
+struct MobileThermalReading
+{
+    std::string benchmark;
+    std::string category;      ///< "SPECint"/"SPECfp"
+    double steadyTemp = 0.0;   ///< diode reading, phase-weighted, C
+    double minPhaseTemp = 0.0; ///< coolest phase steady state
+    double maxPhaseTemp = 0.0; ///< hottest phase steady state
+    bool oscillating = false;  ///< phases differ by > 2 C
+};
+
+/**
+ * Measure the single-diode steady-state temperature of one benchmark
+ * on the mobile (Pentium M-class) platform, following the Table 1
+ * procedure: the reading is taken from an edge-of-die sensor and
+ * rounded to 1 C.
+ */
+MobileThermalReading measureMobileSteadyState(
+    const std::string &benchmark,
+    const std::string &traceCacheDir = ".coolcmp-traces");
+
+} // namespace coolcmp
+
+#endif // COOLCMP_CORE_EXPERIMENT_HH

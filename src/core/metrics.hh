@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Run metrics: raw instruction throughput (BIPS) and the paper's
+ * adjusted duty cycle (Section 3.5), plus thermal-safety accounting.
+ */
+
+#ifndef COOLCMP_CORE_METRICS_HH
+#define COOLCMP_CORE_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace coolcmp {
+
+/** Results of one DTM simulation run. */
+struct RunMetrics
+{
+    double duration = 0.0;          ///< simulated silicon time, s
+    double totalInstructions = 0.0; ///< committed across all cores
+
+    /** Adjusted duty cycle: work-weighted active fraction, where DVFS
+     *  contributions are scaled by the dynamic frequency and penalty
+     *  time counts as no work (Section 3.5). */
+    double dutyCycle = 0.0;
+
+    /** Billions of instructions per second across the chip. */
+    double bips() const
+    {
+        return duration > 0.0 ? totalInstructions / duration / 1e9
+                              : 0.0;
+    }
+
+    // --- Thermal safety. ---
+    double peakTemp = 0.0;           ///< hottest block sample seen, C
+    std::uint64_t emergencies = 0;   ///< samples above the threshold
+
+    // --- Mechanism accounting. ---
+    std::uint64_t throttleActuations = 0; ///< trips or PLL transitions
+    std::uint64_t migrations = 0;         ///< cores switched
+    double migrationPenaltyTime = 0.0;    ///< total context-switch time
+
+    // --- Per-core breakdown. ---
+    std::vector<double> coreInstructions;
+    std::vector<double> coreDuty;
+    std::vector<double> coreMeanFreq;
+
+    /** Per-process instruction counts (fairness checks). */
+    std::vector<double> processInstructions;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_CORE_METRICS_HH

@@ -1,0 +1,362 @@
+#include "core/migration.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+std::vector<int>
+decideAssignment(const std::vector<CoreHotspotState> &cores,
+                 const IntensityFn &intensity, double keepMargin)
+{
+    const std::size_t n = cores.size();
+
+    // (1) remaining processes = processes[]
+    std::vector<int> remaining;
+    remaining.reserve(n);
+    for (const auto &core : cores)
+        remaining.push_back(core.process);
+
+    // (2) sort cores by most hotspot imbalance.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return cores[a].imbalance() >
+                             cores[b].imbalance();
+                     });
+
+    // (3) foreach core in order: match the least-intense remaining
+    // process against the core's critical hotspot.
+    std::vector<int> assignment(n, -1);
+    for (std::size_t rank = 0; rank < n; ++rank) {
+        const std::size_t c = order[rank];
+        const UnitKind critical = cores[c].criticalUnit;
+        std::size_t bestIdx = 0;
+        double bestIntensity = 0.0;
+        std::ptrdiff_t currentIdx = -1;
+        for (std::size_t i = 0; i < remaining.size(); ++i) {
+            if (remaining[i] == cores[c].process)
+                currentIdx = static_cast<std::ptrdiff_t>(i);
+            const double heat = intensity(
+                remaining[i], static_cast<int>(c), critical);
+            if (i == 0 || heat < bestIntensity) {
+                bestIntensity = heat;
+                bestIdx = i;
+            }
+        }
+        // Stickiness: keep the incumbent unless the winner is clearly
+        // less intense on the critical hotspot.
+        if (currentIdx >= 0 &&
+            remaining[static_cast<std::size_t>(currentIdx)] !=
+                remaining[bestIdx]) {
+            const double currentHeat = intensity(
+                cores[c].process, static_cast<int>(c), critical);
+            if (currentHeat <=
+                bestIntensity * (1.0 + keepMargin) + 1e-12) {
+                bestIdx = static_cast<std::size_t>(currentIdx);
+            }
+        }
+        assignment[c] = remaining[bestIdx];
+        remaining.erase(remaining.begin() +
+                        static_cast<std::ptrdiff_t>(bestIdx));
+    }
+    return assignment;
+}
+
+void
+NoMigrationPolicy::onTick(const MigrationObservation &, OsKernel &)
+{
+}
+
+MigrationTrigger::MigrationTrigger(int numCores, int quorum,
+                                   double fallbackSpread,
+                                   double tempDelta)
+    : quorum_(quorum), fallbackSpread_(fallbackSpread),
+      tempDelta_(tempDelta),
+      lastCritical_(static_cast<std::size_t>(numCores), UnitKind::IntRF),
+      decisionTemp_(static_cast<std::size_t>(numCores), 0.0),
+      changed_(static_cast<std::size_t>(numCores), false)
+{
+}
+
+bool
+MigrationTrigger::shouldDecide(const MigrationObservation &obs,
+                               const OsKernel &kernel)
+{
+    if (!primed_) {
+        acknowledge(obs);
+        primed_ = true;
+        return false;
+    }
+
+    // Hotspot-change signals arrive asynchronously from the per-core
+    // controllers and latch until the next decision round. A core
+    // signals either when the identity of its critical hotspot flips
+    // or when that hotspot has moved materially since the last round.
+    for (std::size_t c = 0; c < obs.cores.size(); ++c) {
+        if (obs.cores[c].criticalUnit != lastCritical_[c])
+            changed_[c] = true;
+        if (std::abs(obs.cores[c].criticalTemp - decisionTemp_[c]) >
+            tempDelta_)
+            changed_[c] = true;
+        lastCritical_[c] = obs.cores[c].criticalUnit;
+    }
+
+    if (!kernel.migrationAllowed(obs.now))
+        return false;
+
+    int changed = 0;
+    for (std::size_t c = 0; c < obs.cores.size(); ++c)
+        if (changed_[c])
+            ++changed;
+    if (changed >= quorum_)
+        return true;
+
+    // Fallback: a large thermal imbalance alone does not justify a
+    // migration round unless some core is actually starved -- inside a
+    // stop-go stall or throttled deep into the DVFS range. Without
+    // this gate, workloads whose critical units never flip would churn
+    // every 10 ms for near-zero-sum swaps (migration on top of
+    // well-regulated distributed DVFS is close to work-neutral, and
+    // each PLL relock and context switch costs real time).
+    double hottest = -1e9;
+    double coolest = 1e9;
+    bool starved = false;
+    for (std::size_t c = 0; c < obs.cores.size(); ++c) {
+        hottest = std::max(hottest, obs.cores[c].criticalTemp);
+        coolest = std::min(coolest, obs.cores[c].criticalTemp);
+        if (obs.execShare[c] < 0.7)
+            starved = true;
+    }
+    return starved && hottest - coolest > fallbackSpread_;
+}
+
+void
+MigrationTrigger::acknowledge(const MigrationObservation &obs)
+{
+    for (std::size_t c = 0; c < obs.cores.size(); ++c) {
+        lastCritical_[c] = obs.cores[c].criticalUnit;
+        decisionTemp_[c] = obs.cores[c].criticalTemp;
+        changed_[c] = false;
+    }
+}
+
+CounterMigrationPolicy::CounterMigrationPolicy(int numCores,
+                                               const DtmConfig &config)
+    : trigger_(numCores, config.hotspotChangeQuorum,
+               config.fallbackSpread, config.hotspotTempDelta)
+{
+}
+
+void
+CounterMigrationPolicy::onTick(const MigrationObservation &obs,
+                               OsKernel &kernel)
+{
+    if (!trigger_.shouldDecide(obs, kernel))
+        return;
+    ++decisions_;
+    trigger_.acknowledge(obs);
+
+    // Intensity from hardware counters: register-file accesses per
+    // adjusted cycle (already frequency-independent, Section 6.1).
+    auto intensity = [&kernel](int process, int /*core*/,
+                               UnitKind unit) {
+        const PerfCounters &counters =
+            kernel.process(process).counters();
+        return unit == UnitKind::FpRF ? counters.fpRfPerCycle()
+                                      : counters.intRfPerCycle();
+    };
+    const std::vector<int> assignment =
+        decideAssignment(obs.cores, intensity);
+    kernel.migrate(assignment, obs.now);
+}
+
+ThermalTrendTable::ThermalTrendTable(int numProcesses, int numCores)
+    : numProcesses_(numProcesses), numCores_(numCores),
+      cells_(static_cast<std::size_t>(numProcesses) *
+             static_cast<std::size_t>(numCores) * 2)
+{
+    if (numProcesses <= 0 || numCores <= 0)
+        fatal("thermal trend table needs processes and cores");
+}
+
+const ThermalTrendTable::Cell &
+ThermalTrendTable::cell(int process, int core, UnitKind unit) const
+{
+    const std::size_t u = unit == UnitKind::FpRF ? 1 : 0;
+    return cells_[(static_cast<std::size_t>(process) *
+                       static_cast<std::size_t>(numCores_) +
+                   static_cast<std::size_t>(core)) *
+                      2 +
+                  u];
+}
+
+ThermalTrendTable::Cell &
+ThermalTrendTable::cell(int process, int core, UnitKind unit)
+{
+    return const_cast<Cell &>(
+        std::as_const(*this).cell(process, core, unit));
+}
+
+void
+ThermalTrendTable::record(int process, int core, UnitKind unit,
+                          double slope, double weight)
+{
+    if (weight <= 0.0)
+        return;
+    Cell &c = cell(process, core, unit);
+    c.sum += slope * weight;
+    c.weight += weight;
+}
+
+bool
+ThermalTrendTable::hasData(int process, int core) const
+{
+    return cell(process, core, UnitKind::IntRF).filled() ||
+        cell(process, core, UnitKind::FpRF).filled();
+}
+
+bool
+ThermalTrendTable::sufficient() const
+{
+    // Every thread profiled somewhere.
+    for (int p = 0; p < numProcesses_; ++p) {
+        bool any = false;
+        for (int c = 0; c < numCores_; ++c)
+            any = any || hasData(p, c);
+        if (!any)
+            return false;
+    }
+    // Every core tested with at least two threads.
+    for (int c = 0; c < numCores_; ++c) {
+        int threads = 0;
+        for (int p = 0; p < numProcesses_; ++p)
+            if (hasData(p, c))
+                ++threads;
+        if (threads < 2)
+            return false;
+    }
+    return true;
+}
+
+double
+ThermalTrendTable::threadMean(int process, UnitKind unit) const
+{
+    double sum = 0.0;
+    double weight = 0.0;
+    for (int c = 0; c < numCores_; ++c) {
+        const Cell &cl = cell(process, c, unit);
+        sum += cl.sum;
+        weight += cl.weight;
+    }
+    return weight > 0.0 ? sum / weight : 0.0;
+}
+
+double
+ThermalTrendTable::coreOffset(int core, UnitKind unit) const
+{
+    // Mean residual of recorded threads on this core relative to their
+    // own across-core means: captures systematic per-core effects such
+    // as sitting next to the cool L2 or at the die edge.
+    double residual = 0.0;
+    int count = 0;
+    for (int p = 0; p < numProcesses_; ++p) {
+        const Cell &cl = cell(p, core, unit);
+        if (!cl.filled())
+            continue;
+        residual += cl.mean() - threadMean(p, unit);
+        ++count;
+    }
+    return count > 0 ? residual / count : 0.0;
+}
+
+double
+ThermalTrendTable::estimate(int process, int core, UnitKind unit) const
+{
+    const Cell &cl = cell(process, core, unit);
+    if (cl.filled())
+        return cl.mean();
+    return threadMean(process, unit) + coreOffset(core, unit);
+}
+
+SensorMigrationPolicy::SensorMigrationPolicy(int numProcesses,
+                                             int numCores,
+                                             const DtmConfig &config)
+    : trigger_(numCores, config.hotspotChangeQuorum,
+               config.fallbackSpread, config.hotspotTempDelta),
+      table_(numProcesses, numCores)
+{
+}
+
+void
+SensorMigrationPolicy::onTick(const MigrationObservation &obs,
+                              OsKernel &kernel)
+{
+    // Record trends continuously (Figure 6, left path): slopes are
+    // de-scaled by the cubed frequency factor dumped by the inner PI
+    // loop so that samples taken at different speeds are comparable.
+    for (std::size_t c = 0; c < obs.cores.size(); ++c) {
+        if (obs.execShare[c] < minExecShare_)
+            continue; // stalled cores carry no thermal signal
+        const int process = obs.cores[c].process;
+        if (process < 0)
+            continue;
+        const double descale =
+            obs.freqCubed[c] > 1e-6 ? 1.0 / obs.freqCubed[c] : 0.0;
+        if (descale == 0.0)
+            continue;
+        const double weight = obs.execShare[c];
+        table_.record(process, static_cast<int>(c), UnitKind::IntRF,
+                      obs.intRfSlope[c] * descale, weight);
+        table_.record(process, static_cast<int>(c), UnitKind::FpRF,
+                      obs.fpRfSlope[c] * descale, weight);
+    }
+
+    if (!trigger_.shouldDecide(obs, kernel))
+        return;
+    ++decisions_;
+    trigger_.acknowledge(obs);
+
+    if (!table_.sufficient()) {
+        // Figure 6: not enough profiled data -> set migration targets
+        // to profile more (rotate threads across cores).
+        const std::vector<int> &current = kernel.assignment();
+        std::vector<int> rotated(current.size());
+        for (std::size_t c = 0; c < current.size(); ++c)
+            rotated[c] = current[(c + 1) % current.size()];
+        if (kernel.migrate(rotated, obs.now) > 0)
+            ++exploreRounds_;
+        return;
+    }
+
+    auto intensity = [this](int process, int core, UnitKind unit) {
+        return table_.estimate(process, core, unit);
+    };
+    const std::vector<int> assignment =
+        decideAssignment(obs.cores, intensity);
+    kernel.migrate(assignment, obs.now);
+}
+
+std::unique_ptr<MigrationPolicy>
+makeMigrationPolicy(MigrationKind kind, int numProcesses, int numCores,
+                    const DtmConfig &config)
+{
+    switch (kind) {
+      case MigrationKind::None:
+        return std::make_unique<NoMigrationPolicy>();
+      case MigrationKind::CounterBased:
+        return std::make_unique<CounterMigrationPolicy>(numCores,
+                                                        config);
+      case MigrationKind::SensorBased:
+        return std::make_unique<SensorMigrationPolicy>(numProcesses,
+                                                       numCores, config);
+    }
+    panic("unknown migration kind");
+}
+
+} // namespace coolcmp

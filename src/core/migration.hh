@@ -1,0 +1,230 @@
+/**
+ * @file
+ * OS-level migration policies: the Figure 4 matching algorithm shared
+ * by both mechanisms, the counter-based policy of Section 6.1, and the
+ * sensor-based policy (thread-core thermal-trend table) of Section 6.3
+ * / Figure 6.
+ */
+
+#ifndef COOLCMP_CORE_MIGRATION_HH
+#define COOLCMP_CORE_MIGRATION_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/dtm_config.hh"
+#include "core/taxonomy.hh"
+#include "os/kernel.hh"
+#include "thermal/unit.hh"
+
+namespace coolcmp {
+
+/** Snapshot of one core's hotspot situation at a decision point. */
+struct CoreHotspotState
+{
+    UnitKind criticalUnit = UnitKind::IntRF; ///< hotter RF sensor
+    double criticalTemp = 0.0;
+    double secondaryTemp = 0.0;
+    int process = -1; ///< id of the thread currently on the core
+
+    /** Hotspot imbalance as defined in Figure 4. */
+    double imbalance() const { return criticalTemp - secondaryTemp; }
+};
+
+/** Estimated heat intensity of (process, core, unit). */
+using IntensityFn =
+    std::function<double(int process, int core, UnitKind unit)>;
+
+/**
+ * The Figure 4 decision algorithm: cores sorted by hotspot imbalance
+ * pick, in order, the remaining thread least intense on their critical
+ * hotspot. Returns the proposed core->process assignment (which may
+ * equal the current one: "the best candidate ... will be itself, in
+ * which case a migration is not done").
+ *
+ * @param keepMargin stickiness: a core keeps its current thread unless
+ * a candidate is at least this much (relatively) less intense. Damps
+ * oscillation when intensities are nearly tied; 0 gives the literal
+ * greedy matching.
+ */
+std::vector<int> decideAssignment(
+    const std::vector<CoreHotspotState> &cores,
+    const IntensityFn &intensity, double keepMargin = 0.1);
+
+/** What the outer loop observes at each OS timer tick. */
+struct MigrationObservation
+{
+    double now = 0.0;
+    std::vector<CoreHotspotState> cores;
+
+    /** Per-core, per-RF temperature slopes over the last tick window,
+     *  C per second of wall time. */
+    std::vector<double> intRfSlope;
+    std::vector<double> fpRfSlope;
+
+    /** Mean cubed frequency scale over the window (the inner loop's
+     *  feedback data used to de-scale thermal trends). */
+    std::vector<double> freqCubed;
+
+    /** Fraction of the window the core actually executed. */
+    std::vector<double> execShare;
+};
+
+/** Common interface of the outer-loop policies. */
+class MigrationPolicy
+{
+  public:
+    virtual ~MigrationPolicy() = default;
+
+    /** Called once per OS timer tick with fresh observations. */
+    virtual void onTick(const MigrationObservation &obs,
+                        OsKernel &kernel) = 0;
+
+    /** Number of decision rounds evaluated. */
+    std::uint64_t decisions() const { return decisions_; }
+
+  protected:
+    std::uint64_t decisions_ = 0;
+};
+
+/** The do-nothing policy (migration axis = None). */
+class NoMigrationPolicy : public MigrationPolicy
+{
+  public:
+    void onTick(const MigrationObservation &obs,
+                OsKernel &kernel) override;
+};
+
+/**
+ * Shared trigger logic (Section 6.1): a decision round runs when at
+ * least `quorum` cores have seen their critical hotspot identity
+ * change since the last round, or -- as a fallback for workloads whose
+ * critical units never flip -- when the spread between the hottest and
+ * coolest core's critical temperature exceeds `fallbackSpread`.
+ * Actuation is always additionally rate-limited by the kernel's 10 ms
+ * minimum migration interval.
+ */
+class MigrationTrigger
+{
+  public:
+    MigrationTrigger(int numCores, int quorum, double fallbackSpread,
+                     double tempDelta);
+
+    /** Update tracking and report whether a decision round is due. */
+    bool shouldDecide(const MigrationObservation &obs,
+                      const OsKernel &kernel);
+
+    /** Reset the change tracking after a decision round. */
+    void acknowledge(const MigrationObservation &obs);
+
+  private:
+    int quorum_;
+    double fallbackSpread_;
+    double tempDelta_;
+    std::vector<UnitKind> lastCritical_; ///< as of the last tick
+    std::vector<double> decisionTemp_;   ///< as of the last decision
+    std::vector<bool> changed_; ///< flip signaled since last decision
+    bool primed_ = false;
+};
+
+/** Counter-based migration (Section 6.1). */
+class CounterMigrationPolicy : public MigrationPolicy
+{
+  public:
+    CounterMigrationPolicy(int numCores, const DtmConfig &config);
+
+    void onTick(const MigrationObservation &obs,
+                OsKernel &kernel) override;
+
+  private:
+    MigrationTrigger trigger_;
+};
+
+/**
+ * The OS-managed thread-core thermal-trend table of Figure 6. Cells
+ * accumulate observed hotspot warming slopes, de-scaled by the cubed
+ * frequency factor recorded from the inner PI loop.
+ */
+class ThermalTrendTable
+{
+  public:
+    ThermalTrendTable(int numProcesses, int numCores);
+
+    /** Record one de-scaled slope sample for (process, core, unit). */
+    void record(int process, int core, UnitKind unit, double slope,
+                double weight);
+
+    /** True if (process, core) has any recorded data. */
+    bool hasData(int process, int core) const;
+
+    /**
+     * Figure 6 gate: every thread profiled on at least one core and
+     * every core tested with at least two threads.
+     */
+    bool sufficient() const;
+
+    /**
+     * Estimated intensity of (process, core, unit): the recorded mean
+     * where available, otherwise the thread mean corrected by the
+     * core's offset (cores differ systematically through their
+     * neighbors, e.g. proximity to the cool L2).
+     */
+    double estimate(int process, int core, UnitKind unit) const;
+
+    int numProcesses() const { return numProcesses_; }
+    int numCores() const { return numCores_; }
+
+  private:
+    struct Cell
+    {
+        double sum = 0.0;
+        double weight = 0.0;
+
+        double mean() const { return weight > 0.0 ? sum / weight : 0.0; }
+        bool filled() const { return weight > 0.0; }
+    };
+
+    int numProcesses_;
+    int numCores_;
+    std::vector<Cell> cells_; ///< [process][core][unit0|unit1]
+
+    const Cell &cell(int process, int core, UnitKind unit) const;
+    Cell &cell(int process, int core, UnitKind unit);
+    double threadMean(int process, UnitKind unit) const;
+    double coreOffset(int core, UnitKind unit) const;
+};
+
+/** Sensor-based migration (Section 6.3, Figure 6). */
+class SensorMigrationPolicy : public MigrationPolicy
+{
+  public:
+    SensorMigrationPolicy(int numProcesses, int numCores,
+                          const DtmConfig &config);
+
+    void onTick(const MigrationObservation &obs,
+                OsKernel &kernel) override;
+
+    const ThermalTrendTable &table() const { return table_; }
+
+    /** Number of exploratory (profiling) migration rounds taken. */
+    std::uint64_t exploreRounds() const { return exploreRounds_; }
+
+  private:
+    MigrationTrigger trigger_;
+    ThermalTrendTable table_;
+    std::uint64_t exploreRounds_ = 0;
+
+    /** Minimum executed share of a window for a trend sample to carry
+     *  signal. */
+    static constexpr double minExecShare_ = 0.25;
+};
+
+/** Factory over the migration axis. */
+std::unique_ptr<MigrationPolicy> makeMigrationPolicy(
+    MigrationKind kind, int numProcesses, int numCores,
+    const DtmConfig &config);
+
+} // namespace coolcmp
+
+#endif // COOLCMP_CORE_MIGRATION_HH

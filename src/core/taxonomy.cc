@@ -1,0 +1,95 @@
+#include "core/taxonomy.hh"
+
+#include <array>
+
+namespace coolcmp {
+
+const std::string &
+mechanismName(ThrottleMechanism mechanism)
+{
+    static const std::array<std::string, 2> names = {"stop-go", "DVFS"};
+    return names[mechanism == ThrottleMechanism::StopGo ? 0 : 1];
+}
+
+const std::string &
+scopeName(ControlScope scope)
+{
+    static const std::array<std::string, 2> names = {"Global", "Dist."};
+    return names[scope == ControlScope::Global ? 0 : 1];
+}
+
+const std::string &
+migrationName(MigrationKind kind)
+{
+    static const std::array<std::string, 3> names = {
+        "no migration", "counter-based migration",
+        "sensor-based migration"};
+    switch (kind) {
+      case MigrationKind::None: return names[0];
+      case MigrationKind::CounterBased: return names[1];
+      default: return names[2];
+    }
+}
+
+std::string
+PolicyConfig::label() const
+{
+    std::string out = scopeName(scope) + " " + mechanismName(mechanism);
+    if (migration != MigrationKind::None)
+        out += ", " + migrationName(migration);
+    return out;
+}
+
+std::string
+PolicyConfig::slug() const
+{
+    std::string out =
+        scope == ControlScope::Global ? "global" : "dist";
+    out += mechanism == ThrottleMechanism::StopGo ? "-stopgo" : "-dvfs";
+    switch (migration) {
+      case MigrationKind::None: break;
+      case MigrationKind::CounterBased: out += "-counter"; break;
+      case MigrationKind::SensorBased: out += "-sensor"; break;
+    }
+    return out;
+}
+
+const std::vector<PolicyConfig> &
+allPolicies()
+{
+    static const std::vector<PolicyConfig> policies = [] {
+        std::vector<PolicyConfig> out;
+        for (MigrationKind mig :
+             {MigrationKind::None, MigrationKind::CounterBased,
+              MigrationKind::SensorBased}) {
+            for (ControlScope scope :
+                 {ControlScope::Global, ControlScope::Distributed}) {
+                for (ThrottleMechanism mech :
+                     {ThrottleMechanism::StopGo,
+                      ThrottleMechanism::Dvfs}) {
+                    out.push_back({mech, scope, mig});
+                }
+            }
+        }
+        return out;
+    }();
+    return policies;
+}
+
+const std::vector<PolicyConfig> &
+nonMigrationPolicies()
+{
+    static const std::vector<PolicyConfig> policies = {
+        {ThrottleMechanism::StopGo, ControlScope::Global,
+         MigrationKind::None},
+        {ThrottleMechanism::StopGo, ControlScope::Distributed,
+         MigrationKind::None},
+        {ThrottleMechanism::Dvfs, ControlScope::Global,
+         MigrationKind::None},
+        {ThrottleMechanism::Dvfs, ControlScope::Distributed,
+         MigrationKind::None},
+    };
+    return policies;
+}
+
+} // namespace coolcmp

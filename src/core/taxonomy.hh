@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The paper's DTM taxonomy (Table 2): three orthogonal axes forming
+ * twelve thermal-management schemes.
+ */
+
+#ifndef COOLCMP_CORE_TAXONOMY_HH
+#define COOLCMP_CORE_TAXONOMY_HH
+
+#include <string>
+#include <vector>
+
+namespace coolcmp {
+
+/** Axis 1: the low-level throttling mechanism. */
+enum class ThrottleMechanism {
+    StopGo, ///< freeze the clock for a fixed stall on a thermal trip
+    Dvfs,   ///< PI-controlled voltage/frequency scaling
+};
+
+/** Axis 2: the scale the mechanism is applied at. */
+enum class ControlScope {
+    Global,      ///< one decision for the whole chip
+    Distributed, ///< an independent controller per core
+};
+
+/** Axis 3: the OS migration policy layered on top. */
+enum class MigrationKind {
+    None,
+    CounterBased, ///< performance-counter thermal proxies (Section 6.1)
+    SensorBased,  ///< thread-core thermal-trend table (Section 6.3)
+};
+
+/** One cell of Table 2. */
+struct PolicyConfig
+{
+    ThrottleMechanism mechanism = ThrottleMechanism::StopGo;
+    ControlScope scope = ControlScope::Distributed;
+    MigrationKind migration = MigrationKind::None;
+
+    /** Short label, e.g. "Dist. DVFS + sensor-based migration". */
+    std::string label() const;
+
+    /** Compact label, e.g. "dist-dvfs-sensor". */
+    std::string slug() const;
+
+    bool operator==(const PolicyConfig &other) const = default;
+};
+
+/** The paper's baseline everything is normalized to. */
+constexpr PolicyConfig
+baselinePolicy()
+{
+    return {ThrottleMechanism::StopGo, ControlScope::Distributed,
+            MigrationKind::None};
+}
+
+/** All twelve policy combinations, in Table 2 order (mechanism fastest,
+ *  then scope, then migration). */
+const std::vector<PolicyConfig> &allPolicies();
+
+/** The four non-migration policies of Section 5. */
+const std::vector<PolicyConfig> &nonMigrationPolicies();
+
+const std::string &mechanismName(ThrottleMechanism mechanism);
+const std::string &scopeName(ControlScope scope);
+const std::string &migrationName(MigrationKind kind);
+
+} // namespace coolcmp
+
+#endif // COOLCMP_CORE_TAXONOMY_HH

@@ -1,0 +1,165 @@
+#include "core/throttle.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+ThrottleDomain::ThrottleDomain(ThrottleMechanism mechanism,
+                               const DtmConfig &config)
+    : mechanism_(mechanism), config_(config)
+{
+    if (mechanism_ == ThrottleMechanism::Dvfs) {
+        // The paper's discrete PI law with the negative-gain
+        // convention: u[n] = u[n-1] - Kp e[n] + (Kp - Ki dt) e[n-1]
+        // with e = measured - setpoint, clipped to [minScale, 1].
+        const DiscretePidCoeffs coeffs = negate(
+            discretizePidZoh(config.piGains, config.stepSeconds()));
+        pi_ = std::make_unique<DiscretePidController>(
+            coeffs, config.minFreqScale, 1.0, 1.0);
+    }
+}
+
+void
+ThrottleDomain::update(double hottestTemp, double now)
+{
+    if (mechanism_ == ThrottleMechanism::StopGo) {
+        if (now >= unavailableUntil_ &&
+            hottestTemp >= config_.stopGoTrip) {
+            // Thermal trap: freeze the domain for the full stall.
+            unavailableUntil_ = now + config_.stopGoStall;
+            ++actuations_;
+        }
+        return;
+    }
+
+    // DVFS: advance the PI regulator every sample; actuate the PLL
+    // only when the commanded change exceeds the minimum transition
+    // (Table 3: 2% of range), paying the 10 us relock penalty.
+    const double error = hottestTemp - config_.dvfsSetpoint;
+    const double commanded = pi_->update(error);
+    if (std::abs(commanded - freqScale_) >= config_.minTransition) {
+        freqScale_ = commanded;
+        unavailableUntil_ =
+            std::max(unavailableUntil_,
+                     now + config_.dvfsTransitionPenalty);
+        ++actuations_;
+    }
+}
+
+void
+ThrottleDomain::clearStall(double now)
+{
+    if (mechanism_ != ThrottleMechanism::StopGo)
+        return;
+    unavailableUntil_ = std::min(unavailableUntil_, now);
+}
+
+void
+ThrottleDomain::initializeScale(double scale)
+{
+    if (mechanism_ != ThrottleMechanism::Dvfs)
+        return;
+    scale = std::clamp(scale, config_.minFreqScale, 1.0);
+    const DiscretePidCoeffs coeffs = negate(
+        discretizePidZoh(config_.piGains, config_.stepSeconds()));
+    pi_ = std::make_unique<DiscretePidController>(
+        coeffs, config_.minFreqScale, 1.0, scale);
+    freqScale_ = scale;
+}
+
+void
+ThrottleDomain::reset()
+{
+    freqScale_ = 1.0;
+    unavailableUntil_ = 0.0;
+    actuations_ = 0;
+    if (pi_)
+        pi_->reset();
+}
+
+ThrottleBank::ThrottleBank(ThrottleMechanism mechanism,
+                           ControlScope scope, int numCores,
+                           const DtmConfig &config)
+    : scope_(scope)
+{
+    if (numCores <= 0)
+        fatal("ThrottleBank requires at least one core");
+    const int domains =
+        scope == ControlScope::Global ? 1 : numCores;
+    domains_.reserve(static_cast<std::size_t>(domains));
+    for (int d = 0; d < domains; ++d)
+        domains_.emplace_back(mechanism, config);
+}
+
+void
+ThrottleBank::update(const std::vector<double> &coreHottest, double now)
+{
+    if (scope_ == ControlScope::Global) {
+        double chipMax = -1e9;
+        for (double t : coreHottest)
+            chipMax = std::max(chipMax, t);
+        domains_[0].update(chipMax, now);
+        return;
+    }
+    if (coreHottest.size() != domains_.size())
+        panic("per-core temperature count mismatch");
+    for (std::size_t c = 0; c < domains_.size(); ++c)
+        domains_[c].update(coreHottest[c], now);
+}
+
+const ThrottleDomain &
+ThrottleBank::domainFor(int core) const
+{
+    if (scope_ == ControlScope::Global)
+        return domains_[0];
+    return domains_.at(static_cast<std::size_t>(core));
+}
+
+double
+ThrottleBank::freqScale(int core) const
+{
+    return domainFor(core).freqScale();
+}
+
+double
+ThrottleBank::voltageScale(int core) const
+{
+    return domainFor(core).voltageScale();
+}
+
+double
+ThrottleBank::unavailableUntil(int core) const
+{
+    return domainFor(core).unavailableUntil();
+}
+
+void
+ThrottleBank::clearStall(int core, double now)
+{
+    if (scope_ == ControlScope::Global) {
+        domains_[0].clearStall(now);
+        return;
+    }
+    domains_.at(static_cast<std::size_t>(core)).clearStall(now);
+}
+
+void
+ThrottleBank::initializeScale(double scale)
+{
+    for (auto &domain : domains_)
+        domain.initializeScale(scale);
+}
+
+std::uint64_t
+ThrottleBank::actuations() const
+{
+    std::uint64_t total = 0;
+    for (const auto &domain : domains_)
+        total += domain.actuations();
+    return total;
+}
+
+} // namespace coolcmp

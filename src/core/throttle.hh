@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Inner-loop throttling controllers: the stop-go trip mechanism and
+ * the PI-based DVFS regulator, applicable per core (distributed) or
+ * chip-wide (global).
+ */
+
+#ifndef COOLCMP_CORE_THROTTLE_HH
+#define COOLCMP_CORE_THROTTLE_HH
+
+#include <memory>
+#include <vector>
+
+#include "control/pi_controller.hh"
+#include "core/dtm_config.hh"
+#include "core/taxonomy.hh"
+
+namespace coolcmp {
+
+/**
+ * One throttle domain (a core, or the whole chip under global scope).
+ *
+ * Both mechanisms expose the same downstream interface: a frequency
+ * scale factor and an "unavailable until" time covering stop-go stalls
+ * and DVFS transition penalties.
+ */
+class ThrottleDomain
+{
+  public:
+    ThrottleDomain(ThrottleMechanism mechanism, const DtmConfig &config);
+
+    /**
+     * Feed the domain's hottest sensor reading at time now (called
+     * once per simulation step).
+     */
+    void update(double hottestTemp, double now);
+
+    /** Current frequency scale factor in [minFreqScale, 1]. Stop-go
+     *  domains always report 1 (they run full blast or not at all). */
+    double freqScale() const { return freqScale_; }
+
+    /** Supply voltage scale (V proportional to f under DVFS). */
+    double voltageScale() const { return freqScale_; }
+
+    /** The domain cannot execute before this time (stall/penalty). */
+    double unavailableUntil() const { return unavailableUntil_; }
+
+    /** True if the domain is currently inside a stop-go stall. */
+    bool stalled(double now) const { return now < unavailableUntil_; }
+
+    /** Number of stop-go trips or DVFS transitions taken. */
+    std::uint64_t actuations() const { return actuations_; }
+
+    ThrottleMechanism mechanism() const { return mechanism_; }
+
+    /**
+     * Start the domain at a given frequency scale (DVFS only): the
+     * run begins at a regulated operating point, so winding the PI
+     * state to the matching output avoids a spurious full-speed
+     * opening transient. No-op for stop-go domains.
+     */
+    void initializeScale(double scale);
+
+    /**
+     * Cancel an in-progress stop-go stall (a migration landed a
+     * different thread on this core, so the OS lets it resume; the
+     * trip re-fires at the next sample if the hotspot is still above
+     * the trippoint). DVFS transition penalties are not cancelable.
+     */
+    void clearStall(double now);
+
+    /** Reset to the initial (full-speed) state. */
+    void reset();
+
+  private:
+    ThrottleMechanism mechanism_;
+    const DtmConfig &config_;
+    std::unique_ptr<DiscretePidController> pi_;
+    double freqScale_ = 1.0;
+    double unavailableUntil_ = 0.0;
+    std::uint64_t actuations_ = 0;
+};
+
+/**
+ * The set of throttle domains for a chip under a given scope: one
+ * domain per core (distributed) or a single shared domain (global).
+ */
+class ThrottleBank
+{
+  public:
+    ThrottleBank(ThrottleMechanism mechanism, ControlScope scope,
+                 int numCores, const DtmConfig &config);
+
+    /**
+     * Feed per-core hottest-sensor readings. Under global scope the
+     * single controller sees the chip-wide maximum, matching Section
+     * 5.2 ("a single PI controller which calculates based on the
+     * hottest of all sensors across all cores").
+     */
+    void update(const std::vector<double> &coreHottest, double now);
+
+    /** Frequency scale currently applied to a core. */
+    double freqScale(int core) const;
+
+    /** Voltage scale currently applied to a core. */
+    double voltageScale(int core) const;
+
+    /** Time before which the core cannot execute. */
+    double unavailableUntil(int core) const;
+
+    /** Cancel the stop-go stall covering a core after a migration. */
+    void clearStall(int core, double now);
+
+    /** Start every domain at the given frequency scale (DVFS only). */
+    void initializeScale(double scale);
+
+    /** Total actuations across domains. */
+    std::uint64_t actuations() const;
+
+    ControlScope scope() const { return scope_; }
+
+  private:
+    ControlScope scope_;
+    std::vector<ThrottleDomain> domains_;
+
+    const ThrottleDomain &domainFor(int core) const;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_CORE_THROTTLE_HH

@@ -1,0 +1,105 @@
+#include "linalg/expm.hh"
+
+#include <cmath>
+
+#include "linalg/lu.hh"
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+namespace {
+
+/** Pade-13 coefficients from Higham, "The Scaling and Squaring Method
+ *  for the Matrix Exponential Revisited" (2005). */
+constexpr double pade13[] = {
+    64764752532480000.0, 32382376266240000.0, 7771770303897600.0,
+    1187353796428800.0, 129060195264000.0, 10559470521600.0,
+    670442572800.0, 33522128640.0, 1323241920.0, 40840800.0,
+    960960.0, 16380.0, 182.0, 1.0,
+};
+
+} // namespace
+
+Matrix
+expm(const Matrix &a)
+{
+    if (a.rows() != a.cols())
+        panic("expm requires a square matrix");
+    const std::size_t n = a.rows();
+
+    // Scale so that ||A/2^s|| is small enough for the Pade approximant.
+    const double norm = a.normInf();
+    int squarings = 0;
+    // theta_13 from Higham 2005.
+    const double theta13 = 5.371920351148152;
+    if (norm > theta13) {
+        squarings = static_cast<int>(
+            std::ceil(std::log2(norm / theta13)));
+        if (squarings < 0)
+            squarings = 0;
+    }
+    Matrix as = a * std::pow(2.0, -squarings);
+
+    // Pade-13: r(A) = (V + U)^{-1} is wrong order -- r = (V - U)^{-1}(V + U)
+    // where U = A * (b13 A6^2 + ... odd terms), V = even terms.
+    const Matrix a2 = as * as;
+    const Matrix a4 = a2 * a2;
+    const Matrix a6 = a4 * a2;
+
+    const Matrix ident = Matrix::identity(n);
+
+    Matrix u_inner = a6 * pade13[13] + a4 * pade13[11] + a2 * pade13[9];
+    u_inner = a6 * u_inner;
+    u_inner += a6 * pade13[7] + a4 * pade13[5] + a2 * pade13[3]
+        + ident * pade13[1];
+    const Matrix u = as * u_inner;
+
+    Matrix v = a6 * pade13[12] + a4 * pade13[10] + a2 * pade13[8];
+    v = a6 * v;
+    v += a6 * pade13[6] + a4 * pade13[4] + a2 * pade13[2]
+        + ident * pade13[0];
+
+    // Solve (V - U) R = (V + U).
+    LuDecomposition lu(v - u);
+    Matrix r = lu.solve(v + u);
+
+    for (int i = 0; i < squarings; ++i)
+        r = r * r;
+    return r;
+}
+
+ZohDiscretization
+discretizeZoh(const Matrix &a, const Matrix &b, double dt)
+{
+    if (a.rows() != a.cols())
+        panic("discretizeZoh requires square A");
+    if (b.rows() != a.rows())
+        panic("discretizeZoh: B row count must match A");
+    if (dt <= 0.0)
+        fatal("discretizeZoh requires a positive step");
+
+    const std::size_t n = a.rows();
+    const std::size_t m = b.cols();
+
+    // Exponentiate the augmented block matrix scaled by dt:
+    //   M = [[A, B], [0, 0]] * dt;  exp(M) = [[E, F], [0, I]].
+    Matrix aug(n + m, n + m, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j)
+            aug(i, j) = a(i, j) * dt;
+        for (std::size_t j = 0; j < m; ++j)
+            aug(i, n + j) = b(i, j) * dt;
+    }
+    const Matrix full = expm(aug);
+
+    ZohDiscretization out{Matrix(n, n), Matrix(n, m)};
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j)
+            out.e(i, j) = full(i, j);
+        for (std::size_t j = 0; j < m; ++j)
+            out.f(i, j) = full(i, n + j);
+    }
+    return out;
+}
+
+} // namespace coolcmp

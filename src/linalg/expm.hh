@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Matrix exponential via scaling-and-squaring with a Pade approximant.
+ *
+ * The thermal state equation C dT/dt = -G T + P is linear and
+ * time-invariant, so for a fixed step dt the exact update is
+ * T[n+1] = E T[n] + F P[n] with E = exp(A dt) and
+ * F = A^{-1} (E - I) B. Computing E once lets the transient simulator
+ * take exact steps with a single matrix-vector product, which is what
+ * makes full 0.5-second policy sweeps affordable.
+ */
+
+#ifndef COOLCMP_LINALG_EXPM_HH
+#define COOLCMP_LINALG_EXPM_HH
+
+#include "linalg/matrix.hh"
+
+namespace coolcmp {
+
+/** Compute exp(A) for a square matrix A (Pade order 13, scaling and
+ *  squaring as in Higham 2005). */
+Matrix expm(const Matrix &a);
+
+/**
+ * Zero-order-hold discretization of x' = A x + B u at step dt:
+ * returns E = exp(A dt) and F such that x[n+1] = E x[n] + F u[n]
+ * for u held constant over the step.
+ *
+ * F is computed without inverting A by exponentiating the augmented
+ * matrix [[A, B], [0, 0]], which stays valid even when A is singular.
+ */
+struct ZohDiscretization
+{
+    Matrix e; ///< state propagator exp(A dt)
+    Matrix f; ///< input propagator integral exp(A s) B ds
+};
+
+ZohDiscretization discretizeZoh(const Matrix &a, const Matrix &b, double dt);
+
+} // namespace coolcmp
+
+#endif // COOLCMP_LINALG_EXPM_HH

@@ -1,0 +1,111 @@
+#include "linalg/lu.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+LuDecomposition::LuDecomposition(Matrix a)
+    : lu_(std::move(a))
+{
+    if (lu_.rows() != lu_.cols())
+        panic("LU factorization requires a square matrix");
+    const std::size_t n = lu_.rows();
+    perm_.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        perm_[i] = i;
+
+    for (std::size_t k = 0; k < n; ++k) {
+        // Partial pivot: largest magnitude in column k at or below row k.
+        std::size_t pivot = k;
+        double best = std::abs(lu_(k, k));
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double mag = std::abs(lu_(i, k));
+            if (mag > best) {
+                best = mag;
+                pivot = i;
+            }
+        }
+        if (best == 0.0)
+            fatal("LU factorization of a singular matrix");
+        if (pivot != k) {
+            for (std::size_t j = 0; j < n; ++j)
+                std::swap(lu_(pivot, j), lu_(k, j));
+            std::swap(perm_[pivot], perm_[k]);
+            pivotSign_ = -pivotSign_;
+        }
+        const double inv = 1.0 / lu_(k, k);
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double factor = lu_(i, k) * inv;
+            lu_(i, k) = factor;
+            if (factor == 0.0)
+                continue;
+            double *ri = lu_.row(i);
+            const double *rk = lu_.row(k);
+            for (std::size_t j = k + 1; j < n; ++j)
+                ri[j] -= factor * rk[j];
+        }
+    }
+}
+
+Vector
+LuDecomposition::solve(const Vector &b) const
+{
+    const std::size_t n = lu_.rows();
+    if (b.size() != n)
+        panic("LU solve dimension mismatch");
+    Vector x(n);
+    // Apply permutation and forward-substitute L (unit diagonal).
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum = b[perm_[i]];
+        const double *ri = lu_.row(i);
+        for (std::size_t j = 0; j < i; ++j)
+            sum -= ri[j] * x[j];
+        x[i] = sum;
+    }
+    // Back-substitute U.
+    for (std::size_t ii = n; ii-- > 0;) {
+        double sum = x[ii];
+        const double *ri = lu_.row(ii);
+        for (std::size_t j = ii + 1; j < n; ++j)
+            sum -= ri[j] * x[j];
+        x[ii] = sum / ri[ii];
+    }
+    return x;
+}
+
+Matrix
+LuDecomposition::solve(const Matrix &b) const
+{
+    const std::size_t n = lu_.rows();
+    if (b.rows() != n)
+        panic("LU solve dimension mismatch");
+    Matrix x(n, b.cols());
+    Vector col(n);
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+        for (std::size_t r = 0; r < n; ++r)
+            col[r] = b(r, c);
+        Vector sol = solve(col);
+        for (std::size_t r = 0; r < n; ++r)
+            x(r, c) = sol[r];
+    }
+    return x;
+}
+
+double
+LuDecomposition::determinant() const
+{
+    double det = pivotSign_;
+    for (std::size_t i = 0; i < lu_.rows(); ++i)
+        det *= lu_(i, i);
+    return det;
+}
+
+Matrix
+LuDecomposition::inverse() const
+{
+    return solve(Matrix::identity(lu_.rows()));
+}
+
+} // namespace coolcmp

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * LU factorization with partial pivoting, used to solve the steady-state
+ * thermal system and to build the exact discrete-time propagator.
+ */
+
+#ifndef COOLCMP_LINALG_LU_HH
+#define COOLCMP_LINALG_LU_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace coolcmp {
+
+/**
+ * PA = LU factorization of a square matrix with partial pivoting.
+ * The factorization is computed once and can solve many right-hand
+ * sides, which matches how the thermal solver uses it.
+ */
+class LuDecomposition
+{
+  public:
+    /** Factor the given square matrix. Fails fatally if singular. */
+    explicit LuDecomposition(Matrix a);
+
+    /** Solve A x = b. */
+    Vector solve(const Vector &b) const;
+
+    /** Solve A X = B column-by-column. */
+    Matrix solve(const Matrix &b) const;
+
+    /** Determinant of A (product of U diagonal with pivot sign). */
+    double determinant() const;
+
+    /** Inverse of A. Prefer solve() when possible. */
+    Matrix inverse() const;
+
+    /** Order of the factored matrix. */
+    std::size_t order() const { return lu_.rows(); }
+
+  private:
+    Matrix lu_;
+    std::vector<std::size_t> perm_;
+    int pivotSign_ = 1;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_LINALG_LU_HH

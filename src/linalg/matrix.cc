@@ -1,0 +1,176 @@
+#include "linalg/matrix.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::diagonal(const Vector &d)
+{
+    Matrix m(d.size(), d.size());
+    for (std::size_t i = 0; i < d.size(); ++i)
+        m(i, i) = d[i];
+    return m;
+}
+
+Matrix
+Matrix::operator*(const Matrix &rhs) const
+{
+    if (cols_ != rhs.rows_)
+        panic("Matrix multiply dimension mismatch: ", rows_, "x", cols_,
+              " * ", rhs.rows_, "x", rhs.cols_);
+    Matrix out(rows_, rhs.cols_);
+    // ikj loop order for cache-friendly row-major access.
+    for (std::size_t i = 0; i < rows_; ++i) {
+        const double *a = row(i);
+        double *o = out.row(i);
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double aik = a[k];
+            if (aik == 0.0)
+                continue;
+            const double *b = rhs.row(k);
+            for (std::size_t j = 0; j < rhs.cols_; ++j)
+                o[j] += aik * b[j];
+        }
+    }
+    return out;
+}
+
+Vector
+Matrix::operator*(const Vector &x) const
+{
+    if (cols_ != x.size())
+        panic("Matrix-vector dimension mismatch");
+    Vector y(rows_, 0.0);
+    multiply(x.data(), y.data());
+    return y;
+}
+
+void
+Matrix::multiply(const double *x, double *y) const
+{
+    for (std::size_t i = 0; i < rows_; ++i) {
+        const double *a = row(i);
+        double sum = 0.0;
+        for (std::size_t j = 0; j < cols_; ++j)
+            sum += a[j] * x[j];
+        y[i] = sum;
+    }
+}
+
+Matrix
+Matrix::operator+(const Matrix &rhs) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        panic("Matrix add dimension mismatch");
+    Matrix out = *this;
+    out += rhs;
+    return out;
+}
+
+Matrix
+Matrix::operator-(const Matrix &rhs) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        panic("Matrix subtract dimension mismatch");
+    Matrix out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] -= rhs.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator*(double s) const
+{
+    Matrix out = *this;
+    out *= s;
+    return out;
+}
+
+Matrix &
+Matrix::operator+=(const Matrix &rhs)
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        panic("Matrix add dimension mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += rhs.data_[i];
+    return *this;
+}
+
+Matrix &
+Matrix::operator*=(double s)
+{
+    for (double &v : data_)
+        v *= s;
+    return *this;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            out(j, i) = (*this)(i, j);
+    return out;
+}
+
+double
+Matrix::normInf() const
+{
+    double best = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) {
+        double sum = 0.0;
+        const double *a = row(i);
+        for (std::size_t j = 0; j < cols_; ++j)
+            sum += std::abs(a[j]);
+        if (sum > best)
+            best = sum;
+    }
+    return best;
+}
+
+void
+axpy(double a, const Vector &x, Vector &y)
+{
+    if (x.size() != y.size())
+        panic("axpy dimension mismatch");
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] += a * x[i];
+}
+
+double
+norm2(const Vector &x)
+{
+    double sum = 0.0;
+    for (double v : x)
+        sum += v * v;
+    return std::sqrt(sum);
+}
+
+double
+normInf(const Vector &x)
+{
+    double best = 0.0;
+    for (double v : x)
+        best = std::max(best, std::abs(v));
+    return best;
+}
+
+} // namespace coolcmp

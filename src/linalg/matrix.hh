@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Dense row-major matrix and vector types for the thermal RC network and
+ * the control-theory analyses.
+ *
+ * The networks in this project are at most a few hundred nodes, so a
+ * straightforward dense implementation is both simpler and faster than a
+ * sparse one (the factorizations are reused thousands of times while the
+ * factor cost is paid once).
+ */
+
+#ifndef COOLCMP_LINALG_MATRIX_HH
+#define COOLCMP_LINALG_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace coolcmp {
+
+/** Dense vector of doubles. */
+using Vector = std::vector<double>;
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** rows x cols matrix filled with fill. */
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+    /** Identity matrix of the given order. */
+    static Matrix identity(std::size_t n);
+
+    /** Diagonal matrix from a vector. */
+    static Matrix diagonal(const Vector &d);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /** Element access (unchecked in release builds beyond vector). */
+    double &operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Raw row pointer, for inner-loop kernels. */
+    double *row(std::size_t r) { return data_.data() + r * cols_; }
+    const double *row(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+    /** Matrix-matrix product; dimensions must agree. */
+    Matrix operator*(const Matrix &rhs) const;
+
+    /** Matrix-vector product; dimensions must agree. */
+    Vector operator*(const Vector &x) const;
+
+    /** Elementwise sum/difference; dimensions must agree. */
+    Matrix operator+(const Matrix &rhs) const;
+    Matrix operator-(const Matrix &rhs) const;
+
+    /** Scalar product. */
+    Matrix operator*(double s) const;
+
+    Matrix &operator+=(const Matrix &rhs);
+    Matrix &operator*=(double s);
+
+    /** Transpose. */
+    Matrix transposed() const;
+
+    /** Max absolute row sum (infinity norm). */
+    double normInf() const;
+
+    /** Multiply into a preallocated output vector: y = A x. */
+    void multiply(const double *x, double *y) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/** y = a*x + y for vectors. */
+void axpy(double a, const Vector &x, Vector &y);
+
+/** Euclidean norm. */
+double norm2(const Vector &x);
+
+/** Max-abs norm. */
+double normInf(const Vector &x);
+
+} // namespace coolcmp
+
+#endif // COOLCMP_LINALG_MATRIX_HH

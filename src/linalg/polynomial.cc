@@ -1,0 +1,168 @@
+#include "linalg/polynomial.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+Polynomial::Polynomial(std::vector<double> coeffs)
+    : coeffs_(std::move(coeffs))
+{
+    trim();
+}
+
+void
+Polynomial::trim()
+{
+    while (coeffs_.size() > 1 && coeffs_.back() == 0.0)
+        coeffs_.pop_back();
+}
+
+std::size_t
+Polynomial::degree() const
+{
+    return coeffs_.empty() ? 0 : coeffs_.size() - 1;
+}
+
+double
+Polynomial::coeff(std::size_t i) const
+{
+    return i < coeffs_.size() ? coeffs_[i] : 0.0;
+}
+
+double
+Polynomial::operator()(double x) const
+{
+    double acc = 0.0;
+    for (std::size_t i = coeffs_.size(); i-- > 0;)
+        acc = acc * x + coeffs_[i];
+    return acc;
+}
+
+std::complex<double>
+Polynomial::operator()(std::complex<double> x) const
+{
+    std::complex<double> acc = 0.0;
+    for (std::size_t i = coeffs_.size(); i-- > 0;)
+        acc = acc * x + coeffs_[i];
+    return acc;
+}
+
+Polynomial
+Polynomial::operator+(const Polynomial &rhs) const
+{
+    std::vector<double> out(std::max(coeffs_.size(), rhs.coeffs_.size()),
+                            0.0);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = coeff(i) + rhs.coeff(i);
+    return Polynomial(std::move(out));
+}
+
+Polynomial
+Polynomial::operator-(const Polynomial &rhs) const
+{
+    std::vector<double> out(std::max(coeffs_.size(), rhs.coeffs_.size()),
+                            0.0);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = coeff(i) - rhs.coeff(i);
+    return Polynomial(std::move(out));
+}
+
+Polynomial
+Polynomial::operator*(const Polynomial &rhs) const
+{
+    if (isZero() || rhs.isZero())
+        return Polynomial({0.0});
+    std::vector<double> out(coeffs_.size() + rhs.coeffs_.size() - 1, 0.0);
+    for (std::size_t i = 0; i < coeffs_.size(); ++i)
+        for (std::size_t j = 0; j < rhs.coeffs_.size(); ++j)
+            out[i + j] += coeffs_[i] * rhs.coeffs_[j];
+    return Polynomial(std::move(out));
+}
+
+Polynomial
+Polynomial::operator*(double s) const
+{
+    std::vector<double> out = coeffs_;
+    for (double &c : out)
+        c *= s;
+    return Polynomial(std::move(out));
+}
+
+Polynomial
+Polynomial::derivative() const
+{
+    if (coeffs_.size() <= 1)
+        return Polynomial({0.0});
+    std::vector<double> out(coeffs_.size() - 1);
+    for (std::size_t i = 1; i < coeffs_.size(); ++i)
+        out[i - 1] = coeffs_[i] * static_cast<double>(i);
+    return Polynomial(std::move(out));
+}
+
+bool
+Polynomial::isZero() const
+{
+    for (double c : coeffs_)
+        if (c != 0.0)
+            return false;
+    return true;
+}
+
+std::vector<std::complex<double>>
+Polynomial::roots(double tol, int maxIter) const
+{
+    if (isZero())
+        fatal("roots() of the zero polynomial is undefined");
+    const std::size_t n = degree();
+    if (n == 0)
+        return {};
+
+    // Normalize to a monic polynomial.
+    std::vector<std::complex<double>> monic(n + 1);
+    const double lead = coeffs_.back();
+    for (std::size_t i = 0; i <= n; ++i)
+        monic[i] = coeffs_[i] / lead;
+
+    auto eval = [&](std::complex<double> x) {
+        std::complex<double> acc = 0.0;
+        for (std::size_t i = n + 1; i-- > 0;)
+            acc = acc * x + monic[i];
+        return acc;
+    };
+
+    // Initial guesses on a circle of radius based on coefficient bounds,
+    // at non-symmetric angles (standard Durand-Kerner seeding).
+    double radius = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        radius = std::max(radius, std::abs(monic[i]));
+    radius = 1.0 + radius;
+
+    std::vector<std::complex<double>> z(n);
+    const std::complex<double> seed(0.4, 0.9);
+    std::complex<double> cur(1.0, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        cur *= seed;
+        z[i] = cur * radius;
+    }
+
+    for (int iter = 0; iter < maxIter; ++iter) {
+        double worst = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::complex<double> denom = 1.0;
+            for (std::size_t j = 0; j < n; ++j)
+                if (j != i)
+                    denom *= z[i] - z[j];
+            const std::complex<double> delta = eval(z[i]) / denom;
+            z[i] -= delta;
+            worst = std::max(worst, std::abs(delta));
+        }
+        if (worst < tol)
+            break;
+    }
+    return z;
+}
+
+} // namespace coolcmp

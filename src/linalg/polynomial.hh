@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Real-coefficient polynomials and root finding.
+ *
+ * Used by the control library to locate the poles of transfer functions
+ * and to run the root-locus style stability check the paper performs in
+ * MATLAB (Section 4.1): every closed-loop pole must lie strictly in the
+ * left half of the s-plane (or inside the unit circle in z).
+ */
+
+#ifndef COOLCMP_LINALG_POLYNOMIAL_HH
+#define COOLCMP_LINALG_POLYNOMIAL_HH
+
+#include <complex>
+#include <vector>
+
+namespace coolcmp {
+
+/**
+ * Polynomial with real coefficients, stored lowest-degree first:
+ * p(x) = c[0] + c[1] x + ... + c[n] x^n.
+ */
+class Polynomial
+{
+  public:
+    /** Zero polynomial. */
+    Polynomial() = default;
+
+    /** From coefficients, lowest degree first. Trailing zeros trimmed. */
+    explicit Polynomial(std::vector<double> coeffs);
+
+    /** Degree; the zero polynomial reports degree 0. */
+    std::size_t degree() const;
+
+    /** Coefficient of x^i (0 if beyond degree). */
+    double coeff(std::size_t i) const;
+
+    /** All coefficients, lowest degree first. */
+    const std::vector<double> &coeffs() const { return coeffs_; }
+
+    /** Evaluate at a real point (Horner). */
+    double operator()(double x) const;
+
+    /** Evaluate at a complex point (Horner). */
+    std::complex<double> operator()(std::complex<double> x) const;
+
+    /** Polynomial arithmetic. */
+    Polynomial operator+(const Polynomial &rhs) const;
+    Polynomial operator-(const Polynomial &rhs) const;
+    Polynomial operator*(const Polynomial &rhs) const;
+    Polynomial operator*(double s) const;
+
+    /** Derivative polynomial. */
+    Polynomial derivative() const;
+
+    /** True if all coefficients are zero. */
+    bool isZero() const;
+
+    /**
+     * All complex roots via the Durand-Kerner (Weierstrass) iteration.
+     * Converges for the modest-degree polynomials used here.
+     */
+    std::vector<std::complex<double>> roots(
+        double tol = 1e-12, int maxIter = 2000) const;
+
+  private:
+    std::vector<double> coeffs_;
+
+    void trim();
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_LINALG_POLYNOMIAL_HH

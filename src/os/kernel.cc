@@ -1,0 +1,140 @@
+#include "os/kernel.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+OsKernel::OsKernel(int numCores, std::vector<Process> processes,
+                   const KernelParams &params)
+    : numCores_(numCores), params_(params),
+      processes_(std::move(processes)),
+      assignment_(static_cast<std::size_t>(numCores), -1),
+      frozenUntil_(static_cast<std::size_t>(numCores), 0.0),
+      lastMigration_(-params.migrationMinInterval)
+{
+    if (numCores_ <= 0)
+        fatal("OsKernel requires at least one core");
+    if (processes_.size() < static_cast<std::size_t>(numCores_))
+        fatal("OsKernel requires at least one process per core");
+    for (std::size_t i = 0; i < processes_.size(); ++i) {
+        if (processes_[i].id() != static_cast<int>(i))
+            fatal("process ids must be dense and in order");
+        if (i < static_cast<std::size_t>(numCores_))
+            assignment_[i] = static_cast<int>(i);
+        else
+            waiting_.push_back(static_cast<int>(i));
+    }
+}
+
+Process *
+OsKernel::runningOn(int core)
+{
+    const int id = assignment_.at(static_cast<std::size_t>(core));
+    return id < 0 ? nullptr : &processes_[static_cast<std::size_t>(id)];
+}
+
+const Process *
+OsKernel::runningOn(int core) const
+{
+    const int id = assignment_.at(static_cast<std::size_t>(core));
+    return id < 0 ? nullptr : &processes_[static_cast<std::size_t>(id)];
+}
+
+Process &
+OsKernel::process(int id)
+{
+    return processes_.at(static_cast<std::size_t>(id));
+}
+
+const Process &
+OsKernel::process(int id) const
+{
+    return processes_.at(static_cast<std::size_t>(id));
+}
+
+void
+OsKernel::freeze(int core, double now)
+{
+    double &until = frozenUntil_[static_cast<std::size_t>(core)];
+    const double newUntil = now + params_.migrationPenalty;
+    // Overlapping freezes only extend, never double-charge.
+    totalPenaltyTime_ += newUntil - std::max(until, now);
+    until = std::max(until, newUntil);
+}
+
+void
+OsKernel::advanceTo(double now)
+{
+    if (now < lastTick_)
+        panic("kernel time must be monotonic");
+    lastTick_ = now;
+
+    // Round-robin time slicing when oversubscribed: every quantum, each
+    // core's thread is parked and the longest-waiting thread runs.
+    if (!waiting_.empty() &&
+        now - lastRotation_ >= params_.timeSliceQuantum) {
+        lastRotation_ = now;
+        // Swap in exactly the threads that were waiting at the start
+        // of the pass; threads parked by this pass wait their turn.
+        const auto swaps = std::min<std::size_t>(
+            waiting_.size(), static_cast<std::size_t>(numCores_));
+        for (std::size_t i = 0; i < swaps; ++i) {
+            const int core = static_cast<int>(i);
+            const int next = waiting_.front();
+            waiting_.pop_front();
+            const int old = assignment_[static_cast<std::size_t>(core)];
+            if (old >= 0)
+                waiting_.push_back(old);
+            assignment_[static_cast<std::size_t>(core)] = next;
+            freeze(core, now);
+        }
+    }
+}
+
+bool
+OsKernel::isFrozen(int core, double now) const
+{
+    return now < frozenUntil_.at(static_cast<std::size_t>(core));
+}
+
+bool
+OsKernel::migrationAllowed(double now) const
+{
+    return now - lastMigration_ >= params_.migrationMinInterval;
+}
+
+int
+OsKernel::migrate(const std::vector<int> &newAssignment, double now)
+{
+    if (newAssignment.size() != assignment_.size())
+        panic("migration assignment size mismatch");
+    if (!migrationAllowed(now))
+        return 0;
+
+    // Validate: must be a permutation of the currently running ids.
+    std::vector<int> current = assignment_;
+    std::vector<int> proposed = newAssignment;
+    std::sort(current.begin(), current.end());
+    std::sort(proposed.begin(), proposed.end());
+    if (current != proposed)
+        panic("migration must permute the running processes");
+
+    int switched = 0;
+    for (int core = 0; core < numCores_; ++core) {
+        const auto idx = static_cast<std::size_t>(core);
+        if (assignment_[idx] != newAssignment[idx]) {
+            assignment_[idx] = newAssignment[idx];
+            freeze(core, now);
+            ++switched;
+        }
+    }
+    if (switched > 0) {
+        lastMigration_ = now;
+        migrationCount_ += static_cast<std::uint64_t>(switched);
+    }
+    return switched;
+}
+
+} // namespace coolcmp

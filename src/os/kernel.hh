@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Operating-system model: run queues, timer interrupts, and migration
+ * actuation.
+ *
+ * The paper's migration policies are "implemented via OS control"
+ * (Section 6): decisions are taken at timer-interrupt granularity, at
+ * most one migration round every 10 ms, and every core involved in a
+ * migration is frozen for a 100 us context-switch penalty (Table 3).
+ * The kernel also time-slices when there are more runnable processes
+ * than cores, which the paper notes "can easily" happen in any real
+ * system.
+ */
+
+#ifndef COOLCMP_OS_KERNEL_HH
+#define COOLCMP_OS_KERNEL_HH
+
+#include <deque>
+#include <vector>
+
+#include "os/process.hh"
+#include "util/units.hh"
+
+namespace coolcmp {
+
+/** Kernel timing parameters. */
+struct KernelParams
+{
+    double timerInterval = milliseconds(1);       ///< scheduler tick
+    double migrationMinInterval = milliseconds(10);
+    double migrationPenalty = microseconds(100);  ///< per involved core
+    double timeSliceQuantum = milliseconds(10);   ///< when over-
+                                                  ///< subscribed
+};
+
+/** Scheduler and migration mechanics for one chip. */
+class OsKernel
+{
+  public:
+    /**
+     * @param numCores cores on the chip
+     * @param processes all runnable processes (>= numCores); the first
+     * numCores start running on cores 0..numCores-1 in order.
+     */
+    OsKernel(int numCores, std::vector<Process> processes,
+             const KernelParams &params = {});
+
+    int numCores() const { return numCores_; }
+    std::size_t numProcesses() const { return processes_.size(); }
+
+    const KernelParams &params() const { return params_; }
+
+    /** Process currently running on a core, or nullptr if idle. */
+    Process *runningOn(int core);
+    const Process *runningOn(int core) const;
+
+    /** Process by id. */
+    Process &process(int id);
+    const Process &process(int id) const;
+
+    /** Current core->process-id assignment (-1 = idle core). */
+    const std::vector<int> &assignment() const { return assignment_; }
+
+    /**
+     * Advance kernel time. Handles timer ticks and, when there are
+     * more processes than cores, round-robin time slicing (rotations
+     * take the same context-switch penalty as migrations).
+     * @param now new absolute time in seconds
+     */
+    void advanceTo(double now);
+
+    /** True while the core is paying a context-switch penalty. */
+    bool isFrozen(int core, double now) const;
+
+    /** Absolute time until which the core is context-switch frozen. */
+    double frozenUntil(int core) const
+    {
+        return frozenUntil_.at(static_cast<std::size_t>(core));
+    }
+
+    /** True if a migration round may be actuated now (>= 10 ms since
+     *  the last one). */
+    bool migrationAllowed(double now) const;
+
+    /**
+     * Actuate a migration round: newAssignment[c] gives the process id
+     * to run on core c (must be a permutation over the currently
+     * running ids). Cores whose process changes are frozen for the
+     * penalty. No-op (returns 0) if migration is rate-limited or the
+     * assignment is unchanged.
+     * @return number of cores that actually switched threads.
+     */
+    int migrate(const std::vector<int> &newAssignment, double now);
+
+    /** Total migrations actuated (cores switched). */
+    std::uint64_t migrationCount() const { return migrationCount_; }
+
+    /** Total context-switch penalty time accumulated across cores. */
+    double totalPenaltyTime() const { return totalPenaltyTime_; }
+
+  private:
+    int numCores_;
+    KernelParams params_;
+    std::vector<Process> processes_;
+    std::vector<int> assignment_;     ///< core -> process id
+    std::vector<double> frozenUntil_; ///< per core
+    std::deque<int> waiting_;         ///< ids not currently on a core
+    double lastMigration_;
+    double lastRotation_ = 0.0;
+    double lastTick_ = 0.0;
+    std::uint64_t migrationCount_ = 0;
+    double totalPenaltyTime_ = 0.0;
+
+    void freeze(int core, double now);
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_OS_KERNEL_HH

@@ -1,0 +1,61 @@
+#include "os/process.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+Process::Process(int id, std::shared_ptr<const PowerTrace> trace)
+    : id_(id), trace_(std::move(trace))
+{
+    if (!trace_ || trace_->empty())
+        fatal("process ", id, " needs a non-empty power trace");
+}
+
+std::size_t
+Process::currentInterval() const
+{
+    const double interval =
+        positionCycles_ / static_cast<double>(trace_->intervalCycles());
+    return static_cast<std::size_t>(interval) % trace_->numPoints();
+}
+
+const TracePoint &
+Process::currentPoint() const
+{
+    return trace_->point(currentInterval());
+}
+
+double
+Process::advance(double cycles)
+{
+    if (cycles < 0.0)
+        panic("Process::advance with negative cycles");
+    if (cycles == 0.0)
+        return 0.0;
+
+    // Work executed in this step runs at the current interval's rates;
+    // steps are at most one interval long, so the first-order
+    // approximation of not splitting at the boundary is tiny.
+    const TracePoint &pt = currentPoint();
+    const double share =
+        cycles / static_cast<double>(trace_->intervalCycles());
+    const double insts = static_cast<double>(pt.instructions) * share;
+
+    counters_.adjustedCycles += cycles;
+    counters_.instructions += insts;
+    counters_.intRfAccesses += pt.intRfPerCycle * cycles;
+    counters_.fpRfAccesses += pt.fpRfPerCycle * cycles;
+
+    positionCycles_ += cycles;
+    // Keep the position bounded (the trace loops).
+    const double traceCycles =
+        static_cast<double>(trace_->intervalCycles()) *
+        static_cast<double>(trace_->numPoints());
+    if (positionCycles_ >= traceCycles)
+        positionCycles_ = std::fmod(positionCycles_, traceCycles);
+    return insts;
+}
+
+} // namespace coolcmp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Processes as the OS-level thermal managers see them: a looping power
+ * trace plus the performance counters the counter-based migration
+ * policy reads (Section 6.1: cycle counts, integer and floating-point
+ * register file accesses, instructions executed).
+ */
+
+#ifndef COOLCMP_OS_PROCESS_HH
+#define COOLCMP_OS_PROCESS_HH
+
+#include <memory>
+#include <string>
+
+#include "power/trace.hh"
+
+namespace coolcmp {
+
+/** Hardware performance counters attributed to one thread. */
+struct PerfCounters
+{
+    double adjustedCycles = 0.0; ///< executed cycles (at any frequency)
+    double instructions = 0.0;
+    double intRfAccesses = 0.0;
+    double fpRfAccesses = 0.0;
+
+    /** Integer RF accesses per adjusted cycle (Section 6.1). */
+    double intRfPerCycle() const
+    {
+        return adjustedCycles > 0.0 ? intRfAccesses / adjustedCycles
+                                    : 0.0;
+    }
+
+    /** FP RF accesses per adjusted cycle. */
+    double fpRfPerCycle() const
+    {
+        return adjustedCycles > 0.0 ? fpRfAccesses / adjustedCycles
+                                    : 0.0;
+    }
+
+    void clear() { *this = PerfCounters(); }
+};
+
+/** One schedulable process bound to a looping power trace. */
+class Process
+{
+  public:
+    /**
+     * @param id process id (0-based)
+     * @param trace the benchmark's power trace (shared, immutable)
+     */
+    Process(int id, std::shared_ptr<const PowerTrace> trace);
+
+    int id() const { return id_; }
+    const std::string &benchmark() const { return trace_->benchmark(); }
+    const PowerTrace &trace() const { return *trace_; }
+
+    /** Current trace interval index (wraps). */
+    std::size_t currentInterval() const;
+
+    /** The trace point at the current position. */
+    const TracePoint &currentPoint() const;
+
+    /**
+     * Execute the process for the given number of core cycles,
+     * advancing the trace position and charging performance counters.
+     * @return instructions completed.
+     */
+    double advance(double cycles);
+
+    /** Cumulative hardware counters for this thread. */
+    const PerfCounters &counters() const { return counters_; }
+    PerfCounters &counters() { return counters_; }
+
+    /** Total instructions completed so far. */
+    double instructionsCompleted() const
+    {
+        return counters_.instructions;
+    }
+
+  private:
+    int id_;
+    std::shared_ptr<const PowerTrace> trace_;
+    double positionCycles_ = 0.0; ///< nominal cycles into the trace
+    PerfCounters counters_;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_OS_PROCESS_HH

@@ -1,0 +1,39 @@
+#include "power/leakage.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+LeakageParams
+LeakageParams::mobile()
+{
+    LeakageParams p;
+    p.densityAtRef = 3.5e4;
+    p.nominalVdd = 1.1;
+    return p;
+}
+
+LeakageModel::LeakageModel(const Floorplan &floorplan,
+                           const LeakageParams &params)
+    : params_(params)
+{
+    if (params_.densityAtRef < 0.0)
+        fatal("leakage density must be non-negative");
+    areas_.reserve(floorplan.numBlocks());
+    for (const auto &blk : floorplan.blocks())
+        areas_.push_back(blk.area());
+}
+
+double
+LeakageModel::blockLeakage(std::size_t block, double tempC,
+                           double vdd) const
+{
+    const double base = params_.densityAtRef * areas_.at(block);
+    const double vddScale = vdd / params_.nominalVdd;
+    return base * vddScale *
+        std::exp(params_.beta * (tempC - params_.refTemp));
+}
+
+} // namespace coolcmp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Temperature-dependent leakage power.
+ *
+ * The paper computes leakage dynamically from HotSpot's temperatures
+ * using the empirical exponential equation of Heo, Barr and Asanovic
+ * (Section 3.3). We use the same functional form:
+ *     P_leak(T, V) = P0 * area * (V / Vnom) * exp(beta * (T - T0))
+ * evaluated per floorplan block every simulation interval, closing the
+ * leakage-temperature feedback loop.
+ */
+
+#ifndef COOLCMP_POWER_LEAKAGE_HH
+#define COOLCMP_POWER_LEAKAGE_HH
+
+#include "linalg/matrix.hh"
+#include "thermal/floorplan.hh"
+
+namespace coolcmp {
+
+/** Calibration of the exponential leakage model. */
+struct LeakageParams
+{
+    /** Leakage power density at the reference point, W/m^2. */
+    double densityAtRef = 1.7e5;
+
+    /** Reference temperature, C. */
+    double refTemp = 85.0;
+
+    /** Exponential temperature coefficient, 1/K (doubling every
+     *  ~22 C). */
+    double beta = 0.032;
+
+    /** Nominal supply voltage the density was calibrated at. */
+    double nominalVdd = 1.0;
+
+    /** Lower-leakage mobile process calibration. */
+    static LeakageParams mobile();
+};
+
+/** Per-block leakage evaluator over one floorplan. */
+class LeakageModel
+{
+  public:
+    LeakageModel(const Floorplan &floorplan, const LeakageParams &params);
+
+    /**
+     * Leakage power of block b at temperature tempC and supply vdd.
+     */
+    double blockLeakage(std::size_t block, double tempC,
+                        double vdd) const;
+
+    /**
+     * Leakage of all blocks given die temperatures. vddOf maps a block
+     * index to the supply it currently sees (per-core DVFS domains).
+     */
+    template <typename VddFn>
+    void
+    addLeakage(const Vector &blockTemps, VddFn &&vddOf,
+               Vector &powersInOut) const
+    {
+        for (std::size_t b = 0; b < areas_.size(); ++b)
+            powersInOut[b] +=
+                blockLeakage(b, blockTemps[b], vddOf(b));
+    }
+
+    const LeakageParams &params() const { return params_; }
+
+  private:
+    LeakageParams params_;
+    std::vector<double> areas_;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_POWER_LEAKAGE_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Per-unit dynamic power model (the PowerTimer stand-in).
+ *
+ * Each unit's dynamic power over an interval is an idle (clock) term
+ * plus an activity term proportional to its access count, evaluated at
+ * the nominal voltage and frequency:
+ *     P_unit = idle + energyPerAccess * accesses / intervalTime.
+ * DVFS rescaling happens downstream in the DTM simulator: with V
+ * proportional to f, dynamic power scales as s^3 for frequency scale
+ * factor s (the cubic relation the paper uses in Sections 6.1/6.3).
+ */
+
+#ifndef COOLCMP_POWER_POWER_MODEL_HH
+#define COOLCMP_POWER_POWER_MODEL_HH
+
+#include "thermal/unit.hh"
+#include "uarch/activity.hh"
+
+namespace coolcmp {
+
+/** Calibration of one unit's dynamic power. */
+struct UnitPowerParams
+{
+    double idleWatts = 0.0;       ///< clock/precharge power when active
+    double energyPerAccess = 0.0; ///< joules per access at nominal V/f
+};
+
+/** Full dynamic power calibration. */
+struct PowerModelParams
+{
+    double nominalFreq = 3.6e9; ///< Hz (Table 3)
+    double nominalVdd = 1.0;    ///< V (Table 3)
+
+    PerUnit<UnitPowerParams> units;
+
+    /**
+     * Desktop 90 nm calibration for the Table 3 CMP. Constants are
+     * chosen so that (a) hot integer codes stress the IntRF block into
+     * thermal duress at full speed on the desktop package, (b) fp
+     * codes stress FpRF instead, and (c) full-chip power lands in the
+     * tens of watts, as appropriate for the era.
+     */
+    static PowerModelParams table3Calibrated();
+
+    /** Mobile (Banias-like, 1.5 GHz / 1.1 V-ish) calibration for the
+     *  Table 1 experiment. */
+    static PowerModelParams mobileCalibrated();
+};
+
+/** Evaluates per-unit dynamic power from activity counts. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const PowerModelParams &params);
+
+    const PowerModelParams &params() const { return params_; }
+
+    /**
+     * Dynamic power of every unit over an interval at nominal V/f.
+     * @param counts activity over the interval (counts.cycles > 0)
+     */
+    PerUnit<double> dynamicPower(const ActivityCounts &counts) const;
+
+    /** Sum over units of a per-unit power vector. */
+    static double totalPower(const PerUnit<double> &power);
+
+  private:
+    PowerModelParams params_;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_POWER_POWER_MODEL_HH

@@ -1,0 +1,117 @@
+#include "power/trace.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+namespace {
+
+constexpr const char *traceMagic = "coolcmp-trace-v1";
+
+} // namespace
+
+PowerTrace::PowerTrace(std::string benchmark,
+                       std::uint64_t intervalCycles, double nominalFreq)
+    : benchmark_(std::move(benchmark)), intervalCycles_(intervalCycles),
+      nominalFreq_(nominalFreq)
+{
+    if (intervalCycles_ == 0)
+        fatal("trace interval must be positive");
+    if (nominalFreq_ <= 0.0)
+        fatal("trace nominal frequency must be positive");
+}
+
+void
+PowerTrace::addPoint(const TracePoint &point)
+{
+    points_.push_back(point);
+}
+
+double
+PowerTrace::intervalSeconds() const
+{
+    return static_cast<double>(intervalCycles_) / nominalFreq_;
+}
+
+const TracePoint &
+PowerTrace::point(std::size_t index) const
+{
+    if (points_.empty())
+        panic("point() on an empty trace");
+    return points_[index % points_.size()];
+}
+
+double
+PowerTrace::averageTotalPower() const
+{
+    if (points_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &pt : points_)
+        for (double p : pt.power)
+            sum += p;
+    return sum / static_cast<double>(points_.size());
+}
+
+double
+PowerTrace::averageIpc() const
+{
+    if (points_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &pt : points_)
+        sum += pt.ipc;
+    return sum / static_cast<double>(points_.size());
+}
+
+void
+PowerTrace::save(std::ostream &os) const
+{
+    os << traceMagic << "\n";
+    os << benchmark_ << "\n";
+    os << intervalCycles_ << " " << nominalFreq_ << " " << points_.size()
+       << "\n";
+    os.precision(12);
+    for (const auto &pt : points_) {
+        for (double p : pt.power)
+            os << p << " ";
+        os << pt.instructions << " " << pt.ipc << " "
+           << pt.intRfPerCycle << " " << pt.fpRfPerCycle << "\n";
+    }
+}
+
+bool
+PowerTrace::load(std::istream &is, PowerTrace &out)
+{
+    std::string magic;
+    if (!std::getline(is, magic) || magic != traceMagic)
+        return false;
+    std::string name;
+    if (!std::getline(is, name))
+        return false;
+    std::uint64_t intervalCycles = 0;
+    double freq = 0.0;
+    std::size_t count = 0;
+    if (!(is >> intervalCycles >> freq >> count))
+        return false;
+    if (intervalCycles == 0 || freq <= 0.0)
+        return false;
+    PowerTrace trace(name, intervalCycles, freq);
+    for (std::size_t i = 0; i < count; ++i) {
+        TracePoint pt;
+        for (double &p : pt.power)
+            if (!(is >> p))
+                return false;
+        if (!(is >> pt.instructions >> pt.ipc >> pt.intRfPerCycle >>
+              pt.fpRfPerCycle))
+            return false;
+        trace.addPoint(pt);
+    }
+    out = std::move(trace);
+    return true;
+}
+
+} // namespace coolcmp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Power traces: the interface between the architecture/power level and
+ * the thermal/timing DTM simulator (Figure 2 of the paper).
+ *
+ * A trace is a sequence of fixed-length intervals (100k cycles = one
+ * thermal sample in the paper), each carrying per-unit dynamic power
+ * at nominal voltage/frequency plus the performance-counter values the
+ * migration policies read. Traces restart from the beginning when
+ * exhausted, exactly as in the paper (Section 3.3).
+ */
+
+#ifndef COOLCMP_POWER_TRACE_HH
+#define COOLCMP_POWER_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "thermal/unit.hh"
+
+namespace coolcmp {
+
+/** One interval of a power trace. */
+struct TracePoint
+{
+    /** Per-unit dynamic power at nominal V/f, watts. */
+    PerUnit<double> power;
+
+    /** Committed instructions in the interval. */
+    std::uint64_t instructions = 0;
+
+    /** Performance-counter rates the OS migration policy reads. */
+    double ipc = 0.0;
+    double intRfPerCycle = 0.0;
+    double fpRfPerCycle = 0.0;
+};
+
+/** A benchmark's complete looping power trace. */
+class PowerTrace
+{
+  public:
+    PowerTrace() = default;
+
+    /**
+     * @param benchmark benchmark name the trace belongs to
+     * @param intervalCycles cycles per interval at nominal frequency
+     * @param nominalFreq nominal clock in Hz
+     */
+    PowerTrace(std::string benchmark, std::uint64_t intervalCycles,
+               double nominalFreq);
+
+    void addPoint(const TracePoint &point);
+
+    const std::string &benchmark() const { return benchmark_; }
+    std::uint64_t intervalCycles() const { return intervalCycles_; }
+    double nominalFreq() const { return nominalFreq_; }
+
+    /** Interval length in seconds at nominal frequency. */
+    double intervalSeconds() const;
+
+    std::size_t numPoints() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+
+    /** Point by index with wraparound (the trace loops). */
+    const TracePoint &point(std::size_t index) const;
+
+    /** Mean total dynamic power over the whole trace, watts. */
+    double averageTotalPower() const;
+
+    /** Mean IPC over the whole trace. */
+    double averageIpc() const;
+
+    /** Serialize to a stream (plain text, versioned). */
+    void save(std::ostream &os) const;
+
+    /** Deserialize; returns false on format mismatch. */
+    static bool load(std::istream &is, PowerTrace &out);
+
+  private:
+    std::string benchmark_;
+    std::uint64_t intervalCycles_ = 0;
+    double nominalFreq_ = 0.0;
+    std::vector<TracePoint> points_;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_POWER_TRACE_HH

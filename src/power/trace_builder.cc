@@ -1,0 +1,205 @@
+#include "power/trace_builder.hh"
+
+#include <filesystem>
+#include <fstream>
+
+#include "uarch/ooo_core.hh"
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+namespace {
+
+/** FNV-1a accumulation helpers for the cache key. */
+void
+mix(std::uint64_t &hash, const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+}
+
+void
+mixDouble(std::uint64_t &hash, double v)
+{
+    mix(hash, &v, sizeof(v));
+}
+
+void
+mixU64(std::uint64_t &hash, std::uint64_t v)
+{
+    mix(hash, &v, sizeof(v));
+}
+
+void
+mixStream(std::uint64_t &hash, const StreamParams &p)
+{
+    for (double m : p.mix)
+        mixDouble(hash, m);
+    mixDouble(hash, p.meanDepDist);
+    mixDouble(hash, p.secondSrcProb);
+    mixDouble(hash, p.fpLoadFrac);
+    mixDouble(hash, p.l1Frac);
+    mixDouble(hash, p.l2Frac);
+    mixDouble(hash, p.strideProb);
+    mixU64(hash, static_cast<std::uint64_t>(p.staticBranches));
+    mixDouble(hash, p.biasedBranchFrac);
+    mixDouble(hash, p.icacheChurn);
+    mixU64(hash, p.codeFootprint);
+}
+
+} // namespace
+
+TraceBuilder::TraceBuilder(const TraceBuilderConfig &config)
+    : config_(config)
+{
+    if (config_.intervalCycles == 0 || config_.numIntervals == 0)
+        fatal("trace builder needs positive interval count and length");
+    if (config_.sampledShare <= 0.0 || config_.sampledShare > 1.0)
+        fatal("sampledShare must be in (0, 1]");
+}
+
+std::uint64_t
+TraceBuilder::cacheKey(const BenchmarkProfile &profile) const
+{
+    std::uint64_t hash = configKey();
+    mix(hash, profile.name.data(), profile.name.size());
+    for (const auto &phase : profile.phases) {
+        mixStream(hash, phase.params);
+        mixDouble(hash, phase.weight);
+    }
+    return hash;
+}
+
+std::uint64_t
+TraceBuilder::configKey() const
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    // Format version: bump when the trace semantics change.
+    mixU64(hash, 3);
+    const CoreConfig &c = config_.core;
+    mixU64(hash, static_cast<std::uint64_t>(c.fetchWidth));
+    mixU64(hash, static_cast<std::uint64_t>(c.dispatchWidth));
+    mixU64(hash, static_cast<std::uint64_t>(c.commitWidth));
+    mixU64(hash, static_cast<std::uint64_t>(c.robSize));
+    mixU64(hash, static_cast<std::uint64_t>(c.intQueueSize));
+    mixU64(hash, static_cast<std::uint64_t>(c.fpQueueSize));
+    mixU64(hash, c.l1i.sizeBytes);
+    mixU64(hash, c.l1d.sizeBytes);
+    mixU64(hash, c.l2.sizeBytes);
+    mixDouble(hash, c.l2CapacityShare);
+    mixU64(hash, static_cast<std::uint64_t>(c.memoryLatency));
+    const PowerModelParams &p = config_.power;
+    mixDouble(hash, p.nominalFreq);
+    mixDouble(hash, p.nominalVdd);
+    for (const auto &unit : p.units) {
+        mixDouble(hash, unit.idleWatts);
+        mixDouble(hash, unit.energyPerAccess);
+    }
+    mixU64(hash, config_.intervalCycles);
+    mixU64(hash, static_cast<std::uint64_t>(config_.numIntervals));
+    mixDouble(hash, config_.sampledShare);
+    mixU64(hash, config_.warmupCycles);
+    return hash;
+}
+
+std::string
+TraceBuilder::cachePath(const BenchmarkProfile &profile) const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(cacheKey(profile)));
+    return config_.cacheDir + "/" + profile.name + "-" + buf + ".trace";
+}
+
+PowerTrace
+TraceBuilder::build(const BenchmarkProfile &profile) const
+{
+    if (!config_.cacheDir.empty()) {
+        const std::string path = cachePath(profile);
+        std::ifstream in(path);
+        if (in) {
+            PowerTrace trace;
+            if (PowerTrace::load(in, trace) &&
+                trace.numPoints() == config_.numIntervals) {
+                return trace;
+            }
+            warn("ignoring unreadable trace cache file ", path);
+        }
+    }
+    PowerTrace trace = generate(profile);
+    if (!config_.cacheDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(config_.cacheDir, ec);
+        const std::string path = cachePath(profile);
+        std::ofstream out(path);
+        if (out) {
+            trace.save(out);
+        } else {
+            warn("cannot write trace cache file ", path);
+        }
+    }
+    return trace;
+}
+
+PowerTrace
+TraceBuilder::generate(const BenchmarkProfile &profile) const
+{
+    inform("generating power trace for ", profile.name, " (",
+           config_.numIntervals, " intervals of ",
+           config_.intervalCycles, " cycles)");
+    if (profile.phases.empty())
+        fatal("benchmark ", profile.name, " has no phases");
+
+    OooCore core(config_.core, profile.phases.front().params,
+                 profile.seed());
+    PowerModel power(config_.power);
+
+    ActivityCounts warmup;
+    core.run(config_.warmupCycles, warmup);
+
+    PowerTrace trace(profile.name, config_.intervalCycles,
+                     config_.power.nominalFreq);
+
+    const auto sampled = static_cast<std::uint64_t>(
+        static_cast<double>(config_.intervalCycles) *
+        config_.sampledShare);
+    const double scale = static_cast<double>(config_.intervalCycles) /
+        static_cast<double>(sampled);
+
+    std::size_t currentPhase = 0;
+    for (std::size_t i = 0; i < config_.numIntervals; ++i) {
+        const std::size_t phase =
+            profile.phaseAt(i, config_.numIntervals);
+        if (phase != currentPhase) {
+            core.setStreamParams(profile.phases[phase].params);
+            currentPhase = phase;
+        }
+        ActivityCounts counts;
+        core.run(sampled, counts);
+
+        // Scale the sampled window up to the full interval.
+        ActivityCounts full = counts;
+        full.cycles = config_.intervalCycles;
+        for (UnitKind kind : coreUnitKinds())
+            full.accesses[kind] = counts.accesses[kind] * scale;
+        full.accesses[UnitKind::L2] =
+            counts.accesses[UnitKind::L2] * scale;
+        full.instructions = static_cast<std::uint64_t>(
+            static_cast<double>(counts.instructions) * scale);
+
+        TracePoint pt;
+        pt.power = power.dynamicPower(full);
+        pt.instructions = full.instructions;
+        pt.ipc = full.ipc();
+        pt.intRfPerCycle = full.accessesPerCycle(UnitKind::IntRF);
+        pt.fpRfPerCycle = full.accessesPerCycle(UnitKind::FpRF);
+        trace.addPoint(pt);
+    }
+    return trace;
+}
+
+} // namespace coolcmp

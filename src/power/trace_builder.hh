@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Power-trace generation: runs a benchmark profile through the
+ * out-of-order core model and the power model to produce the looping
+ * per-interval trace the DTM simulator consumes (the left half of the
+ * paper's Figure 2 toolflow).
+ *
+ * Generated traces are cached on disk, keyed by a hash of every input
+ * that affects them, so the expensive cycle-level simulation runs once
+ * per configuration.
+ */
+
+#ifndef COOLCMP_POWER_TRACE_BUILDER_HH
+#define COOLCMP_POWER_TRACE_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "power/power_model.hh"
+#include "power/trace.hh"
+#include "uarch/core_config.hh"
+#include "workload/benchmark_profile.hh"
+
+namespace coolcmp {
+
+/** Trace-generation configuration. */
+struct TraceBuilderConfig
+{
+    CoreConfig core = CoreConfig::table3();
+    PowerModelParams power = PowerModelParams::table3Calibrated();
+
+    /** Cycles per trace interval (the paper samples every 100k). */
+    std::uint64_t intervalCycles = 100000;
+
+    /** Number of intervals in the trace before it loops. */
+    std::size_t numIntervals = 720;
+
+    /**
+     * Fraction of each interval that is actually simulated
+     * cycle-by-cycle; activity is scaled up to the full interval
+     * (SimPoint-style sampling to keep generation affordable).
+     */
+    double sampledShare = 0.5;
+
+    /** Cycles to run before recording (cache/predictor warmup). */
+    std::uint64_t warmupCycles = 200000;
+
+    /** Directory for the on-disk trace cache; empty disables caching. */
+    std::string cacheDir = ".coolcmp-traces";
+};
+
+/** Builds (and caches) power traces for benchmark profiles. */
+class TraceBuilder
+{
+  public:
+    explicit TraceBuilder(const TraceBuilderConfig &config);
+
+    /**
+     * Build (or load from cache) the trace for one benchmark.
+     * Deterministic: the same profile and config give the same trace.
+     */
+    PowerTrace build(const BenchmarkProfile &profile) const;
+
+    /** Hash of config+profile used as the cache key. */
+    std::uint64_t cacheKey(const BenchmarkProfile &profile) const;
+
+    /** Hash of the configuration alone (no profile). */
+    std::uint64_t configKey() const;
+
+    const TraceBuilderConfig &config() const { return config_; }
+
+  private:
+    TraceBuilderConfig config_;
+
+    PowerTrace generate(const BenchmarkProfile &profile) const;
+    std::string cachePath(const BenchmarkProfile &profile) const;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_POWER_TRACE_BUILDER_HH

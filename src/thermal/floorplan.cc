@@ -1,0 +1,200 @@
+#include "thermal/floorplan.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+namespace {
+
+/** Geometric tolerance: one nanometer is far below any feature size. */
+constexpr double geomEps = 1e-9;
+
+double
+overlapLength(double lo1, double hi1, double lo2, double hi2)
+{
+    const double lo = std::max(lo1, lo2);
+    const double hi = std::min(hi1, hi2);
+    return std::max(0.0, hi - lo);
+}
+
+} // namespace
+
+double
+sharedEdgeLength(const Block &a, const Block &b)
+{
+    // Vertical shared edge (a's right against b's left or vice versa).
+    if (std::abs(a.right() - b.x) < geomEps ||
+        std::abs(b.right() - a.x) < geomEps) {
+        return overlapLength(a.y, a.top(), b.y, b.top());
+    }
+    // Horizontal shared edge.
+    if (std::abs(a.top() - b.y) < geomEps ||
+        std::abs(b.top() - a.y) < geomEps) {
+        return overlapLength(a.x, a.right(), b.x, b.right());
+    }
+    return 0.0;
+}
+
+Floorplan::Floorplan(std::vector<Block> blocks, int numCores)
+    : blocks_(std::move(blocks)), numCores_(numCores)
+{
+    if (blocks_.empty())
+        fatal("Floorplan requires at least one block");
+    if (numCores_ < 1)
+        fatal("Floorplan requires at least one core");
+    for (const auto &blk : blocks_) {
+        chipWidth_ = std::max(chipWidth_, blk.right());
+        chipHeight_ = std::max(chipHeight_, blk.top());
+    }
+    validate();
+    computeAdjacency();
+}
+
+void
+Floorplan::validate() const
+{
+    std::set<std::string> names;
+    for (const auto &blk : blocks_) {
+        if (blk.width <= 0.0 || blk.height <= 0.0)
+            fatal("block ", blk.name, " has non-positive dimensions");
+        if (!names.insert(blk.name).second)
+            fatal("duplicate block name ", blk.name);
+    }
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        for (std::size_t j = i + 1; j < blocks_.size(); ++j) {
+            const Block &a = blocks_[i];
+            const Block &b = blocks_[j];
+            const double ox =
+                overlapLength(a.x, a.right(), b.x, b.right());
+            const double oy = overlapLength(a.y, a.top(), b.y, b.top());
+            if (ox > geomEps && oy > geomEps)
+                fatal("blocks ", a.name, " and ", b.name, " overlap");
+        }
+    }
+}
+
+void
+Floorplan::computeAdjacency()
+{
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        for (std::size_t j = i + 1; j < blocks_.size(); ++j) {
+            const double len = sharedEdgeLength(blocks_[i], blocks_[j]);
+            if (len > geomEps)
+                adj_.push_back({i, j, len});
+        }
+    }
+}
+
+std::size_t
+Floorplan::indexOf(const std::string &name) const
+{
+    for (std::size_t i = 0; i < blocks_.size(); ++i)
+        if (blocks_[i].name == name)
+            return i;
+    fatal("no floorplan block named ", name);
+}
+
+std::size_t
+Floorplan::indexOf(int core, UnitKind kind) const
+{
+    for (std::size_t i = 0; i < blocks_.size(); ++i)
+        if (blocks_[i].core == core && blocks_[i].kind == kind)
+            return i;
+    fatal("no floorplan block for core ", core, " unit ",
+          unitKindName(kind));
+}
+
+bool
+Floorplan::has(int core, UnitKind kind) const
+{
+    for (const auto &blk : blocks_)
+        if (blk.core == core && blk.kind == kind)
+            return true;
+    return false;
+}
+
+double
+Floorplan::coveredArea() const
+{
+    double sum = 0.0;
+    for (const auto &blk : blocks_)
+        sum += blk.area();
+    return sum;
+}
+
+namespace {
+
+/** Append the 13 unit blocks of one core at origin (cx, cy). */
+void
+appendCoreBlocks(std::vector<Block> &out, int core, double cx, double cy,
+                 double w, double h)
+{
+    const std::string prefix = "core" + std::to_string(core) + ".";
+    auto add = [&](UnitKind kind, double fx, double fy, double fw,
+                   double fh) {
+        out.push_back({prefix + unitKindName(kind), kind, core,
+                       cx + fx * w, cy + fy * h, fw * w, fh * h});
+    };
+
+    // Bottom row: L1 caches.
+    add(UnitKind::ICache, 0.00, 0.0, 0.50, 0.40);
+    add(UnitKind::DCache, 0.50, 0.0, 0.50, 0.40);
+    // Middle row: front-end, LSU and issue queues.
+    add(UnitKind::Bpred, 0.00, 0.40, 0.21, 0.30);
+    add(UnitKind::BXU, 0.21, 0.40, 0.14, 0.30);
+    add(UnitKind::Rename, 0.35, 0.40, 0.18, 0.30);
+    add(UnitKind::LSU, 0.53, 0.40, 0.25, 0.30);
+    add(UnitKind::IntQ, 0.78, 0.40, 0.11, 0.30);
+    add(UnitKind::FpQ, 0.89, 0.40, 0.11, 0.30);
+    // Top row: execution engines with the register-file hotspots.
+    add(UnitKind::FXU, 0.00, 0.70, 0.27, 0.30);
+    add(UnitKind::IntRF, 0.27, 0.70, 0.17, 0.30);
+    add(UnitKind::FpRF, 0.44, 0.70, 0.17, 0.30);
+    add(UnitKind::FPU, 0.61, 0.70, 0.27, 0.30);
+    add(UnitKind::Other, 0.88, 0.70, 0.12, 0.30);
+}
+
+Floorplan
+buildCmp(int numCores, double coreWidth, double coreHeight,
+         double l2Height)
+{
+    if (numCores != 1 && numCores != 2 && numCores != 4)
+        fatal("makeCmpFloorplan supports 1, 2, or 4 cores");
+
+    const int columns = numCores >= 2 ? 2 : 1;
+    const int rows = numCores == 4 ? 2 : 1;
+    const double chipW = columns * coreWidth;
+
+    std::vector<Block> blocks;
+    blocks.push_back({"L2", UnitKind::L2, -1, 0.0, 0.0, chipW, l2Height});
+    for (int core = 0; core < numCores; ++core) {
+        const int col = core % columns;
+        const int row = core / columns;
+        (void)rows;
+        appendCoreBlocks(blocks, core, col * coreWidth,
+                         l2Height + row * coreHeight, coreWidth,
+                         coreHeight);
+    }
+    return Floorplan(std::move(blocks), numCores);
+}
+
+} // namespace
+
+Floorplan
+makeCmpFloorplan(int numCores, double coreWidth, double coreHeight)
+{
+    return buildCmp(numCores, coreWidth, coreHeight, 4.0e-3);
+}
+
+Floorplan
+makeMobileFloorplan()
+{
+    // Banias-class: ~35 mm^2 core plus a 1 MB L2 strip, ~62 mm^2 total.
+    return buildCmp(1, 7.7e-3, 4.5e-3, 3.6e-3);
+}
+
+} // namespace coolcmp

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Chip floorplans: rectangular blocks with geometric adjacency.
+ *
+ * The thermal network derives lateral thermal resistances from the
+ * shared edge lengths between blocks, exactly as HotSpot's block model
+ * does. The stock floorplans mirror the paper's setup: a 4-core CMP
+ * with a shared L2 (Section 3.2, "similar to [23] ... extended for 4
+ * cores"), and a single-core mobile chip for the Table 1 measurements.
+ */
+
+#ifndef COOLCMP_THERMAL_FLOORPLAN_HH
+#define COOLCMP_THERMAL_FLOORPLAN_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "thermal/unit.hh"
+
+namespace coolcmp {
+
+/** One rectangular floorplan block. Units: meters. */
+struct Block
+{
+    std::string name;   ///< unique name, e.g. "core1.IntRF"
+    UnitKind kind;      ///< microarchitectural unit kind
+    int core;           ///< owning core index, or -1 for shared blocks
+    double x;           ///< left edge
+    double y;           ///< bottom edge
+    double width;
+    double height;
+
+    double area() const { return width * height; }
+    double right() const { return x + width; }
+    double top() const { return y + height; }
+};
+
+/** Length of shared boundary between two axis-aligned rectangles. */
+double sharedEdgeLength(const Block &a, const Block &b);
+
+/** A validated set of blocks plus derived adjacency. */
+class Floorplan
+{
+  public:
+    /**
+     * @param blocks the block list; names must be unique, blocks must
+     * not overlap (validated to a small tolerance).
+     * @param numCores number of cores the plan contains.
+     */
+    Floorplan(std::vector<Block> blocks, int numCores);
+
+    const std::vector<Block> &blocks() const { return blocks_; }
+    std::size_t numBlocks() const { return blocks_.size(); }
+    int numCores() const { return numCores_; }
+
+    /** Index of the block with the given name; fatal if missing. */
+    std::size_t indexOf(const std::string &name) const;
+
+    /** Index of the block for (core, kind); fatal if missing.
+     *  Shared blocks (L2) use core = -1. */
+    std::size_t indexOf(int core, UnitKind kind) const;
+
+    /** True if a block exists for (core, kind). */
+    bool has(int core, UnitKind kind) const;
+
+    /** Adjacent block pairs (i < j) with their shared edge length. */
+    struct Adjacency
+    {
+        std::size_t a;
+        std::size_t b;
+        double edgeLength;
+    };
+
+    const std::vector<Adjacency> &adjacencies() const { return adj_; }
+
+    /** Bounding box of the whole plan. */
+    double chipWidth() const { return chipWidth_; }
+    double chipHeight() const { return chipHeight_; }
+    double chipArea() const { return chipWidth_ * chipHeight_; }
+
+    /** Sum of block areas (should nearly tile the bounding box). */
+    double coveredArea() const;
+
+  private:
+    std::vector<Block> blocks_;
+    int numCores_;
+    std::vector<Adjacency> adj_;
+    double chipWidth_ = 0.0;
+    double chipHeight_ = 0.0;
+
+    void validate() const;
+    void computeAdjacency();
+};
+
+/**
+ * The paper's 4-core CMP floorplan: cores in a 2x2 grid above a shared
+ * L2 strip; each core carries the 13 units of UnitKind.
+ *
+ * @param numCores 1, 2 or 4 (2x2 grid is trimmed accordingly).
+ * @param coreWidth,coreHeight per-core dimensions in meters.
+ */
+Floorplan makeCmpFloorplan(int numCores, double coreWidth = 5.6e-3,
+                           double coreHeight = 4.0e-3);
+
+/**
+ * Single-core mobile-class floorplan (Pentium M Banias stand-in for
+ * the Table 1 experiment): one larger core plus an on-die L2 block.
+ */
+Floorplan makeMobileFloorplan();
+
+} // namespace coolcmp
+
+#endif // COOLCMP_THERMAL_FLOORPLAN_HH

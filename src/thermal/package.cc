@@ -1,0 +1,28 @@
+#include "thermal/package.hh"
+
+namespace coolcmp {
+
+PackageParams
+PackageParams::desktop()
+{
+    // The defaults are the desktop/server stack used for the 4-core
+    // CMP experiments (HotSpot-2.0-like geometry, 45 C in-case air).
+    return PackageParams{};
+}
+
+PackageParams
+PackageParams::mobile()
+{
+    PackageParams pkg;
+    // Thin notebook stack: small spreader and sink, no beefy fan, but
+    // room-temperature intake air (the Table 1 notebook sat on a desk).
+    pkg.spreaderSide = 22e-3;
+    pkg.spreaderThickness = 0.8e-3;
+    pkg.sinkSide = 40e-3;
+    pkg.sinkThickness = 3.0e-3;
+    pkg.convectionR = 3.0;
+    pkg.ambient = 26.0;
+    return pkg;
+}
+
+} // namespace coolcmp

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Thermal package description: die, thermal interface material, heat
+ * spreader, heatsink, and convection, following the lumped compact
+ * model of HotSpot 2.0 (Section 3.2 of the paper).
+ */
+
+#ifndef COOLCMP_THERMAL_PACKAGE_HH
+#define COOLCMP_THERMAL_PACKAGE_HH
+
+namespace coolcmp {
+
+/** Material and geometry parameters of the cooling stack. */
+struct PackageParams
+{
+    // Die.
+    double dieThickness = 0.5e-3;       ///< m
+    double siliconK = 100.0;            ///< W/(m K) at ~85 C
+    double siliconVolHeat = 1.75e6;     ///< J/(m^3 K)
+
+    // Thermal interface material between die and spreader.
+    double timThickness = 50e-6;        ///< m
+    double timK = 4.0;                  ///< W/(m K)
+    double timVolHeat = 4.0e6;          ///< J/(m^3 K)
+
+    // Copper heat spreader.
+    double spreaderSide = 30e-3;        ///< m (square)
+    double spreaderThickness = 1.0e-3;  ///< m
+    double copperK = 400.0;             ///< W/(m K)
+    double copperVolHeat = 3.55e6;      ///< J/(m^3 K)
+
+    // Heatsink base (fins folded into the convection resistance).
+    double sinkSide = 60e-3;            ///< m (square)
+    double sinkThickness = 6.9e-3;      ///< m
+    double sinkK = 400.0;               ///< W/(m K)
+    double sinkVolHeat = 3.55e6;        ///< J/(m^3 K)
+
+    // Convection from sink to air (heatsink fins + fan).
+    double convectionR = 0.5;           ///< K/W total
+
+    // Environment.
+    double ambient = 45.0;              ///< C inside-case ambient
+
+    /** Lumped-capacitance correction for die blocks (HotSpot applies
+     *  a comparable fudge factor to match measured transients: a
+     *  single node per block under-represents the thermal mass that
+     *  participates in ms-scale transients). */
+    double dieCapFactor = 4.0;
+
+    /** Desktop/server package: the 4-core CMP experiments. */
+    static PackageParams desktop();
+
+    /** Notebook package: weaker cooling, room-temperature ambient;
+     *  used for the Table 1 (Pentium M) reproduction. */
+    static PackageParams mobile();
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_THERMAL_PACKAGE_HH

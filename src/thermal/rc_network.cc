@@ -1,0 +1,256 @@
+#include "thermal/rc_network.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+namespace {
+
+PackageParams
+validated(const PackageParams &pkg)
+{
+    if (pkg.convectionR <= 0.0)
+        fatal("package convection resistance must be positive");
+    if (pkg.dieThickness <= 0.0 || pkg.timThickness <= 0.0 ||
+        pkg.spreaderThickness <= 0.0 || pkg.sinkThickness <= 0.0)
+        fatal("package layer thicknesses must be positive");
+    return pkg;
+}
+
+} // namespace
+
+RcNetwork::RcNetwork(const Floorplan &floorplan, const PackageParams &pkgIn)
+    : floorplan_(floorplan), ambient_(pkgIn.ambient)
+{
+    const PackageParams pkg = validated(pkgIn);
+    const std::size_t nb = floorplan.numBlocks();
+    const std::size_t timBase = nb;
+    const std::size_t spCenter = 2 * nb;
+    const std::size_t spEdge0 = spCenter + 1;  // 4 edge nodes follow
+    const std::size_t skCenter = spCenter + 5;
+    const std::size_t skEdge0 = skCenter + 1;
+    const std::size_t numNodes = 2 * nb + 10;
+
+    g_ = Matrix(numNodes, numNodes);
+    cap_.assign(numNodes, 0.0);
+    nodeNames_.resize(numNodes);
+
+    const double dieArea = floorplan.chipArea();
+    const double spArea = pkg.spreaderSide * pkg.spreaderSide;
+    const double skArea = pkg.sinkSide * pkg.sinkSide;
+    if (spArea < dieArea)
+        fatal("spreader smaller than the die");
+    if (skArea < spArea)
+        fatal("sink smaller than the spreader");
+
+    // Node names and capacitances.
+    for (std::size_t b = 0; b < nb; ++b) {
+        const Block &blk = floorplan.blocks()[b];
+        nodeNames_[b] = blk.name;
+        nodeNames_[timBase + b] = blk.name + ".tim";
+        cap_[b] = pkg.siliconVolHeat * blk.area() *
+            pkg.dieThickness * pkg.dieCapFactor;
+        cap_[timBase + b] =
+            pkg.timVolHeat * blk.area() * pkg.timThickness;
+    }
+    nodeNames_[spCenter] = "spreader.center";
+    cap_[spCenter] =
+        pkg.copperVolHeat * dieArea * pkg.spreaderThickness;
+    const double spPeriphCap = pkg.copperVolHeat * (spArea - dieArea) *
+        pkg.spreaderThickness / 4.0;
+    nodeNames_[skCenter] = "sink.center";
+    cap_[skCenter] = pkg.sinkVolHeat * spArea * pkg.sinkThickness;
+    const double skPeriphCap = pkg.sinkVolHeat * (skArea - spArea) *
+        pkg.sinkThickness / 4.0;
+    static const char *dirs[4] = {"north", "east", "south", "west"};
+    for (int d = 0; d < 4; ++d) {
+        nodeNames_[spEdge0 + d] =
+            std::string("spreader.") + dirs[d];
+        cap_[spEdge0 + d] = spPeriphCap;
+        nodeNames_[skEdge0 + d] = std::string("sink.") + dirs[d];
+        cap_[skEdge0 + d] = skPeriphCap;
+    }
+
+    // --- Lateral die conductances from shared edges. ---
+    const double kSi = pkg.siliconK;
+    const double tDie = pkg.dieThickness;
+    for (const auto &adj : floorplan.adjacencies()) {
+        const Block &a = floorplan.blocks()[adj.a];
+        const Block &b = floorplan.blocks()[adj.b];
+        // Distance from each block center to the shared edge: half of
+        // the extent perpendicular to the edge.
+        const bool verticalEdge =
+            std::abs(a.right() - b.x) < 1e-9 ||
+            std::abs(b.right() - a.x) < 1e-9;
+        const double da = (verticalEdge ? a.width : a.height) / 2.0;
+        const double db = (verticalEdge ? b.width : b.height) / 2.0;
+        const double crossSection = tDie * adj.edgeLength;
+        const double resist = (da + db) / (kSi * crossSection);
+        addConductance(adj.a, adj.b, 1.0 / resist);
+    }
+
+    // --- Vertical path: die -> TIM -> spreader center. ---
+    for (std::size_t b = 0; b < nb; ++b) {
+        const double area = floorplan.blocks()[b].area();
+        const double rDieHalf = (tDie / 2.0) / (kSi * area);
+        const double rTimHalf =
+            (pkg.timThickness / 2.0) / (pkg.timK * area);
+        addConductance(b, timBase + b, 1.0 / (rDieHalf + rTimHalf));
+        // TIM to spreader: second TIM half plus a constriction term for
+        // spreading from the block footprint into the copper.
+        const double rConstrict =
+            1.0 / (4.0 * pkg.copperK * std::sqrt(area / M_PI));
+        addConductance(timBase + b, spCenter,
+                       1.0 / (rTimHalf + rConstrict));
+    }
+
+    // --- Spreader center <-> periphery, periphery -> sink. ---
+    const double dieSide = std::sqrt(dieArea);
+    const double spLatLen = (pkg.spreaderSide + dieSide) / 4.0;
+    const double spLatCross =
+        pkg.spreaderThickness * (pkg.spreaderSide + dieSide) / 2.0;
+    const double gSpLat = pkg.copperK * spLatCross / spLatLen;
+    for (int d = 0; d < 4; ++d) {
+        addConductance(spCenter, spEdge0 + d, gSpLat);
+        // Periphery quadrant down into the sink body.
+        const double quadArea = (spArea - dieArea) / 4.0;
+        const double rDown =
+            (pkg.spreaderThickness / 2.0) / (pkg.copperK * quadArea) +
+            (pkg.sinkThickness / 2.0) / (pkg.sinkK * quadArea);
+        addConductance(spEdge0 + d, skCenter, 1.0 / rDown);
+    }
+
+    // --- Spreader center -> sink center. ---
+    {
+        const double rDown =
+            (pkg.spreaderThickness / 2.0) / (pkg.copperK * dieArea) +
+            1.0 / (4.0 * pkg.sinkK * std::sqrt(dieArea / M_PI));
+        addConductance(spCenter, skCenter, 1.0 / rDown);
+    }
+
+    // --- Sink center <-> periphery. ---
+    const double spSide = pkg.spreaderSide;
+    const double skLatLen = (pkg.sinkSide + spSide) / 4.0;
+    const double skLatCross =
+        pkg.sinkThickness * (pkg.sinkSide + spSide) / 2.0;
+    const double gSkLat = pkg.sinkK * skLatCross / skLatLen;
+    for (int d = 0; d < 4; ++d)
+        addConductance(skCenter, skEdge0 + d, gSkLat);
+
+    // --- Convection to ambient, split by represented footprint. ---
+    const double gConvTotal = 1.0 / pkg.convectionR;
+    const double centerShare = spArea / skArea;
+    addToAmbient(skCenter, gConvTotal * centerShare);
+    for (int d = 0; d < 4; ++d)
+        addToAmbient(skEdge0 + d, gConvTotal * (1.0 - centerShare) / 4.0);
+
+    gLu_ = std::make_unique<LuDecomposition>(g_);
+}
+
+void
+RcNetwork::addConductance(std::size_t a, std::size_t b, double g)
+{
+    if (g <= 0.0)
+        panic("non-positive conductance between ", nodeNames_[a], " and ",
+              nodeNames_[b]);
+    g_(a, a) += g;
+    g_(b, b) += g;
+    g_(a, b) -= g;
+    g_(b, a) -= g;
+}
+
+void
+RcNetwork::addToAmbient(std::size_t node, double g)
+{
+    if (g <= 0.0)
+        panic("non-positive ambient conductance at ", nodeNames_[node]);
+    g_(node, node) += g;
+}
+
+std::size_t
+RcNetwork::numInputs() const
+{
+    return floorplan_.numBlocks();
+}
+
+const std::string &
+RcNetwork::nodeName(std::size_t node) const
+{
+    return nodeNames_.at(node);
+}
+
+Vector
+RcNetwork::steadyState(const Vector &blockPowers) const
+{
+    if (blockPowers.size() != numInputs())
+        panic("steadyState power vector size mismatch");
+    Vector rhs(numNodes(), 0.0);
+    for (std::size_t b = 0; b < blockPowers.size(); ++b)
+        rhs[b] = blockPowers[b];
+    Vector x = gLu_->solve(rhs);
+    for (double &v : x)
+        v += ambient_;
+    return x;
+}
+
+Matrix
+RcNetwork::stateMatrix() const
+{
+    Matrix a(numNodes(), numNodes());
+    for (std::size_t i = 0; i < numNodes(); ++i)
+        for (std::size_t j = 0; j < numNodes(); ++j)
+            a(i, j) = -g_(i, j) / cap_[i];
+    return a;
+}
+
+Matrix
+RcNetwork::inputMatrix() const
+{
+    Matrix b(numNodes(), numInputs());
+    for (std::size_t blk = 0; blk < numInputs(); ++blk)
+        b(blk, blk) = 1.0 / cap_[blk];
+    return b;
+}
+
+double
+RcNetwork::slowestTimeConstant() const
+{
+    // Largest eigenvalue of G^{-1} C by power iteration; this equals
+    // the slowest time constant of C dx/dt = -G x.
+    Vector v(numNodes(), 1.0);
+    double lambda = 0.0;
+    for (int iter = 0; iter < 200; ++iter) {
+        Vector cv(numNodes());
+        for (std::size_t i = 0; i < numNodes(); ++i)
+            cv[i] = cap_[i] * v[i];
+        Vector w = gLu_->solve(cv);
+        const double n = norm2(w);
+        if (n == 0.0)
+            break;
+        lambda = n / norm2(v) * 1.0;
+        // Normalize using the actual Rayleigh-style ratio below.
+        double dot = 0.0, vv = 0.0;
+        for (std::size_t i = 0; i < numNodes(); ++i) {
+            dot += w[i] * v[i];
+            vv += v[i] * v[i];
+        }
+        lambda = dot / vv;
+        for (std::size_t i = 0; i < numNodes(); ++i)
+            v[i] = w[i] / n;
+    }
+    return std::abs(lambda);
+}
+
+double
+RcNetwork::fastestTimeConstant() const
+{
+    double best = 1e9;
+    for (std::size_t i = 0; i < numNodes(); ++i)
+        if (g_(i, i) > 0.0)
+            best = std::min(best, cap_[i] / g_(i, i));
+    return best;
+}
+
+} // namespace coolcmp

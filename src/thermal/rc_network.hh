@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Compact RC thermal network built from a floorplan and a package.
+ *
+ * Topology (HotSpot-2.0-style block model):
+ *   - one node per die block, laterally coupled through shared edges;
+ *   - one TIM node per block, vertically below its die block;
+ *   - heat spreader: a center node under the die plus four periphery
+ *     nodes;
+ *   - heatsink: a center node plus four periphery nodes, all tied to
+ *     ambient through the convection resistance;
+ * giving 2*B + 10 state nodes for B blocks. Power enters at die nodes.
+ *
+ * The network is a linear time-invariant system
+ *   C dT/dt = -G (T - Tamb) + P
+ * which downstream solvers exploit (exact matrix-exponential stepping).
+ */
+
+#ifndef COOLCMP_THERMAL_RC_NETWORK_HH
+#define COOLCMP_THERMAL_RC_NETWORK_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/lu.hh"
+#include "linalg/matrix.hh"
+#include "thermal/floorplan.hh"
+#include "thermal/package.hh"
+
+namespace coolcmp {
+
+/** The assembled network matrices and node bookkeeping. */
+class RcNetwork
+{
+  public:
+    RcNetwork(const Floorplan &floorplan, const PackageParams &pkg);
+
+    /** Number of temperature state nodes. */
+    std::size_t numNodes() const { return cap_.size(); }
+
+    /** Number of power inputs (== floorplan blocks). */
+    std::size_t numInputs() const;
+
+    /** State node index of block b's silicon node. */
+    std::size_t dieNode(std::size_t block) const { return block; }
+
+    /** Conductance matrix G (symmetric positive definite thanks to the
+     *  ambient tie). */
+    const Matrix &conductance() const { return g_; }
+
+    /** Node heat capacities (diagonal of C), J/K. */
+    const Vector &capacitance() const { return cap_; }
+
+    /** Human-readable node name (for traces and debugging). */
+    const std::string &nodeName(std::size_t node) const;
+
+    /** Ambient temperature in C. */
+    double ambient() const { return ambient_; }
+
+    /**
+     * Steady-state absolute temperatures (C) for constant block powers
+     * (W). Solves G x = P with the cached factorization.
+     */
+    Vector steadyState(const Vector &blockPowers) const;
+
+    /**
+     * State matrix A = -C^{-1} G of dx/dt = A x + B u with
+     * x = T - Tamb and u = block powers.
+     */
+    Matrix stateMatrix() const;
+
+    /** Input matrix B = C^{-1} S where S selects die nodes. */
+    Matrix inputMatrix() const;
+
+    /** Slowest thermal time constant (s), from power iteration on the
+     *  discretized system; used to pick integration steps. */
+    double slowestTimeConstant() const;
+
+    /** Fastest (smallest) nodal time constant C_i / G_ii (s). */
+    double fastestTimeConstant() const;
+
+  private:
+    const Floorplan &floorplan_;
+    Matrix g_;
+    Vector cap_;
+    std::vector<std::string> nodeNames_;
+    double ambient_;
+    std::unique_ptr<LuDecomposition> gLu_;
+
+    void addConductance(std::size_t a, std::size_t b, double g);
+    void addToAmbient(std::size_t node, double g);
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_THERMAL_RC_NETWORK_HH

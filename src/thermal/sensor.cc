@@ -1,0 +1,45 @@
+#include "thermal/sensor.hh"
+
+#include <cmath>
+
+namespace coolcmp {
+
+ThermalSensor::ThermalSensor(std::size_t block, double quantization,
+                             double noiseStddev, std::uint64_t seed)
+    : block_(block), quantization_(quantization),
+      noiseStddev_(noiseStddev), rng_(seed)
+{
+}
+
+double
+ThermalSensor::read(const TransientSolver &solver)
+{
+    double t = solver.blockTemp(block_);
+    if (noiseStddev_ > 0.0)
+        t += rng_.gaussian(0.0, noiseStddev_);
+    if (quantization_ > 0.0)
+        t = std::round(t / quantization_) * quantization_;
+    return t;
+}
+
+std::vector<CoreSensors>
+makeRegisterFileSensors(const Floorplan &floorplan, double quantization,
+                        double noiseStddev, std::uint64_t seed)
+{
+    std::vector<CoreSensors> out;
+    out.reserve(static_cast<std::size_t>(floorplan.numCores()));
+    for (int core = 0; core < floorplan.numCores(); ++core) {
+        out.push_back(CoreSensors{
+            ThermalSensor(floorplan.indexOf(core, UnitKind::IntRF),
+                          quantization, noiseStddev,
+                          seed * 977 + static_cast<std::uint64_t>(core)),
+            ThermalSensor(floorplan.indexOf(core, UnitKind::FpRF),
+                          quantization, noiseStddev,
+                          seed * 977 + 31 +
+                              static_cast<std::uint64_t>(core)),
+        });
+    }
+    return out;
+}
+
+} // namespace coolcmp

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * On-die thermal sensors.
+ *
+ * Every DTM policy in the paper reads thermal sensors: the stop-go
+ * trippoints and the PI controllers watch diodes at the two register
+ * files of each core (Section 5.1), and the Table 1 notebook reads a
+ * single diode at the edge of the die through ACPI, rounded to 1 C.
+ * This class models placement, quantization, and optional Gaussian
+ * noise on top of the block temperature.
+ */
+
+#ifndef COOLCMP_THERMAL_SENSOR_HH
+#define COOLCMP_THERMAL_SENSOR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "thermal/transient.hh"
+#include "util/rng.hh"
+
+namespace coolcmp {
+
+/** One thermal diode attached to a floorplan block. */
+class ThermalSensor
+{
+  public:
+    /**
+     * @param block floorplan block index the diode sits in
+     * @param quantization reading granularity in C (0 = continuous)
+     * @param noiseStddev Gaussian read noise in C (0 = ideal)
+     * @param seed RNG seed for the noise stream
+     */
+    explicit ThermalSensor(std::size_t block, double quantization = 0.0,
+                           double noiseStddev = 0.0,
+                           std::uint64_t seed = 1);
+
+    /** Sample the diode given the current thermal state. */
+    double read(const TransientSolver &solver);
+
+    /** Block this sensor is attached to. */
+    std::size_t block() const { return block_; }
+
+  private:
+    std::size_t block_;
+    double quantization_;
+    double noiseStddev_;
+    Rng rng_;
+};
+
+/** The per-core sensor pair at the register files (Section 5.1). */
+struct CoreSensors
+{
+    ThermalSensor intRf;
+    ThermalSensor fpRf;
+};
+
+/** Build the per-core register-file sensor pairs for a floorplan. */
+std::vector<CoreSensors> makeRegisterFileSensors(
+    const Floorplan &floorplan, double quantization = 0.0,
+    double noiseStddev = 0.0, std::uint64_t seed = 1);
+
+} // namespace coolcmp
+
+#endif // COOLCMP_THERMAL_SENSOR_HH

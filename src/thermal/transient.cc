@@ -1,0 +1,155 @@
+#include "thermal/transient.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+TransientSolver::TransientSolver(const RcNetwork &network)
+    : network_(network), temps_(network.numNodes(), network.ambient())
+{
+}
+
+void
+TransientSolver::setTemperatures(const Vector &temps)
+{
+    if (temps.size() != temps_.size())
+        panic("setTemperatures size mismatch");
+    temps_ = temps;
+}
+
+void
+TransientSolver::reset()
+{
+    temps_.assign(temps_.size(), network_.ambient());
+}
+
+void
+TransientSolver::initSteadyState(const Vector &blockPowers)
+{
+    temps_ = network_.steadyState(blockPowers);
+}
+
+double
+TransientSolver::blockTemp(std::size_t block) const
+{
+    if (block >= network_.numInputs())
+        panic("blockTemp index out of range");
+    return temps_[network_.dieNode(block)];
+}
+
+double
+TransientSolver::maxBlockTemp() const
+{
+    double best = -1e9;
+    for (std::size_t b = 0; b < network_.numInputs(); ++b)
+        best = std::max(best, temps_[b]);
+    return best;
+}
+
+ZohPropagator::ZohPropagator(const RcNetwork &network, double dt)
+    : ZohPropagator(network, dt, makeDiscretization(network, dt))
+{
+}
+
+ZohPropagator::ZohPropagator(const RcNetwork &network, double dt,
+                             std::shared_ptr<const ZohDiscretization> disc)
+    : TransientSolver(network), dt_(dt), disc_(std::move(disc)),
+      x_(network.numNodes()), next_(network.numNodes())
+{
+    if (dt <= 0.0)
+        fatal("ZohPropagator requires a positive step");
+    if (!disc_ || disc_->e.rows() != network.numNodes())
+        fatal("ZohPropagator discretization does not match the network");
+}
+
+std::shared_ptr<const ZohDiscretization>
+ZohPropagator::makeDiscretization(const RcNetwork &network, double dt)
+{
+    return std::make_shared<const ZohDiscretization>(
+        discretizeZoh(network.stateMatrix(), network.inputMatrix(), dt));
+}
+
+void
+ZohPropagator::step(const Vector &blockPowers, double dt)
+{
+    if (std::abs(dt - dt_) > dt_ * 1e-6)
+        panic("ZohPropagator built for dt=", dt_, " stepped with ", dt);
+    if (blockPowers.size() != network_.numInputs())
+        panic("step power vector size mismatch");
+
+    const double amb = network_.ambient();
+    for (std::size_t i = 0; i < x_.size(); ++i)
+        x_[i] = temps_[i] - amb;
+
+    // next = E x + F u
+    disc_->e.multiply(x_.data(), next_.data());
+    const std::size_t n = next_.size();
+    const std::size_t m = blockPowers.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double *f = disc_->f.row(i);
+        double sum = next_[i];
+        for (std::size_t j = 0; j < m; ++j)
+            sum += f[j] * blockPowers[j];
+        temps_[i] = sum + amb;
+    }
+}
+
+Rk4Solver::Rk4Solver(const RcNetwork &network, double maxSubstep)
+    : TransientSolver(network), maxSubstep_(maxSubstep),
+      a_(network.stateMatrix()), bScale_(network.numInputs()),
+      k1_(network.numNodes()), k2_(network.numNodes()),
+      k3_(network.numNodes()), k4_(network.numNodes()),
+      tmp_(network.numNodes()), x_(network.numNodes())
+{
+    const Vector &cap = network.capacitance();
+    for (std::size_t b = 0; b < bScale_.size(); ++b)
+        bScale_[b] = 1.0 / cap[network.dieNode(b)];
+    if (maxSubstep_ <= 0.0)
+        maxSubstep_ = network.fastestTimeConstant() / 4.0;
+}
+
+void
+Rk4Solver::derivative(const Vector &x, const Vector &p, Vector &dx) const
+{
+    a_.multiply(x.data(), dx.data());
+    for (std::size_t b = 0; b < p.size(); ++b)
+        dx[network_.dieNode(b)] += bScale_[b] * p[b];
+}
+
+void
+Rk4Solver::step(const Vector &blockPowers, double dt)
+{
+    if (blockPowers.size() != network_.numInputs())
+        panic("step power vector size mismatch");
+    const auto substeps =
+        static_cast<std::size_t>(std::ceil(dt / maxSubstep_));
+    const double h = dt / static_cast<double>(substeps);
+    const double amb = network_.ambient();
+    const std::size_t n = x_.size();
+
+    for (std::size_t i = 0; i < n; ++i)
+        x_[i] = temps_[i] - amb;
+
+    for (std::size_t s = 0; s < substeps; ++s) {
+        derivative(x_, blockPowers, k1_);
+        for (std::size_t i = 0; i < n; ++i)
+            tmp_[i] = x_[i] + 0.5 * h * k1_[i];
+        derivative(tmp_, blockPowers, k2_);
+        for (std::size_t i = 0; i < n; ++i)
+            tmp_[i] = x_[i] + 0.5 * h * k2_[i];
+        derivative(tmp_, blockPowers, k3_);
+        for (std::size_t i = 0; i < n; ++i)
+            tmp_[i] = x_[i] + h * k3_[i];
+        derivative(tmp_, blockPowers, k4_);
+        for (std::size_t i = 0; i < n; ++i)
+            x_[i] += h / 6.0 *
+                (k1_[i] + 2.0 * k2_[i] + 2.0 * k3_[i] + k4_[i]);
+    }
+
+    for (std::size_t i = 0; i < n; ++i)
+        temps_[i] = x_[i] + amb;
+}
+
+} // namespace coolcmp

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Transient solvers for the RC thermal network.
+ *
+ * Two interchangeable integrators are provided:
+ *  - ZohPropagator: exact stepping for a fixed dt via the matrix
+ *    exponential (one matrix-vector product per step). This is the
+ *    production path: the DTM simulator steps at a fixed 100k-cycle
+ *    interval, so exactness comes for free.
+ *  - Rk4Solver: classic RK4 with automatic substepping; used as an
+ *    accuracy cross-check and for irregular step sizes.
+ */
+
+#ifndef COOLCMP_THERMAL_TRANSIENT_HH
+#define COOLCMP_THERMAL_TRANSIENT_HH
+
+#include <memory>
+
+#include "linalg/expm.hh"
+#include "linalg/matrix.hh"
+#include "thermal/rc_network.hh"
+
+namespace coolcmp {
+
+/** Interface of a transient thermal integrator over one network. */
+class TransientSolver
+{
+  public:
+    explicit TransientSolver(const RcNetwork &network);
+    virtual ~TransientSolver() = default;
+
+    /** Current absolute node temperatures (C). */
+    const Vector &temperatures() const { return temps_; }
+
+    /** Overwrite the state with absolute temperatures. */
+    void setTemperatures(const Vector &temps);
+
+    /** Initialize every node to the ambient temperature. */
+    void reset();
+
+    /** Initialize the state at the steady-state for given powers. */
+    void initSteadyState(const Vector &blockPowers);
+
+    /** Absolute temperature of block b's silicon node. */
+    double blockTemp(std::size_t block) const;
+
+    /** Hottest die-block temperature. */
+    double maxBlockTemp() const;
+
+    /** Advance the state by dt with block powers held constant. */
+    virtual void step(const Vector &blockPowers, double dt) = 0;
+
+    const RcNetwork &network() const { return network_; }
+
+  protected:
+    const RcNetwork &network_;
+    Vector temps_; ///< absolute temperatures
+};
+
+/** Exact fixed-step propagator: x[n+1] = E x[n] + F u[n]. */
+class ZohPropagator : public TransientSolver
+{
+  public:
+    /**
+     * @param network the RC network
+     * @param dt the fixed step the propagator is built for
+     */
+    ZohPropagator(const RcNetwork &network, double dt);
+
+    /**
+     * Construct from a precomputed discretization (the expensive
+     * matrix exponential can be shared across many simulator
+     * instances over the same network and step).
+     */
+    ZohPropagator(const RcNetwork &network, double dt,
+                  std::shared_ptr<const ZohDiscretization> disc);
+
+    /** Precompute a shareable discretization for a network and step. */
+    static std::shared_ptr<const ZohDiscretization>
+    makeDiscretization(const RcNetwork &network, double dt);
+
+    /** The step dt must equal the construction dt (within 1 ppm). */
+    void step(const Vector &blockPowers, double dt) override;
+
+    double fixedDt() const { return dt_; }
+
+  private:
+    double dt_;
+    std::shared_ptr<const ZohDiscretization> disc_;
+    Vector x_;     ///< scratch: state relative to ambient
+    Vector next_;  ///< scratch
+};
+
+/** RK4 integrator with automatic substepping for stiff networks. */
+class Rk4Solver : public TransientSolver
+{
+  public:
+    /**
+     * @param network the RC network
+     * @param maxSubstep upper bound on the internal substep; defaults
+     * to a quarter of the fastest nodal time constant.
+     */
+    explicit Rk4Solver(const RcNetwork &network, double maxSubstep = 0.0);
+
+    void step(const Vector &blockPowers, double dt) override;
+
+  private:
+    double maxSubstep_;
+    Matrix a_;
+    Vector bScale_; ///< 1/C at die nodes
+    Vector k1_, k2_, k3_, k4_, tmp_, x_;
+
+    void derivative(const Vector &x, const Vector &p, Vector &dx) const;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_THERMAL_TRANSIENT_HH

@@ -1,0 +1,32 @@
+#include "thermal/unit.hh"
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+const std::string &
+unitKindName(UnitKind kind)
+{
+    static const std::array<std::string, numUnitKinds> names = {
+        "ICache", "DCache", "Bpred", "BXU", "Rename", "LSU", "IntQ",
+        "FpQ", "FXU", "IntRF", "FpRF", "FPU", "Other", "L2",
+    };
+    const auto idx = static_cast<std::size_t>(kind);
+    if (idx >= names.size())
+        panic("bad UnitKind ", idx);
+    return names[idx];
+}
+
+const std::array<UnitKind, numCoreUnitKinds> &
+coreUnitKinds()
+{
+    static const std::array<UnitKind, numCoreUnitKinds> kinds = [] {
+        std::array<UnitKind, numCoreUnitKinds> out{};
+        for (std::size_t i = 0; i < numCoreUnitKinds; ++i)
+            out[i] = static_cast<UnitKind>(i);
+        return out;
+    }();
+    return kinds;
+}
+
+} // namespace coolcmp

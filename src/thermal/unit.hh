@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Microarchitectural unit kinds shared between the floorplan, the power
+ * model, and the core simulator.
+ *
+ * The set follows the out-of-order PowerPC-style core of the paper's
+ * Table 3 (2 FXU, 2 FPU, 2 LSU, 1 BXU, split register files, separate
+ * memory/integer and floating-point issue queues). The two register
+ * files matter most: they are the per-core hotspot sensor sites
+ * (Section 5.1) and the units whose imbalance drives migration.
+ */
+
+#ifndef COOLCMP_THERMAL_UNIT_HH
+#define COOLCMP_THERMAL_UNIT_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace coolcmp {
+
+/** Functional unit / structure kinds inside one core, plus shared L2. */
+enum class UnitKind : unsigned {
+    ICache = 0, ///< L1 instruction cache
+    DCache,     ///< L1 data cache
+    Bpred,      ///< branch predictor tables (bimodal+gshare+selector)
+    BXU,        ///< branch execution unit
+    Rename,     ///< rename/dispatch logic
+    LSU,        ///< load-store units and queues
+    IntQ,       ///< memory/integer issue queue
+    FpQ,        ///< floating-point issue queue
+    FXU,        ///< fixed-point execution units
+    IntRF,      ///< integer register file + associated logic (hotspot A)
+    FpRF,       ///< floating-point register file + logic (hotspot B)
+    FPU,        ///< floating-point execution units
+    Other,      ///< miscellaneous core logic (TLBs, pervasive, clocks)
+    L2,         ///< shared L2 cache (one block for the whole chip)
+    NumKinds,
+};
+
+/** Number of per-core unit kinds (everything before L2). */
+constexpr std::size_t numCoreUnitKinds =
+    static_cast<std::size_t>(UnitKind::L2);
+
+/** Total number of unit kinds including L2. */
+constexpr std::size_t numUnitKinds =
+    static_cast<std::size_t>(UnitKind::NumKinds);
+
+/** Short printable name of a unit kind. */
+const std::string &unitKindName(UnitKind kind);
+
+/** Iterable list of the per-core unit kinds. */
+const std::array<UnitKind, numCoreUnitKinds> &coreUnitKinds();
+
+/** Per-core-unit-kind array of T, indexable by UnitKind. */
+template <typename T>
+class PerUnit
+{
+  public:
+    PerUnit() : values_{} {}
+
+    explicit PerUnit(const T &fill) { values_.fill(fill); }
+
+    T &operator[](UnitKind kind)
+    {
+        return values_[static_cast<std::size_t>(kind)];
+    }
+
+    const T &operator[](UnitKind kind) const
+    {
+        return values_[static_cast<std::size_t>(kind)];
+    }
+
+    auto begin() { return values_.begin(); }
+    auto end() { return values_.end(); }
+    auto begin() const { return values_.begin(); }
+    auto end() const { return values_.end(); }
+
+  private:
+    std::array<T, numUnitKinds> values_;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_THERMAL_UNIT_HH

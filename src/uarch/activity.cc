@@ -1,0 +1,26 @@
+#include "uarch/activity.hh"
+
+namespace coolcmp {
+
+void
+ActivityCounts::merge(const ActivityCounts &other)
+{
+    for (UnitKind kind : coreUnitKinds())
+        accesses[kind] += other.accesses[kind];
+    accesses[UnitKind::L2] += other.accesses[UnitKind::L2];
+    cycles += other.cycles;
+    instructions += other.instructions;
+    memOps += other.memOps;
+    branchMispredicts += other.branchMispredicts;
+    l1dMisses += other.l1dMisses;
+    l1iMisses += other.l1iMisses;
+    l2Misses += other.l2Misses;
+}
+
+void
+ActivityCounts::clear()
+{
+    *this = ActivityCounts();
+}
+
+} // namespace coolcmp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Per-interval activity counts gathered by the core model.
+ *
+ * These are exactly the "counts of various architectural events" that
+ * PowerTimer scales its power models by (Section 3.1) and include the
+ * performance-counter values the counter-based migration policy reads
+ * (Section 6.1): cycle counts, integer and floating-point register
+ * file accesses, and instructions executed.
+ */
+
+#ifndef COOLCMP_UARCH_ACTIVITY_HH
+#define COOLCMP_UARCH_ACTIVITY_HH
+
+#include <cstdint>
+
+#include "thermal/unit.hh"
+
+namespace coolcmp {
+
+/** Event counts accumulated over a simulation interval. */
+struct ActivityCounts
+{
+    /** Accesses per unit kind over the interval. */
+    PerUnit<double> accesses;
+
+    /** Core cycles in the interval. */
+    std::uint64_t cycles = 0;
+
+    /** Committed instructions. */
+    std::uint64_t instructions = 0;
+
+    /** Committed loads+stores (for cache power attribution). */
+    std::uint64_t memOps = 0;
+
+    /** Branch mispredictions. */
+    std::uint64_t branchMispredicts = 0;
+
+    /** L1D / L1I / L2 misses. */
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l1iMisses = 0;
+    std::uint64_t l2Misses = 0;
+
+    /** Committed instructions per cycle; 0 for an empty interval. */
+    double ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(instructions) /
+                static_cast<double>(cycles);
+    }
+
+    /** Accesses per cycle for one unit kind. */
+    double accessesPerCycle(UnitKind kind) const
+    {
+        return cycles == 0 ? 0.0
+                           : accesses[kind] /
+                static_cast<double>(cycles);
+    }
+
+    /** Accumulate another interval into this one. */
+    void merge(const ActivityCounts &other);
+
+    /** Reset all counts. */
+    void clear();
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_UARCH_ACTIVITY_HH

@@ -1,0 +1,129 @@
+#include "uarch/branch_predictor.hh"
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+namespace {
+
+/** 2-bit saturating counter helpers; >= 2 means predict taken. */
+std::uint8_t
+bump(std::uint8_t counter, bool taken)
+{
+    if (taken)
+        return counter < 3 ? counter + 1 : 3;
+    return counter > 0 ? counter - 1 : 0;
+}
+
+bool
+powerOfTwo(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+} // namespace
+
+bool
+BranchPredictor::lookup(std::uint64_t pc, bool taken)
+{
+    const bool prediction = predict(pc);
+    update(pc, taken);
+    ++lookups_;
+    const bool correct = prediction == taken;
+    if (!correct)
+        ++mispredicts_;
+    return correct;
+}
+
+double
+BranchPredictor::mispredictRate() const
+{
+    return lookups_ == 0 ? 0.0
+                         : static_cast<double>(mispredicts_) /
+            static_cast<double>(lookups_);
+}
+
+void
+BranchPredictor::clearStats()
+{
+    lookups_ = 0;
+    mispredicts_ = 0;
+}
+
+BimodalPredictor::BimodalPredictor(std::size_t entries)
+    : table_(entries, 2), mask_(entries - 1)
+{
+    if (!powerOfTwo(entries))
+        fatal("predictor table size must be a power of two");
+}
+
+bool
+BimodalPredictor::predict(std::uint64_t pc) const
+{
+    return table_[pc & mask_] >= 2;
+}
+
+void
+BimodalPredictor::update(std::uint64_t pc, bool taken)
+{
+    std::uint8_t &entry = table_[pc & mask_];
+    entry = bump(entry, taken);
+}
+
+GsharePredictor::GsharePredictor(std::size_t entries,
+                                 unsigned historyBits)
+    : table_(entries, 2), mask_(entries - 1), historyBits_(historyBits)
+{
+    if (!powerOfTwo(entries))
+        fatal("predictor table size must be a power of two");
+}
+
+std::size_t
+GsharePredictor::index(std::uint64_t pc) const
+{
+    return (pc ^ history_) & mask_;
+}
+
+bool
+GsharePredictor::predict(std::uint64_t pc) const
+{
+    return table_[index(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(std::uint64_t pc, bool taken)
+{
+    std::uint8_t &entry = table_[index(pc)];
+    entry = bump(entry, taken);
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+        ((1ULL << historyBits_) - 1);
+}
+
+TournamentPredictor::TournamentPredictor(std::size_t entries)
+    : bimodal_(entries), gshare_(entries), selector_(entries, 2),
+      mask_(entries - 1)
+{
+    if (!powerOfTwo(entries))
+        fatal("predictor table size must be a power of two");
+}
+
+bool
+TournamentPredictor::predict(std::uint64_t pc) const
+{
+    const bool useGshare = selector_[pc & mask_] >= 2;
+    return useGshare ? gshare_.predict(pc) : bimodal_.predict(pc);
+}
+
+void
+TournamentPredictor::update(std::uint64_t pc, bool taken)
+{
+    const bool bimodalRight = bimodal_.predict(pc) == taken;
+    const bool gshareRight = gshare_.predict(pc) == taken;
+    std::uint8_t &sel = selector_[pc & mask_];
+    if (gshareRight != bimodalRight)
+        sel = bump(sel, gshareRight);
+    bimodal_.update(pc, taken);
+    gshare_.update(pc, taken);
+}
+
+} // namespace coolcmp

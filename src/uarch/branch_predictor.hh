@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Branch predictors: bimodal, gshare, and the tournament combination
+ * of Table 3 (16K-entry bimodal + 16K-entry gshare + 16K-entry
+ * selector).
+ */
+
+#ifndef COOLCMP_UARCH_BRANCH_PREDICTOR_HH
+#define COOLCMP_UARCH_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace coolcmp {
+
+/** Common statistics-bearing predictor interface. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the branch at pc; does not update state. */
+    virtual bool predict(std::uint64_t pc) const = 0;
+
+    /** Commit the actual outcome, updating tables and history. */
+    virtual void update(std::uint64_t pc, bool taken) = 0;
+
+    /** Predict-and-update convenience; returns prediction correctness. */
+    bool lookup(std::uint64_t pc, bool taken);
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+
+    /** Misprediction ratio; 0 before any lookup. */
+    double mispredictRate() const;
+
+    void clearStats();
+
+  private:
+    std::uint64_t lookups_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+/** Table of 2-bit saturating counters indexed by pc. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    explicit BimodalPredictor(std::size_t entries = 16384);
+
+    bool predict(std::uint64_t pc) const override;
+    void update(std::uint64_t pc, bool taken) override;
+
+  private:
+    std::vector<std::uint8_t> table_;
+    std::size_t mask_;
+};
+
+/** Global-history predictor: pc XOR history indexes 2-bit counters. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    explicit GsharePredictor(std::size_t entries = 16384,
+                             unsigned historyBits = 12);
+
+    bool predict(std::uint64_t pc) const override;
+    void update(std::uint64_t pc, bool taken) override;
+
+  private:
+    std::vector<std::uint8_t> table_;
+    std::size_t mask_;
+    unsigned historyBits_;
+    std::uint64_t history_ = 0;
+
+    std::size_t index(std::uint64_t pc) const;
+};
+
+/**
+ * Tournament predictor: a selector table of 2-bit counters chooses
+ * between the bimodal and gshare components per static branch.
+ */
+class TournamentPredictor : public BranchPredictor
+{
+  public:
+    explicit TournamentPredictor(std::size_t entries = 16384);
+
+    bool predict(std::uint64_t pc) const override;
+    void update(std::uint64_t pc, bool taken) override;
+
+  private:
+    BimodalPredictor bimodal_;
+    GsharePredictor gshare_;
+    std::vector<std::uint8_t> selector_;
+    std::size_t mask_;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_UARCH_BRANCH_PREDICTOR_HH

@@ -1,0 +1,102 @@
+#include "uarch/cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config)
+{
+    if (config_.blockBytes == 0 ||
+        (config_.blockBytes & (config_.blockBytes - 1)) != 0)
+        fatal("cache block size must be a power of two");
+    if (config_.associativity == 0)
+        fatal("cache associativity must be positive");
+    const std::uint64_t sets = config_.numSets();
+    if (sets == 0 || (sets & (sets - 1)) != 0)
+        fatal("cache set count must be a positive power of two");
+    ways_.resize(sets * config_.associativity);
+    setMask_ = sets - 1;
+    blockShift_ =
+        static_cast<unsigned>(std::countr_zero(config_.blockBytes));
+}
+
+std::uint64_t
+Cache::setIndex(std::uint64_t addr) const
+{
+    return (addr >> blockShift_) & setMask_;
+}
+
+std::uint64_t
+Cache::tagOf(std::uint64_t addr) const
+{
+    return addr >> blockShift_;
+}
+
+bool
+Cache::access(std::uint64_t addr)
+{
+    ++clock_;
+    const std::uint64_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    Way *base = &ways_[set * config_.associativity];
+
+    Way *victim = base;
+    for (unsigned w = 0; w < config_.associativity; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = clock_;
+            ++hits_;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+    ++misses_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = clock_;
+    return false;
+}
+
+bool
+Cache::contains(std::uint64_t addr) const
+{
+    const std::uint64_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    const Way *base = &ways_[set * config_.associativity];
+    for (unsigned w = 0; w < config_.associativity; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (Way &way : ways_)
+        way.valid = false;
+}
+
+double
+Cache::hitRate() const
+{
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+            static_cast<double>(total);
+}
+
+void
+Cache::clearStats()
+{
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace coolcmp

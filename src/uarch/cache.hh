@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Set-associative cache model with true-LRU replacement.
+ *
+ * Tag-only: the thermal study needs hit/miss timing and access counts,
+ * not data. Configurations follow Table 3 of the paper (L1D 32 KB
+ * 2-way, L1I 64 KB 2-way, shared L2 4 MB 4-way, 128 B blocks).
+ */
+
+#ifndef COOLCMP_UARCH_CACHE_HH
+#define COOLCMP_UARCH_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace coolcmp {
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned associativity = 2;
+    unsigned blockBytes = 128;
+    int latency = 1; ///< access latency in cycles on a hit
+
+    /** Number of sets implied by the geometry. */
+    std::uint64_t numSets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(blockBytes) *
+                            associativity);
+    }
+};
+
+/** Tag-only set-associative cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Look up an address, allocating on miss.
+     * @return true on hit.
+     */
+    bool access(std::uint64_t addr);
+
+    /** Probe without allocating or updating LRU. */
+    bool contains(std::uint64_t addr) const;
+
+    /** Invalidate everything. */
+    void flush();
+
+    const CacheConfig &config() const { return config_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t accesses() const { return hits_ + misses_; }
+
+    /** Hit ratio, 0 when no accesses yet. */
+    double hitRate() const;
+
+    /** Zero the statistics (contents are retained). */
+    void clearStats();
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    CacheConfig config_;
+    std::vector<Way> ways_; ///< numSets * associativity, set-major
+    std::uint64_t setMask_;
+    unsigned blockShift_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+
+    std::uint64_t setIndex(std::uint64_t addr) const;
+    std::uint64_t tagOf(std::uint64_t addr) const;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_UARCH_CACHE_HH

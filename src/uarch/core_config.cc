@@ -1,0 +1,32 @@
+#include "uarch/core_config.hh"
+
+namespace coolcmp {
+
+CoreConfig
+CoreConfig::table3()
+{
+    return CoreConfig{};
+}
+
+CoreConfig
+CoreConfig::mobile()
+{
+    CoreConfig cfg;
+    cfg.fetchWidth = 4;
+    cfg.dispatchWidth = 3;
+    cfg.commitWidth = 3;
+    cfg.robSize = 80;
+    cfg.intQueueSize = 24;
+    cfg.fpQueueSize = 8;
+    cfg.numFxu = 2;
+    cfg.numFpu = 1;
+    cfg.numLsu = 1;
+    cfg.l1i = CacheConfig{32 * 1024, 4, 64, 1};
+    cfg.l1d = CacheConfig{32 * 1024, 4, 64, 1};
+    cfg.l2 = CacheConfig{1024 * 1024, 8, 64, 10};
+    cfg.memoryLatency = 120;
+    cfg.l2CapacityShare = 1.0; // single core owns the whole L2
+    return cfg;
+}
+
+} // namespace coolcmp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Out-of-order core configuration following Table 3 of the paper.
+ */
+
+#ifndef COOLCMP_UARCH_CORE_CONFIG_HH
+#define COOLCMP_UARCH_CORE_CONFIG_HH
+
+#include "uarch/cache.hh"
+
+namespace coolcmp {
+
+/** Core and memory-hierarchy parameters (Table 3). */
+struct CoreConfig
+{
+    // Pipeline widths (Turandot/POWER4-class; the paper does not list
+    // widths explicitly, so these follow its cited configuration [10]).
+    int fetchWidth = 8;
+    int dispatchWidth = 5;
+    int commitWidth = 5;
+
+    // Window structures.
+    int robSize = 156;
+    int intQueueSize = 40; ///< Mem/Int queue (2x20)
+    int fpQueueSize = 10;  ///< FP queue (2x5)
+    int fetchBufferSize = 24;
+
+    // Functional units: 2 FXU, 2 FPU, 2 LSU, 1 BXU.
+    int numFxu = 2;
+    int numFpu = 2;
+    int numLsu = 2;
+    int numBxu = 1;
+
+    // Physical registers: 120 GPR, 108 FPR (SPRs folded into Other).
+    int physGpr = 120;
+    int physFpr = 108;
+    // Architected registers that are always live.
+    int archGpr = 36;
+    int archFpr = 34;
+
+    // Branch handling.
+    std::size_t bpredEntries = 16384;
+    int frontendRefill = 5; ///< cycles to refill fetch after redirect
+
+    // Memory hierarchy (latencies in cycles).
+    CacheConfig l1i{64 * 1024, 2, 128, 1};
+    CacheConfig l1d{32 * 1024, 2, 128, 1};
+    CacheConfig l2{4 * 1024 * 1024, 4, 128, 9};
+    int memoryLatency = 100;
+
+    /**
+     * Fraction of the shared L2 a single-threaded trace run may use.
+     * The paper capacity-limits single-threaded Turandot runs to one
+     * quarter of the L2 while charging full-size power (Section 3.3).
+     */
+    double l2CapacityShare = 0.25;
+
+    /** The 4-core CMP configuration from Table 3. */
+    static CoreConfig table3();
+
+    /** Single-core mobile configuration for the Table 1 experiment
+     *  (Banias-like: 1 MB L2, narrower core). */
+    static CoreConfig mobile();
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_UARCH_CORE_CONFIG_HH

@@ -1,0 +1,22 @@
+#include "uarch/isa.hh"
+
+#include <array>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+const std::string &
+opClassName(OpClass cls)
+{
+    static const std::array<std::string, numOpClasses> names = {
+        "IntAlu", "IntMul", "FpAdd", "FpMul", "FpDiv", "Load", "Store",
+        "Branch",
+    };
+    const auto idx = static_cast<std::size_t>(cls);
+    if (idx >= names.size())
+        panic("bad OpClass ", idx);
+    return names[idx];
+}
+
+} // namespace coolcmp

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Micro-operation model for the synthetic out-of-order core.
+ *
+ * The trace-based methodology of the paper needs per-unit activity
+ * counts, not architectural semantics, so micro-ops carry only what
+ * affects timing and unit usage: an operation class, dependency
+ * distances, a memory address, and a branch identity/outcome.
+ */
+
+#ifndef COOLCMP_UARCH_ISA_HH
+#define COOLCMP_UARCH_ISA_HH
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+namespace coolcmp {
+
+/** Operation classes, mapped onto the Table 3 functional units. */
+enum class OpClass : unsigned {
+    IntAlu = 0, ///< FXU, 1 cycle
+    IntMul,     ///< FXU, 7 cycles
+    FpAdd,      ///< FPU, 4 cycles
+    FpMul,      ///< FPU, 4 cycles
+    FpDiv,      ///< FPU, 12 cycles, unpipelined
+    Load,       ///< LSU, cache-dependent latency
+    Store,      ///< LSU, 1 cycle into the store buffer
+    Branch,     ///< BXU, 1 cycle
+    NumClasses,
+};
+
+constexpr std::size_t numOpClasses =
+    static_cast<std::size_t>(OpClass::NumClasses);
+
+/** Printable op-class name. */
+const std::string &opClassName(OpClass cls);
+
+/** True for FpAdd/FpMul/FpDiv. */
+constexpr bool
+isFloat(OpClass cls)
+{
+    return cls == OpClass::FpAdd || cls == OpClass::FpMul ||
+        cls == OpClass::FpDiv;
+}
+
+/** True for Load/Store. */
+constexpr bool
+isMemory(OpClass cls)
+{
+    return cls == OpClass::Load || cls == OpClass::Store;
+}
+
+/** Execution latency in cycles, excluding cache misses. */
+constexpr int
+baseLatency(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return 1;
+      case OpClass::IntMul: return 7;
+      case OpClass::FpAdd: return 4;
+      case OpClass::FpMul: return 4;
+      case OpClass::FpDiv: return 12;
+      case OpClass::Load: return 1;   // plus memory-hierarchy latency
+      case OpClass::Store: return 1;
+      case OpClass::Branch: return 1;
+      default: return 1;
+    }
+}
+
+/** One micro-operation produced by the synthetic stream. */
+struct MicroOp
+{
+    OpClass cls = OpClass::IntAlu;
+    /** Dependency distances in dynamic instructions (0 = no source). */
+    std::uint32_t srcDist[2] = {0, 0};
+    /** Effective address for memory operations. */
+    std::uint64_t addr = 0;
+    /** Static branch identity for predictor indexing. */
+    std::uint64_t pc = 0;
+    /** Actual branch outcome. */
+    bool taken = false;
+    /** Load destined for the FP register file. */
+    bool fpDest = false;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_UARCH_ISA_HH

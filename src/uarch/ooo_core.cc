@@ -1,0 +1,349 @@
+#include "uarch/ooo_core.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+namespace {
+
+/** Sequence ring large enough that a producer entry can never be
+ *  overwritten while a consumer still inside the window needs it. */
+constexpr std::uint64_t seqRingSize = 4096;
+
+CacheConfig
+scaledL2(const CoreConfig &config)
+{
+    CacheConfig l2 = config.l2;
+    auto scaled = static_cast<std::uint64_t>(
+        static_cast<double>(l2.sizeBytes) * config.l2CapacityShare);
+    // Keep a power-of-two set count by rounding to the nearest power
+    // of two at or below the scaled size.
+    std::uint64_t size = l2.blockBytes * l2.associativity;
+    while (size * 2 <= scaled)
+        size *= 2;
+    l2.sizeBytes = size;
+    return l2;
+}
+
+} // namespace
+
+OooCore::OooCore(const CoreConfig &config, const StreamParams &params,
+                 std::uint64_t seed)
+    : config_(config), stream_(params, seed), l1i_(config.l1i),
+      l1d_(config.l1d), l2_(scaledL2(config)),
+      predictor_(config.bpredEntries),
+      rob_(static_cast<std::size_t>(config.robSize)),
+      completeBySeq_(seqRingSize, -1), seqMask_(seqRingSize - 1),
+      intRegsFree_(config.physGpr - config.archGpr),
+      fpRegsFree_(config.physFpr - config.archFpr),
+      intQFree_(config.intQueueSize), fpQFree_(config.fpQueueSize)
+{
+    if (config.robSize <= 0 || config.fetchWidth <= 0 ||
+        config.dispatchWidth <= 0 || config.commitWidth <= 0)
+        fatal("core widths and ROB size must be positive");
+    if (intRegsFree_ <= 0 || fpRegsFree_ <= 0)
+        fatal("physical register file smaller than architected state");
+}
+
+void
+OooCore::setStreamParams(const StreamParams &params)
+{
+    stream_.setParams(params);
+}
+
+double
+OooCore::ipc() const
+{
+    return cycle_ == 0 ? 0.0
+                       : static_cast<double>(totalCommitted_) /
+            static_cast<double>(cycle_);
+}
+
+bool
+OooCore::needsIntQueue(OpClass cls) const
+{
+    return !isFloat(cls);
+}
+
+std::int64_t
+OooCore::sourcesReadyAt(const RobEntry &entry) const
+{
+    std::int64_t readyAt = 0;
+    for (int s = 0; s < 2; ++s) {
+        const std::uint32_t dist = entry.op.srcDist[s];
+        if (dist == 0)
+            continue;
+        if (dist > entry.seq)
+            continue; // source predates the simulation
+        const std::uint64_t producer = entry.seq - dist;
+        const std::int64_t ready = completeBySeq_[producer & seqMask_];
+        if (ready < 0)
+            return std::numeric_limits<std::int64_t>::max();
+        readyAt = std::max(readyAt, ready);
+    }
+    return readyAt;
+}
+
+int
+OooCore::memoryLatency(std::uint64_t addr, ActivityCounts &counts)
+{
+    counts.accesses[UnitKind::DCache] += 1.0;
+    if (l1d_.access(addr))
+        return config_.l1d.latency;
+    counts.l1dMisses += 1;
+    counts.accesses[UnitKind::L2] += 1.0;
+    if (l2_.access(addr))
+        return config_.l1d.latency + config_.l2.latency;
+    counts.l2Misses += 1;
+    return config_.l1d.latency + config_.l2.latency +
+        config_.memoryLatency;
+}
+
+void
+OooCore::doCommit(ActivityCounts &counts)
+{
+    const auto now = static_cast<std::int64_t>(cycle_);
+    for (int n = 0; n < config_.commitWidth && robCount_ > 0; ++n) {
+        RobEntry &head = rob_[robHead_];
+        if (!head.issued || head.completeAt > now)
+            break;
+        const OpClass cls = head.op.cls;
+        // Free the rename register claimed at dispatch.
+        if (isFloat(cls) || (cls == OpClass::Load && head.op.fpDest)) {
+            ++fpRegsFree_;
+        } else if (cls != OpClass::Store && cls != OpClass::Branch) {
+            ++intRegsFree_;
+        }
+        if (isMemory(cls))
+            counts.memOps += 1;
+        counts.accesses[UnitKind::Other] += 1.0;
+        counts.instructions += 1;
+        ++totalCommitted_;
+        robHead_ = (robHead_ + 1) % rob_.size();
+        --robCount_;
+    }
+}
+
+void
+OooCore::doIssue(ActivityCounts &counts)
+{
+    int fxuLeft = config_.numFxu;
+    int fpuLeft = config_.numFpu;
+    int lsuLeft = config_.numLsu;
+    int bxuLeft = config_.numBxu;
+    const auto now = static_cast<std::int64_t>(cycle_);
+
+    std::size_t idx = robHead_;
+    const std::size_t robSize = rob_.size();
+    const std::size_t limit =
+        std::min<std::size_t>(robCount_, issueScanLimit_);
+    for (std::size_t n = 0; n < limit; ++n) {
+        RobEntry &entry = rob_[idx];
+        if (++idx == robSize)
+            idx = 0;
+        if (entry.issued || now < entry.retryAt)
+            continue;
+        if (fxuLeft + fpuLeft + lsuLeft + bxuLeft == 0)
+            break;
+        const std::int64_t readyAt = sourcesReadyAt(entry);
+        if (readyAt > now) {
+            // Memoize: no point re-checking before the producer
+            // completes (unissued producers re-check next cycle).
+            entry.retryAt =
+                readyAt == std::numeric_limits<std::int64_t>::max()
+                    ? now + 1 : readyAt;
+            continue;
+        }
+        const OpClass cls = entry.op.cls;
+        int latency = baseLatency(cls);
+        switch (cls) {
+          case OpClass::IntAlu:
+          case OpClass::IntMul:
+            if (fxuLeft == 0)
+                continue;
+            --fxuLeft;
+            counts.accesses[UnitKind::FXU] += 1.0;
+            counts.accesses[UnitKind::IntRF] += 3.0; // 2 reads, 1 write
+            counts.accesses[UnitKind::IntQ] += 1.0;
+            ++intQFree_;
+            break;
+          case OpClass::FpAdd:
+          case OpClass::FpMul:
+            if (fpuLeft == 0)
+                continue;
+            --fpuLeft;
+            counts.accesses[UnitKind::FPU] += 1.0;
+            counts.accesses[UnitKind::FpRF] += 3.0;
+            counts.accesses[UnitKind::FpQ] += 1.0;
+            ++fpQFree_;
+            break;
+          case OpClass::FpDiv:
+            if (fpuLeft == 0 || fpDivFreeAt_ > now)
+                continue;
+            --fpuLeft;
+            fpDivFreeAt_ = now + latency; // unpipelined divider
+            counts.accesses[UnitKind::FPU] += 1.0;
+            counts.accesses[UnitKind::FpRF] += 3.0;
+            counts.accesses[UnitKind::FpQ] += 1.0;
+            ++fpQFree_;
+            break;
+          case OpClass::Load:
+            if (lsuLeft == 0)
+                continue;
+            --lsuLeft;
+            latency = memoryLatency(entry.op.addr, counts);
+            counts.accesses[UnitKind::LSU] += 1.0;
+            counts.accesses[UnitKind::IntRF] += 1.0; // address
+            if (entry.op.fpDest)
+                counts.accesses[UnitKind::FpRF] += 1.0;
+            else
+                counts.accesses[UnitKind::IntRF] += 1.0;
+            counts.accesses[UnitKind::IntQ] += 1.0;
+            ++intQFree_;
+            break;
+          case OpClass::Store:
+            if (lsuLeft == 0)
+                continue;
+            --lsuLeft;
+            (void)memoryLatency(entry.op.addr, counts);
+            latency = 1; // retires into the store buffer
+            counts.accesses[UnitKind::LSU] += 1.0;
+            counts.accesses[UnitKind::IntRF] += 2.0;
+            counts.accesses[UnitKind::IntQ] += 1.0;
+            ++intQFree_;
+            break;
+          case OpClass::Branch:
+            if (bxuLeft == 0)
+                continue;
+            --bxuLeft;
+            counts.accesses[UnitKind::BXU] += 1.0;
+            counts.accesses[UnitKind::IntRF] += 1.0;
+            counts.accesses[UnitKind::IntQ] += 1.0;
+            ++intQFree_;
+            break;
+          default:
+            panic("unknown op class at issue");
+        }
+        entry.issued = true;
+        entry.completeAt = now + latency;
+        completeBySeq_[entry.seq & seqMask_] = entry.completeAt;
+        if (entry.mispredicted) {
+            // Fetch resumes once the branch resolves plus refill time.
+            fetchStalledUntil_ = std::max<std::int64_t>(
+                fetchStalledUntil_,
+                entry.completeAt + config_.frontendRefill);
+            awaitingRedirect_ = false;
+        }
+    }
+}
+
+void
+OooCore::doDispatch(ActivityCounts &counts)
+{
+    for (int n = 0; n < config_.dispatchWidth; ++n) {
+        if (fetchBuffer_.empty() || robCount_ == rob_.size())
+            break;
+        const MicroOp &op = fetchBuffer_.front();
+        const bool fp = isFloat(op.cls);
+        const bool fpDest = fp || (op.cls == OpClass::Load && op.fpDest);
+        const bool intDest = !fpDest && op.cls != OpClass::Store &&
+            op.cls != OpClass::Branch;
+
+        if (fpDest && fpRegsFree_ == 0)
+            break;
+        if (intDest && intRegsFree_ == 0)
+            break;
+        if (needsIntQueue(op.cls) && intQFree_ == 0)
+            break;
+        if (!needsIntQueue(op.cls) && fpQFree_ == 0)
+            break;
+
+        if (fpDest)
+            --fpRegsFree_;
+        if (intDest)
+            --intRegsFree_;
+        if (needsIntQueue(op.cls)) {
+            --intQFree_;
+            counts.accesses[UnitKind::IntQ] += 1.0;
+        } else {
+            --fpQFree_;
+            counts.accesses[UnitKind::FpQ] += 1.0;
+        }
+        counts.accesses[UnitKind::Rename] += 1.0;
+
+        std::size_t tail = (robHead_ + robCount_) % rob_.size();
+        RobEntry &entry = rob_[tail];
+        entry.op = op;
+        entry.seq = nextSeq_++;
+        entry.issued = false;
+        entry.completeAt = -1;
+        entry.retryAt = 0;
+        entry.mispredicted =
+            op.cls == OpClass::Branch && op.fpDest; // flag reused below
+        completeBySeq_[entry.seq & seqMask_] = -1;
+        ++robCount_;
+        fetchBuffer_.pop_front();
+    }
+}
+
+void
+OooCore::doFetch(ActivityCounts &counts)
+{
+    const auto now = static_cast<std::int64_t>(cycle_);
+    if (now < fetchStalledUntil_ || awaitingRedirect_)
+        return;
+    if (static_cast<int>(fetchBuffer_.size()) >=
+        config_.fetchBufferSize)
+        return;
+
+    counts.accesses[UnitKind::ICache] += 1.0;
+    if (!l1i_.access(stream_.fetchAddr())) {
+        counts.l1iMisses += 1;
+        counts.accesses[UnitKind::L2] += 1.0;
+        int penalty = config_.l2.latency;
+        if (!l2_.access(stream_.fetchAddr()))
+            penalty += config_.memoryLatency;
+        fetchStalledUntil_ = now + penalty;
+        return;
+    }
+
+    for (int n = 0; n < config_.fetchWidth; ++n) {
+        if (static_cast<int>(fetchBuffer_.size()) >=
+            config_.fetchBufferSize)
+            break;
+        MicroOp op = stream_.next();
+        if (op.cls == OpClass::Branch) {
+            counts.accesses[UnitKind::Bpred] += 2.0; // lookup + update
+            const bool correct = predictor_.lookup(op.pc, op.taken);
+            if (!correct) {
+                counts.branchMispredicts += 1;
+                // Reuse fpDest as the "mispredicted" mark for branches
+                // (branches never load FP registers).
+                op.fpDest = true;
+                fetchBuffer_.push_back(op);
+                awaitingRedirect_ = true;
+                return;
+            }
+        }
+        fetchBuffer_.push_back(op);
+    }
+}
+
+void
+OooCore::run(std::uint64_t cycles, ActivityCounts &counts)
+{
+    const std::uint64_t end = cycle_ + cycles;
+    while (cycle_ < end) {
+        doCommit(counts);
+        doIssue(counts);
+        doDispatch(counts);
+        doFetch(counts);
+        ++cycle_;
+        counts.cycles += 1;
+    }
+}
+
+} // namespace coolcmp

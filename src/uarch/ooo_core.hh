@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Cycle-level out-of-order core model (the Turandot stand-in).
+ *
+ * Models the Table 3 machine: decoupled fetch with a tournament branch
+ * predictor, rename with finite physical register files, split
+ * memory/integer and floating-point issue queues, a reorder buffer,
+ * per-class functional units (2 FXU, 2 FPU, 2 LSU, 1 BXU), and a
+ * two-level cache hierarchy. Execution is scoreboard-style: micro-ops
+ * issue when their register sources are complete and a unit is free,
+ * and commit in order. The model's product is the per-interval
+ * ActivityCounts stream that feeds the power model.
+ */
+
+#ifndef COOLCMP_UARCH_OOO_CORE_HH
+#define COOLCMP_UARCH_OOO_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "uarch/activity.hh"
+#include "uarch/branch_predictor.hh"
+#include "uarch/cache.hh"
+#include "uarch/core_config.hh"
+#include "uarch/synthetic_stream.hh"
+
+namespace coolcmp {
+
+/** One simulated out-of-order core driven by a synthetic stream. */
+class OooCore
+{
+  public:
+    /**
+     * @param config machine parameters
+     * @param params initial stream statistics
+     * @param seed deterministic seed for the instruction stream
+     */
+    OooCore(const CoreConfig &config, const StreamParams &params,
+            std::uint64_t seed);
+
+    /** Change the stream statistics (phase boundary). */
+    void setStreamParams(const StreamParams &params);
+
+    /**
+     * Simulate the given number of cycles, accumulating event counts.
+     * May be called repeatedly; machine state persists across calls.
+     */
+    void run(std::uint64_t cycles, ActivityCounts &counts);
+
+    /** Total committed instructions since construction. */
+    std::uint64_t totalInstructions() const { return totalCommitted_; }
+
+    /** Total cycles simulated since construction. */
+    std::uint64_t totalCycles() const { return cycle_; }
+
+    /** Lifetime IPC. */
+    double ipc() const;
+
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l2() const { return l2_; }
+    const BranchPredictor &predictor() const { return predictor_; }
+
+  private:
+    struct RobEntry
+    {
+        MicroOp op;
+        std::uint64_t seq = 0;
+        std::int64_t completeAt = -1; ///< -1 while waiting to issue
+        std::int64_t retryAt = 0;     ///< skip issue checks before this
+        bool issued = false;
+        bool mispredicted = false;
+    };
+
+    CoreConfig config_;
+    SyntheticStream stream_;
+
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    TournamentPredictor predictor_;
+
+    // Reorder buffer as a ring.
+    std::vector<RobEntry> rob_;
+    std::size_t robHead_ = 0;
+    std::size_t robCount_ = 0;
+
+    // Completion times by sequence number (ring; ready once <= cycle).
+    std::vector<std::int64_t> completeBySeq_;
+    std::uint64_t seqMask_;
+
+    std::deque<MicroOp> fetchBuffer_;
+
+    std::uint64_t cycle_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t totalCommitted_ = 0;
+
+    int intRegsFree_;
+    int fpRegsFree_;
+    int intQFree_;
+    int fpQFree_;
+
+    std::int64_t fetchStalledUntil_ = 0; ///< icache miss / redirect
+    bool awaitingRedirect_ = false; ///< a fetched mispredict is in flight
+    std::int64_t fpDivFreeAt_ = 0;
+
+    static constexpr int issueScanLimit_ = 24;
+
+    void doCommit(ActivityCounts &counts);
+    void doIssue(ActivityCounts &counts);
+    void doDispatch(ActivityCounts &counts);
+    void doFetch(ActivityCounts &counts);
+
+    bool needsIntQueue(OpClass cls) const;
+
+    /**
+     * Earliest cycle at which the entry's register sources are all
+     * complete: <= now means ready; INT64_MAX means a producer has not
+     * even issued yet.
+     */
+    std::int64_t sourcesReadyAt(const RobEntry &entry) const;
+    int memoryLatency(std::uint64_t addr, ActivityCounts &counts);
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_UARCH_OOO_CORE_HH

@@ -1,0 +1,177 @@
+#include "uarch/synthetic_stream.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+namespace {
+
+// Data regions sized against the Table 3 hierarchy: the hot set fits
+// the 32 KB L1D, the warm set fits a one-quarter share (1 MB) of the
+// 4 MB shared L2 (the paper capacity-limits single-threaded runs the
+// same way), and the cold region always misses.
+constexpr std::uint64_t hotBase = 0x10000000ULL;
+constexpr std::uint64_t hotSize = 16 * 1024;
+constexpr std::uint64_t warmBase = 0x20000000ULL;
+constexpr std::uint64_t warmSize = 768 * 1024;
+constexpr std::uint64_t coldBase = 0x40000000ULL;
+constexpr std::uint64_t coldSize = 256ULL * 1024 * 1024;
+
+constexpr std::uint64_t codeBase = 0x00400000ULL;
+
+} // namespace
+
+SyntheticStream::SyntheticStream(const StreamParams &params,
+                                 std::uint64_t seed)
+    : params_(params), rng_(seed), hotCursor_(hotBase),
+      warmCursor_(warmBase), coldCursor_(coldBase), fetchAddr_(codeBase)
+{
+    normalizeMix();
+    rebuildDepDistTable();
+    rebuildBranches(seed);
+}
+
+void
+SyntheticStream::setParams(const StreamParams &params)
+{
+    // Branch pool is preserved across phase changes (same program, new
+    // phase), unless the pool size itself changed.
+    const int oldBranches = params_.staticBranches;
+    params_ = params;
+    normalizeMix();
+    rebuildDepDistTable();
+    if (params_.staticBranches != oldBranches)
+        rebuildBranches(rng_());
+}
+
+void
+SyntheticStream::normalizeMix()
+{
+    double total = 0.0;
+    for (double m : params_.mix) {
+        if (m < 0.0)
+            fatal("instruction mix fractions must be non-negative");
+        total += m;
+    }
+    if (total <= 0.0)
+        fatal("instruction mix must have positive mass");
+    double cum = 0.0;
+    for (std::size_t i = 0; i < numOpClasses; ++i) {
+        cum += params_.mix[i] / total;
+        cumMix_[i] = cum;
+    }
+    cumMix_[numOpClasses - 1] = 1.0;
+}
+
+void
+SyntheticStream::rebuildDepDistTable()
+{
+    // Quantized inverse CDF of 1 + Geometric(1/meanDepDist), capped at
+    // half the sequence ring so producers are always resolvable.
+    const double mean = std::max(params_.meanDepDist, 1.0);
+    const double p = 1.0 / mean;
+    const double logq = std::log1p(-std::min(p, 1.0 - 1e-12));
+    for (std::size_t i = 0; i < depDistTable_.size(); ++i) {
+        const double u =
+            (static_cast<double>(i) + 0.5) / depDistTable_.size();
+        const double draws = std::log1p(-u) / logq;
+        depDistTable_[i] = static_cast<std::uint32_t>(
+            1 + std::min(draws, 511.0));
+    }
+}
+
+void
+SyntheticStream::rebuildBranches(std::uint64_t seed)
+{
+    Rng rng(seed ^ 0xb5297a4d3f2c1e0bULL);
+    const auto n = static_cast<std::size_t>(
+        std::max(params_.staticBranches, 1));
+    branchBias_.resize(n);
+    branchPc_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t footprint =
+            std::max<std::uint64_t>(params_.codeFootprint, 64);
+        branchPc_[i] = codeBase + rng.below(footprint) / 4 * 4;
+        if (rng.chance(params_.biasedBranchFrac)) {
+            branchBias_[i] =
+                rng.chance(0.6) ? rng.uniform(0.94, 1.0)
+                                : rng.uniform(0.0, 0.06);
+        } else {
+            branchBias_[i] = rng.uniform(0.25, 0.75);
+        }
+    }
+}
+
+std::uint64_t
+SyntheticStream::dataAddress()
+{
+    const double region = rng_.uniform();
+    std::uint64_t *cursor;
+    std::uint64_t base, size;
+    if (region < params_.l1Frac) {
+        cursor = &hotCursor_;
+        base = hotBase;
+        size = hotSize;
+    } else if (region < params_.l2Frac) {
+        cursor = &warmCursor_;
+        base = warmBase;
+        size = warmSize;
+    } else {
+        cursor = &coldCursor_;
+        base = coldBase;
+        size = coldSize;
+    }
+    if (rng_.chance(params_.strideProb)) {
+        *cursor += 8;
+        if (*cursor >= base + size)
+            *cursor = base;
+    } else {
+        *cursor = base + rng_.below(size) / 8 * 8;
+    }
+    return *cursor;
+}
+
+MicroOp
+SyntheticStream::next()
+{
+    MicroOp op;
+    const double draw = rng_.uniform();
+    std::size_t cls = 0;
+    while (cls + 1 < numOpClasses && draw >= cumMix_[cls])
+        ++cls;
+    op.cls = static_cast<OpClass>(cls);
+
+    // Register dependencies: geometric distances with the given mean,
+    // drawn through the quantized inverse-CDF table.
+    op.srcDist[0] = depDistTable_[rng_() >> 56];
+    op.srcDist[1] = rng_.chance(params_.secondSrcProb)
+        ? depDistTable_[rng_() >> 56] : 0;
+
+    if (isMemory(op.cls)) {
+        op.addr = dataAddress();
+        if (op.cls == OpClass::Load)
+            op.fpDest = rng_.chance(params_.fpLoadFrac);
+    } else if (op.cls == OpClass::Branch) {
+        const std::size_t which = rng_.below(branchBias_.size());
+        op.pc = branchPc_[which];
+        op.taken = rng_.chance(branchBias_[which]);
+    }
+
+    // Instruction-side footprint: mostly sequential fetch with
+    // occasional jumps to fresh code (models large-footprint phases).
+    const std::uint64_t footprint =
+        std::max<std::uint64_t>(params_.codeFootprint, 64);
+    fetchAddr_ += 4;
+    if (rng_.chance(params_.icacheChurn))
+        fetchAddr_ = codeBase + rng_.below(footprint) / 4 * 4;
+    if (fetchAddr_ >= codeBase + footprint)
+        fetchAddr_ = codeBase;
+
+    ++generated_;
+    return op;
+}
+
+} // namespace coolcmp

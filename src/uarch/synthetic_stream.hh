@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Statistically-shaped synthetic instruction streams.
+ *
+ * The paper drives its power-trace generation from SimPoint-selected
+ * 500M-instruction regions of SPEC CPU2000 binaries. Those binaries
+ * are not available here, so each benchmark is replaced by a stream
+ * generator whose statistics (instruction mix, dependency distances,
+ * memory locality, branch behaviour) are calibrated per benchmark in
+ * src/workload. Running these streams through the out-of-order core
+ * produces per-unit activity traces with the same thermal signatures
+ * the DTM policies key on.
+ */
+
+#ifndef COOLCMP_UARCH_SYNTHETIC_STREAM_HH
+#define COOLCMP_UARCH_SYNTHETIC_STREAM_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "uarch/isa.hh"
+#include "util/rng.hh"
+
+namespace coolcmp {
+
+/** Tunable statistics of a synthetic instruction stream. */
+struct StreamParams
+{
+    /** Instruction mix; normalized internally. Order: IntAlu, IntMul,
+     *  FpAdd, FpMul, FpDiv, Load, Store, Branch. */
+    std::array<double, numOpClasses> mix = {0.45, 0.02, 0.0, 0.0, 0.0,
+                                            0.25, 0.13, 0.15};
+
+    /** Mean register dependency distance in dynamic instructions;
+     *  smaller = less ILP. */
+    double meanDepDist = 6.0;
+
+    /** Probability that an op has a second register source. */
+    double secondSrcProb = 0.5;
+
+    /** Fraction of loads writing the FP register file. */
+    double fpLoadFrac = 0.0;
+
+    /** Target residency of data accesses: probability that an access
+     *  falls in the L1-resident / L2-resident working set. Remaining
+     *  accesses go to a memory-sized region. */
+    double l1Frac = 0.92;
+    double l2Frac = 0.99;
+
+    /** Probability a data access continues a sequential run. */
+    double strideProb = 0.55;
+
+    /** Number of distinct static branches. */
+    int staticBranches = 512;
+
+    /** Fraction of static branches that are strongly biased (and so
+     *  easily predicted). */
+    double biasedBranchFrac = 0.9;
+
+    /** Instruction-footprint pressure: probability an instruction
+     *  fetch jumps to a random spot in the code footprint. */
+    double icacheChurn = 0.0005;
+
+    /** Dynamic code footprint in bytes; fetch loops within it, so a
+     *  footprint below the L1I size yields a near-perfect hit rate
+     *  while gcc-like benchmarks can set hundreds of kilobytes. */
+    std::uint64_t codeFootprint = 32 * 1024;
+};
+
+/** Deterministic generator of MicroOps with the given statistics. */
+class SyntheticStream
+{
+  public:
+    /**
+     * @param params initial stream statistics
+     * @param seed per-benchmark RNG seed (same seed => same stream)
+     */
+    SyntheticStream(const StreamParams &params, std::uint64_t seed);
+
+    /** Change statistics (e.g., at a phase boundary). */
+    void setParams(const StreamParams &params);
+
+    const StreamParams &params() const { return params_; }
+
+    /** Produce the next micro-op. */
+    MicroOp next();
+
+    /** Current instruction-fetch address (advances with the stream and
+     *  jumps on icache churn). */
+    std::uint64_t fetchAddr() const { return fetchAddr_; }
+
+    /** Number of micro-ops generated so far. */
+    std::uint64_t generated() const { return generated_; }
+
+  private:
+    StreamParams params_;
+    Rng rng_;
+    std::array<double, numOpClasses> cumMix_;
+
+    // Data regions sized to land in L1 / quarter-L2 / memory.
+    std::uint64_t hotCursor_;
+    std::uint64_t warmCursor_;
+    std::uint64_t coldCursor_;
+
+    // Static branch pool with per-branch taken bias.
+    std::vector<double> branchBias_;
+    std::vector<std::uint64_t> branchPc_;
+
+    std::uint64_t fetchAddr_;
+    std::uint64_t generated_ = 0;
+
+    /** Inverse-CDF lookup table for dependency distances (fast path
+     *  replacing per-op log evaluations). */
+    std::array<std::uint32_t, 256> depDistTable_;
+
+    void normalizeMix();
+    void rebuildDepDistTable();
+    void rebuildBranches(std::uint64_t seed);
+    std::uint64_t dataAddress();
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_UARCH_SYNTHETIC_STREAM_HH

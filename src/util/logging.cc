@@ -1,0 +1,51 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+
+namespace coolcmp {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Warn;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+namespace detail {
+
+void
+emit(const char *prefix, const std::string &msg)
+{
+    std::fputs(prefix, stderr);
+    std::fputs(msg.c_str(), stderr);
+    std::fputc('\n', stderr);
+}
+
+void
+fatalExit(const std::string &msg)
+{
+    emit("fatal: ", msg);
+    std::exit(1);
+}
+
+void
+panicAbort(const std::string &msg)
+{
+    emit("panic: ", msg);
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace coolcmp

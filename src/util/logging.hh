@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a simulator bug), fatal() is for user-caused conditions
+ * (bad configuration, impossible parameters), warn()/inform() report
+ * conditions that do not stop the run.
+ */
+
+#ifndef COOLCMP_UTIL_LOGGING_HH
+#define COOLCMP_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace coolcmp {
+
+/** Verbosity levels for runtime status messages. */
+enum class LogLevel { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/** Global log-level accessor. Defaults to Warn. */
+LogLevel logLevel();
+
+/** Set the global log level (e.g., Silent in unit tests). */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Emit a formatted message with a severity prefix to stderr. */
+void emit(const char *prefix, const std::string &msg);
+
+/** Terminate due to a user-caused error (exit(1)). */
+[[noreturn]] void fatalExit(const std::string &msg);
+
+/** Terminate due to an internal invariant violation (abort()). */
+[[noreturn]] void panicAbort(const std::string &msg);
+
+/** Concatenate a parameter pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report normal operating status to the user. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Inform)
+        detail::emit("info: ", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious but non-fatal condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::emit("warn: ", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Abort the run: the user asked for something impossible. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalExit(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Abort the run: the simulator itself is broken. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicAbort(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace coolcmp
+
+#endif // COOLCMP_UTIL_LOGGING_HH

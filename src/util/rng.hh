@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Simulation results must be reproducible run-to-run, so all stochastic
+ * behaviour in CoolCMP draws from explicitly-seeded Rng instances rather
+ * than global std::rand state. The generator is xoshiro256**, which is
+ * fast, has 256 bits of state, and passes BigCrush.
+ */
+
+#ifndef COOLCMP_UTIL_RNG_HH
+#define COOLCMP_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace coolcmp {
+
+/**
+ * xoshiro256** pseudo-random generator with convenience distributions.
+ *
+ * Satisfies the UniformRandomBitGenerator requirements so it can also be
+ * plugged into <random> distributions if needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Seed via splitmix64 so that nearby seeds give unrelated streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit draw. */
+    result_type operator()();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli draw: true with probability p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /** Standard normal via Marsaglia polar method. */
+    double gaussian();
+
+    /** Normal with given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /**
+     * Geometric-like draw: number of failures before a success with
+     * probability p per trial, capped at cap. Used for run lengths.
+     */
+    std::uint64_t geometric(double p, std::uint64_t cap);
+
+  private:
+    std::uint64_t s_[4];
+    bool hasSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_UTIL_RNG_HH

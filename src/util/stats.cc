@@ -1,0 +1,142 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+RunningStat::RunningStat()
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity())
+{
+}
+
+void
+RunningStat::add(double x)
+{
+    addWeighted(x, 1.0);
+}
+
+void
+RunningStat::addWeighted(double x, double weight)
+{
+    if (weight <= 0.0)
+        panic("RunningStat weight must be positive");
+    ++count_;
+    weight_ += weight;
+    const double delta = x - mean_;
+    mean_ += delta * (weight / weight_);
+    m2_ += weight * delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStat::mean() const
+{
+    return count_ == 0 ? 0.0 : mean_;
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2 || weight_ <= 0.0)
+        return 0.0;
+    // Frequency-weight interpretation.
+    return m2_ / weight_ * (static_cast<double>(count_) / (count_ - 1));
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::weightedSum() const
+{
+    return mean_ * weight_;
+}
+
+void
+RunningStat::clear()
+{
+    *this = RunningStat();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0)
+{
+    if (bins == 0)
+        fatal("Histogram needs at least one bin");
+    if (!(hi > lo))
+        fatal("Histogram range must be non-empty");
+}
+
+void
+Histogram::add(double x)
+{
+    const double frac = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<long>(std::floor(frac * bins_.size()));
+    idx = std::clamp<long>(idx, 0, static_cast<long>(bins_.size()) - 1);
+    ++bins_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) / bins_.size();
+}
+
+double
+Histogram::quantile(double p) const
+{
+    if (total_ == 0)
+        return lo_;
+    p = std::clamp(p, 0.0, 1.0);
+    const double target = p * static_cast<double>(total_);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        const double next = cum + static_cast<double>(bins_[i]);
+        if (next >= target) {
+            // Interpolate within the bin.
+            const double width = (hi_ - lo_) / bins_.size();
+            const double inBin = bins_[i] == 0
+                ? 0.0 : (target - cum) / static_cast<double>(bins_[i]);
+            return binLow(i) + width * inBin;
+        }
+        cum = next;
+    }
+    return hi_;
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            fatal("geometricMean requires positive values");
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace coolcmp

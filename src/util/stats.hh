@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Streaming statistics accumulators used throughout the simulator and
+ * the benchmark harnesses.
+ */
+
+#ifndef COOLCMP_UTIL_STATS_HH
+#define COOLCMP_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace coolcmp {
+
+/**
+ * Welford-style streaming accumulator for mean/variance/min/max.
+ * Numerically stable for long simulations.
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Add a sample with a positive weight (e.g., a time interval). */
+    void addWeighted(double x, double weight);
+
+    /** Number of samples added. */
+    std::size_t count() const { return count_; }
+
+    /** Total accumulated weight (== count() when unweighted). */
+    double weight() const { return weight_; }
+
+    /** Weighted mean of the samples; 0 when empty. */
+    double mean() const;
+
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample seen; -inf when empty. */
+    double max() const { return max_; }
+
+    /** Sum of x*weight over all samples. */
+    double weightedSum() const;
+
+    /** Reset to the empty state. */
+    void clear();
+
+  private:
+    std::size_t count_ = 0;
+    double weight_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_;
+    double max_;
+
+  public:
+    RunningStat();
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi); samples outside the range land in
+ * saturating edge bins. Used for duty-cycle and temperature summaries.
+ */
+class Histogram
+{
+  public:
+    /** Construct with the given range and number of bins (>= 1). */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Count in bin i. */
+    std::size_t bin(std::size_t i) const { return bins_.at(i); }
+
+    /** Number of bins. */
+    std::size_t numBins() const { return bins_.size(); }
+
+    /** Total number of samples. */
+    std::size_t total() const { return total_; }
+
+    /** Lower edge of bin i. */
+    double binLow(std::size_t i) const;
+
+    /** Approximate p-quantile (0 <= p <= 1) from the binned data. */
+    double quantile(double p) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> bins_;
+    std::size_t total_ = 0;
+};
+
+/** Geometric mean of a list of positive values; 0 if the list is empty. */
+double geometricMean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 if the list is empty. */
+double arithmeticMean(const std::vector<double> &values);
+
+} // namespace coolcmp
+
+#endif // COOLCMP_UTIL_STATS_HH

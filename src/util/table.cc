@@ -1,0 +1,120 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("TextTable needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        panic("TextTable row width ", cells.size(),
+              " != header width ", headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TextTable::percent(double fraction, int precision)
+{
+    return num(fraction * 100.0, precision) + "%";
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]))
+               << row[c];
+            os << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+
+    emitRow(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 == width.size() ? 0 : 2);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emitRow(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto escape = [](const std::string &s) {
+        if (s.find(',') == std::string::npos)
+            return s;
+        return "\"" + s + "\"";
+    };
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << escape(row[c]) << (c + 1 == row.size() ? "\n" : ",");
+    };
+    emitRow(headers_);
+    for (const auto &row : rows_)
+        emitRow(row);
+}
+
+AsciiChart::AsciiChart(int width)
+    : width_(width)
+{
+    if (width < 1)
+        fatal("AsciiChart width must be positive");
+}
+
+void
+AsciiChart::addBar(const std::string &label, double value)
+{
+    bars_.emplace_back(label, value);
+}
+
+void
+AsciiChart::print(std::ostream &os) const
+{
+    double maxVal = 0.0;
+    std::size_t maxLabel = 0;
+    for (const auto &[label, value] : bars_) {
+        maxVal = std::max(maxVal, value);
+        maxLabel = std::max(maxLabel, label.size());
+    }
+    if (maxVal <= 0.0)
+        maxVal = 1.0;
+    for (const auto &[label, value] : bars_) {
+        const int n = static_cast<int>(
+            value / maxVal * static_cast<double>(width_) + 0.5);
+        os << std::left << std::setw(static_cast<int>(maxLabel)) << label
+           << " |" << std::string(static_cast<std::size_t>(std::max(n, 0)),
+                                  '#')
+           << " " << TextTable::num(value) << "\n";
+    }
+}
+
+} // namespace coolcmp

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Plain-text and CSV table writers for the benchmark harnesses.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures;
+ * TextTable renders aligned console output and writeCsv dumps the same
+ * data for plotting.
+ */
+
+#ifndef COOLCMP_UTIL_TABLE_HH
+#define COOLCMP_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace coolcmp {
+
+/** A rectangular table of strings with a header row, rendered aligned. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly one cell per column. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format a ratio as a percentage string ("42.3%"). */
+    static std::string percent(double fraction, int precision = 1);
+
+    /** Number of data rows. */
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Render to a stream with column alignment and a rule under the
+     *  header. */
+    void print(std::ostream &os) const;
+
+    /** Render as RFC-4180-ish CSV (no quoting of embedded commas needed
+     *  for our content, but commas in cells are escaped). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Render a simple ASCII chart of one or more named series sharing an
+ * x-axis, used to "plot" the paper's figures on the console.
+ */
+class AsciiChart
+{
+  public:
+    /** @param width number of character cells per bar/row. */
+    explicit AsciiChart(int width = 60);
+
+    /** Add one bar: a label and a value. Bars scale to the max value. */
+    void addBar(const std::string &label, double value);
+
+    /** Render all bars. */
+    void print(std::ostream &os) const;
+
+  private:
+    int width_;
+    std::vector<std::pair<std::string, double>> bars_;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_UTIL_TABLE_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit helpers and physical constants.
+ *
+ * All simulator-internal quantities are SI: seconds, watts, kelvin-sized
+ * degrees Celsius (we keep Celsius throughout since HotSpot-style models
+ * only ever use temperature differences plus a Celsius ambient), meters,
+ * joules. These helpers make literals in configuration code readable.
+ */
+
+#ifndef COOLCMP_UTIL_UNITS_HH
+#define COOLCMP_UTIL_UNITS_HH
+
+namespace coolcmp {
+
+/** Seconds from various scales. */
+constexpr double
+seconds(double s)
+{
+    return s;
+}
+
+constexpr double
+milliseconds(double ms)
+{
+    return ms * 1e-3;
+}
+
+constexpr double
+microseconds(double us)
+{
+    return us * 1e-6;
+}
+
+constexpr double
+nanoseconds(double ns)
+{
+    return ns * 1e-9;
+}
+
+/** Hertz from various scales. */
+constexpr double
+gigahertz(double ghz)
+{
+    return ghz * 1e9;
+}
+
+constexpr double
+megahertz(double mhz)
+{
+    return mhz * 1e6;
+}
+
+/** Meters from various scales. */
+constexpr double
+millimeters(double mm)
+{
+    return mm * 1e-3;
+}
+
+constexpr double
+micrometers(double um)
+{
+    return um * 1e-6;
+}
+
+/** Tolerant floating-point comparison helpers. */
+constexpr bool
+approxEqual(double a, double b, double tol = 1e-9)
+{
+    const double diff = a > b ? a - b : b - a;
+    const double mag = (a > 0 ? a : -a) + (b > 0 ? b : -b);
+    return diff <= tol * (mag > 1.0 ? mag : 1.0);
+}
+
+} // namespace coolcmp
+
+#endif // COOLCMP_UTIL_UNITS_HH

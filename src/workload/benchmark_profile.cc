@@ -1,0 +1,252 @@
+#include "workload/benchmark_profile.hh"
+
+#include <array>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+const std::string &
+benchCategoryName(BenchCategory category)
+{
+    static const std::array<std::string, 2> names = {"SPECint",
+                                                     "SPECfp"};
+    return names[category == BenchCategory::SpecInt ? 0 : 1];
+}
+
+std::uint64_t
+BenchmarkProfile::seed() const
+{
+    // FNV-1a of the benchmark name: stable across runs and platforms.
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+std::size_t
+BenchmarkProfile::phaseAt(std::size_t interval,
+                          std::size_t totalIntervals) const
+{
+    if (phases.empty())
+        panic("benchmark ", name, " has no phases");
+    if (phases.size() == 1 || totalIntervals == 0)
+        return 0;
+    double totalWeight = 0.0;
+    for (const auto &phase : phases)
+        totalWeight += phase.weight;
+    const double pos = static_cast<double>(interval % totalIntervals) /
+        static_cast<double>(totalIntervals) * totalWeight;
+    double cum = 0.0;
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        cum += phases[i].weight;
+        if (pos < cum)
+            return i;
+    }
+    return phases.size() - 1;
+}
+
+namespace {
+
+/**
+ * Stream-parameter builder for integer codes. The knobs that matter
+ * thermally: the ALU/load shares set IntRF+FXU activity (heat), the
+ * dependency distance sets ILP (IPC, and so power), and the locality
+ * pair sets memory-boundedness (mcf-style cooling).
+ */
+StreamParams
+intStream(double alu, double mul, double load, double store,
+          double branch, double dep, double l1, double l2,
+          std::uint64_t codeKb = 32, double churn = 0.0005,
+          double stride = 0.55)
+{
+    StreamParams p;
+    p.mix = {alu, mul, 0.0, 0.0, 0.0, load, store, branch};
+    p.meanDepDist = dep;
+    p.l1Frac = l1;
+    p.l2Frac = l2;
+    p.fpLoadFrac = 0.0;
+    p.codeFootprint = codeKb * 1024;
+    p.icacheChurn = churn;
+    p.strideProb = stride;
+    return p;
+}
+
+/** Stream-parameter builder for floating-point codes. */
+StreamParams
+fpStream(double alu, double fpadd, double fpmul, double fpdiv,
+         double load, double store, double branch, double dep,
+         double l1, double l2, double fpLoad = 0.7,
+         double stride = 0.75)
+{
+    StreamParams p;
+    const double mul = 0.01;
+    p.mix = {alu, mul, fpadd, fpmul, fpdiv, load, store, branch};
+    p.meanDepDist = dep;
+    p.l1Frac = l1;
+    p.l2Frac = l2;
+    p.fpLoadFrac = fpLoad;
+    p.codeFootprint = 48 * 1024;
+    p.icacheChurn = 0.0003;
+    p.strideProb = stride;
+    // Loopy numeric code predicts very well.
+    p.biasedBranchFrac = 0.97;
+    return p;
+}
+
+BenchmarkProfile
+stable(std::string name, BenchCategory cat, StreamParams params)
+{
+    return BenchmarkProfile{std::move(name), cat,
+                            {BenchmarkPhase{params, 1.0}}};
+}
+
+BenchmarkProfile
+phased(std::string name, BenchCategory cat,
+       std::vector<BenchmarkPhase> phases)
+{
+    return BenchmarkProfile{std::move(name), cat, std::move(phases)};
+}
+
+std::vector<BenchmarkProfile>
+buildProfiles()
+{
+    using C = BenchCategory;
+    std::vector<BenchmarkProfile> out;
+
+    // ---- SPECint ----
+    // gzip: hottest integer code (Table 1: 70 C): tight L1-resident
+    // loops with high ILP hammering the integer register file.
+    out.push_back(stable("gzip", C::SpecInt,
+        intStream(0.55, 0.01, 0.20, 0.10, 0.14, 9.0, 0.98, 0.999, 24)));
+    // bzip2: oscillates 67-72 C: compression phases like gzip
+    // alternate with lower-ILP, cache-missing reordering phases.
+    out.push_back(phased("bzip2", C::SpecInt, {
+        {intStream(0.56, 0.01, 0.20, 0.10, 0.13, 9.0, 0.975, 0.999, 24),
+         0.55},
+        {intStream(0.44, 0.01, 0.27, 0.12, 0.16, 5.0, 0.90, 0.98, 32),
+         0.45},
+    }));
+    // gcc: large code footprint, moderate ILP.
+    out.push_back(stable("gcc", C::SpecInt,
+        intStream(0.46, 0.02, 0.22, 0.12, 0.18, 5.0, 0.92, 0.99, 384,
+                  0.0025)));
+    // mcf: by far the coolest (59 C): pointer-chasing, memory-bound.
+    out.push_back(stable("mcf", C::SpecInt,
+        intStream(0.30, 0.01, 0.38, 0.07, 0.24, 3.0, 0.70, 0.84, 24,
+                  0.0005, 0.25)));
+    // vpr: place-and-route, moderate.
+    out.push_back(stable("vpr", C::SpecInt,
+        intStream(0.45, 0.02, 0.24, 0.10, 0.19, 5.0, 0.93, 0.995, 64)));
+    // parser: 67 C, dictionary walks.
+    out.push_back(stable("parser", C::SpecInt,
+        intStream(0.45, 0.01, 0.25, 0.11, 0.18, 5.5, 0.94, 0.996, 96,
+                  0.001)));
+    // twolf: 67 C.
+    out.push_back(stable("twolf", C::SpecInt,
+        intStream(0.47, 0.02, 0.24, 0.09, 0.18, 5.0, 0.92, 0.995, 48)));
+    // crafty: chess search, high ILP, L1-resident.
+    out.push_back(stable("crafty", C::SpecInt,
+        intStream(0.52, 0.02, 0.21, 0.08, 0.17, 7.0, 0.96, 0.999, 64)));
+    // eon: C++ ray tracer, some floating point despite the category.
+    {
+        StreamParams p =
+            intStream(0.40, 0.01, 0.23, 0.11, 0.13, 7.0, 0.97, 0.999,
+                      96, 0.001);
+        p.mix[static_cast<std::size_t>(OpClass::FpAdd)] = 0.07;
+        p.mix[static_cast<std::size_t>(OpClass::FpMul)] = 0.05;
+        p.fpLoadFrac = 0.25;
+        out.push_back(stable("eon", C::SpecInt, p));
+    }
+    // perlbmk: interpreter, large footprint.
+    out.push_back(stable("perlbmk", C::SpecInt,
+        intStream(0.47, 0.01, 0.23, 0.11, 0.18, 6.0, 0.94, 0.995, 256,
+                  0.0018)));
+    // vortex: object database (the 11th SPECint model; it does not
+    // appear in the paper's tables but completes the 11+11 suite).
+    out.push_back(stable("vortex", C::SpecInt,
+        intStream(0.44, 0.01, 0.26, 0.12, 0.17, 6.0, 0.93, 0.99, 192,
+                  0.0015)));
+
+    // ---- SPECfp ----
+    // sixtrack: hottest fp code (71 C): dense, L1-resident particle
+    // tracking loops stressing the FP register file.
+    out.push_back(stable("sixtrack", C::SpecFp,
+        fpStream(0.15, 0.30, 0.24, 0.01, 0.17, 0.05, 0.07, 9.0, 0.985,
+                 0.999, 0.75)));
+    // mesa: 65 C, rendering with mixed int/fp.
+    out.push_back(stable("mesa", C::SpecFp,
+        fpStream(0.27, 0.16, 0.14, 0.01, 0.21, 0.11, 0.10, 6.0, 0.95,
+                 0.996, 0.5)));
+    // swim: 62 C, streaming stencil, bandwidth-bound.
+    out.push_back(stable("swim", C::SpecFp,
+        fpStream(0.15, 0.26, 0.20, 0.00, 0.25, 0.10, 0.04, 6.0, 0.80,
+                 0.90, 0.8, 0.92)));
+    // lucas: 63 C, FFT-ish.
+    out.push_back(stable("lucas", C::SpecFp,
+        fpStream(0.13, 0.28, 0.24, 0.00, 0.23, 0.08, 0.04, 5.0, 0.86,
+                 0.93, 0.8)));
+    // applu: 62-63 C.
+    out.push_back(stable("applu", C::SpecFp,
+        fpStream(0.16, 0.26, 0.20, 0.01, 0.24, 0.09, 0.04, 5.5, 0.84,
+                 0.93, 0.75)));
+    // mgrid: multigrid, streaming.
+    out.push_back(stable("mgrid", C::SpecFp,
+        fpStream(0.14, 0.30, 0.22, 0.00, 0.25, 0.05, 0.04, 6.0, 0.85,
+                 0.93, 0.8, 0.9)));
+    // art: neural net, memory-bound and cool.
+    out.push_back(stable("art", C::SpecFp,
+        fpStream(0.22, 0.22, 0.18, 0.00, 0.26, 0.06, 0.06, 4.0, 0.72,
+                 0.88, 0.6, 0.5)));
+    // ammp: oscillates 58-64 C: compute bursts between neighbor-list
+    // rebuilds that miss the cache.
+    out.push_back(phased("ammp", C::SpecFp, {
+        {fpStream(0.18, 0.24, 0.20, 0.01, 0.22, 0.07, 0.08, 6.0, 0.94,
+                  0.99, 0.7), 0.45},
+        {fpStream(0.32, 0.07, 0.05, 0.00, 0.30, 0.09, 0.14, 3.5, 0.78,
+                  0.90, 0.25, 0.4), 0.55},
+    }));
+    // facerec: oscillates 65-71 C: hot correlation phases.
+    out.push_back(phased("facerec", C::SpecFp, {
+        {fpStream(0.13, 0.31, 0.24, 0.00, 0.19, 0.05, 0.08, 9.0, 0.985,
+                  0.999, 0.8), 0.5},
+        {fpStream(0.30, 0.10, 0.08, 0.01, 0.28, 0.09, 0.13, 3.5, 0.82,
+                  0.95, 0.35), 0.5},
+    }));
+    // fma3d: oscillates 61-67 C: element kernels vs assembly sweeps.
+    out.push_back(phased("fma3d", C::SpecFp, {
+        {fpStream(0.17, 0.25, 0.20, 0.01, 0.22, 0.07, 0.08, 6.0, 0.93,
+                  0.99, 0.75), 0.5},
+        {fpStream(0.31, 0.08, 0.06, 0.00, 0.29, 0.10, 0.15, 3.0, 0.80,
+                  0.93, 0.3), 0.5},
+    }));
+    // wupwise: the 11th SPECfp model (not in the paper's tables).
+    out.push_back(stable("wupwise", C::SpecFp,
+        fpStream(0.19, 0.24, 0.20, 0.01, 0.22, 0.08, 0.06, 7.0, 0.93,
+                 0.99, 0.7)));
+
+    return out;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+spec2000Profiles()
+{
+    static const std::vector<BenchmarkProfile> profiles =
+        buildProfiles();
+    return profiles;
+}
+
+const BenchmarkProfile &
+findProfile(const std::string &name)
+{
+    for (const auto &profile : spec2000Profiles())
+        if (profile.name == name)
+            return profile;
+    fatal("unknown benchmark '", name, "'");
+}
+
+} // namespace coolcmp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * SPEC CPU2000 benchmark models.
+ *
+ * Each benchmark is a phased synthetic-stream profile whose statistics
+ * are calibrated so that the simulated thermal behaviour reproduces
+ * the paper's measurements: Table 1's ordering (gzip and sixtrack
+ * hottest, mcf coolest due to memory-bound execution) and its
+ * oscillating set (bzip2, ammp, facerec, fma3d), plus the basic
+ * integer-register vs floating-point-register intensity split that
+ * drives the migration policies.
+ */
+
+#ifndef COOLCMP_WORKLOAD_BENCHMARK_PROFILE_HH
+#define COOLCMP_WORKLOAD_BENCHMARK_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "uarch/synthetic_stream.hh"
+
+namespace coolcmp {
+
+/** SPEC suite category. */
+enum class BenchCategory { SpecInt, SpecFp };
+
+/** Printable category name ("SPECint"/"SPECfp"). */
+const std::string &benchCategoryName(BenchCategory category);
+
+/** One execution phase: stream statistics held for some fraction of
+ *  the trace. */
+struct BenchmarkPhase
+{
+    StreamParams params;
+    double weight = 1.0; ///< relative share of the trace
+};
+
+/** A phased benchmark model. */
+struct BenchmarkProfile
+{
+    std::string name;
+    BenchCategory category = BenchCategory::SpecInt;
+    std::vector<BenchmarkPhase> phases;
+
+    /** Deterministic per-benchmark stream seed derived from the name. */
+    std::uint64_t seed() const;
+
+    /** Phase index for interval i of n (weights partition the trace). */
+    std::size_t phaseAt(std::size_t interval,
+                        std::size_t totalIntervals) const;
+};
+
+/** Registry of the 22 modeled benchmarks (11 SPECint + 11 SPECfp). */
+const std::vector<BenchmarkProfile> &spec2000Profiles();
+
+/** Profile lookup by name; fatal if unknown. */
+const BenchmarkProfile &findProfile(const std::string &name);
+
+} // namespace coolcmp
+
+#endif // COOLCMP_WORKLOAD_BENCHMARK_PROFILE_HH

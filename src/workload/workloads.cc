@@ -1,0 +1,59 @@
+#include "workload/workloads.hh"
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+std::string
+Workload::label() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+        if (i > 0)
+            out += "-";
+        out += benchmarks[i];
+    }
+    return out;
+}
+
+std::string
+Workload::mixTag() const
+{
+    std::string out;
+    for (const auto &name : benchmarks) {
+        const BenchmarkProfile &profile = findProfile(name);
+        out += profile.category == BenchCategory::SpecInt ? 'I' : 'F';
+    }
+    return out;
+}
+
+const std::vector<Workload> &
+table4Workloads()
+{
+    static const std::vector<Workload> workloads = {
+        {"workload1", {"gcc", "gzip", "mcf", "vpr"}},
+        {"workload2", {"crafty", "eon", "parser", "perlbmk"}},
+        {"workload3", {"bzip2", "gzip", "twolf", "swim"}},
+        {"workload4", {"crafty", "perlbmk", "vpr", "mgrid"}},
+        {"workload5", {"gcc", "parser", "applu", "mesa"}},
+        {"workload6", {"bzip2", "eon", "art", "facerec"}},
+        {"workload7", {"gzip", "twolf", "ammp", "lucas"}},
+        {"workload8", {"parser", "vpr", "fma3d", "sixtrack"}},
+        {"workload9", {"gcc", "applu", "mgrid", "swim"}},
+        {"workload10", {"mcf", "ammp", "art", "mesa"}},
+        {"workload11", {"ammp", "facerec", "fma3d", "swim"}},
+        {"workload12", {"art", "lucas", "mgrid", "sixtrack"}},
+    };
+    return workloads;
+}
+
+const Workload &
+findWorkload(const std::string &name)
+{
+    for (const auto &workload : table4Workloads())
+        if (workload.name == name)
+            return workload;
+    fatal("unknown workload '", name, "'");
+}
+
+} // namespace coolcmp

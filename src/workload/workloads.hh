@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The twelve four-process workloads of Table 4.
+ */
+
+#ifndef COOLCMP_WORKLOAD_WORKLOADS_HH
+#define COOLCMP_WORKLOAD_WORKLOADS_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "workload/benchmark_profile.hh"
+
+namespace coolcmp {
+
+/** One multiprogrammed workload: four benchmarks, one per core. */
+struct Workload
+{
+    std::string name;                      ///< "workload7"
+    std::array<std::string, 4> benchmarks; ///< benchmark names
+
+    /** "gzip-twolf-ammp-lucas" style label used in Figures 3 and 7. */
+    std::string label() const;
+
+    /** "IIFF" style mix tag from the benchmark categories. */
+    std::string mixTag() const;
+};
+
+/** The 12 workloads of Table 4, in order. */
+const std::vector<Workload> &table4Workloads();
+
+/** Lookup by name ("workload1".."workload12"); fatal if unknown. */
+const Workload &findWorkload(const std::string &name);
+
+} // namespace coolcmp
+
+#endif // COOLCMP_WORKLOAD_WORKLOADS_HH

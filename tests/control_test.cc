@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Unit tests for the formal-control substrate, including the test that
+ * pins the paper's exact discrete PI difference equation.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "control/loop_analysis.hh"
+#include "control/pi_controller.hh"
+#include "control/state_space.hh"
+#include "control/transfer_function.hh"
+
+namespace coolcmp {
+namespace {
+
+TEST(TransferFunction, PolesAndZeros)
+{
+    // G(s) = (s+1) / (s^2 + 3s + 2) = (s+1)/((s+1)(s+2))
+    const TransferFunction g(Polynomial({1.0, 1.0}),
+                             Polynomial({2.0, 3.0, 1.0}));
+    auto poles = g.poles();
+    ASSERT_EQ(poles.size(), 2u);
+    std::vector<double> re{poles[0].real(), poles[1].real()};
+    std::sort(re.begin(), re.end());
+    EXPECT_NEAR(re[0], -2.0, 1e-9);
+    EXPECT_NEAR(re[1], -1.0, 1e-9);
+    auto zeros = g.zeros();
+    ASSERT_EQ(zeros.size(), 1u);
+    EXPECT_NEAR(zeros[0].real(), -1.0, 1e-9);
+}
+
+TEST(TransferFunction, StabilityContinuous)
+{
+    EXPECT_TRUE(firstOrderLag(1.0, 0.5).isStable());
+    // Pole at +1: unstable.
+    const TransferFunction bad(Polynomial({1.0}),
+                               Polynomial({-1.0, 1.0}));
+    EXPECT_FALSE(bad.isStable());
+}
+
+TEST(TransferFunction, StabilityDiscrete)
+{
+    // Pole at z = 0.9: stable; z = 1.1: unstable.
+    const TransferFunction in(Polynomial({1.0}),
+                              Polynomial({-0.9, 1.0}),
+                              Domain::Discrete);
+    EXPECT_TRUE(in.isStable());
+    const TransferFunction out(Polynomial({1.0}),
+                               Polynomial({-1.1, 1.0}),
+                               Domain::Discrete);
+    EXPECT_FALSE(out.isStable());
+}
+
+TEST(TransferFunction, DcGain)
+{
+    EXPECT_DOUBLE_EQ(firstOrderLag(4.0, 0.1).dcGain(), 4.0);
+    // Integrator: infinite DC gain.
+    const TransferFunction integ(Polynomial({1.0}),
+                                 Polynomial({0.0, 1.0}));
+    EXPECT_TRUE(std::isinf(integ.dcGain()));
+}
+
+TEST(TransferFunction, SeriesParallelFeedback)
+{
+    const TransferFunction g = firstOrderLag(2.0, 1.0);
+    const TransferFunction h = firstOrderLag(3.0, 0.5);
+    EXPECT_NEAR(g.series(h).dcGain(), 6.0, 1e-12);
+    EXPECT_NEAR(g.parallel(h).dcGain(), 5.0, 1e-12);
+    // Unity feedback: K/(1+K) at DC.
+    EXPECT_NEAR(g.feedback().dcGain(), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(g.feedback(h).dcGain(), 2.0 / 7.0, 1e-12);
+}
+
+TEST(PiController, PaperDifferenceEquationReproduced)
+{
+    // Section 4.2: discretizing G(s) = Kp + Ki/s with Kp = 0.0107,
+    // Ki = 248.5 at dt = 100k cycles / 3.6 GHz must reproduce
+    //   u[n] = u[n-1] - 0.0107 e[n] + 0.003796 e[n-1]
+    // under the negative-gain convention.
+    const double dt = 100000.0 / 3.6e9;
+    const DiscretePidCoeffs c =
+        negate(discretizePidZoh(paperPiGains(), dt));
+    EXPECT_NEAR(c.c0, -0.0107, 1e-12);
+    EXPECT_NEAR(c.c1, 0.003796, 2e-6);
+    EXPECT_DOUBLE_EQ(c.c2, 0.0);
+}
+
+TEST(PiController, ZohFormula)
+{
+    const PidGains gains{2.0, 10.0, 0.0};
+    const DiscretePidCoeffs c = discretizePidZoh(gains, 0.1);
+    EXPECT_NEAR(c.c0, 2.0, 1e-12);           // Kp
+    EXPECT_NEAR(c.c1, -2.0 + 1.0, 1e-12);    // -Kp + Ki dt
+}
+
+TEST(PiController, DerivativeTerm)
+{
+    const PidGains gains{0.0, 0.0, 0.5};
+    const DiscretePidCoeffs c = discretizePidZoh(gains, 0.1);
+    EXPECT_NEAR(c.c0, 5.0, 1e-12);
+    EXPECT_NEAR(c.c1, -10.0, 1e-12);
+    EXPECT_NEAR(c.c2, 5.0, 1e-12);
+}
+
+TEST(DiscretePidController, ClipsToLimits)
+{
+    DiscretePidController pi({-1.0, 0.0, 0.0}, 0.2, 1.0, 1.0);
+    // Large positive error drives output down, clipped at 0.2.
+    for (int i = 0; i < 10; ++i)
+        pi.update(10.0);
+    EXPECT_DOUBLE_EQ(pi.output(), 0.2);
+    // Large negative error drives it back up, clipped at 1.0.
+    for (int i = 0; i < 10; ++i)
+        pi.update(-10.0);
+    EXPECT_DOUBLE_EQ(pi.output(), 1.0);
+}
+
+TEST(DiscretePidController, AntiWindupViaClipping)
+{
+    // Saturate low for a long time, then reverse: because the stored
+    // state is the clipped output, recovery begins immediately.
+    DiscretePidController pi({-0.5, 0.0, 0.0}, 0.0, 1.0, 1.0);
+    for (int i = 0; i < 1000; ++i)
+        pi.update(5.0);
+    EXPECT_DOUBLE_EQ(pi.output(), 0.0);
+    const double afterOneStep = pi.update(-5.0);
+    EXPECT_GT(afterOneStep, 0.5); // no wind-down lag
+}
+
+TEST(DiscretePidController, NoKickOnFirstSample)
+{
+    // With only a proportional-difference term, a constant error must
+    // produce no movement at all -- including at the first sample.
+    DiscretePidController pi({0.5, -0.5, 0.0}, 0.0, 1.0, 0.7);
+    EXPECT_DOUBLE_EQ(pi.update(3.0), 0.7);
+    EXPECT_DOUBLE_EQ(pi.update(3.0), 0.7);
+}
+
+TEST(DiscretePidController, ResetRestoresInitial)
+{
+    DiscretePidController pi({-0.1, 0.0, 0.0}, 0.0, 1.0, 0.9);
+    pi.update(5.0);
+    EXPECT_LT(pi.output(), 0.9);
+    pi.reset();
+    EXPECT_DOUBLE_EQ(pi.output(), 0.9);
+}
+
+TEST(StateSpace, FirstOrderStepResponse)
+{
+    // K/(tau s + 1): step response K (1 - e^{-t/tau}).
+    const double k = 2.0, tau = 0.5;
+    const TimeResponse resp =
+        stepResponse(firstOrderLag(k, tau), 3.0, 1e-3);
+    EXPECT_NEAR(resp.finalValue(), k, 1e-2);
+    // Value at t = tau should be K(1 - 1/e).
+    const std::size_t idx = static_cast<std::size_t>(tau / 1e-3);
+    EXPECT_NEAR(resp.value[idx], k * (1.0 - std::exp(-1.0)), 1e-3);
+}
+
+TEST(StateSpace, SettlingTimeAndOvershoot)
+{
+    // Underdamped 2nd order: wn = 10, zeta = 0.3.
+    const double wn = 10.0, zeta = 0.3;
+    const TransferFunction g(
+        Polynomial({wn * wn}),
+        Polynomial({wn * wn, 2.0 * zeta * wn, 1.0}));
+    const TimeResponse resp = stepResponse(g, 5.0, 1e-4);
+    // Theoretical overshoot exp(-pi zeta / sqrt(1 - zeta^2)) = 37%.
+    EXPECT_NEAR(resp.overshoot(), 0.372, 0.02);
+    EXPECT_GT(resp.settlingTime(), 0.5);
+    EXPECT_LT(resp.settlingTime(), 2.0);
+}
+
+TEST(LoopAnalysis, PaperLoopIsStable)
+{
+    // The thermal plant seen by the DVFS loop: tens of degrees per
+    // unit frequency scale, millisecond time constants.
+    const TransferFunction plant = thermalPlant(40.0, 5e-3);
+    const LoopAnalysis loop = analyzeLoop(paperPiGains(), plant, 0.1);
+    EXPECT_TRUE(loop.stable);
+    for (const auto &p : loop.poles)
+        EXPECT_LT(p.real(), 0.0);
+    // PI loops have unity closed-loop DC gain: no steady-state offset.
+    EXPECT_NEAR(loop.dcGain, 1.0, 1e-9);
+    EXPECT_GT(loop.settlingTime, 0.0);
+}
+
+TEST(LoopAnalysis, RobustToGainVariation)
+{
+    // Section 4.1: "these constants can actually deviate significantly
+    // while still achieving the intended goals".
+    for (double scale : {0.1, 0.5, 2.0, 10.0}) {
+        PidGains gains = paperPiGains();
+        gains.kp *= scale;
+        gains.ki *= scale;
+        const LoopAnalysis loop =
+            analyzeLoop(gains, thermalPlant(40.0, 5e-3), 0.1);
+        EXPECT_TRUE(loop.stable) << "scale " << scale;
+    }
+}
+
+TEST(LoopAnalysis, DerivativeAddsLittle)
+{
+    // Section 4.1: the derivative term has little benefit here.
+    const TransferFunction plant = thermalPlant(40.0, 5e-3);
+    const LoopAnalysis pi = analyzeLoop(paperPiGains(), plant, 0.2);
+    PidGains pid = paperPiGains();
+    pid.kd = 1e-5;
+    const LoopAnalysis withD = analyzeLoop(pid, plant, 0.2);
+    EXPECT_TRUE(withD.stable);
+    EXPECT_NEAR(withD.settlingTime, pi.settlingTime,
+                0.5 * pi.settlingTime + 1e-3);
+}
+
+TEST(ControlDeath, ImproperRealizationIsFatal)
+{
+    // deg num > deg den cannot be realized in state space.
+    const TransferFunction g(Polynomial({0.0, 0.0, 1.0}),
+                             Polynomial({1.0, 1.0}));
+    EXPECT_EXIT(StateSpace::fromTransferFunction(g),
+                ::testing::ExitedWithCode(1), "proper");
+}
+
+} // namespace
+} // namespace coolcmp

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Unit tests for the paper's contribution layer: taxonomy, throttle
+ * controllers, and the migration decision machinery.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/chip_model.hh"
+#include "core/migration.hh"
+#include "core/taxonomy.hh"
+#include "core/throttle.hh"
+#include "test_util.hh"
+
+namespace coolcmp {
+namespace {
+
+TEST(Taxonomy, TwelveDistinctPolicies)
+{
+    const auto &policies = allPolicies();
+    EXPECT_EQ(policies.size(), 12u);
+    std::set<std::string> slugs;
+    for (const auto &policy : policies)
+        EXPECT_TRUE(slugs.insert(policy.slug()).second);
+}
+
+TEST(Taxonomy, LabelsMatchPaperNaming)
+{
+    const PolicyConfig best{ThrottleMechanism::Dvfs,
+                            ControlScope::Distributed,
+                            MigrationKind::SensorBased};
+    EXPECT_EQ(best.label(), "Dist. DVFS, sensor-based migration");
+    EXPECT_EQ(baselinePolicy().label(), "Dist. stop-go");
+    EXPECT_EQ(best.slug(), "dist-dvfs-sensor");
+}
+
+TEST(Taxonomy, BaselineIsDistributedStopGo)
+{
+    const PolicyConfig base = baselinePolicy();
+    EXPECT_EQ(base.mechanism, ThrottleMechanism::StopGo);
+    EXPECT_EQ(base.scope, ControlScope::Distributed);
+    EXPECT_EQ(base.migration, MigrationKind::None);
+    EXPECT_EQ(nonMigrationPolicies().size(), 4u);
+}
+
+class ThrottleTest : public ::testing::Test
+{
+  protected:
+    DtmConfig config_ = coolcmp::testing::fastDtmConfig();
+};
+
+TEST_F(ThrottleTest, StopGoTripsAndStalls)
+{
+    ThrottleDomain domain(ThrottleMechanism::StopGo, config_);
+    domain.update(80.0, 0.0);
+    EXPECT_FALSE(domain.stalled(0.0));
+    EXPECT_DOUBLE_EQ(domain.freqScale(), 1.0);
+
+    domain.update(config_.stopGoTrip + 0.01, 0.001);
+    EXPECT_TRUE(domain.stalled(0.001));
+    EXPECT_TRUE(domain.stalled(0.001 + config_.stopGoStall * 0.99));
+    EXPECT_FALSE(domain.stalled(0.001 + config_.stopGoStall * 1.01));
+    EXPECT_EQ(domain.actuations(), 1u);
+    // Stop-go never scales frequency.
+    EXPECT_DOUBLE_EQ(domain.freqScale(), 1.0);
+}
+
+TEST_F(ThrottleTest, StopGoNoRetripInsideStall)
+{
+    ThrottleDomain domain(ThrottleMechanism::StopGo, config_);
+    domain.update(90.0, 0.0);
+    domain.update(90.0, 0.001);
+    EXPECT_EQ(domain.actuations(), 1u);
+}
+
+TEST_F(ThrottleTest, ClearStallLiftsStopGo)
+{
+    ThrottleDomain domain(ThrottleMechanism::StopGo, config_);
+    domain.update(90.0, 0.0);
+    EXPECT_TRUE(domain.stalled(0.005));
+    domain.clearStall(0.005);
+    EXPECT_FALSE(domain.stalled(0.005));
+    // And the trip can fire again immediately if still hot.
+    domain.update(90.0, 0.006);
+    EXPECT_TRUE(domain.stalled(0.006));
+    EXPECT_EQ(domain.actuations(), 2u);
+}
+
+TEST_F(ThrottleTest, DvfsThrottlesWhenHot)
+{
+    ThrottleDomain domain(ThrottleMechanism::Dvfs, config_);
+    const double dt = config_.stepSeconds();
+    double now = 0.0;
+    for (int i = 0; i < 4000; ++i) {
+        domain.update(config_.dvfsSetpoint + 3.0, now);
+        now += dt;
+    }
+    EXPECT_LT(domain.freqScale(), 0.9);
+    EXPECT_GE(domain.freqScale(), config_.minFreqScale);
+    EXPECT_GT(domain.actuations(), 0u);
+}
+
+TEST_F(ThrottleTest, DvfsRecoversWhenCool)
+{
+    ThrottleDomain domain(ThrottleMechanism::Dvfs, config_);
+    domain.initializeScale(0.4);
+    const double dt = config_.stepSeconds();
+    double now = 0.0;
+    for (int i = 0; i < 8000; ++i) {
+        domain.update(config_.dvfsSetpoint - 10.0, now);
+        now += dt;
+    }
+    EXPECT_DOUBLE_EQ(domain.freqScale(), 1.0);
+}
+
+TEST_F(ThrottleTest, DvfsMinTransitionSuppressesJitter)
+{
+    ThrottleDomain domain(ThrottleMechanism::Dvfs, config_);
+    // Tiny error: commanded changes stay below 2% of range per step
+    // and must not actuate the PLL every sample.
+    const double dt = config_.stepSeconds();
+    double now = 0.0;
+    for (int i = 0; i < 100; ++i) {
+        domain.update(config_.dvfsSetpoint + 0.01, now);
+        now += dt;
+    }
+    EXPECT_LT(domain.actuations(), 10u);
+}
+
+TEST_F(ThrottleTest, DvfsTransitionPaysPenalty)
+{
+    ThrottleDomain domain(ThrottleMechanism::Dvfs, config_);
+    // Big error: the first actuation happens within a few samples and
+    // blocks the domain for the transition penalty.
+    const double dt = config_.stepSeconds();
+    double now = 0.0;
+    std::uint64_t before = domain.actuations();
+    for (int i = 0; i < 200 && domain.actuations() == before; ++i) {
+        domain.update(config_.dvfsSetpoint + 20.0, now);
+        now += dt;
+    }
+    ASSERT_GT(domain.actuations(), before);
+    EXPECT_GT(domain.unavailableUntil(), now - dt);
+    EXPECT_LE(domain.unavailableUntil(),
+              now + config_.dvfsTransitionPenalty + 1e-12);
+}
+
+TEST_F(ThrottleTest, GlobalBankFollowsChipHottest)
+{
+    ThrottleBank bank(ThrottleMechanism::StopGo, ControlScope::Global,
+                      4, config_);
+    bank.update({70.0, 70.0, 90.0, 70.0}, 0.0);
+    // One hot core stalls every core under global scope.
+    for (int c = 0; c < 4; ++c)
+        EXPECT_GT(bank.unavailableUntil(c), 0.0);
+    EXPECT_EQ(bank.actuations(), 1u);
+}
+
+TEST_F(ThrottleTest, DistributedBankIsolatesCores)
+{
+    ThrottleBank bank(ThrottleMechanism::StopGo,
+                      ControlScope::Distributed, 4, config_);
+    bank.update({70.0, 70.0, 90.0, 70.0}, 0.0);
+    EXPECT_DOUBLE_EQ(bank.unavailableUntil(0), 0.0);
+    EXPECT_GT(bank.unavailableUntil(2), 0.0);
+}
+
+TEST(Migration, Figure4PrefersLeastIntenseThread)
+{
+    // Core 0: IntRF-critical, high imbalance; core 1: FpRF-critical.
+    std::vector<CoreHotspotState> cores = {
+        {UnitKind::IntRF, 84.0, 74.0, 0},
+        {UnitKind::FpRF, 80.0, 78.0, 1},
+    };
+    // Thread 0 is int-heavy, thread 1 fp-heavy.
+    auto intensity = [](int process, int, UnitKind unit) {
+        if (unit == UnitKind::IntRF)
+            return process == 0 ? 3.0 : 0.5;
+        return process == 0 ? 0.1 : 2.5;
+    };
+    const std::vector<int> assign = decideAssignment(cores, intensity);
+    EXPECT_EQ(assign[0], 1); // int-critical core gets the fp thread
+    EXPECT_EQ(assign[1], 0);
+}
+
+TEST(Migration, Figure4KeepsSelfWhenBest)
+{
+    std::vector<CoreHotspotState> cores = {
+        {UnitKind::IntRF, 84.0, 74.0, 0},
+        {UnitKind::FpRF, 83.0, 70.0, 1},
+    };
+    // Each thread is already on its best core.
+    auto intensity = [](int process, int, UnitKind unit) {
+        if (unit == UnitKind::IntRF)
+            return process == 0 ? 0.5 : 3.0;
+        return process == 0 ? 2.5 : 0.1;
+    };
+    const std::vector<int> assign = decideAssignment(cores, intensity);
+    EXPECT_EQ(assign[0], 0);
+    EXPECT_EQ(assign[1], 1);
+}
+
+TEST(Migration, KeepMarginDampsNearTies)
+{
+    std::vector<CoreHotspotState> cores = {
+        {UnitKind::IntRF, 84.0, 74.0, 0},
+        {UnitKind::IntRF, 83.0, 75.0, 1},
+    };
+    // Nearly identical intensities: stickiness must keep both.
+    auto intensity = [](int process, int, UnitKind) {
+        return process == 0 ? 1.00 : 0.98;
+    };
+    const std::vector<int> sticky =
+        decideAssignment(cores, intensity, 0.1);
+    EXPECT_EQ(sticky[0], 0);
+    EXPECT_EQ(sticky[1], 1);
+    // The literal greedy matching would swap.
+    const std::vector<int> greedy =
+        decideAssignment(cores, intensity, 0.0);
+    EXPECT_EQ(greedy[0], 1);
+}
+
+TEST(Migration, MostImbalancedCorePicksFirst)
+{
+    // Both cores IntRF-critical; only one low-intensity thread exists.
+    std::vector<CoreHotspotState> cores = {
+        {UnitKind::IntRF, 84.0, 83.0, 0}, // imbalance 1
+        {UnitKind::IntRF, 84.0, 74.0, 1}, // imbalance 10 -> first
+    };
+    auto intensity = [](int process, int, UnitKind) {
+        return process == 0 ? 3.0 : 0.5;
+    };
+    const std::vector<int> assign =
+        decideAssignment(cores, intensity, 0.0);
+    EXPECT_EQ(assign[1], 1); // most-imbalanced core takes the cool one
+    EXPECT_EQ(assign[0], 0);
+}
+
+TEST(TrendTable, RecordAndEstimate)
+{
+    ThermalTrendTable table(2, 2);
+    EXPECT_FALSE(table.sufficient());
+    table.record(0, 0, UnitKind::IntRF, 10.0, 1.0);
+    table.record(0, 0, UnitKind::IntRF, 14.0, 1.0);
+    EXPECT_DOUBLE_EQ(table.estimate(0, 0, UnitKind::IntRF), 12.0);
+    EXPECT_TRUE(table.hasData(0, 0));
+    EXPECT_FALSE(table.hasData(1, 1));
+}
+
+TEST(TrendTable, SufficiencyGate)
+{
+    // Figure 6: every thread somewhere, every core >= 2 threads.
+    ThermalTrendTable table(2, 2);
+    table.record(0, 0, UnitKind::IntRF, 1.0, 1.0);
+    table.record(1, 1, UnitKind::IntRF, 1.0, 1.0);
+    EXPECT_FALSE(table.sufficient()); // each core saw one thread
+    table.record(1, 0, UnitKind::IntRF, 2.0, 1.0);
+    table.record(0, 1, UnitKind::IntRF, 2.0, 1.0);
+    EXPECT_TRUE(table.sufficient());
+}
+
+TEST(TrendTable, MissingCellUsesCoreOffset)
+{
+    ThermalTrendTable table(2, 2);
+    // Core 1 runs systematically 2 units hotter than core 0.
+    table.record(0, 0, UnitKind::IntRF, 10.0, 1.0);
+    table.record(0, 1, UnitKind::IntRF, 12.0, 1.0);
+    table.record(1, 0, UnitKind::IntRF, 4.0, 1.0);
+    // Thread 1 never ran on core 1: estimate = threadMean + offset.
+    const double est = table.estimate(1, 1, UnitKind::IntRF);
+    EXPECT_GT(est, 4.0);
+    EXPECT_LT(est, 8.0);
+}
+
+TEST(TrendTable, ZeroWeightIgnored)
+{
+    ThermalTrendTable table(1, 1);
+    table.record(0, 0, UnitKind::IntRF, 99.0, 0.0);
+    EXPECT_FALSE(table.hasData(0, 0));
+}
+
+TEST(ChipModelTest, BlockMappingComplete)
+{
+    coolcmp::testing::quiet();
+    const DtmConfig config = coolcmp::testing::fastDtmConfig();
+    const ChipModel chip(4, config);
+    EXPECT_EQ(chip.numCores(), 4);
+    std::set<std::size_t> blocks;
+    for (int c = 0; c < 4; ++c)
+        for (UnitKind kind : coreUnitKinds())
+            EXPECT_TRUE(blocks.insert(chip.blockOf(c, kind)).second);
+    EXPECT_EQ(blocks.size(), 4 * numCoreUnitKinds);
+    EXPECT_EQ(chip.blockOf(0, UnitKind::L2), chip.l2Block());
+}
+
+TEST(ChipModelTest, SolverSharesDiscretization)
+{
+    coolcmp::testing::quiet();
+    const DtmConfig config = coolcmp::testing::fastDtmConfig();
+    const ChipModel chip(1, config);
+    auto solver = chip.makeSolver(config.stepSeconds());
+    ASSERT_NE(solver, nullptr);
+    EXPECT_EQ(solver->fixedDt(), config.stepSeconds());
+    // Discretization reused: use_count grows.
+    EXPECT_GE(chip.discretization().use_count(), 2);
+}
+
+} // namespace
+} // namespace coolcmp

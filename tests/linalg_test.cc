@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Unit tests for the dense linear algebra substrate.
+ */
+
+#include <cmath>
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "linalg/expm.hh"
+#include "linalg/lu.hh"
+#include "linalg/matrix.hh"
+#include "linalg/polynomial.hh"
+
+namespace coolcmp {
+namespace {
+
+TEST(Matrix, IdentityAndDiagonal)
+{
+    const Matrix id = Matrix::identity(3);
+    EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+    const Matrix d = Matrix::diagonal({2.0, 3.0});
+    EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+    EXPECT_DOUBLE_EQ(d(1, 0), 0.0);
+}
+
+TEST(Matrix, MultiplyKnownProduct)
+{
+    Matrix a(2, 3);
+    a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+    a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+    Matrix b(3, 2);
+    b(0, 0) = 7; b(0, 1) = 8;
+    b(1, 0) = 9; b(1, 1) = 10;
+    b(2, 0) = 11; b(2, 1) = 12;
+    const Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, MatrixVectorProduct)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2;
+    a(1, 0) = 3; a(1, 1) = 4;
+    const Vector y = a * Vector{1.0, 1.0};
+    EXPECT_DOUBLE_EQ(y[0], 3.0);
+    EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, AddSubtractScale)
+{
+    Matrix a = Matrix::identity(2);
+    Matrix b = Matrix::identity(2) * 2.0;
+    const Matrix sum = a + b;
+    EXPECT_DOUBLE_EQ(sum(0, 0), 3.0);
+    const Matrix diff = b - a;
+    EXPECT_DOUBLE_EQ(diff(1, 1), 1.0);
+    a += b;
+    EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+}
+
+TEST(Matrix, TransposeAndNorm)
+{
+    Matrix a(2, 3);
+    a(0, 2) = 5.0;
+    a(1, 0) = -7.0;
+    const Matrix t = a.transposed();
+    EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+    EXPECT_DOUBLE_EQ(t(0, 1), -7.0);
+    EXPECT_DOUBLE_EQ(a.normInf(), 7.0);
+}
+
+TEST(Vector, AxpyAndNorms)
+{
+    Vector x{1.0, 2.0};
+    Vector y{10.0, 20.0};
+    axpy(2.0, x, y);
+    EXPECT_DOUBLE_EQ(y[0], 12.0);
+    EXPECT_DOUBLE_EQ(y[1], 24.0);
+    EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+    EXPECT_DOUBLE_EQ(normInf({3.0, -4.0}), 4.0);
+}
+
+TEST(Lu, SolvesKnownSystem)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 2; a(0, 1) = 1;
+    a(1, 0) = 1; a(1, 1) = 3;
+    LuDecomposition lu(a);
+    const Vector x = lu.solve(Vector{5.0, 10.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, DeterminantWithPivoting)
+{
+    Matrix a(3, 3);
+    // Permutation-heavy matrix: det = 1*(2*3) with rows shuffled.
+    a(0, 1) = 2; a(1, 2) = 3; a(2, 0) = 1;
+    LuDecomposition lu(a);
+    EXPECT_NEAR(lu.determinant(), 6.0, 1e-12);
+}
+
+TEST(Lu, InverseRoundTrip)
+{
+    Matrix a(3, 3);
+    a(0, 0) = 4; a(0, 1) = 1; a(0, 2) = 0;
+    a(1, 0) = 1; a(1, 1) = 3; a(1, 2) = 1;
+    a(2, 0) = 0; a(2, 1) = 1; a(2, 2) = 5;
+    LuDecomposition lu(a);
+    const Matrix prod = a * lu.inverse();
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(Lu, SingularIsFatal)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2;
+    a(1, 0) = 2; a(1, 1) = 4;
+    EXPECT_EXIT(LuDecomposition{a}, ::testing::ExitedWithCode(1),
+                "singular");
+}
+
+TEST(Expm, ScalarCase)
+{
+    Matrix a(1, 1);
+    a(0, 0) = -3.0;
+    const Matrix e = expm(a);
+    EXPECT_NEAR(e(0, 0), std::exp(-3.0), 1e-12);
+}
+
+TEST(Expm, DiagonalCase)
+{
+    const Matrix e = expm(Matrix::diagonal({1.0, -2.0}));
+    EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-10);
+    EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-10);
+    EXPECT_NEAR(e(0, 1), 0.0, 1e-12);
+}
+
+TEST(Expm, NilpotentCase)
+{
+    // exp([[0,1],[0,0]]) = [[1,1],[0,1]] exactly.
+    Matrix a(2, 2);
+    a(0, 1) = 1.0;
+    const Matrix e = expm(a);
+    EXPECT_NEAR(e(0, 0), 1.0, 1e-13);
+    EXPECT_NEAR(e(0, 1), 1.0, 1e-13);
+    EXPECT_NEAR(e(1, 0), 0.0, 1e-13);
+    EXPECT_NEAR(e(1, 1), 1.0, 1e-13);
+}
+
+TEST(Expm, RotationCase)
+{
+    // exp([[0,-t],[t,0]]) = rotation by t.
+    const double t = 1.3;
+    Matrix a(2, 2);
+    a(0, 1) = -t;
+    a(1, 0) = t;
+    const Matrix e = expm(a);
+    EXPECT_NEAR(e(0, 0), std::cos(t), 1e-12);
+    EXPECT_NEAR(e(0, 1), -std::sin(t), 1e-12);
+    EXPECT_NEAR(e(1, 0), std::sin(t), 1e-12);
+}
+
+TEST(Expm, LargeNormUsesSquaring)
+{
+    Matrix a(1, 1);
+    a(0, 0) = -50.0;
+    EXPECT_NEAR(expm(a)(0, 0), std::exp(-50.0), 1e-28);
+}
+
+TEST(Zoh, FirstOrderSystemExact)
+{
+    // x' = -a x + b u with constant u: x[n+1] = e^{-a dt} x + (1 -
+    // e^{-a dt}) (b/a) u.
+    const double a = 2.0, b = 3.0, dt = 0.25;
+    Matrix am(1, 1), bm(1, 1);
+    am(0, 0) = -a;
+    bm(0, 0) = b;
+    const ZohDiscretization disc = discretizeZoh(am, bm, dt);
+    EXPECT_NEAR(disc.e(0, 0), std::exp(-a * dt), 1e-12);
+    EXPECT_NEAR(disc.f(0, 0), (1.0 - std::exp(-a * dt)) * b / a,
+                1e-12);
+}
+
+TEST(Zoh, SingularStateMatrix)
+{
+    // x' = u (integrator, A = 0): F must equal B*dt.
+    Matrix am(1, 1), bm(1, 1);
+    bm(0, 0) = 2.0;
+    const ZohDiscretization disc = discretizeZoh(am, bm, 0.5);
+    EXPECT_NEAR(disc.e(0, 0), 1.0, 1e-12);
+    EXPECT_NEAR(disc.f(0, 0), 1.0, 1e-12);
+}
+
+TEST(Polynomial, EvaluationHorner)
+{
+    const Polynomial p({1.0, -2.0, 1.0}); // (x-1)^2
+    EXPECT_DOUBLE_EQ(p(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(p(3.0), 4.0);
+    const auto v = p(std::complex<double>(0.0, 1.0));
+    EXPECT_NEAR(v.real(), 0.0, 1e-12);
+    EXPECT_NEAR(v.imag(), -2.0, 1e-12);
+}
+
+TEST(Polynomial, Arithmetic)
+{
+    const Polynomial a({1.0, 1.0});  // 1 + x
+    const Polynomial b({-1.0, 1.0}); // -1 + x
+    const Polynomial prod = a * b;   // x^2 - 1
+    EXPECT_DOUBLE_EQ(prod.coeff(0), -1.0);
+    EXPECT_DOUBLE_EQ(prod.coeff(1), 0.0);
+    EXPECT_DOUBLE_EQ(prod.coeff(2), 1.0);
+    const Polynomial sum = a + b; // 2x
+    EXPECT_DOUBLE_EQ(sum.coeff(1), 2.0);
+    EXPECT_EQ(sum.degree(), 1u);
+}
+
+TEST(Polynomial, DerivativeAndTrim)
+{
+    const Polynomial p({5.0, 0.0, 3.0}); // 5 + 3x^2
+    const Polynomial d = p.derivative(); // 6x
+    EXPECT_EQ(d.degree(), 1u);
+    EXPECT_DOUBLE_EQ(d.coeff(1), 6.0);
+    const Polynomial trimmed({1.0, 0.0, 0.0});
+    EXPECT_EQ(trimmed.degree(), 0u);
+}
+
+TEST(Polynomial, QuadraticRoots)
+{
+    const Polynomial p({6.0, -5.0, 1.0}); // (x-2)(x-3)
+    auto roots = p.roots();
+    ASSERT_EQ(roots.size(), 2u);
+    std::vector<double> re{roots[0].real(), roots[1].real()};
+    std::sort(re.begin(), re.end());
+    EXPECT_NEAR(re[0], 2.0, 1e-9);
+    EXPECT_NEAR(re[1], 3.0, 1e-9);
+    EXPECT_NEAR(roots[0].imag(), 0.0, 1e-9);
+}
+
+TEST(Polynomial, ComplexRoots)
+{
+    const Polynomial p({1.0, 0.0, 1.0}); // x^2 + 1
+    auto roots = p.roots();
+    ASSERT_EQ(roots.size(), 2u);
+    for (const auto &r : roots) {
+        EXPECT_NEAR(r.real(), 0.0, 1e-9);
+        EXPECT_NEAR(std::abs(r.imag()), 1.0, 1e-9);
+    }
+}
+
+TEST(Polynomial, CubicWithLeadingScale)
+{
+    // 2(x-1)(x+2)(x-5) = 2x^3 - 8x^2 - 14x + 20
+    const Polynomial p({20.0, -14.0, -8.0, 2.0});
+    auto roots = p.roots();
+    ASSERT_EQ(roots.size(), 3u);
+    std::vector<double> re;
+    for (const auto &r : roots) {
+        EXPECT_NEAR(r.imag(), 0.0, 1e-8);
+        re.push_back(r.real());
+    }
+    std::sort(re.begin(), re.end());
+    EXPECT_NEAR(re[0], -2.0, 1e-8);
+    EXPECT_NEAR(re[1], 1.0, 1e-8);
+    EXPECT_NEAR(re[2], 5.0, 1e-8);
+}
+
+TEST(LinalgDeath, DimensionMismatchPanics)
+{
+    Matrix a(2, 3);
+    Matrix b(2, 2);
+    EXPECT_DEATH(a * b, "mismatch");
+}
+
+} // namespace
+} // namespace coolcmp

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Coverage for cross-cutting pieces: logging levels, the experiment
+ * result cache, DtmConfig timing helpers, and global-DVFS bank
+ * behaviour.
+ */
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/throttle.hh"
+#include "test_util.hh"
+#include "util/logging.hh"
+
+namespace coolcmp {
+namespace {
+
+TEST(Logging, LevelRoundTrip)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    // Emitting below the level must be a no-op (no crash, no output).
+    inform("this should be swallowed");
+    warn("this too");
+    setLogLevel(before);
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("user error ", 42),
+                ::testing::ExitedWithCode(1), "user error 42");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("bug ", 7), "bug 7");
+}
+
+TEST(DtmConfigTest, TimingHelpers)
+{
+    DtmConfig cfg;
+    // 100k cycles at 3.6 GHz.
+    EXPECT_NEAR(cfg.stepSeconds(), 27.7778e-6, 1e-9);
+    EXPECT_EQ(cfg.numSteps(),
+              static_cast<std::uint64_t>(0.5 / cfg.stepSeconds()));
+    cfg.duration = 0.01;
+    EXPECT_EQ(cfg.numSteps(), 360u);
+}
+
+TEST(ResultCache, RoundTripsMetrics)
+{
+    coolcmp::testing::quiet();
+    Experiment exp(coolcmp::testing::fastDtmConfig(),
+                   coolcmp::testing::fastTraceConfig());
+    const std::string dir =
+        ::testing::TempDir() + "coolcmp-results-test";
+    std::filesystem::remove_all(dir);
+
+    const Workload &w = findWorkload("workload1");
+    const PolicyConfig policy = baselinePolicy();
+    const RunMetrics fresh = exp.runCached(w, policy, dir);
+    ASSERT_FALSE(std::filesystem::is_empty(dir));
+    const RunMetrics cached = exp.runCached(w, policy, dir);
+    EXPECT_DOUBLE_EQ(cached.totalInstructions,
+                     fresh.totalInstructions);
+    EXPECT_DOUBLE_EQ(cached.dutyCycle, fresh.dutyCycle);
+    EXPECT_EQ(cached.emergencies, fresh.emergencies);
+    ASSERT_EQ(cached.coreDuty.size(), fresh.coreDuty.size());
+    for (std::size_t c = 0; c < cached.coreDuty.size(); ++c)
+        EXPECT_DOUBLE_EQ(cached.coreDuty[c], fresh.coreDuty[c]);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, KeyedByConfiguration)
+{
+    coolcmp::testing::quiet();
+    DtmConfig a = coolcmp::testing::fastDtmConfig();
+    DtmConfig b = a;
+    b.thresholdTemp = 100.0;
+    Experiment ea(a, coolcmp::testing::fastTraceConfig());
+    Experiment eb(b, coolcmp::testing::fastTraceConfig());
+    EXPECT_NE(ea.configKey(), eb.configKey());
+}
+
+TEST(ResultCache, EmptyDirDisablesCaching)
+{
+    coolcmp::testing::quiet();
+    Experiment exp(coolcmp::testing::fastDtmConfig(),
+                   coolcmp::testing::fastTraceConfig());
+    const RunMetrics m =
+        exp.runCached(findWorkload("workload2"), baselinePolicy(), "");
+    EXPECT_GT(m.totalInstructions, 0.0);
+}
+
+TEST(GlobalDvfs, SingleControllerForChip)
+{
+    const DtmConfig config = coolcmp::testing::fastDtmConfig();
+    ThrottleBank bank(ThrottleMechanism::Dvfs, ControlScope::Global, 4,
+                      config);
+    const double dt = config.stepSeconds();
+    double now = 0.0;
+    // Only core 2 is hot; global control must slow everyone.
+    for (int i = 0; i < 4000; ++i) {
+        bank.update({60.0, 60.0, config.dvfsSetpoint + 4.0, 60.0},
+                    now);
+        now += dt;
+    }
+    const double s = bank.freqScale(0);
+    EXPECT_LT(s, 0.95);
+    for (int c = 1; c < 4; ++c)
+        EXPECT_DOUBLE_EQ(bank.freqScale(c), s);
+}
+
+TEST(GlobalStopGo, ClearStallAffectsWholeChip)
+{
+    const DtmConfig config = coolcmp::testing::fastDtmConfig();
+    ThrottleBank bank(ThrottleMechanism::StopGo, ControlScope::Global,
+                      4, config);
+    bank.update({90.0, 60.0, 60.0, 60.0}, 0.0);
+    EXPECT_GT(bank.unavailableUntil(3), 0.0);
+    bank.clearStall(1, 0.005); // any core's migration lifts the chip
+    for (int c = 0; c < 4; ++c)
+        EXPECT_LE(bank.unavailableUntil(c), 0.005);
+}
+
+TEST(Experiment, RejectsMismatchedFrequencies)
+{
+    coolcmp::testing::quiet();
+    DtmConfig cfg = coolcmp::testing::fastDtmConfig();
+    TraceBuilderConfig tc = coolcmp::testing::fastTraceConfig();
+    tc.power.nominalFreq = 2.0e9;
+    EXPECT_EXIT(Experiment(cfg, tc), ::testing::ExitedWithCode(1),
+                "disagree");
+}
+
+TEST(Experiment, RunAllWorkloadsOrder)
+{
+    coolcmp::testing::quiet();
+    DtmConfig cfg = coolcmp::testing::fastDtmConfig();
+    cfg.duration = 0.004; // keep this sweep tiny
+    Experiment exp(cfg, coolcmp::testing::fastTraceConfig());
+    const auto runs = exp.runAllWorkloads(baselinePolicy());
+    ASSERT_EQ(runs.size(), table4Workloads().size());
+    for (const auto &m : runs)
+        EXPECT_GT(m.totalInstructions, 0.0);
+}
+
+} // namespace
+} // namespace coolcmp

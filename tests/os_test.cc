@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the OS model: processes over power traces, run
+ * queues, migration actuation, and context-switch penalties.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "os/kernel.hh"
+#include "os/process.hh"
+
+namespace coolcmp {
+namespace {
+
+std::shared_ptr<const PowerTrace>
+makeTrace(double ipc, double intRf = 2.0, double fpRf = 0.5,
+          std::size_t points = 4)
+{
+    auto trace = std::make_shared<PowerTrace>("t", 1000, 1e9);
+    for (std::size_t i = 0; i < points; ++i) {
+        TracePoint pt;
+        pt.instructions = static_cast<std::uint64_t>(ipc * 1000.0);
+        pt.ipc = ipc;
+        pt.intRfPerCycle = intRf;
+        pt.fpRfPerCycle = fpRf;
+        trace->addPoint(pt);
+    }
+    return trace;
+}
+
+std::vector<Process>
+makeProcesses(int n)
+{
+    std::vector<Process> out;
+    for (int i = 0; i < n; ++i)
+        out.emplace_back(i, makeTrace(1.0 + i));
+    return out;
+}
+
+TEST(Process, AdvanceChargesCounters)
+{
+    Process proc(0, makeTrace(2.0, 3.0, 0.25));
+    const double insts = proc.advance(500.0);
+    EXPECT_NEAR(insts, 1000.0, 1e-9); // half an interval at ipc 2
+    EXPECT_NEAR(proc.counters().adjustedCycles, 500.0, 1e-12);
+    EXPECT_NEAR(proc.counters().intRfAccesses, 1500.0, 1e-9);
+    EXPECT_NEAR(proc.counters().fpRfAccesses, 125.0, 1e-9);
+    EXPECT_NEAR(proc.counters().intRfPerCycle(), 3.0, 1e-12);
+}
+
+TEST(Process, TracePositionWraps)
+{
+    Process proc(0, makeTrace(1.0, 1.0, 0.0, 2));
+    EXPECT_EQ(proc.currentInterval(), 0u);
+    proc.advance(1500.0);
+    EXPECT_EQ(proc.currentInterval(), 1u);
+    proc.advance(1000.0);
+    EXPECT_EQ(proc.currentInterval(), 0u); // wrapped past 2 intervals
+}
+
+TEST(Process, ZeroAdvanceIsNoop)
+{
+    Process proc(0, makeTrace(1.0));
+    EXPECT_DOUBLE_EQ(proc.advance(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(proc.counters().adjustedCycles, 0.0);
+}
+
+TEST(Kernel, InitialAssignmentInOrder)
+{
+    OsKernel kernel(4, makeProcesses(4));
+    for (int c = 0; c < 4; ++c)
+        EXPECT_EQ(kernel.runningOn(c)->id(), c);
+    EXPECT_EQ(kernel.numProcesses(), 4u);
+}
+
+TEST(Kernel, MigrationSwapsAndFreezes)
+{
+    OsKernel kernel(4, makeProcesses(4));
+    const int switched = kernel.migrate({1, 0, 2, 3}, 0.02);
+    EXPECT_EQ(switched, 2);
+    EXPECT_EQ(kernel.runningOn(0)->id(), 1);
+    EXPECT_EQ(kernel.runningOn(1)->id(), 0);
+    EXPECT_TRUE(kernel.isFrozen(0, 0.02 + 50e-6));
+    EXPECT_FALSE(kernel.isFrozen(0, 0.02 + 150e-6));
+    EXPECT_FALSE(kernel.isFrozen(2, 0.02 + 50e-6));
+    EXPECT_EQ(kernel.migrationCount(), 2u);
+    EXPECT_NEAR(kernel.totalPenaltyTime(), 200e-6, 1e-12);
+}
+
+TEST(Kernel, MigrationRateLimited)
+{
+    OsKernel kernel(2, makeProcesses(2));
+    EXPECT_EQ(kernel.migrate({1, 0}, 0.02), 2);
+    // 5 ms later: below the 10 ms floor, must be refused.
+    EXPECT_FALSE(kernel.migrationAllowed(0.025));
+    EXPECT_EQ(kernel.migrate({0, 1}, 0.025), 0);
+    EXPECT_EQ(kernel.runningOn(0)->id(), 1);
+    // 12 ms later: allowed again.
+    EXPECT_EQ(kernel.migrate({0, 1}, 0.032), 2);
+}
+
+TEST(Kernel, UnchangedAssignmentDoesNotCount)
+{
+    OsKernel kernel(2, makeProcesses(2));
+    EXPECT_EQ(kernel.migrate({0, 1}, 0.02), 0);
+    EXPECT_EQ(kernel.migrationCount(), 0u);
+    // And does not reset the rate limit.
+    EXPECT_TRUE(kernel.migrationAllowed(0.021));
+}
+
+TEST(Kernel, NonPermutationIsPanic)
+{
+    OsKernel kernel(2, makeProcesses(2));
+    EXPECT_DEATH(kernel.migrate({0, 0}, 0.02), "permute");
+}
+
+TEST(Kernel, OversubscriptionRotatesRoundRobin)
+{
+    // 6 processes on 4 cores: after a quantum, the two waiters run.
+    OsKernel kernel(4, makeProcesses(6));
+    EXPECT_EQ(kernel.runningOn(0)->id(), 0);
+    kernel.advanceTo(0.0201); // past the 10 ms default quantum
+    EXPECT_EQ(kernel.runningOn(0)->id(), 4);
+    EXPECT_EQ(kernel.runningOn(1)->id(), 5);
+    // Parked threads re-enter later in FIFO order.
+    kernel.advanceTo(0.0402);
+    EXPECT_EQ(kernel.runningOn(0)->id(), 0);
+}
+
+TEST(Kernel, ExactFitNeverRotates)
+{
+    OsKernel kernel(4, makeProcesses(4));
+    kernel.advanceTo(1.0);
+    for (int c = 0; c < 4; ++c)
+        EXPECT_EQ(kernel.runningOn(c)->id(), c);
+}
+
+TEST(Kernel, TimeMustBeMonotonic)
+{
+    OsKernel kernel(2, makeProcesses(2));
+    kernel.advanceTo(0.5);
+    EXPECT_DEATH(kernel.advanceTo(0.4), "monotonic");
+}
+
+TEST(Kernel, TooFewProcessesIsFatal)
+{
+    EXPECT_EXIT(OsKernel(4, makeProcesses(2)),
+                ::testing::ExitedWithCode(1), "process");
+}
+
+TEST(Kernel, OverlappingFreezesExtendOnce)
+{
+    OsKernel kernel(2, makeProcesses(2));
+    kernel.migrate({1, 0}, 0.02);
+    const double penalties = kernel.totalPenaltyTime();
+    EXPECT_NEAR(penalties, 2.0 * 100e-6, 1e-12);
+}
+
+} // namespace
+} // namespace coolcmp

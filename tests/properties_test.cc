@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Second-wave property tests: parameterized sweeps over benchmarks,
+ * mechanisms, and randomized inputs exercising module invariants that
+ * the unit tests do not cover.
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "control/pi_controller.hh"
+#include "core/migration.hh"
+#include "core/throttle.hh"
+#include "linalg/expm.hh"
+#include "linalg/lu.hh"
+#include "core/experiment.hh"
+#include "power/trace_builder.hh"
+#include "test_util.hh"
+#include "thermal/rc_network.hh"
+#include "thermal/transient.hh"
+#include "uarch/ooo_core.hh"
+#include "util/rng.hh"
+#include "workload/workloads.hh"
+
+namespace coolcmp {
+namespace {
+
+// ---------------------------------------------------------------
+// Benchmark-profile properties, swept over all 22 models.
+// ---------------------------------------------------------------
+
+class BenchmarkProperty
+    : public ::testing::TestWithParam<BenchmarkProfile>
+{
+  protected:
+    static PowerTrace
+    traceOf(const BenchmarkProfile &profile)
+    {
+        testing::quiet();
+        static TraceBuilder builder(testing::fastTraceConfig());
+        return builder.build(profile);
+    }
+};
+
+TEST_P(BenchmarkProperty, TraceIsPhysical)
+{
+    const PowerTrace trace = traceOf(GetParam());
+    ASSERT_GT(trace.numPoints(), 0u);
+    for (std::size_t i = 0; i < trace.numPoints(); ++i) {
+        const TracePoint &pt = trace.point(i);
+        for (double p : pt.power) {
+            EXPECT_GE(p, 0.0);
+            EXPECT_LT(p, 50.0); // no single unit approaches chip power
+        }
+        EXPECT_GE(pt.ipc, 0.0);
+        EXPECT_LE(pt.ipc, 5.0); // commit width bound
+        EXPECT_GE(pt.intRfPerCycle, 0.0);
+        EXPECT_GE(pt.fpRfPerCycle, 0.0);
+    }
+    EXPECT_GT(trace.averageIpc(), 0.05);
+}
+
+TEST_P(BenchmarkProperty, CategoryMatchesRegisterIntensity)
+{
+    const BenchmarkProfile &profile = GetParam();
+    const PowerTrace trace = traceOf(profile);
+    double intRf = 0.0, fpRf = 0.0;
+    for (std::size_t i = 0; i < trace.numPoints(); ++i) {
+        intRf += trace.point(i).intRfPerCycle;
+        fpRf += trace.point(i).fpRfPerCycle;
+    }
+    if (profile.category == BenchCategory::SpecInt) {
+        // Integer codes hammer the integer register file hardest
+        // (eon's fp admixture notwithstanding).
+        EXPECT_GT(intRf, fpRf) << profile.name;
+    } else {
+        // FP codes carry real FP register traffic.
+        EXPECT_GT(fpRf, 0.1 * intRf) << profile.name;
+    }
+}
+
+TEST_P(BenchmarkProperty, PhasesChangeBehaviour)
+{
+    const BenchmarkProfile &profile = GetParam();
+    if (profile.phases.size() < 2)
+        GTEST_SKIP() << "single-phase benchmark";
+    const PowerTrace trace = traceOf(profile);
+    // Split points by phase and compare mean total power.
+    double sum[2] = {0, 0};
+    int count[2] = {0, 0};
+    for (std::size_t i = 0; i < trace.numPoints(); ++i) {
+        const std::size_t phase =
+            std::min<std::size_t>(
+                profile.phaseAt(i, trace.numPoints()), 1);
+        double total = 0.0;
+        for (double p : trace.point(i).power)
+            total += p;
+        sum[phase] += total;
+        ++count[phase];
+    }
+    ASSERT_GT(count[0], 0);
+    ASSERT_GT(count[1], 0);
+    const double mean0 = sum[0] / count[0];
+    const double mean1 = sum[1] / count[1];
+    EXPECT_GT(std::abs(mean0 - mean1), 0.03 * std::max(mean0, mean1))
+        << profile.name << ": phases should differ thermally";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkProperty,
+    ::testing::ValuesIn(spec2000Profiles()),
+    [](const ::testing::TestParamInfo<BenchmarkProfile> &info) {
+        return info.param.name;
+    });
+
+// ---------------------------------------------------------------
+// Randomized linear-algebra properties.
+// ---------------------------------------------------------------
+
+class RandomMatrixProperty : public ::testing::TestWithParam<int>
+{
+  protected:
+    Matrix
+    randomDiagonallyDominant(std::size_t n, Rng &rng)
+    {
+        Matrix a(n, n);
+        for (std::size_t i = 0; i < n; ++i) {
+            double rowSum = 0.0;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (i == j)
+                    continue;
+                a(i, j) = rng.uniform(-1.0, 1.0);
+                rowSum += std::abs(a(i, j));
+            }
+            a(i, i) = rowSum + rng.uniform(0.5, 2.0);
+        }
+        return a;
+    }
+};
+
+TEST_P(RandomMatrixProperty, LuSolveResidualTiny)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const std::size_t n = 5 + static_cast<std::size_t>(GetParam()) % 20;
+    const Matrix a = randomDiagonallyDominant(n, rng);
+    Vector b(n);
+    for (double &v : b)
+        v = rng.uniform(-10.0, 10.0);
+    const LuDecomposition lu(a);
+    const Vector x = lu.solve(b);
+    const Vector ax = a * x;
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+TEST_P(RandomMatrixProperty, ExpmSemigroupProperty)
+{
+    // exp(A) * exp(A) == exp(2A).
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+    const std::size_t n = 3 + static_cast<std::size_t>(GetParam()) % 4;
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            a(i, j) = rng.uniform(-0.8, 0.8);
+    const Matrix once = expm(a);
+    const Matrix twiceBySquare = once * once;
+    const Matrix twice = expm(a * 2.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            EXPECT_NEAR(twiceBySquare(i, j), twice(i, j), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMatrixProperty,
+                         ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------
+// Discretization properties.
+// ---------------------------------------------------------------
+
+TEST(Discretization, ZohAndTustinConvergeTogether)
+{
+    // As dt -> 0 both discretizations approach the continuous law:
+    // coefficient sums (the per-step integral mass) must agree.
+    const PidGains gains = paperPiGains();
+    for (double dt : {1e-3, 1e-4, 1e-5}) {
+        const DiscretePidCoeffs zoh = discretizePidZoh(gains, dt);
+        const DiscretePidCoeffs tustin =
+            discretizePidTustin(gains, dt);
+        EXPECT_NEAR(zoh.c0 + zoh.c1, tustin.c0 + tustin.c1, 1e-15);
+        EXPECT_NEAR(zoh.c0 + zoh.c1, gains.ki * dt, 1e-12);
+    }
+}
+
+TEST(Discretization, TustinSplitsIntegralEvenly)
+{
+    const PidGains gains{0.0, 100.0, 0.0};
+    const DiscretePidCoeffs c = discretizePidTustin(gains, 0.01);
+    EXPECT_NEAR(c.c0, 0.5, 1e-12);
+    EXPECT_NEAR(c.c1, 0.5, 1e-12);
+}
+
+TEST(Discretization, BothTrackContinuousRampResponse)
+{
+    // Feed a constant error: after N steps the PI integral is
+    // Ki * e * t (+ Kp * e); both discrete forms must land there.
+    const PidGains gains{0.5, 20.0, 0.0};
+    const double dt = 1e-3;
+    const double e = 0.1;
+    const int steps = 500;
+    for (auto discretize :
+         {discretizePidZoh, discretizePidTustin}) {
+        const DiscretePidCoeffs c = discretize(gains, dt);
+        DiscretePidController pi(c, -100.0, 100.0, 0.0);
+        double u = 0.0;
+        for (int i = 0; i < steps; ++i)
+            u = pi.update(e);
+        const double expected =
+            gains.kp * e + gains.ki * e * steps * dt;
+        EXPECT_NEAR(u, expected, 0.05 * expected);
+    }
+}
+
+// ---------------------------------------------------------------
+// Thermal-network properties over random power vectors.
+// ---------------------------------------------------------------
+
+TEST(ThermalProperty, SuperpositionHolds)
+{
+    // The network is linear: steady(P1 + P2) - Tamb equals
+    // (steady(P1) - Tamb) + (steady(P2) - Tamb).
+    const Floorplan plan = makeCmpFloorplan(2);
+    const PackageParams pkg = PackageParams::desktop();
+    const RcNetwork net(plan, pkg);
+    Rng rng(1234);
+    Vector p1(plan.numBlocks()), p2(plan.numBlocks()), sum(
+        plan.numBlocks());
+    for (std::size_t b = 0; b < plan.numBlocks(); ++b) {
+        p1[b] = rng.uniform(0.0, 3.0);
+        p2[b] = rng.uniform(0.0, 3.0);
+        sum[b] = p1[b] + p2[b];
+    }
+    const Vector t1 = net.steadyState(p1);
+    const Vector t2 = net.steadyState(p2);
+    const Vector ts = net.steadyState(sum);
+    for (std::size_t i = 0; i < net.numNodes(); ++i)
+        EXPECT_NEAR(ts[i] - pkg.ambient,
+                    (t1[i] - pkg.ambient) + (t2[i] - pkg.ambient),
+                    1e-9);
+}
+
+TEST(ThermalProperty, PropagatorIsLinearInState)
+{
+    const Floorplan plan = makeCmpFloorplan(1);
+    const RcNetwork net(plan, PackageParams::desktop());
+    const double dt = 1e-4;
+    const Vector zero(plan.numBlocks(), 0.0);
+
+    // Response from a perturbed state decays toward the unperturbed
+    // trajectory and never oscillates past it (the network is a
+    // passive RC system: E has nonnegative entries).
+    ZohPropagator a(net, dt), b(net, dt);
+    Vector perturbed = a.temperatures();
+    perturbed[0] += 10.0;
+    b.setTemperatures(perturbed);
+    double lastGap = 10.0;
+    for (int i = 0; i < 100; ++i) {
+        a.step(zero, dt);
+        b.step(zero, dt);
+        const double gap = b.blockTemp(0) - a.blockTemp(0);
+        EXPECT_GE(gap, -1e-9);
+        EXPECT_LE(gap, lastGap + 1e-12);
+        lastGap = gap;
+    }
+    EXPECT_LT(lastGap, 10.0);
+}
+
+TEST(ThermalProperty, HotterNeighborWarmsBlock)
+{
+    const Floorplan plan = makeCmpFloorplan(1);
+    const RcNetwork net(plan, PackageParams::desktop());
+    const std::size_t intRf = plan.indexOf(0, UnitKind::IntRF);
+    const std::size_t fpRf = plan.indexOf(0, UnitKind::FpRF);
+    Vector quiet(plan.numBlocks(), 0.2);
+    Vector loud = quiet;
+    loud[fpRf] = 4.0;
+    // Heating the FpRF raises the adjacent IntRF even with the same
+    // IntRF power (lateral conduction).
+    EXPECT_GT(net.steadyState(loud)[intRf],
+              net.steadyState(quiet)[intRf] + 0.5);
+}
+
+// ---------------------------------------------------------------
+// Migration-algorithm properties over random inputs.
+// ---------------------------------------------------------------
+
+TEST(MigrationProperty, AssignmentIsAlwaysAPermutation)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t n = 2 + rng.below(5);
+        std::vector<CoreHotspotState> cores(n);
+        std::vector<double> heat(n * 2);
+        for (std::size_t c = 0; c < n; ++c) {
+            cores[c].criticalUnit = rng.chance(0.5) ? UnitKind::IntRF
+                                                    : UnitKind::FpRF;
+            cores[c].criticalTemp = rng.uniform(70.0, 85.0);
+            cores[c].secondaryTemp = rng.uniform(
+                60.0, cores[c].criticalTemp);
+            cores[c].process = static_cast<int>(c);
+        }
+        for (double &h : heat)
+            h = rng.uniform(0.0, 3.0);
+        auto intensity = [&](int process, int, UnitKind unit) {
+            return heat[static_cast<std::size_t>(process) * 2 +
+                        (unit == UnitKind::FpRF ? 1 : 0)];
+        };
+        const std::vector<int> assignment =
+            decideAssignment(cores, intensity,
+                             rng.uniform(0.0, 0.3));
+        std::set<int> seen(assignment.begin(), assignment.end());
+        EXPECT_EQ(seen.size(), n);
+        for (int p : assignment) {
+            EXPECT_GE(p, 0);
+            EXPECT_LT(p, static_cast<int>(n));
+        }
+    }
+}
+
+TEST(MigrationProperty, ZeroMarginMinimizesCriticalHeatGreedily)
+{
+    // With keepMargin 0 and a single shared critical unit, the most
+    // imbalanced core must receive the globally least intense thread.
+    Rng rng(7);
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::size_t n = 3;
+        std::vector<CoreHotspotState> cores(n);
+        std::vector<double> heat(n);
+        for (std::size_t c = 0; c < n; ++c) {
+            cores[c].criticalUnit = UnitKind::IntRF;
+            cores[c].criticalTemp = 80.0;
+            cores[c].secondaryTemp = 80.0 - rng.uniform(0.0, 10.0);
+            cores[c].process = static_cast<int>(c);
+            heat[c] = rng.uniform(0.1, 3.0);
+        }
+        auto intensity = [&](int process, int, UnitKind) {
+            return heat[static_cast<std::size_t>(process)];
+        };
+        const std::vector<int> assignment =
+            decideAssignment(cores, intensity, 0.0);
+        std::size_t mostImbalanced = 0;
+        for (std::size_t c = 1; c < n; ++c)
+            if (cores[c].imbalance() >
+                cores[mostImbalanced].imbalance())
+                mostImbalanced = c;
+        const int coolest = static_cast<int>(
+            std::min_element(heat.begin(), heat.end()) - heat.begin());
+        EXPECT_EQ(assignment[mostImbalanced], coolest);
+    }
+}
+
+// ---------------------------------------------------------------
+// Throttle-domain properties swept over both mechanisms.
+// ---------------------------------------------------------------
+
+class MechanismProperty
+    : public ::testing::TestWithParam<ThrottleMechanism>
+{
+};
+
+TEST_P(MechanismProperty, NeverExceedsLimitsOnRandomTemps)
+{
+    const DtmConfig config = testing::fastDtmConfig();
+    ThrottleDomain domain(GetParam(), config);
+    Rng rng(42);
+    double now = 0.0;
+    for (int i = 0; i < 5000; ++i) {
+        domain.update(rng.uniform(60.0, 95.0), now);
+        now += config.stepSeconds();
+        EXPECT_GE(domain.freqScale(), config.minFreqScale - 1e-12);
+        EXPECT_LE(domain.freqScale(), 1.0 + 1e-12);
+        EXPECT_LE(domain.unavailableUntil(),
+                  now + config.stopGoStall + 1e-9);
+    }
+}
+
+TEST_P(MechanismProperty, ColdSensorMeansFullSpeed)
+{
+    const DtmConfig config = testing::fastDtmConfig();
+    ThrottleDomain domain(GetParam(), config);
+    double now = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+        domain.update(50.0, now);
+        now += config.stepSeconds();
+    }
+    EXPECT_DOUBLE_EQ(domain.freqScale(), 1.0);
+    EXPECT_FALSE(domain.stalled(now));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mechanisms, MechanismProperty,
+    ::testing::Values(ThrottleMechanism::StopGo,
+                      ThrottleMechanism::Dvfs),
+    [](const ::testing::TestParamInfo<ThrottleMechanism> &info) {
+        return info.param == ThrottleMechanism::StopGo ? "stopgo"
+                                                       : "dvfs";
+    });
+
+// ---------------------------------------------------------------
+// Core-model resource-pressure properties.
+// ---------------------------------------------------------------
+
+TEST(CorePressure, TinyRobLimitsIpc)
+{
+    StreamParams params;
+    params.meanDepDist = 12.0;
+    CoreConfig wide = CoreConfig::table3();
+    CoreConfig narrow = wide;
+    narrow.robSize = 8;
+    ActivityCounts a, b;
+    OooCore(wide, params, 3).run(200000, a);
+    OooCore(narrow, params, 3).run(200000, b);
+    EXPECT_LT(b.ipc(), a.ipc());
+}
+
+TEST(CorePressure, SingleLsuThrottlesMemoryCode)
+{
+    StreamParams params;
+    params.mix = {0.2, 0.0, 0.0, 0.0, 0.0, 0.45, 0.25, 0.1};
+    CoreConfig two = CoreConfig::table3();
+    CoreConfig one = two;
+    one.numLsu = 1;
+    ActivityCounts a, b;
+    OooCore(two, params, 5).run(200000, a);
+    OooCore(one, params, 5).run(200000, b);
+    EXPECT_LT(b.ipc(), a.ipc() * 0.95);
+}
+
+TEST(CorePressure, FpQueueBoundsFpThroughput)
+{
+    StreamParams params;
+    params.mix = {0.1, 0.0, 0.35, 0.30, 0.0, 0.15, 0.05, 0.05};
+    params.fpLoadFrac = 0.7;
+    CoreConfig big = CoreConfig::table3();
+    CoreConfig tiny = big;
+    tiny.fpQueueSize = 2;
+    ActivityCounts a, b;
+    OooCore(big, params, 11).run(200000, a);
+    OooCore(tiny, params, 11).run(200000, b);
+    EXPECT_LT(b.ipc(), a.ipc());
+}
+
+// ---------------------------------------------------------------
+// End-to-end oversubscription: more processes than cores.
+// ---------------------------------------------------------------
+
+TEST(Oversubscription, SixProcessesOnFourCores)
+{
+    testing::quiet();
+    Experiment exp(testing::fastDtmConfig(),
+                   testing::fastTraceConfig());
+    std::vector<std::shared_ptr<const PowerTrace>> traces;
+    for (const char *name :
+         {"gzip", "twolf", "ammp", "lucas", "mcf", "swim"})
+        traces.push_back(exp.trace(name));
+    DtmSimulator sim(exp.chip(),
+                     {ThrottleMechanism::Dvfs,
+                      ControlScope::Distributed, MigrationKind::None},
+                     exp.config(), traces);
+    const RunMetrics m = sim.run();
+    ASSERT_EQ(m.processInstructions.size(), 6u);
+    // Round-robin time slicing: every process makes progress.
+    for (double insts : m.processInstructions)
+        EXPECT_GT(insts, 0.0);
+    EXPECT_EQ(m.emergencies, 0u);
+}
+
+} // namespace
+} // namespace coolcmp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared helpers for the test suite: fast configurations that keep the
+ * cycle-level and thermal simulations small enough for unit tests.
+ */
+
+#ifndef COOLCMP_TESTS_TEST_UTIL_HH
+#define COOLCMP_TESTS_TEST_UTIL_HH
+
+#include <cstdlib>
+#include <string>
+
+#include "core/dtm_config.hh"
+#include "power/trace_builder.hh"
+#include "util/logging.hh"
+
+namespace coolcmp::testing {
+
+/** Silence inform/warn output in tests. */
+inline void
+quiet()
+{
+    setLogLevel(LogLevel::Silent);
+}
+
+/** Short trace-builder configuration (fast to generate, no cache). */
+inline TraceBuilderConfig
+fastTraceConfig()
+{
+    TraceBuilderConfig cfg;
+    cfg.numIntervals = 16;
+    cfg.sampledShare = 0.2;
+    cfg.warmupCycles = 30000;
+    cfg.cacheDir.clear(); // no disk cache in unit tests
+    return cfg;
+}
+
+/** Short DTM configuration: 20 ms of silicon time. */
+inline DtmConfig
+fastDtmConfig()
+{
+    DtmConfig cfg;
+    cfg.duration = 0.02;
+    return cfg;
+}
+
+} // namespace coolcmp::testing
+
+#endif // COOLCMP_TESTS_TEST_UTIL_HH

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Unit tests for the thermal substrate: floorplans, RC networks, the
+ * exact propagator vs RK4, steady state, and sensors.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "thermal/floorplan.hh"
+#include "thermal/package.hh"
+#include "thermal/rc_network.hh"
+#include "thermal/sensor.hh"
+#include "thermal/transient.hh"
+
+namespace coolcmp {
+namespace {
+
+TEST(Floorplan, CmpPlanHasAllUnits)
+{
+    const Floorplan plan = makeCmpFloorplan(4);
+    EXPECT_EQ(plan.numCores(), 4);
+    // 13 per-core units * 4 cores + shared L2.
+    EXPECT_EQ(plan.numBlocks(), 4 * numCoreUnitKinds + 1);
+    for (int c = 0; c < 4; ++c)
+        for (UnitKind kind : coreUnitKinds())
+            EXPECT_TRUE(plan.has(c, kind));
+    EXPECT_TRUE(plan.has(-1, UnitKind::L2));
+}
+
+TEST(Floorplan, CoresTileWithoutOverlap)
+{
+    for (int cores : {1, 2, 4}) {
+        const Floorplan plan = makeCmpFloorplan(cores);
+        // Construction validates overlap; verify full tiling.
+        EXPECT_NEAR(plan.coveredArea(), plan.chipArea(),
+                    plan.chipArea() * 1e-9);
+    }
+}
+
+TEST(Floorplan, SharedEdgeLengths)
+{
+    const Block a{"a", UnitKind::Other, 0, 0.0, 0.0, 1.0, 2.0};
+    const Block b{"b", UnitKind::Other, 0, 1.0, 1.0, 1.0, 2.0};
+    // Vertical shared edge from y=1 to y=2.
+    EXPECT_DOUBLE_EQ(sharedEdgeLength(a, b), 1.0);
+    const Block c{"c", UnitKind::Other, 0, 5.0, 5.0, 1.0, 1.0};
+    EXPECT_DOUBLE_EQ(sharedEdgeLength(a, c), 0.0);
+}
+
+TEST(Floorplan, AdjacencyIncludesRegisterFileNeighbors)
+{
+    const Floorplan plan = makeCmpFloorplan(1);
+    const std::size_t intRf = plan.indexOf(0, UnitKind::IntRF);
+    const std::size_t fxu = plan.indexOf(0, UnitKind::FXU);
+    bool found = false;
+    for (const auto &adj : plan.adjacencies())
+        found = found ||
+            (adj.a == std::min(intRf, fxu) &&
+             adj.b == std::max(intRf, fxu));
+    EXPECT_TRUE(found);
+}
+
+TEST(Floorplan, OverlapIsFatal)
+{
+    std::vector<Block> blocks = {
+        {"a", UnitKind::Other, 0, 0.0, 0.0, 2.0, 2.0},
+        {"b", UnitKind::Other, 0, 1.0, 1.0, 2.0, 2.0},
+    };
+    EXPECT_EXIT(Floorplan(blocks, 1), ::testing::ExitedWithCode(1),
+                "overlap");
+}
+
+TEST(Floorplan, DuplicateNameIsFatal)
+{
+    std::vector<Block> blocks = {
+        {"a", UnitKind::Other, 0, 0.0, 0.0, 1.0, 1.0},
+        {"a", UnitKind::Other, 0, 2.0, 0.0, 1.0, 1.0},
+    };
+    EXPECT_EXIT(Floorplan(blocks, 1), ::testing::ExitedWithCode(1),
+                "duplicate");
+}
+
+TEST(Floorplan, MobilePlanSmallerThanDesktop)
+{
+    const Floorplan mobile = makeMobileFloorplan();
+    const Floorplan desktop = makeCmpFloorplan(4);
+    EXPECT_EQ(mobile.numCores(), 1);
+    EXPECT_LT(mobile.chipArea(), desktop.chipArea());
+}
+
+TEST(RcNetwork, ConductanceMatrixSymmetric)
+{
+    const Floorplan plan = makeCmpFloorplan(2);
+    const RcNetwork net(plan, PackageParams::desktop());
+    const Matrix &g = net.conductance();
+    for (std::size_t i = 0; i < net.numNodes(); ++i)
+        for (std::size_t j = i + 1; j < net.numNodes(); ++j)
+            EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+}
+
+TEST(RcNetwork, ZeroPowerIsAmbientEverywhere)
+{
+    const Floorplan plan = makeCmpFloorplan(1);
+    const PackageParams pkg = PackageParams::desktop();
+    const RcNetwork net(plan, pkg);
+    const Vector temps = net.steadyState(Vector(plan.numBlocks(), 0.0));
+    for (double t : temps)
+        EXPECT_NEAR(t, pkg.ambient, 1e-9);
+}
+
+TEST(RcNetwork, SteadyStateEnergyBalance)
+{
+    // Total heat into the die equals total heat out through the
+    // convection boundary: sum over nodes of g_amb * (T - Tamb) = P.
+    const Floorplan plan = makeCmpFloorplan(4);
+    const PackageParams pkg = PackageParams::desktop();
+    const RcNetwork net(plan, pkg);
+    Vector powers(plan.numBlocks(), 0.0);
+    double total = 0.0;
+    for (std::size_t b = 0; b < plan.numBlocks(); ++b) {
+        powers[b] = 0.5 + static_cast<double>(b % 3);
+        total += powers[b];
+    }
+    const Vector temps = net.steadyState(powers);
+    // Heat escapes only via the convection conductances, which appear
+    // as diagonal excess: G * x = P implies sum(P) = x' * G * 1 =
+    // sum over ambient ties. Compute via the mean sink rise:
+    double rise = 0.0;
+    for (std::size_t i = 0; i < net.numNodes(); ++i) {
+        double rowSum = 0.0;
+        for (std::size_t j = 0; j < net.numNodes(); ++j)
+            rowSum += net.conductance()(i, j);
+        rise += rowSum * (temps[i] - pkg.ambient);
+    }
+    EXPECT_NEAR(rise, total, total * 1e-9);
+}
+
+TEST(RcNetwork, MorePowerIsHotter)
+{
+    const Floorplan plan = makeCmpFloorplan(1);
+    const RcNetwork net(plan, PackageParams::desktop());
+    Vector lo(plan.numBlocks(), 1.0);
+    Vector hi(plan.numBlocks(), 2.0);
+    const Vector tl = net.steadyState(lo);
+    const Vector th = net.steadyState(hi);
+    for (std::size_t i = 0; i < tl.size(); ++i)
+        EXPECT_GT(th[i], tl[i]);
+}
+
+TEST(RcNetwork, LocalHeatingPeaksLocally)
+{
+    const Floorplan plan = makeCmpFloorplan(4);
+    const RcNetwork net(plan, PackageParams::desktop());
+    Vector powers(plan.numBlocks(), 0.0);
+    const std::size_t hot = plan.indexOf(2, UnitKind::IntRF);
+    powers[hot] = 5.0;
+    const Vector temps = net.steadyState(powers);
+    for (std::size_t b = 0; b < plan.numBlocks(); ++b)
+        if (b != hot)
+            EXPECT_LT(temps[b], temps[hot]);
+}
+
+TEST(RcNetwork, TimeConstantsOrdered)
+{
+    const Floorplan plan = makeCmpFloorplan(4);
+    const RcNetwork net(plan, PackageParams::desktop());
+    EXPECT_GT(net.fastestTimeConstant(), 0.0);
+    EXPECT_GT(net.slowestTimeConstant(),
+              net.fastestTimeConstant() * 10.0);
+    // The slowest constant is the sink: tens of seconds.
+    EXPECT_GT(net.slowestTimeConstant(), 5.0);
+}
+
+TEST(Transient, PropagatorConvergesToSteadyState)
+{
+    const Floorplan plan = makeCmpFloorplan(1);
+    const RcNetwork net(plan, PackageParams::desktop());
+    Vector powers(plan.numBlocks(), 1.5);
+    ZohPropagator solver(net, 1e-3);
+    // March a long time (sink constant ~ tens of s requires care;
+    // start from steady state of half the power and close the gap).
+    Vector half(powers);
+    for (auto &p : half)
+        p *= 0.5;
+    solver.initSteadyState(powers);
+    const Vector expect = solver.temperatures();
+    solver.initSteadyState(half);
+    for (int i = 0; i < 2000; ++i)
+        solver.step(powers, 1e-3);
+    // Die nodes approach their steady values (the deep package moves
+    // on far longer scales, so compare die-node direction of travel).
+    for (std::size_t b = 0; b < plan.numBlocks(); ++b) {
+        EXPECT_GT(solver.blockTemp(b),
+                  net.steadyState(half)[b] + 0.1);
+        EXPECT_LT(solver.blockTemp(b), expect[b] + 1e-6);
+    }
+}
+
+TEST(Transient, PropagatorMatchesRk4)
+{
+    const Floorplan plan = makeCmpFloorplan(2);
+    const RcNetwork net(plan, PackageParams::desktop());
+    const double dt = 27.78e-6;
+    ZohPropagator exact(net, dt);
+    Rk4Solver rk4(net);
+    Vector powers(plan.numBlocks(), 0.0);
+    for (std::size_t b = 0; b < plan.numBlocks(); ++b)
+        powers[b] = 0.3 + 0.1 * static_cast<double>(b % 5);
+    for (int i = 0; i < 300; ++i) {
+        exact.step(powers, dt);
+        rk4.step(powers, dt);
+    }
+    for (std::size_t i = 0; i < net.numNodes(); ++i)
+        EXPECT_NEAR(exact.temperatures()[i], rk4.temperatures()[i],
+                    1e-6);
+}
+
+TEST(Transient, AnalyticSingleBlockResponse)
+{
+    // One tiny floorplan block: compare the die-node trajectory with
+    // an independently-computed two-node analytic bound: temperature
+    // must rise monotonically and stay below steady state.
+    std::vector<Block> blocks = {
+        {"only", UnitKind::Other, 0, 0.0, 0.0, 5e-3, 5e-3},
+    };
+    const Floorplan plan(blocks, 1);
+    const RcNetwork net(plan, PackageParams::desktop());
+    ZohPropagator solver(net, 1e-4);
+    Vector powers{10.0};
+    double last = solver.blockTemp(0);
+    for (int i = 0; i < 200; ++i) {
+        solver.step(powers, 1e-4);
+        EXPECT_GE(solver.blockTemp(0), last - 1e-12);
+        last = solver.blockTemp(0);
+    }
+    EXPECT_LT(last, net.steadyState(powers)[0]);
+    EXPECT_GT(last, PackageParams::desktop().ambient);
+}
+
+TEST(Transient, SharedDiscretizationEquivalent)
+{
+    const Floorplan plan = makeCmpFloorplan(1);
+    const RcNetwork net(plan, PackageParams::desktop());
+    const double dt = 1e-4;
+    auto disc = ZohPropagator::makeDiscretization(net, dt);
+    ZohPropagator a(net, dt);
+    ZohPropagator b(net, dt, disc);
+    Vector powers(plan.numBlocks(), 1.0);
+    for (int i = 0; i < 50; ++i) {
+        a.step(powers, dt);
+        b.step(powers, dt);
+    }
+    for (std::size_t i = 0; i < net.numNodes(); ++i)
+        EXPECT_DOUBLE_EQ(a.temperatures()[i], b.temperatures()[i]);
+}
+
+TEST(Transient, WrongStepIsPanic)
+{
+    const Floorplan plan = makeCmpFloorplan(1);
+    const RcNetwork net(plan, PackageParams::desktop());
+    ZohPropagator solver(net, 1e-4);
+    Vector powers(plan.numBlocks(), 1.0);
+    EXPECT_DEATH(solver.step(powers, 2e-4), "built for");
+}
+
+TEST(Sensor, ReadsBlockTemperature)
+{
+    const Floorplan plan = makeCmpFloorplan(1);
+    const RcNetwork net(plan, PackageParams::desktop());
+    ZohPropagator solver(net, 1e-4);
+    Vector temps(net.numNodes(), 50.0);
+    temps[plan.indexOf(0, UnitKind::IntRF)] = 77.25;
+    solver.setTemperatures(temps);
+    ThermalSensor ideal(plan.indexOf(0, UnitKind::IntRF));
+    EXPECT_DOUBLE_EQ(ideal.read(solver), 77.25);
+}
+
+TEST(Sensor, QuantizationRoundsToGrid)
+{
+    const Floorplan plan = makeCmpFloorplan(1);
+    const RcNetwork net(plan, PackageParams::desktop());
+    ZohPropagator solver(net, 1e-4);
+    Vector temps(net.numNodes(), 63.6);
+    solver.setTemperatures(temps);
+    ThermalSensor acpi(0, 1.0); // 1 C steps, like the Table 1 diode
+    EXPECT_DOUBLE_EQ(acpi.read(solver), 64.0);
+}
+
+TEST(Sensor, NoiseHasRequestedSpread)
+{
+    const Floorplan plan = makeCmpFloorplan(1);
+    const RcNetwork net(plan, PackageParams::desktop());
+    ZohPropagator solver(net, 1e-4);
+    Vector temps(net.numNodes(), 70.0);
+    solver.setTemperatures(temps);
+    ThermalSensor noisy(0, 0.0, 0.5, 99);
+    double sum = 0.0, sumSq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double r = noisy.read(solver);
+        sum += r;
+        sumSq += r * r;
+    }
+    const double mean = sum / n;
+    const double var = sumSq / n - mean * mean;
+    EXPECT_NEAR(mean, 70.0, 0.02);
+    EXPECT_NEAR(std::sqrt(var), 0.5, 0.02);
+}
+
+TEST(Sensor, RegisterFilePairsPerCore)
+{
+    const Floorplan plan = makeCmpFloorplan(4);
+    auto sensors = makeRegisterFileSensors(plan);
+    ASSERT_EQ(sensors.size(), 4u);
+    for (int c = 0; c < 4; ++c) {
+        EXPECT_EQ(sensors[static_cast<std::size_t>(c)].intRf.block(),
+                  plan.indexOf(c, UnitKind::IntRF));
+        EXPECT_EQ(sensors[static_cast<std::size_t>(c)].fpRf.block(),
+                  plan.indexOf(c, UnitKind::FpRF));
+    }
+}
+
+TEST(Package, MobileRunsWarmerPerWatt)
+{
+    // Same power produces a larger rise on the mobile stack (weaker
+    // cooling), though from a cooler ambient.
+    const Floorplan plan = makeMobileFloorplan();
+    const RcNetwork desktopNet(plan, PackageParams::desktop());
+    const RcNetwork mobileNet(plan, PackageParams::mobile());
+    Vector powers(plan.numBlocks(), 1.0);
+    const double desktopRise =
+        desktopNet.steadyState(powers)[0] - PackageParams::desktop().ambient;
+    const double mobileRise =
+        mobileNet.steadyState(powers)[0] - PackageParams::mobile().ambient;
+    EXPECT_GT(mobileRise, desktopRise);
+}
+
+} // namespace
+} // namespace coolcmp

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Unit tests for the microarchitecture substrate: caches, branch
+ * predictors, synthetic streams, and the out-of-order core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/branch_predictor.hh"
+#include "uarch/cache.hh"
+#include "uarch/ooo_core.hh"
+#include "uarch/synthetic_stream.hh"
+
+namespace coolcmp {
+namespace {
+
+TEST(Cache, GeometryDerived)
+{
+    const CacheConfig cfg{32 * 1024, 2, 128, 1};
+    EXPECT_EQ(cfg.numSets(), 128u);
+}
+
+TEST(Cache, HitAfterMiss)
+{
+    Cache cache(CacheConfig{1024, 2, 64, 1});
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1004)); // same block
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // 2-way, 64 B blocks, 2 sets: three blocks mapping to set 0.
+    Cache cache(CacheConfig{256, 2, 64, 1});
+    const std::uint64_t setStride = 2 * 64;
+    cache.access(0 * setStride); // A
+    cache.access(1 * setStride); // B
+    cache.access(0 * setStride); // touch A (B now LRU)
+    cache.access(2 * setStride); // C evicts B
+    EXPECT_TRUE(cache.contains(0 * setStride));
+    EXPECT_FALSE(cache.contains(1 * setStride));
+    EXPECT_TRUE(cache.contains(2 * setStride));
+}
+
+TEST(Cache, FlushInvalidatesAll)
+{
+    Cache cache(CacheConfig{1024, 2, 64, 1});
+    cache.access(0x40);
+    cache.flush();
+    EXPECT_FALSE(cache.contains(0x40));
+}
+
+TEST(Cache, HitRateAndClearStats)
+{
+    Cache cache(CacheConfig{1024, 2, 64, 1});
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.0);
+    cache.access(0x0);
+    cache.access(0x0);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.5);
+    cache.clearStats();
+    EXPECT_EQ(cache.accesses(), 0u);
+    EXPECT_TRUE(cache.contains(0x0)); // contents retained
+}
+
+TEST(Cache, BadGeometryIsFatal)
+{
+    EXPECT_EXIT(Cache(CacheConfig{1000, 3, 96, 1}),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Bimodal, LearnsStrongBias)
+{
+    BimodalPredictor pred(1024);
+    int wrong = 0;
+    for (int i = 0; i < 1000; ++i)
+        wrong += pred.lookup(0x400, true) ? 0 : 1;
+    EXPECT_LE(wrong, 2); // warm-up only
+}
+
+TEST(Gshare, LearnsAlternatingPattern)
+{
+    // T N T N ... is history-predictable but defeats bimodal.
+    GsharePredictor gshare(4096, 8);
+    BimodalPredictor bimodal(4096);
+    int gshareWrong = 0, bimodalWrong = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const bool taken = i % 2 == 0;
+        gshareWrong += gshare.lookup(0x800, taken) ? 0 : 1;
+        bimodalWrong += bimodal.lookup(0x800, taken) ? 0 : 1;
+    }
+    EXPECT_LT(gshareWrong, 100);
+    EXPECT_GT(bimodalWrong, 1000);
+}
+
+TEST(Tournament, TracksBetterComponent)
+{
+    TournamentPredictor tourney(4096);
+    int wrong = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const bool taken = i % 2 == 0; // alternating: gshare wins
+        wrong += tourney.lookup(0xc00, taken) ? 0 : 1;
+    }
+    EXPECT_LT(wrong, 200);
+    EXPECT_GT(tourney.lookups(), 0u);
+    EXPECT_NEAR(tourney.mispredictRate(),
+                static_cast<double>(wrong) / 4000.0, 1e-12);
+}
+
+TEST(Stream, DeterministicForSeed)
+{
+    StreamParams params;
+    SyntheticStream a(params, 7), b(params, 7);
+    for (int i = 0; i < 1000; ++i) {
+        const MicroOp oa = a.next();
+        const MicroOp ob = b.next();
+        EXPECT_EQ(oa.cls, ob.cls);
+        EXPECT_EQ(oa.addr, ob.addr);
+        EXPECT_EQ(oa.srcDist[0], ob.srcDist[0]);
+    }
+}
+
+TEST(Stream, MixFractionsRespected)
+{
+    StreamParams params;
+    params.mix = {0.5, 0.0, 0.25, 0.0, 0.0, 0.25, 0.0, 0.0};
+    SyntheticStream stream(params, 3);
+    std::array<int, numOpClasses> counts{};
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ++counts[static_cast<std::size_t>(stream.next().cls)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.5, 0.02);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.25, 0.02);
+    EXPECT_NEAR(counts[5] / static_cast<double>(n), 0.25, 0.02);
+    EXPECT_EQ(counts[7], 0);
+}
+
+TEST(Stream, DependencyDistanceMean)
+{
+    StreamParams params;
+    params.meanDepDist = 8.0;
+    SyntheticStream stream(params, 5);
+    double sum = 0.0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        sum += stream.next().srcDist[0];
+    // 1 + Geometric with mean ~ (1-p)/p = 7 => total ~ 8.
+    EXPECT_NEAR(sum / n, 8.0, 0.5);
+}
+
+TEST(Stream, FpLoadFraction)
+{
+    StreamParams params;
+    params.mix = {0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0};
+    params.fpLoadFrac = 0.7;
+    SyntheticStream stream(params, 9);
+    int fp = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        fp += stream.next().fpDest ? 1 : 0;
+    EXPECT_NEAR(fp / static_cast<double>(n), 0.7, 0.02);
+}
+
+TEST(Stream, FetchStaysInFootprint)
+{
+    StreamParams params;
+    params.codeFootprint = 4096;
+    params.icacheChurn = 0.01;
+    SyntheticStream stream(params, 11);
+    const std::uint64_t base = stream.fetchAddr();
+    for (int i = 0; i < 10000; ++i) {
+        stream.next();
+        EXPECT_LT(stream.fetchAddr() - base, 4096u + 4u);
+    }
+}
+
+TEST(Stream, SetParamsKeepsBranchPool)
+{
+    StreamParams params;
+    SyntheticStream stream(params, 13);
+    for (int i = 0; i < 100; ++i)
+        stream.next();
+    params.meanDepDist = 2.0;
+    stream.setParams(params);
+    EXPECT_EQ(stream.params().meanDepDist, 2.0);
+    // Still generates valid ops.
+    for (int i = 0; i < 100; ++i)
+        stream.next();
+    EXPECT_EQ(stream.generated(), 200u);
+}
+
+class OooCoreTest : public ::testing::Test
+{
+  protected:
+    ActivityCounts
+    runCore(const StreamParams &params, std::uint64_t cycles = 300000,
+            const CoreConfig &config = CoreConfig::table3())
+    {
+        OooCore core(config, params, 123);
+        ActivityCounts counts;
+        core.run(cycles, counts);
+        return counts;
+    }
+};
+
+TEST_F(OooCoreTest, IpcWithinMachineBounds)
+{
+    const ActivityCounts counts = runCore(StreamParams{});
+    EXPECT_GT(counts.ipc(), 0.2);
+    EXPECT_LE(counts.ipc(),
+              static_cast<double>(CoreConfig::table3().commitWidth));
+}
+
+TEST_F(OooCoreTest, MemoryBoundLowersIpc)
+{
+    StreamParams fast;
+    fast.l1Frac = 0.99;
+    fast.l2Frac = 0.999;
+    StreamParams slow = fast;
+    slow.l1Frac = 0.3;
+    slow.l2Frac = 0.5;
+    slow.strideProb = 0.1;
+    const double ipcFast = runCore(fast).ipc();
+    const double ipcSlow = runCore(slow).ipc();
+    EXPECT_LT(ipcSlow, ipcFast * 0.6);
+}
+
+TEST_F(OooCoreTest, LowIlpLowersIpc)
+{
+    StreamParams ilp;
+    ilp.meanDepDist = 12.0;
+    StreamParams serial = ilp;
+    serial.meanDepDist = 1.2;
+    EXPECT_LT(runCore(serial).ipc(), runCore(ilp).ipc());
+}
+
+TEST_F(OooCoreTest, IntStreamTouchesNoFpRegisters)
+{
+    StreamParams params; // default mix has no fp ops
+    const ActivityCounts counts = runCore(params);
+    EXPECT_DOUBLE_EQ(counts.accesses[UnitKind::FpRF], 0.0);
+    EXPECT_DOUBLE_EQ(counts.accesses[UnitKind::FPU], 0.0);
+    EXPECT_GT(counts.accesses[UnitKind::IntRF], 0.0);
+    EXPECT_GT(counts.accesses[UnitKind::FXU], 0.0);
+}
+
+TEST_F(OooCoreTest, FpStreamStressesFpRegisterFile)
+{
+    StreamParams params;
+    params.mix = {0.15, 0.01, 0.30, 0.22, 0.01, 0.20, 0.06, 0.05};
+    params.fpLoadFrac = 0.7;
+    const ActivityCounts counts = runCore(params);
+    EXPECT_GT(counts.accesses[UnitKind::FpRF],
+              counts.accesses[UnitKind::IntRF]);
+}
+
+TEST_F(OooCoreTest, ActivityConsistency)
+{
+    const ActivityCounts counts = runCore(StreamParams{});
+    // Every committed instruction passed rename exactly once; the ROB
+    // may still hold dispatched-but-uncommitted work.
+    EXPECT_GE(counts.accesses[UnitKind::Rename],
+              static_cast<double>(counts.instructions));
+    EXPECT_LE(counts.accesses[UnitKind::Rename],
+              static_cast<double>(counts.instructions) +
+                  CoreConfig::table3().robSize + 32.0);
+    // Other counts one access per commit.
+    EXPECT_DOUBLE_EQ(counts.accesses[UnitKind::Other],
+                     static_cast<double>(counts.instructions));
+    // Cache misses cannot exceed accesses.
+    EXPECT_LE(counts.l1dMisses,
+              static_cast<std::uint64_t>(
+                  counts.accesses[UnitKind::DCache]));
+}
+
+TEST_F(OooCoreTest, DeterministicAcrossRuns)
+{
+    const ActivityCounts a = runCore(StreamParams{}, 100000);
+    const ActivityCounts b = runCore(StreamParams{}, 100000);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_DOUBLE_EQ(a.accesses[UnitKind::IntRF],
+                     b.accesses[UnitKind::IntRF]);
+}
+
+TEST_F(OooCoreTest, RunsAccumulateAcrossCalls)
+{
+    OooCore core(CoreConfig::table3(), StreamParams{}, 5);
+    ActivityCounts first, second;
+    core.run(50000, first);
+    core.run(50000, second);
+    EXPECT_EQ(core.totalCycles(), 100000u);
+    EXPECT_EQ(core.totalInstructions(),
+              first.instructions + second.instructions);
+}
+
+TEST_F(OooCoreTest, PredictableBranchesRaiseIpc)
+{
+    StreamParams good;
+    good.biasedBranchFrac = 1.0;
+    StreamParams bad = good;
+    bad.biasedBranchFrac = 0.0;
+    EXPECT_GT(runCore(good).ipc(), runCore(bad).ipc());
+}
+
+TEST_F(OooCoreTest, MobileConfigNarrower)
+{
+    // The mobile machine commits less per cycle on a high-ILP stream.
+    StreamParams params;
+    params.meanDepDist = 12.0;
+    const double desktop = runCore(params).ipc();
+    const double mobile =
+        runCore(params, 300000, CoreConfig::mobile()).ipc();
+    EXPECT_LT(mobile, desktop);
+    EXPECT_GT(mobile, 0.1);
+}
+
+TEST_F(OooCoreTest, NeverDeadlocksOnHostileStream)
+{
+    // Serial dependences, terrible locality, unpredictable branches,
+    // fp divides: the machine must still retire instructions.
+    StreamParams hostile;
+    hostile.mix = {0.2, 0.05, 0.1, 0.1, 0.1, 0.25, 0.1, 0.1};
+    hostile.meanDepDist = 1.1;
+    hostile.l1Frac = 0.2;
+    hostile.l2Frac = 0.4;
+    hostile.biasedBranchFrac = 0.0;
+    hostile.fpLoadFrac = 0.5;
+    const ActivityCounts counts = runCore(hostile, 200000);
+    EXPECT_GT(counts.instructions, 1000u);
+}
+
+TEST(Activity, MergeAndClear)
+{
+    ActivityCounts a, b;
+    a.cycles = 10;
+    a.instructions = 5;
+    a.accesses[UnitKind::IntRF] = 2.0;
+    b.cycles = 20;
+    b.instructions = 7;
+    b.accesses[UnitKind::IntRF] = 3.0;
+    a.merge(b);
+    EXPECT_EQ(a.cycles, 30u);
+    EXPECT_EQ(a.instructions, 12u);
+    EXPECT_DOUBLE_EQ(a.accesses[UnitKind::IntRF], 5.0);
+    EXPECT_DOUBLE_EQ(a.ipc(), 0.4);
+    EXPECT_DOUBLE_EQ(a.accessesPerCycle(UnitKind::IntRF), 5.0 / 30.0);
+    a.clear();
+    EXPECT_EQ(a.cycles, 0u);
+}
+
+} // namespace
+} // namespace coolcmp

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for the util module: RNG, statistics, tables.
+ */
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace coolcmp {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42), c(43);
+    bool anyDiff = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a();
+        EXPECT_EQ(va, b());
+        anyDiff = anyDiff || va != c();
+    }
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(1);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 7.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 7.0);
+    }
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng rng(3);
+    std::vector<int> seen(7, 0);
+    for (int i = 0; i < 7000; ++i)
+        ++seen[rng.below(7)];
+    for (int r = 0; r < 7; ++r)
+        EXPECT_GT(seen[r], 700);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(4);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        sawLo = sawLo || v == -2;
+        sawHi = sawHi || v == 2;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(6);
+    int hits = 0;
+    for (int i = 0; i < 50000; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(7);
+    RunningStat stat;
+    for (int i = 0; i < 50000; ++i)
+        stat.add(rng.gaussian());
+    EXPECT_NEAR(stat.mean(), 0.0, 0.02);
+    EXPECT_NEAR(stat.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(8);
+    RunningStat stat;
+    for (int i = 0; i < 50000; ++i)
+        stat.add(rng.gaussian(10.0, 2.0));
+    EXPECT_NEAR(stat.mean(), 10.0, 0.05);
+    EXPECT_NEAR(stat.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng rng(9);
+    const double p = 1.0 / 6.0;
+    RunningStat stat;
+    for (int i = 0; i < 50000; ++i)
+        stat.add(static_cast<double>(rng.geometric(p, 100000)));
+    // Mean of a geometric (failures before success) is (1-p)/p = 5.
+    EXPECT_NEAR(stat.mean(), 5.0, 0.15);
+}
+
+TEST(Rng, GeometricRespectsCap)
+{
+    Rng rng(10);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LE(rng.geometric(0.001, 10), 10u);
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat stat;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        stat.add(v);
+    EXPECT_EQ(stat.count(), 4u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 2.5);
+    EXPECT_NEAR(stat.variance(), 5.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stat.min(), 1.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 4.0);
+}
+
+TEST(RunningStat, WeightedMean)
+{
+    RunningStat stat;
+    stat.addWeighted(1.0, 1.0);
+    stat.addWeighted(2.0, 3.0);
+    EXPECT_DOUBLE_EQ(stat.mean(), 1.75);
+    EXPECT_DOUBLE_EQ(stat.weightedSum(), 7.0);
+}
+
+TEST(RunningStat, EmptyIsSafe)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStat, ClearResets)
+{
+    RunningStat stat;
+    stat.add(5.0);
+    stat.clear();
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+}
+
+TEST(Histogram, BinningAndQuantiles)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i % 10) + 0.5);
+    EXPECT_EQ(h.total(), 100u);
+    for (std::size_t b = 0; b < 10; ++b)
+        EXPECT_EQ(h.bin(b), 10u);
+    EXPECT_NEAR(h.quantile(0.5), 5.0, 0.6);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1.1);
+}
+
+TEST(Histogram, SaturatesAtEdges)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-100.0);
+    h.add(100.0);
+    EXPECT_EQ(h.bin(0), 1u);
+    EXPECT_EQ(h.bin(3), 1u);
+}
+
+TEST(Stats, GeometricAndArithmeticMean)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({2.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({2.0, 8.0}), 5.0);
+    EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+}
+
+TEST(TextTable, AlignedRender)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"a", "1"});
+    table.addRow({"longer", "2.5"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_EQ(table.numRows(), 2u);
+}
+
+TEST(TextTable, CsvEscapesCommas)
+{
+    TextTable table({"a", "b"});
+    table.addRow({"x,y", "2"});
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::percent(0.5, 1), "50.0%");
+}
+
+TEST(AsciiChart, BarsScaleToMax)
+{
+    AsciiChart chart(10);
+    chart.addBar("a", 1.0);
+    chart.addBar("b", 2.0);
+    std::ostringstream os;
+    chart.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("##########"), std::string::npos);
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(milliseconds(30.0), 0.03);
+    EXPECT_DOUBLE_EQ(microseconds(100.0), 1e-4);
+    EXPECT_DOUBLE_EQ(gigahertz(3.6), 3.6e9);
+    EXPECT_DOUBLE_EQ(millimeters(5.6), 5.6e-3);
+    EXPECT_TRUE(approxEqual(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(approxEqual(1.0, 1.1));
+}
+
+TEST(UtilDeath, RunningStatRejectsNonPositiveWeight)
+{
+    RunningStat stat;
+    EXPECT_DEATH(stat.addWeighted(1.0, 0.0), "weight");
+}
+
+TEST(UtilDeath, HistogramRejectsEmptyRange)
+{
+    EXPECT_EXIT(Histogram(1.0, 1.0, 4), ::testing::ExitedWithCode(1),
+                "range");
+}
+
+} // namespace
+} // namespace coolcmp

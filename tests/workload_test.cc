@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the SPEC 2000 benchmark models and the Table 4
+ * workloads.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/benchmark_profile.hh"
+#include "workload/workloads.hh"
+
+namespace coolcmp {
+namespace {
+
+TEST(Profiles, ElevenPlusEleven)
+{
+    const auto &profiles = spec2000Profiles();
+    EXPECT_EQ(profiles.size(), 22u);
+    int ints = 0, fps = 0;
+    std::set<std::string> names;
+    for (const auto &profile : profiles) {
+        EXPECT_TRUE(names.insert(profile.name).second)
+            << "duplicate " << profile.name;
+        EXPECT_FALSE(profile.phases.empty());
+        if (profile.category == BenchCategory::SpecInt)
+            ++ints;
+        else
+            ++fps;
+    }
+    EXPECT_EQ(ints, 11);
+    EXPECT_EQ(fps, 11);
+}
+
+TEST(Profiles, PaperOscillatorsArePhased)
+{
+    // Table 1(b): bzip2, ammp, facerec, fma3d lack a steady temp.
+    for (const char *name : {"bzip2", "ammp", "facerec", "fma3d"})
+        EXPECT_GT(findProfile(name).phases.size(), 1u) << name;
+    // Table 1(a) entries are single-phase.
+    for (const char *name : {"gzip", "mcf", "sixtrack", "swim"})
+        EXPECT_EQ(findProfile(name).phases.size(), 1u) << name;
+}
+
+TEST(Profiles, SeedsAreStableAndDistinct)
+{
+    const auto &profiles = spec2000Profiles();
+    std::set<std::uint64_t> seeds;
+    for (const auto &profile : profiles)
+        EXPECT_TRUE(seeds.insert(profile.seed()).second);
+    EXPECT_EQ(findProfile("gzip").seed(), findProfile("gzip").seed());
+}
+
+TEST(Profiles, PhaseAtPartitionsTrace)
+{
+    const BenchmarkProfile &ammp = findProfile("ammp");
+    ASSERT_EQ(ammp.phases.size(), 2u);
+    // Weight 0.45/0.55 over 100 intervals: first 45-ish are phase 0.
+    EXPECT_EQ(ammp.phaseAt(0, 100), 0u);
+    EXPECT_EQ(ammp.phaseAt(44, 100), 0u);
+    EXPECT_EQ(ammp.phaseAt(46, 100), 1u);
+    EXPECT_EQ(ammp.phaseAt(99, 100), 1u);
+    // Wraps with the looping trace.
+    EXPECT_EQ(ammp.phaseAt(100, 100), 0u);
+}
+
+TEST(Profiles, IntProfilesHaveNoFpWork)
+{
+    for (const char *name : {"gzip", "mcf", "crafty", "twolf"}) {
+        const BenchmarkProfile &profile = findProfile(name);
+        for (const auto &phase : profile.phases) {
+            EXPECT_EQ(
+                phase.params.mix[static_cast<std::size_t>(
+                    OpClass::FpAdd)],
+                0.0)
+                << name;
+            EXPECT_EQ(phase.params.fpLoadFrac, 0.0) << name;
+        }
+    }
+}
+
+TEST(Profiles, FpProfilesStressFpPipes)
+{
+    for (const char *name : {"sixtrack", "swim", "lucas", "mgrid"}) {
+        const BenchmarkProfile &profile = findProfile(name);
+        const auto &mix = profile.phases.front().params.mix;
+        const double fp =
+            mix[static_cast<std::size_t>(OpClass::FpAdd)] +
+            mix[static_cast<std::size_t>(OpClass::FpMul)];
+        EXPECT_GT(fp, 0.3) << name;
+    }
+}
+
+TEST(Profiles, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(findProfile("quake3"), ::testing::ExitedWithCode(1),
+                "unknown benchmark");
+}
+
+TEST(Workloads, TwelveMixesMatchTable4)
+{
+    const auto &workloads = table4Workloads();
+    ASSERT_EQ(workloads.size(), 12u);
+    // Spot-check the entries against Table 4 of the paper.
+    EXPECT_EQ(workloads[0].benchmarks[0], "gcc");
+    EXPECT_EQ(workloads[6].label(), "gzip-twolf-ammp-lucas");
+    EXPECT_EQ(workloads[11].label(), "art-lucas-mgrid-sixtrack");
+    // Mix tags follow the paper's properties column.
+    const char *expected[12] = {"IIII", "IIII", "IIIF", "IIIF",
+                                "IIFF", "IIFF", "IIFF", "IIFF",
+                                "IFFF", "IFFF", "FFFF", "FFFF"};
+    for (std::size_t i = 0; i < 12; ++i)
+        EXPECT_EQ(workloads[i].mixTag(), expected[i])
+            << workloads[i].name;
+}
+
+TEST(Workloads, AllBenchmarksResolve)
+{
+    for (const auto &workload : table4Workloads())
+        for (const auto &name : workload.benchmarks)
+            EXPECT_NO_FATAL_FAILURE(findProfile(name));
+}
+
+TEST(Workloads, LookupByName)
+{
+    EXPECT_EQ(findWorkload("workload7").benchmarks[2], "ammp");
+    EXPECT_EXIT(findWorkload("workload99"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+} // namespace
+} // namespace coolcmp
