@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_pi"
+  "../bench/bench_ablation_pi.pdb"
+  "CMakeFiles/bench_ablation_pi.dir/bench_ablation_pi.cc.o"
+  "CMakeFiles/bench_ablation_pi.dir/bench_ablation_pi.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/policy_designer.cpp" "examples/CMakeFiles/policy_designer.dir/policy_designer.cpp.o" "gcc" "examples/CMakeFiles/policy_designer.dir/policy_designer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/coolcmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/coolcmp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/coolcmp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/coolcmp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/coolcmp_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/coolcmp_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/coolcmp_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/coolcmp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coolcmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/loop_analysis.cc" "src/control/CMakeFiles/coolcmp_control.dir/loop_analysis.cc.o" "gcc" "src/control/CMakeFiles/coolcmp_control.dir/loop_analysis.cc.o.d"
+  "/root/repo/src/control/pi_controller.cc" "src/control/CMakeFiles/coolcmp_control.dir/pi_controller.cc.o" "gcc" "src/control/CMakeFiles/coolcmp_control.dir/pi_controller.cc.o.d"
+  "/root/repo/src/control/state_space.cc" "src/control/CMakeFiles/coolcmp_control.dir/state_space.cc.o" "gcc" "src/control/CMakeFiles/coolcmp_control.dir/state_space.cc.o.d"
+  "/root/repo/src/control/transfer_function.cc" "src/control/CMakeFiles/coolcmp_control.dir/transfer_function.cc.o" "gcc" "src/control/CMakeFiles/coolcmp_control.dir/transfer_function.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/coolcmp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coolcmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

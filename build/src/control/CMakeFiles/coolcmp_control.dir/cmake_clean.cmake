@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolcmp_control.dir/loop_analysis.cc.o"
+  "CMakeFiles/coolcmp_control.dir/loop_analysis.cc.o.d"
+  "CMakeFiles/coolcmp_control.dir/pi_controller.cc.o"
+  "CMakeFiles/coolcmp_control.dir/pi_controller.cc.o.d"
+  "CMakeFiles/coolcmp_control.dir/state_space.cc.o"
+  "CMakeFiles/coolcmp_control.dir/state_space.cc.o.d"
+  "CMakeFiles/coolcmp_control.dir/transfer_function.cc.o"
+  "CMakeFiles/coolcmp_control.dir/transfer_function.cc.o.d"
+  "libcoolcmp_control.a"
+  "libcoolcmp_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolcmp_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolcmp_core.dir/chip_model.cc.o"
+  "CMakeFiles/coolcmp_core.dir/chip_model.cc.o.d"
+  "CMakeFiles/coolcmp_core.dir/dtm_simulator.cc.o"
+  "CMakeFiles/coolcmp_core.dir/dtm_simulator.cc.o.d"
+  "CMakeFiles/coolcmp_core.dir/experiment.cc.o"
+  "CMakeFiles/coolcmp_core.dir/experiment.cc.o.d"
+  "CMakeFiles/coolcmp_core.dir/migration.cc.o"
+  "CMakeFiles/coolcmp_core.dir/migration.cc.o.d"
+  "CMakeFiles/coolcmp_core.dir/taxonomy.cc.o"
+  "CMakeFiles/coolcmp_core.dir/taxonomy.cc.o.d"
+  "CMakeFiles/coolcmp_core.dir/throttle.cc.o"
+  "CMakeFiles/coolcmp_core.dir/throttle.cc.o.d"
+  "libcoolcmp_core.a"
+  "libcoolcmp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolcmp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

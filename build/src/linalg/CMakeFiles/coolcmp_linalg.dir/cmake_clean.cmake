@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolcmp_linalg.dir/expm.cc.o"
+  "CMakeFiles/coolcmp_linalg.dir/expm.cc.o.d"
+  "CMakeFiles/coolcmp_linalg.dir/lu.cc.o"
+  "CMakeFiles/coolcmp_linalg.dir/lu.cc.o.d"
+  "CMakeFiles/coolcmp_linalg.dir/matrix.cc.o"
+  "CMakeFiles/coolcmp_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/coolcmp_linalg.dir/polynomial.cc.o"
+  "CMakeFiles/coolcmp_linalg.dir/polynomial.cc.o.d"
+  "libcoolcmp_linalg.a"
+  "libcoolcmp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolcmp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

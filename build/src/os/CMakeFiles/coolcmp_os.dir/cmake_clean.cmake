@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolcmp_os.dir/kernel.cc.o"
+  "CMakeFiles/coolcmp_os.dir/kernel.cc.o.d"
+  "CMakeFiles/coolcmp_os.dir/process.cc.o"
+  "CMakeFiles/coolcmp_os.dir/process.cc.o.d"
+  "libcoolcmp_os.a"
+  "libcoolcmp_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolcmp_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

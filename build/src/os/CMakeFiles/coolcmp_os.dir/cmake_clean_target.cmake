@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoolcmp_os.a"
+)

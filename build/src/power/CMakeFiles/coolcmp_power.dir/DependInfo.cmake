@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/leakage.cc" "src/power/CMakeFiles/coolcmp_power.dir/leakage.cc.o" "gcc" "src/power/CMakeFiles/coolcmp_power.dir/leakage.cc.o.d"
+  "/root/repo/src/power/power_model.cc" "src/power/CMakeFiles/coolcmp_power.dir/power_model.cc.o" "gcc" "src/power/CMakeFiles/coolcmp_power.dir/power_model.cc.o.d"
+  "/root/repo/src/power/trace.cc" "src/power/CMakeFiles/coolcmp_power.dir/trace.cc.o" "gcc" "src/power/CMakeFiles/coolcmp_power.dir/trace.cc.o.d"
+  "/root/repo/src/power/trace_builder.cc" "src/power/CMakeFiles/coolcmp_power.dir/trace_builder.cc.o" "gcc" "src/power/CMakeFiles/coolcmp_power.dir/trace_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/coolcmp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/coolcmp_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/coolcmp_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coolcmp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/coolcmp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolcmp_power.dir/leakage.cc.o"
+  "CMakeFiles/coolcmp_power.dir/leakage.cc.o.d"
+  "CMakeFiles/coolcmp_power.dir/power_model.cc.o"
+  "CMakeFiles/coolcmp_power.dir/power_model.cc.o.d"
+  "CMakeFiles/coolcmp_power.dir/trace.cc.o"
+  "CMakeFiles/coolcmp_power.dir/trace.cc.o.d"
+  "CMakeFiles/coolcmp_power.dir/trace_builder.cc.o"
+  "CMakeFiles/coolcmp_power.dir/trace_builder.cc.o.d"
+  "libcoolcmp_power.a"
+  "libcoolcmp_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolcmp_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

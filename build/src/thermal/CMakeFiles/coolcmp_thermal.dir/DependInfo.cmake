@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/floorplan.cc" "src/thermal/CMakeFiles/coolcmp_thermal.dir/floorplan.cc.o" "gcc" "src/thermal/CMakeFiles/coolcmp_thermal.dir/floorplan.cc.o.d"
+  "/root/repo/src/thermal/package.cc" "src/thermal/CMakeFiles/coolcmp_thermal.dir/package.cc.o" "gcc" "src/thermal/CMakeFiles/coolcmp_thermal.dir/package.cc.o.d"
+  "/root/repo/src/thermal/rc_network.cc" "src/thermal/CMakeFiles/coolcmp_thermal.dir/rc_network.cc.o" "gcc" "src/thermal/CMakeFiles/coolcmp_thermal.dir/rc_network.cc.o.d"
+  "/root/repo/src/thermal/sensor.cc" "src/thermal/CMakeFiles/coolcmp_thermal.dir/sensor.cc.o" "gcc" "src/thermal/CMakeFiles/coolcmp_thermal.dir/sensor.cc.o.d"
+  "/root/repo/src/thermal/transient.cc" "src/thermal/CMakeFiles/coolcmp_thermal.dir/transient.cc.o" "gcc" "src/thermal/CMakeFiles/coolcmp_thermal.dir/transient.cc.o.d"
+  "/root/repo/src/thermal/unit.cc" "src/thermal/CMakeFiles/coolcmp_thermal.dir/unit.cc.o" "gcc" "src/thermal/CMakeFiles/coolcmp_thermal.dir/unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/coolcmp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coolcmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolcmp_thermal.dir/floorplan.cc.o"
+  "CMakeFiles/coolcmp_thermal.dir/floorplan.cc.o.d"
+  "CMakeFiles/coolcmp_thermal.dir/package.cc.o"
+  "CMakeFiles/coolcmp_thermal.dir/package.cc.o.d"
+  "CMakeFiles/coolcmp_thermal.dir/rc_network.cc.o"
+  "CMakeFiles/coolcmp_thermal.dir/rc_network.cc.o.d"
+  "CMakeFiles/coolcmp_thermal.dir/sensor.cc.o"
+  "CMakeFiles/coolcmp_thermal.dir/sensor.cc.o.d"
+  "CMakeFiles/coolcmp_thermal.dir/transient.cc.o"
+  "CMakeFiles/coolcmp_thermal.dir/transient.cc.o.d"
+  "CMakeFiles/coolcmp_thermal.dir/unit.cc.o"
+  "CMakeFiles/coolcmp_thermal.dir/unit.cc.o.d"
+  "libcoolcmp_thermal.a"
+  "libcoolcmp_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolcmp_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

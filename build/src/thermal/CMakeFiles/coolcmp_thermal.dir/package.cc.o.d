@@ -1,0 +1,3 @@
+src/thermal/CMakeFiles/coolcmp_thermal.dir/package.cc.o: \
+ /root/repo/src/thermal/package.cc /usr/include/stdc-predef.h \
+ /root/repo/src/thermal/package.hh

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/activity.cc" "src/uarch/CMakeFiles/coolcmp_uarch.dir/activity.cc.o" "gcc" "src/uarch/CMakeFiles/coolcmp_uarch.dir/activity.cc.o.d"
+  "/root/repo/src/uarch/branch_predictor.cc" "src/uarch/CMakeFiles/coolcmp_uarch.dir/branch_predictor.cc.o" "gcc" "src/uarch/CMakeFiles/coolcmp_uarch.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/uarch/cache.cc" "src/uarch/CMakeFiles/coolcmp_uarch.dir/cache.cc.o" "gcc" "src/uarch/CMakeFiles/coolcmp_uarch.dir/cache.cc.o.d"
+  "/root/repo/src/uarch/core_config.cc" "src/uarch/CMakeFiles/coolcmp_uarch.dir/core_config.cc.o" "gcc" "src/uarch/CMakeFiles/coolcmp_uarch.dir/core_config.cc.o.d"
+  "/root/repo/src/uarch/isa.cc" "src/uarch/CMakeFiles/coolcmp_uarch.dir/isa.cc.o" "gcc" "src/uarch/CMakeFiles/coolcmp_uarch.dir/isa.cc.o.d"
+  "/root/repo/src/uarch/ooo_core.cc" "src/uarch/CMakeFiles/coolcmp_uarch.dir/ooo_core.cc.o" "gcc" "src/uarch/CMakeFiles/coolcmp_uarch.dir/ooo_core.cc.o.d"
+  "/root/repo/src/uarch/synthetic_stream.cc" "src/uarch/CMakeFiles/coolcmp_uarch.dir/synthetic_stream.cc.o" "gcc" "src/uarch/CMakeFiles/coolcmp_uarch.dir/synthetic_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/thermal/CMakeFiles/coolcmp_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coolcmp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/coolcmp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolcmp_uarch.dir/activity.cc.o"
+  "CMakeFiles/coolcmp_uarch.dir/activity.cc.o.d"
+  "CMakeFiles/coolcmp_uarch.dir/branch_predictor.cc.o"
+  "CMakeFiles/coolcmp_uarch.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/coolcmp_uarch.dir/cache.cc.o"
+  "CMakeFiles/coolcmp_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/coolcmp_uarch.dir/core_config.cc.o"
+  "CMakeFiles/coolcmp_uarch.dir/core_config.cc.o.d"
+  "CMakeFiles/coolcmp_uarch.dir/isa.cc.o"
+  "CMakeFiles/coolcmp_uarch.dir/isa.cc.o.d"
+  "CMakeFiles/coolcmp_uarch.dir/ooo_core.cc.o"
+  "CMakeFiles/coolcmp_uarch.dir/ooo_core.cc.o.d"
+  "CMakeFiles/coolcmp_uarch.dir/synthetic_stream.cc.o"
+  "CMakeFiles/coolcmp_uarch.dir/synthetic_stream.cc.o.d"
+  "libcoolcmp_uarch.a"
+  "libcoolcmp_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolcmp_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolcmp_util.dir/logging.cc.o"
+  "CMakeFiles/coolcmp_util.dir/logging.cc.o.d"
+  "CMakeFiles/coolcmp_util.dir/rng.cc.o"
+  "CMakeFiles/coolcmp_util.dir/rng.cc.o.d"
+  "CMakeFiles/coolcmp_util.dir/stats.cc.o"
+  "CMakeFiles/coolcmp_util.dir/stats.cc.o.d"
+  "CMakeFiles/coolcmp_util.dir/table.cc.o"
+  "CMakeFiles/coolcmp_util.dir/table.cc.o.d"
+  "libcoolcmp_util.a"
+  "libcoolcmp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolcmp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coolcmp_workload.dir/benchmark_profile.cc.o"
+  "CMakeFiles/coolcmp_workload.dir/benchmark_profile.cc.o.d"
+  "CMakeFiles/coolcmp_workload.dir/workloads.cc.o"
+  "CMakeFiles/coolcmp_workload.dir/workloads.cc.o.d"
+  "libcoolcmp_workload.a"
+  "libcoolcmp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coolcmp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
