@@ -30,9 +30,8 @@ sweep(const DtmConfig &cfg, const PolicyConfig &policy)
 {
     Experiment experiment(cfg);
     SweepResult out;
-    for (const char *name : sweepWorkloads) {
-        const RunMetrics m =
-            experiment.runCached(findWorkload(name), policy);
+    for (const RunMetrics &m :
+         bench::runSubsetCached(experiment, policy, sweepWorkloads)) {
         out.bips += m.bips() / 3.0;
         out.duty += m.dutyCycle / 3.0;
         out.emergencies += m.emergencies;

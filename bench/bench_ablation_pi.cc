@@ -22,9 +22,9 @@ double
 averageOver(Experiment &experiment, const PolicyConfig &policy)
 {
     double bips = 0.0;
-    for (const char *name : sweepWorkloads)
-        bips +=
-            experiment.runCached(findWorkload(name), policy).bips();
+    for (const RunMetrics &m :
+         bench::runSubsetCached(experiment, policy, sweepWorkloads))
+        bips += m.bips();
     return bips / 3.0;
 }
 
@@ -32,9 +32,9 @@ std::uint64_t
 emergenciesOver(Experiment &experiment, const PolicyConfig &policy)
 {
     std::uint64_t total = 0;
-    for (const char *name : sweepWorkloads)
-        total += experiment.runCached(findWorkload(name), policy)
-                     .emergencies;
+    for (const RunMetrics &m :
+         bench::runSubsetCached(experiment, policy, sweepWorkloads))
+        total += m.emergencies;
     return total;
 }
 

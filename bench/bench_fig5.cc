@@ -25,6 +25,10 @@ main()
                               MigrationKind::CounterBased};
     const Workload &workload = findWorkload("workload7");
 
+    // The run itself is a single probed simulation, but the four
+    // cycle-level trace builds behind it can fan out.
+    experiment.prefetchTraces({workload.benchmarks.begin(),
+                               workload.benchmarks.end()});
     auto sim = experiment.makeSimulator(workload, policy);
 
     // Record core 0 over the first 100 ms, sampling every ~0.56 ms.

@@ -10,11 +10,13 @@
 #include <benchmark/benchmark.h>
 
 #include "core/chip_model.hh"
+#include "core/experiment.hh"
 #include "thermal/floorplan.hh"
 #include "thermal/rc_network.hh"
 #include "thermal/transient.hh"
 #include "uarch/ooo_core.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace coolcmp {
 namespace {
@@ -36,6 +38,8 @@ chipNetwork()
 void
 BM_ZohPropagatorStep(benchmark::State &state)
 {
+    // The production path: fused [E|F] kernel over the augmented
+    // [x|u] vector, state kept ambient-relative across steps.
     const double dt = 100000.0 / 3.6e9;
     ZohPropagator solver(chipNetwork(), dt);
     Vector powers(chipPlan().numBlocks(), 1.0);
@@ -45,6 +49,53 @@ BM_ZohPropagatorStep(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ZohPropagatorStep);
+
+void
+BM_ZohStepUnfused(benchmark::State &state)
+{
+    // Pre-fusion baseline, kept for before/after comparison: convert
+    // temps -> x, E-matvec into a scratch vector, then a separate
+    // F-row accumulation per node.
+    const double dt = 100000.0 / 3.6e9;
+    const RcNetwork &net = chipNetwork();
+    const auto disc = ZohPropagator::makeDiscretization(net, dt);
+    const std::size_t n = net.numNodes();
+    const std::size_t m = net.numInputs();
+    Vector temps(n, net.ambient() + 10.0);
+    Vector x(n), next(n);
+    Vector powers(chipPlan().numBlocks(), 1.0);
+    const double amb = net.ambient();
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < n; ++i)
+            x[i] = temps[i] - amb;
+        disc->e.multiply(x.data(), next.data());
+        for (std::size_t i = 0; i < n; ++i) {
+            const double *f = disc->f.row(i);
+            double sum = next[i];
+            for (std::size_t j = 0; j < m; ++j)
+                sum += f[j] * powers[j];
+            temps[i] = sum + amb;
+        }
+        benchmark::DoNotOptimize(temps.data());
+    }
+}
+BENCHMARK(BM_ZohStepUnfused);
+
+void
+BM_MultiplyFusedKernel(benchmark::State &state)
+{
+    // The raw kernel on the chip-sized [E|F] block.
+    const double dt = 100000.0 / 3.6e9;
+    const auto disc =
+        ZohPropagator::makeDiscretization(chipNetwork(), dt);
+    Vector xu(disc->ef.cols(), 1.0);
+    Vector y(disc->ef.rows());
+    for (auto _ : state) {
+        disc->ef.multiplyFused(xu.data(), y.data());
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_MultiplyFusedKernel);
 
 void
 BM_Rk4SolverStep(benchmark::State &state)
@@ -91,6 +142,61 @@ BM_OooCoreKilocycles(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()) * 1000);
 }
 BENCHMARK(BM_OooCoreKilocycles);
+
+void
+BM_RunManySweep(benchmark::State &state)
+{
+    // An 8-run (workload, policy) sweep through Experiment::runMany
+    // at 1 worker vs hardware_concurrency workers: the wall-clock
+    // ratio is the parallel engine's speedup on this host. Short runs
+    // and tiny traces keep the benchmark itself affordable; traces
+    // are memoized in the shared Experiment so iterations measure the
+    // DTM simulations, not trace generation.
+    static Experiment *experiment = [] {
+        setLogLevel(LogLevel::Warn);
+        DtmConfig cfg;
+        cfg.duration = 0.01;
+        TraceBuilderConfig traceCfg;
+        traceCfg.numIntervals = 32;
+        traceCfg.sampledShare = 0.2;
+        traceCfg.warmupCycles = 50000;
+        traceCfg.cacheDir.clear();
+        return new Experiment(cfg, traceCfg);
+    }();
+
+    std::vector<RunJob> jobs;
+    const PolicyConfig policies[] = {
+        baselinePolicy(),
+        {ThrottleMechanism::Dvfs, ControlScope::Distributed,
+         MigrationKind::None},
+    };
+    for (const char *name : {"workload1", "workload3", "workload7",
+                             "workload12"})
+        for (const PolicyConfig &policy : policies)
+            jobs.push_back({findWorkload(name), policy, ""});
+
+    std::vector<std::string> traceNames;
+    for (const RunJob &job : jobs)
+        traceNames.insert(traceNames.end(),
+                          job.workload.benchmarks.begin(),
+                          job.workload.benchmarks.end());
+    experiment->prefetchTraces(traceNames);
+
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto metrics = experiment->runMany(jobs, threads);
+        benchmark::DoNotOptimize(metrics.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(jobs.size()));
+}
+BENCHMARK(BM_RunManySweep)
+    ->Arg(1)
+    ->Arg(static_cast<int>(ThreadPool::defaultThreadCount()))
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 void
 BM_BranchPredictorLookup(benchmark::State &state)

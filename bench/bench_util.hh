@@ -26,19 +26,43 @@ paperConfig()
     return DtmConfig{};
 }
 
-/** Run one policy over all 12 workloads through the result cache. */
+/** Default on-disk result cache shared by the bench binaries. */
+inline const char *resultCacheDir = ".coolcmp-results";
+
+/**
+ * Run one policy over all 12 workloads through the result cache,
+ * fanned out over the experiment's worker pool (COOLCMP_THREADS or
+ * hardware_concurrency workers).
+ */
 inline std::vector<RunMetrics>
 runAllCached(Experiment &experiment, const PolicyConfig &policy)
 {
-    std::vector<RunMetrics> out;
-    out.reserve(table4Workloads().size());
-    for (const auto &workload : table4Workloads()) {
-        std::cerr << "  [" << policy.slug() << "] " << workload.name
-                  << "\r" << std::flush;
-        out.push_back(experiment.runCached(workload, policy));
-    }
+    std::cerr << "  [" << policy.slug() << "] "
+              << table4Workloads().size() << " workloads\r"
+              << std::flush;
+    std::vector<RunJob> jobs;
+    jobs.reserve(table4Workloads().size());
+    for (const auto &workload : table4Workloads())
+        jobs.push_back({workload, policy, resultCacheDir});
+    auto out = experiment.runMany(jobs);
     std::cerr << std::string(60, ' ') << "\r";
     return out;
+}
+
+/**
+ * Run one policy over a named subset of workloads through the result
+ * cache, in parallel; used by the ablation sweeps.
+ */
+template <std::size_t N>
+inline std::vector<RunMetrics>
+runSubsetCached(Experiment &experiment, const PolicyConfig &policy,
+                const char *const (&names)[N])
+{
+    std::vector<RunJob> jobs;
+    jobs.reserve(N);
+    for (const char *name : names)
+        jobs.push_back({findWorkload(name), policy, resultCacheDir});
+    return experiment.runMany(jobs);
 }
 
 /** Print a banner naming the reproduced artifact. */

@@ -37,7 +37,11 @@ ChipModel::makeSolver(double dt) const
 {
     if (dt == stepSeconds_)
         return std::make_unique<ZohPropagator>(network_, dt, disc_);
-    return std::make_unique<ZohPropagator>(network_, dt);
+    std::lock_guard<std::mutex> lock(discCacheMutex_);
+    auto &disc = discCache_[dt];
+    if (!disc)
+        disc = ZohPropagator::makeDiscretization(network_, dt);
+    return std::make_unique<ZohPropagator>(network_, dt, disc);
 }
 
 std::size_t

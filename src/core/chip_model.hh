@@ -10,7 +10,9 @@
 #ifndef COOLCMP_CORE_CHIP_MODEL_HH
 #define COOLCMP_CORE_CHIP_MODEL_HH
 
+#include <map>
 #include <memory>
+#include <mutex>
 
 #include "core/dtm_config.hh"
 #include "power/leakage.hh"
@@ -45,7 +47,12 @@ class ChipModel
         return disc_;
     }
 
-    /** Make a fresh transient solver over this chip. */
+    /**
+     * Make a fresh transient solver over this chip. Solvers at the
+     * standard step share disc_; other steps are discretized once and
+     * memoized, so concurrent simulators never repeat the expensive
+     * matrix exponential. Thread-safe.
+     */
     std::unique_ptr<ZohPropagator> makeSolver(double dt) const;
 
     /** Floorplan block index of (core, unit). */
@@ -60,6 +67,9 @@ class ChipModel
     LeakageModel leakage_;
     double stepSeconds_;
     std::shared_ptr<const ZohDiscretization> disc_;
+    mutable std::mutex discCacheMutex_;
+    mutable std::map<double, std::shared_ptr<const ZohDiscretization>>
+        discCache_; ///< non-standard steps, keyed by dt
     std::vector<std::size_t> blockIndex_; ///< [core][unit]
     std::size_t l2Block_;
 

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <thread>
 
 #include "thermal/sensor.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace coolcmp {
 
@@ -22,13 +25,40 @@ Experiment::Experiment(const DtmConfig &config,
 std::shared_ptr<const PowerTrace>
 Experiment::trace(const std::string &name)
 {
-    auto it = traces_.find(name);
-    if (it != traces_.end())
-        return it->second;
-    auto trace = std::make_shared<const PowerTrace>(
-        builder_.build(findProfile(name)));
-    traces_.emplace(name, trace);
-    return trace;
+    std::promise<std::shared_ptr<const PowerTrace>> promise;
+    TraceFuture future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(tracesMutex_);
+        auto it = traces_.find(name);
+        if (it == traces_.end()) {
+            future = promise.get_future().share();
+            traces_.emplace(name, future);
+            owner = true;
+        } else {
+            future = it->second;
+        }
+    }
+    if (owner) {
+        // Build outside the lock: trace generation is the expensive
+        // cycle-level simulation, and other benchmarks' builds should
+        // proceed concurrently.
+        try {
+            promise.set_value(std::make_shared<const PowerTrace>(
+                builder_.build(findProfile(name))));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+void
+Experiment::prefetchTraces(const std::vector<std::string> &names,
+                           std::size_t threads)
+{
+    parallelFor(names.size(), threads,
+                [&](std::size_t i) { trace(names[i]); });
 }
 
 std::unique_ptr<DtmSimulator>
@@ -70,7 +100,13 @@ mixDouble(std::uint64_t &hash, double v)
 bool
 saveMetrics(const std::string &path, const RunMetrics &m)
 {
-    std::ofstream out(path);
+    // Write-then-rename so concurrent writers (runMany workers, or
+    // several bench processes sharing the cache) never expose a
+    // half-written file to a concurrent loadMetrics.
+    const std::string tmp = path + ".tmp." +
+        std::to_string(std::hash<std::thread::id>{}(
+            std::this_thread::get_id()));
+    std::ofstream out(tmp);
     if (!out)
         return false;
     out.precision(15);
@@ -89,7 +125,16 @@ saveMetrics(const std::string &path, const RunMetrics &m)
     dumpVec(m.coreDuty);
     dumpVec(m.coreMeanFreq);
     dumpVec(m.processInstructions);
-    return static_cast<bool>(out);
+    out.close();
+    if (!out)
+        return false;
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    return true;
 }
 
 bool
@@ -176,13 +221,27 @@ Experiment::runCached(const Workload &workload,
 }
 
 std::vector<RunMetrics>
+Experiment::runMany(const std::vector<RunJob> &jobs,
+                    std::size_t threads)
+{
+    std::vector<RunMetrics> out(jobs.size());
+    parallelFor(jobs.size(), threads, [&](std::size_t i) {
+        const RunJob &job = jobs[i];
+        out[i] = job.resultDir.empty()
+            ? run(job.workload, job.policy)
+            : runCached(job.workload, job.policy, job.resultDir);
+    });
+    return out;
+}
+
+std::vector<RunMetrics>
 Experiment::runAllWorkloads(const PolicyConfig &policy)
 {
-    std::vector<RunMetrics> out;
-    out.reserve(table4Workloads().size());
+    std::vector<RunJob> jobs;
+    jobs.reserve(table4Workloads().size());
     for (const auto &workload : table4Workloads())
-        out.push_back(run(workload, policy));
-    return out;
+        jobs.push_back({workload, policy, ""});
+    return runMany(jobs);
 }
 
 double

@@ -9,8 +9,10 @@
 #ifndef COOLCMP_CORE_EXPERIMENT_HH
 #define COOLCMP_CORE_EXPERIMENT_HH
 
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,15 @@
 
 namespace coolcmp {
 
+/** One (workload, policy) run request for Experiment::runMany. */
+struct RunJob
+{
+    Workload workload;
+    PolicyConfig policy;
+    /** On-disk result cache directory; empty disables caching. */
+    std::string resultDir;
+};
+
 /** Shared context for a family of DTM runs on the 4-core CMP. */
 class Experiment
 {
@@ -33,8 +44,15 @@ class Experiment
     const DtmConfig &config() const { return config_; }
     std::shared_ptr<const ChipModel> chip() const { return chip_; }
 
-    /** Power trace for a benchmark (built once, then shared). */
+    /** Power trace for a benchmark (built once, then shared).
+     *  Thread-safe; concurrent callers build distinct traces in
+     *  parallel and block only on the trace they need. */
     std::shared_ptr<const PowerTrace> trace(const std::string &name);
+
+    /** Build several benchmark traces concurrently (see runMany for
+     *  the worker-count convention). */
+    void prefetchTraces(const std::vector<std::string> &names,
+                        std::size_t threads = 0);
 
     /** Build a simulator for one workload and policy. */
     std::unique_ptr<DtmSimulator> makeSimulator(
@@ -58,7 +76,23 @@ class Experiment
     std::uint64_t configKey() const;
 
     /**
-     * Run one policy over all Table 4 workloads.
+     * Fan a batch of independent runs over a worker pool. Runs are
+     * bit-identical to the serial path (each simulator owns its own
+     * state and RNG streams); results land in job order regardless of
+     * scheduling. Power traces, the discretization cache, and the
+     * on-disk result cache are shared safely across workers.
+     *
+     * @param jobs the (workload, policy, cache-dir) requests
+     * @param threads worker count; 0 reads COOLCMP_THREADS and falls
+     * back to hardware_concurrency
+     * @return metrics in the same order as jobs
+     */
+    std::vector<RunMetrics> runMany(const std::vector<RunJob> &jobs,
+                                    std::size_t threads = 0);
+
+    /**
+     * Run one policy over all Table 4 workloads (in parallel; see
+     * runMany).
      * @return per-workload metrics in Table 4 order.
      */
     std::vector<RunMetrics> runAllWorkloads(const PolicyConfig &policy);
@@ -79,10 +113,21 @@ class Experiment
         const std::vector<RunMetrics> &baseline);
 
   private:
+    using TraceFuture =
+        std::shared_future<std::shared_ptr<const PowerTrace>>;
+
     DtmConfig config_;
     TraceBuilder builder_;
     std::shared_ptr<const ChipModel> chip_;
-    std::map<std::string, std::shared_ptr<const PowerTrace>> traces_;
+
+    /**
+     * Per-benchmark trace memo. Futures make concurrent lookups safe
+     * and build each trace exactly once: the first caller claims the
+     * slot under the mutex and builds outside it while later callers
+     * block on the shared future.
+     */
+    std::mutex tracesMutex_;
+    std::map<std::string, TraceFuture> traces_;
 };
 
 /** Table 1 reproduction: mobile single-core steady-state thermals. */

@@ -92,12 +92,17 @@ discretizeZoh(const Matrix &a, const Matrix &b, double dt)
     }
     const Matrix full = expm(aug);
 
-    ZohDiscretization out{Matrix(n, n), Matrix(n, m)};
+    // The top n rows of exp(M) are exactly [E | F]; keep the split
+    // matrices for callers that need them and the fused block for the
+    // hot stepping kernel.
+    ZohDiscretization out{Matrix(n, n), Matrix(n, m), Matrix(n, n + m)};
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j < n; ++j)
             out.e(i, j) = full(i, j);
         for (std::size_t j = 0; j < m; ++j)
             out.f(i, j) = full(i, n + j);
+        for (std::size_t j = 0; j < n + m; ++j)
+            out.ef(i, j) = full(i, j);
     }
     return out;
 }

@@ -33,6 +33,13 @@ struct ZohDiscretization
 {
     Matrix e; ///< state propagator exp(A dt)
     Matrix f; ///< input propagator integral exp(A s) B ds
+
+    /**
+     * Fused row-major [E | F] (n x (n+m)): one contiguous pass over an
+     * augmented [x | u] vector computes E x + F u, which is the hot
+     * kernel of the exact thermal step.
+     */
+    Matrix ef;
 };
 
 ZohDiscretization discretizeZoh(const Matrix &a, const Matrix &b, double dt);

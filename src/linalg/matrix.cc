@@ -74,6 +74,28 @@ Matrix::multiply(const double *x, double *y) const
     }
 }
 
+void
+Matrix::multiplyFused(const double *__restrict x,
+                      double *__restrict y) const
+{
+    const std::size_t cols = cols_;
+    const std::size_t tail = cols % 4;
+    const std::size_t main = cols - tail;
+    for (std::size_t i = 0; i < rows_; ++i) {
+        const double *__restrict a = data_.data() + i * cols;
+        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+        for (std::size_t j = 0; j < main; j += 4) {
+            s0 += a[j] * x[j];
+            s1 += a[j + 1] * x[j + 1];
+            s2 += a[j + 2] * x[j + 2];
+            s3 += a[j + 3] * x[j + 3];
+        }
+        for (std::size_t j = main; j < cols; ++j)
+            s0 += a[j] * x[j];
+        y[i] = (s0 + s1) + (s2 + s3);
+    }
+}
+
 Matrix
 Matrix::operator+(const Matrix &rhs) const
 {

@@ -82,6 +82,16 @@ class Matrix
     /** Multiply into a preallocated output vector: y = A x. */
     void multiply(const double *x, double *y) const;
 
+    /**
+     * Hot-path matrix-vector kernel: y = A x with restrict-qualified
+     * pointers and a 4-way unrolled inner loop. x and y must not
+     * alias each other or the matrix storage. Used by the fused ZOH
+     * thermal step and the RK4 derivative; agrees with multiply() to
+     * rounding (the unroll reassociates the accumulation).
+     */
+    void multiplyFused(const double *__restrict x,
+                       double *__restrict y) const;
+
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;

@@ -2,6 +2,8 @@
 
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <thread>
 
 #include "uarch/ooo_core.hh"
 
@@ -135,11 +137,23 @@ TraceBuilder::build(const BenchmarkProfile &profile) const
         std::error_code ec;
         std::filesystem::create_directories(config_.cacheDir, ec);
         const std::string path = cachePath(profile);
-        std::ofstream out(path);
+        // Write-then-rename: concurrent builders (parallel sweeps or
+        // several bench processes) must never expose a partial file
+        // to the load path above.
+        const std::string tmp = path + ".tmp." +
+            std::to_string(std::hash<std::thread::id>{}(
+                std::this_thread::get_id()));
+        std::ofstream out(tmp);
         if (out) {
             trace.save(out);
+            out.close();
+            std::filesystem::rename(tmp, path, ec);
+            if (ec) {
+                warn("cannot publish trace cache file ", path);
+                std::filesystem::remove(tmp, ec);
+            }
         } else {
-            warn("cannot write trace cache file ", path);
+            warn("cannot write trace cache file ", tmp);
         }
     }
     return trace;

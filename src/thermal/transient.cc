@@ -17,18 +17,21 @@ TransientSolver::setTemperatures(const Vector &temps)
     if (temps.size() != temps_.size())
         panic("setTemperatures size mismatch");
     temps_ = temps;
+    stateChanged();
 }
 
 void
 TransientSolver::reset()
 {
     temps_.assign(temps_.size(), network_.ambient());
+    stateChanged();
 }
 
 void
 TransientSolver::initSteadyState(const Vector &blockPowers)
 {
     temps_ = network_.steadyState(blockPowers);
+    stateChanged();
 }
 
 double
@@ -44,7 +47,7 @@ TransientSolver::maxBlockTemp() const
 {
     double best = -1e9;
     for (std::size_t b = 0; b < network_.numInputs(); ++b)
-        best = std::max(best, temps_[b]);
+        best = std::max(best, temps_[network_.dieNode(b)]);
     return best;
 }
 
@@ -56,12 +59,26 @@ ZohPropagator::ZohPropagator(const RcNetwork &network, double dt)
 ZohPropagator::ZohPropagator(const RcNetwork &network, double dt,
                              std::shared_ptr<const ZohDiscretization> disc)
     : TransientSolver(network), dt_(dt), disc_(std::move(disc)),
-      x_(network.numNodes()), next_(network.numNodes())
+      xu_(network.numNodes() + network.numInputs()),
+      next_(network.numNodes())
 {
     if (dt <= 0.0)
         fatal("ZohPropagator requires a positive step");
     if (!disc_ || disc_->e.rows() != network.numNodes())
         fatal("ZohPropagator discretization does not match the network");
+    if (disc_->ef.rows() != network.numNodes() ||
+        disc_->ef.cols() != xu_.size())
+        fatal("ZohPropagator discretization lacks a matching fused "
+              "[E|F] block");
+    stateChanged();
+}
+
+void
+ZohPropagator::stateChanged()
+{
+    const double amb = network_.ambient();
+    for (std::size_t i = 0; i < temps_.size(); ++i)
+        xu_[i] = temps_[i] - amb;
 }
 
 std::shared_ptr<const ZohDiscretization>
@@ -79,20 +96,18 @@ ZohPropagator::step(const Vector &blockPowers, double dt)
     if (blockPowers.size() != network_.numInputs())
         panic("step power vector size mismatch");
 
+    // One contiguous pass: next = [E | F] [x | u]. The state stays in
+    // ambient-relative form across steps; only the input tail and the
+    // absolute-temperature mirror are refreshed.
     const double amb = network_.ambient();
-    for (std::size_t i = 0; i < x_.size(); ++i)
-        x_[i] = temps_[i] - amb;
-
-    // next = E x + F u
-    disc_->e.multiply(x_.data(), next_.data());
     const std::size_t n = next_.size();
     const std::size_t m = blockPowers.size();
+    for (std::size_t j = 0; j < m; ++j)
+        xu_[n + j] = blockPowers[j];
+    disc_->ef.multiplyFused(xu_.data(), next_.data());
     for (std::size_t i = 0; i < n; ++i) {
-        const double *f = disc_->f.row(i);
-        double sum = next_[i];
-        for (std::size_t j = 0; j < m; ++j)
-            sum += f[j] * blockPowers[j];
-        temps_[i] = sum + amb;
+        xu_[i] = next_[i];
+        temps_[i] = next_[i] + amb;
     }
 }
 
@@ -113,7 +128,7 @@ Rk4Solver::Rk4Solver(const RcNetwork &network, double maxSubstep)
 void
 Rk4Solver::derivative(const Vector &x, const Vector &p, Vector &dx) const
 {
-    a_.multiply(x.data(), dx.data());
+    a_.multiplyFused(x.data(), dx.data());
     for (std::size_t b = 0; b < p.size(); ++b)
         dx[network_.dieNode(b)] += bScale_[b] * p[b];
 }

@@ -55,6 +55,10 @@ class TransientSolver
   protected:
     const RcNetwork &network_;
     Vector temps_; ///< absolute temperatures
+
+    /** Hook for subclasses that cache a transformed copy of the state;
+     *  called whenever temps_ is overwritten from outside step(). */
+    virtual void stateChanged() {}
 };
 
 /** Exact fixed-step propagator: x[n+1] = E x[n] + F u[n]. */
@@ -87,8 +91,17 @@ class ZohPropagator : public TransientSolver
   private:
     double dt_;
     std::shared_ptr<const ZohDiscretization> disc_;
-    Vector x_;     ///< scratch: state relative to ambient
-    Vector next_;  ///< scratch
+
+    /**
+     * Augmented [x | u] vector the fused kernel consumes: the first
+     * numNodes entries hold the state in ambient-relative form across
+     * steps (no temps_ -> x conversion in the hot loop), the tail
+     * holds the block powers of the current step.
+     */
+    Vector xu_;
+    Vector next_; ///< scratch: next ambient-relative state
+
+    void stateChanged() override;
 };
 
 /** RK4 integrator with automatic substepping for stiff networks. */

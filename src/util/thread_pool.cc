@@ -1,0 +1,99 @@
+#include "util/thread_pool.hh"
+
+#include <cstdlib>
+#include <string>
+
+namespace coolcmp {
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> job)
+{
+    std::packaged_task<void()> task(std::move(job));
+    std::future<void> future = task.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return future;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // packaged_task captures any exception into the future.
+        task();
+    }
+}
+
+std::size_t
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("COOLCMP_THREADS")) {
+        char *end = nullptr;
+        const long n = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && n > 0)
+            return static_cast<std::size_t>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void
+parallelFor(std::size_t n, std::size_t threads,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    ThreadPool pool(threads);
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        futures.push_back(pool.submit([&fn, i] { fn(i); }));
+    // Wait for everything before rethrowing so no job is still
+    // touching shared state when the caller unwinds.
+    std::exception_ptr first;
+    for (std::future<void> &future : futures) {
+        try {
+            future.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace coolcmp

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fixed-size worker thread pool for the parallel experiment engine.
+ *
+ * The evaluation sweeps run hundreds of independent (workload, policy)
+ * DTM simulations; a small shared pool with a FIFO work queue lets the
+ * driver saturate the machine without spawning a thread per run.
+ * Submitted jobs return std::future<void>, so exceptions thrown inside
+ * a job propagate to whoever waits on the result instead of being
+ * swallowed on the worker thread.
+ */
+
+#ifndef COOLCMP_UTIL_THREAD_POOL_HH
+#define COOLCMP_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace coolcmp {
+
+/** Fixed-size worker pool with a FIFO work queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 selects defaultThreadCount().
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Waits for queued work to drain, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Enqueue a job. The returned future completes when the job has
+     * run; if the job throws, future.get() rethrows the exception.
+     */
+    std::future<void> submit(std::function<void()> job);
+
+    /**
+     * Worker count from the COOLCMP_THREADS environment variable, or
+     * hardware_concurrency when unset/invalid (at least 1).
+     */
+    static std::size_t defaultThreadCount();
+
+  private:
+    std::vector<std::thread> workers_;
+    std::deque<std::packaged_task<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+
+    void workerLoop();
+};
+
+/**
+ * Run fn(i) for i in [0, n) on a temporary pool of `threads` workers
+ * (0 = defaultThreadCount). Blocks until every index has completed;
+ * rethrows the first (lowest-index) exception after the join, so
+ * results indexed by i are filled deterministically regardless of
+ * scheduling.
+ */
+void parallelFor(std::size_t n, std::size_t threads,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace coolcmp
+
+#endif // COOLCMP_UTIL_THREAD_POOL_HH

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <complex>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -12,6 +13,7 @@
 #include "linalg/lu.hh"
 #include "linalg/matrix.hh"
 #include "linalg/polynomial.hh"
+#include "util/rng.hh"
 
 namespace coolcmp {
 namespace {
@@ -73,6 +75,85 @@ TEST(Matrix, TransposeAndNorm)
     EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
     EXPECT_DOUBLE_EQ(t(0, 1), -7.0);
     EXPECT_DOUBLE_EQ(a.normInf(), 7.0);
+}
+
+TEST(Matrix, MultiplyFusedMatchesMultiply)
+{
+    // Property: the restrict/unrolled kernel agrees with the plain
+    // matvec on random matrices, including sizes that exercise the
+    // unroll remainder (cols % 4 != 0).
+    Rng rng(2024);
+    const std::pair<std::size_t, std::size_t> sizes[] = {
+        {1, 1}, {3, 5}, {8, 8}, {17, 13}, {40, 94}};
+    for (const auto &[rows, cols] : sizes) {
+        Matrix a(rows, cols);
+        Vector x(cols);
+        for (std::size_t i = 0; i < rows; ++i)
+            for (std::size_t j = 0; j < cols; ++j)
+                a(i, j) = rng.uniform(-10.0, 10.0);
+        for (auto &v : x)
+            v = rng.uniform(-10.0, 10.0);
+        Vector plain(rows), fused(rows);
+        a.multiply(x.data(), plain.data());
+        a.multiplyFused(x.data(), fused.data());
+        for (std::size_t i = 0; i < rows; ++i)
+            EXPECT_NEAR(fused[i], plain[i],
+                        1e-12 * std::max(1.0, std::abs(plain[i])))
+                << rows << "x" << cols << " row " << i;
+    }
+}
+
+TEST(Zoh, FusedBlockMatchesSplitMatrices)
+{
+    // ef must be exactly the row-major concatenation [E | F].
+    Rng rng(7);
+    Matrix a(6, 6), b(6, 3);
+    for (std::size_t i = 0; i < 6; ++i) {
+        for (std::size_t j = 0; j < 6; ++j)
+            a(i, j) = rng.uniform(-2.0, 0.0);
+        for (std::size_t j = 0; j < 3; ++j)
+            b(i, j) = rng.uniform(0.0, 1.0);
+    }
+    const ZohDiscretization disc = discretizeZoh(a, b, 0.01);
+    ASSERT_EQ(disc.ef.rows(), 6u);
+    ASSERT_EQ(disc.ef.cols(), 9u);
+    for (std::size_t i = 0; i < 6; ++i) {
+        for (std::size_t j = 0; j < 6; ++j)
+            EXPECT_DOUBLE_EQ(disc.ef(i, j), disc.e(i, j));
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_DOUBLE_EQ(disc.ef(i, 6 + j), disc.f(i, j));
+    }
+}
+
+TEST(Zoh, FusedStepMatchesSplitStep)
+{
+    // Property: one pass of [E|F] over [x|u] equals E x + F u on a
+    // random stable system.
+    Rng rng(99);
+    const std::size_t n = 12, m = 5;
+    Matrix a(n, n), b(n, m);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j)
+            a(i, j) = rng.uniform(-0.5, 0.5);
+        a(i, i) -= 5.0; // keep it stable / well-conditioned
+        for (std::size_t j = 0; j < m; ++j)
+            b(i, j) = rng.uniform(-1.0, 1.0);
+    }
+    const ZohDiscretization disc = discretizeZoh(a, b, 0.05);
+
+    Vector xu(n + m);
+    for (auto &v : xu)
+        v = rng.uniform(-3.0, 3.0);
+    const Vector x(xu.begin(), xu.begin() + static_cast<long>(n));
+    const Vector u(xu.begin() + static_cast<long>(n), xu.end());
+
+    Vector split = disc.e * x;
+    axpy(1.0, disc.f * u, split);
+    Vector fused(n);
+    disc.ef.multiplyFused(xu.data(), fused.data());
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(fused[i], split[i],
+                    1e-12 * std::max(1.0, std::abs(split[i])));
 }
 
 TEST(Vector, AxpyAndNorms)

@@ -138,6 +138,92 @@ TEST(Experiment, RejectsMismatchedFrequencies)
                 "disagree");
 }
 
+TEST(Experiment, RunManyMatchesSerialBitForBit)
+{
+    // The acceptance bar for the parallel engine: a 4-thread runMany
+    // over 2 workloads x 2 policies must reproduce the serial metrics
+    // exactly — every field, every per-core entry, no tolerance.
+    coolcmp::testing::quiet();
+    DtmConfig cfg = coolcmp::testing::fastDtmConfig();
+    cfg.duration = 0.004;
+    Experiment exp(cfg, coolcmp::testing::fastTraceConfig());
+
+    std::vector<RunJob> jobs;
+    const PolicyConfig policies[] = {
+        baselinePolicy(),
+        {ThrottleMechanism::Dvfs, ControlScope::Distributed,
+         MigrationKind::CounterBased},
+    };
+    for (const char *name : {"workload1", "workload7"})
+        for (const PolicyConfig &policy : policies)
+            jobs.push_back({findWorkload(name), policy, ""});
+
+    std::vector<RunMetrics> serial;
+    for (const RunJob &job : jobs)
+        serial.push_back(exp.run(job.workload, job.policy));
+
+    const std::vector<RunMetrics> parallel = exp.runMany(jobs, 4);
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        const RunMetrics &a = serial[i];
+        const RunMetrics &b = parallel[i];
+        EXPECT_EQ(a.duration, b.duration) << "job " << i;
+        EXPECT_EQ(a.totalInstructions, b.totalInstructions)
+            << "job " << i;
+        EXPECT_EQ(a.dutyCycle, b.dutyCycle) << "job " << i;
+        EXPECT_EQ(a.peakTemp, b.peakTemp) << "job " << i;
+        EXPECT_EQ(a.emergencies, b.emergencies) << "job " << i;
+        EXPECT_EQ(a.throttleActuations, b.throttleActuations)
+            << "job " << i;
+        EXPECT_EQ(a.migrations, b.migrations) << "job " << i;
+        EXPECT_EQ(a.migrationPenaltyTime, b.migrationPenaltyTime)
+            << "job " << i;
+        ASSERT_EQ(a.coreInstructions, b.coreInstructions)
+            << "job " << i;
+        ASSERT_EQ(a.coreDuty, b.coreDuty) << "job " << i;
+        ASSERT_EQ(a.coreMeanFreq, b.coreMeanFreq) << "job " << i;
+        ASSERT_EQ(a.processInstructions, b.processInstructions)
+            << "job " << i;
+    }
+
+    // A second parallel sweep (warm traces, different interleaving)
+    // must agree with itself too.
+    const std::vector<RunMetrics> again = exp.runMany(jobs, 4);
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i].totalInstructions,
+                  again[i].totalInstructions);
+}
+
+TEST(Experiment, RunManyThroughResultCache)
+{
+    coolcmp::testing::quiet();
+    Experiment exp(coolcmp::testing::fastDtmConfig(),
+                   coolcmp::testing::fastTraceConfig());
+    const std::string dir =
+        ::testing::TempDir() + "coolcmp-runmany-cache";
+    std::filesystem::remove_all(dir);
+
+    std::vector<RunJob> jobs;
+    for (const char *name : {"workload1", "workload2"})
+        jobs.push_back({findWorkload(name), baselinePolicy(), dir});
+
+    const auto fresh = exp.runMany(jobs, 4);
+    ASSERT_FALSE(std::filesystem::is_empty(dir));
+    // No stray temp files may survive the atomic-rename publication.
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir))
+        EXPECT_EQ(entry.path().extension(), ".metrics")
+            << entry.path();
+    const auto cached = exp.runMany(jobs, 4);
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+        EXPECT_DOUBLE_EQ(fresh[i].totalInstructions,
+                         cached[i].totalInstructions);
+        EXPECT_DOUBLE_EQ(fresh[i].dutyCycle, cached[i].dutyCycle);
+    }
+    std::filesystem::remove_all(dir);
+}
+
 TEST(Experiment, RunAllWorkloadsOrder)
 {
     coolcmp::testing::quiet();

@@ -239,6 +239,79 @@ TEST(Transient, AnalyticSingleBlockResponse)
     EXPECT_GT(last, PackageParams::desktop().ambient);
 }
 
+TEST(Transient, FusedStepMatchesSplitPathOnRealChip)
+{
+    // Property: on the real 4-core network, the fused [E|F] step must
+    // reproduce the explicit E x + F u path (the pre-fusion
+    // implementation) to 1e-12, including after the state is
+    // overwritten from outside (setTemperatures resyncs the cached
+    // ambient-relative form).
+    const Floorplan plan = makeCmpFloorplan(4);
+    const RcNetwork net(plan, PackageParams::desktop());
+    const double dt = 27.78e-6;
+    const auto disc = ZohPropagator::makeDiscretization(net, dt);
+    const std::size_t n = net.numNodes();
+    const std::size_t m = net.numInputs();
+
+    ZohPropagator solver(net, dt, disc);
+    Vector powers(m);
+    for (std::size_t b = 0; b < m; ++b)
+        powers[b] = 0.2 + 0.05 * static_cast<double>(b % 7);
+
+    // Reference state marched with the split implementation.
+    Vector ref = solver.temperatures();
+    Vector x(n), next(n);
+    const double amb = net.ambient();
+    auto splitStep = [&] {
+        for (std::size_t i = 0; i < n; ++i)
+            x[i] = ref[i] - amb;
+        disc->e.multiply(x.data(), next.data());
+        for (std::size_t i = 0; i < n; ++i) {
+            const double *f = disc->f.row(i);
+            double sum = next[i];
+            for (std::size_t j = 0; j < m; ++j)
+                sum += f[j] * powers[j];
+            ref[i] = sum + amb;
+        }
+    };
+
+    for (int i = 0; i < 500; ++i) {
+        solver.step(powers, dt);
+        splitStep();
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(solver.temperatures()[i], ref[i], 1e-12);
+
+    // Overwrite the state mid-flight and keep marching.
+    Vector bumped = ref;
+    for (std::size_t i = 0; i < n; ++i)
+        bumped[i] += static_cast<double>(i % 3);
+    solver.setTemperatures(bumped);
+    ref = bumped;
+    for (int i = 0; i < 100; ++i) {
+        solver.step(powers, dt);
+        splitStep();
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(solver.temperatures()[i], ref[i], 1e-12);
+}
+
+TEST(Transient, MaxBlockTempTracksDieNodes)
+{
+    const Floorplan plan = makeCmpFloorplan(2);
+    const RcNetwork net(plan, PackageParams::desktop());
+    ZohPropagator solver(net, 1e-4);
+    Vector temps = solver.temperatures();
+    // Heat one die node well above everything else.
+    const std::size_t hot = net.dieNode(3);
+    temps[hot] = 95.0;
+    // A non-die node hotter still must NOT win: maxBlockTemp reads
+    // die nodes only.
+    temps[net.numInputs()] = 120.0;
+    solver.setTemperatures(temps);
+    EXPECT_DOUBLE_EQ(solver.maxBlockTemp(), 95.0);
+}
+
 TEST(Transient, SharedDiscretizationEquivalent)
 {
     const Floorplan plan = makeCmpFloorplan(1);

@@ -3,14 +3,19 @@
  * Unit tests for the util module: RNG, statistics, tables.
  */
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <future>
 #include <sstream>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 #include "util/units.hh"
 
 namespace coolcmp {
@@ -247,6 +252,78 @@ TEST(Units, Conversions)
     EXPECT_DOUBLE_EQ(millimeters(5.6), 5.6e-3);
     EXPECT_TRUE(approxEqual(1.0, 1.0 + 1e-12));
     EXPECT_FALSE(approxEqual(1.0, 1.1));
+}
+
+TEST(ThreadPool, DrainsEveryQueuedJob)
+{
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    {
+        ThreadPool pool(4);
+        EXPECT_EQ(pool.size(), 4u);
+        futures.reserve(200);
+        for (int i = 0; i < 200; ++i)
+            futures.push_back(
+                pool.submit([&counter] { ++counter; }));
+        for (auto &future : futures)
+            future.get();
+        EXPECT_EQ(counter.load(), 200);
+        // Work queued after a full drain still runs.
+        pool.submit([&counter] { ++counter; }).get();
+    }
+    EXPECT_EQ(counter.load(), 201);
+}
+
+TEST(ThreadPool, DestructorRunsPendingJobs)
+{
+    // Jobs still queued when the pool dies must run, not vanish.
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&counter] { ++counter; });
+    }
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, PropagatesExceptionsToTheFuture)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit(
+        [] { throw std::runtime_error("job failed"); });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The worker that caught the throw keeps serving jobs.
+    auto good = pool.submit([] {});
+    EXPECT_NO_THROW(good.get());
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    std::vector<std::atomic<int>> hits(64);
+    parallelFor(hits.size(), 4,
+                [&](std::size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRethrows)
+{
+    EXPECT_THROW(parallelFor(8, 3,
+                             [](std::size_t i) {
+                                 if (i == 5)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultThreadCountReadsEnvironment)
+{
+    ::setenv("COOLCMP_THREADS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
+    ::setenv("COOLCMP_THREADS", "not-a-number", 1);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+    ::unsetenv("COOLCMP_THREADS");
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
 }
 
 TEST(UtilDeath, RunningStatRejectsNonPositiveWeight)
