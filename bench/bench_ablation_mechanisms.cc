@@ -45,7 +45,7 @@ sweep(const DtmConfig &cfg, const PolicyConfig &policy)
 int
 main()
 {
-    setLogLevel(LogLevel::Warn);
+    setDefaultLogLevel(LogLevel::Warn);
 
     bench::banner("Ablation: stop-go stall length (paper: 30 ms)");
     TextTable stall({"stall (ms)", "avg BIPS", "avg duty",

@@ -43,7 +43,7 @@ emergenciesOver(Experiment &experiment, const PolicyConfig &policy)
 int
 main()
 {
-    setLogLevel(LogLevel::Warn);
+    setDefaultLogLevel(LogLevel::Warn);
     const PolicyConfig distDvfs{ThrottleMechanism::Dvfs,
                                 ControlScope::Distributed,
                                 MigrationKind::None};

@@ -14,7 +14,7 @@ using namespace coolcmp;
 int
 main()
 {
-    setLogLevel(LogLevel::Warn);
+    setDefaultLogLevel(LogLevel::Warn);
 
     DtmConfig hot = bench::paperConfig();
     hot.thresholdTemp = 100.0;

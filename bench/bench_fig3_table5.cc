@@ -19,7 +19,7 @@ using namespace coolcmp;
 int
 main()
 {
-    setLogLevel(LogLevel::Warn);
+    setDefaultLogLevel(LogLevel::Warn);
     Experiment experiment(bench::paperConfig());
 
     const PolicyConfig globalStop{ThrottleMechanism::StopGo,

@@ -7,17 +7,17 @@
  * migration intervals.
  */
 
-#include <fstream>
 #include <iostream>
 
 #include "bench_util.hh"
+#include "obs/export.hh"
 
 using namespace coolcmp;
 
 int
 main()
 {
-    setLogLevel(LogLevel::Warn);
+    setDefaultLogLevel(LogLevel::Warn);
     Experiment experiment(bench::paperConfig());
 
     const PolicyConfig policy{ThrottleMechanism::Dvfs,
@@ -29,13 +29,23 @@ main()
     // cycle-level trace builds behind it can fan out.
     experiment.prefetchTraces({workload.benchmarks.begin(),
                                workload.benchmarks.end()});
-    auto sim = experiment.makeSimulator(workload, policy);
+    obs::Registry registry;
+    auto sim = experiment.makeSimulator(workload, policy, nullptr,
+                                        &registry);
 
     // Record core 0 over the first 100 ms, sampling every ~0.56 ms.
     const double window = 0.1;
+    obs::CsvOptions csvOptions;
+    csvOptions.cores = {0};
+    csvOptions.thread = true;
+    csvOptions.threadNames = {workload.benchmarks.begin(),
+                              workload.benchmarks.end()};
+    csvOptions.maxTime = window;
+    obs::CsvExporter csv("figure5.csv", csvOptions);
     std::vector<StepSample> samples;
     sim->setSampleHook(
         [&](const StepSample &s) {
+            csv.write(s);
             if (s.time <= window)
                 samples.push_back(s);
         },
@@ -45,8 +55,6 @@ main()
     bench::banner("Figure 5: core-0 hotspots and DVFS output under "
                   "dist. DVFS + counter-based migration (workload7)");
 
-    std::ofstream csv("figure5.csv");
-    csv << "time_ms,intRF_C,fpRF_C,freq_scale,thread\n";
     TextTable table({"time (ms)", "IntRF (C)", "FpRF (C)",
                      "freq scale", "thread on core 0"});
     int lastThread = -1;
@@ -55,9 +63,6 @@ main()
         const int thread = s.assignment[0];
         const std::string name =
             workload.benchmarks[static_cast<std::size_t>(thread)];
-        csv << s.time * 1e3 << "," << s.intRfTemp[0] << ","
-            << s.fpRfTemp[0] << "," << s.freqScale[0] << "," << name
-            << "\n";
         // Console: print around thread changes plus a coarse carpet.
         const bool changed = thread != lastThread;
         if (changed || printed % 16 == 0) {
@@ -71,6 +76,8 @@ main()
         ++printed;
     }
     table.print(std::cout);
+    std::cout << "\nRun metrics:\n";
+    registry.dumpText(std::cout);
     std::cout << "\n(full series written to figure5.csv; the paper's "
                  "figure shows the same qualitative story: the FP "
                  "register file heats while an fp thread runs, cools "

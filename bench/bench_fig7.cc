@@ -15,7 +15,7 @@ using namespace coolcmp;
 int
 main()
 {
-    setLogLevel(LogLevel::Warn);
+    setDefaultLogLevel(LogLevel::Warn);
     Experiment experiment(bench::paperConfig());
 
     const PolicyConfig distDvfs{ThrottleMechanism::Dvfs,

@@ -11,6 +11,8 @@
 
 #include "core/chip_model.hh"
 #include "core/experiment.hh"
+#include "obs/registry.hh"
+#include "obs/tracer.hh"
 #include "thermal/floorplan.hh"
 #include "thermal/rc_network.hh"
 #include "thermal/transient.hh"
@@ -153,7 +155,7 @@ BM_RunManySweep(benchmark::State &state)
     // are memoized in the shared Experiment so iterations measure the
     // DTM simulations, not trace generation.
     static Experiment *experiment = [] {
-        setLogLevel(LogLevel::Warn);
+        setDefaultLogLevel(LogLevel::Warn);
         DtmConfig cfg;
         cfg.duration = 0.01;
         TraceBuilderConfig traceCfg;
@@ -197,6 +199,57 @@ BENCHMARK(BM_RunManySweep)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
+
+void
+BM_DtmRunObservability(benchmark::State &state)
+{
+    // One full DTM run with observability off (arg 0) vs a full
+    // tracer + registry attached (arg 1). The per-step cost of the
+    // subsystem is the difference; disabled must be unmeasurable and
+    // enabled must stay within a few percent (the hot path is one
+    // null check per sink and lock-free shard updates).
+    static Experiment *experiment = [] {
+        setDefaultLogLevel(LogLevel::Warn);
+        DtmConfig cfg;
+        cfg.duration = 0.01;
+        TraceBuilderConfig traceCfg;
+        traceCfg.numIntervals = 32;
+        traceCfg.sampledShare = 0.2;
+        traceCfg.warmupCycles = 50000;
+        traceCfg.cacheDir.clear();
+        return new Experiment(cfg, traceCfg);
+    }();
+
+    const Workload &workload = findWorkload("workload7");
+    const PolicyConfig policy{ThrottleMechanism::Dvfs,
+                              ControlScope::Distributed,
+                              MigrationKind::CounterBased};
+    experiment->prefetchTraces({workload.benchmarks.begin(),
+                                workload.benchmarks.end()});
+
+    const bool observed = state.range(0) != 0;
+    obs::Registry registry;
+    std::uint64_t steps = 0;
+    for (auto _ : state) {
+        // run() consumes the simulator (kernel time is monotonic), so
+        // construction happens off the clock each iteration.
+        state.PauseTiming();
+        obs::Tracer tracer;
+        auto sim = experiment->makeSimulator(
+            workload, policy, observed ? &tracer : nullptr,
+            observed ? &registry : nullptr);
+        state.ResumeTiming();
+        const RunMetrics m = sim->run();
+        benchmark::DoNotOptimize(&m);
+        steps += static_cast<std::uint64_t>(
+            m.duration / experiment->config().stepSeconds() + 0.5);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_DtmRunObservability)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_BranchPredictorLookup(benchmark::State &state)

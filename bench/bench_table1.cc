@@ -41,7 +41,7 @@ const std::map<std::string, std::pair<double, double>> paperRanges = {
 int
 main()
 {
-    setLogLevel(LogLevel::Warn);
+    setDefaultLogLevel(LogLevel::Warn);
     bench::banner(
         "Table 1: mobile (Pentium M-class) steady-state temperatures");
 

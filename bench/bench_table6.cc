@@ -14,7 +14,7 @@ using namespace coolcmp;
 int
 main()
 {
-    setLogLevel(LogLevel::Warn);
+    setDefaultLogLevel(LogLevel::Warn);
     Experiment experiment(bench::paperConfig());
 
     struct Row

@@ -15,7 +15,7 @@ using namespace coolcmp;
 int
 main()
 {
-    setLogLevel(LogLevel::Warn);
+    setDefaultLogLevel(LogLevel::Warn);
     Experiment experiment(bench::paperConfig());
 
     // Paper's Table 8 values, keyed by policy slug.

@@ -11,11 +11,11 @@
  * Policy slugs: {global,dist}-{stopgo,dvfs}[-counter|-sensor].
  */
 
-#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/experiment.hh"
+#include "obs/export.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -59,7 +59,7 @@ printHeatMap(const Floorplan &plan, const std::vector<double> &temps)
 int
 main(int argc, char **argv)
 {
-    setLogLevel(LogLevel::Inform);
+    setDefaultLogLevel(LogLevel::Inform);
     const std::string workloadName = argc > 1 ? argv[1] : "workload7";
     const std::string policySlug = argc > 2 ? argv[2] : "dist-dvfs";
 
@@ -73,24 +73,10 @@ main(int argc, char **argv)
 
     auto sim = experiment.makeSimulator(workload, policy);
 
-    std::ofstream csv("hotspot_series.csv");
-    csv << "time_ms";
-    for (int c = 0; c < 4; ++c)
-        csv << ",core" << c << "_intRF,core" << c << "_fpRF,core" << c
-            << "_freq";
-    csv << ",max_block\n";
-
-    std::vector<double> finalTemps;
-    sim->setSampleHook(
-        [&](const StepSample &s) {
-            csv << s.time * 1e3;
-            for (std::size_t c = 0; c < 4; ++c)
-                csv << "," << s.intRfTemp[c] << "," << s.fpRfTemp[c]
-                    << "," << s.freqScale[c];
-            csv << "," << s.maxBlockTemp << "\n";
-            finalTemps = s.blockTemp;
-        },
-        10);
+    obs::CsvOptions csvOptions;
+    csvOptions.maxBlockTemp = true;
+    obs::CsvExporter csv("hotspot_series.csv", csvOptions);
+    sim->setSampleHook([&](const StepSample &s) { csv.write(s); }, 10);
 
     const RunMetrics m = sim->run();
 
@@ -108,7 +94,7 @@ main(int argc, char **argv)
     std::cout << "\n";
     summary.print(std::cout);
 
-    printHeatMap(experiment.chip()->floorplan(), finalTemps);
+    printHeatMap(experiment.chip()->floorplan(), csv.lastBlockTemps());
     std::cout << "\n(per-step sensor series written to "
                  "hotspot_series.csv)\n";
     return 0;

@@ -23,7 +23,7 @@ using namespace coolcmp;
 int
 main()
 {
-    setLogLevel(LogLevel::Inform);
+    setDefaultLogLevel(LogLevel::Inform);
 
     // An Experiment bundles the 4-core chip of the paper's Table 3:
     // the floorplan, the HotSpot-style RC thermal model, the power

@@ -17,6 +17,11 @@
 #include "thermal/package.hh"
 #include "util/units.hh"
 
+namespace coolcmp::obs {
+class Registry;
+class Tracer;
+} // namespace coolcmp::obs
+
 namespace coolcmp {
 
 /** All knobs of one DTM simulation. */
@@ -62,6 +67,18 @@ struct DtmConfig
     double hotspotTempDelta = 0.75; ///< C; a critical-hotspot move this
                                     ///< large also counts as a change
     double fallbackSpread = 1.5;
+
+    // --- Observability (src/obs): optional control-loop event tracer
+    //     and metrics registry. Both are borrowed pointers owned by
+    //     the caller; null means "no observability" and every emit
+    //     site reduces to one predictable branch. Deliberately NOT
+    //     part of configKey(): attaching observers cannot invalidate
+    //     result caches or change simulated behavior. A tracer must
+    //     not be shared between concurrently running simulators (see
+    //     obs::TraceSession for per-job tracers); the registry is
+    //     thread-safe and meant to be shared. ---
+    obs::Tracer *tracer = nullptr;
+    obs::Registry *registry = nullptr;
 
     // --- Package / power calibrations. ---
     PackageParams package = PackageParams::desktop();

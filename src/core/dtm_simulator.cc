@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/registry.hh"
+#include "obs/tracer.hh"
 #include "util/logging.hh"
 
 namespace coolcmp {
@@ -22,6 +24,10 @@ DtmSimulator::DtmSimulator(
 {
     if (traces.size() < static_cast<std::size_t>(chip_->numCores()))
         fatal("need at least one process per core");
+    // One tracer pointer on the config fans out to every layer: the
+    // throttle bank and migration policy read config_.tracer directly;
+    // the kernel gets it through its params.
+    config_.kernel.tracer = config_.tracer;
     std::vector<Process> processes;
     processes.reserve(traces.size());
     for (std::size_t i = 0; i < traces.size(); ++i)
@@ -134,6 +140,21 @@ DtmSimulator::run()
     metrics.coreMeanFreq.assign(nc, 0.0);
     metrics.processInstructions.assign(kernel_->numProcesses(), 0.0);
 
+    // Observability handles, resolved once so the hot loop updates
+    // lock-free shards (or skips on one null check when detached).
+    obs::Tracer *const tracer = config_.tracer;
+    obs::Counter *stepCounter = nullptr;
+    obs::Counter *emergencyCounter = nullptr;
+    obs::Histogram *tempHist = nullptr;
+    if (obs::Registry *reg = config_.registry) {
+        stepCounter = &reg->counter("sim.steps");
+        emergencyCounter = &reg->counter("sim.emergencies");
+        tempHist = &reg->histogram(
+            "sim.max_block_temp_c",
+            obs::Histogram::linearEdges(40.0, 100.0, 120));
+    }
+    bool inEmergency = false;
+
     Vector blockPowers(chip_->floorplan().numBlocks(), 0.0);
     std::vector<double> coreHottest(nc, 0.0);
     std::vector<double> intRf(nc, 0.0);
@@ -218,8 +239,24 @@ DtmSimulator::run()
 
         const double hottestBlock = solver_->maxBlockTemp();
         metrics.peakTemp = std::max(metrics.peakTemp, hottestBlock);
-        if (hottestBlock > config_.thresholdTemp)
+        if (hottestBlock > config_.thresholdTemp) {
             metrics.emergencies += 1;
+            if (!inEmergency) {
+                // Record the upward crossing, not every sample above.
+                if (tracer)
+                    tracer->emergency(tEnd, hottestBlock,
+                                      config_.thresholdTemp);
+                if (emergencyCounter)
+                    emergencyCounter->add();
+                inEmergency = true;
+            }
+        } else {
+            inEmergency = false;
+        }
+        if (stepCounter)
+            stepCounter->add();
+        if (tempHist)
+            tempHist->observe(hottestBlock);
 
         winSteps += 1.0;
 

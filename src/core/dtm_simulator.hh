@@ -24,6 +24,7 @@
 #include "core/dtm_config.hh"
 #include "core/metrics.hh"
 #include "core/migration.hh"
+#include "core/step_sample.hh"
 #include "core/taxonomy.hh"
 #include "core/throttle.hh"
 #include "os/kernel.hh"
@@ -31,18 +32,6 @@
 #include "thermal/sensor.hh"
 
 namespace coolcmp {
-
-/** Per-step probe for time-series outputs (Figure 5). */
-struct StepSample
-{
-    double time = 0.0;
-    std::vector<double> intRfTemp;   ///< per core, C
-    std::vector<double> fpRfTemp;    ///< per core, C
-    std::vector<double> freqScale;   ///< per core
-    std::vector<int> assignment;     ///< core -> process id
-    double maxBlockTemp = 0.0;
-    std::vector<double> blockTemp;   ///< per floorplan block, C
-};
 
 /** One DTM simulation: a policy, a chip, and a set of processes. */
 class DtmSimulator

@@ -1,12 +1,16 @@
 #include "core/experiment.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <functional>
 #include <thread>
 
+#include "obs/registry.hh"
+#include "obs/tracer.hh"
 #include "thermal/sensor.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -65,11 +69,23 @@ std::unique_ptr<DtmSimulator>
 Experiment::makeSimulator(const Workload &workload,
                           const PolicyConfig &policy)
 {
+    return makeSimulator(workload, policy, config_.tracer,
+                         config_.registry);
+}
+
+std::unique_ptr<DtmSimulator>
+Experiment::makeSimulator(const Workload &workload,
+                          const PolicyConfig &policy,
+                          obs::Tracer *tracer, obs::Registry *registry)
+{
     std::vector<std::shared_ptr<const PowerTrace>> traces;
     traces.reserve(workload.benchmarks.size());
     for (const auto &name : workload.benchmarks)
         traces.push_back(trace(name));
-    return std::make_unique<DtmSimulator>(chip_, policy, config_,
+    DtmConfig config = config_;
+    config.tracer = tracer;
+    config.registry = registry;
+    return std::make_unique<DtmSimulator>(chip_, policy, config,
                                           std::move(traces));
 }
 
@@ -97,12 +113,24 @@ mixDouble(std::uint64_t &hash, double v)
     mixBytes(hash, &v, sizeof(v));
 }
 
+std::string
+configKeyHex(std::uint64_t key)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+} // namespace
+
 bool
-saveMetrics(const std::string &path, const RunMetrics &m)
+saveRunMetrics(const std::string &path, const RunMetrics &m,
+               std::uint64_t configKey)
 {
     // Write-then-rename so concurrent writers (runMany workers, or
     // several bench processes sharing the cache) never expose a
-    // half-written file to a concurrent loadMetrics.
+    // half-written file to a concurrent loadRunMetrics.
     const std::string tmp = path + ".tmp." +
         std::to_string(std::hash<std::thread::id>{}(
             std::this_thread::get_id()));
@@ -110,7 +138,10 @@ saveMetrics(const std::string &path, const RunMetrics &m)
     if (!out)
         return false;
     out.precision(15);
-    out << "coolcmp-metrics-v1\n";
+    // Schema version + config hash: a reader built against another
+    // schema, or an experiment with different constants, must treat
+    // this file as a miss rather than deserialize stale numbers.
+    out << "coolcmp-metrics-v2 " << configKeyHex(configKey) << "\n";
     out << m.duration << " " << m.totalInstructions << " "
         << m.dutyCycle << " " << m.peakTemp << " " << m.emergencies
         << " " << m.throttleActuations << " " << m.migrations << " "
@@ -138,14 +169,25 @@ saveMetrics(const std::string &path, const RunMetrics &m)
 }
 
 bool
-loadMetrics(const std::string &path, RunMetrics &m)
+loadRunMetrics(const std::string &path, RunMetrics &m,
+               std::uint64_t configKey)
 {
     std::ifstream in(path);
     if (!in)
         return false;
-    std::string magic;
-    if (!std::getline(in, magic) || magic != "coolcmp-metrics-v1")
+    std::string magic, key;
+    if (!(in >> magic >> key))
         return false;
+    if (magic != "coolcmp-metrics-v2") {
+        warn("result cache ", path, " has schema '", magic,
+             "', expected coolcmp-metrics-v2; rebuilding");
+        return false;
+    }
+    if (key != configKeyHex(configKey)) {
+        warn("result cache ", path, " was computed under config ", key,
+             ", expected ", configKeyHex(configKey), "; rebuilding");
+        return false;
+    }
     if (!(in >> m.duration >> m.totalInstructions >> m.dutyCycle >>
           m.peakTemp >> m.emergencies >> m.throttleActuations >>
           m.migrations >> m.migrationPenaltyTime))
@@ -163,8 +205,6 @@ loadMetrics(const std::string &path, RunMetrics &m)
     return readVec(m.coreInstructions) && readVec(m.coreDuty) &&
         readVec(m.coreMeanFreq) && readVec(m.processInstructions);
 }
-
-} // namespace
 
 std::uint64_t
 Experiment::configKey() const
@@ -202,20 +242,30 @@ Experiment::runCached(const Workload &workload,
                       const PolicyConfig &policy,
                       const std::string &resultDir)
 {
-    if (resultDir.empty())
-        return run(workload, policy);
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(configKey()));
-    const std::string path = resultDir + "/" + workload.name + "-" +
-        policy.slug() + "-" + buf + ".metrics";
+    return runJob({workload, policy, resultDir}, config_.tracer,
+                  config_.registry);
+}
+
+RunMetrics
+Experiment::runJob(const RunJob &job, obs::Tracer *tracer,
+                   obs::Registry *registry)
+{
+    if (job.resultDir.empty())
+        return makeSimulator(job.workload, job.policy, tracer,
+                             registry)
+            ->run();
+    const std::uint64_t key = configKey();
+    const std::string path = job.resultDir + "/" + job.workload.name +
+        "-" + job.policy.slug() + "-" + configKeyHex(key) + ".metrics";
     RunMetrics cached;
-    if (loadMetrics(path, cached))
+    if (loadRunMetrics(path, cached, key))
         return cached;
-    const RunMetrics fresh = run(workload, policy);
+    const RunMetrics fresh =
+        makeSimulator(job.workload, job.policy, tracer, registry)
+            ->run();
     std::error_code ec;
-    std::filesystem::create_directories(resultDir, ec);
-    if (!saveMetrics(path, fresh))
+    std::filesystem::create_directories(job.resultDir, ec);
+    if (!saveRunMetrics(path, fresh, key))
         warn("cannot write result cache file ", path);
     return fresh;
 }
@@ -225,11 +275,34 @@ Experiment::runMany(const std::vector<RunJob> &jobs,
                     std::size_t threads)
 {
     std::vector<RunMetrics> out(jobs.size());
+    obs::TraceSession *const session = session_;
+
+    // Sweep-level pool metrics: how many jobs are still queued (the
+    // gauge the ISSUE calls the worker-pool queue depth) and how many
+    // completed.
+    obs::Gauge *queueDepth = nullptr;
+    obs::Counter *jobsDone = nullptr;
+    std::atomic<std::size_t> pending{jobs.size()};
+    if (session) {
+        queueDepth = &session->registry().gauge("runmany.queue_depth");
+        jobsDone = &session->registry().counter("runmany.jobs");
+        queueDepth->set(static_cast<double>(jobs.size()));
+    }
+
     parallelFor(jobs.size(), threads, [&](std::size_t i) {
         const RunJob &job = jobs[i];
-        out[i] = job.resultDir.empty()
-            ? run(job.workload, job.policy)
-            : runCached(job.workload, job.policy, job.resultDir);
+        if (session) {
+            const std::size_t span = session->beginJob(
+                job.workload.name + "/" + job.policy.slug());
+            out[i] = runJob(job, session->jobTracer(span),
+                            &session->registry());
+            session->endJob(span);
+            jobsDone->add();
+            queueDepth->set(static_cast<double>(
+                pending.fetch_sub(1, std::memory_order_relaxed) - 1));
+        } else {
+            out[i] = runJob(job, config_.tracer, config_.registry);
+        }
     });
     return out;
 }

@@ -23,6 +23,10 @@
 #include "power/trace_builder.hh"
 #include "workload/workloads.hh"
 
+namespace coolcmp::obs {
+class TraceSession;
+} // namespace coolcmp::obs
+
 namespace coolcmp {
 
 /** One (workload, policy) run request for Experiment::runMany. */
@@ -57,6 +61,28 @@ class Experiment
     /** Build a simulator for one workload and policy. */
     std::unique_ptr<DtmSimulator> makeSimulator(
         const Workload &workload, const PolicyConfig &policy);
+
+    /**
+     * Build a simulator with explicit observability sinks (overriding
+     * whatever the experiment config carries). Either may be null.
+     */
+    std::unique_ptr<DtmSimulator> makeSimulator(
+        const Workload &workload, const PolicyConfig &policy,
+        obs::Tracer *tracer, obs::Registry *registry);
+
+    /**
+     * Attach a trace session: every subsequent runMany job gets its
+     * own event tracer and wall-clock span, the session registry
+     * collects sweep metrics (queue depth, job count), and exporters
+     * can turn the session into a Chrome trace afterwards. Borrowed;
+     * must outlive the runs. Pass nullptr to detach.
+     */
+    void attachSession(obs::TraceSession *session)
+    {
+        session_ = session;
+    }
+
+    obs::TraceSession *session() const { return session_; }
 
     /** Run one workload under one policy. */
     RunMetrics run(const Workload &workload, const PolicyConfig &policy);
@@ -119,6 +145,11 @@ class Experiment
     DtmConfig config_;
     TraceBuilder builder_;
     std::shared_ptr<const ChipModel> chip_;
+    obs::TraceSession *session_ = nullptr;
+
+    /** One job, cached or fresh, with explicit observability sinks. */
+    RunMetrics runJob(const RunJob &job, obs::Tracer *tracer,
+                      obs::Registry *registry);
 
     /**
      * Per-benchmark trace memo. Futures make concurrent lookups safe
@@ -129,6 +160,23 @@ class Experiment
     std::mutex tracesMutex_;
     std::map<std::string, TraceFuture> traces_;
 };
+
+/**
+ * Persist run metrics to a result-cache file. The header stamps the
+ * schema version and the experiment's configKey so a stale cache
+ * (older schema, or results computed under different constants) is
+ * rejected and rebuilt instead of silently reused.
+ */
+bool saveRunMetrics(const std::string &path, const RunMetrics &m,
+                    std::uint64_t configKey);
+
+/**
+ * Load run metrics written by saveRunMetrics. Returns false (after a
+ * warning, unless the file simply does not exist) when the schema
+ * version or config hash does not match @p configKey.
+ */
+bool loadRunMetrics(const std::string &path, RunMetrics &m,
+                    std::uint64_t configKey);
 
 /** Table 1 reproduction: mobile single-core steady-state thermals. */
 struct MobileThermalReading

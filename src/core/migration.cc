@@ -5,9 +5,30 @@
 #include <numeric>
 #include <utility>
 
+#include "obs/tracer.hh"
 #include "util/logging.hh"
 
 namespace coolcmp {
+
+void
+MigrationPolicy::traceDecision(const MigrationObservation &obs,
+                               const std::vector<int> &before,
+                               const std::vector<int> &proposed,
+                               bool exploratory) const
+{
+    if (!tracer_)
+        return;
+    std::vector<double> temps;
+    std::vector<int> units;
+    temps.reserve(obs.cores.size());
+    units.reserve(obs.cores.size());
+    for (const CoreHotspotState &core : obs.cores) {
+        temps.push_back(core.criticalTemp);
+        units.push_back(core.criticalUnit == UnitKind::FpRF ? 1 : 0);
+    }
+    tracer_->migrationDecision(obs.now, before, proposed, temps, units,
+                               exploratory);
+}
 
 std::vector<int>
 decideAssignment(const std::vector<CoreHotspotState> &cores,
@@ -151,6 +172,7 @@ CounterMigrationPolicy::CounterMigrationPolicy(int numCores,
     : trigger_(numCores, config.hotspotChangeQuorum,
                config.fallbackSpread, config.hotspotTempDelta)
 {
+    tracer_ = config.tracer;
 }
 
 void
@@ -173,6 +195,7 @@ CounterMigrationPolicy::onTick(const MigrationObservation &obs,
     };
     const std::vector<int> assignment =
         decideAssignment(obs.cores, intensity);
+    traceDecision(obs, kernel.assignment(), assignment, false);
     kernel.migrate(assignment, obs.now);
 }
 
@@ -291,6 +314,7 @@ SensorMigrationPolicy::SensorMigrationPolicy(int numProcesses,
                config.fallbackSpread, config.hotspotTempDelta),
       table_(numProcesses, numCores)
 {
+    tracer_ = config.tracer;
 }
 
 void
@@ -329,6 +353,7 @@ SensorMigrationPolicy::onTick(const MigrationObservation &obs,
         std::vector<int> rotated(current.size());
         for (std::size_t c = 0; c < current.size(); ++c)
             rotated[c] = current[(c + 1) % current.size()];
+        traceDecision(obs, current, rotated, true);
         if (kernel.migrate(rotated, obs.now) > 0)
             ++exploreRounds_;
         return;
@@ -339,6 +364,7 @@ SensorMigrationPolicy::onTick(const MigrationObservation &obs,
     };
     const std::vector<int> assignment =
         decideAssignment(obs.cores, intensity);
+    traceDecision(obs, kernel.assignment(), assignment, false);
     kernel.migrate(assignment, obs.now);
 }
 

@@ -86,6 +86,16 @@ class MigrationPolicy
 
   protected:
     std::uint64_t decisions_ = 0;
+
+    /** Optional event tracer (from DtmConfig; may be null). */
+    obs::Tracer *tracer_ = nullptr;
+
+    /** Record a matching-algorithm round: its per-core inputs and the
+     *  proposed assignment. No-op without a tracer. */
+    void traceDecision(const MigrationObservation &obs,
+                       const std::vector<int> &before,
+                       const std::vector<int> &proposed,
+                       bool exploratory) const;
 };
 
 /** The do-nothing policy (migration axis = None). */

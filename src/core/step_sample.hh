@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Per-step probe record of the DTM simulator (Figure 5 time series).
+ * Lives in its own dependency-free header so low-level consumers
+ * (obs::CsvExporter) can read samples without pulling in the
+ * simulator stack.
+ */
+
+#ifndef COOLCMP_CORE_STEP_SAMPLE_HH
+#define COOLCMP_CORE_STEP_SAMPLE_HH
+
+#include <vector>
+
+namespace coolcmp {
+
+/** Per-step probe for time-series outputs (Figure 5). */
+struct StepSample
+{
+    double time = 0.0;
+    std::vector<double> intRfTemp;   ///< per core, C
+    std::vector<double> fpRfTemp;    ///< per core, C
+    std::vector<double> freqScale;   ///< per core
+    std::vector<int> assignment;     ///< core -> process id
+    double maxBlockTemp = 0.0;
+    std::vector<double> blockTemp;   ///< per floorplan block, C
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_CORE_STEP_SAMPLE_HH

@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/tracer.hh"
 #include "util/logging.hh"
 
 namespace coolcmp {
 
 ThrottleDomain::ThrottleDomain(ThrottleMechanism mechanism,
-                               const DtmConfig &config)
-    : mechanism_(mechanism), config_(config)
+                               const DtmConfig &config, int id)
+    : mechanism_(mechanism), config_(config), id_(id)
 {
     if (mechanism_ == ThrottleMechanism::Dvfs) {
         // The paper's discrete PI law with the negative-gain
@@ -31,6 +32,9 @@ ThrottleDomain::update(double hottestTemp, double now)
             // Thermal trap: freeze the domain for the full stall.
             unavailableUntil_ = now + config_.stopGoStall;
             ++actuations_;
+            if (config_.tracer)
+                config_.tracer->stopGoTrip(now, id_, hottestTemp,
+                                           unavailableUntil_);
         }
         return;
     }
@@ -39,13 +43,22 @@ ThrottleDomain::update(double hottestTemp, double now)
     // only when the commanded change exceeds the minimum transition
     // (Table 3: 2% of range), paying the 10 us relock penalty.
     const double error = hottestTemp - config_.dvfsSetpoint;
+    // The integral state *is* the clipped previous output (the
+    // anti-windup trick of Section 4.2), so record it as such.
+    const double integral = pi_->output();
     const double commanded = pi_->update(error);
+    if (config_.tracer)
+        config_.tracer->piUpdate(now, id_, error, integral, commanded);
     if (std::abs(commanded - freqScale_) >= config_.minTransition) {
+        const double from = freqScale_;
         freqScale_ = commanded;
         unavailableUntil_ =
             std::max(unavailableUntil_,
                      now + config_.dvfsTransitionPenalty);
         ++actuations_;
+        if (config_.tracer)
+            config_.tracer->pllRelock(now, id_, from, commanded,
+                                      unavailableUntil_);
     }
 }
 
@@ -54,6 +67,8 @@ ThrottleDomain::clearStall(double now)
 {
     if (mechanism_ != ThrottleMechanism::StopGo)
         return;
+    if (unavailableUntil_ > now && config_.tracer)
+        config_.tracer->stallCleared(now, id_, unavailableUntil_);
     unavailableUntil_ = std::min(unavailableUntil_, now);
 }
 
@@ -91,7 +106,8 @@ ThrottleBank::ThrottleBank(ThrottleMechanism mechanism,
         scope == ControlScope::Global ? 1 : numCores;
     domains_.reserve(static_cast<std::size_t>(domains));
     for (int d = 0; d < domains; ++d)
-        domains_.emplace_back(mechanism, config);
+        domains_.emplace_back(mechanism, config,
+                              scope == ControlScope::Global ? -1 : d);
 }
 
 void

@@ -27,7 +27,12 @@ namespace coolcmp {
 class ThrottleDomain
 {
   public:
-    ThrottleDomain(ThrottleMechanism mechanism, const DtmConfig &config);
+    /**
+     * @param id domain identity for event tracing: the core index
+     * under distributed scope, -1 for the single chip-wide domain.
+     */
+    ThrottleDomain(ThrottleMechanism mechanism, const DtmConfig &config,
+                   int id = 0);
 
     /**
      * Feed the domain's hottest sensor reading at time now (called
@@ -75,6 +80,7 @@ class ThrottleDomain
   private:
     ThrottleMechanism mechanism_;
     const DtmConfig &config_;
+    int id_;
     std::unique_ptr<DiscretePidController> pi_;
     double freqScale_ = 1.0;
     double unavailableUntil_ = 0.0;

@@ -1,0 +1,337 @@
+#include "obs/export.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace coolcmp::obs {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20)
+                out += ' ';
+            else
+                out += ch;
+        }
+    }
+    return out;
+}
+
+/** Comma-separating JSON array element writer. */
+struct ElementWriter
+{
+    std::ostream &out;
+    bool first = true;
+
+    std::ostream &next()
+    {
+        if (!first)
+            out << ",";
+        first = false;
+        return out;
+    }
+};
+
+void
+writeIntArray(std::ostream &out, const char *key,
+              const std::array<std::int8_t, kMaxTraceCores> &values,
+              std::size_t n)
+{
+    out << "\"" << key << "\":[";
+    for (std::size_t i = 0; i < n; ++i)
+        out << (i ? "," : "") << static_cast<int>(values[i]);
+    out << "]";
+}
+
+void
+writeMetadata(ElementWriter &w, int pid, int tid, const char *field,
+              const std::string &name)
+{
+    w.next() << "{\"name\":\"" << field
+             << "\",\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+             << ",\"args\":{\"name\":\"" << jsonEscape(name) << "\"}}";
+}
+
+/** tid of an event: core tracks start at 1, chip scope is track 0. */
+int
+eventTid(const TraceEvent &e)
+{
+    return e.core >= 0 ? e.core + 1 : 0;
+}
+
+void
+writeEvent(ElementWriter &w, int pid, const TraceEvent &e)
+{
+    const double ts = e.time * 1e6;
+    switch (e.kind) {
+      case EventKind::PiUpdate:
+        // Counter track: Perfetto plots each args key as a series.
+        w.next() << "{\"name\":\""
+                 << (e.core >= 0
+                         ? "core " + std::to_string(e.core) + " pi"
+                         : std::string("chip pi"))
+                 << "\",\"cat\":\"pi\",\"ph\":\"C\",\"pid\":" << pid
+                 << ",\"tid\":0,\"ts\":" << ts
+                 << ",\"args\":{\"scale\":" << e.c
+                 << ",\"error\":" << e.a << "}}";
+        return;
+      case EventKind::StopGoTrip:
+        w.next() << "{\"name\":\"stop-go trip\",\"cat\":\"throttle\","
+                 << "\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid
+                 << ",\"tid\":" << eventTid(e) << ",\"ts\":" << ts
+                 << ",\"args\":{\"temp_c\":" << e.a
+                 << ",\"stall_until_ms\":" << e.b * 1e3 << "}}";
+        return;
+      case EventKind::StallCleared:
+        w.next() << "{\"name\":\"stall cleared\",\"cat\":\"throttle\","
+                 << "\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid
+                 << ",\"tid\":" << eventTid(e) << ",\"ts\":" << ts
+                 << ",\"args\":{\"old_until_ms\":" << e.a * 1e3
+                 << "}}";
+        return;
+      case EventKind::PllRelock:
+        w.next() << "{\"name\":\"pll relock\",\"cat\":\"throttle\","
+                 << "\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid
+                 << ",\"tid\":" << eventTid(e) << ",\"ts\":" << ts
+                 << ",\"args\":{\"from\":" << e.a << ",\"to\":" << e.b
+                 << "}}";
+        return;
+      case EventKind::MigrationDecision: {
+        auto &out = w.next();
+        out << "{\"name\":\"migration decision\",\"cat\":\"migration\","
+            << "\"ph\":\"i\",\"s\":\"p\",\"pid\":" << pid
+            << ",\"tid\":0,\"ts\":" << ts << ",\"args\":{";
+        writeIntArray(out, "before", e.before, e.n);
+        out << ",";
+        writeIntArray(out, "after", e.after, e.n);
+        out << ",\"critical_temp_c\":[";
+        for (std::size_t i = 0; i < e.n; ++i)
+            out << (i ? "," : "") << e.temp[i];
+        out << "],\"critical_unit\":[";
+        for (std::size_t i = 0; i < e.n; ++i)
+            out << (i ? "," : "")
+                << (e.unit[i] ? "\"FpRF\"" : "\"IntRF\"");
+        out << "],\"exploratory\":" << (e.a != 0.0 ? "true" : "false")
+            << "}}";
+        return;
+      }
+      case EventKind::MigrationApplied: {
+        auto &out = w.next();
+        out << "{\"name\":\"migration\",\"cat\":\"migration\","
+            << "\"ph\":\"i\",\"s\":\"p\",\"pid\":" << pid
+            << ",\"tid\":0,\"ts\":" << ts << ",\"args\":{";
+        writeIntArray(out, "before", e.before, e.n);
+        out << ",";
+        writeIntArray(out, "after", e.after, e.n);
+        out << ",\"switched\":" << static_cast<int>(e.a) << "}}";
+        return;
+      }
+      case EventKind::TimeSliceRotation: {
+        auto &out = w.next();
+        out << "{\"name\":\"time slice\",\"cat\":\"os\","
+            << "\"ph\":\"i\",\"s\":\"p\",\"pid\":" << pid
+            << ",\"tid\":0,\"ts\":" << ts << ",\"args\":{";
+        writeIntArray(out, "before", e.before, e.n);
+        out << ",";
+        writeIntArray(out, "after", e.after, e.n);
+        out << "}}";
+        return;
+      }
+      case EventKind::Emergency:
+        w.next() << "{\"name\":\"thermal emergency\",\"cat\":\"thermal\","
+                 << "\"ph\":\"i\",\"s\":\"p\",\"pid\":" << pid
+                 << ",\"tid\":0,\"ts\":" << ts
+                 << ",\"args\":{\"temp_c\":" << e.a
+                 << ",\"threshold_c\":" << e.b << "}}";
+        return;
+    }
+}
+
+void
+writeTracerTracks(ElementWriter &w, int pid, const Tracer &tracer,
+                  const std::string &label)
+{
+    writeMetadata(w, pid, 0, "process_name", label);
+    std::set<int> tids;
+    tracer.events().forEach(
+        [&](const TraceEvent &e) { tids.insert(eventTid(e)); });
+    writeMetadata(w, pid, 0, "thread_name", "events");
+    for (int tid : tids)
+        if (tid > 0)
+            writeMetadata(w, pid, tid, "thread_name",
+                          "core " + std::to_string(tid - 1));
+    tracer.events().forEach(
+        [&](const TraceEvent &e) { writeEvent(w, pid, e); });
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &out, const TraceSession &session)
+{
+    const auto precision = out.precision(12);
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    ElementWriter w{out};
+
+    // pid 0: the sweep itself, one span per job on its worker's track.
+    writeMetadata(w, 0, 0, "process_name", "sweep");
+    for (std::size_t i = 0; i < session.numWorkers(); ++i)
+        writeMetadata(w, 0, static_cast<int>(i), "thread_name",
+                      "worker " + std::to_string(i));
+    const auto &jobs = session.jobs();
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        const auto &job = jobs[j];
+        const double dur = std::max(job.endUs - job.beginUs, 1.0);
+        w.next() << "{\"name\":\"" << jsonEscape(job.label)
+                 << "\",\"cat\":\"job\",\"ph\":\"X\",\"pid\":0,"
+                 << "\"tid\":" << job.worker << ",\"ts\":"
+                 << job.beginUs << ",\"dur\":" << dur
+                 << ",\"args\":{\"job\":" << j << "}}";
+    }
+
+    // pid j+1: each job's control-loop events.
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+        writeTracerTracks(w, static_cast<int>(j) + 1, *jobs[j].tracer,
+                          jobs[j].label);
+
+    out << "]}";
+    out.precision(precision);
+
+    if (const std::uint64_t dropped = session.totalDropped())
+        warn("chrome trace: ", dropped,
+             " events were dropped by full tracer rings; raise the "
+             "TraceSession tracer capacity for complete traces");
+}
+
+bool
+writeChromeTrace(const std::string &path, const TraceSession &session)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot open chrome trace file ", path);
+        return false;
+    }
+    writeChromeTrace(out, session);
+    out.close();
+    if (!out) {
+        warn("error writing chrome trace file ", path);
+        return false;
+    }
+    inform("chrome trace written to ", path,
+           " (load it in chrome://tracing or ui.perfetto.dev)");
+    return true;
+}
+
+void
+writeChromeTrace(std::ostream &out, const Tracer &tracer,
+                 const std::string &label)
+{
+    const auto precision = out.precision(12);
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    ElementWriter w{out};
+    writeTracerTracks(w, 1, tracer, label);
+    out << "]}";
+    out.precision(precision);
+    if (tracer.dropped() > 0)
+        warn("chrome trace: ", tracer.dropped(),
+             " events were dropped by a full tracer ring");
+}
+
+CsvExporter::CsvExporter(const std::string &path, CsvOptions options)
+    : file_(path), options_(std::move(options))
+{
+    if (!file_)
+        warn("cannot open csv file ", path);
+    else
+        out_ = &file_;
+}
+
+CsvExporter::CsvExporter(std::ostream &out, CsvOptions options)
+    : out_(&out), options_(std::move(options))
+{
+}
+
+std::vector<int>
+CsvExporter::selectedCores(const StepSample &sample) const
+{
+    if (!options_.cores.empty())
+        return options_.cores;
+    std::vector<int> all(sample.intRfTemp.size());
+    for (std::size_t c = 0; c < all.size(); ++c)
+        all[c] = static_cast<int>(c);
+    return all;
+}
+
+void
+CsvExporter::writeHeader(const StepSample &sample)
+{
+    *out_ << "time_ms";
+    for (int c : selectedCores(sample)) {
+        *out_ << ",core" << c << "_intRF_C,core" << c << "_fpRF_C";
+        if (options_.freqScale)
+            *out_ << ",core" << c << "_freq";
+        if (options_.thread)
+            *out_ << ",core" << c << "_thread";
+    }
+    if (options_.maxBlockTemp)
+        *out_ << ",max_block_C";
+    *out_ << "\n";
+}
+
+void
+CsvExporter::write(const StepSample &sample)
+{
+    if (!out_ || sample.time > options_.maxTime)
+        return;
+    if (!headerWritten_) {
+        writeHeader(sample);
+        headerWritten_ = true;
+    }
+    *out_ << sample.time * 1e3;
+    for (int c : selectedCores(sample)) {
+        const auto ci = static_cast<std::size_t>(c);
+        *out_ << "," << sample.intRfTemp.at(ci) << ","
+              << sample.fpRfTemp.at(ci);
+        if (options_.freqScale)
+            *out_ << "," << sample.freqScale.at(ci);
+        if (options_.thread) {
+            const int id = sample.assignment.at(ci);
+            if (id >= 0 && static_cast<std::size_t>(id) <
+                    options_.threadNames.size())
+                *out_ << ","
+                      << options_.threadNames[static_cast<std::size_t>(
+                             id)];
+            else
+                *out_ << "," << id;
+        }
+    }
+    if (options_.maxBlockTemp)
+        *out_ << "," << sample.maxBlockTemp;
+    *out_ << "\n";
+    ++rows_;
+    if (!sample.blockTemp.empty())
+        lastBlockTemps_ = sample.blockTemp;
+}
+
+} // namespace coolcmp::obs

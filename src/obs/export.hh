@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Exporters for the observability subsystem.
+ *
+ * - Chrome trace-event JSON: a TraceSession (or single Tracer)
+ *   becomes a file that loads directly in chrome://tracing or
+ *   https://ui.perfetto.dev. Each sweep job maps to one trace
+ *   process with a track per core (PI output as counter tracks,
+ *   trips/relocks/migrations as instant events); the sweep itself
+ *   contributes one span per job on its worker's track.
+ *
+ * - CsvExporter: the single implementation of StepSample-to-CSV
+ *   time-series writing shared by the benches and examples.
+ *
+ * The plain-text registry dump lives on Registry::dumpText.
+ */
+
+#ifndef COOLCMP_OBS_EXPORT_HH
+#define COOLCMP_OBS_EXPORT_HH
+
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/step_sample.hh"
+#include "obs/tracer.hh"
+
+namespace coolcmp::obs {
+
+/**
+ * Write a whole sweep as Chrome trace-event JSON. Simulated time maps
+ * to trace microseconds; job spans use wall-clock microseconds since
+ * the session started. Logs a warning if any job tracer dropped
+ * events (ring wrapped).
+ */
+void writeChromeTrace(std::ostream &out, const TraceSession &session);
+
+/** Same, to a file; returns false (with a warning) on I/O failure. */
+bool writeChromeTrace(const std::string &path,
+                      const TraceSession &session);
+
+/** Write a single run's tracer as its own one-process trace. */
+void writeChromeTrace(std::ostream &out, const Tracer &tracer,
+                      const std::string &label);
+
+/** Column selection for CsvExporter. */
+struct CsvOptions
+{
+    /** Cores to emit (empty = every core in the sample). */
+    std::vector<int> cores;
+    bool freqScale = true;
+    bool maxBlockTemp = false;
+    /** Emit a thread column per core; ids resolve through
+     *  threadNames when provided. */
+    bool thread = false;
+    std::vector<std::string> threadNames;
+    /** Drop samples past this simulated time. */
+    double maxTime = std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Streams StepSamples to CSV: "time_ms" plus, per selected core c,
+ * "core<c>_intRF_C,core<c>_fpRF_C[,core<c>_freq][,core<c>_thread]",
+ * plus "max_block_C" when enabled. The header is emitted on the first
+ * sample (when the core count is known). Feed it from the simulator's
+ * sample hook:
+ *
+ *     obs::CsvExporter csv("series.csv", opts);
+ *     sim->setSampleHook([&](const StepSample &s) { csv.write(s); });
+ */
+class CsvExporter
+{
+  public:
+    CsvExporter(const std::string &path, CsvOptions options = {});
+    CsvExporter(std::ostream &out, CsvOptions options = {});
+
+    void write(const StepSample &sample);
+
+    std::size_t rowsWritten() const { return rows_; }
+    bool ok() const { return out_ != nullptr && out_->good(); }
+
+    /** Block temperatures of the newest sample that carried them
+     *  (for end-of-run heat maps). */
+    const std::vector<double> &lastBlockTemps() const
+    {
+        return lastBlockTemps_;
+    }
+
+  private:
+    std::ofstream file_;
+    std::ostream *out_ = nullptr;
+    CsvOptions options_;
+    bool headerWritten_ = false;
+    std::size_t rows_ = 0;
+    std::vector<double> lastBlockTemps_;
+
+    void writeHeader(const StepSample &sample);
+    std::vector<int> selectedCores(const StepSample &sample) const;
+};
+
+} // namespace coolcmp::obs
+
+#endif // COOLCMP_OBS_EXPORT_HH

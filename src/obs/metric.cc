@@ -1,0 +1,122 @@
+#include "obs/metric.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace coolcmp::obs {
+
+namespace detail {
+
+std::size_t
+shardIndex()
+{
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t index =
+        next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+    return index;
+}
+
+} // namespace detail
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges)), shards_(kMetricShards)
+{
+    if (edges_.size() < 2)
+        fatal("histogram needs at least two bucket edges");
+    if (!std::is_sorted(edges_.begin(), edges_.end()))
+        fatal("histogram edges must be ascending");
+    for (auto &shard : shards_) {
+        shard.buckets =
+            std::vector<std::atomic<std::uint64_t>>(edges_.size() + 1);
+        for (auto &b : shard.buckets)
+            b.store(0, std::memory_order_relaxed);
+    }
+}
+
+std::size_t
+Histogram::bucketOf(double v) const
+{
+    // Index 0 = underflow, 1..k = interior [e_{i-1}, e_i), k+1 =
+    // overflow; upper_bound lands v == e_i in the bucket opening at
+    // e_i, and v == e_k in overflow, matching the half-open contract.
+    const auto it = std::upper_bound(edges_.begin(), edges_.end(), v);
+    return static_cast<std::size_t>(it - edges_.begin());
+}
+
+void
+Histogram::observe(double v)
+{
+    Shard &shard = shards_[detail::shardIndex()];
+    shard.buckets[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    detail::atomicAdd(shard.sum, v);
+}
+
+std::vector<double>
+Histogram::linearEdges(double lo, double hi, std::size_t n)
+{
+    if (n == 0 || hi <= lo)
+        fatal("linearEdges needs hi > lo and n > 0");
+    std::vector<double> edges(n + 1);
+    for (std::size_t i = 0; i <= n; ++i)
+        edges[i] = lo + (hi - lo) * static_cast<double>(i) /
+            static_cast<double>(n);
+    return edges;
+}
+
+std::vector<double>
+Histogram::exponentialEdges(double lo, double factor, std::size_t n)
+{
+    if (n == 0 || lo <= 0.0 || factor <= 1.0)
+        fatal("exponentialEdges needs lo > 0, factor > 1, n > 0");
+    std::vector<double> edges(n + 1);
+    double e = lo;
+    for (std::size_t i = 0; i <= n; ++i, e *= factor)
+        edges[i] = e;
+    return edges;
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    Snapshot snap;
+    snap.edges = edges_;
+    snap.buckets.assign(edges_.size() + 1, 0);
+    for (const auto &shard : shards_) {
+        for (std::size_t b = 0; b < shard.buckets.size(); ++b)
+            snap.buckets[b] +=
+                shard.buckets[b].load(std::memory_order_relaxed);
+        snap.sum += shard.sum.load(std::memory_order_relaxed);
+    }
+    for (std::uint64_t c : snap.buckets)
+        snap.count += c;
+    return snap;
+}
+
+double
+Histogram::Snapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(count);
+    double cum = 0.0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        const double c = static_cast<double>(buckets[b]);
+        if (c > 0.0 && cum + c >= target) {
+            if (b == 0)
+                return edges.front(); // underflow clamps
+            if (b == buckets.size() - 1)
+                return edges.back(); // overflow clamps
+            const double lo = edges[b - 1];
+            const double hi = edges[b];
+            const double frac = std::clamp(
+                (target - cum) / c, 0.0, 1.0);
+            return lo + frac * (hi - lo);
+        }
+        cum += c;
+    }
+    return edges.back();
+}
+
+} // namespace coolcmp::obs

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Metric primitives for the observability subsystem: counters, gauges,
+ * and fixed-bucket histograms with quantile readout.
+ *
+ * The hot path is lock-free: counters and histograms stripe their
+ * updates over per-thread shards (cache-line aligned, selected once
+ * per thread) and only a scrape walks all shards to aggregate. Call
+ * sites hold plain pointers that are null when no registry is
+ * attached, so an unobserved run pays a single predictable branch.
+ */
+
+#ifndef COOLCMP_OBS_METRIC_HH
+#define COOLCMP_OBS_METRIC_HH
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace coolcmp::obs {
+
+/** Number of update shards per metric (power of two). */
+inline constexpr std::size_t kMetricShards = 16;
+
+namespace detail {
+
+/** Stable per-thread shard slot, assigned round-robin on first use. */
+std::size_t shardIndex();
+
+/** fetch_add for doubles via CAS (portable pre-P0020 fallback). */
+inline void
+atomicAdd(std::atomic<double> &target, double delta)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed))
+        ;
+}
+
+struct alignas(64) CounterShard
+{
+    std::atomic<std::uint64_t> value{0};
+};
+
+} // namespace detail
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1)
+    {
+        shards_[detail::shardIndex()].value.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &shard : shards_)
+            sum += shard.value.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+  private:
+    std::array<detail::CounterShard, kMetricShards> shards_;
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    void add(double d) { detail::atomicAdd(value_, d); }
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram over explicit edges {e0 < e1 < ... < ek}:
+ * k interior buckets [e_i, e_{i+1}), one underflow bucket (< e0) and
+ * one overflow bucket (>= ek). Quantiles interpolate linearly inside
+ * the bucket the rank lands in; under/overflow clamp to the edge.
+ */
+class Histogram
+{
+  public:
+    /** @param edges ascending bucket edges; at least two required. */
+    explicit Histogram(std::vector<double> edges);
+
+    void observe(double v);
+
+    /** n+1 edges spanning [lo, hi] in n equal-width buckets. */
+    static std::vector<double> linearEdges(double lo, double hi,
+                                           std::size_t n);
+
+    /** n+1 edges from lo growing geometrically by factor. */
+    static std::vector<double> exponentialEdges(double lo, double factor,
+                                                std::size_t n);
+
+    /** Aggregated view of the histogram at one instant. */
+    struct Snapshot
+    {
+        std::vector<double> edges;
+        /** edges.size()+1 counts: [underflow, buckets..., overflow]. */
+        std::vector<std::uint64_t> buckets;
+        std::uint64_t count = 0;
+        double sum = 0.0;
+
+        double mean() const
+        {
+            return count > 0 ? sum / static_cast<double>(count) : 0.0;
+        }
+
+        /** Interpolated quantile, q in [0, 1]; 0 when empty. */
+        double quantile(double q) const;
+    };
+
+    Snapshot snapshot() const;
+
+    /** Convenience: snapshot().quantile(q). */
+    double quantile(double q) const { return snapshot().quantile(q); }
+
+    const std::vector<double> &edges() const { return edges_; }
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::vector<std::atomic<std::uint64_t>> buckets;
+        std::atomic<double> sum{0.0};
+    };
+
+    std::vector<double> edges_;
+    std::vector<Shard> shards_;
+
+    std::size_t bucketOf(double v) const;
+};
+
+} // namespace coolcmp::obs
+
+#endif // COOLCMP_OBS_METRIC_HH

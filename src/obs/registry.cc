@@ -1,0 +1,84 @@
+#include "obs/registry.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace coolcmp::obs {
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, std::vector<double> edges)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot) {
+        slot = std::make_unique<Histogram>(std::move(edges));
+    } else if (slot->edges() != edges) {
+        warn("histogram '", name,
+             "' re-registered with different edges; keeping the "
+             "original buckets");
+    }
+    return *slot;
+}
+
+std::vector<Registry::Entry>
+Registry::scrape() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Entry> out;
+    out.reserve(counters_.size() + gauges_.size() +
+                histograms_.size());
+    for (const auto &[name, c] : counters_)
+        out.push_back({name, "counter", std::to_string(c->value())});
+    for (const auto &[name, g] : gauges_) {
+        std::ostringstream os;
+        os << g->value();
+        out.push_back({name, "gauge", os.str()});
+    }
+    for (const auto &[name, h] : histograms_) {
+        const Histogram::Snapshot snap = h->snapshot();
+        std::ostringstream os;
+        os << "count=" << snap.count << " mean=" << snap.mean()
+           << " p50=" << snap.quantile(0.50)
+           << " p95=" << snap.quantile(0.95)
+           << " p99=" << snap.quantile(0.99);
+        out.push_back({name, "histogram", os.str()});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+void
+Registry::dumpText(std::ostream &out) const
+{
+    for (const Entry &entry : scrape())
+        out << entry.kind << " " << entry.name << " " << entry.value
+            << "\n";
+}
+
+} // namespace coolcmp::obs

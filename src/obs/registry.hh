@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Named metrics registry: the process-wide (or experiment-wide) home
+ * of counters, gauges, and histograms. Lookup is mutex-guarded and
+ * meant to happen once per call site (cache the returned reference);
+ * the returned metric objects themselves are lock-free to update and
+ * stable for the registry's lifetime.
+ */
+
+#ifndef COOLCMP_OBS_REGISTRY_HH
+#define COOLCMP_OBS_REGISTRY_HH
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metric.hh"
+
+namespace coolcmp::obs {
+
+/** Thread-safe registry of named metrics. */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** Find-or-create; the reference stays valid for the registry's
+     *  lifetime. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * Find-or-create a histogram. The edges are fixed by the first
+     * caller; later callers with different edges get the existing
+     * histogram (with a warning) so scrapes stay coherent.
+     */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> edges);
+
+    /** One scraped line per metric, sorted by name. */
+    struct Entry
+    {
+        std::string name;
+        std::string kind;  ///< "counter" | "gauge" | "histogram"
+        std::string value; ///< rendered value/summary
+    };
+
+    /** Aggregate every metric into a sorted, printable snapshot. */
+    std::vector<Entry> scrape() const;
+
+    /**
+     * Plain-text dump (one metric per line), the format appended to
+     * run output by the benches and examples.
+     */
+    void dumpText(std::ostream &out) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace coolcmp::obs
+
+#endif // COOLCMP_OBS_REGISTRY_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bounded ring buffer used by the event tracer: a fixed-capacity
+ * window over the most recent pushes. When full, each new element
+ * overwrites the oldest and the drop counter advances, so a consumer
+ * can always tell how much history it lost.
+ *
+ * Not thread-safe by design: one ring belongs to one simulator (see
+ * obs::Tracer), which runs on a single worker thread.
+ */
+
+#ifndef COOLCMP_OBS_RING_BUFFER_HH
+#define COOLCMP_OBS_RING_BUFFER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace coolcmp::obs {
+
+/** Fixed-capacity overwrite-oldest ring. */
+template <typename T>
+class RingBuffer
+{
+  public:
+    explicit RingBuffer(std::size_t capacity)
+        : data_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    std::size_t capacity() const { return data_.size(); }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Elements overwritten because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Total pushes ever (size() + dropped()). */
+    std::uint64_t pushed() const { return dropped_ + size_; }
+
+    /** Append; overwrites the oldest element when full. */
+    void push(const T &value)
+    {
+        data_[head_] = value;
+        head_ = (head_ + 1) % data_.size();
+        if (size_ < data_.size())
+            ++size_;
+        else
+            ++dropped_;
+    }
+
+    /** i-th retained element, 0 = oldest surviving. */
+    const T &at(std::size_t i) const
+    {
+        const std::size_t oldest =
+            (head_ + data_.size() - size_) % data_.size();
+        return data_[(oldest + i) % data_.size()];
+    }
+
+    /** Visit retained elements oldest to newest. */
+    template <typename Fn>
+    void forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < size_; ++i)
+            fn(at(i));
+    }
+
+    void clear()
+    {
+        head_ = 0;
+        size_ = 0;
+        dropped_ = 0;
+    }
+
+  private:
+    std::vector<T> data_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace coolcmp::obs
+
+#endif // COOLCMP_OBS_RING_BUFFER_HH

@@ -1,0 +1,223 @@
+#include "obs/tracer.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace coolcmp::obs {
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::PiUpdate:
+        return "pi_update";
+      case EventKind::StopGoTrip:
+        return "stopgo_trip";
+      case EventKind::StallCleared:
+        return "stall_cleared";
+      case EventKind::PllRelock:
+        return "pll_relock";
+      case EventKind::MigrationDecision:
+        return "migration_decision";
+      case EventKind::MigrationApplied:
+        return "migration";
+      case EventKind::TimeSliceRotation:
+        return "time_slice";
+      case EventKind::Emergency:
+        return "thermal_emergency";
+    }
+    return "unknown";
+}
+
+namespace {
+
+void
+fillCores(TraceEvent &e, const std::vector<int> &before,
+          const std::vector<int> &after)
+{
+    e.n = static_cast<std::uint8_t>(
+        std::min(before.size(), kMaxTraceCores));
+    for (std::size_t i = 0; i < e.n; ++i) {
+        e.before[i] = static_cast<std::int8_t>(before[i]);
+        e.after[i] = i < after.size()
+            ? static_cast<std::int8_t>(after[i]) : std::int8_t{-1};
+    }
+}
+
+} // namespace
+
+void
+Tracer::piUpdate(double t, int core, double error, double integral,
+                 double commanded)
+{
+    TraceEvent e;
+    e.time = t;
+    e.kind = EventKind::PiUpdate;
+    e.core = static_cast<std::int8_t>(core);
+    e.a = error;
+    e.b = integral;
+    e.c = commanded;
+    record(e);
+}
+
+void
+Tracer::stopGoTrip(double t, int core, double temp, double stallUntil)
+{
+    TraceEvent e;
+    e.time = t;
+    e.kind = EventKind::StopGoTrip;
+    e.core = static_cast<std::int8_t>(core);
+    e.a = temp;
+    e.b = stallUntil;
+    record(e);
+}
+
+void
+Tracer::stallCleared(double t, int core, double oldUntil)
+{
+    TraceEvent e;
+    e.time = t;
+    e.kind = EventKind::StallCleared;
+    e.core = static_cast<std::int8_t>(core);
+    e.a = oldUntil;
+    record(e);
+}
+
+void
+Tracer::pllRelock(double t, int core, double fromScale, double toScale,
+                  double penaltyUntil)
+{
+    TraceEvent e;
+    e.time = t;
+    e.kind = EventKind::PllRelock;
+    e.core = static_cast<std::int8_t>(core);
+    e.a = fromScale;
+    e.b = toScale;
+    e.c = penaltyUntil;
+    record(e);
+}
+
+void
+Tracer::migrationDecision(double t, const std::vector<int> &before,
+                          const std::vector<int> &after,
+                          const std::vector<double> &criticalTemp,
+                          const std::vector<int> &criticalUnit,
+                          bool exploratory)
+{
+    TraceEvent e;
+    e.time = t;
+    e.kind = EventKind::MigrationDecision;
+    e.a = exploratory ? 1.0 : 0.0;
+    fillCores(e, before, after);
+    for (std::size_t i = 0; i < e.n; ++i) {
+        if (i < criticalTemp.size())
+            e.temp[i] = static_cast<float>(criticalTemp[i]);
+        if (i < criticalUnit.size())
+            e.unit[i] = static_cast<std::uint8_t>(criticalUnit[i]);
+    }
+    record(e);
+}
+
+void
+Tracer::migrationApplied(double t, const std::vector<int> &before,
+                         const std::vector<int> &after, int switched)
+{
+    TraceEvent e;
+    e.time = t;
+    e.kind = EventKind::MigrationApplied;
+    e.a = static_cast<double>(switched);
+    fillCores(e, before, after);
+    record(e);
+}
+
+void
+Tracer::timeSliceRotation(double t, const std::vector<int> &before,
+                          const std::vector<int> &after)
+{
+    TraceEvent e;
+    e.time = t;
+    e.kind = EventKind::TimeSliceRotation;
+    fillCores(e, before, after);
+    record(e);
+}
+
+void
+Tracer::emergency(double t, double temp, double threshold)
+{
+    TraceEvent e;
+    e.time = t;
+    e.kind = EventKind::Emergency;
+    e.a = temp;
+    e.b = threshold;
+    record(e);
+}
+
+TraceSession::TraceSession(std::size_t tracerCapacity)
+    : start_(std::chrono::steady_clock::now()),
+      tracerCapacity_(tracerCapacity)
+{
+}
+
+double
+TraceSession::nowUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+std::size_t
+TraceSession::beginJob(const std::string &label)
+{
+    const double now = nowUs();
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] =
+        workers_.try_emplace(std::this_thread::get_id(),
+                             workers_.size());
+    JobRecord record;
+    record.label = label;
+    record.tracer = std::make_unique<Tracer>(tracerCapacity_);
+    record.beginUs = now;
+    record.worker = it->second;
+    jobs_.push_back(std::move(record));
+    return jobs_.size() - 1;
+}
+
+Tracer *
+TraceSession::jobTracer(std::size_t job)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job >= jobs_.size())
+        panic("jobTracer: no such job span");
+    return jobs_[job].tracer.get();
+}
+
+void
+TraceSession::endJob(std::size_t job)
+{
+    const double now = nowUs();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job >= jobs_.size())
+        panic("endJob: no such job span");
+    jobs_[job].endUs = now;
+}
+
+std::size_t
+TraceSession::numWorkers() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return workers_.size();
+}
+
+std::uint64_t
+TraceSession::totalDropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const JobRecord &job : jobs_)
+        total += job.tracer->dropped();
+    return total;
+}
+
+} // namespace coolcmp::obs

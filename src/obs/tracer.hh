@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Structured control-loop event tracing.
+ *
+ * A Tracer is a bounded per-simulator ring of typed events emitted by
+ * the DTM control loops: PI regulator updates, stop-go trips, PLL
+ * relocks, migration decisions (with the Figure-4/6 matching inputs
+ * and outputs), kernel actuations, and thermal-emergency crossings.
+ * Events are fixed-size PODs so recording is one struct copy; a
+ * tracer belongs to exactly one simulator and is not thread-safe.
+ *
+ * A TraceSession aggregates a parallel sweep: it hands out one tracer
+ * per Experiment::runMany job, records per-job wall-clock spans and
+ * the worker thread that ran each job, and owns the sweep-wide
+ * metrics Registry. Exporters (obs/export.hh) turn a session into a
+ * Chrome trace-event file that loads in chrome://tracing / Perfetto.
+ */
+
+#ifndef COOLCMP_OBS_TRACER_HH
+#define COOLCMP_OBS_TRACER_HH
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hh"
+#include "obs/ring_buffer.hh"
+
+namespace coolcmp::obs {
+
+/** Cores representable in one fixed-size event record. */
+inline constexpr std::size_t kMaxTraceCores = 8;
+
+/** What happened. */
+enum class EventKind : std::uint8_t {
+    PiUpdate,          ///< DVFS PI sample: error/integral/commanded
+    StopGoTrip,        ///< thermal trap fired; stall scheduled
+    StallCleared,      ///< migration lifted a stop-go stall early
+    PllRelock,         ///< DVFS transition actually actuated
+    MigrationDecision, ///< matching-algorithm proposal (policy layer)
+    MigrationApplied,  ///< kernel actuated a migration round
+    TimeSliceRotation, ///< oversubscription round-robin swap
+    Emergency,         ///< hottest block crossed the threshold upward
+};
+
+const char *eventKindName(EventKind kind);
+
+/**
+ * One fixed-size trace record. The scalar payload (a, b, c) and the
+ * per-core arrays are kind-specific:
+ *
+ *   PiUpdate           core; a=error, b=integral state, c=commanded
+ *   StopGoTrip         core; a=trip temperature, b=stall-until time
+ *   StallCleared       core; a=previous stall-until time
+ *   PllRelock          core; a=from scale, b=to scale, c=penalty until
+ *   MigrationDecision  n cores; before/after=assignments,
+ *                      temp=critical temps, unit=critical unit per
+ *                      core (0=IntRF, 1=FpRF); a=1 for an exploratory
+ *                      (profiling) round
+ *   MigrationApplied   n cores; before/after=assignments, a=switched
+ *   TimeSliceRotation  n cores; before/after=assignments
+ *   Emergency          a=hottest block temp, b=threshold
+ *
+ * `core` is -1 for chip-scope events (including the single global
+ * throttle domain).
+ */
+struct TraceEvent
+{
+    double time = 0.0; ///< simulated seconds
+    double a = 0.0;
+    double b = 0.0;
+    double c = 0.0;
+    EventKind kind = EventKind::PiUpdate;
+    std::int8_t core = -1;
+    std::uint8_t n = 0; ///< valid entries in the per-core arrays
+    std::array<std::int8_t, kMaxTraceCores> before{};
+    std::array<std::int8_t, kMaxTraceCores> after{};
+    std::array<float, kMaxTraceCores> temp{};
+    std::array<std::uint8_t, kMaxTraceCores> unit{};
+};
+
+/** Bounded event recorder for one simulator. Not thread-safe. */
+class Tracer
+{
+  public:
+    explicit Tracer(std::size_t capacity = 1 << 16)
+        : events_(capacity)
+    {
+    }
+
+    void record(const TraceEvent &event) { events_.push(event); }
+
+    // --- Typed emit helpers (call sites null-check the tracer). ---
+    void piUpdate(double t, int core, double error, double integral,
+                  double commanded);
+    void stopGoTrip(double t, int core, double temp, double stallUntil);
+    void stallCleared(double t, int core, double oldUntil);
+    void pllRelock(double t, int core, double fromScale, double toScale,
+                   double penaltyUntil);
+    void migrationDecision(double t, const std::vector<int> &before,
+                           const std::vector<int> &after,
+                           const std::vector<double> &criticalTemp,
+                           const std::vector<int> &criticalUnit,
+                           bool exploratory);
+    void migrationApplied(double t, const std::vector<int> &before,
+                          const std::vector<int> &after, int switched);
+    void timeSliceRotation(double t, const std::vector<int> &before,
+                           const std::vector<int> &after);
+    void emergency(double t, double temp, double threshold);
+
+    const RingBuffer<TraceEvent> &events() const { return events_; }
+    std::uint64_t dropped() const { return events_.dropped(); }
+    void clear() { events_.clear(); }
+
+  private:
+    RingBuffer<TraceEvent> events_;
+};
+
+/**
+ * Shared observability context for one parallel sweep: per-job
+ * tracers and wall-clock spans, plus the sweep-wide registry.
+ * Thread-safe; beginJob/endJob are called from worker threads.
+ */
+class TraceSession
+{
+  public:
+    /** @param tracerCapacity ring capacity of each job's tracer. */
+    explicit TraceSession(std::size_t tracerCapacity = 1 << 16);
+
+    Registry &registry() { return registry_; }
+    const Registry &registry() const { return registry_; }
+
+    /** Open a job span; returns the job's session-wide index. */
+    std::size_t beginJob(const std::string &label);
+
+    /** Tracer of an open or finished job. */
+    Tracer *jobTracer(std::size_t job);
+
+    /** Close a job span. */
+    void endJob(std::size_t job);
+
+    /** One sweep job: its label, events, span, and worker. */
+    struct JobRecord
+    {
+        std::string label;
+        std::unique_ptr<Tracer> tracer;
+        double beginUs = 0.0; ///< wall time since session start
+        double endUs = 0.0;
+        std::size_t worker = 0; ///< dense worker-thread index
+    };
+
+    /** Jobs in beginJob order. Unsynchronized view: read it only
+     *  after the sweep has joined (exporters run post-sweep). */
+    const std::deque<JobRecord> &jobs() const { return jobs_; }
+
+    /** Distinct worker threads seen so far. */
+    std::size_t numWorkers() const;
+
+    /** Total events dropped across all job tracers. */
+    std::uint64_t totalDropped() const;
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+    std::size_t tracerCapacity_;
+    Registry registry_;
+    mutable std::mutex mutex_;
+    std::deque<JobRecord> jobs_;
+    std::map<std::thread::id, std::size_t> workers_;
+
+    double nowUs() const;
+};
+
+} // namespace coolcmp::obs
+
+#endif // COOLCMP_OBS_TRACER_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/tracer.hh"
 #include "util/logging.hh"
 
 namespace coolcmp {
@@ -76,6 +77,7 @@ OsKernel::advanceTo(double now)
     if (!waiting_.empty() &&
         now - lastRotation_ >= params_.timeSliceQuantum) {
         lastRotation_ = now;
+        const std::vector<int> before = assignment_;
         // Swap in exactly the threads that were waiting at the start
         // of the pass; threads parked by this pass wait their turn.
         const auto swaps = std::min<std::size_t>(
@@ -90,6 +92,8 @@ OsKernel::advanceTo(double now)
             assignment_[static_cast<std::size_t>(core)] = next;
             freeze(core, now);
         }
+        if (params_.tracer)
+            params_.tracer->timeSliceRotation(now, before, assignment_);
     }
 }
 
@@ -121,6 +125,7 @@ OsKernel::migrate(const std::vector<int> &newAssignment, double now)
     if (current != proposed)
         panic("migration must permute the running processes");
 
+    const std::vector<int> before = assignment_;
     int switched = 0;
     for (int core = 0; core < numCores_; ++core) {
         const auto idx = static_cast<std::size_t>(core);
@@ -133,6 +138,9 @@ OsKernel::migrate(const std::vector<int> &newAssignment, double now)
     if (switched > 0) {
         lastMigration_ = now;
         migrationCount_ += static_cast<std::uint64_t>(switched);
+        if (params_.tracer)
+            params_.tracer->migrationApplied(now, before, assignment_,
+                                             switched);
     }
     return switched;
 }

@@ -21,6 +21,10 @@
 #include "os/process.hh"
 #include "util/units.hh"
 
+namespace coolcmp::obs {
+class Tracer;
+} // namespace coolcmp::obs
+
 namespace coolcmp {
 
 /** Kernel timing parameters. */
@@ -31,6 +35,11 @@ struct KernelParams
     double migrationPenalty = microseconds(100);  ///< per involved core
     double timeSliceQuantum = milliseconds(10);   ///< when over-
                                                   ///< subscribed
+
+    /** Optional event tracer (borrowed; the simulator forwards its
+     *  DtmConfig tracer here). Migration actuations and time-slice
+     *  rotations are recorded through it. */
+    obs::Tracer *tracer = nullptr;
 };
 
 /** Scheduler and migration mechanics for one chip. */

@@ -1,25 +1,91 @@
 #include "util/logging.hh"
 
+#include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <mutex>
 
 namespace coolcmp {
 
 namespace {
 
-LogLevel globalLevel = LogLevel::Warn;
+/** True when COOLCMP_LOG carried an explicit (recognized) level. */
+bool levelWasSetByEnv = false;
+
+/** Parse COOLCMP_LOG (silent/warn/inform/debug or 0-3). */
+LogLevel
+levelFromEnv(bool &recognized)
+{
+    recognized = true;
+    const char *env = std::getenv("COOLCMP_LOG");
+    if (!env || !*env)
+        return LogLevel::Warn;
+    std::string v(env);
+    for (char &c : v)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (v == "silent" || v == "0")
+        return LogLevel::Silent;
+    if (v == "warn" || v == "1")
+        return LogLevel::Warn;
+    if (v == "inform" || v == "info" || v == "2")
+        return LogLevel::Inform;
+    if (v == "debug" || v == "3")
+        return LogLevel::Debug;
+    recognized = false;
+    return LogLevel::Warn;
+}
+
+/** Level storage, initialized from the environment on first use (a
+ *  magic static, so the read is safe whenever logging first runs). */
+std::atomic<LogLevel> &
+levelVar()
+{
+    static std::atomic<LogLevel> level = [] {
+        bool recognized = true;
+        const LogLevel initial = levelFromEnv(recognized);
+        if (!recognized)
+            detail::emit("warn: ",
+                         "unrecognized COOLCMP_LOG value; expected "
+                         "silent, warn, inform, or debug");
+        else {
+            const char *env = std::getenv("COOLCMP_LOG");
+            levelWasSetByEnv = env != nullptr && *env != '\0';
+        }
+        return std::atomic<LogLevel>{initial};
+    }();
+    return level;
+}
+
+/** Serializes sink writes so concurrent runMany workers (and tracer
+ *  diagnostics) never interleave half-lines on stderr. */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
 
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return levelVar().load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    levelVar().store(level, std::memory_order_relaxed);
+}
+
+void
+setDefaultLogLevel(LogLevel level)
+{
+    std::atomic<LogLevel> &var = levelVar(); // runs the env init
+    if (!levelWasSetByEnv)
+        var.store(level, std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -27,6 +93,7 @@ namespace detail {
 void
 emit(const char *prefix, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex());
     std::fputs(prefix, stderr);
     std::fputs(msg.c_str(), stderr);
     std::fputc('\n', stderr);

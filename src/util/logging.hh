@@ -6,6 +6,11 @@
  * violations (a simulator bug), fatal() is for user-caused conditions
  * (bad configuration, impossible parameters), warn()/inform() report
  * conditions that do not stop the run.
+ *
+ * Thread-safe: the level is atomic and the stderr sink is serialized
+ * under a mutex, so messages from concurrent runMany workers never
+ * interleave. The initial level comes from the COOLCMP_LOG environment
+ * variable (silent, warn, inform, debug, or 0-3; default warn).
  */
 
 #ifndef COOLCMP_UTIL_LOGGING_HH
@@ -25,6 +30,13 @@ LogLevel logLevel();
 
 /** Set the global log level (e.g., Silent in unit tests). */
 void setLogLevel(LogLevel level);
+
+/**
+ * Set the level only when COOLCMP_LOG did not specify one. Binaries
+ * use this for their default verbosity so the user's environment
+ * still wins (e.g. COOLCMP_LOG=inform ./bench_table8).
+ */
+void setDefaultLogLevel(LogLevel level);
 
 namespace detail {
 

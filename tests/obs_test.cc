@@ -1,0 +1,794 @@
+/**
+ * @file
+ * Tests for the observability subsystem: metric primitives (histogram
+ * bucket and quantile math, sharded counters), the event ring buffer,
+ * tracer wiring and determinism under a multi-threaded runMany sweep,
+ * the Chrome trace-event exporter (parsed with a minimal JSON reader
+ * and schema-checked), the shared CSV exporter, and the versioned
+ * result-cache header.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "obs/export.hh"
+#include "obs/metric.hh"
+#include "obs/registry.hh"
+#include "obs/ring_buffer.hh"
+#include "obs/tracer.hh"
+#include "test_util.hh"
+
+using namespace coolcmp;
+
+namespace {
+
+// --------------------------------------------------------------------
+// RingBuffer
+
+TEST(RingBufferTest, FillsThenWrapsOverwritingOldest)
+{
+    obs::RingBuffer<int> ring(4);
+    EXPECT_EQ(ring.capacity(), 4u);
+    EXPECT_TRUE(ring.empty());
+
+    for (int i = 0; i < 4; ++i)
+        ring.push(i);
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.dropped(), 0u);
+    EXPECT_EQ(ring.at(0), 0);
+    EXPECT_EQ(ring.at(3), 3);
+
+    // Two more: 0 and 1 fall off the front.
+    ring.push(4);
+    ring.push(5);
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.dropped(), 2u);
+    EXPECT_EQ(ring.pushed(), 6u);
+    EXPECT_EQ(ring.at(0), 2);
+    EXPECT_EQ(ring.at(1), 3);
+    EXPECT_EQ(ring.at(2), 4);
+    EXPECT_EQ(ring.at(3), 5);
+
+    std::vector<int> seen;
+    ring.forEach([&](int v) { seen.push_back(v); });
+    EXPECT_EQ(seen, (std::vector<int>{2, 3, 4, 5}));
+
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(RingBufferTest, CapacityClampsToAtLeastOne)
+{
+    obs::RingBuffer<int> ring(0);
+    EXPECT_EQ(ring.capacity(), 1u);
+    ring.push(7);
+    ring.push(8);
+    EXPECT_EQ(ring.size(), 1u);
+    EXPECT_EQ(ring.at(0), 8);
+    EXPECT_EQ(ring.dropped(), 1u);
+}
+
+// --------------------------------------------------------------------
+// Metrics
+
+TEST(CounterTest, ConcurrentAddsAreExact)
+{
+    obs::Counter counter;
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kAdds = 10000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+        workers.emplace_back([&] {
+            for (std::uint64_t i = 0; i < kAdds; ++i)
+                counter.add();
+        });
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(counter.value(), kThreads * kAdds);
+}
+
+TEST(GaugeTest, SetAndAdd)
+{
+    obs::Gauge gauge;
+    EXPECT_EQ(gauge.value(), 0.0);
+    gauge.set(42.5);
+    EXPECT_EQ(gauge.value(), 42.5);
+    gauge.add(-2.5);
+    EXPECT_EQ(gauge.value(), 40.0);
+}
+
+TEST(HistogramTest, BucketAssignmentHalfOpen)
+{
+    obs::Histogram h({0.0, 10.0, 20.0});
+    h.observe(-1.0);  // underflow
+    h.observe(0.0);   // [0, 10)
+    h.observe(9.999); // [0, 10)
+    h.observe(10.0);  // [10, 20)
+    h.observe(20.0);  // overflow (>= last edge)
+    h.observe(100.0); // overflow
+
+    const auto snap = h.snapshot();
+    ASSERT_EQ(snap.buckets.size(), 4u); // under, 2 interior, over
+    EXPECT_EQ(snap.buckets[0], 1u);
+    EXPECT_EQ(snap.buckets[1], 2u);
+    EXPECT_EQ(snap.buckets[2], 1u);
+    EXPECT_EQ(snap.buckets[3], 2u);
+    EXPECT_EQ(snap.count, 6u);
+}
+
+TEST(HistogramTest, QuantilesInterpolateLinearly)
+{
+    // 40 uniform samples 0..39 over 4 buckets of width 10: quantiles
+    // land exactly on the linear interpolation.
+    obs::Histogram h(obs::Histogram::linearEdges(0.0, 40.0, 4));
+    for (int i = 0; i < 40; ++i)
+        h.observe(static_cast<double>(i));
+
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 40u);
+    EXPECT_DOUBLE_EQ(snap.mean(), 19.5);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.5), 20.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.95), 38.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.25), 10.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(1.0), 40.0);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges)
+{
+    obs::Histogram h({0.0, 10.0});
+    h.observe(-100.0);
+    h.observe(500.0);
+    // All mass in under/overflow: quantiles clamp to the edge values.
+    EXPECT_DOUBLE_EQ(h.quantile(0.01), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 10.0);
+    // Empty histogram reports 0.
+    obs::Histogram empty({0.0, 1.0});
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, EdgeHelpers)
+{
+    const auto lin = obs::Histogram::linearEdges(10.0, 20.0, 5);
+    ASSERT_EQ(lin.size(), 6u);
+    EXPECT_DOUBLE_EQ(lin.front(), 10.0);
+    EXPECT_DOUBLE_EQ(lin.back(), 20.0);
+    EXPECT_DOUBLE_EQ(lin[1], 12.0);
+
+    const auto exp = obs::Histogram::exponentialEdges(1.0, 2.0, 3);
+    ASSERT_EQ(exp.size(), 4u);
+    EXPECT_DOUBLE_EQ(exp[0], 1.0);
+    EXPECT_DOUBLE_EQ(exp[3], 8.0);
+}
+
+TEST(RegistryTest, FindOrCreateReturnsStableReferences)
+{
+    coolcmp::testing::quiet();
+    obs::Registry registry;
+    obs::Counter &a = registry.counter("jobs");
+    obs::Counter &b = registry.counter("jobs");
+    EXPECT_EQ(&a, &b);
+    a.add(3);
+    EXPECT_EQ(b.value(), 3u);
+
+    obs::Histogram &h1 = registry.histogram("temp", {0.0, 1.0});
+    // Conflicting edges: the original buckets win (with a warning).
+    obs::Histogram &h2 = registry.histogram("temp", {5.0, 6.0, 7.0});
+    EXPECT_EQ(&h1, &h2);
+    EXPECT_EQ(h2.edges().size(), 2u);
+}
+
+TEST(RegistryTest, ScrapeAndDumpCoverEveryMetric)
+{
+    obs::Registry registry;
+    registry.counter("zebra").add(2);
+    registry.gauge("alpha").set(1.5);
+    auto &h = registry.histogram("mid", {0.0, 10.0});
+    h.observe(5.0);
+
+    const auto entries = registry.scrape();
+    ASSERT_EQ(entries.size(), 3u);
+    // Sorted by name.
+    EXPECT_EQ(entries[0].name, "alpha");
+    EXPECT_EQ(entries[0].kind, "gauge");
+    EXPECT_EQ(entries[1].name, "mid");
+    EXPECT_EQ(entries[1].kind, "histogram");
+    EXPECT_NE(entries[1].value.find("count=1"), std::string::npos);
+    EXPECT_EQ(entries[2].name, "zebra");
+    EXPECT_EQ(entries[2].value, "2");
+
+    std::ostringstream out;
+    registry.dumpText(out);
+    EXPECT_NE(out.str().find("counter zebra 2"), std::string::npos);
+    EXPECT_NE(out.str().find("gauge alpha 1.5"), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// Tracer
+
+TEST(TracerTest, TypedEmittersFillPayloads)
+{
+    obs::Tracer tracer(16);
+    tracer.piUpdate(0.1, 2, -0.5, 0.9, 0.85);
+    tracer.migrationApplied(0.2, {0, 1, 2, 3}, {1, 0, 2, 3}, 2);
+    tracer.emergency(0.3, 86.0, 84.2);
+
+    ASSERT_EQ(tracer.events().size(), 3u);
+    const auto &pi = tracer.events().at(0);
+    EXPECT_EQ(pi.kind, obs::EventKind::PiUpdate);
+    EXPECT_EQ(pi.core, 2);
+    EXPECT_DOUBLE_EQ(pi.a, -0.5);
+    EXPECT_DOUBLE_EQ(pi.c, 0.85);
+
+    const auto &mig = tracer.events().at(1);
+    EXPECT_EQ(mig.kind, obs::EventKind::MigrationApplied);
+    EXPECT_EQ(mig.n, 4);
+    EXPECT_EQ(mig.before[0], 0);
+    EXPECT_EQ(mig.after[0], 1);
+    EXPECT_DOUBLE_EQ(mig.a, 2.0);
+
+    EXPECT_STREQ(obs::eventKindName(tracer.events().at(2).kind),
+                 "thermal_emergency");
+}
+
+// --------------------------------------------------------------------
+// Minimal JSON reader for schema-checking the Chrome trace output.
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool has(const std::string &key) const
+    {
+        return kind == Kind::Object && object.count(key) > 0;
+    }
+    const JsonValue &at(const std::string &key) const
+    {
+        return object.at(key);
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    bool parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    const std::string &text_;
+    std::size_t pos_ = 0;
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : 0; }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool literal(const char *word)
+    {
+        const std::size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    bool parseValue(JsonValue &out)
+    {
+        switch (peek()) {
+          case '{':
+            return parseObject(out);
+          case '[':
+            return parseArray(out);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return false;
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'u':
+                    // Good enough for ASCII escapes: skip the 4 hex
+                    // digits and emit a placeholder.
+                    if (pos_ + 4 > text_.size())
+                        return false;
+                    pos_ += 4;
+                    out += '?';
+                    break;
+                  default:
+                    out += esc;
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool parseNumber(JsonValue &out)
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        out.number = std::strtod(start, &end);
+        if (end == start)
+            return false;
+        pos_ += static_cast<std::size_t>(end - start);
+        out.kind = JsonValue::Kind::Number;
+        return true;
+    }
+
+    bool parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.array.push_back(std::move(v));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                skipWs();
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.object.emplace(std::move(key), std::move(v));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                skipWs();
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+};
+
+// --------------------------------------------------------------------
+// End-to-end: sweeps with tracing, determinism, export schema.
+
+std::vector<RunJob>
+smallSweep()
+{
+    std::vector<RunJob> jobs;
+    const PolicyConfig policies[] = {
+        {ThrottleMechanism::Dvfs, ControlScope::Distributed,
+         MigrationKind::CounterBased},
+        {ThrottleMechanism::StopGo, ControlScope::Distributed,
+         MigrationKind::None},
+    };
+    for (const char *name : {"workload7", "workload1"})
+        for (const PolicyConfig &policy : policies)
+            jobs.push_back({findWorkload(name), policy, ""});
+    return jobs;
+}
+
+/** Flatten a job's events into a comparable signature. */
+std::string
+eventSignature(const obs::Tracer &tracer)
+{
+    std::ostringstream os;
+    os.precision(17);
+    tracer.events().forEach([&](const obs::TraceEvent &e) {
+        os << obs::eventKindName(e.kind) << " " << e.time << " "
+           << static_cast<int>(e.core) << " " << e.a << " " << e.b
+           << " " << e.c << " " << static_cast<int>(e.n);
+        for (std::size_t i = 0; i < e.n; ++i)
+            os << " " << static_cast<int>(e.before[i]) << ">"
+               << static_cast<int>(e.after[i]);
+        os << "\n";
+    });
+    return os.str();
+}
+
+class ObsSweepTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { coolcmp::testing::quiet(); }
+
+    /** Run the small sweep with a fresh session at `threads`. */
+    std::map<std::string, std::string>
+    runSweep(obs::TraceSession &session, std::size_t threads)
+    {
+        Experiment experiment(coolcmp::testing::fastDtmConfig(),
+                              coolcmp::testing::fastTraceConfig());
+        experiment.attachSession(&session);
+        const auto jobs = smallSweep();
+        const auto metrics = experiment.runMany(jobs, threads);
+        EXPECT_EQ(metrics.size(), jobs.size());
+
+        std::map<std::string, std::string> byLabel;
+        for (const auto &job : session.jobs()) {
+            EXPECT_LE(job.beginUs, job.endUs);
+            byLabel[job.label] = eventSignature(*job.tracer);
+        }
+        return byLabel;
+    }
+};
+
+TEST_F(ObsSweepTest, TracedEventsAreDeterministicAcrossThreadCounts)
+{
+    obs::TraceSession serial, parallel4;
+    const auto a = runSweep(serial, 1);
+    const auto b = runSweep(parallel4, 4);
+
+    ASSERT_EQ(a.size(), 4u);
+    ASSERT_EQ(b.size(), a.size());
+    for (const auto &[label, signature] : a) {
+        ASSERT_TRUE(b.count(label)) << label;
+        EXPECT_EQ(b.at(label), signature)
+            << "simulated event stream differs for " << label;
+        EXPECT_FALSE(signature.empty()) << label;
+    }
+    EXPECT_EQ(serial.totalDropped(), 0u);
+
+    // The sweep metrics landed in the session registry.
+    EXPECT_EQ(serial.registry().counter("runmany.jobs").value(), 4u);
+    EXPECT_EQ(serial.registry().gauge("runmany.queue_depth").value(),
+              0.0);
+}
+
+TEST_F(ObsSweepTest, ChromeTraceExportParsesAndMatchesSchema)
+{
+    obs::TraceSession session;
+    runSweep(session, 2);
+
+    std::ostringstream os;
+    obs::writeChromeTrace(os, session);
+
+    JsonValue root;
+    ASSERT_TRUE(JsonParser(os.str()).parse(root))
+        << "chrome trace is not valid JSON";
+    ASSERT_EQ(root.kind, JsonValue::Kind::Object);
+    ASSERT_TRUE(root.has("traceEvents"));
+    const JsonValue &events = root.at("traceEvents");
+    ASSERT_EQ(events.kind, JsonValue::Kind::Array);
+
+    std::size_t spans = 0, piCounters = 0, metadata = 0, instants = 0;
+    std::map<double, std::string> processNames;
+    for (const JsonValue &e : events.array) {
+        ASSERT_EQ(e.kind, JsonValue::Kind::Object);
+        ASSERT_TRUE(e.has("ph"));
+        ASSERT_TRUE(e.has("pid"));
+        ASSERT_TRUE(e.has("tid"));
+        ASSERT_TRUE(e.has("name"));
+        const std::string ph = e.at("ph").str;
+        if (ph == "M") {
+            ++metadata;
+            if (e.at("name").str == "process_name")
+                processNames[e.at("pid").number] =
+                    e.at("args").at("name").str;
+        } else if (ph == "X") {
+            ++spans;
+            EXPECT_EQ(e.at("pid").number, 0.0);
+            ASSERT_TRUE(e.has("dur"));
+            EXPECT_GT(e.at("dur").number, 0.0);
+            // Span names are the job labels: workload/policy-slug.
+            EXPECT_NE(e.at("name").str.find('/'), std::string::npos);
+        } else if (ph == "C") {
+            ++piCounters;
+            ASSERT_TRUE(e.has("args"));
+            EXPECT_TRUE(e.at("args").has("scale"));
+            EXPECT_TRUE(e.at("args").has("error"));
+        } else if (ph == "i") {
+            ++instants;
+            ASSERT_TRUE(e.has("s"));
+        } else {
+            FAIL() << "unexpected event phase " << ph;
+        }
+    }
+
+    // One span per job, the sweep process plus one process per job,
+    // per-core PI counter samples from the DVFS jobs, and instants
+    // from the stop-go/migration jobs.
+    EXPECT_EQ(spans, 4u);
+    EXPECT_EQ(processNames.size(), 5u);
+    EXPECT_EQ(processNames.at(0.0), "sweep");
+    EXPECT_GT(piCounters, 0u);
+    EXPECT_GT(instants, 0u);
+    EXPECT_GT(metadata, 5u);
+}
+
+TEST(CsvExporterTest, WritesSelectedColumnsAndHeader)
+{
+    coolcmp::testing::quiet();
+    StepSample s;
+    s.time = 0.001;
+    s.intRfTemp = {70.0, 71.0};
+    s.fpRfTemp = {72.0, 73.0};
+    s.freqScale = {1.0, 0.9};
+    s.assignment = {1, 0};
+    s.maxBlockTemp = 74.5;
+    s.blockTemp = {70.0, 74.5};
+
+    std::ostringstream out;
+    obs::CsvOptions options;
+    options.thread = true;
+    options.threadNames = {"gzip", "ammp"};
+    options.maxBlockTemp = true;
+    obs::CsvExporter csv(out, options);
+    csv.write(s);
+    s.time = 0.002;
+    csv.write(s);
+
+    std::istringstream lines(out.str());
+    std::string header, row;
+    ASSERT_TRUE(std::getline(lines, header));
+    EXPECT_EQ(header,
+              "time_ms,core0_intRF_C,core0_fpRF_C,core0_freq,"
+              "core0_thread,core1_intRF_C,core1_fpRF_C,core1_freq,"
+              "core1_thread,max_block_C");
+    ASSERT_TRUE(std::getline(lines, row));
+    EXPECT_EQ(row, "1,70,72,1,ammp,71,73,0.9,gzip,74.5");
+    EXPECT_EQ(csv.rowsWritten(), 2u);
+    EXPECT_EQ(csv.lastBlockTemps().size(), 2u);
+}
+
+TEST(CsvExporterTest, MaxTimeFiltersSamples)
+{
+    StepSample s;
+    s.intRfTemp = {70.0};
+    s.fpRfTemp = {72.0};
+    s.freqScale = {1.0};
+    s.assignment = {0};
+
+    std::ostringstream out;
+    obs::CsvOptions options;
+    options.maxTime = 0.01;
+    obs::CsvExporter csv(out, options);
+    s.time = 0.005;
+    csv.write(s);
+    s.time = 0.02; // past the window: dropped
+    csv.write(s);
+    EXPECT_EQ(csv.rowsWritten(), 1u);
+}
+
+// --------------------------------------------------------------------
+// Result-cache header (schema version + config hash).
+
+class MetricsCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        coolcmp::testing::quiet();
+        dir_ = std::filesystem::temp_directory_path() /
+            "coolcmp-obs-test";
+        std::filesystem::create_directories(dir_);
+        path_ = (dir_ / "sample.metrics").string();
+    }
+
+    void TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    static RunMetrics sample()
+    {
+        RunMetrics m;
+        m.duration = 0.5;
+        m.totalInstructions = 1.25e9;
+        m.dutyCycle = 0.875;
+        m.peakTemp = 83.4;
+        m.emergencies = 3;
+        m.throttleActuations = 17;
+        m.migrations = 5;
+        m.migrationPenaltyTime = 1e-4;
+        m.coreInstructions = {1e8, 2e8, 3e8, 4e8};
+        m.coreDuty = {0.9, 0.8, 0.85, 0.95};
+        m.coreMeanFreq = {1.0, 0.9, 0.95, 1.0};
+        m.processInstructions = {2.5e8, 2.5e8, 3.75e8, 3.75e8};
+        return m;
+    }
+
+    std::filesystem::path dir_;
+    std::string path_;
+};
+
+TEST_F(MetricsCacheTest, RoundTripsUnderMatchingKey)
+{
+    const RunMetrics m = sample();
+    ASSERT_TRUE(saveRunMetrics(path_, m, 0xabcdef0123456789ull));
+    RunMetrics loaded;
+    ASSERT_TRUE(loadRunMetrics(path_, loaded, 0xabcdef0123456789ull));
+    EXPECT_DOUBLE_EQ(loaded.duration, m.duration);
+    EXPECT_DOUBLE_EQ(loaded.totalInstructions, m.totalInstructions);
+    EXPECT_EQ(loaded.emergencies, m.emergencies);
+    EXPECT_EQ(loaded.coreInstructions, m.coreInstructions);
+    EXPECT_EQ(loaded.processInstructions, m.processInstructions);
+}
+
+TEST_F(MetricsCacheTest, RejectsMismatchedConfigKey)
+{
+    ASSERT_TRUE(saveRunMetrics(path_, sample(), 1));
+    RunMetrics loaded;
+    EXPECT_FALSE(loadRunMetrics(path_, loaded, 2));
+}
+
+TEST_F(MetricsCacheTest, RejectsOldSchemaVersion)
+{
+    {
+        std::ofstream out(path_);
+        out << "coolcmp-metrics-v1\n0.5 1e9 0.9 80 0 0 0 0\n";
+    }
+    RunMetrics loaded;
+    EXPECT_FALSE(loadRunMetrics(path_, loaded, 1));
+    // Missing file: a plain miss, also false.
+    EXPECT_FALSE(
+        loadRunMetrics((dir_ / "absent.metrics").string(), loaded, 1));
+}
+
+TEST_F(MetricsCacheTest, RunCachedRebuildsAfterKeyMismatch)
+{
+    Experiment experiment(coolcmp::testing::fastDtmConfig(),
+                          coolcmp::testing::fastTraceConfig());
+    const Workload &workload = findWorkload("workload1");
+    const PolicyConfig policy = baselinePolicy();
+    const std::string cacheDir = (dir_ / "cache").string();
+
+    const RunMetrics first =
+        experiment.runCached(workload, policy, cacheDir);
+
+    // Corrupt every cache file's key: the next call must recompute
+    // (and produce identical results) instead of trusting the file.
+    for (const auto &entry :
+         std::filesystem::directory_iterator(cacheDir)) {
+        std::string text;
+        {
+            std::ifstream in(entry.path());
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            text = buf.str();
+        }
+        const auto firstSpace = text.find(' ');
+        ASSERT_NE(firstSpace, std::string::npos);
+        text.replace(firstSpace + 1, 16, "0000000000000000");
+        std::ofstream out(entry.path());
+        out << text;
+    }
+
+    const RunMetrics second =
+        experiment.runCached(workload, policy, cacheDir);
+    EXPECT_DOUBLE_EQ(second.totalInstructions,
+                     first.totalInstructions);
+    EXPECT_DOUBLE_EQ(second.peakTemp, first.peakTemp);
+}
+
+// --------------------------------------------------------------------
+// Registry metrics from a traced run.
+
+TEST(SimulatorObservabilityTest, RegistryCountsStepsAndRuns)
+{
+    coolcmp::testing::quiet();
+    Experiment experiment(coolcmp::testing::fastDtmConfig(),
+                          coolcmp::testing::fastTraceConfig());
+    obs::Registry registry;
+    obs::Tracer tracer;
+    auto sim = experiment.makeSimulator(
+        findWorkload("workload7"),
+        {ThrottleMechanism::Dvfs, ControlScope::Distributed,
+         MigrationKind::None},
+        &tracer, &registry);
+    sim->run();
+
+    const std::uint64_t steps = registry.counter("sim.steps").value();
+    EXPECT_EQ(steps, experiment.config().numSteps());
+
+    const auto temps =
+        registry
+            .histogram("sim.max_block_temp_c",
+                       obs::Histogram::linearEdges(40.0, 100.0, 120))
+            .snapshot();
+    EXPECT_EQ(temps.count, steps);
+    EXPECT_GT(temps.mean(), 40.0);
+
+    // Per-core distributed DVFS updates its PI controller each step.
+    std::uint64_t piUpdates = 0;
+    tracer.events().forEach([&](const obs::TraceEvent &e) {
+        piUpdates += e.kind == obs::EventKind::PiUpdate ? 1 : 0;
+    });
+    EXPECT_EQ(piUpdates + tracer.dropped(), steps * 4);
+}
+
+} // namespace
