@@ -13,6 +13,7 @@
 #include "core/experiment.hh"
 #include "obs/registry.hh"
 #include "obs/tracer.hh"
+#include "thermal/batched.hh"
 #include "thermal/floorplan.hh"
 #include "thermal/rc_network.hh"
 #include "thermal/transient.hh"
@@ -49,8 +50,44 @@ BM_ZohPropagatorStep(benchmark::State &state)
         solver.step(powers, dt);
         benchmark::DoNotOptimize(solver.temperatures());
     }
+    // One simulated step per iteration: items/s compares directly
+    // with BM_BatchedZohStep's per-step throughput.
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ZohPropagatorStep);
+
+void
+BM_BatchedZohStep(benchmark::State &state)
+{
+    // B lock-stepped propagators over the shared discretization: one
+    // GEMM per lock-step instead of B GEMVs. items = simulated steps,
+    // so items/s over BM_ZohPropagatorStep is the batching speedup
+    // per run-step (the acceptance bar is >= 2x at B >= 8).
+    const double dt = 100000.0 / 3.6e9;
+    const auto B = static_cast<std::size_t>(state.range(0));
+    const auto disc =
+        ZohPropagator::makeDiscretization(chipNetwork(), dt);
+    std::vector<std::unique_ptr<ZohPropagator>> solvers;
+    std::vector<ZohPropagator *> lanes;
+    for (std::size_t b = 0; b < B; ++b) {
+        solvers.push_back(std::make_unique<ZohPropagator>(
+            chipNetwork(), dt, disc));
+        lanes.push_back(solvers.back().get());
+    }
+    BatchedZohPropagator batched(disc, B);
+    Vector powers(chipPlan().numBlocks(), 1.0);
+    for (auto _ : state) {
+        for (ZohPropagator *lane : lanes)
+            lane->setInputs(powers);
+        batched.step(lanes);
+        benchmark::DoNotOptimize(solvers.front()->temperatures());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(B));
+}
+BENCHMARK(BM_BatchedZohStep)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
 
 void
 BM_ZohStepUnfused(benchmark::State &state)
@@ -96,8 +133,33 @@ BM_MultiplyFusedKernel(benchmark::State &state)
         disc->ef.multiplyFused(xu.data(), y.data());
         benchmark::DoNotOptimize(y.data());
     }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_MultiplyFusedKernel);
+
+void
+BM_MultiplyBatchedKernel(benchmark::State &state)
+{
+    // The raw batched kernel on the chip-sized [E|F] block: items are
+    // matrix-vector-product equivalents, so items/s directly exposes
+    // the arithmetic-intensity gain over BM_MultiplyFusedKernel.
+    const double dt = 100000.0 / 3.6e9;
+    const auto B = static_cast<std::size_t>(state.range(0));
+    const auto disc =
+        ZohPropagator::makeDiscretization(chipNetwork(), dt);
+    const std::size_t ldb = (B + 7) / 8 * 8;
+    AlignedVector x(disc->ef.cols() * ldb, 1.0);
+    AlignedVector y(disc->ef.rows() * ldb, 0.0);
+    for (auto _ : state) {
+        disc->ef.multiplyBatched(x.data(), y.data(), ldb, B);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(B));
+}
+BENCHMARK(BM_MultiplyBatchedKernel)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
 
 void
 BM_Rk4SolverStep(benchmark::State &state)

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate the committed microbenchmark baseline (BENCH_micro.json at
+# the repo root) so future PRs can diff kernel performance. Usage:
+#
+#   bench/update_bench_baseline.sh [build-dir]
+#
+# Builds bench_micro in the given build directory (default: build) and
+# runs it with --benchmark_format=json. Commit the refreshed file
+# together with any change that moves the numbers.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-build}"
+
+cmake --build "$root/$build" --target bench_micro -j"$(nproc)"
+"$root/$build/bench/bench_micro" \
+    --benchmark_format=json > "$root/BENCH_micro.json"
+echo "wrote $root/BENCH_micro.json"

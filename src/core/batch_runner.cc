@@ -1,0 +1,75 @@
+#include "core/batch_runner.hh"
+
+#include <algorithm>
+
+#include "thermal/batched.hh"
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+BatchRunner::BatchRunner(
+    std::size_t width, std::function<bool(Lane &)> refill,
+    std::function<void(Lane &, RunMetrics &&)> complete)
+    : width_(std::max<std::size_t>(width, 1)),
+      refill_(std::move(refill)), complete_(std::move(complete))
+{
+    if (!refill_ || !complete_)
+        fatal("BatchRunner needs refill and complete callbacks");
+}
+
+void
+BatchRunner::run()
+{
+    std::vector<Lane> lanes;
+    lanes.reserve(width_);
+    std::vector<ZohPropagator *> solvers;
+    solvers.reserve(width_);
+    std::unique_ptr<BatchedZohPropagator> batched;
+    bool exhausted = false;
+
+    for (;;) {
+        // Retire finished lanes (a lane is also "finished" straight
+        // after beginRun when the configured duration is zero steps).
+        for (std::size_t i = 0; i < lanes.size();) {
+            if (lanes[i].sim->done()) {
+                complete_(lanes[i], lanes[i].sim->finishRun());
+                lanes.erase(lanes.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+            } else {
+                ++i;
+            }
+        }
+
+        // Refill empty lanes from the pending queue.
+        while (!exhausted && lanes.size() < width_) {
+            Lane lane;
+            if (!refill_(lane)) {
+                exhausted = true;
+                break;
+            }
+            lane.sim->beginRun();
+            lanes.push_back(std::move(lane));
+        }
+        if (lanes.empty())
+            return;
+
+        // One lock-step: every lane gathers its powers, one GEMM
+        // advances every thermal state, every lane runs its control
+        // loop. The phases never couple lanes, so each trajectory is
+        // bit-identical to running that simulator alone.
+        solvers.clear();
+        for (Lane &lane : lanes) {
+            const Vector &powers = lane.sim->gatherPowers();
+            lane.sim->propagator().setInputs(powers);
+            solvers.push_back(&lane.sim->propagator());
+        }
+        if (!batched)
+            batched = std::make_unique<BatchedZohPropagator>(
+                solvers.front()->discretization(), width_);
+        batched->step(solvers);
+        for (Lane &lane : lanes)
+            lane.sim->finishStep();
+    }
+}
+
+} // namespace coolcmp

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * BatchRunner: lock-steps a group of DTM simulators that share one
+ * thermal discretization, so each simulation step performs a single
+ * batched GEMM (BatchedZohPropagator) where the sequential path would
+ * perform one GEMV per simulator.
+ *
+ * Lanes drain and refill: when a simulator finishes, its lane is
+ * handed back to the caller (metrics out) and refilled with the next
+ * pending job, so a long queue keeps the batch wide to the end. Each
+ * runner is confined to one thread; parallelism across runners comes
+ * from the experiment driver's worker pool.
+ */
+
+#ifndef COOLCMP_CORE_BATCH_RUNNER_HH
+#define COOLCMP_CORE_BATCH_RUNNER_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/dtm_simulator.hh"
+#include "core/metrics.hh"
+
+namespace coolcmp {
+
+/** Lane-based lock-step driver over cooperative DtmSimulators. */
+class BatchRunner
+{
+  public:
+    /** One occupied lane: the simulator and the caller's job tag. */
+    struct Lane
+    {
+        std::unique_ptr<DtmSimulator> sim;
+        std::size_t tag = 0;
+    };
+
+    /**
+     * @param width maximum simultaneous lanes (GEMM batch size)
+     * @param refill fill an empty lane with the next pending job;
+     * return false when no jobs remain. Called until it declines.
+     * @param complete consume a finished lane's metrics.
+     */
+    BatchRunner(std::size_t width,
+                std::function<bool(Lane &)> refill,
+                std::function<void(Lane &, RunMetrics &&)> complete);
+
+    /** Run every job to completion (refill -> lock-step -> retire). */
+    void run();
+
+  private:
+    std::size_t width_;
+    std::function<bool(Lane &)> refill_;
+    std::function<void(Lane &, RunMetrics &&)> complete_;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_CORE_BATCH_RUNNER_HH

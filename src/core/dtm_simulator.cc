@@ -58,14 +58,11 @@ DtmSimulator::averageBlockPowers() const
         const Process *proc = kernel_->runningOn(c);
         if (!proc)
             continue;
-        const PowerTrace &trace = proc->trace();
-        PerUnit<double> avg(0.0);
-        for (std::size_t i = 0; i < trace.numPoints(); ++i)
-            for (std::size_t u = 0; u < numUnitKinds; ++u)
-                avg[static_cast<UnitKind>(u)] +=
-                    trace.point(i).power[static_cast<UnitKind>(u)];
-        for (auto &v : avg)
-            v /= static_cast<double>(trace.numPoints());
+        // The per-trace mean is precomputed at trace-build time, so
+        // simulator construction no longer rescans every trace point
+        // for every core (O(trace * cores) per job in sweeps).
+        const PerUnit<double> avg =
+            proc->trace().averageUnitPower();
         for (UnitKind kind : coreUnitKinds())
             powers[chip_->blockOf(c, kind)] += avg[kind];
         powers[chip_->l2Block()] +=
@@ -123,229 +120,269 @@ DtmSimulator::initializeThermalState()
     throttles_.initializeScale(std::cbrt(alpha));
 }
 
-RunMetrics
-DtmSimulator::run()
+void
+DtmSimulator::beginRun()
 {
-    const int numCores = chip_->numCores();
-    const auto nc = static_cast<std::size_t>(numCores);
-    const double dt = config_.stepSeconds();
-    const double cyclesPerStep =
-        static_cast<double>(config_.intervalCycles);
-    const std::uint64_t steps = config_.numSteps();
+    const auto nc = static_cast<std::size_t>(chip_->numCores());
+    RunState &rs = run_;
+    rs = RunState{};
+    rs.dt = config_.stepSeconds();
+    rs.cyclesPerStep = static_cast<double>(config_.intervalCycles);
+    rs.steps = config_.numSteps();
 
-    RunMetrics metrics;
-    metrics.duration = static_cast<double>(steps) * dt;
-    metrics.coreInstructions.assign(nc, 0.0);
-    metrics.coreDuty.assign(nc, 0.0);
-    metrics.coreMeanFreq.assign(nc, 0.0);
-    metrics.processInstructions.assign(kernel_->numProcesses(), 0.0);
+    rs.metrics.duration = static_cast<double>(rs.steps) * rs.dt;
+    rs.metrics.coreInstructions.assign(nc, 0.0);
+    rs.metrics.coreDuty.assign(nc, 0.0);
+    rs.metrics.coreMeanFreq.assign(nc, 0.0);
+    rs.metrics.processInstructions.assign(kernel_->numProcesses(),
+                                          0.0);
 
     // Observability handles, resolved once so the hot loop updates
     // lock-free shards (or skips on one null check when detached).
-    obs::Tracer *const tracer = config_.tracer;
-    obs::Counter *stepCounter = nullptr;
-    obs::Counter *emergencyCounter = nullptr;
-    obs::Histogram *tempHist = nullptr;
+    rs.tracer = config_.tracer;
     if (obs::Registry *reg = config_.registry) {
-        stepCounter = &reg->counter("sim.steps");
-        emergencyCounter = &reg->counter("sim.emergencies");
-        tempHist = &reg->histogram(
+        rs.stepCounter = &reg->counter("sim.steps");
+        rs.emergencyCounter = &reg->counter("sim.emergencies");
+        rs.tempHist = &reg->histogram(
             "sim.max_block_temp_c",
             obs::Histogram::linearEdges(40.0, 100.0, 120));
     }
-    bool inEmergency = false;
 
-    Vector blockPowers(chip_->floorplan().numBlocks(), 0.0);
-    std::vector<double> coreHottest(nc, 0.0);
-    std::vector<double> intRf(nc, 0.0);
-    std::vector<double> fpRf(nc, 0.0);
+    rs.blockPowers.assign(chip_->floorplan().numBlocks(), 0.0);
+    rs.coreHottest.assign(nc, 0.0);
+    rs.intRf.assign(nc, 0.0);
+    rs.fpRf.assign(nc, 0.0);
 
     // OS-tick window accumulators for the outer loop.
-    const double tick = config_.kernel.timerInterval;
-    double nextTick = tick;
-    std::vector<double> tickStartIntRf(nc, 0.0);
-    std::vector<double> tickStartFpRf(nc, 0.0);
-    std::vector<double> winFreqCubed(nc, 0.0);
-    std::vector<double> winAvail(nc, 0.0);
-    double winSteps = 0.0;
-    bool tickPrimed = false;
+    rs.tick = config_.kernel.timerInterval;
+    rs.nextTick = rs.tick;
+    rs.tickStartIntRf.assign(nc, 0.0);
+    rs.tickStartFpRf.assign(nc, 0.0);
+    rs.winFreqCubed.assign(nc, 0.0);
+    rs.winAvail.assign(nc, 0.0);
+    rs.active = true;
+}
 
-    for (std::uint64_t n = 0; n < steps; ++n) {
-        const double now = static_cast<double>(n) * dt;
-        const double tEnd = now + dt;
-        kernel_->advanceTo(now);
+const Vector &
+DtmSimulator::gatherPowers()
+{
+    RunState &rs = run_;
+    if (!rs.active)
+        panic("gatherPowers() outside beginRun()/finishRun()");
+    const int numCores = chip_->numCores();
+    const double dt = rs.dt;
+    const double now = static_cast<double>(rs.step) * dt;
+    kernel_->advanceTo(now);
 
-        // --- Execute one interval on each core. ---
-        std::fill(blockPowers.begin(), blockPowers.end(), 0.0);
-        double l2Power = l2IdleWatts_;
+    // --- Execute one interval on each core. ---
+    std::fill(rs.blockPowers.begin(), rs.blockPowers.end(), 0.0);
+    double l2Power = l2IdleWatts_;
+    for (int c = 0; c < numCores; ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        Process *proc = kernel_->runningOn(c);
+        const double s = throttles_.freqScale(c);
+        const double blockedUntil = std::max(
+            throttles_.unavailableUntil(c),
+            kernel_->frozenUntil(c));
+        const double blocked =
+            std::clamp(blockedUntil - now, 0.0, dt);
+        const double avail = 1.0 - blocked / dt;
+        const double s3 = s * s * s;
+
+        if (proc && avail > 0.0) {
+            const TracePoint &pt = proc->currentPoint();
+            const double insts =
+                proc->advance(s * avail * rs.cyclesPerStep);
+            rs.metrics.coreInstructions[ci] += insts;
+            rs.metrics.processInstructions[static_cast<std::size_t>(
+                proc->id())] += insts;
+            rs.metrics.totalInstructions += insts;
+            for (UnitKind kind : coreUnitKinds())
+                rs.blockPowers[chip_->blockOf(c, kind)] +=
+                    pt.power[kind] * s3 * avail;
+            l2Power += std::max(0.0, pt.power[UnitKind::L2] -
+                                         l2IdleWatts_) *
+                s3 * avail;
+        }
+        const double work = s * avail;
+        rs.metrics.coreDuty[ci] += work;
+        rs.metrics.coreMeanFreq[ci] += s;
+        rs.winFreqCubed[ci] += s3 * avail;
+        rs.winAvail[ci] += avail;
+    }
+    rs.blockPowers[chip_->l2Block()] += l2Power;
+
+    // --- Close the leakage loop at the step's start state. ---
+    chip_->leakage().addLeakage(
+        solver_->temperatures(),
+        [&](std::size_t block) {
+            const int core =
+                chip_->floorplan().blocks()[block].core;
+            const double vs = core >= 0
+                ? throttles_.voltageScale(core) : 1.0;
+            return config_.power.nominalVdd * vs;
+        },
+        rs.blockPowers);
+
+    return rs.blockPowers;
+}
+
+void
+DtmSimulator::stepThermal()
+{
+    // --- Advance the thermal state by one exact step. ---
+    solver_->step(run_.blockPowers, run_.dt);
+}
+
+void
+DtmSimulator::finishStep()
+{
+    RunState &rs = run_;
+    const int numCores = chip_->numCores();
+    const auto nc = static_cast<std::size_t>(numCores);
+    const double dt = rs.dt;
+    const double now = static_cast<double>(rs.step) * dt;
+    const double tEnd = now + dt;
+
+    // --- Read sensors and run the inner control loop. ---
+    for (int c = 0; c < numCores; ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        rs.intRf[ci] = sensors_[ci].intRf.read(*solver_);
+        rs.fpRf[ci] = sensors_[ci].fpRf.read(*solver_);
+        rs.coreHottest[ci] = std::max(rs.intRf[ci], rs.fpRf[ci]);
+    }
+    throttles_.update(rs.coreHottest, tEnd);
+
+    const double hottestBlock = solver_->maxBlockTemp();
+    rs.metrics.peakTemp = std::max(rs.metrics.peakTemp, hottestBlock);
+    if (hottestBlock > config_.thresholdTemp) {
+        rs.metrics.emergencies += 1;
+        if (!rs.inEmergency) {
+            // Record the upward crossing, not every sample above.
+            if (rs.tracer)
+                rs.tracer->emergency(tEnd, hottestBlock,
+                                     config_.thresholdTemp);
+            if (rs.emergencyCounter)
+                rs.emergencyCounter->add();
+            rs.inEmergency = true;
+        }
+    } else {
+        rs.inEmergency = false;
+    }
+    if (rs.stepCounter)
+        rs.stepCounter->add();
+    if (rs.tempHist)
+        rs.tempHist->observe(hottestBlock);
+
+    rs.winSteps += 1.0;
+
+    // --- Outer loop: OS timer tick. ---
+    if (!rs.tickPrimed) {
+        rs.tickStartIntRf = rs.intRf;
+        rs.tickStartFpRf = rs.fpRf;
+        rs.tickPrimed = true;
+    }
+    if (tEnd + 1e-12 >= rs.nextTick) {
+        MigrationObservation obs;
+        obs.now = tEnd;
+        obs.cores.resize(nc);
+        obs.intRfSlope.resize(nc);
+        obs.fpRfSlope.resize(nc);
+        obs.freqCubed.resize(nc);
+        obs.execShare.resize(nc);
+        const double window = rs.winSteps * dt;
         for (int c = 0; c < numCores; ++c) {
             const auto ci = static_cast<std::size_t>(c);
-            Process *proc = kernel_->runningOn(c);
-            const double s = throttles_.freqScale(c);
-            const double blockedUntil = std::max(
-                throttles_.unavailableUntil(c),
-                kernel_->frozenUntil(c));
-            const double blocked =
-                std::clamp(blockedUntil - now, 0.0, dt);
-            const double avail = 1.0 - blocked / dt;
-            const double s3 = s * s * s;
-
-            if (proc && avail > 0.0) {
-                const TracePoint &pt = proc->currentPoint();
-                const double insts =
-                    proc->advance(s * avail * cyclesPerStep);
-                metrics.coreInstructions[ci] += insts;
-                metrics.processInstructions[static_cast<std::size_t>(
-                    proc->id())] += insts;
-                metrics.totalInstructions += insts;
-                for (UnitKind kind : coreUnitKinds())
-                    blockPowers[chip_->blockOf(c, kind)] +=
-                        pt.power[kind] * s3 * avail;
-                l2Power += std::max(0.0, pt.power[UnitKind::L2] -
-                                             l2IdleWatts_) *
-                    s3 * avail;
-            }
-            const double work = s * avail;
-            metrics.coreDuty[ci] += work;
-            metrics.coreMeanFreq[ci] += s;
-            winFreqCubed[ci] += s3 * avail;
-            winAvail[ci] += avail;
+            CoreHotspotState &core = obs.cores[ci];
+            const bool intHot = rs.intRf[ci] >= rs.fpRf[ci];
+            core.criticalUnit =
+                intHot ? UnitKind::IntRF : UnitKind::FpRF;
+            core.criticalTemp = intHot ? rs.intRf[ci] : rs.fpRf[ci];
+            core.secondaryTemp = intHot ? rs.fpRf[ci] : rs.intRf[ci];
+            const Process *proc = kernel_->runningOn(c);
+            core.process = proc ? proc->id() : -1;
+            obs.intRfSlope[ci] =
+                (rs.intRf[ci] - rs.tickStartIntRf[ci]) / window;
+            obs.fpRfSlope[ci] =
+                (rs.fpRf[ci] - rs.tickStartFpRf[ci]) / window;
+            obs.freqCubed[ci] = rs.winAvail[ci] > 1e-9
+                ? rs.winFreqCubed[ci] / rs.winAvail[ci] : 0.0;
+            obs.execShare[ci] = rs.winAvail[ci] / rs.winSteps;
         }
-        blockPowers[chip_->l2Block()] += l2Power;
-
-        // --- Close the leakage loop at the step's start state. ---
-        chip_->leakage().addLeakage(
-            solver_->temperatures(),
-            [&](std::size_t block) {
-                const int core =
-                    chip_->floorplan().blocks()[block].core;
-                const double vs = core >= 0
-                    ? throttles_.voltageScale(core) : 1.0;
-                return config_.power.nominalVdd * vs;
-            },
-            blockPowers);
-
-        // --- Advance the thermal state by one exact step. ---
-        solver_->step(blockPowers, dt);
-
-        // --- Read sensors and run the inner control loop. ---
+        const std::vector<int> before = kernel_->assignment();
+        migration_->onTick(obs, *kernel_);
+        const std::vector<int> &after = kernel_->assignment();
         for (int c = 0; c < numCores; ++c) {
-            const auto ci = static_cast<std::size_t>(c);
-            intRf[ci] = sensors_[ci].intRf.read(*solver_);
-            fpRf[ci] = sensors_[ci].fpRf.read(*solver_);
-            coreHottest[ci] = std::max(intRf[ci], fpRf[ci]);
-        }
-        throttles_.update(coreHottest, tEnd);
-
-        const double hottestBlock = solver_->maxBlockTemp();
-        metrics.peakTemp = std::max(metrics.peakTemp, hottestBlock);
-        if (hottestBlock > config_.thresholdTemp) {
-            metrics.emergencies += 1;
-            if (!inEmergency) {
-                // Record the upward crossing, not every sample above.
-                if (tracer)
-                    tracer->emergency(tEnd, hottestBlock,
-                                      config_.thresholdTemp);
-                if (emergencyCounter)
-                    emergencyCounter->add();
-                inEmergency = true;
+            if (before[static_cast<std::size_t>(c)] !=
+                after[static_cast<std::size_t>(c)]) {
+                // The OS hands the core a different thread: any
+                // stop-go stall is lifted (the trip re-fires at
+                // the next sample if the hotspot is still hot).
+                throttles_.clearStall(c, tEnd);
             }
-        } else {
-            inEmergency = false;
-        }
-        if (stepCounter)
-            stepCounter->add();
-        if (tempHist)
-            tempHist->observe(hottestBlock);
-
-        winSteps += 1.0;
-
-        // --- Outer loop: OS timer tick. ---
-        if (!tickPrimed) {
-            tickStartIntRf = intRf;
-            tickStartFpRf = fpRf;
-            tickPrimed = true;
-        }
-        if (tEnd + 1e-12 >= nextTick) {
-            MigrationObservation obs;
-            obs.now = tEnd;
-            obs.cores.resize(nc);
-            obs.intRfSlope.resize(nc);
-            obs.fpRfSlope.resize(nc);
-            obs.freqCubed.resize(nc);
-            obs.execShare.resize(nc);
-            const double window = winSteps * dt;
-            for (int c = 0; c < numCores; ++c) {
-                const auto ci = static_cast<std::size_t>(c);
-                CoreHotspotState &core = obs.cores[ci];
-                const bool intHot = intRf[ci] >= fpRf[ci];
-                core.criticalUnit =
-                    intHot ? UnitKind::IntRF : UnitKind::FpRF;
-                core.criticalTemp = intHot ? intRf[ci] : fpRf[ci];
-                core.secondaryTemp = intHot ? fpRf[ci] : intRf[ci];
-                const Process *proc = kernel_->runningOn(c);
-                core.process = proc ? proc->id() : -1;
-                obs.intRfSlope[ci] =
-                    (intRf[ci] - tickStartIntRf[ci]) / window;
-                obs.fpRfSlope[ci] =
-                    (fpRf[ci] - tickStartFpRf[ci]) / window;
-                obs.freqCubed[ci] = winAvail[ci] > 1e-9
-                    ? winFreqCubed[ci] / winAvail[ci] : 0.0;
-                obs.execShare[ci] = winAvail[ci] / winSteps;
-            }
-            const std::vector<int> before = kernel_->assignment();
-            migration_->onTick(obs, *kernel_);
-            const std::vector<int> &after = kernel_->assignment();
-            for (int c = 0; c < numCores; ++c) {
-                if (before[static_cast<std::size_t>(c)] !=
-                    after[static_cast<std::size_t>(c)]) {
-                    // The OS hands the core a different thread: any
-                    // stop-go stall is lifted (the trip re-fires at
-                    // the next sample if the hotspot is still hot).
-                    throttles_.clearStall(c, tEnd);
-                }
-            }
-
-            tickStartIntRf = intRf;
-            tickStartFpRf = fpRf;
-            std::fill(winFreqCubed.begin(), winFreqCubed.end(), 0.0);
-            std::fill(winAvail.begin(), winAvail.end(), 0.0);
-            winSteps = 0.0;
-            nextTick += tick;
         }
 
-        // --- Optional probe. ---
-        if (hook_ && n % hookStride_ == 0) {
-            StepSample sample;
-            sample.time = tEnd;
-            sample.intRfTemp = intRf;
-            sample.fpRfTemp = fpRf;
-            sample.freqScale.resize(nc);
-            for (int c = 0; c < numCores; ++c)
-                sample.freqScale[static_cast<std::size_t>(c)] =
-                    throttles_.freqScale(c);
-            sample.assignment = kernel_->assignment();
-            sample.maxBlockTemp = hottestBlock;
-            sample.blockTemp.resize(
-                chip_->floorplan().numBlocks());
-            for (std::size_t b = 0; b < sample.blockTemp.size(); ++b)
-                sample.blockTemp[b] = solver_->blockTemp(b);
-            hook_(sample);
-        }
+        rs.tickStartIntRf = rs.intRf;
+        rs.tickStartFpRf = rs.fpRf;
+        std::fill(rs.winFreqCubed.begin(), rs.winFreqCubed.end(),
+                  0.0);
+        std::fill(rs.winAvail.begin(), rs.winAvail.end(), 0.0);
+        rs.winSteps = 0.0;
+        rs.nextTick += rs.tick;
     }
 
-    const double stepCount = static_cast<double>(steps);
+    // --- Optional probe. ---
+    if (hook_ && rs.step % hookStride_ == 0) {
+        StepSample sample;
+        sample.time = tEnd;
+        sample.intRfTemp = rs.intRf;
+        sample.fpRfTemp = rs.fpRf;
+        sample.freqScale.resize(nc);
+        for (int c = 0; c < numCores; ++c)
+            sample.freqScale[static_cast<std::size_t>(c)] =
+                throttles_.freqScale(c);
+        sample.assignment = kernel_->assignment();
+        sample.maxBlockTemp = hottestBlock;
+        sample.blockTemp.resize(
+            chip_->floorplan().numBlocks());
+        for (std::size_t b = 0; b < sample.blockTemp.size(); ++b)
+            sample.blockTemp[b] = solver_->blockTemp(b);
+        hook_(sample);
+    }
+
+    rs.step += 1;
+}
+
+RunMetrics
+DtmSimulator::finishRun()
+{
+    RunState &rs = run_;
+    const auto nc = static_cast<std::size_t>(chip_->numCores());
+    const double stepCount = static_cast<double>(rs.steps);
     double dutySum = 0.0;
     for (std::size_t c = 0; c < nc; ++c) {
-        metrics.coreDuty[c] /= stepCount;
-        metrics.coreMeanFreq[c] /= stepCount;
-        dutySum += metrics.coreDuty[c];
+        rs.metrics.coreDuty[c] /= stepCount;
+        rs.metrics.coreMeanFreq[c] /= stepCount;
+        dutySum += rs.metrics.coreDuty[c];
     }
-    metrics.dutyCycle = dutySum / static_cast<double>(numCores);
-    metrics.throttleActuations = throttles_.actuations();
-    metrics.migrations = kernel_->migrationCount();
-    metrics.migrationPenaltyTime = kernel_->totalPenaltyTime();
-    return metrics;
+    rs.metrics.dutyCycle = dutySum / static_cast<double>(nc);
+    rs.metrics.throttleActuations = throttles_.actuations();
+    rs.metrics.migrations = kernel_->migrationCount();
+    rs.metrics.migrationPenaltyTime = kernel_->totalPenaltyTime();
+    rs.active = false;
+    return std::move(rs.metrics);
+}
+
+RunMetrics
+DtmSimulator::run()
+{
+    beginRun();
+    while (!done()) {
+        gatherPowers();
+        stepThermal();
+        finishStep();
+    }
+    return finishRun();
 }
 
 } // namespace coolcmp

@@ -31,6 +31,11 @@
 #include "power/trace.hh"
 #include "thermal/sensor.hh"
 
+namespace coolcmp::obs {
+class Counter;
+class Histogram;
+} // namespace coolcmp::obs
+
 namespace coolcmp {
 
 /** One DTM simulation: a policy, a chip, and a set of processes. */
@@ -55,6 +60,36 @@ class DtmSimulator
     /** Run for config.duration and return the metrics. */
     RunMetrics run();
 
+    // --- Cooperative stepping (the batched engine's view of run()).
+    //     run() is exactly: beginRun(); while (!done()) {
+    //     gatherPowers(); stepThermal(); finishStep(); }
+    //     return finishRun(); — BatchRunner replaces stepThermal()
+    //     with one shared GEMM across many lock-stepped simulators. ---
+
+    /** Reset the run state; must precede the first step. */
+    void beginRun();
+
+    /** True once every step of config.duration has been taken. */
+    bool done() const { return run_.step >= run_.steps; }
+
+    /** Phase 1 of one step: advance the OS, execute one interval on
+     *  each core, and close the leakage loop at the step-start state.
+     *  Returns the block powers the thermal step must integrate. */
+    const Vector &gatherPowers();
+
+    /** Phase 2 (sequential path): one exact thermal step. */
+    void stepThermal();
+
+    /** Phase 3: sensors, throttle control, OS tick, probe; advances
+     *  the step counter. */
+    void finishStep();
+
+    /** Finalize and return the metrics; ends the run. */
+    RunMetrics finishRun();
+
+    /** The exact-step propagator (batched engine packs its state). */
+    ZohPropagator &propagator() { return *solver_; }
+
     /** Access to the kernel after a run (assignments, counters). */
     const OsKernel &kernel() const { return *kernel_; }
 
@@ -74,6 +109,41 @@ class DtmSimulator
 
     std::function<void(const StepSample &)> hook_;
     std::uint64_t hookStride_ = 1;
+
+    /** Mutable state of one run, shared by the cooperative phases. */
+    struct RunState
+    {
+        RunMetrics metrics;
+        std::uint64_t step = 0;  ///< next step index
+        std::uint64_t steps = 0; ///< total steps in the run
+        double dt = 0.0;
+        double cyclesPerStep = 0.0;
+        bool active = false;
+
+        // Observability handles, resolved once per run.
+        obs::Tracer *tracer = nullptr;
+        obs::Counter *stepCounter = nullptr;
+        obs::Counter *emergencyCounter = nullptr;
+        obs::Histogram *tempHist = nullptr;
+        bool inEmergency = false;
+
+        Vector blockPowers;
+        std::vector<double> coreHottest;
+        std::vector<double> intRf;
+        std::vector<double> fpRf;
+
+        // OS-tick window accumulators.
+        double tick = 0.0;
+        double nextTick = 0.0;
+        std::vector<double> tickStartIntRf;
+        std::vector<double> tickStartFpRf;
+        std::vector<double> winFreqCubed;
+        std::vector<double> winAvail;
+        double winSteps = 0.0;
+        bool tickPrimed = false;
+    };
+
+    RunState run_;
 
     /** Initialize the thermal state at a regulated operating point. */
     void initializeThermalState();

@@ -4,11 +4,13 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
 #include <thread>
 
+#include "core/batch_runner.hh"
 #include "obs/registry.hh"
 #include "obs/tracer.hh"
 #include "thermal/sensor.hh"
@@ -246,6 +248,16 @@ Experiment::runCached(const Workload &workload,
                   config_.registry);
 }
 
+std::string
+Experiment::cachePath(const RunJob &job) const
+{
+    if (job.resultDir.empty())
+        return {};
+    return job.resultDir + "/" + job.workload.name + "-" +
+        job.policy.slug() + "-" + configKeyHex(configKey()) +
+        ".metrics";
+}
+
 RunMetrics
 Experiment::runJob(const RunJob &job, obs::Tracer *tracer,
                    obs::Registry *registry)
@@ -255,8 +267,7 @@ Experiment::runJob(const RunJob &job, obs::Tracer *tracer,
                              registry)
             ->run();
     const std::uint64_t key = configKey();
-    const std::string path = job.resultDir + "/" + job.workload.name +
-        "-" + job.policy.slug() + "-" + configKeyHex(key) + ".metrics";
+    const std::string path = cachePath(job);
     RunMetrics cached;
     if (loadRunMetrics(path, cached, key))
         return cached;
@@ -270,11 +281,36 @@ Experiment::runJob(const RunJob &job, obs::Tracer *tracer,
     return fresh;
 }
 
+std::size_t
+Experiment::batchWidth()
+{
+    if (const char *env = std::getenv("COOLCMP_BATCH")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 0)
+            return std::clamp<long>(v, 1, 64);
+        warn("ignoring invalid COOLCMP_BATCH value '", env, "'");
+    }
+    return 8;
+}
+
 std::vector<RunMetrics>
 Experiment::runMany(const std::vector<RunJob> &jobs,
                     std::size_t threads)
 {
     std::vector<RunMetrics> out(jobs.size());
+
+    // Group pending jobs by discretization: every simulator this
+    // Experiment builds shares one chip and one step length, i.e. one
+    // chip_->discretization(), so the whole job list is one batched
+    // group. A singleton group (one job) or a batch width of 1 takes
+    // the sequential per-run path instead.
+    const std::size_t width = batchWidth();
+    if (width > 1 && jobs.size() > 1) {
+        runManyBatched(jobs, threads, width, out);
+        return out;
+    }
+
     obs::TraceSession *const session = session_;
 
     // Sweep-level pool metrics: how many jobs are still queued (the
@@ -305,6 +341,98 @@ Experiment::runMany(const std::vector<RunJob> &jobs,
         }
     });
     return out;
+}
+
+void
+Experiment::runManyBatched(const std::vector<RunJob> &jobs,
+                           std::size_t threads, std::size_t width,
+                           std::vector<RunMetrics> &out)
+{
+    obs::TraceSession *const session = session_;
+    obs::Gauge *queueDepth = nullptr;
+    obs::Counter *jobsDone = nullptr;
+    std::atomic<std::size_t> pending{jobs.size()};
+    if (session) {
+        queueDepth = &session->registry().gauge("runmany.queue_depth");
+        jobsDone = &session->registry().counter("runmany.jobs");
+        queueDepth->set(static_cast<double>(jobs.size()));
+    }
+
+    const std::size_t nThreads =
+        threads ? threads : ThreadPool::defaultThreadCount();
+    // One BatchRunner per worker; spread the jobs so a small sweep on
+    // a wide machine still uses every worker (lane count shrinks
+    // before workers idle).
+    const std::size_t workers =
+        std::max<std::size_t>(1, std::min(nThreads, jobs.size()));
+    const std::size_t laneWidth = std::min(
+        width, std::max<std::size_t>(
+                   1, (jobs.size() + workers - 1) / workers));
+
+    std::atomic<std::size_t> nextJob{0};
+    std::vector<std::size_t> spans(jobs.size(), 0);
+    const std::uint64_t key = configKey();
+
+    // Per-job completion bookkeeping shared by cache hits and fresh
+    // runs: close the span, bump the sweep counters.
+    auto finishJobObs = [&](std::size_t i) {
+        if (!session)
+            return;
+        session->endJob(spans[i]);
+        jobsDone->add();
+        queueDepth->set(static_cast<double>(
+            pending.fetch_sub(1, std::memory_order_relaxed) - 1));
+    };
+
+    auto worker = [&](std::size_t) {
+        auto refill = [&](BatchRunner::Lane &lane) -> bool {
+            for (;;) {
+                const std::size_t i =
+                    nextJob.fetch_add(1, std::memory_order_relaxed);
+                if (i >= jobs.size())
+                    return false;
+                const RunJob &job = jobs[i];
+                obs::Tracer *tracer = config_.tracer;
+                obs::Registry *registry = config_.registry;
+                if (session) {
+                    spans[i] = session->beginJob(
+                        job.workload.name + "/" + job.policy.slug());
+                    tracer = session->jobTracer(spans[i]);
+                    registry = &session->registry();
+                }
+                // The span covers the cache probe, as in the
+                // sequential path; a hit never occupies a lane.
+                RunMetrics cached;
+                if (!job.resultDir.empty() &&
+                    loadRunMetrics(cachePath(job), cached, key)) {
+                    out[i] = cached;
+                    finishJobObs(i);
+                    continue;
+                }
+                lane.sim = makeSimulator(job.workload, job.policy,
+                                         tracer, registry);
+                lane.tag = i;
+                return true;
+            }
+        };
+        auto complete = [&](BatchRunner::Lane &lane,
+                            RunMetrics &&metrics) {
+            const RunJob &job = jobs[lane.tag];
+            if (!job.resultDir.empty()) {
+                std::error_code ec;
+                std::filesystem::create_directories(job.resultDir,
+                                                    ec);
+                const std::string path = cachePath(job);
+                if (!saveRunMetrics(path, metrics, key))
+                    warn("cannot write result cache file ", path);
+            }
+            out[lane.tag] = std::move(metrics);
+            finishJobObs(lane.tag);
+        };
+        BatchRunner(laneWidth, refill, complete).run();
+    };
+
+    parallelFor(workers, workers, worker);
 }
 
 std::vector<RunMetrics>

@@ -108,6 +108,15 @@ class Experiment
      * scheduling. Power traces, the discretization cache, and the
      * on-disk result cache are shared safely across workers.
      *
+     * Jobs that share a discretization (all jobs of one Experiment:
+     * one chip, one step) are co-stepped in batched lanes — each
+     * worker lock-steps up to batchWidth() simulators through one
+     * GEMM per step (see BatchRunner) — which is several times faster
+     * than stepping them one by one. Singleton groups, a batch width
+     * of 1, or a single job fall back to the sequential per-run path.
+     * Cache files, tracer spans, and the returned metrics are
+     * identical either way.
+     *
      * @param jobs the (workload, policy, cache-dir) requests
      * @param threads worker count; 0 reads COOLCMP_THREADS and falls
      * back to hardware_concurrency
@@ -115,6 +124,14 @@ class Experiment
      */
     std::vector<RunMetrics> runMany(const std::vector<RunJob> &jobs,
                                     std::size_t threads = 0);
+
+    /**
+     * Lanes per worker for batched runMany dispatch: the
+     * COOLCMP_BATCH environment variable (clamped to [1, 64]; 0 or 1
+     * disables batching), default 8. Read per call so tests and
+     * sweeps can switch modes at runtime.
+     */
+    static std::size_t batchWidth();
 
     /**
      * Run one policy over all Table 4 workloads (in parallel; see
@@ -150,6 +167,15 @@ class Experiment
     /** One job, cached or fresh, with explicit observability sinks. */
     RunMetrics runJob(const RunJob &job, obs::Tracer *tracer,
                       obs::Registry *registry);
+
+    /** Result-cache file for a job; empty when caching is disabled. */
+    std::string cachePath(const RunJob &job) const;
+
+    /** Batched lane dispatch over the whole job list (runMany body
+     *  when batching is enabled). */
+    void runManyBatched(const std::vector<RunJob> &jobs,
+                        std::size_t threads, std::size_t width,
+                        std::vector<RunMetrics> &out);
 
     /**
      * Per-benchmark trace memo. Futures make concurrent lookups safe

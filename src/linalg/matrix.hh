@@ -15,6 +15,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/aligned.hh"
+
 namespace coolcmp {
 
 /** Dense vector of doubles. */
@@ -57,6 +59,10 @@ class Matrix
         return data_.data() + r * cols_;
     }
 
+    /** Raw element storage (row-major, 64-byte aligned). */
+    double *data() { return data_.data(); }
+    const double *data() const { return data_.data(); }
+
     /** Matrix-matrix product; dimensions must agree. */
     Matrix operator*(const Matrix &rhs) const;
 
@@ -92,10 +98,33 @@ class Matrix
     void multiplyFused(const double *__restrict x,
                        double *__restrict y) const;
 
+    /**
+     * Batched matrix-panel kernel: Y = A X for `batch` input vectors
+     * packed batch-innermost (the panel X^T stored column-major):
+     * element j of vector b lives at x[j * ldb + b], element i of
+     * result b at y[i * ldb + b], with one row stride ldb >= batch
+     * for both panels. The batch dimension being contiguous lets one
+     * broadcast of a[j] feed a whole vector of runs, so the operator
+     * is streamed once per four columns instead of once per column
+     * (the GEMV -> GEMM arithmetic-intensity win).
+     *
+     * Per column the accumulation order is exactly multiplyFused's
+     * (four mod-4 accumulators over the k loop, tail into the first,
+     * pairwise final sum), so every output column is bit-identical to
+     * the sequential kernel for any batch size.
+     *
+     * The matrix storage and both panels must be 64-byte aligned and
+     * ldb a multiple of 8 doubles (so every panel row stays aligned);
+     * the kernel enforces this.
+     */
+    void multiplyBatched(const double *__restrict x,
+                         double *__restrict y, std::size_t ldb,
+                         std::size_t batch) const;
+
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
-    std::vector<double> data_;
+    AlignedVector data_;
 };
 
 /** y = a*x + y for vectors. */

@@ -28,6 +28,9 @@ void
 PowerTrace::addPoint(const TracePoint &point)
 {
     points_.push_back(point);
+    for (std::size_t u = 0; u < numUnitKinds; ++u)
+        unitPowerSum_[static_cast<UnitKind>(u)] +=
+            point.power[static_cast<UnitKind>(u)];
 }
 
 double
@@ -54,6 +57,19 @@ PowerTrace::averageTotalPower() const
         for (double p : pt.power)
             sum += p;
     return sum / static_cast<double>(points_.size());
+}
+
+PerUnit<double>
+PowerTrace::averageUnitPower() const
+{
+    PerUnit<double> avg(0.0);
+    if (points_.empty())
+        return avg;
+    const auto count = static_cast<double>(points_.size());
+    for (std::size_t u = 0; u < numUnitKinds; ++u)
+        avg[static_cast<UnitKind>(u)] =
+            unitPowerSum_[static_cast<UnitKind>(u)] / count;
+    return avg;
 }
 
 double

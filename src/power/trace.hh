@@ -69,6 +69,15 @@ class PowerTrace
     /** Mean total dynamic power over the whole trace, watts. */
     double averageTotalPower() const;
 
+    /**
+     * Mean per-unit dynamic power over the whole trace, watts.
+     * Maintained incrementally as points are added, so simulator
+     * construction reads it in O(units) instead of rescanning the
+     * whole trace per core (the sums accumulate in point order,
+     * matching a fresh front-to-back scan bit for bit).
+     */
+    PerUnit<double> averageUnitPower() const;
+
     /** Mean IPC over the whole trace. */
     double averageIpc() const;
 
@@ -83,6 +92,7 @@ class PowerTrace
     std::uint64_t intervalCycles_ = 0;
     double nominalFreq_ = 0.0;
     std::vector<TracePoint> points_;
+    PerUnit<double> unitPowerSum_; ///< running per-unit sums
 };
 
 } // namespace coolcmp

@@ -1,0 +1,68 @@
+#include "thermal/batched.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+namespace {
+
+/** Round a row width up to a whole number of cache lines. */
+std::size_t
+padStride(std::size_t n)
+{
+    return (n + 7) / 8 * 8;
+}
+
+} // namespace
+
+BatchedZohPropagator::BatchedZohPropagator(
+    std::shared_ptr<const ZohDiscretization> disc, std::size_t capacity)
+    : disc_(std::move(disc)), capacity_(std::max<std::size_t>(capacity, 1))
+{
+    if (!disc_ || disc_->ef.rows() == 0)
+        fatal("BatchedZohPropagator needs a fused discretization");
+    ldb_ = padStride(capacity_);
+    x_.assign(disc_->ef.cols() * ldb_, 0.0);
+    y_.assign(disc_->ef.rows() * ldb_, 0.0);
+    scratch_.assign(disc_->ef.rows(), 0.0);
+}
+
+void
+BatchedZohPropagator::step(const std::vector<ZohPropagator *> &lanes)
+{
+    if (lanes.empty())
+        return;
+    if (lanes.size() > capacity_)
+        panic("BatchedZohPropagator stepped with ", lanes.size(),
+              " lanes, capacity ", capacity_);
+    const std::size_t nm = disc_->ef.cols();
+    if (lanes.size() < 4) {
+        // Below the micro-kernel's column block there is nothing to
+        // amortize; step each lane through the fused GEMV (the same
+        // operations in the same order, so still bit-identical) and
+        // skip the pack/unpack round trip.
+        for (ZohPropagator *lane : lanes) {
+            if (lane->discretization().get() != disc_.get())
+                panic("batched lane does not share the discretization");
+            disc_->ef.multiplyFused(lane->augmentedState().data(),
+                                    scratch_.data());
+            lane->commitNext(scratch_.data());
+        }
+        return;
+    }
+    for (std::size_t b = 0; b < lanes.size(); ++b) {
+        if (lanes[b]->discretization().get() != disc_.get())
+            panic("batched lane does not share the discretization");
+        const Vector &xu = lanes[b]->augmentedState();
+        for (std::size_t j = 0; j < nm; ++j)
+            x_[j * ldb_ + b] = xu[j];
+    }
+    disc_->ef.multiplyBatched(x_.data(), y_.data(), ldb_,
+                              lanes.size());
+    for (std::size_t b = 0; b < lanes.size(); ++b)
+        lanes[b]->commitNext(y_.data() + b, ldb_);
+}
+
+} // namespace coolcmp

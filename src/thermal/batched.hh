@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Batched exact thermal stepping: one GEMM advances many transients.
+ *
+ * Every run of a policy sweep steps the same [E|F] operator, and a
+ * single matrix-vector product is memory-bound — the operator is
+ * re-streamed from cache for every run at every step. Packing B runs'
+ * augmented [x|u] states into a batch-innermost panel (run b's element
+ * j at x[j * ldb + b]) turns the B GEMVs of one lock-step into a
+ * tall-skinny GEMM (Matrix::multiplyBatched) with B-fold reuse of each
+ * operator row and vectorization across runs, while keeping every
+ * run's trajectory bit-identical to the sequential path.
+ */
+
+#ifndef COOLCMP_THERMAL_BATCHED_HH
+#define COOLCMP_THERMAL_BATCHED_HH
+
+#include <memory>
+#include <vector>
+
+#include "thermal/transient.hh"
+#include "util/aligned.hh"
+
+namespace coolcmp {
+
+/**
+ * Lock-step driver for up to `capacity` ZohPropagators sharing one
+ * discretization. The panel storage is owned here and reused across
+ * steps; lanes may come and go between steps (runs draining and
+ * refilling), only their count per step is bounded by the capacity.
+ */
+class BatchedZohPropagator
+{
+  public:
+    BatchedZohPropagator(
+        std::shared_ptr<const ZohDiscretization> disc,
+        std::size_t capacity);
+
+    std::size_t capacity() const { return capacity_; }
+
+    const std::shared_ptr<const ZohDiscretization> &
+    discretization() const
+    {
+        return disc_;
+    }
+
+    /**
+     * Advance every lane by one fixed step. Each lane must already
+     * hold its step inputs (ZohPropagator::setInputs) and must have
+     * been built over this exact discretization; both are enforced.
+     * Gather states -> one GEMM -> scatter results.
+     */
+    void step(const std::vector<ZohPropagator *> &lanes);
+
+  private:
+    std::shared_ptr<const ZohDiscretization> disc_;
+    std::size_t capacity_;
+    std::size_t ldb_; ///< panel row stride, doubles (64B multiple)
+    AlignedVector x_; ///< packed [x|u] panel, batch-innermost
+    AlignedVector y_; ///< packed next-state panel
+    Vector scratch_;  ///< fused-GEMV output for small lane counts
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_THERMAL_BATCHED_HH

@@ -89,26 +89,39 @@ ZohPropagator::makeDiscretization(const RcNetwork &network, double dt)
 }
 
 void
+ZohPropagator::setInputs(const Vector &blockPowers)
+{
+    if (blockPowers.size() != network_.numInputs())
+        panic("step power vector size mismatch");
+    const std::size_t n = next_.size();
+    for (std::size_t j = 0; j < blockPowers.size(); ++j)
+        xu_[n + j] = blockPowers[j];
+}
+
+void
+ZohPropagator::commitNext(const double *next, std::size_t stride)
+{
+    const double amb = network_.ambient();
+    const std::size_t n = next_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double v = next[i * stride];
+        xu_[i] = v;
+        temps_[i] = v + amb;
+    }
+}
+
+void
 ZohPropagator::step(const Vector &blockPowers, double dt)
 {
     if (std::abs(dt - dt_) > dt_ * 1e-6)
         panic("ZohPropagator built for dt=", dt_, " stepped with ", dt);
-    if (blockPowers.size() != network_.numInputs())
-        panic("step power vector size mismatch");
 
     // One contiguous pass: next = [E | F] [x | u]. The state stays in
     // ambient-relative form across steps; only the input tail and the
     // absolute-temperature mirror are refreshed.
-    const double amb = network_.ambient();
-    const std::size_t n = next_.size();
-    const std::size_t m = blockPowers.size();
-    for (std::size_t j = 0; j < m; ++j)
-        xu_[n + j] = blockPowers[j];
+    setInputs(blockPowers);
     disc_->ef.multiplyFused(xu_.data(), next_.data());
-    for (std::size_t i = 0; i < n; ++i) {
-        xu_[i] = next_[i];
-        temps_[i] = next_[i] + amb;
-    }
+    commitNext(next_.data());
 }
 
 Rk4Solver::Rk4Solver(const RcNetwork &network, double maxSubstep)

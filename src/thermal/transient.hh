@@ -88,6 +88,33 @@ class ZohPropagator : public TransientSolver
 
     double fixedDt() const { return dt_; }
 
+    /** The discretization this propagator steps with (shared across
+     *  simulators; the batched engine groups lanes by it). */
+    const std::shared_ptr<const ZohDiscretization> &
+    discretization() const
+    {
+        return disc_;
+    }
+
+    // --- Batched-stepping hooks (BatchedZohPropagator). One sequential
+    //     step() is exactly setInputs + the fused kernel + commitNext;
+    //     the batched engine performs the middle as one GEMM over many
+    //     propagators' packed states. ---
+
+    /** Write one step's block powers into the augmented-state tail. */
+    void setInputs(const Vector &blockPowers);
+
+    /** Augmented [x | u] vector (ambient-relative state + inputs). */
+    const Vector &augmentedState() const { return xu_; }
+
+    /** Adopt an externally computed next ambient-relative state
+     *  (numNodes entries): refreshes both xu_ and temps_. */
+    void commitNext(const double *next) { commitNext(next, 1); }
+
+    /** Strided variant: entry i lives at next[i * stride] (reads a
+     *  batched panel column in place, no gather copy). */
+    void commitNext(const double *next, std::size_t stride);
+
   private:
     double dt_;
     std::shared_ptr<const ZohDiscretization> disc_;

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal aligned allocator for hot-path numeric storage.
+ *
+ * The batched thermal kernel streams the [E|F] operator and packed
+ * state panels with unrolled loads; 64-byte alignment keeps every row
+ * and panel column on cache-line boundaries so the compiler can use
+ * aligned vector loads and no row straddles an extra line.
+ */
+
+#ifndef COOLCMP_UTIL_ALIGNED_HH
+#define COOLCMP_UTIL_ALIGNED_HH
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace coolcmp {
+
+/** std::allocator drop-in returning storage aligned to Align bytes. */
+template <typename T, std::size_t Align>
+struct AlignedAllocator
+{
+    static_assert((Align & (Align - 1)) == 0,
+                  "alignment must be a power of two");
+    static_assert(Align >= alignof(T),
+                  "alignment below the type's natural alignment");
+
+    using value_type = T;
+
+    AlignedAllocator() noexcept = default;
+
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &) noexcept
+    {
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    T *allocate(std::size_t n)
+    {
+        if (n == 0)
+            return nullptr;
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t(Align)));
+    }
+
+    void deallocate(T *p, std::size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t(Align));
+    }
+};
+
+template <typename T, typename U, std::size_t Align>
+bool
+operator==(const AlignedAllocator<T, Align> &,
+           const AlignedAllocator<U, Align> &) noexcept
+{
+    return true;
+}
+
+template <typename T, typename U, std::size_t Align>
+bool
+operator!=(const AlignedAllocator<T, Align> &,
+           const AlignedAllocator<U, Align> &) noexcept
+{
+    return false;
+}
+
+/** Cache-line-aligned vector of doubles (matrix and panel storage). */
+using AlignedVector = std::vector<double, AlignedAllocator<double, 64>>;
+
+} // namespace coolcmp
+
+#endif // COOLCMP_UTIL_ALIGNED_HH

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Coverage for the batched thermal-stepping engine: the
+ * Matrix::multiplyBatched panel kernel, the BatchedZohPropagator
+ * lock-step driver, and the batched Experiment::runMany scheduler.
+ * The load-bearing property throughout is bit-identity: batching may
+ * only change how fast a trajectory is computed, never its value.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "linalg/matrix.hh"
+#include "power/trace.hh"
+#include "test_util.hh"
+#include "thermal/batched.hh"
+#include "thermal/floorplan.hh"
+#include "thermal/rc_network.hh"
+#include "thermal/transient.hh"
+#include "util/aligned.hh"
+
+namespace coolcmp {
+namespace {
+
+std::size_t
+padStride(std::size_t n)
+{
+    return (n + 7) / 8 * 8;
+}
+
+Matrix
+randomMatrix(std::size_t rows, std::size_t cols, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+            m(i, j) = dist(rng);
+    return m;
+}
+
+TEST(MultiplyBatched, MatchesNaiveAndFusedAcrossShapes)
+{
+    // Every (shape, batch) cell: agreement with the naive reference
+    // to rounding, and bit-exact agreement with multiplyFused (the
+    // determinism contract of the batched engine). Shapes cover cols
+    // with and without a % 4 tail; batches cover the pure-remainder
+    // path (1, 3), one 4-block (4), the 8-block (8), and a mix with
+    // every sub-path live at once (11 = 8 + remainder of the 4-loop).
+    const std::size_t shapes[][2] = {{13, 12}, {13, 10}, {7, 9}};
+    const std::size_t batches[] = {1, 3, 4, 8, 11};
+    unsigned seed = 1;
+    for (const auto &shape : shapes) {
+        const std::size_t rows = shape[0];
+        const std::size_t cols = shape[1];
+        const Matrix m = randomMatrix(rows, cols, seed++);
+        for (const std::size_t batch : batches) {
+            const std::size_t ldb = padStride(batch);
+            AlignedVector x(cols * ldb, 0.0);
+            AlignedVector y(rows * ldb, -1.0);
+            std::mt19937 rng(100 + seed);
+            std::uniform_real_distribution<double> dist(-2.0, 2.0);
+            std::vector<Vector> columns(batch, Vector(cols));
+            for (std::size_t b = 0; b < batch; ++b)
+                for (std::size_t j = 0; j < cols; ++j) {
+                    columns[b][j] = dist(rng);
+                    x[j * ldb + b] = columns[b][j];
+                }
+
+            m.multiplyBatched(x.data(), y.data(), ldb, batch);
+
+            Vector naive(rows), fused(rows);
+            for (std::size_t b = 0; b < batch; ++b) {
+                m.multiply(columns[b].data(), naive.data());
+                m.multiplyFused(columns[b].data(), fused.data());
+                for (std::size_t i = 0; i < rows; ++i) {
+                    EXPECT_NEAR(y[i * ldb + b], naive[i], 1e-12)
+                        << "rows " << rows << " cols " << cols
+                        << " batch " << batch << " b " << b;
+                    EXPECT_EQ(y[i * ldb + b], fused[i])
+                        << "rows " << rows << " cols " << cols
+                        << " batch " << batch << " b " << b;
+                }
+            }
+        }
+    }
+}
+
+TEST(MultiplyBatched, MatrixStorageIsCacheLineAligned)
+{
+    // The kernel asserts 64-byte alignment; the Matrix allocator must
+    // deliver it for any shape, not just nice powers of two.
+    for (std::size_t n : {1, 3, 7, 16, 53, 117}) {
+        Matrix m(n, n + 1, 0.5);
+        const auto addr = reinterpret_cast<std::uintptr_t>(m.data());
+        EXPECT_EQ(addr % 64, 0u) << "n = " << n;
+    }
+    AlignedVector v(5, 0.0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u);
+}
+
+TEST(MultiplyBatched, RejectsBadPanels)
+{
+    const Matrix m = randomMatrix(4, 4, 7);
+    AlignedVector x(4 * 8), y(4 * 8);
+    // Stride smaller than the batch.
+    EXPECT_DEATH(m.multiplyBatched(x.data(), y.data(), 8, 9),
+                 "stride");
+    // Stride that breaks row alignment.
+    EXPECT_DEATH(m.multiplyBatched(x.data(), y.data(), 4, 4),
+                 "align");
+    // Misaligned panel base.
+    EXPECT_DEATH(
+        m.multiplyBatched(x.data() + 1, y.data(), 8, 4), "align");
+}
+
+TEST(BatchedZohPropagator, LockStepMatchesSequentialBitForBit)
+{
+    // B lanes sharing one discretization, driven with per-lane,
+    // per-step power patterns, against B independently stepped
+    // propagators. Lane counts cover the fused small-batch shortcut
+    // (2), the 4-block plus strided remainder (5), and the 8-block
+    // (8). Every temperature must match to the bit at every step.
+    const Floorplan plan = makeCmpFloorplan(4);
+    const RcNetwork net(plan, PackageParams::desktop());
+    const double dt = 100000.0 / 3.6e9;
+    const auto disc = ZohPropagator::makeDiscretization(net, dt);
+
+    for (const std::size_t lanesWanted : {2, 5, 8}) {
+        std::vector<std::unique_ptr<ZohPropagator>> batchedSolvers;
+        std::vector<std::unique_ptr<ZohPropagator>> serialSolvers;
+        std::vector<ZohPropagator *> lanes;
+        for (std::size_t b = 0; b < lanesWanted; ++b) {
+            batchedSolvers.push_back(
+                std::make_unique<ZohPropagator>(net, dt, disc));
+            serialSolvers.push_back(
+                std::make_unique<ZohPropagator>(net, dt, disc));
+            lanes.push_back(batchedSolvers.back().get());
+        }
+        BatchedZohPropagator batched(disc, lanesWanted);
+
+        Vector powers(plan.numBlocks());
+        for (std::size_t step = 0; step < 40; ++step) {
+            for (std::size_t b = 0; b < lanesWanted; ++b) {
+                for (std::size_t blk = 0; blk < powers.size(); ++blk)
+                    powers[blk] =
+                        0.5 + 0.1 * static_cast<double>(b) +
+                        0.01 * static_cast<double>((step + blk) % 7);
+                lanes[b]->setInputs(powers);
+                serialSolvers[b]->step(powers, dt);
+            }
+            batched.step(lanes);
+            for (std::size_t b = 0; b < lanesWanted; ++b)
+                ASSERT_EQ(lanes[b]->temperatures(),
+                          serialSolvers[b]->temperatures())
+                    << "lanes " << lanesWanted << " step " << step
+                    << " lane " << b;
+        }
+    }
+}
+
+TEST(PowerTrace, AverageUnitPowerMatchesRescan)
+{
+    PowerTrace trace("synthetic", 100000, 3.6e9);
+    std::mt19937 rng(11);
+    std::uniform_real_distribution<double> dist(0.0, 4.0);
+    for (int p = 0; p < 37; ++p) {
+        TracePoint point;
+        for (double &w : point.power)
+            w = dist(rng);
+        trace.addPoint(point);
+    }
+    PerUnit<double> rescan;
+    for (std::size_t p = 0; p < trace.numPoints(); ++p) {
+        std::size_t u = 0;
+        for (const double w : trace.point(p).power)
+            rescan[static_cast<UnitKind>(u++)] += w;
+    }
+    const PerUnit<double> cached = trace.averageUnitPower();
+    std::size_t u = 0;
+    for (const double sum : rescan) {
+        const auto kind = static_cast<UnitKind>(u++);
+        EXPECT_EQ(cached[kind],
+                  sum / static_cast<double>(trace.numPoints()));
+    }
+    EXPECT_EQ(PowerTrace("empty", 1, 1.0).averageUnitPower()
+                  [UnitKind::IntRF],
+              0.0);
+}
+
+void
+expectSameMetrics(const RunMetrics &a, const RunMetrics &b,
+                  std::size_t i)
+{
+    EXPECT_EQ(a.duration, b.duration) << "job " << i;
+    EXPECT_EQ(a.totalInstructions, b.totalInstructions) << "job " << i;
+    EXPECT_EQ(a.dutyCycle, b.dutyCycle) << "job " << i;
+    EXPECT_EQ(a.peakTemp, b.peakTemp) << "job " << i;
+    EXPECT_EQ(a.emergencies, b.emergencies) << "job " << i;
+    EXPECT_EQ(a.throttleActuations, b.throttleActuations)
+        << "job " << i;
+    EXPECT_EQ(a.migrations, b.migrations) << "job " << i;
+    EXPECT_EQ(a.migrationPenaltyTime, b.migrationPenaltyTime)
+        << "job " << i;
+    ASSERT_EQ(a.coreInstructions, b.coreInstructions) << "job " << i;
+    ASSERT_EQ(a.coreDuty, b.coreDuty) << "job " << i;
+    ASSERT_EQ(a.coreMeanFreq, b.coreMeanFreq) << "job " << i;
+    ASSERT_EQ(a.processInstructions, b.processInstructions)
+        << "job " << i;
+}
+
+TEST(ExperimentBatched, RunManyMatchesSerialBitForBit)
+{
+    // The acceptance bar of the batched engine: a mixed 8-job sweep
+    // through the lane scheduler must reproduce the serial metrics
+    // exactly — every field, every per-core entry, no tolerance.
+    // Width 5 exercises the 4-block + strided remainder and, as jobs
+    // drain, the small-batch fused shortcut; width 8 the 8-block.
+    coolcmp::testing::quiet();
+    DtmConfig cfg = coolcmp::testing::fastDtmConfig();
+    cfg.duration = 0.004;
+    Experiment exp(cfg, coolcmp::testing::fastTraceConfig());
+
+    std::vector<RunJob> jobs;
+    const PolicyConfig policies[] = {
+        baselinePolicy(),
+        {ThrottleMechanism::Dvfs, ControlScope::Distributed,
+         MigrationKind::CounterBased},
+    };
+    for (const char *name :
+         {"workload1", "workload3", "workload7", "workload12"})
+        for (const PolicyConfig &policy : policies)
+            jobs.push_back({findWorkload(name), policy, ""});
+
+    setenv("COOLCMP_BATCH", "1", 1);
+    std::vector<RunMetrics> serial;
+    for (const RunJob &job : jobs)
+        serial.push_back(exp.run(job.workload, job.policy));
+
+    for (const char *width : {"5", "8"}) {
+        setenv("COOLCMP_BATCH", width, 1);
+        const std::vector<RunMetrics> batched = exp.runMany(jobs, 1);
+        ASSERT_EQ(batched.size(), serial.size()) << "width " << width;
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            expectSameMetrics(serial[i], batched[i], i);
+    }
+
+    // Multi-worker batched dispatch must agree too (lanes split
+    // across workers, different drain interleavings).
+    setenv("COOLCMP_BATCH", "4", 1);
+    const std::vector<RunMetrics> threaded = exp.runMany(jobs, 3);
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectSameMetrics(serial[i], threaded[i], i);
+
+    // A single job is a singleton group: runMany must fall back to
+    // the sequential path and still agree.
+    setenv("COOLCMP_BATCH", "8", 1);
+    const std::vector<RunMetrics> one =
+        exp.runMany({jobs.front()}, 2);
+    ASSERT_EQ(one.size(), 1u);
+    expectSameMetrics(serial.front(), one.front(), 0);
+
+    unsetenv("COOLCMP_BATCH");
+}
+
+TEST(ExperimentBatched, BatchWidthParsesEnvironment)
+{
+    coolcmp::testing::quiet();
+    setenv("COOLCMP_BATCH", "3", 1);
+    EXPECT_EQ(Experiment::batchWidth(), 3u);
+    setenv("COOLCMP_BATCH", "0", 1);
+    EXPECT_EQ(Experiment::batchWidth(), 1u);
+    setenv("COOLCMP_BATCH", "999", 1);
+    EXPECT_EQ(Experiment::batchWidth(), 64u);
+    setenv("COOLCMP_BATCH", "nonsense", 1);
+    EXPECT_EQ(Experiment::batchWidth(), 8u);
+    unsetenv("COOLCMP_BATCH");
+    EXPECT_EQ(Experiment::batchWidth(), 8u);
+}
+
+} // namespace
+} // namespace coolcmp
