@@ -12,6 +12,7 @@
 #include "core/chip_model.hh"
 #include "core/experiment.hh"
 #include "obs/registry.hh"
+#include "obs/snapshot.hh"
 #include "obs/tracer.hh"
 #include "thermal/batched.hh"
 #include "thermal/floorplan.hh"
@@ -265,11 +266,14 @@ BENCHMARK(BM_RunManySweep)
 void
 BM_DtmRunObservability(benchmark::State &state)
 {
-    // One full DTM run with observability off (arg 0) vs a full
-    // tracer + registry attached (arg 1). The per-step cost of the
-    // subsystem is the difference; disabled must be unmeasurable and
-    // enabled must stay within a few percent (the hot path is one
-    // null check per sink and lock-free shard updates).
+    // One full DTM run with observability off (arg 0), a full tracer
+    // + registry attached (arg 1), and additionally a background
+    // SnapshotAggregator scraping every 10 ms (arg 2). The per-step
+    // cost of the subsystem is the difference; disabled must be
+    // unmeasurable, enabled must stay within a few percent (the hot
+    // path is one null check per sink and lock-free shard updates),
+    // and snapshotting must stay under 2% (snapshots only read the
+    // shards with relaxed loads, off the simulation threads).
     static Experiment *experiment = [] {
         setDefaultLogLevel(LogLevel::Warn);
         DtmConfig cfg;
@@ -290,7 +294,12 @@ BM_DtmRunObservability(benchmark::State &state)
                                 workload.benchmarks.end()});
 
     const bool observed = state.range(0) != 0;
+    const bool snapshotting = state.range(0) == 2;
     obs::Registry registry;
+    obs::SnapshotAggregator aggregator(registry,
+                                       std::chrono::milliseconds(10));
+    if (snapshotting)
+        aggregator.start();
     std::uint64_t steps = 0;
     for (auto _ : state) {
         // run() consumes the simulator (kernel time is monotonic), so
@@ -306,11 +315,17 @@ BM_DtmRunObservability(benchmark::State &state)
         steps += static_cast<std::uint64_t>(
             m.duration / experiment->config().stepSeconds() + 0.5);
     }
+    if (snapshotting) {
+        aggregator.stop();
+        state.counters["snapshots"] = static_cast<double>(
+            aggregator.taken());
+    }
     state.SetItemsProcessed(static_cast<std::int64_t>(steps));
 }
 BENCHMARK(BM_DtmRunObservability)
     ->Arg(0)
     ->Arg(1)
+    ->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 void

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over google-benchmark JSON output.
+
+Compares a fresh ``bench_micro --benchmark_format=json`` run against the
+committed baseline (``BENCH_micro.json`` at the repo root) and fails
+with a non-zero exit code when any benchmark's throughput
+(``items_per_second``) regressed by more than the tolerance.
+
+Because the baseline is recorded on whatever machine last ran
+``cmake --build build --target bench_baseline``, absolute timings are
+not comparable across hosts. ``--calibrate NAME`` divides every ratio
+by the ratio of one reference benchmark, so a uniformly slower CI
+runner does not trip the gate while a kernel that regressed *relative
+to the machine's speed* still does. The calibration benchmark itself
+is exempt from the gate — pick a stable, single-threaded kernel.
+
+Usage:
+    build/bench/bench_micro --benchmark_format=json > fresh.json
+    python3 bench/check_bench_regression.py BENCH_micro.json fresh.json \
+        --tolerance 0.15 --calibrate BM_MultiplyFusedKernel
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_throughputs(path):
+    """Map benchmark name -> items_per_second for plain iteration runs."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue  # skip _mean/_median/_stddev aggregates
+        name = bench["name"]
+        ips = bench.get("items_per_second")
+        if ips is None or name in out:
+            continue  # keep the first repetition only
+        out[name] = float(ips)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail when bench_micro throughput regressed "
+        "versus the committed baseline.")
+    parser.add_argument("baseline", help="committed BENCH_micro.json")
+    parser.add_argument("fresh", help="fresh bench_micro JSON output")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional steps/s regression "
+                        "(default 0.15 = 15%%)")
+    parser.add_argument("--calibrate", default=None, metavar="NAME",
+                        help="normalize by this benchmark's ratio to "
+                        "absorb machine-speed differences")
+    args = parser.parse_args()
+
+    baseline = load_throughputs(args.baseline)
+    fresh = load_throughputs(args.fresh)
+
+    scale = 1.0
+    if args.calibrate:
+        if args.calibrate not in baseline or args.calibrate not in fresh:
+            sys.exit(f"error: calibration benchmark '{args.calibrate}' "
+                     "missing from baseline or fresh run")
+        scale = fresh[args.calibrate] / baseline[args.calibrate]
+        if scale <= 0:
+            sys.exit("error: non-positive calibration ratio")
+
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        sys.exit("error: no common benchmarks with items_per_second "
+                 "between baseline and fresh run")
+
+    regressions = []
+    width = max(len(name) for name in shared)
+    print(f"perf gate: tolerance {args.tolerance:.0%}, "
+          f"calibration scale {scale:.3f}"
+          + (f" (via {args.calibrate})" if args.calibrate else ""))
+    print(f"{'benchmark':<{width}}  {'baseline/s':>12}  "
+          f"{'fresh/s':>12}  {'delta':>8}")
+    for name in shared:
+        ratio = (fresh[name] / baseline[name]) / scale
+        delta = ratio - 1.0
+        flag = ""
+        if name != args.calibrate and delta < -args.tolerance:
+            regressions.append((name, delta))
+            flag = "  << REGRESSED"
+        print(f"{name:<{width}}  {baseline[name]:>12.3e}  "
+              f"{fresh[name]:>12.3e}  {delta:>+7.1%}{flag}")
+
+    only_base = sorted(set(baseline) - set(fresh))
+    only_fresh = sorted(set(fresh) - set(baseline))
+    if only_base:
+        print(f"note: {len(only_base)} baseline benchmark(s) missing "
+              f"from the fresh run: {', '.join(only_base)}")
+    if only_fresh:
+        print(f"note: {len(only_fresh)} new benchmark(s) without a "
+              f"baseline (ignored): {', '.join(only_fresh)}")
+
+    if regressions:
+        print()
+        print(f"FAIL: {len(regressions)} benchmark(s) regressed more "
+              f"than {args.tolerance:.0%} in steps/s:")
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}")
+        print("If the slowdown is intended, refresh the baseline with "
+              "'cmake --build build --target bench_baseline' and "
+              "commit BENCH_micro.json.")
+        return 1
+
+    print(f"OK: {len(shared)} benchmark(s) within {args.tolerance:.0%} "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,23 @@
  *                      worker thread that ran it.
  *   - trace_run.csv    Per-step sensor time series of the last job,
  *                      via the shared CsvExporter.
- *   - stdout           Plain-text dump of the sweep metrics registry.
+ *   - trace_run_report.json  End-of-sweep JSON run report: config
+ *                      key, per-phase wall-clock breakdown, and
+ *                      per-job control-loop health (overshoot,
+ *                      settle time, emergencies).
+ *   - trace_run.prom   Prometheus text exposition of the final sweep
+ *                      metrics (what a textfile collector would
+ *                      scrape).
+ *   - stdout           Plain-text dump of the sweep metrics registry
+ *                      plus the live steps/s rate observed by the
+ *                      background snapshot aggregator.
+ *
+ * Live endpoints: set COOLCMP_METRICS_PORT to also serve the sweep's
+ * registry over HTTP while it runs --
+ *     COOLCMP_METRICS_PORT=9137 ./build/examples/trace_run &
+ *     curl localhost:9137/metrics     # Prometheus exposition
+ *     curl localhost:9137/healthz     # liveness probe
+ * (COOLCMP_SNAPSHOT_MS tunes the aggregator cadence, default 250 ms.)
  *
  * Build and run:
  *     cmake -B build -G Ninja && cmake --build build
@@ -24,6 +40,10 @@
 
 #include "core/experiment.hh"
 #include "obs/export.hh"
+#include "obs/http_server.hh"
+#include "obs/prom_export.hh"
+#include "obs/run_report.hh"
+#include "obs/snapshot.hh"
 #include "obs/tracer.hh"
 #include "util/logging.hh"
 
@@ -60,7 +80,37 @@ main()
     // wall-clock span and collects sweep-wide metrics.
     obs::TraceSession session;
     experiment.attachSession(&session);
+
+    // The live telemetry layer: a background aggregator snapshotting
+    // the sweep registry (COOLCMP_SNAPSHOT_MS cadence) and, when
+    // COOLCMP_METRICS_PORT is set, an HTTP /metrics + /healthz
+    // endpoint a Prometheus scraper can poll mid-sweep.
+    obs::SnapshotAggregator aggregator(session.registry());
+    aggregator.start();
+    auto httpServer =
+        obs::MetricsHttpServer::fromEnv(session.registry());
+    if (httpServer)
+        inform("serving /metrics and /healthz on 127.0.0.1:",
+               httpServer->port());
+
+    if (experiment.runReportPath().empty())
+        experiment.setRunReportPath("trace_run_report.json");
     experiment.runMany(jobs);
+
+    aggregator.snapshotNow();
+    for (const obs::CounterRate &rate : aggregator.latestRates()) {
+        if (rate.name == "sim.steps")
+            inform("live rate at sweep end: ", rate.perSecond,
+                   " steps/s");
+    }
+    aggregator.stop();
+
+    const obs::RunReport &report = experiment.lastRunReport();
+    inform("wrote ", experiment.runReportPath(), " (",
+           report.phases.size(), " phases, ",
+           static_cast<int>(report.phaseCoverage() * 100.0),
+           "% of busy time attributed)");
+    obs::writePrometheusFile("trace_run.prom", session.registry());
 
     obs::writeChromeTrace("trace_run.json", session);
 

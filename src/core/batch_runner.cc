@@ -9,9 +9,11 @@ namespace coolcmp {
 
 BatchRunner::BatchRunner(
     std::size_t width, std::function<bool(Lane &)> refill,
-    std::function<void(Lane &, RunMetrics &&)> complete)
+    std::function<void(Lane &, RunMetrics &&)> complete,
+    obs::Registry *registry)
     : width_(std::max<std::size_t>(width, 1)),
-      refill_(std::move(refill)), complete_(std::move(complete))
+      refill_(std::move(refill)), complete_(std::move(complete)),
+      registry_(registry)
 {
     if (!refill_ || !complete_)
         fatal("BatchRunner needs refill and complete callbacks");
@@ -24,52 +26,81 @@ BatchRunner::run()
     lanes.reserve(width_);
     std::vector<ZohPropagator *> solvers;
     solvers.reserve(width_);
+    std::vector<const Vector *> gathered;
+    gathered.reserve(width_);
     std::unique_ptr<BatchedZohPropagator> batched;
     bool exhausted = false;
+
+    // Runner-side phase accumulator: queue pulls, input packing, the
+    // shared GEMM, and lane retirement. The per-lane simulators time
+    // their own phases; BatchCommit/QueueWait also span the lanes'
+    // once-per-run finishRun/beginRun (microseconds against a run's
+    // hundreds of milliseconds of stepping — not worth untangling).
+    obs::PhaseProfile profileSlots;
+    obs::PhaseProfile *profile = registry_ ? &profileSlots : nullptr;
 
     for (;;) {
         // Retire finished lanes (a lane is also "finished" straight
         // after beginRun when the configured duration is zero steps).
-        for (std::size_t i = 0; i < lanes.size();) {
-            if (lanes[i].sim->done()) {
-                complete_(lanes[i], lanes[i].sim->finishRun());
-                lanes.erase(lanes.begin() +
-                            static_cast<std::ptrdiff_t>(i));
-            } else {
-                ++i;
+        {
+            obs::ScopedPhase timer(profile, obs::Phase::BatchCommit);
+            for (std::size_t i = 0; i < lanes.size();) {
+                if (lanes[i].sim->done()) {
+                    complete_(lanes[i], lanes[i].sim->finishRun());
+                    lanes.erase(lanes.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+                } else {
+                    ++i;
+                }
             }
         }
 
-        // Refill empty lanes from the pending queue.
-        while (!exhausted && lanes.size() < width_) {
-            Lane lane;
-            if (!refill_(lane)) {
-                exhausted = true;
-                break;
+        // Refill empty lanes from the pending queue (the callback
+        // owns cache probes and simulator construction, so QueueWait
+        // is where per-job setup cost shows up in batched sweeps).
+        {
+            obs::ScopedPhase timer(profile, obs::Phase::QueueWait);
+            while (!exhausted && lanes.size() < width_) {
+                Lane lane;
+                if (!refill_(lane)) {
+                    exhausted = true;
+                    break;
+                }
+                lane.sim->beginRun();
+                lanes.push_back(std::move(lane));
             }
-            lane.sim->beginRun();
-            lanes.push_back(std::move(lane));
         }
         if (lanes.empty())
-            return;
+            break;
 
         // One lock-step: every lane gathers its powers, one GEMM
         // advances every thermal state, every lane runs its control
         // loop. The phases never couple lanes, so each trajectory is
         // bit-identical to running that simulator alone.
         solvers.clear();
+        gathered.clear();
         for (Lane &lane : lanes) {
-            const Vector &powers = lane.sim->gatherPowers();
-            lane.sim->propagator().setInputs(powers);
+            gathered.push_back(&lane.sim->gatherPowers());
             solvers.push_back(&lane.sim->propagator());
         }
-        if (!batched)
-            batched = std::make_unique<BatchedZohPropagator>(
-                solvers.front()->discretization(), width_);
-        batched->step(solvers);
+        {
+            obs::ScopedPhase timer(profile, obs::Phase::BatchPack);
+            for (std::size_t i = 0; i < lanes.size(); ++i)
+                solvers[i]->setInputs(*gathered[i]);
+        }
+        {
+            obs::ScopedPhase timer(profile, obs::Phase::StepThermal);
+            if (!batched)
+                batched = std::make_unique<BatchedZohPropagator>(
+                    solvers.front()->discretization(), width_);
+            batched->step(solvers);
+        }
         for (Lane &lane : lanes)
             lane.sim->finishStep();
     }
+
+    if (profile)
+        profile->flushTo(*registry_);
 }
 
 } // namespace coolcmp

@@ -41,10 +41,15 @@ class BatchRunner
      * @param refill fill an empty lane with the next pending job;
      * return false when no jobs remain. Called until it declines.
      * @param complete consume a finished lane's metrics.
+     * @param registry when non-null, the runner times its own phases
+     * (queue pull, input packing, the shared GEMM, lane retirement)
+     * and flushes them here at the end of run(); the per-lane phases
+     * come from the simulators' own profiles.
      */
     BatchRunner(std::size_t width,
                 std::function<bool(Lane &)> refill,
-                std::function<void(Lane &, RunMetrics &&)> complete);
+                std::function<void(Lane &, RunMetrics &&)> complete,
+                obs::Registry *registry = nullptr);
 
     /** Run every job to completion (refill -> lock-step -> retire). */
     void run();
@@ -53,6 +58,7 @@ class BatchRunner
     std::size_t width_;
     std::function<bool(Lane &)> refill_;
     std::function<void(Lane &, RunMetrics &&)> complete_;
+    obs::Registry *registry_;
 };
 
 } // namespace coolcmp

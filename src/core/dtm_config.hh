@@ -32,6 +32,12 @@ struct DtmConfig
     double stopGoTrip = 83.5;     ///< trip "just below the threshold"
     double dvfsSetpoint = 82.5;   ///< PI target "just below threshold"
 
+    /** Control-loop health accounting: the run is "settled" once the
+     *  hottest block stays within this band above the DVFS setpoint.
+     *  RunMetrics::settleTime records the last excursion, so this
+     *  knob is part of configKey() (it changes cached outputs). */
+    double settleBand = 1.0;
+
     // --- Stop-go mechanism (Sections 2.3, 5.1). ---
     double stopGoStall = milliseconds(30);
 

@@ -123,6 +123,9 @@ DtmSimulator::initializeThermalState()
 void
 DtmSimulator::beginRun()
 {
+    const bool timed = config_.registry != nullptr;
+    const auto t0 = timed ? obs::PhaseProfile::Clock::now()
+                          : obs::PhaseProfile::Clock::time_point{};
     const auto nc = static_cast<std::size_t>(chip_->numCores());
     RunState &rs = run_;
     rs = RunState{};
@@ -161,6 +164,14 @@ DtmSimulator::beginRun()
     rs.winFreqCubed.assign(nc, 0.0);
     rs.winAvail.assign(nc, 0.0);
     rs.active = true;
+
+    if (timed) {
+        rs.profile = &rs.profileSlots;
+        rs.profile->add(obs::Phase::BeginRun,
+                        std::chrono::duration<double>(
+                            obs::PhaseProfile::Clock::now() - t0)
+                            .count());
+    }
 }
 
 const Vector &
@@ -169,6 +180,7 @@ DtmSimulator::gatherPowers()
     RunState &rs = run_;
     if (!rs.active)
         panic("gatherPowers() outside beginRun()/finishRun()");
+    obs::ScopedPhase timer(rs.profile, obs::Phase::GatherPowers);
     const int numCores = chip_->numCores();
     const double dt = rs.dt;
     const double now = static_cast<double>(rs.step) * dt;
@@ -231,6 +243,7 @@ void
 DtmSimulator::stepThermal()
 {
     // --- Advance the thermal state by one exact step. ---
+    obs::ScopedPhase timer(run_.profile, obs::Phase::StepThermal);
     solver_->step(run_.blockPowers, run_.dt);
 }
 
@@ -238,6 +251,7 @@ void
 DtmSimulator::finishStep()
 {
     RunState &rs = run_;
+    obs::ScopedPhase timer(rs.profile, obs::Phase::FinishStep);
     const int numCores = chip_->numCores();
     const auto nc = static_cast<std::size_t>(numCores);
     const double dt = rs.dt;
@@ -255,6 +269,11 @@ DtmSimulator::finishStep()
 
     const double hottestBlock = solver_->maxBlockTemp();
     rs.metrics.peakTemp = std::max(rs.metrics.peakTemp, hottestBlock);
+    const double overshoot = hottestBlock - config_.dvfsSetpoint;
+    if (overshoot > rs.metrics.maxOvershoot)
+        rs.metrics.maxOvershoot = overshoot;
+    if (overshoot > config_.settleBand)
+        rs.metrics.settleTime = tEnd;
     if (hottestBlock > config_.thresholdTemp) {
         rs.metrics.emergencies += 1;
         if (!rs.inEmergency) {
@@ -357,6 +376,9 @@ RunMetrics
 DtmSimulator::finishRun()
 {
     RunState &rs = run_;
+    const auto t0 = rs.profile
+        ? obs::PhaseProfile::Clock::now()
+        : obs::PhaseProfile::Clock::time_point{};
     const auto nc = static_cast<std::size_t>(chip_->numCores());
     const double stepCount = static_cast<double>(rs.steps);
     double dutySum = 0.0;
@@ -370,6 +392,14 @@ DtmSimulator::finishRun()
     rs.metrics.migrations = kernel_->migrationCount();
     rs.metrics.migrationPenaltyTime = kernel_->totalPenaltyTime();
     rs.active = false;
+    if (rs.profile) {
+        rs.profile->add(obs::Phase::FinishRun,
+                        std::chrono::duration<double>(
+                            obs::PhaseProfile::Clock::now() - t0)
+                            .count());
+        rs.profile->flushTo(*config_.registry);
+        rs.profile = nullptr;
+    }
     return std::move(rs.metrics);
 }
 

@@ -27,6 +27,7 @@
 #include "core/step_sample.hh"
 #include "core/taxonomy.hh"
 #include "core/throttle.hh"
+#include "obs/phase_timer.hh"
 #include "os/kernel.hh"
 #include "power/trace.hh"
 #include "thermal/sensor.hh"
@@ -126,6 +127,13 @@ class DtmSimulator
         obs::Counter *emergencyCounter = nullptr;
         obs::Histogram *tempHist = nullptr;
         bool inEmergency = false;
+
+        // Phase profiling: single-thread accumulator, flushed to the
+        // registry in finishRun(). `profile` stays null when no
+        // registry is attached, so the telemetry-off path pays one
+        // pointer test per phase and zero clock reads.
+        obs::PhaseProfile profileSlots;
+        obs::PhaseProfile *profile = nullptr;
 
         Vector blockPowers;
         std::vector<double> coreHottest;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +15,7 @@
 #include "obs/registry.hh"
 #include "obs/tracer.hh"
 #include "thermal/sensor.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -22,7 +24,8 @@ namespace coolcmp {
 Experiment::Experiment(const DtmConfig &config,
                        const TraceBuilderConfig &traceConfig)
     : config_(config), builder_(traceConfig),
-      chip_(std::make_shared<const ChipModel>(4, config_))
+      chip_(std::make_shared<const ChipModel>(4, config_)),
+      runReportPath_(envString("COOLCMP_RUN_REPORT"))
 {
     if (traceConfig.power.nominalFreq != config.power.nominalFreq)
         fatal("trace and DTM configs disagree on nominal frequency");
@@ -143,11 +146,12 @@ saveRunMetrics(const std::string &path, const RunMetrics &m,
     // Schema version + config hash: a reader built against another
     // schema, or an experiment with different constants, must treat
     // this file as a miss rather than deserialize stale numbers.
-    out << "coolcmp-metrics-v2 " << configKeyHex(configKey) << "\n";
+    out << "coolcmp-metrics-v3 " << configKeyHex(configKey) << "\n";
     out << m.duration << " " << m.totalInstructions << " "
         << m.dutyCycle << " " << m.peakTemp << " " << m.emergencies
         << " " << m.throttleActuations << " " << m.migrations << " "
-        << m.migrationPenaltyTime << "\n";
+        << m.migrationPenaltyTime << " " << m.maxOvershoot << " "
+        << m.settleTime << "\n";
     auto dumpVec = [&out](const std::vector<double> &v) {
         out << v.size();
         for (double x : v)
@@ -180,9 +184,9 @@ loadRunMetrics(const std::string &path, RunMetrics &m,
     std::string magic, key;
     if (!(in >> magic >> key))
         return false;
-    if (magic != "coolcmp-metrics-v2") {
+    if (magic != "coolcmp-metrics-v3") {
         warn("result cache ", path, " has schema '", magic,
-             "', expected coolcmp-metrics-v2; rebuilding");
+             "', expected coolcmp-metrics-v3; rebuilding");
         return false;
     }
     if (key != configKeyHex(configKey)) {
@@ -192,7 +196,8 @@ loadRunMetrics(const std::string &path, RunMetrics &m,
     }
     if (!(in >> m.duration >> m.totalInstructions >> m.dutyCycle >>
           m.peakTemp >> m.emergencies >> m.throttleActuations >>
-          m.migrations >> m.migrationPenaltyTime))
+          m.migrations >> m.migrationPenaltyTime >> m.maxOvershoot >>
+          m.settleTime))
         return false;
     auto readVec = [&in](std::vector<double> &v) {
         std::size_t n = 0;
@@ -214,6 +219,7 @@ Experiment::configKey() const
     std::uint64_t hash = builder_.configKey();
     const DtmConfig &c = config_;
     for (double v : {c.thresholdTemp, c.stopGoTrip, c.dvfsSetpoint,
+                     c.settleBand,
                      c.stopGoStall, c.piGains.kp, c.piGains.ki,
                      c.piGains.kd, c.minFreqScale, c.minTransition,
                      c.dvfsTransitionPenalty,
@@ -260,20 +266,41 @@ Experiment::cachePath(const RunJob &job) const
 
 RunMetrics
 Experiment::runJob(const RunJob &job, obs::Tracer *tracer,
-                   obs::Registry *registry)
+                   obs::Registry *registry, bool *fromCache)
 {
+    if (fromCache)
+        *fromCache = false;
+
+    // Simulator construction is the per-job setup cost; surface it in
+    // the phase breakdown next to the run phases it precedes (the
+    // batched path books construction under QueueWait instead).
+    auto build = [&] {
+        if (!registry)
+            return makeSimulator(job.workload, job.policy, tracer,
+                                 registry);
+        const auto t0 = obs::PhaseProfile::Clock::now();
+        auto sim = makeSimulator(job.workload, job.policy, tracer,
+                                 registry);
+        obs::PhaseProfile profile;
+        profile.add(obs::Phase::Setup,
+                    std::chrono::duration<double>(
+                        obs::PhaseProfile::Clock::now() - t0)
+                        .count());
+        profile.flushTo(*registry);
+        return sim;
+    };
+
     if (job.resultDir.empty())
-        return makeSimulator(job.workload, job.policy, tracer,
-                             registry)
-            ->run();
+        return build()->run();
     const std::uint64_t key = configKey();
     const std::string path = cachePath(job);
     RunMetrics cached;
-    if (loadRunMetrics(path, cached, key))
+    if (loadRunMetrics(path, cached, key)) {
+        if (fromCache)
+            *fromCache = true;
         return cached;
-    const RunMetrics fresh =
-        makeSimulator(job.workload, job.policy, tracer, registry)
-            ->run();
+    }
+    const RunMetrics fresh = build()->run();
     std::error_code ec;
     std::filesystem::create_directories(job.resultDir, ec);
     if (!saveRunMetrics(path, fresh, key))
@@ -284,14 +311,7 @@ Experiment::runJob(const RunJob &job, obs::Tracer *tracer,
 std::size_t
 Experiment::batchWidth()
 {
-    if (const char *env = std::getenv("COOLCMP_BATCH")) {
-        char *end = nullptr;
-        const long v = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && v >= 0)
-            return std::clamp<long>(v, 1, 64);
-        warn("ignoring invalid COOLCMP_BATCH value '", env, "'");
-    }
-    return 8;
+    return envSizeT("COOLCMP_BATCH", 8, 1, 64);
 }
 
 std::vector<RunMetrics>
@@ -299,6 +319,17 @@ Experiment::runMany(const std::vector<RunJob> &jobs,
                     std::size_t threads)
 {
     std::vector<RunMetrics> out(jobs.size());
+    std::vector<char> fromCache(jobs.size(), 0);
+
+    // Bracket the sweep with registry snapshots: the registry
+    // accumulates across runMany calls, so the run report is built
+    // from deltas, not absolute values.
+    obs::Registry *const reg =
+        session_ ? &session_->registry() : config_.registry;
+    obs::MetricsSnapshot before;
+    if (reg)
+        before = obs::takeSnapshot(*reg);
+    const auto wall0 = std::chrono::steady_clock::now();
 
     // Group pending jobs by discretization: every simulator this
     // Experiment builds shares one chip and one step length, i.e. one
@@ -307,50 +338,74 @@ Experiment::runMany(const std::vector<RunJob> &jobs,
     // the sequential per-run path instead.
     const std::size_t width = batchWidth();
     if (width > 1 && jobs.size() > 1) {
-        runManyBatched(jobs, threads, width, out);
-        return out;
-    }
+        runManyBatched(jobs, threads, width, out, fromCache);
+    } else {
+        obs::TraceSession *const session = session_;
 
-    obs::TraceSession *const session = session_;
-
-    // Sweep-level pool metrics: how many jobs are still queued (the
-    // gauge the ISSUE calls the worker-pool queue depth) and how many
-    // completed.
-    obs::Gauge *queueDepth = nullptr;
-    obs::Counter *jobsDone = nullptr;
-    std::atomic<std::size_t> pending{jobs.size()};
-    if (session) {
-        queueDepth = &session->registry().gauge("runmany.queue_depth");
-        jobsDone = &session->registry().counter("runmany.jobs");
-        queueDepth->set(static_cast<double>(jobs.size()));
-    }
-
-    parallelFor(jobs.size(), threads, [&](std::size_t i) {
-        const RunJob &job = jobs[i];
+        // Sweep-level pool metrics: how many jobs are still queued
+        // (the worker-pool queue depth) and how many completed. Busy
+        // seconds sum each worker's per-job wall time — the coverage
+        // denominator for the phase breakdown.
+        obs::Gauge *queueDepth = nullptr;
+        obs::Counter *jobsDone = nullptr;
+        obs::Gauge *busy =
+            reg ? &reg->gauge("runmany.busy_seconds") : nullptr;
+        std::atomic<std::size_t> pending{jobs.size()};
         if (session) {
-            const std::size_t span = session->beginJob(
-                job.workload.name + "/" + job.policy.slug());
-            out[i] = runJob(job, session->jobTracer(span),
-                            &session->registry());
-            session->endJob(span);
-            jobsDone->add();
-            queueDepth->set(static_cast<double>(
-                pending.fetch_sub(1, std::memory_order_relaxed) - 1));
-        } else {
-            out[i] = runJob(job, config_.tracer, config_.registry);
+            queueDepth =
+                &session->registry().gauge("runmany.queue_depth");
+            jobsDone = &session->registry().counter("runmany.jobs");
+            queueDepth->set(static_cast<double>(jobs.size()));
         }
-    });
+
+        parallelFor(jobs.size(), threads, [&](std::size_t i) {
+            const RunJob &job = jobs[i];
+            const auto t0 = std::chrono::steady_clock::now();
+            bool hit = false;
+            if (session) {
+                const std::size_t span = session->beginJob(
+                    job.workload.name + "/" + job.policy.slug());
+                out[i] = runJob(job, session->jobTracer(span),
+                                &session->registry(), &hit);
+                session->endJob(span);
+                jobsDone->add();
+                queueDepth->set(static_cast<double>(
+                    pending.fetch_sub(1, std::memory_order_relaxed) -
+                    1));
+            } else {
+                out[i] = runJob(job, config_.tracer, config_.registry,
+                                &hit);
+            }
+            fromCache[i] = hit ? 1 : 0;
+            if (busy)
+                busy->add(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+        });
+    }
+
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall0)
+                            .count();
+    buildRunReport(jobs, out, fromCache, reg, before, wall);
+    if (!runReportPath_.empty())
+        obs::writeRunReportJson(runReportPath_, lastReport_);
     return out;
 }
 
 void
 Experiment::runManyBatched(const std::vector<RunJob> &jobs,
                            std::size_t threads, std::size_t width,
-                           std::vector<RunMetrics> &out)
+                           std::vector<RunMetrics> &out,
+                           std::vector<char> &fromCache)
 {
     obs::TraceSession *const session = session_;
+    obs::Registry *const reg =
+        session ? &session->registry() : config_.registry;
     obs::Gauge *queueDepth = nullptr;
     obs::Counter *jobsDone = nullptr;
+    obs::Gauge *busy =
+        reg ? &reg->gauge("runmany.busy_seconds") : nullptr;
     std::atomic<std::size_t> pending{jobs.size()};
     if (session) {
         queueDepth = &session->registry().gauge("runmany.queue_depth");
@@ -406,6 +461,7 @@ Experiment::runManyBatched(const std::vector<RunJob> &jobs,
                 if (!job.resultDir.empty() &&
                     loadRunMetrics(cachePath(job), cached, key)) {
                     out[i] = cached;
+                    fromCache[i] = 1;
                     finishJobObs(i);
                     continue;
                 }
@@ -429,10 +485,76 @@ Experiment::runManyBatched(const std::vector<RunJob> &jobs,
             out[lane.tag] = std::move(metrics);
             finishJobObs(lane.tag);
         };
-        BatchRunner(laneWidth, refill, complete).run();
+        const auto t0 = std::chrono::steady_clock::now();
+        BatchRunner(laneWidth, refill, complete, reg).run();
+        if (busy)
+            busy->add(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
     };
 
     parallelFor(workers, workers, worker);
+}
+
+void
+Experiment::buildRunReport(const std::vector<RunJob> &jobs,
+                           const std::vector<RunMetrics> &out,
+                           const std::vector<char> &fromCache,
+                           const obs::Registry *registry,
+                           const obs::MetricsSnapshot &before,
+                           double wallSeconds)
+{
+    obs::RunReport report;
+    report.sweepName = "runMany";
+    report.configKey = configKeyHex(configKey());
+    report.jobs = jobs.size();
+    report.wallSeconds = wallSeconds;
+
+    const std::uint64_t stepsPerJob = config_.numSteps();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        obs::RunReport::JobEntry entry;
+        entry.configKey =
+            jobs[i].workload.name + "/" + jobs[i].policy.slug();
+        entry.fromCache = fromCache[i] != 0;
+        entry.steps = entry.fromCache ? 0 : stepsPerJob;
+        entry.emergencies = out[i].emergencies;
+        entry.maxOvershootC = out[i].maxOvershoot;
+        entry.settleTimeS = out[i].settleTime;
+        if (entry.fromCache)
+            ++report.cachedJobs;
+        report.totalSteps += entry.steps;
+        report.jobEntries.push_back(std::move(entry));
+    }
+
+    if (registry) {
+        const obs::MetricsSnapshot after = obs::takeSnapshot(*registry);
+        const std::uint64_t stepsBefore = before.counter("sim.steps");
+        const std::uint64_t stepsAfter = after.counter("sim.steps");
+        if (stepsAfter > stepsBefore)
+            report.totalSteps = stepsAfter - stepsBefore;
+        report.busySeconds = after.gauge("runmany.busy_seconds") -
+            before.gauge("runmany.busy_seconds");
+        for (std::size_t p = 0; p < obs::kNumPhases; ++p) {
+            const char *name =
+                obs::phaseName(static_cast<obs::Phase>(p));
+            const std::string base = std::string("phase.") + name;
+            const std::uint64_t calls =
+                after.counter(base + ".calls") -
+                before.counter(base + ".calls");
+            if (calls == 0)
+                continue;
+            report.phases.push_back(
+                {name,
+                 after.gauge(base + ".seconds") -
+                     before.gauge(base + ".seconds"),
+                 calls});
+        }
+    }
+
+    report.stepsPerSecond = wallSeconds > 0.0
+        ? static_cast<double>(report.totalSteps) / wallSeconds
+        : 0.0;
+    lastReport_ = std::move(report);
 }
 
 std::vector<RunMetrics>

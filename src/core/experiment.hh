@@ -20,6 +20,8 @@
 #include "core/dtm_simulator.hh"
 #include "core/metrics.hh"
 #include "core/taxonomy.hh"
+#include "obs/run_report.hh"
+#include "obs/snapshot.hh"
 #include "power/trace_builder.hh"
 #include "workload/workloads.hh"
 
@@ -83,6 +85,25 @@ class Experiment
     }
 
     obs::TraceSession *session() const { return session_; }
+
+    /**
+     * Write a JSON run report (obs::RunReport) to this path after
+     * every runMany; empty disables the file. Initialized from
+     * COOLCMP_RUN_REPORT, so sweeps can opt in without code changes.
+     * The in-memory report is always available via lastRunReport().
+     */
+    void setRunReportPath(std::string path)
+    {
+        runReportPath_ = std::move(path);
+    }
+
+    const std::string &runReportPath() const { return runReportPath_; }
+
+    /** Report of the most recent runMany (default-constructed until
+     *  one completes). Phase breakdown and busy/step totals need an
+     *  attached registry (session or config); job health columns come
+     *  from the returned metrics and are always filled. */
+    const obs::RunReport &lastRunReport() const { return lastReport_; }
 
     /** Run one workload under one policy. */
     RunMetrics run(const Workload &workload, const PolicyConfig &policy);
@@ -163,10 +184,15 @@ class Experiment
     TraceBuilder builder_;
     std::shared_ptr<const ChipModel> chip_;
     obs::TraceSession *session_ = nullptr;
+    std::string runReportPath_;
+    obs::RunReport lastReport_;
 
-    /** One job, cached or fresh, with explicit observability sinks. */
+    /** One job, cached or fresh, with explicit observability sinks.
+     *  `fromCache`, when non-null, reports whether the result came
+     *  from the on-disk cache. */
     RunMetrics runJob(const RunJob &job, obs::Tracer *tracer,
-                      obs::Registry *registry);
+                      obs::Registry *registry,
+                      bool *fromCache = nullptr);
 
     /** Result-cache file for a job; empty when caching is disabled. */
     std::string cachePath(const RunJob &job) const;
@@ -175,7 +201,17 @@ class Experiment
      *  when batching is enabled). */
     void runManyBatched(const std::vector<RunJob> &jobs,
                         std::size_t threads, std::size_t width,
-                        std::vector<RunMetrics> &out);
+                        std::vector<RunMetrics> &out,
+                        std::vector<char> &fromCache);
+
+    /** Fill lastReport_ from the sweep's outputs and the registry
+     *  deltas captured around it. */
+    void buildRunReport(const std::vector<RunJob> &jobs,
+                        const std::vector<RunMetrics> &out,
+                        const std::vector<char> &fromCache,
+                        const obs::Registry *registry,
+                        const obs::MetricsSnapshot &before,
+                        double wallSeconds);
 
     /**
      * Per-benchmark trace memo. Futures make concurrent lookups safe

@@ -34,6 +34,13 @@ struct RunMetrics
     double peakTemp = 0.0;           ///< hottest block sample seen, C
     std::uint64_t emergencies = 0;   ///< samples above the threshold
 
+    // --- Control-loop health (relative to the DVFS setpoint). ---
+    double maxOvershoot = 0.0; ///< peak hottest-block excess above the
+                               ///< setpoint, C; 0 when never exceeded
+    double settleTime = 0.0;   ///< last simulated time the hottest
+                               ///< block sat above setpoint +
+                               ///< settleBand; 0 when it never did
+
     // --- Mechanism accounting. ---
     std::uint64_t throttleActuations = 0; ///< trips or PLL transitions
     std::uint64_t migrations = 0;         ///< cores switched

@@ -1,0 +1,219 @@
+#include "obs/http_server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/prom_export.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+
+namespace coolcmp::obs {
+
+namespace {
+
+/// Poll granularity of the accept loop; bounds stop() latency.
+constexpr int kPollMs = 100;
+
+void
+sendAll(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        // MSG_NOSIGNAL: a scraper hanging up early must not SIGPIPE
+        // the whole process.
+        const ssize_t n = ::send(fd, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            return;
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+std::string
+httpResponse(const std::string &status, const std::string &contentType,
+             const std::string &body)
+{
+    std::ostringstream out;
+    out << "HTTP/1.1 " << status << "\r\n"
+        << "Content-Type: " << contentType << "\r\n"
+        << "Content-Length: " << body.size() << "\r\n"
+        << "Connection: close\r\n\r\n"
+        << body;
+    return out.str();
+}
+
+} // namespace
+
+MetricsHttpServer::MetricsHttpServer(const Registry &registry)
+    : registry_(registry)
+{
+}
+
+MetricsHttpServer::~MetricsHttpServer()
+{
+    stop();
+}
+
+bool
+MetricsHttpServer::start(std::uint16_t port)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (threadRunning_)
+        return true;
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warnLimited("metrics-http", "cannot create metrics socket: ",
+                    std::strerror(errno));
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 4) != 0) {
+        warnLimited("metrics-http", "cannot bind metrics port ",
+                    port, ": ", std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &len) == 0)
+        port_ = ntohs(bound.sin_port);
+    else
+        port_ = port;
+
+    stopping_ = false;
+    threadRunning_ = true;
+    listenFd_ = fd;
+    thread_ = std::thread([this, fd] { loop(fd); });
+    return true;
+}
+
+void
+MetricsHttpServer::stop()
+{
+    std::thread worker;
+    int fd = -1;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!threadRunning_)
+            return;
+        stopping_ = true;
+        threadRunning_ = false;
+        worker = std::move(thread_);
+        fd = listenFd_;
+        listenFd_ = -1;
+        port_ = 0;
+    }
+    worker.join();
+    if (fd >= 0)
+        ::close(fd);
+}
+
+bool
+MetricsHttpServer::running() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return threadRunning_;
+}
+
+std::uint16_t
+MetricsHttpServer::port() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return port_;
+}
+
+std::unique_ptr<MetricsHttpServer>
+MetricsHttpServer::fromEnv(const Registry &registry)
+{
+    const std::string raw = envString("COOLCMP_METRICS_PORT");
+    if (raw.empty())
+        return nullptr;
+    const std::size_t port =
+        envSizeT("COOLCMP_METRICS_PORT", 0, 0, 65535);
+    auto server = std::make_unique<MetricsHttpServer>(registry);
+    if (!server->start(static_cast<std::uint16_t>(port)))
+        return nullptr;
+    return server;
+}
+
+void
+MetricsHttpServer::loop(int listenFd)
+{
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_)
+                return;
+        }
+        pollfd pfd{listenFd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, kPollMs);
+        if (ready <= 0)
+            continue;
+        const int client = ::accept(listenFd, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        serveClient(client);
+        ::close(client);
+    }
+}
+
+void
+MetricsHttpServer::serveClient(int clientFd)
+{
+    // A slow or stalled client must not wedge the serving thread.
+    timeval tv{1, 0};
+    ::setsockopt(clientFd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    char buf[2048];
+    const ssize_t n = ::recv(clientFd, buf, sizeof(buf) - 1, 0);
+    if (n <= 0)
+        return;
+    buf[n] = '\0';
+
+    // Only the request line matters: "GET <path> HTTP/1.x".
+    std::istringstream request(buf);
+    std::string method, path;
+    request >> method >> path;
+    if (method != "GET") {
+        sendAll(clientFd, httpResponse("405 Method Not Allowed",
+                                       "text/plain", "GET only\n"));
+        return;
+    }
+    if (path == "/healthz") {
+        sendAll(clientFd,
+                httpResponse("200 OK", "text/plain", "ok\n"));
+        return;
+    }
+    if (path == "/metrics" || path == "/") {
+        std::ostringstream body;
+        writePrometheus(body, registry_);
+        sendAll(clientFd,
+                httpResponse("200 OK",
+                             "text/plain; version=0.0.4", body.str()));
+        return;
+    }
+    sendAll(clientFd,
+            httpResponse("404 Not Found", "text/plain", "not found\n"));
+}
+
+} // namespace coolcmp::obs

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal blocking HTTP endpoint exposing live metrics.
+ *
+ * Serves exactly two paths on a loopback-only socket:
+ *
+ *   GET /metrics   Prometheus text exposition of the attached Registry
+ *   GET /healthz   "ok" liveness probe
+ *
+ * One background thread accepts and answers one connection at a time —
+ * a scraper polls at most every few seconds, so there is nothing to
+ * gain from concurrency, and the single thread keeps the server out of
+ * the simulation's way. Off by default; opt in with
+ * COOLCMP_METRICS_PORT (port 0 binds an ephemeral port, reported by
+ * port()).
+ */
+
+#ifndef COOLCMP_OBS_HTTP_SERVER_HH
+#define COOLCMP_OBS_HTTP_SERVER_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "obs/registry.hh"
+
+namespace coolcmp::obs {
+
+class MetricsHttpServer
+{
+  public:
+    /** @param registry borrowed; must outlive the server */
+    explicit MetricsHttpServer(const Registry &registry);
+
+    ~MetricsHttpServer();
+
+    MetricsHttpServer(const MetricsHttpServer &) = delete;
+    MetricsHttpServer &operator=(const MetricsHttpServer &) = delete;
+
+    /**
+     * Bind 127.0.0.1:`port` (0 = ephemeral) and launch the serving
+     * thread. Returns false, with a rate-limited warning, when the
+     * bind fails; idempotent while running.
+     */
+    bool start(std::uint16_t port);
+
+    /** Stop serving and join the thread (idempotent). */
+    void stop();
+
+    bool running() const;
+
+    /** Actual bound port (resolves port-0 requests); 0 when stopped. */
+    std::uint16_t port() const;
+
+    /**
+     * Start a server on COOLCMP_METRICS_PORT when that is set; null
+     * when the variable is unset (the default) or the bind fails.
+     */
+    static std::unique_ptr<MetricsHttpServer>
+    fromEnv(const Registry &registry);
+
+  private:
+    const Registry &registry_;
+
+    mutable std::mutex mutex_;
+    std::thread thread_;
+    bool threadRunning_ = false;
+    std::uint16_t port_ = 0;
+    int listenFd_ = -1;
+    bool stopping_ = false;
+
+    void loop(int listenFd);
+    void serveClient(int clientFd);
+};
+
+} // namespace coolcmp::obs
+
+#endif // COOLCMP_OBS_HTTP_SERVER_HH

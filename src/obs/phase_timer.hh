@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Phase profiler: scoped wall-clock timers over the cooperative
+ * simulation phases, answering "where did the run's time go".
+ *
+ * A PhaseProfile is a plain per-phase {seconds, calls} accumulator
+ * owned by exactly one thread (a simulator run, or one BatchRunner),
+ * so the per-step hot path is two steady_clock reads and two plain
+ * adds — no atomics, no locks. flushTo() publishes the totals into a
+ * shared Registry once per run:
+ *
+ *   phase.<name>.seconds  gauge (accumulating across runs)
+ *   phase.<name>.calls    counter
+ *   phase.<name>.run_ms   histogram of per-run totals
+ *
+ * The run-report builder (obs/run_report.hh) reads the gauges back as
+ * deltas around a sweep to produce the per-phase breakdown.
+ */
+
+#ifndef COOLCMP_OBS_PHASE_TIMER_HH
+#define COOLCMP_OBS_PHASE_TIMER_HH
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/registry.hh"
+
+namespace coolcmp::obs {
+
+/** The instrumented sections of a simulation run / batched sweep. */
+enum class Phase : std::uint8_t {
+    Setup,        ///< simulator construction (traces, thermal init)
+    BeginRun,     ///< run-state reset, metric-handle resolution
+    GatherPowers, ///< OS advance + core execution + leakage loop
+    StepThermal,  ///< the exact thermal step (GEMV, or shared GEMM)
+    FinishStep,   ///< sensors, control loops, OS tick, probes
+    FinishRun,    ///< metric finalization
+    BatchPack,    ///< BatchRunner: staging lane inputs for the GEMM
+    BatchCommit,  ///< BatchRunner: retiring finished lanes
+    QueueWait,    ///< BatchRunner: pulling the next job (incl. cache
+                  ///< probes and simulator construction)
+};
+
+inline constexpr std::size_t kNumPhases = 9;
+
+inline const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Setup:
+        return "setup";
+      case Phase::BeginRun:
+        return "begin_run";
+      case Phase::GatherPowers:
+        return "gather_powers";
+      case Phase::StepThermal:
+        return "step_thermal";
+      case Phase::FinishStep:
+        return "finish_step";
+      case Phase::FinishRun:
+        return "finish_run";
+      case Phase::BatchPack:
+        return "batch_pack";
+      case Phase::BatchCommit:
+        return "batch_commit";
+      case Phase::QueueWait:
+        return "queue_wait";
+    }
+    return "unknown";
+}
+
+/** Single-thread per-phase wall-clock accumulator. */
+class PhaseProfile
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    void add(Phase phase, double seconds)
+    {
+        Slot &slot = slots_[static_cast<std::size_t>(phase)];
+        slot.seconds += seconds;
+        slot.calls += 1;
+    }
+
+    double seconds(Phase phase) const
+    {
+        return slots_[static_cast<std::size_t>(phase)].seconds;
+    }
+
+    std::uint64_t calls(Phase phase) const
+    {
+        return slots_[static_cast<std::size_t>(phase)].calls;
+    }
+
+    /** Sum over all phases (the profiled share of a run). */
+    double totalSeconds() const
+    {
+        double total = 0.0;
+        for (const Slot &slot : slots_)
+            total += slot.seconds;
+        return total;
+    }
+
+    void reset() { slots_ = {}; }
+
+    /**
+     * Publish the accumulated totals into `registry` and reset. Call
+     * once per run (or per BatchRunner drain); the per-step path never
+     * touches the registry.
+     */
+    void flushTo(Registry &registry)
+    {
+        for (std::size_t p = 0; p < kNumPhases; ++p) {
+            const Slot &slot = slots_[p];
+            if (slot.calls == 0)
+                continue;
+            const std::string base =
+                std::string("phase.") + phaseName(static_cast<Phase>(p));
+            registry.gauge(base + ".seconds").add(slot.seconds);
+            registry.counter(base + ".calls").add(slot.calls);
+            registry
+                .histogram(base + ".run_ms",
+                           Histogram::exponentialEdges(1e-3, 4.0, 16))
+                .observe(slot.seconds * 1e3);
+        }
+        reset();
+    }
+
+  private:
+    struct Slot
+    {
+        double seconds = 0.0;
+        std::uint64_t calls = 0;
+    };
+
+    std::array<Slot, kNumPhases> slots_{};
+};
+
+/**
+ * RAII phase timer: times its scope into `profile` when non-null,
+ * collapses to nothing when null (the telemetry-off path).
+ */
+class ScopedPhase
+{
+  public:
+    ScopedPhase(PhaseProfile *profile, Phase phase)
+        : profile_(profile), phase_(phase)
+    {
+        if (profile_)
+            start_ = PhaseProfile::Clock::now();
+    }
+
+    ~ScopedPhase()
+    {
+        if (profile_)
+            profile_->add(
+                phase_,
+                std::chrono::duration<double>(
+                    PhaseProfile::Clock::now() - start_)
+                    .count());
+    }
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    PhaseProfile *profile_;
+    Phase phase_;
+    PhaseProfile::Clock::time_point start_;
+};
+
+} // namespace coolcmp::obs
+
+#endif // COOLCMP_OBS_PHASE_TIMER_HH

@@ -1,0 +1,124 @@
+#include "obs/prom_export.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <ostream>
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace coolcmp::obs {
+
+namespace {
+
+/** Shortest round-trip decimal for a value (%.17g trims in practice
+ *  for the counts and seconds we emit; stable across platforms). */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    // %g loses precision past 6 significant digits; fall back to the
+    // round-trip form only when it matters.
+    if (std::strtod(buf, nullptr) != v)
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+writeHistogram(std::ostream &out, const std::string &name,
+               const Histogram::Snapshot &snap)
+{
+    out << "# TYPE " << name << " histogram\n";
+    // Our buckets are half-open [e_{i-1}, e_i); Prometheus buckets
+    // are cumulative <= le. Values below the first edge (our
+    // underflow) are < e_0, so folding them into le="e_0" is exact;
+    // only values exactly on an interior edge sit one bucket higher
+    // than the <= contract would place them.
+    std::uint64_t cum = 0;
+    for (std::size_t e = 0; e < snap.edges.size(); ++e) {
+        cum += snap.buckets[e];
+        out << name << "_bucket{le=\"" << fmtDouble(snap.edges[e])
+            << "\"} " << cum << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << snap.count << "\n";
+    out << name << "_sum " << fmtDouble(snap.sum) << "\n";
+    out << name << "_count " << snap.count << "\n";
+}
+
+} // namespace
+
+std::string
+promMetricName(const std::string &name)
+{
+    std::string out = "coolcmp_";
+    out.reserve(out.size() + name.size());
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+            (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+            c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+void
+writePrometheus(std::ostream &out, const MetricsSnapshot &snap)
+{
+    for (const auto &[name, value] : snap.counters) {
+        const std::string prom = promMetricName(name) + "_total";
+        out << "# TYPE " << prom << " counter\n";
+        out << prom << " " << value << "\n";
+    }
+    for (const auto &[name, value] : snap.gauges) {
+        const std::string prom = promMetricName(name);
+        out << "# TYPE " << prom << " gauge\n";
+        out << prom << " " << fmtDouble(value) << "\n";
+    }
+    for (const auto &[name, hist] : snap.histograms)
+        writeHistogram(out, promMetricName(name), hist);
+}
+
+void
+writePrometheus(std::ostream &out, const Registry &registry)
+{
+    writePrometheus(out, takeSnapshot(registry));
+}
+
+bool
+writePrometheusFile(const std::string &path, const Registry &registry)
+{
+    // tmp+rename, like the result cache: a Prometheus textfile
+    // collector may scrape the path at any moment.
+    const std::string tmp = path + ".tmp." +
+        std::to_string(std::hash<std::thread::id>{}(
+            std::this_thread::get_id()));
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            warnLimited("prom-export", "cannot write metrics file ",
+                        tmp);
+            return false;
+        }
+        writePrometheus(out, registry);
+        if (!out) {
+            warnLimited("prom-export", "error writing metrics file ",
+                        tmp);
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        warnLimited("prom-export", "cannot rename metrics file to ",
+                    path);
+        return false;
+    }
+    return true;
+}
+
+} // namespace coolcmp::obs

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Prometheus text exposition (format 0.0.4) over registry snapshots.
+ *
+ * Counters map to `coolcmp_<name>_total`, gauges to `coolcmp_<name>`,
+ * histograms to the standard cumulative `_bucket{le="..."}` series
+ * plus `_sum` and `_count`. Metric-name characters outside
+ * [a-zA-Z0-9_:] (the registry uses dots) become underscores. The
+ * file writer uses write-then-rename so a scraping sidecar never
+ * reads a half-written exposition; the live endpoint is
+ * obs/http_server.hh.
+ */
+
+#ifndef COOLCMP_OBS_PROM_EXPORT_HH
+#define COOLCMP_OBS_PROM_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/snapshot.hh"
+
+namespace coolcmp::obs {
+
+/** `coolcmp_` + name with non-[a-zA-Z0-9_:] bytes replaced by '_'. */
+std::string promMetricName(const std::string &name);
+
+/** Render one snapshot as Prometheus text exposition. */
+void writePrometheus(std::ostream &out, const MetricsSnapshot &snap);
+
+/** Snapshot `registry` now and render it. */
+void writePrometheus(std::ostream &out, const Registry &registry);
+
+/** Same, to a file via tmp+rename; false (with a rate-limited
+ *  warning) on I/O failure. */
+bool writePrometheusFile(const std::string &path,
+                         const Registry &registry);
+
+} // namespace coolcmp::obs
+
+#endif // COOLCMP_OBS_PROM_EXPORT_HH

@@ -43,6 +43,39 @@ Registry::histogram(const std::string &name, std::vector<double> edges)
     return *slot;
 }
 
+std::vector<std::pair<std::string, std::uint64_t>>
+Registry::counterValues() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        out.emplace_back(name, c->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+Registry::gaugeValues() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(gauges_.size());
+    for (const auto &[name, g] : gauges_)
+        out.emplace_back(name, g->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, Histogram::Snapshot>>
+Registry::histogramValues() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, Histogram::Snapshot>> out;
+    out.reserve(histograms_.size());
+    for (const auto &[name, h] : histograms_)
+        out.emplace_back(name, h->snapshot());
+    return out;
+}
+
 std::vector<Registry::Entry>
 Registry::scrape() const
 {

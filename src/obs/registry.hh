@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metric.hh"
@@ -52,6 +53,20 @@ class Registry
 
     /** Aggregate every metric into a sorted, printable snapshot. */
     std::vector<Entry> scrape() const;
+
+    // --- Numeric views (the snapshot/exporter layer builds on these;
+    //     obs/snapshot.hh wraps them in delta/rate bookkeeping). ---
+
+    /** Name and aggregated value of every counter, sorted by name. */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    counterValues() const;
+
+    /** Name and current value of every gauge, sorted by name. */
+    std::vector<std::pair<std::string, double>> gaugeValues() const;
+
+    /** Name and full bucket snapshot of every histogram, sorted. */
+    std::vector<std::pair<std::string, Histogram::Snapshot>>
+    histogramValues() const;
 
     /**
      * Plain-text dump (one metric per line), the format appended to

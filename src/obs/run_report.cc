@@ -1,0 +1,137 @@
+#include "obs/run_report.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace coolcmp::obs {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** JSON has no NaN/Inf; clamp to null-safe 0 and round-trip doubles. */
+std::string
+jsonNumber(double v)
+{
+    if (!(v == v) || v > 1e308 || v < -1e308)
+        return "0";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+} // namespace
+
+double
+RunReport::phaseSeconds() const
+{
+    double total = 0.0;
+    for (const PhaseEntry &p : phases)
+        total += p.seconds;
+    return total;
+}
+
+double
+RunReport::phaseCoverage() const
+{
+    return busySeconds > 0.0 ? phaseSeconds() / busySeconds : 0.0;
+}
+
+void
+writeRunReportJson(std::ostream &out, const RunReport &report)
+{
+    out << "{\n";
+    out << "  \"report_version\": " << RunReport::kVersion << ",\n";
+    out << "  \"sweep\": \"" << jsonEscape(report.sweepName) << "\",\n";
+    out << "  \"config_key\": \"" << jsonEscape(report.configKey)
+        << "\",\n";
+    out << "  \"jobs\": " << report.jobs << ",\n";
+    out << "  \"cached_jobs\": " << report.cachedJobs << ",\n";
+    out << "  \"total_steps\": " << report.totalSteps << ",\n";
+    out << "  \"wall_seconds\": " << jsonNumber(report.wallSeconds)
+        << ",\n";
+    out << "  \"busy_seconds\": " << jsonNumber(report.busySeconds)
+        << ",\n";
+    out << "  \"steps_per_second\": "
+        << jsonNumber(report.stepsPerSecond) << ",\n";
+    out << "  \"phase_seconds\": " << jsonNumber(report.phaseSeconds())
+        << ",\n";
+    out << "  \"phase_coverage\": "
+        << jsonNumber(report.phaseCoverage()) << ",\n";
+
+    out << "  \"phases\": [";
+    for (std::size_t i = 0; i < report.phases.size(); ++i) {
+        const auto &p = report.phases[i];
+        out << (i ? ",\n    " : "\n    ");
+        out << "{\"name\": \"" << jsonEscape(p.name)
+            << "\", \"seconds\": " << jsonNumber(p.seconds)
+            << ", \"calls\": " << p.calls << "}";
+    }
+    out << (report.phases.empty() ? "],\n" : "\n  ],\n");
+
+    out << "  \"job_entries\": [";
+    for (std::size_t i = 0; i < report.jobEntries.size(); ++i) {
+        const auto &j = report.jobEntries[i];
+        out << (i ? ",\n    " : "\n    ");
+        out << "{\"config_key\": \"" << jsonEscape(j.configKey)
+            << "\", \"steps\": " << j.steps
+            << ", \"emergencies\": " << j.emergencies
+            << ", \"max_overshoot_c\": " << jsonNumber(j.maxOvershootC)
+            << ", \"settle_time_s\": " << jsonNumber(j.settleTimeS)
+            << ", \"from_cache\": " << (j.fromCache ? "true" : "false")
+            << "}";
+    }
+    out << (report.jobEntries.empty() ? "]\n" : "\n  ]\n");
+    out << "}\n";
+}
+
+bool
+writeRunReportJson(const std::string &path, const RunReport &report)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warnLimited("run-report", "cannot write run report ", path);
+        return false;
+    }
+    writeRunReportJson(out, report);
+    if (!out) {
+        warnLimited("run-report", "error writing run report ", path);
+        return false;
+    }
+    return true;
+}
+
+} // namespace coolcmp::obs

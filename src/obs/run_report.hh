@@ -1,0 +1,93 @@
+/**
+ * @file
+ * End-of-run JSON report: one machine-readable summary per sweep.
+ *
+ * Experiment::runMany fills a RunReport from registry deltas taken
+ * around the sweep (per-phase time breakdown, worker busy time) and
+ * from each job's RunMetrics (control-loop health: overshoot above
+ * the DVFS setpoint, settle time, emergency count). The writer emits
+ * a stable JSON schema ("coolcmp-run-report" version 1) that the CI
+ * artifacts and the perf-regression tooling consume; obs stays free
+ * of core dependencies, so core fills the struct and obs renders it.
+ */
+
+#ifndef COOLCMP_OBS_RUN_REPORT_HH
+#define COOLCMP_OBS_RUN_REPORT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace coolcmp::obs {
+
+struct RunReport
+{
+    /** Schema version emitted as "report_version". */
+    static constexpr int kVersion = 1;
+
+    std::string sweepName = "sweep";
+
+    /** Hex Experiment::configKey() the sweep ran under. */
+    std::string configKey;
+
+    std::size_t jobs = 0;
+    std::size_t cachedJobs = 0;
+    std::uint64_t totalSteps = 0;
+
+    /** Wall-clock duration of the runMany call. */
+    double wallSeconds = 0.0;
+
+    /** Summed worker busy time (the denominator for coverage:
+     *  phase spans overlap across batch lanes, busy time does not). */
+    double busySeconds = 0.0;
+
+    double stepsPerSecond = 0.0;
+
+    struct PhaseEntry
+    {
+        std::string name;
+        double seconds = 0.0;
+        std::uint64_t calls = 0;
+    };
+
+    /** Per-phase breakdown, from registry deltas around the sweep. */
+    std::vector<PhaseEntry> phases;
+
+    /** Sum of phase seconds. */
+    double phaseSeconds() const;
+
+    /** phaseSeconds() / busySeconds — the profiled share of the
+     *  workers' time; 0 when no busy time was recorded. */
+    double phaseCoverage() const;
+
+    struct JobEntry
+    {
+        std::string configKey;
+        std::uint64_t steps = 0;
+        std::uint64_t emergencies = 0;
+
+        /** Hottest-block peak minus the DVFS setpoint, degrees C;
+         *  0 when the run never exceeded the setpoint. */
+        double maxOvershootC = 0.0;
+
+        /** Last simulated time (s) the hottest block sat above
+         *  setpoint + settle band; 0 when it never did. */
+        double settleTimeS = 0.0;
+
+        bool fromCache = false;
+    };
+
+    std::vector<JobEntry> jobEntries;
+};
+
+/** Render `report` as JSON. */
+void writeRunReportJson(std::ostream &out, const RunReport &report);
+
+/** Same, to a file; false (with a rate-limited warning) on failure. */
+bool writeRunReportJson(const std::string &path,
+                        const RunReport &report);
+
+} // namespace coolcmp::obs
+
+#endif // COOLCMP_OBS_RUN_REPORT_HH

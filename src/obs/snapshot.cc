@@ -1,0 +1,195 @@
+#include "obs/snapshot.hh"
+
+#include <algorithm>
+
+#include "util/env.hh"
+
+namespace coolcmp::obs {
+
+namespace {
+
+template <typename T>
+const T *
+findValue(const std::vector<std::pair<std::string, T>> &entries,
+          const std::string &name)
+{
+    for (const auto &[n, v] : entries)
+        if (n == name)
+            return &v;
+    return nullptr;
+}
+
+} // namespace
+
+std::uint64_t
+MetricsSnapshot::counter(const std::string &name) const
+{
+    const std::uint64_t *v = findValue(counters, name);
+    return v ? *v : 0;
+}
+
+double
+MetricsSnapshot::gauge(const std::string &name) const
+{
+    const double *v = findValue(gauges, name);
+    return v ? *v : 0.0;
+}
+
+MetricsSnapshot
+takeSnapshot(const Registry &registry, double atSeconds)
+{
+    MetricsSnapshot snap;
+    snap.atSeconds = atSeconds;
+    snap.counters = registry.counterValues();
+    snap.gauges = registry.gaugeValues();
+    snap.histograms = registry.histogramValues();
+    return snap;
+}
+
+std::vector<CounterRate>
+counterRates(const MetricsSnapshot &prev, const MetricsSnapshot &cur)
+{
+    const double dt = cur.atSeconds - prev.atSeconds;
+    if (dt <= 0.0)
+        return {};
+    std::vector<CounterRate> rates;
+    rates.reserve(cur.counters.size());
+    for (const auto &[name, value] : cur.counters) {
+        const std::uint64_t before = prev.counter(name);
+        // A shrinking counter means the registry was swapped out
+        // between snapshots; report a zero rate rather than a huge
+        // unsigned wraparound.
+        const std::uint64_t delta = value >= before ? value - before : 0;
+        rates.push_back({name, static_cast<double>(delta) / dt});
+    }
+    return rates;
+}
+
+std::chrono::milliseconds
+SnapshotAggregator::intervalFromEnv()
+{
+    return std::chrono::milliseconds(
+        envSizeT("COOLCMP_SNAPSHOT_MS", 250, 1, 60000));
+}
+
+SnapshotAggregator::SnapshotAggregator(const Registry &registry,
+                                       std::chrono::milliseconds interval,
+                                       std::size_t retain)
+    : registry_(registry),
+      interval_(std::max(interval, std::chrono::milliseconds(1))),
+      retain_(std::max<std::size_t>(retain, 1)),
+      epoch_(std::chrono::steady_clock::now())
+{
+}
+
+SnapshotAggregator::~SnapshotAggregator()
+{
+    stop();
+}
+
+void
+SnapshotAggregator::start()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (threadRunning_)
+        return;
+    stopping_ = false;
+    threadRunning_ = true;
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+SnapshotAggregator::stop()
+{
+    std::thread worker;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!threadRunning_)
+            return;
+        stopping_ = true;
+        threadRunning_ = false;
+        worker = std::move(thread_);
+    }
+    cv_.notify_all();
+    worker.join();
+}
+
+bool
+SnapshotAggregator::running() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return threadRunning_;
+}
+
+void
+SnapshotAggregator::loop()
+{
+    for (;;) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (cv_.wait_for(lock, interval_,
+                         [this] { return stopping_; }))
+            return;
+        captureAndRetainLocked();
+    }
+}
+
+MetricsSnapshot
+SnapshotAggregator::captureAndRetainLocked()
+{
+    // Capture under the aggregator mutex so the retained ring is
+    // ordered by capture time and its counters are monotonic even
+    // when snapshotNow() races the background thread. Only scrapers
+    // serialize here — the simulation threads touch the lock-free
+    // shards, never this mutex.
+    const double at = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - epoch_)
+                          .count();
+    MetricsSnapshot snap = takeSnapshot(registry_, at);
+    ring_.push_back(snap);
+    while (ring_.size() > retain_)
+        ring_.pop_front();
+    ++taken_;
+    return snap;
+}
+
+MetricsSnapshot
+SnapshotAggregator::snapshotNow()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return captureAndRetainLocked();
+}
+
+std::vector<MetricsSnapshot>
+SnapshotAggregator::history() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {ring_.begin(), ring_.end()};
+}
+
+bool
+SnapshotAggregator::latest(MetricsSnapshot &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.empty())
+        return false;
+    out = ring_.back();
+    return true;
+}
+
+std::vector<CounterRate>
+SnapshotAggregator::latestRates() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.size() < 2)
+        return {};
+    return counterRates(ring_[ring_.size() - 2], ring_.back());
+}
+
+std::uint64_t
+SnapshotAggregator::taken() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return taken_;
+}
+
+} // namespace coolcmp::obs

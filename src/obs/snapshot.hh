@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Snapshot aggregator: periodic, bounded-history views of a Registry.
+ *
+ * A MetricsSnapshot is a point-in-time copy of every metric's
+ * aggregated value. Taking one only *reads* the lock-free shards
+ * (relaxed loads), so a background aggregator never perturbs the
+ * simulation hot path. The aggregator retains a bounded ring of
+ * snapshots and derives rates (steps/s, trips/s, migrations/s, ...)
+ * from consecutive deltas; exporters (obs/prom_export.hh, the HTTP
+ * /metrics endpoint) and the end-of-run report serve from snapshots
+ * rather than re-scraping mid-step.
+ */
+
+#ifndef COOLCMP_OBS_SNAPSHOT_HH
+#define COOLCMP_OBS_SNAPSHOT_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.hh"
+
+namespace coolcmp::obs {
+
+/** Point-in-time copy of every metric in a Registry. */
+struct MetricsSnapshot
+{
+    /** Monotonic capture time, seconds since the aggregator (or the
+     *  caller's epoch of choice) started. */
+    double atSeconds = 0.0;
+
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+
+    /** Value of a counter, or 0 when absent. */
+    std::uint64_t counter(const std::string &name) const;
+
+    /** Value of a gauge, or 0.0 when absent. */
+    double gauge(const std::string &name) const;
+};
+
+/** Capture every metric of `registry` at time `atSeconds`. */
+MetricsSnapshot takeSnapshot(const Registry &registry,
+                             double atSeconds = 0.0);
+
+/** One counter's per-second rate between two snapshots. */
+struct CounterRate
+{
+    std::string name;
+    double perSecond = 0.0;
+};
+
+/**
+ * Per-second rates of every counter present in `cur`, from the delta
+ * against `prev` (counters absent from `prev` count from zero).
+ * Returns an empty vector when the snapshots are not time-ordered.
+ */
+std::vector<CounterRate> counterRates(const MetricsSnapshot &prev,
+                                      const MetricsSnapshot &cur);
+
+/**
+ * Background thread that snapshots a Registry on a fixed interval and
+ * retains a bounded ring of snapshots. start()/stop() bracket the
+ * thread; snapshotNow() is always available (tests, end-of-run).
+ */
+class SnapshotAggregator
+{
+  public:
+    /**
+     * @param registry borrowed; must outlive the aggregator
+     * @param interval delay between periodic snapshots
+     * @param retain ring capacity (oldest snapshots drop off)
+     */
+    explicit SnapshotAggregator(
+        const Registry &registry,
+        std::chrono::milliseconds interval = intervalFromEnv(),
+        std::size_t retain = 240);
+
+    ~SnapshotAggregator();
+
+    SnapshotAggregator(const SnapshotAggregator &) = delete;
+    SnapshotAggregator &operator=(const SnapshotAggregator &) = delete;
+
+    /** Launch the background thread (idempotent). */
+    void start();
+
+    /** Stop and join the background thread (idempotent). */
+    void stop();
+
+    bool running() const;
+
+    /** Take, retain, and return a snapshot right now (any thread). */
+    MetricsSnapshot snapshotNow();
+
+    /** Copy of the retained ring, oldest first. */
+    std::vector<MetricsSnapshot> history() const;
+
+    /** Newest snapshot; false when none has been taken yet. */
+    bool latest(MetricsSnapshot &out) const;
+
+    /** Counter rates between the two newest snapshots (empty until
+     *  two exist). */
+    std::vector<CounterRate> latestRates() const;
+
+    /** Snapshots taken since construction (ring may hold fewer). */
+    std::uint64_t taken() const;
+
+    std::chrono::milliseconds interval() const { return interval_; }
+
+    /** COOLCMP_SNAPSHOT_MS, clamped to [1, 60000]; default 250 ms. */
+    static std::chrono::milliseconds intervalFromEnv();
+
+  private:
+    const Registry &registry_;
+    const std::chrono::milliseconds interval_;
+    const std::size_t retain_;
+    const std::chrono::steady_clock::time_point epoch_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<MetricsSnapshot> ring_;
+    std::uint64_t taken_ = 0;
+    bool stopping_ = false;
+    bool threadRunning_ = false;
+    std::thread thread_;
+
+    void loop();
+
+    /** Stamp, capture, and push one snapshot; mutex_ must be held. */
+    MetricsSnapshot captureAndRetainLocked();
+};
+
+} // namespace coolcmp::obs
+
+#endif // COOLCMP_OBS_SNAPSHOT_HH

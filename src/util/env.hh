@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Environment-variable configuration helpers.
+ *
+ * Every COOLCMP_* knob (COOLCMP_THREADS, COOLCMP_BATCH,
+ * COOLCMP_METRICS_PORT, COOLCMP_SNAPSHOT_MS, ...) shares one parsing
+ * contract instead of hand-rolling getenv + strtol at each site:
+ *
+ *   - unset / empty      -> the caller's fallback
+ *   - not a number       -> warn once per variable, then the fallback
+ *   - parsed but outside [lo, hi] -> silently clamped into range
+ *
+ * Header-only so util stays a leaf library.
+ */
+
+#ifndef COOLCMP_UTIL_ENV_HH
+#define COOLCMP_UTIL_ENV_HH
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+/**
+ * Read a non-negative integer knob from the environment.
+ *
+ * @param name environment variable name
+ * @param fallback value when unset, empty, or unparseable
+ * @param lo,hi parsed values are clamped into [lo, hi]
+ */
+inline std::size_t
+envSizeT(const char *name, std::size_t fallback, std::size_t lo = 0,
+         std::size_t hi = std::numeric_limits<std::size_t>::max())
+{
+    const char *env = std::getenv(name);
+    if (!env || !*env)
+        return fallback;
+    char *end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end == env || *end != '\0' || v < 0) {
+        warnLimited(name, "ignoring invalid ", name, " value '", env,
+                    "'; using ", fallback);
+        return fallback;
+    }
+    auto parsed = static_cast<std::size_t>(v);
+    if (parsed < lo)
+        parsed = lo;
+    if (parsed > hi)
+        parsed = hi;
+    return parsed;
+}
+
+/** Read a string knob; the fallback covers unset and empty. */
+inline std::string
+envString(const char *name, const std::string &fallback = {})
+{
+    const char *env = std::getenv(name);
+    return env && *env ? std::string(env) : fallback;
+}
+
+} // namespace coolcmp
+
+#endif // COOLCMP_UTIL_ENV_HH

@@ -3,7 +3,10 @@
 #include <atomic>
 #include <cctype>
 #include <cstdio>
+#include <map>
 #include <mutex>
+
+#include "util/env.hh"
 
 namespace coolcmp {
 
@@ -14,11 +17,12 @@ bool levelWasSetByEnv = false;
 
 /** Parse COOLCMP_LOG (silent/warn/inform/debug or 0-3). */
 LogLevel
-levelFromEnv(bool &recognized)
+levelFromEnv(bool &recognized, bool &present)
 {
     recognized = true;
-    const char *env = std::getenv("COOLCMP_LOG");
-    if (!env || !*env)
+    const std::string env = envString("COOLCMP_LOG");
+    present = !env.empty();
+    if (!present)
         return LogLevel::Warn;
     std::string v(env);
     for (char &c : v)
@@ -43,15 +47,14 @@ levelVar()
 {
     static std::atomic<LogLevel> level = [] {
         bool recognized = true;
-        const LogLevel initial = levelFromEnv(recognized);
+        bool present = false;
+        const LogLevel initial = levelFromEnv(recognized, present);
         if (!recognized)
             detail::emit("warn: ",
                          "unrecognized COOLCMP_LOG value; expected "
                          "silent, warn, inform, or debug");
-        else {
-            const char *env = std::getenv("COOLCMP_LOG");
-            levelWasSetByEnv = env != nullptr && *env != '\0';
-        }
+        else
+            levelWasSetByEnv = present;
         return std::atomic<LogLevel>{initial};
     }();
     return level;
@@ -64,6 +67,22 @@ sinkMutex()
 {
     static std::mutex mutex;
     return mutex;
+}
+
+/** warnLimited per-key occurrence counts (magic statics: safe from
+ *  any thread, any time). */
+std::mutex &
+limitMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::map<std::string, std::uint64_t> &
+limitCounts()
+{
+    static std::map<std::string, std::uint64_t> counts;
+    return counts;
 }
 
 } // namespace
@@ -88,7 +107,43 @@ setDefaultLogLevel(LogLevel level)
         var.store(level, std::memory_order_relaxed);
 }
 
+std::uint64_t
+suppressedWarnings(const char *key)
+{
+    std::lock_guard<std::mutex> lock(limitMutex());
+    const auto it = limitCounts().find(key);
+    if (it == limitCounts().end() || it->second <= kWarnLimit)
+        return 0;
+    return it->second - kWarnLimit;
+}
+
+void
+resetWarnLimits()
+{
+    std::lock_guard<std::mutex> lock(limitMutex());
+    limitCounts().clear();
+}
+
 namespace detail {
+
+LimitDecision
+noteLimited(const std::string &key, std::uint64_t limit)
+{
+    std::uint64_t count = 0;
+    {
+        std::lock_guard<std::mutex> lock(limitMutex());
+        count = ++limitCounts()[key];
+    }
+    LimitDecision d;
+    if (count <= limit) {
+        d.emitMessage = true;
+        d.announceLimit = count == limit;
+        return d;
+    }
+    d.suppressed = count - limit;
+    d.emitSummary = d.suppressed % 1000 == 0;
+    return d;
+}
 
 void
 emit(const char *prefix, const std::string &msg)

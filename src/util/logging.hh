@@ -16,6 +16,7 @@
 #ifndef COOLCMP_UTIL_LOGGING_HH
 #define COOLCMP_UTIL_LOGGING_HH
 
+#include <cstdint>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -38,10 +39,25 @@ void setLogLevel(LogLevel level);
  */
 void setDefaultLogLevel(LogLevel level);
 
+/** Per-key print budget for warnLimited before suppression starts. */
+inline constexpr std::uint64_t kWarnLimit = 5;
+
 namespace detail {
 
 /** Emit a formatted message with a severity prefix to stderr. */
 void emit(const char *prefix, const std::string &msg);
+
+/** What warnLimited should do for this occurrence of `key`. */
+struct LimitDecision
+{
+    bool emitMessage = false;   ///< print the warning itself
+    bool announceLimit = false; ///< append the "now suppressing" note
+    bool emitSummary = false;   ///< print the "suppressed k similar" line
+    std::uint64_t suppressed = 0;
+};
+
+/** Count one occurrence of `key` against `limit` (thread-safe). */
+LimitDecision noteLimited(const std::string &key, std::uint64_t limit);
 
 /** Terminate due to a user-caused error (exit(1)). */
 [[noreturn]] void fatalExit(const std::string &msg);
@@ -78,6 +94,38 @@ warn(Args &&...args)
     if (logLevel() >= LogLevel::Warn)
         detail::emit("warn: ", detail::concat(std::forward<Args>(args)...));
 }
+
+/**
+ * Rate-limited warning for conditions that can fire once per step in a
+ * long sweep: the first kWarnLimit occurrences of `key` print normally
+ * (the last with a "further warnings suppressed" note), later ones are
+ * counted silently with a "suppressed k similar" summary every 1000.
+ */
+template <typename... Args>
+void
+warnLimited(const char *key, Args &&...args)
+{
+    if (logLevel() < LogLevel::Warn)
+        return;
+    const detail::LimitDecision d = detail::noteLimited(key, kWarnLimit);
+    if (d.emitMessage) {
+        std::string msg = detail::concat(std::forward<Args>(args)...);
+        if (d.announceLimit)
+            msg += detail::concat(" [further '", key,
+                                  "' warnings suppressed]");
+        detail::emit("warn: ", msg);
+    } else if (d.emitSummary) {
+        detail::emit("warn: ",
+                     detail::concat("suppressed ", d.suppressed,
+                                    " similar '", key, "' warnings"));
+    }
+}
+
+/** Occurrences of `key` swallowed by warnLimited so far. */
+std::uint64_t suppressedWarnings(const char *key);
+
+/** Forget all warnLimited accounting (tests). */
+void resetWarnLimits();
 
 /** Abort the run: the user asked for something impossible. */
 template <typename... Args>

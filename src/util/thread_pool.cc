@@ -1,7 +1,6 @@
 #include "util/thread_pool.hh"
 
-#include <cstdlib>
-#include <string>
+#include "util/env.hh"
 
 namespace coolcmp {
 
@@ -60,14 +59,8 @@ ThreadPool::workerLoop()
 std::size_t
 ThreadPool::defaultThreadCount()
 {
-    if (const char *env = std::getenv("COOLCMP_THREADS")) {
-        char *end = nullptr;
-        const long n = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && n > 0)
-            return static_cast<std::size_t>(n);
-    }
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 1;
+    return envSizeT("COOLCMP_THREADS", hw > 0 ? hw : 1, 1);
 }
 
 void

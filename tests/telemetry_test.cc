@@ -1,0 +1,704 @@
+/**
+ * @file
+ * Tests for the telemetry pipeline layered on the metrics registry:
+ * the phase profiler (scoped timers -> registry flush), the snapshot
+ * aggregator (bounded ring, background thread, delta rates, and a
+ * concurrency test hammering the registry from a 4-worker runMany
+ * while snapshots are taken at a 1 ms cadence), golden-file checks of
+ * the Prometheus text exposition and the JSON run report, and the
+ * blocking HTTP /metrics + /healthz endpoint exercised with a raw
+ * loopback socket.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/experiment.hh"
+#include "obs/http_server.hh"
+#include "obs/phase_timer.hh"
+#include "obs/prom_export.hh"
+#include "obs/registry.hh"
+#include "obs/run_report.hh"
+#include "obs/snapshot.hh"
+#include "test_util.hh"
+
+using namespace coolcmp;
+
+namespace {
+
+// --------------------------------------------------------------------
+// Phase profiler
+
+TEST(PhaseProfileTest, AccumulatesSecondsAndCallsPerPhase)
+{
+    obs::PhaseProfile profile;
+    profile.add(obs::Phase::GatherPowers, 0.25);
+    profile.add(obs::Phase::GatherPowers, 0.75);
+    profile.add(obs::Phase::StepThermal, 0.5);
+
+    EXPECT_DOUBLE_EQ(profile.seconds(obs::Phase::GatherPowers), 1.0);
+    EXPECT_EQ(profile.calls(obs::Phase::GatherPowers), 2u);
+    EXPECT_DOUBLE_EQ(profile.seconds(obs::Phase::StepThermal), 0.5);
+    EXPECT_EQ(profile.calls(obs::Phase::FinishStep), 0u);
+    EXPECT_DOUBLE_EQ(profile.totalSeconds(), 1.5);
+
+    profile.reset();
+    EXPECT_DOUBLE_EQ(profile.totalSeconds(), 0.0);
+    EXPECT_EQ(profile.calls(obs::Phase::GatherPowers), 0u);
+}
+
+TEST(PhaseProfileTest, FlushPublishesToRegistryAndResets)
+{
+    obs::Registry registry;
+    obs::PhaseProfile profile;
+    profile.add(obs::Phase::StepThermal, 0.125);
+    profile.add(obs::Phase::StepThermal, 0.125);
+    profile.flushTo(registry);
+
+    EXPECT_DOUBLE_EQ(registry.gauge("phase.step_thermal.seconds").value(),
+                     0.25);
+    EXPECT_EQ(registry.counter("phase.step_thermal.calls").value(), 2u);
+
+    // A second run's flush accumulates rather than overwrites, and the
+    // profile itself starts from zero again.
+    EXPECT_DOUBLE_EQ(profile.totalSeconds(), 0.0);
+    profile.add(obs::Phase::StepThermal, 0.75);
+    profile.flushTo(registry);
+    EXPECT_DOUBLE_EQ(registry.gauge("phase.step_thermal.seconds").value(),
+                     1.0);
+    EXPECT_EQ(registry.counter("phase.step_thermal.calls").value(), 3u);
+
+    // Untouched phases publish nothing.
+    const auto counters = registry.counterValues();
+    for (const auto &[name, value] : counters)
+        EXPECT_EQ(name.find("queue_wait"), std::string::npos) << name;
+}
+
+TEST(PhaseProfileTest, ScopedPhaseTimesItsScopeAndNullIsNoOp)
+{
+    obs::PhaseProfile profile;
+    {
+        obs::ScopedPhase timer(&profile, obs::Phase::BatchPack);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(profile.calls(obs::Phase::BatchPack), 1u);
+    EXPECT_GT(profile.seconds(obs::Phase::BatchPack), 0.0);
+
+    {
+        // The telemetry-off path: must not crash or record anything.
+        obs::ScopedPhase timer(nullptr, obs::Phase::BatchPack);
+    }
+    EXPECT_EQ(profile.calls(obs::Phase::BatchPack), 1u);
+}
+
+TEST(PhaseProfileTest, EveryPhaseHasAStableName)
+{
+    for (std::size_t p = 0; p < obs::kNumPhases; ++p) {
+        const char *name = obs::phaseName(static_cast<obs::Phase>(p));
+        EXPECT_STRNE(name, "unknown");
+        EXPECT_GT(std::strlen(name), 0u);
+    }
+}
+
+// --------------------------------------------------------------------
+// Snapshots and rates
+
+TEST(SnapshotTest, LookupReturnsZeroForAbsentMetrics)
+{
+    obs::Registry registry;
+    registry.counter("a").add(7);
+    registry.gauge("g").set(1.5);
+    const obs::MetricsSnapshot snap = obs::takeSnapshot(registry, 2.0);
+
+    EXPECT_DOUBLE_EQ(snap.atSeconds, 2.0);
+    EXPECT_EQ(snap.counter("a"), 7u);
+    EXPECT_EQ(snap.counter("missing"), 0u);
+    EXPECT_DOUBLE_EQ(snap.gauge("g"), 1.5);
+    EXPECT_DOUBLE_EQ(snap.gauge("missing"), 0.0);
+}
+
+TEST(SnapshotTest, CounterRatesDivideDeltasByElapsedTime)
+{
+    obs::MetricsSnapshot prev, cur;
+    prev.atSeconds = 1.0;
+    prev.counters = {{"steps", 100}, {"trips", 4}};
+    cur.atSeconds = 3.0;
+    cur.counters = {{"steps", 700}, {"trips", 4}, {"fresh", 10}};
+
+    const auto rates = obs::counterRates(prev, cur);
+    ASSERT_EQ(rates.size(), 3u);
+    EXPECT_EQ(rates[0].name, "steps");
+    EXPECT_DOUBLE_EQ(rates[0].perSecond, 300.0);
+    EXPECT_DOUBLE_EQ(rates[1].perSecond, 0.0);
+    // A counter born between the snapshots counts from zero.
+    EXPECT_EQ(rates[2].name, "fresh");
+    EXPECT_DOUBLE_EQ(rates[2].perSecond, 5.0);
+}
+
+TEST(SnapshotTest, CounterRatesRejectUnorderedSnapshots)
+{
+    obs::MetricsSnapshot prev, cur;
+    prev.atSeconds = 5.0;
+    cur.atSeconds = 5.0;
+    cur.counters = {{"steps", 1}};
+    EXPECT_TRUE(obs::counterRates(prev, cur).empty());
+
+    // A shrinking counter reports zero, not unsigned wraparound.
+    prev.atSeconds = 0.0;
+    prev.counters = {{"steps", 50}};
+    cur.atSeconds = 1.0;
+    cur.counters = {{"steps", 20}};
+    const auto rates = obs::counterRates(prev, cur);
+    ASSERT_EQ(rates.size(), 1u);
+    EXPECT_DOUBLE_EQ(rates[0].perSecond, 0.0);
+}
+
+TEST(SnapshotAggregatorTest, SnapshotNowRetainsABoundedRing)
+{
+    obs::Registry registry;
+    obs::Counter &steps = registry.counter("sim.steps");
+    obs::SnapshotAggregator agg(registry,
+                                std::chrono::milliseconds(1000), 3);
+    EXPECT_FALSE(agg.running());
+
+    for (int i = 0; i < 5; ++i) {
+        steps.add(10);
+        agg.snapshotNow();
+    }
+    EXPECT_EQ(agg.taken(), 5u);
+
+    const auto history = agg.history();
+    ASSERT_EQ(history.size(), 3u); // oldest two dropped off
+    EXPECT_EQ(history.front().counter("sim.steps"), 30u);
+    EXPECT_EQ(history.back().counter("sim.steps"), 50u);
+    for (std::size_t i = 1; i < history.size(); ++i)
+        EXPECT_GE(history[i].atSeconds, history[i - 1].atSeconds);
+
+    obs::MetricsSnapshot latest;
+    ASSERT_TRUE(agg.latest(latest));
+    EXPECT_EQ(latest.counter("sim.steps"), 50u);
+
+    const auto rates = agg.latestRates();
+    ASSERT_FALSE(rates.empty());
+    for (const auto &rate : rates) {
+        if (rate.name == "sim.steps") {
+            EXPECT_GT(rate.perSecond, 0.0);
+        }
+    }
+}
+
+TEST(SnapshotAggregatorTest, BackgroundThreadSnapshotsPeriodically)
+{
+    obs::Registry registry;
+    registry.counter("sim.steps").add(1);
+    obs::SnapshotAggregator agg(registry, std::chrono::milliseconds(2));
+
+    agg.start();
+    agg.start(); // idempotent
+    EXPECT_TRUE(agg.running());
+    while (agg.taken() < 3)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    agg.stop();
+    agg.stop(); // idempotent
+    EXPECT_FALSE(agg.running());
+
+    const std::uint64_t taken = agg.taken();
+    EXPECT_GE(taken, 3u);
+    // Stopped means stopped: no more snapshots arrive.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(agg.taken(), taken);
+}
+
+TEST(SnapshotAggregatorTest, IntervalFromEnvParsesAndClamps)
+{
+    ::setenv("COOLCMP_SNAPSHOT_MS", "40", 1);
+    EXPECT_EQ(obs::SnapshotAggregator::intervalFromEnv().count(), 40);
+    ::setenv("COOLCMP_SNAPSHOT_MS", "0", 1);
+    EXPECT_EQ(obs::SnapshotAggregator::intervalFromEnv().count(), 1);
+    ::setenv("COOLCMP_SNAPSHOT_MS", "999999", 1);
+    EXPECT_EQ(obs::SnapshotAggregator::intervalFromEnv().count(), 60000);
+    ::unsetenv("COOLCMP_SNAPSHOT_MS");
+    EXPECT_EQ(obs::SnapshotAggregator::intervalFromEnv().count(), 250);
+}
+
+// The TSan-targeted test: a background aggregator snapshotting every
+// millisecond while four runMany workers hammer the same registry
+// (sharded counters, phase flushes, gauge updates) from the batched
+// engine. Asserts only invariants that hold under any interleaving.
+TEST(SnapshotAggregatorTest, ConcurrentSnapshotsWhileRunManyHammers)
+{
+    coolcmp::testing::quiet();
+    obs::Registry registry;
+    DtmConfig config = coolcmp::testing::fastDtmConfig();
+    config.registry = &registry;
+    Experiment experiment(config, coolcmp::testing::fastTraceConfig());
+
+    std::vector<RunJob> jobs;
+    for (const char *name : {"workload1", "workload4", "workload7",
+                             "workload9"})
+        for (const PolicyConfig &policy :
+             {PolicyConfig{ThrottleMechanism::Dvfs,
+                           ControlScope::Distributed,
+                           MigrationKind::None},
+              PolicyConfig{ThrottleMechanism::StopGo,
+                           ControlScope::Distributed,
+                           MigrationKind::None}})
+            jobs.push_back({findWorkload(name), policy, ""});
+
+    obs::SnapshotAggregator agg(registry, std::chrono::milliseconds(1));
+    agg.start();
+    const std::vector<RunMetrics> out = experiment.runMany(jobs, 4);
+    const obs::MetricsSnapshot final = agg.snapshotNow();
+    agg.stop();
+
+    ASSERT_EQ(out.size(), jobs.size());
+    EXPECT_GE(agg.taken(), 2u);
+
+    // The post-sweep snapshot sees every step: 8 jobs, each the full
+    // configured duration.
+    const std::uint64_t expectedSteps =
+        static_cast<std::uint64_t>(jobs.size()) * config.numSteps();
+    EXPECT_EQ(final.counter("sim.steps"), expectedSteps);
+
+    // Counters in retained snapshots never decrease over time.
+    const auto history = agg.history();
+    for (std::size_t i = 1; i < history.size(); ++i) {
+        EXPECT_GE(history[i].atSeconds, history[i - 1].atSeconds);
+        EXPECT_GE(history[i].counter("sim.steps"),
+                  history[i - 1].counter("sim.steps"));
+    }
+}
+
+// --------------------------------------------------------------------
+// Prometheus exposition
+
+TEST(PromExportTest, MetricNamesAreSanitized)
+{
+    EXPECT_EQ(obs::promMetricName("sim.steps"), "coolcmp_sim_steps");
+    EXPECT_EQ(obs::promMetricName("phase.step_thermal.seconds"),
+              "coolcmp_phase_step_thermal_seconds");
+    EXPECT_EQ(obs::promMetricName("weird-name/7"),
+              "coolcmp_weird_name_7");
+    EXPECT_EQ(obs::promMetricName("already_ok:sub"),
+              "coolcmp_already_ok:sub");
+}
+
+TEST(PromExportTest, GoldenExposition)
+{
+    obs::Registry registry;
+    registry.counter("sweep.jobs").add(3);
+    registry.gauge("queue.depth").set(2.5);
+    obs::Histogram &lat =
+        registry.histogram("lat.ms", {1.0, 2.0, 4.0});
+    lat.observe(1.5);
+    lat.observe(3.0);
+    lat.observe(3.5);
+
+    std::ostringstream out;
+    obs::writePrometheus(out, registry);
+
+    const std::string expected =
+        "# TYPE coolcmp_sweep_jobs_total counter\n"
+        "coolcmp_sweep_jobs_total 3\n"
+        "# TYPE coolcmp_queue_depth gauge\n"
+        "coolcmp_queue_depth 2.5\n"
+        "# TYPE coolcmp_lat_ms histogram\n"
+        "coolcmp_lat_ms_bucket{le=\"1\"} 0\n"
+        "coolcmp_lat_ms_bucket{le=\"2\"} 1\n"
+        "coolcmp_lat_ms_bucket{le=\"4\"} 3\n"
+        "coolcmp_lat_ms_bucket{le=\"+Inf\"} 3\n"
+        "coolcmp_lat_ms_sum 8\n"
+        "coolcmp_lat_ms_count 3\n";
+    EXPECT_EQ(out.str(), expected);
+}
+
+TEST(PromExportTest, ExpositionIsStructurallyValid)
+{
+    // Every non-comment line must be "<name>[{labels}] <value>" with a
+    // parseable numeric value — the contract a Prometheus scraper
+    // enforces line by line.
+    obs::Registry registry;
+    registry.counter("sim.steps").add(1234567);
+    registry.gauge("runmany.queue_depth").set(-3.25);
+    obs::Histogram &h = registry.histogram(
+        "phase.step_thermal.run_ms",
+        obs::Histogram::exponentialEdges(1e-3, 4.0, 16));
+    h.observe(0.02);
+    h.observe(7.5);
+
+    std::ostringstream out;
+    obs::writePrometheus(out, registry);
+    std::istringstream lines(out.str());
+    std::string line;
+    std::size_t samples = 0;
+    while (std::getline(lines, line)) {
+        ASSERT_FALSE(line.empty());
+        if (line.rfind("# TYPE ", 0) == 0)
+            continue;
+        const std::size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        const std::string name = line.substr(0, space);
+        const std::string value = line.substr(space + 1);
+        EXPECT_EQ(name.rfind("coolcmp_", 0), 0u) << line;
+        char *end = nullptr;
+        std::strtod(value.c_str(), &end);
+        EXPECT_EQ(*end, '\0') << line;
+        ++samples;
+    }
+    // counter + gauge + (17 buckets + +Inf + sum + count).
+    EXPECT_EQ(samples, 2u + 17u + 3u);
+}
+
+TEST(PromExportTest, FileWriterMatchesStreamOutput)
+{
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "coolcmp-prom-test";
+    std::filesystem::create_directories(dir);
+    const std::string path = (dir / "metrics.prom").string();
+
+    obs::Registry registry;
+    registry.counter("sim.steps").add(42);
+    ASSERT_TRUE(obs::writePrometheusFile(path, registry));
+
+    std::ifstream in(path);
+    std::stringstream fileText;
+    fileText << in.rdbuf();
+    std::ostringstream streamText;
+    obs::writePrometheus(streamText, registry);
+    EXPECT_EQ(fileText.str(), streamText.str());
+
+    // No stray .tmp files left next to the exposition.
+    std::size_t entries = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir))
+        ++entries, (void)entry;
+    EXPECT_EQ(entries, 1u);
+
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+}
+
+TEST(PromExportTest, FileWriterFailsOnUnwritablePath)
+{
+    obs::Registry registry;
+    EXPECT_FALSE(obs::writePrometheusFile(
+        "/nonexistent-dir/metrics.prom", registry));
+}
+
+// --------------------------------------------------------------------
+// HTTP endpoint
+
+/** Blocking one-shot HTTP request against 127.0.0.1:port. */
+std::string
+httpRequest(std::uint16_t port, const std::string &requestLine)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return {};
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return {};
+    }
+    const std::string request =
+        requestLine + "\r\nHost: 127.0.0.1\r\n\r\n";
+    ::send(fd, request.data(), request.size(), 0);
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+TEST(HttpServerTest, ServesMetricsHealthzAndErrors)
+{
+    obs::Registry registry;
+    registry.counter("sim.steps").add(99);
+
+    obs::MetricsHttpServer server(registry);
+    ASSERT_TRUE(server.start(0)); // ephemeral port
+    const std::uint16_t port = server.port();
+    ASSERT_GT(port, 0);
+    EXPECT_TRUE(server.running());
+
+    const std::string health =
+        httpRequest(port, "GET /healthz HTTP/1.1");
+    EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(health.find("ok\n"), std::string::npos);
+
+    const std::string metrics =
+        httpRequest(port, "GET /metrics HTTP/1.1");
+    EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(metrics.find("text/plain; version=0.0.4"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("# TYPE coolcmp_sim_steps_total counter"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("coolcmp_sim_steps_total 99"),
+              std::string::npos);
+
+    // Live values: bump the counter, scrape again.
+    registry.counter("sim.steps").add(1);
+    const std::string again =
+        httpRequest(port, "GET /metrics HTTP/1.1");
+    EXPECT_NE(again.find("coolcmp_sim_steps_total 100"),
+              std::string::npos);
+
+    EXPECT_NE(httpRequest(port, "GET /nope HTTP/1.1")
+                  .find("HTTP/1.1 404 Not Found"),
+              std::string::npos);
+    EXPECT_NE(httpRequest(port, "POST /metrics HTTP/1.1")
+                  .find("HTTP/1.1 405 Method Not Allowed"),
+              std::string::npos);
+
+    server.stop();
+    server.stop(); // idempotent
+    EXPECT_FALSE(server.running());
+    EXPECT_EQ(server.port(), 0);
+}
+
+TEST(HttpServerTest, FromEnvIsOffByDefaultAndOnWhenSet)
+{
+    obs::Registry registry;
+    ::unsetenv("COOLCMP_METRICS_PORT");
+    EXPECT_EQ(obs::MetricsHttpServer::fromEnv(registry), nullptr);
+
+    ::setenv("COOLCMP_METRICS_PORT", "0", 1);
+    auto server = obs::MetricsHttpServer::fromEnv(registry);
+    ASSERT_NE(server, nullptr);
+    EXPECT_TRUE(server->running());
+    EXPECT_GT(server->port(), 0);
+    ::unsetenv("COOLCMP_METRICS_PORT");
+}
+
+// --------------------------------------------------------------------
+// JSON run report
+
+TEST(RunReportTest, GoldenJson)
+{
+    obs::RunReport report;
+    report.sweepName = "sweep \"7\"";
+    report.configKey = "00c0ffee00c0ffee";
+    report.jobs = 2;
+    report.cachedJobs = 1;
+    report.totalSteps = 1400;
+    report.wallSeconds = 2.0;
+    report.busySeconds = 1.6;
+    report.stepsPerSecond = 700.0;
+    report.phases = {{"gather_powers", 1.0, 1400},
+                     {"step_thermal", 0.5, 1400}};
+    report.jobEntries = {{"workload7/dvfs", 700, 3, 1.25, 0.012,
+                          false},
+                         {"workload7/stop-go", 700, 0, 0.0, 0.0,
+                          true}};
+
+    std::ostringstream out;
+    obs::writeRunReportJson(out, report);
+    const std::string expected = R"({
+  "report_version": 1,
+  "sweep": "sweep \"7\"",
+  "config_key": "00c0ffee00c0ffee",
+  "jobs": 2,
+  "cached_jobs": 1,
+  "total_steps": 1400,
+  "wall_seconds": 2,
+  "busy_seconds": 1.6,
+  "steps_per_second": 700,
+  "phase_seconds": 1.5,
+  "phase_coverage": 0.9375,
+  "phases": [
+    {"name": "gather_powers", "seconds": 1, "calls": 1400},
+    {"name": "step_thermal", "seconds": 0.5, "calls": 1400}
+  ],
+  "job_entries": [
+    {"config_key": "workload7/dvfs", "steps": 700, "emergencies": 3, "max_overshoot_c": 1.25, "settle_time_s": 0.012, "from_cache": false},
+    {"config_key": "workload7/stop-go", "steps": 700, "emergencies": 0, "max_overshoot_c": 0, "settle_time_s": 0, "from_cache": true}
+  ]
+}
+)";
+    EXPECT_EQ(out.str(), expected);
+}
+
+TEST(RunReportTest, EmptyReportStillValidJsonShape)
+{
+    obs::RunReport report;
+    std::ostringstream out;
+    obs::writeRunReportJson(out, report);
+    EXPECT_NE(out.str().find("\"phases\": []"), std::string::npos);
+    EXPECT_NE(out.str().find("\"job_entries\": []"),
+              std::string::npos);
+    EXPECT_DOUBLE_EQ(report.phaseCoverage(), 0.0);
+}
+
+TEST(RunReportTest, NonFiniteNumbersBecomeZero)
+{
+    obs::RunReport report;
+    report.wallSeconds = std::numeric_limits<double>::quiet_NaN();
+    report.busySeconds = std::numeric_limits<double>::infinity();
+    std::ostringstream out;
+    obs::writeRunReportJson(out, report);
+    EXPECT_NE(out.str().find("\"wall_seconds\": 0"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("\"busy_seconds\": 0"),
+              std::string::npos);
+}
+
+class RunReportSweepTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { coolcmp::testing::quiet(); }
+
+    static std::vector<RunJob> sweepJobs(const std::string &cacheDir)
+    {
+        std::vector<RunJob> jobs;
+        for (const char *name : {"workload1", "workload7"})
+            for (const PolicyConfig &policy :
+                 {PolicyConfig{ThrottleMechanism::Dvfs,
+                               ControlScope::Distributed,
+                               MigrationKind::None},
+                  PolicyConfig{ThrottleMechanism::StopGo,
+                               ControlScope::Distributed,
+                               MigrationKind::None}})
+                jobs.push_back({findWorkload(name), policy, cacheDir});
+        return jobs;
+    }
+};
+
+TEST_F(RunReportSweepTest, RunManyFillsReportWithPhaseBreakdown)
+{
+    obs::Registry registry;
+    DtmConfig config = coolcmp::testing::fastDtmConfig();
+    config.registry = &registry;
+    Experiment experiment(config, coolcmp::testing::fastTraceConfig());
+
+    const std::vector<RunJob> jobs = sweepJobs("");
+    experiment.runMany(jobs, 2);
+    const obs::RunReport &report = experiment.lastRunReport();
+
+    EXPECT_EQ(report.jobs, jobs.size());
+    EXPECT_EQ(report.cachedJobs, 0u);
+    EXPECT_EQ(report.jobEntries.size(), jobs.size());
+    EXPECT_EQ(report.totalSteps,
+              static_cast<std::uint64_t>(jobs.size()) *
+                  config.numSteps());
+    EXPECT_GT(report.wallSeconds, 0.0);
+    EXPECT_GT(report.busySeconds, 0.0);
+    EXPECT_GT(report.stepsPerSecond, 0.0);
+    EXPECT_FALSE(report.configKey.empty());
+
+    // The acceptance bar: the phase breakdown attributes >= 90% of the
+    // workers' measured busy time.
+    ASSERT_FALSE(report.phases.empty());
+    EXPECT_GE(report.phaseCoverage(), 0.9)
+        << "phase breakdown only covers "
+        << report.phaseCoverage() * 100.0 << "% of busy time";
+    // And never more than the busy time itself (plus timer noise).
+    EXPECT_LE(report.phaseSeconds(), report.busySeconds * 1.05);
+
+    bool sawThermal = false, sawGather = false;
+    for (const auto &phase : report.phases) {
+        EXPECT_GE(phase.seconds, 0.0);
+        EXPECT_GT(phase.calls, 0u);
+        sawThermal |= phase.name == "step_thermal";
+        sawGather |= phase.name == "gather_powers";
+    }
+    EXPECT_TRUE(sawThermal);
+    EXPECT_TRUE(sawGather);
+
+    for (const auto &job : report.jobEntries) {
+        EXPECT_FALSE(job.fromCache);
+        EXPECT_EQ(job.steps, config.numSteps());
+        EXPECT_GE(job.maxOvershootC, 0.0);
+        EXPECT_GE(job.settleTimeS, 0.0);
+        EXPECT_LE(job.settleTimeS, config.duration + 1e-9);
+    }
+}
+
+TEST_F(RunReportSweepTest, CachedRerunIsMarkedAndWritesReportFile)
+{
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "coolcmp-report-test";
+    std::filesystem::create_directories(dir);
+    const std::string reportPath = (dir / "report.json").string();
+
+    obs::Registry registry;
+    DtmConfig config = coolcmp::testing::fastDtmConfig();
+    config.registry = &registry;
+    Experiment experiment(config, coolcmp::testing::fastTraceConfig());
+    experiment.setRunReportPath(reportPath);
+    EXPECT_EQ(experiment.runReportPath(), reportPath);
+
+    const std::vector<RunJob> jobs =
+        sweepJobs((dir / "cache").string());
+    experiment.runMany(jobs, 2);
+    ASSERT_EQ(experiment.lastRunReport().cachedJobs, 0u);
+
+    experiment.runMany(jobs, 2);
+    const obs::RunReport &report = experiment.lastRunReport();
+    EXPECT_EQ(report.cachedJobs, jobs.size());
+    for (const auto &job : report.jobEntries) {
+        EXPECT_TRUE(job.fromCache);
+        EXPECT_EQ(job.steps, 0u);
+    }
+
+    // The file reflects the *last* sweep (all cache hits).
+    std::ifstream in(reportPath);
+    ASSERT_TRUE(in.good());
+    std::stringstream text;
+    text << in.rdbuf();
+    EXPECT_NE(text.str().find("\"report_version\": 1"),
+              std::string::npos);
+    EXPECT_NE(text.str().find("\"cached_jobs\": 4"),
+              std::string::npos);
+    EXPECT_NE(text.str().find("\"from_cache\": true"),
+              std::string::npos);
+
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+}
+
+TEST_F(RunReportSweepTest, ControlHealthRespondsToSetpoint)
+{
+    // With the setpoint far above any reachable temperature the run
+    // can never overshoot or need settling; with a setpoint below
+    // ambient it always does. RunMetrics must reflect both.
+    DtmConfig relaxed = coolcmp::testing::fastDtmConfig();
+    relaxed.dvfsSetpoint = 500.0;
+    Experiment cool(relaxed, coolcmp::testing::fastTraceConfig());
+    const PolicyConfig policy{ThrottleMechanism::Dvfs,
+                              ControlScope::Distributed,
+                              MigrationKind::None};
+    const RunMetrics calm = cool.run(findWorkload("workload7"), policy);
+    EXPECT_DOUBLE_EQ(calm.maxOvershoot, 0.0);
+    EXPECT_DOUBLE_EQ(calm.settleTime, 0.0);
+
+    DtmConfig tight = coolcmp::testing::fastDtmConfig();
+    tight.dvfsSetpoint = 10.0;
+    Experiment hot(tight, coolcmp::testing::fastTraceConfig());
+    const RunMetrics stressed =
+        hot.run(findWorkload("workload7"), policy);
+    EXPECT_GT(stressed.maxOvershoot, 0.0);
+    EXPECT_GT(stressed.settleTime, 0.0);
+}
+
+} // namespace

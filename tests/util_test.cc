@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/env.hh"
+#include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -324,6 +326,64 @@ TEST(ThreadPool, DefaultThreadCountReadsEnvironment)
     EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
     ::unsetenv("COOLCMP_THREADS");
     EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+}
+
+TEST(Env, SizeTParsesClampsAndFallsBack)
+{
+    ::setenv("COOLCMP_TEST_ENV", "12", 1);
+    EXPECT_EQ(envSizeT("COOLCMP_TEST_ENV", 5), 12u);
+    EXPECT_EQ(envSizeT("COOLCMP_TEST_ENV", 5, 1, 8), 8u);
+    EXPECT_EQ(envSizeT("COOLCMP_TEST_ENV", 5, 20, 40), 20u);
+
+    ::setenv("COOLCMP_TEST_ENV", "nonsense", 1);
+    EXPECT_EQ(envSizeT("COOLCMP_TEST_ENV", 5), 5u);
+    ::setenv("COOLCMP_TEST_ENV", "12trailing", 1);
+    EXPECT_EQ(envSizeT("COOLCMP_TEST_ENV", 5), 5u);
+    ::setenv("COOLCMP_TEST_ENV", "-3", 1);
+    EXPECT_EQ(envSizeT("COOLCMP_TEST_ENV", 5), 5u);
+
+    ::setenv("COOLCMP_TEST_ENV", "", 1);
+    EXPECT_EQ(envSizeT("COOLCMP_TEST_ENV", 7), 7u);
+    ::unsetenv("COOLCMP_TEST_ENV");
+    EXPECT_EQ(envSizeT("COOLCMP_TEST_ENV", 7), 7u);
+}
+
+TEST(Env, StringFallsBackOnUnsetAndEmpty)
+{
+    ::setenv("COOLCMP_TEST_ENV", "hello", 1);
+    EXPECT_EQ(envString("COOLCMP_TEST_ENV"), "hello");
+    ::setenv("COOLCMP_TEST_ENV", "", 1);
+    EXPECT_EQ(envString("COOLCMP_TEST_ENV", "dflt"), "dflt");
+    ::unsetenv("COOLCMP_TEST_ENV");
+    EXPECT_EQ(envString("COOLCMP_TEST_ENV", "dflt"), "dflt");
+    EXPECT_EQ(envString("COOLCMP_TEST_ENV"), "");
+}
+
+TEST(WarnLimited, SuppressesAfterBudget)
+{
+    // warnLimited is a no-op below Warn, so run the accounting at
+    // Warn level (the messages themselves go to stderr, which is
+    // acceptable noise for one test).
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Warn);
+    resetWarnLimits();
+
+    const char *key = "test-warn-limited";
+    EXPECT_EQ(suppressedWarnings(key), 0u);
+    for (std::uint64_t i = 0; i < kWarnLimit; ++i)
+        warnLimited(key, "occurrence ", i);
+    EXPECT_EQ(suppressedWarnings(key), 0u);
+
+    for (int i = 0; i < 7; ++i)
+        warnLimited(key, "occurrence beyond budget");
+    EXPECT_EQ(suppressedWarnings(key), 7u);
+
+    // Keys are independent.
+    EXPECT_EQ(suppressedWarnings("test-warn-other"), 0u);
+
+    resetWarnLimits();
+    EXPECT_EQ(suppressedWarnings(key), 0u);
+    setLogLevel(saved);
 }
 
 TEST(UtilDeath, RunningStatRejectsNonPositiveWeight)
