@@ -248,8 +248,9 @@ BM_RunManySweep(benchmark::State &state)
     experiment->prefetchTraces(traceNames);
 
     const auto threads = static_cast<std::size_t>(state.range(0));
+    const RunRequest request = RunRequest(jobs).threads(threads);
     for (auto _ : state) {
-        auto metrics = experiment->runMany(jobs, threads);
+        auto metrics = experiment->run(request);
         benchmark::DoNotOptimize(metrics.data());
     }
     state.SetItemsProcessed(

@@ -40,11 +40,10 @@ runAllCached(Experiment &experiment, const PolicyConfig &policy)
     std::cerr << "  [" << policy.slug() << "] "
               << table4Workloads().size() << " workloads\r"
               << std::flush;
-    std::vector<RunJob> jobs;
-    jobs.reserve(table4Workloads().size());
+    RunRequest request;
     for (const auto &workload : table4Workloads())
-        jobs.push_back({workload, policy, resultCacheDir});
-    auto out = experiment.runMany(jobs);
+        request.add(workload, policy, resultCacheDir);
+    auto out = experiment.run(request);
     std::cerr << std::string(60, ' ') << "\r";
     return out;
 }
@@ -58,11 +57,10 @@ inline std::vector<RunMetrics>
 runSubsetCached(Experiment &experiment, const PolicyConfig &policy,
                 const char *const (&names)[N])
 {
-    std::vector<RunJob> jobs;
-    jobs.reserve(N);
+    RunRequest request;
     for (const char *name : names)
-        jobs.push_back({findWorkload(name), policy, resultCacheDir});
-    return experiment.runMany(jobs);
+        request.add(findWorkload(name), policy, resultCacheDir);
+    return experiment.run(request);
 }
 
 /** Print a banner naming the reproduced artifact. */

@@ -39,6 +39,7 @@
 #include <iostream>
 
 #include "core/experiment.hh"
+#include "fault/fault_plan.hh"
 #include "obs/export.hh"
 #include "obs/http_server.hh"
 #include "obs/prom_export.hh"
@@ -58,6 +59,11 @@ main()
     // see the PI controllers settle and a few migration rounds fire.
     DtmConfig config;
     config.duration = 0.05;
+    // Resilience tour: COOLCMP_FAULT_PLAN injects faults into every
+    // job, e.g. COOLCMP_FAULT_PLAN="drop@0.01+0.02:core0;random:7".
+    // Exposure shows up in trace_run_report.json (fault_totals,
+    // per-job fault counts and degradation fallbacks).
+    config.faults = FaultPlan::fromEnv();
     Experiment experiment(config);
 
     const Workload &workload = findWorkload("workload7");
@@ -95,7 +101,7 @@ main()
 
     if (experiment.runReportPath().empty())
         experiment.setRunReportPath("trace_run_report.json");
-    experiment.runMany(jobs);
+    experiment.run(RunRequest(jobs));
 
     aggregator.snapshotNow();
     for (const obs::CounterRate &rate : aggregator.latestRates()) {

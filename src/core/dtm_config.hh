@@ -11,10 +11,12 @@
 #include <cstdint>
 
 #include "control/pi_controller.hh"
+#include "fault/fault_plan.hh"
 #include "os/kernel.hh"
 #include "power/leakage.hh"
 #include "power/power_model.hh"
 #include "thermal/package.hh"
+#include "thermal/sensor.hh"
 #include "util/units.hh"
 
 namespace coolcmp::obs {
@@ -55,9 +57,13 @@ struct DtmConfig
     KernelParams kernel;
 
     // --- Sensor modeling (ideal by default; Section 4.1 notes sensor
-    //     delay is negligible at these time scales). ---
-    double sensorNoise = 0.0;
-    double sensorQuantization = 0.0;
+    //     delay is negligible at these time scales). The model is the
+    //     healthy read path every diode shares; `faults` schedules
+    //     what goes wrong on top of it (sensor corruption, actuator
+    //     misbehaviour, power spikes). Both are part of configKey():
+    //     fault runs cache separately from clean runs. ---
+    SensorModel sensors;
+    FaultPlan faults;
 
     // --- Initialization: start from the steady state whose hottest
     //     block sits this far below the threshold (a warm, regulated

@@ -18,8 +18,7 @@ DtmSimulator::DtmSimulator(
                  config_),
       solver_(chip_->makeSolver(config_.stepSeconds())),
       sensors_(makeRegisterFileSensors(chip_->floorplan(),
-                                       config_.sensorQuantization,
-                                       config_.sensorNoise)),
+                                       config_.sensors)),
       l2IdleWatts_(config_.power.units[UnitKind::L2].idleWatts)
 {
     if (traces.size() < static_cast<std::size_t>(chip_->numCores()))
@@ -28,6 +27,14 @@ DtmSimulator::DtmSimulator(
     // throttle bank and migration policy read config_.tracer directly;
     // the kernel gets it through its params.
     config_.kernel.tracer = config_.tracer;
+    // The fault layer exists only when something is scheduled to go
+    // wrong; a clean config keeps the exact fault-free hot path.
+    if (!config_.faults.empty()) {
+        injector_ = std::make_unique<FaultInjector>(
+            config_.faults, chip_->numCores(), config_.registry,
+            config_.tracer);
+        throttles_.setFaultInjector(injector_.get());
+    }
     std::vector<Process> processes;
     processes.reserve(traces.size());
     for (std::size_t i = 0; i < traces.size(); ++i)
@@ -155,6 +162,11 @@ DtmSimulator::beginRun()
     rs.coreHottest.assign(nc, 0.0);
     rs.intRf.assign(nc, 0.0);
     rs.fpRf.assign(nc, 0.0);
+    if (injector_) {
+        injector_->reset();
+        rs.intHealthy.assign(nc, 1);
+        rs.fpHealthy.assign(nc, 1);
+    }
 
     // OS-tick window accumulators for the outer loop.
     rs.tick = config_.kernel.timerInterval;
@@ -185,6 +197,8 @@ DtmSimulator::gatherPowers()
     const double dt = rs.dt;
     const double now = static_cast<double>(rs.step) * dt;
     kernel_->advanceTo(now);
+    if (injector_)
+        injector_->beginStep(now);
 
     // --- Execute one interval on each core. ---
     std::fill(rs.blockPowers.begin(), rs.blockPowers.end(), 0.0);
@@ -209,12 +223,19 @@ DtmSimulator::gatherPowers()
             rs.metrics.processInstructions[static_cast<std::size_t>(
                 proc->id())] += insts;
             rs.metrics.totalInstructions += insts;
+            // PowerSpike corruption scales the core's dynamic power
+            // (its unit blocks and its share of L2 access power);
+            // committed instructions are untouched — the trace lied
+            // about power, not about work done.
+            const double spike = injector_
+                ? injector_->powerScale(c, now) : 1.0;
+            const double w = s3 * avail * spike;
             for (UnitKind kind : coreUnitKinds())
                 rs.blockPowers[chip_->blockOf(c, kind)] +=
-                    pt.power[kind] * s3 * avail;
+                    pt.power[kind] * w;
             l2Power += std::max(0.0, pt.power[UnitKind::L2] -
                                          l2IdleWatts_) *
-                s3 * avail;
+                w;
         }
         const double work = s * avail;
         rs.metrics.coreDuty[ci] += work;
@@ -259,11 +280,76 @@ DtmSimulator::finishStep()
     const double tEnd = now + dt;
 
     // --- Read sensors and run the inner control loop. ---
-    for (int c = 0; c < numCores; ++c) {
-        const auto ci = static_cast<std::size_t>(c);
-        rs.intRf[ci] = sensors_[ci].intRf.read(*solver_);
-        rs.fpRf[ci] = sensors_[ci].fpRf.read(*solver_);
-        rs.coreHottest[ci] = std::max(rs.intRf[ci], rs.fpRf[ci]);
+    if (!injector_) {
+        for (int c = 0; c < numCores; ++c) {
+            const auto ci = static_cast<std::size_t>(c);
+            rs.intRf[ci] = sensors_[ci].intRf.read(*solver_);
+            rs.fpRf[ci] = sensors_[ci].fpRf.read(*solver_);
+            rs.coreHottest[ci] =
+                std::max(rs.intRf[ci], rs.fpRf[ci]);
+        }
+    } else {
+        // Pass 1: every diode sample goes through the fault layer.
+        // Corrupted values stay in intRf/fpRf — that is what the
+        // hardware would report — while the health flags drive the
+        // degradation ladder below.
+        for (int c = 0; c < numCores; ++c) {
+            const auto ci = static_cast<std::size_t>(c);
+            const FaultInjector::Reading ir =
+                injector_->transformReading(
+                    c, 0, sensors_[ci].intRf.read(*solver_), now);
+            const FaultInjector::Reading fr =
+                injector_->transformReading(
+                    c, 1, sensors_[ci].fpRf.read(*solver_), now);
+            rs.intRf[ci] = ir.value;
+            rs.fpRf[ci] = fr.value;
+            rs.intHealthy[ci] = ir.healthy ? 1 : 0;
+            rs.fpHealthy[ci] = fr.healthy ? 1 : 0;
+        }
+        // Chip-wide hottest healthy diode, the third ladder rung.
+        double chipHealthyMax = 0.0;
+        bool anyHealthy = false;
+        for (int c = 0; c < numCores; ++c) {
+            const auto ci = static_cast<std::size_t>(c);
+            if (rs.intHealthy[ci]) {
+                chipHealthyMax = anyHealthy
+                    ? std::max(chipHealthyMax, rs.intRf[ci])
+                    : rs.intRf[ci];
+                anyHealthy = true;
+            }
+            if (rs.fpHealthy[ci]) {
+                chipHealthyMax = anyHealthy
+                    ? std::max(chipHealthyMax, rs.fpRf[ci])
+                    : rs.fpRf[ci];
+                anyHealthy = true;
+            }
+        }
+        // Pass 2: the degradation ladder picks what each core's
+        // controller sees: own diodes -> sibling diode -> chip-wide
+        // hottest healthy -> fail-safe (feed the threshold itself so
+        // stop-go trips every sample and DVFS pins the floor).
+        for (int c = 0; c < numCores; ++c) {
+            const auto ci = static_cast<std::size_t>(c);
+            SensorSource source;
+            if (rs.intHealthy[ci] && rs.fpHealthy[ci]) {
+                source = SensorSource::Own;
+                rs.coreHottest[ci] =
+                    std::max(rs.intRf[ci], rs.fpRf[ci]);
+            } else if (rs.intHealthy[ci]) {
+                source = SensorSource::Sibling;
+                rs.coreHottest[ci] = rs.intRf[ci];
+            } else if (rs.fpHealthy[ci]) {
+                source = SensorSource::Sibling;
+                rs.coreHottest[ci] = rs.fpRf[ci];
+            } else if (anyHealthy) {
+                source = SensorSource::ChipWide;
+                rs.coreHottest[ci] = chipHealthyMax;
+            } else {
+                source = SensorSource::FailSafe;
+                rs.coreHottest[ci] = config_.thresholdTemp;
+            }
+            injector_->noteSensorSource(c, source, now);
+        }
     }
     throttles_.update(rs.coreHottest, tEnd);
 
@@ -391,6 +477,14 @@ DtmSimulator::finishRun()
     rs.metrics.throttleActuations = throttles_.actuations();
     rs.metrics.migrations = kernel_->migrationCount();
     rs.metrics.migrationPenaltyTime = kernel_->totalPenaltyTime();
+    if (injector_) {
+        const auto &cls = injector_->classActivations();
+        rs.metrics.faultClassCounts.assign(cls.begin(), cls.end());
+        rs.metrics.fallbackSibling = injector_->fallbackSibling();
+        rs.metrics.fallbackChipWide = injector_->fallbackChipWide();
+        rs.metrics.failSafeActivations =
+            injector_->failSafeActivations();
+    }
     rs.active = false;
     if (rs.profile) {
         rs.profile->add(obs::Phase::FinishRun,

@@ -27,6 +27,7 @@
 #include "core/step_sample.hh"
 #include "core/taxonomy.hh"
 #include "core/throttle.hh"
+#include "fault/injector.hh"
 #include "obs/phase_timer.hh"
 #include "os/kernel.hh"
 #include "power/trace.hh"
@@ -97,6 +98,13 @@ class DtmSimulator
     /** Access to the migration policy after a run. */
     const MigrationPolicy &migrationPolicy() const { return *migration_; }
 
+    /** The run's fault injector; null when the config has no fault
+     *  plan (the fault-free hot path is untouched). */
+    const FaultInjector *faultInjector() const
+    {
+        return injector_.get();
+    }
+
   private:
     std::shared_ptr<const ChipModel> chip_;
     PolicyConfig policy_;
@@ -106,6 +114,7 @@ class DtmSimulator
     std::unique_ptr<MigrationPolicy> migration_;
     std::unique_ptr<ZohPropagator> solver_;
     std::vector<CoreSensors> sensors_;
+    std::unique_ptr<FaultInjector> injector_;
     double l2IdleWatts_;
 
     std::function<void(const StepSample &)> hook_;
@@ -139,6 +148,11 @@ class DtmSimulator
         std::vector<double> coreHottest;
         std::vector<double> intRf;
         std::vector<double> fpRf;
+
+        /** Diode trust flags from the fault layer (sized only when an
+         *  injector is attached). */
+        std::vector<char> intHealthy;
+        std::vector<char> fpHealthy;
 
         // OS-tick window accumulators.
         double tick = 0.0;

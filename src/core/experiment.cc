@@ -12,6 +12,9 @@
 #include <thread>
 
 #include "core/batch_runner.hh"
+#include "core/sweep_journal.hh"
+#include "fault/fault_plan.hh"
+#include "obs/exporter.hh"
 #include "obs/registry.hh"
 #include "obs/tracer.hh"
 #include "thermal/sensor.hh"
@@ -133,45 +136,19 @@ bool
 saveRunMetrics(const std::string &path, const RunMetrics &m,
                std::uint64_t configKey)
 {
-    // Write-then-rename so concurrent writers (runMany workers, or
+    // Atomic tmp+rename so concurrent writers (sweep workers, or
     // several bench processes sharing the cache) never expose a
     // half-written file to a concurrent loadRunMetrics.
-    const std::string tmp = path + ".tmp." +
-        std::to_string(std::hash<std::thread::id>{}(
-            std::this_thread::get_id()));
-    std::ofstream out(tmp);
-    if (!out)
-        return false;
-    out.precision(15);
-    // Schema version + config hash: a reader built against another
-    // schema, or an experiment with different constants, must treat
-    // this file as a miss rather than deserialize stale numbers.
-    out << "coolcmp-metrics-v3 " << configKeyHex(configKey) << "\n";
-    out << m.duration << " " << m.totalInstructions << " "
-        << m.dutyCycle << " " << m.peakTemp << " " << m.emergencies
-        << " " << m.throttleActuations << " " << m.migrations << " "
-        << m.migrationPenaltyTime << " " << m.maxOvershoot << " "
-        << m.settleTime << "\n";
-    auto dumpVec = [&out](const std::vector<double> &v) {
-        out << v.size();
-        for (double x : v)
-            out << " " << x;
-        out << "\n";
-    };
-    dumpVec(m.coreInstructions);
-    dumpVec(m.coreDuty);
-    dumpVec(m.coreMeanFreq);
-    dumpVec(m.processInstructions);
-    out.close();
-    if (!out)
-        return false;
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
-        std::filesystem::remove(tmp, ec);
-        return false;
-    }
-    return true;
+    return obs::atomicWriteFile(
+        path, "result-cache", [&](std::ostream &out) {
+            // Schema version + config hash: a reader built against
+            // another schema, or an experiment with different
+            // constants, must treat this file as a miss rather than
+            // deserialize stale numbers.
+            out << "coolcmp-metrics-v4 " << configKeyHex(configKey)
+                << "\n";
+            writeRunMetricsBody(out, m);
+        });
 }
 
 bool
@@ -184,9 +161,9 @@ loadRunMetrics(const std::string &path, RunMetrics &m,
     std::string magic, key;
     if (!(in >> magic >> key))
         return false;
-    if (magic != "coolcmp-metrics-v3") {
+    if (magic != "coolcmp-metrics-v4") {
         warn("result cache ", path, " has schema '", magic,
-             "', expected coolcmp-metrics-v3; rebuilding");
+             "', expected coolcmp-metrics-v4; rebuilding");
         return false;
     }
     if (key != configKeyHex(configKey)) {
@@ -194,23 +171,7 @@ loadRunMetrics(const std::string &path, RunMetrics &m,
              ", expected ", configKeyHex(configKey), "; rebuilding");
         return false;
     }
-    if (!(in >> m.duration >> m.totalInstructions >> m.dutyCycle >>
-          m.peakTemp >> m.emergencies >> m.throttleActuations >>
-          m.migrations >> m.migrationPenaltyTime >> m.maxOvershoot >>
-          m.settleTime))
-        return false;
-    auto readVec = [&in](std::vector<double> &v) {
-        std::size_t n = 0;
-        if (!(in >> n) || n > 4096)
-            return false;
-        v.resize(n);
-        for (double &x : v)
-            if (!(in >> x))
-                return false;
-        return true;
-    };
-    return readVec(m.coreInstructions) && readVec(m.coreDuty) &&
-        readVec(m.coreMeanFreq) && readVec(m.processInstructions);
+    return readRunMetricsBody(in, m);
 }
 
 std::uint64_t
@@ -227,8 +188,9 @@ Experiment::configKey() const
                      c.kernel.timerInterval,
                      c.kernel.migrationMinInterval,
                      c.kernel.migrationPenalty,
-                     c.kernel.timeSliceQuantum, c.sensorNoise,
-                     c.sensorQuantization, c.initMargin,
+                     c.kernel.timeSliceQuantum,
+                     c.sensors.noiseStddev, c.sensors.quantization,
+                     c.initMargin,
                      static_cast<double>(c.hotspotChangeQuorum),
                      c.hotspotTempDelta, c.fallbackSpread,
                      c.package.dieThickness, c.package.convectionR,
@@ -242,6 +204,11 @@ Experiment::configKey() const
         mixDouble(hash, unit.idleWatts);
         mixDouble(hash, unit.energyPerAccess);
     }
+    // The sensor seed and the fault schedule change simulated
+    // behaviour, so noisy-sensor and fault runs cache separately from
+    // clean runs (and from each other).
+    mixBytes(hash, &c.sensors.seed, sizeof(c.sensors.seed));
+    c.faults.mixInto(hash);
     return hash;
 }
 
@@ -264,9 +231,48 @@ Experiment::cachePath(const RunJob &job) const
         ".metrics";
 }
 
+namespace {
+
+/**
+ * Run a built simulator to completion under an optional wall-clock
+ * deadline. The check is cooperative — every 64 steps of the manual
+ * phase loop — so a hung job is abandoned within microseconds of real
+ * work, without signals or a watchdog thread. Throws JobTimeout; the
+ * abandoned simulator is simply destroyed (each owns all its state),
+ * and a retry rebuilds a fresh one, so the re-run stays bit-identical
+ * to a never-interrupted run.
+ */
+RunMetrics
+runWithDeadline(DtmSimulator &sim, double timeoutSeconds,
+                const std::string &what)
+{
+    if (timeoutSeconds <= 0.0)
+        return sim.run();
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeoutSeconds));
+    sim.beginRun();
+    std::uint64_t n = 0;
+    while (!sim.done()) {
+        sim.gatherPowers();
+        sim.stepThermal();
+        sim.finishStep();
+        if ((++n & 63u) == 0 &&
+            std::chrono::steady_clock::now() >= deadline)
+            throw JobTimeout("job " + what + " exceeded its " +
+                             std::to_string(timeoutSeconds) +
+                             " s deadline");
+    }
+    return sim.finishRun();
+}
+
+} // namespace
+
 RunMetrics
 Experiment::runJob(const RunJob &job, obs::Tracer *tracer,
-                   obs::Registry *registry, bool *fromCache)
+                   obs::Registry *registry, bool *fromCache,
+                   double timeoutSeconds)
 {
     if (fromCache)
         *fromCache = false;
@@ -289,9 +295,11 @@ Experiment::runJob(const RunJob &job, obs::Tracer *tracer,
         profile.flushTo(*registry);
         return sim;
     };
+    const std::string what =
+        job.workload.name + "/" + job.policy.slug();
 
     if (job.resultDir.empty())
-        return build()->run();
+        return runWithDeadline(*build(), timeoutSeconds, what);
     const std::uint64_t key = configKey();
     const std::string path = cachePath(job);
     RunMetrics cached;
@@ -300,7 +308,8 @@ Experiment::runJob(const RunJob &job, obs::Tracer *tracer,
             *fromCache = true;
         return cached;
     }
-    const RunMetrics fresh = build()->run();
+    const RunMetrics fresh =
+        runWithDeadline(*build(), timeoutSeconds, what);
     std::error_code ec;
     std::filesystem::create_directories(job.resultDir, ec);
     if (!saveRunMetrics(path, fresh, key))
@@ -314,16 +323,57 @@ Experiment::batchWidth()
     return envSizeT("COOLCMP_BATCH", 8, 1, 64);
 }
 
+std::string
+SweepOptions::validate() const
+{
+    if (jobTimeoutSeconds < 0.0)
+        return "jobTimeoutSeconds must be >= 0";
+    if (maxAttempts < 1)
+        return "maxAttempts must be >= 1";
+    if (retryBackoffSeconds < 0.0)
+        return "retryBackoffSeconds must be >= 0";
+    return {};
+}
+
+std::string
+RunRequest::validate() const
+{
+    for (const RunJob &job : jobs_) {
+        const bool blank = std::all_of(
+            job.workload.benchmarks.begin(),
+            job.workload.benchmarks.end(),
+            [](const std::string &b) { return b.empty(); });
+        if (blank)
+            return "job '" + job.workload.name +
+                "' has no benchmarks";
+    }
+    return options_.validate();
+}
+
 std::vector<RunMetrics>
 Experiment::runMany(const std::vector<RunJob> &jobs,
                     std::size_t threads)
 {
+    // Deprecated shim kept for old call sites; all behaviour lives in
+    // run(RunRequest).
+    return run(RunRequest(jobs).threads(threads));
+}
+
+std::vector<RunMetrics>
+Experiment::run(const RunRequest &request)
+{
+    const std::string error = request.validate();
+    if (!error.empty())
+        fatal("invalid RunRequest: ", error);
+    const std::vector<RunJob> &jobs = request.jobs();
+    const SweepOptions &options = request.options();
+
     std::vector<RunMetrics> out(jobs.size());
-    std::vector<char> fromCache(jobs.size(), 0);
+    JobStatus status(jobs.size());
 
     // Bracket the sweep with registry snapshots: the registry
-    // accumulates across runMany calls, so the run report is built
-    // from deltas, not absolute values.
+    // accumulates across sweeps, so the run report is built from
+    // deltas, not absolute values.
     obs::Registry *const reg =
         session_ ? &session_->registry() : config_.registry;
     obs::MetricsSnapshot before;
@@ -331,74 +381,137 @@ Experiment::runMany(const std::vector<RunJob> &jobs,
         before = obs::takeSnapshot(*reg);
     const auto wall0 = std::chrono::steady_clock::now();
 
+    std::unique_ptr<SweepJournal> journal;
+    if (!options.journalPath.empty()) {
+        journal = std::make_unique<SweepJournal>(
+            options.journalPath, configKeyHex(configKey()),
+            jobs.size());
+        if (journal->load())
+            inform("resuming sweep from ", options.journalPath, ": ",
+                 journal->completedCount(), " of ", jobs.size(),
+                 " jobs already complete");
+    }
+
     // Group pending jobs by discretization: every simulator this
     // Experiment builds shares one chip and one step length, i.e. one
     // chip_->discretization(), so the whole job list is one batched
-    // group. A singleton group (one job) or a batch width of 1 takes
-    // the sequential per-run path instead.
+    // group. A singleton group (one job), a batch width of 1, or a
+    // supervised request (the per-job deadline and the retry loop
+    // need per-job stepping) takes the sequential per-run path.
     const std::size_t width = batchWidth();
-    if (width > 1 && jobs.size() > 1) {
-        runManyBatched(jobs, threads, width, out, fromCache);
-    } else {
-        obs::TraceSession *const session = session_;
-
-        // Sweep-level pool metrics: how many jobs are still queued
-        // (the worker-pool queue depth) and how many completed. Busy
-        // seconds sum each worker's per-job wall time — the coverage
-        // denominator for the phase breakdown.
-        obs::Gauge *queueDepth = nullptr;
-        obs::Counter *jobsDone = nullptr;
-        obs::Gauge *busy =
-            reg ? &reg->gauge("runmany.busy_seconds") : nullptr;
-        std::atomic<std::size_t> pending{jobs.size()};
-        if (session) {
-            queueDepth =
-                &session->registry().gauge("runmany.queue_depth");
-            jobsDone = &session->registry().counter("runmany.jobs");
-            queueDepth->set(static_cast<double>(jobs.size()));
-        }
-
-        parallelFor(jobs.size(), threads, [&](std::size_t i) {
-            const RunJob &job = jobs[i];
-            const auto t0 = std::chrono::steady_clock::now();
-            bool hit = false;
-            if (session) {
-                const std::size_t span = session->beginJob(
-                    job.workload.name + "/" + job.policy.slug());
-                out[i] = runJob(job, session->jobTracer(span),
-                                &session->registry(), &hit);
-                session->endJob(span);
-                jobsDone->add();
-                queueDepth->set(static_cast<double>(
-                    pending.fetch_sub(1, std::memory_order_relaxed) -
-                    1));
-            } else {
-                out[i] = runJob(job, config_.tracer, config_.registry,
-                                &hit);
-            }
-            fromCache[i] = hit ? 1 : 0;
-            if (busy)
-                busy->add(std::chrono::duration<double>(
-                              std::chrono::steady_clock::now() - t0)
-                              .count());
-        });
-    }
+    if (!options.supervised() && width > 1 && jobs.size() > 1)
+        runManyBatched(jobs, options.threads, width, out, status);
+    else
+        runManySequential(jobs, options, journal.get(), out, status);
 
     const double wall = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - wall0)
                             .count();
-    buildRunReport(jobs, out, fromCache, reg, before, wall);
+    buildRunReport(jobs, out, status, reg, before, wall);
     if (!runReportPath_.empty())
         obs::writeRunReportJson(runReportPath_, lastReport_);
     return out;
 }
 
 void
+Experiment::runManySequential(const std::vector<RunJob> &jobs,
+                              const SweepOptions &options,
+                              SweepJournal *journal,
+                              std::vector<RunMetrics> &out,
+                              JobStatus &status)
+{
+    obs::TraceSession *const session = session_;
+    obs::Registry *const reg =
+        session ? &session->registry() : config_.registry;
+
+    // Sweep-level pool metrics: how many jobs are still queued
+    // (the worker-pool queue depth) and how many completed. Busy
+    // seconds sum each worker's per-job wall time — the coverage
+    // denominator for the phase breakdown.
+    obs::Gauge *queueDepth = nullptr;
+    obs::Counter *jobsDone = nullptr;
+    obs::Gauge *busy =
+        reg ? &reg->gauge("runmany.busy_seconds") : nullptr;
+    std::atomic<std::size_t> pending{jobs.size()};
+    if (session) {
+        queueDepth = &session->registry().gauge("runmany.queue_depth");
+        jobsDone = &session->registry().counter("runmany.jobs");
+        queueDepth->set(static_cast<double>(jobs.size()));
+    }
+    auto finishJobObs = [&](std::size_t) {
+        if (!session)
+            return;
+        jobsDone->add();
+        queueDepth->set(static_cast<double>(
+            pending.fetch_sub(1, std::memory_order_relaxed) - 1));
+    };
+
+    // One job under supervision: replay from the journal, else run
+    // with the deadline armed, retrying with linear backoff, and
+    // checkpoint the completion.
+    auto runSupervised = [&](std::size_t i, obs::Tracer *tracer,
+                             obs::Registry *registry) {
+        const RunJob &job = jobs[i];
+        if (journal && journal->has(i)) {
+            out[i] = journal->result(i);
+            status.resumed[i] = 1;
+            return;
+        }
+        bool hit = false;
+        for (int attempt = 1;; ++attempt) {
+            status.attempts[i] = static_cast<std::uint32_t>(attempt);
+            try {
+                out[i] = runJob(job, tracer, registry, &hit,
+                                options.jobTimeoutSeconds);
+                break;
+            } catch (const JobTimeout &e) {
+                if (attempt >= options.maxAttempts) {
+                    warn(e.what(), "; attempt ", attempt, " of ",
+                         options.maxAttempts,
+                         ", marking the job failed");
+                    status.failed[i] = 1;
+                    out[i] = RunMetrics{};
+                    return;
+                }
+                warn(e.what(), "; attempt ", attempt, " of ",
+                     options.maxAttempts, ", retrying");
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(
+                        options.retryBackoffSeconds * attempt));
+            }
+        }
+        status.fromCache[i] = hit ? 1 : 0;
+        if (journal)
+            journal->record(i, out[i]);
+    };
+
+    parallelFor(jobs.size(), options.threads, [&](std::size_t i) {
+        const RunJob &job = jobs[i];
+        const auto t0 = std::chrono::steady_clock::now();
+        if (session) {
+            const std::size_t span = session->beginJob(
+                job.workload.name + "/" + job.policy.slug());
+            runSupervised(i, session->jobTracer(span),
+                          &session->registry());
+            session->endJob(span);
+        } else {
+            runSupervised(i, config_.tracer, config_.registry);
+        }
+        finishJobObs(i);
+        if (busy)
+            busy->add(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+    });
+}
+
+void
 Experiment::runManyBatched(const std::vector<RunJob> &jobs,
                            std::size_t threads, std::size_t width,
                            std::vector<RunMetrics> &out,
-                           std::vector<char> &fromCache)
+                           JobStatus &status)
 {
+    std::vector<char> &fromCache = status.fromCache;
     obs::TraceSession *const session = session_;
     obs::Registry *const reg =
         session ? &session->registry() : config_.registry;
@@ -499,7 +612,7 @@ Experiment::runManyBatched(const std::vector<RunJob> &jobs,
 void
 Experiment::buildRunReport(const std::vector<RunJob> &jobs,
                            const std::vector<RunMetrics> &out,
-                           const std::vector<char> &fromCache,
+                           const JobStatus &status,
                            const obs::Registry *registry,
                            const obs::MetricsSnapshot &before,
                            double wallSeconds)
@@ -510,21 +623,51 @@ Experiment::buildRunReport(const std::vector<RunJob> &jobs,
     report.jobs = jobs.size();
     report.wallSeconds = wallSeconds;
 
+    std::vector<std::uint64_t> totals(kNumFaultClasses, 0);
     const std::uint64_t stepsPerJob = config_.numSteps();
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         obs::RunReport::JobEntry entry;
         entry.configKey =
             jobs[i].workload.name + "/" + jobs[i].policy.slug();
-        entry.fromCache = fromCache[i] != 0;
-        entry.steps = entry.fromCache ? 0 : stepsPerJob;
+        entry.fromCache = status.fromCache[i] != 0;
+        entry.resumed = status.resumed[i] != 0;
+        entry.failed = status.failed[i] != 0;
+        entry.attempts = status.attempts[i];
+        const bool computed = !entry.fromCache && !entry.resumed &&
+            !entry.failed;
+        entry.steps = computed ? stepsPerJob : 0;
         entry.emergencies = out[i].emergencies;
         entry.maxOvershootC = out[i].maxOvershoot;
         entry.settleTimeS = out[i].settleTime;
+        entry.thresholdExceeded = out[i].emergencies > 0;
+        for (std::size_t c = 0; c < out[i].faultClassCounts.size();
+             ++c) {
+            const std::uint64_t n = out[i].faultClassCounts[c];
+            if (n == 0 || c >= kNumFaultClasses)
+                continue;
+            entry.faultCounts.emplace_back(
+                faultClassName(static_cast<FaultClass>(c)), n);
+            totals[c] += n;
+        }
+        entry.fallbackSibling = out[i].fallbackSibling;
+        entry.fallbackChipWide = out[i].fallbackChipWide;
+        entry.failSafe = out[i].failSafeActivations;
         if (entry.fromCache)
             ++report.cachedJobs;
+        if (entry.resumed)
+            ++report.resumedJobs;
+        if (entry.attempts > 1)
+            ++report.retriedJobs;
+        if (entry.failed)
+            ++report.failedJobs;
         report.totalSteps += entry.steps;
         report.jobEntries.push_back(std::move(entry));
     }
+    for (std::size_t c = 0; c < kNumFaultClasses; ++c)
+        if (totals[c] > 0)
+            report.faultTotals.emplace_back(
+                faultClassName(static_cast<FaultClass>(c)),
+                totals[c]);
 
     if (registry) {
         const obs::MetricsSnapshot after = obs::takeSnapshot(*registry);
@@ -560,11 +703,10 @@ Experiment::buildRunReport(const std::vector<RunJob> &jobs,
 std::vector<RunMetrics>
 Experiment::runAllWorkloads(const PolicyConfig &policy)
 {
-    std::vector<RunJob> jobs;
-    jobs.reserve(table4Workloads().size());
+    RunRequest request;
     for (const auto &workload : table4Workloads())
-        jobs.push_back({workload, policy, ""});
-    return runMany(jobs);
+        request.add(workload, policy);
+    return run(request);
 }
 
 double

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -31,13 +32,157 @@ class TraceSession;
 
 namespace coolcmp {
 
-/** One (workload, policy) run request for Experiment::runMany. */
+class SweepJournal;
+
+/** One (workload, policy) run request for an Experiment sweep. */
 struct RunJob
 {
     Workload workload;
     PolicyConfig policy;
     /** On-disk result cache directory; empty disables caching. */
     std::string resultDir;
+};
+
+/** Thrown inside a supervised job when it overruns its deadline. */
+class JobTimeout : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Sweep-level execution options. Every future knob lands here instead
+ * of growing another defaulted runMany parameter.
+ */
+struct SweepOptions
+{
+    /** Worker count; 0 reads COOLCMP_THREADS and falls back to
+     *  hardware_concurrency. */
+    std::size_t threads = 0;
+
+    /**
+     * Crash-safe journal file; empty disables journaling. Completed
+     * jobs are checkpointed (atomic tmp+rename) as they finish, and a
+     * re-run of the same request replays them instead of recomputing
+     * — see SweepJournal for the resume contract.
+     */
+    std::string journalPath;
+
+    /** Per-job wall-clock deadline in seconds; 0 disables. A job past
+     *  its deadline is abandoned and (maybe) retried. */
+    double jobTimeoutSeconds = 0.0;
+
+    /** Attempts per job (1 = no retries). A job that times out on its
+     *  last attempt is marked failed and returns zeroed metrics. */
+    int maxAttempts = 1;
+
+    /** Base sleep between attempts, seconds (linear backoff:
+     *  attempt k waits k * backoff). */
+    double retryBackoffSeconds = 0.05;
+
+    /** Empty when the options are coherent, else a diagnostic. */
+    std::string validate() const;
+
+    /** True when any supervision feature (journal, deadline, retry)
+     *  is on; supervised sweeps take the sequential per-run path. */
+    bool supervised() const
+    {
+        return !journalPath.empty() || jobTimeoutSeconds > 0.0 ||
+            maxAttempts > 1;
+    }
+};
+
+/**
+ * A whole sweep as one value: the job list plus its SweepOptions,
+ * built fluently. This is the one entry point for multi-run
+ * execution — Experiment::run(RunRequest) — replacing the
+ * ever-growing parameter lists of the old runMany overloads:
+ *
+ *   auto results = experiment.run(RunRequest()
+ *       .add(workload, policy)
+ *       .cacheResults(".coolcmp-results")
+ *       .journal(".coolcmp-sweep.journal")
+ *       .timeout(120.0)
+ *       .retry(3));
+ */
+class RunRequest
+{
+  public:
+    RunRequest() = default;
+    explicit RunRequest(std::vector<RunJob> jobs)
+        : jobs_(std::move(jobs))
+    {
+    }
+
+    /** Append one (workload, policy) job (fluent). */
+    RunRequest &add(Workload workload, PolicyConfig policy,
+                    std::string resultDir = {})
+    {
+        jobs_.push_back({std::move(workload), std::move(policy),
+                         std::move(resultDir)});
+        return *this;
+    }
+
+    /** Replace the whole job list. */
+    RunRequest &withJobs(std::vector<RunJob> jobs)
+    {
+        jobs_ = std::move(jobs);
+        return *this;
+    }
+
+    /** Point every job at one on-disk result cache directory. */
+    RunRequest &cacheResults(const std::string &dir)
+    {
+        for (RunJob &job : jobs_)
+            job.resultDir = dir;
+        return *this;
+    }
+
+    RunRequest &threads(std::size_t n)
+    {
+        options_.threads = n;
+        return *this;
+    }
+
+    /** Enable the crash-safe resume journal (see SweepOptions). */
+    RunRequest &journal(std::string path)
+    {
+        options_.journalPath = std::move(path);
+        return *this;
+    }
+
+    /** Per-job wall-clock deadline, seconds (0 disables). */
+    RunRequest &timeout(double seconds)
+    {
+        options_.jobTimeoutSeconds = seconds;
+        return *this;
+    }
+
+    /** Bounded retry: up to `maxAttempts` tries per job with linear
+     *  backoff of `backoffSeconds` between them. */
+    RunRequest &retry(int maxAttempts, double backoffSeconds = 0.05)
+    {
+        options_.maxAttempts = maxAttempts;
+        options_.retryBackoffSeconds = backoffSeconds;
+        return *this;
+    }
+
+    RunRequest &withOptions(SweepOptions options)
+    {
+        options_ = std::move(options);
+        return *this;
+    }
+
+    const std::vector<RunJob> &jobs() const { return jobs_; }
+    const SweepOptions &options() const { return options_; }
+
+    /** Empty when the request is runnable, else a diagnostic (also
+     *  checked by Experiment::run, which dies on an invalid one). */
+    std::string validate() const;
+
+  private:
+    std::vector<RunJob> jobs_;
+    SweepOptions options_;
 };
 
 /** Shared context for a family of DTM runs on the 4-core CMP. */
@@ -119,29 +264,40 @@ class Experiment
                          const std::string &resultDir =
                              ".coolcmp-results");
 
-    /** Hash of the full experiment configuration. */
+    /** Hash of the full experiment configuration (including the
+     *  sensor model and the fault plan). */
     std::uint64_t configKey() const;
 
     /**
-     * Fan a batch of independent runs over a worker pool. Runs are
-     * bit-identical to the serial path (each simulator owns its own
-     * state and RNG streams); results land in job order regardless of
-     * scheduling. Power traces, the discretization cache, and the
-     * on-disk result cache are shared safely across workers.
+     * Execute a sweep: fan the request's jobs over a worker pool.
+     * Runs are bit-identical to the serial path (each simulator owns
+     * its own state and RNG streams); results land in job order
+     * regardless of scheduling. Power traces, the discretization
+     * cache, and the on-disk result cache are shared safely across
+     * workers.
      *
-     * Jobs that share a discretization (all jobs of one Experiment:
-     * one chip, one step) are co-stepped in batched lanes — each
+     * Unsupervised requests co-step jobs in batched lanes — each
      * worker lock-steps up to batchWidth() simulators through one
      * GEMM per step (see BatchRunner) — which is several times faster
-     * than stepping them one by one. Singleton groups, a batch width
-     * of 1, or a single job fall back to the sequential per-run path.
-     * Cache files, tracer spans, and the returned metrics are
-     * identical either way.
+     * than stepping them one by one. A single job, a batch width of
+     * 1, or a supervised request (journal, timeout, or retry on — the
+     * per-job deadline needs per-job stepping) takes the sequential
+     * per-run path. Cache files, journal entries, tracer spans, and
+     * the returned metrics are identical either way.
      *
-     * @param jobs the (workload, policy, cache-dir) requests
-     * @param threads worker count; 0 reads COOLCMP_THREADS and falls
-     * back to hardware_concurrency
-     * @return metrics in the same order as jobs
+     * Dies (fatal) on an invalid request; check request.validate()
+     * first to handle errors gracefully.
+     *
+     * @return metrics in job order; failed jobs (deadline exhausted
+     * after every attempt) hold default RunMetrics and are flagged in
+     * lastRunReport().
+     */
+    std::vector<RunMetrics> run(const RunRequest &request);
+
+    /**
+     * Deprecated shim: wraps the job list in a RunRequest. Use
+     * run(RunRequest) — new call sites should not add parameters
+     * here.
      */
     std::vector<RunMetrics> runMany(const std::vector<RunJob> &jobs,
                                     std::size_t threads = 0);
@@ -187,28 +343,54 @@ class Experiment
     std::string runReportPath_;
     obs::RunReport lastReport_;
 
+    /** Per-job supervision outcome, filled by the sweep paths and
+     *  folded into the run report. */
+    struct JobStatus
+    {
+        std::vector<char> fromCache;
+        std::vector<char> resumed;
+        std::vector<char> failed;
+        std::vector<std::uint32_t> attempts;
+
+        explicit JobStatus(std::size_t n)
+            : fromCache(n, 0), resumed(n, 0), failed(n, 0),
+              attempts(n, 1)
+        {
+        }
+    };
+
     /** One job, cached or fresh, with explicit observability sinks.
      *  `fromCache`, when non-null, reports whether the result came
-     *  from the on-disk cache. */
+     *  from the on-disk cache. A positive `timeoutSeconds` arms the
+     *  cooperative per-job deadline (throws JobTimeout). */
     RunMetrics runJob(const RunJob &job, obs::Tracer *tracer,
                       obs::Registry *registry,
-                      bool *fromCache = nullptr);
+                      bool *fromCache = nullptr,
+                      double timeoutSeconds = 0.0);
 
     /** Result-cache file for a job; empty when caching is disabled. */
     std::string cachePath(const RunJob &job) const;
 
-    /** Batched lane dispatch over the whole job list (runMany body
-     *  when batching is enabled). */
+    /** Batched lane dispatch over the whole job list (the sweep body
+     *  when batching is enabled and supervision is off). */
     void runManyBatched(const std::vector<RunJob> &jobs,
                         std::size_t threads, std::size_t width,
                         std::vector<RunMetrics> &out,
-                        std::vector<char> &fromCache);
+                        JobStatus &status);
+
+    /** Sequential per-run dispatch; handles journal replay/checkpoint
+     *  and per-job deadline+retry when the options ask for them. */
+    void runManySequential(const std::vector<RunJob> &jobs,
+                           const SweepOptions &options,
+                           SweepJournal *journal,
+                           std::vector<RunMetrics> &out,
+                           JobStatus &status);
 
     /** Fill lastReport_ from the sweep's outputs and the registry
      *  deltas captured around it. */
     void buildRunReport(const std::vector<RunJob> &jobs,
                         const std::vector<RunMetrics> &out,
-                        const std::vector<char> &fromCache,
+                        const JobStatus &status,
                         const obs::Registry *registry,
                         const obs::MetricsSnapshot &before,
                         double wallSeconds);

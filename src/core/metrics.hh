@@ -46,6 +46,18 @@ struct RunMetrics
     std::uint64_t migrations = 0;         ///< cores switched
     double migrationPenaltyTime = 0.0;    ///< total context-switch time
 
+    // --- Fault exposure (src/fault; all zero on clean runs). ---
+    /** Injected-fault windows opened, indexed by FaultClass; empty
+     *  when the run had no fault plan. */
+    std::vector<std::uint64_t> faultClassCounts;
+
+    /** Degradation-ladder activations: controller fed by the sibling
+     *  diode, the chip-wide hottest healthy diode, or the fail-safe
+     *  stop-go regime. */
+    std::uint64_t fallbackSibling = 0;
+    std::uint64_t fallbackChipWide = 0;
+    std::uint64_t failSafeActivations = 0;
+
     // --- Per-core breakdown. ---
     std::vector<double> coreInstructions;
     std::vector<double> coreDuty;

@@ -1,0 +1,207 @@
+#include "core/sweep_journal.hh"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "obs/exporter.hh"
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+namespace {
+
+constexpr const char *kJournalMagic = "coolcmp-journal-v1";
+
+void
+dumpDoubles(std::ostream &out, const std::vector<double> &v)
+{
+    out << v.size();
+    for (double x : v)
+        out << " " << x;
+    out << "\n";
+}
+
+bool
+readDoubles(std::istream &in, std::vector<double> &v)
+{
+    std::size_t n = 0;
+    if (!(in >> n) || n > 4096)
+        return false;
+    v.resize(n);
+    for (double &x : v)
+        if (!(in >> x))
+            return false;
+    return true;
+}
+
+void
+dumpCounts(std::ostream &out, const std::vector<std::uint64_t> &v)
+{
+    out << v.size();
+    for (std::uint64_t x : v)
+        out << " " << x;
+    out << "\n";
+}
+
+bool
+readCounts(std::istream &in, std::vector<std::uint64_t> &v)
+{
+    std::size_t n = 0;
+    if (!(in >> n) || n > 4096)
+        return false;
+    v.resize(n);
+    for (std::uint64_t &x : v)
+        if (!(in >> x))
+            return false;
+    return true;
+}
+
+} // namespace
+
+void
+writeRunMetricsBody(std::ostream &out, const RunMetrics &m)
+{
+    // max_digits10: journal replay must round-trip bit-exactly.
+    out.precision(std::numeric_limits<double>::max_digits10);
+    out << m.duration << " " << m.totalInstructions << " "
+        << m.dutyCycle << " " << m.peakTemp << " " << m.emergencies
+        << " " << m.throttleActuations << " " << m.migrations << " "
+        << m.migrationPenaltyTime << " " << m.maxOvershoot << " "
+        << m.settleTime << "\n";
+    out << m.fallbackSibling << " " << m.fallbackChipWide << " "
+        << m.failSafeActivations << "\n";
+    dumpCounts(out, m.faultClassCounts);
+    dumpDoubles(out, m.coreInstructions);
+    dumpDoubles(out, m.coreDuty);
+    dumpDoubles(out, m.coreMeanFreq);
+    dumpDoubles(out, m.processInstructions);
+}
+
+bool
+readRunMetricsBody(std::istream &in, RunMetrics &m)
+{
+    if (!(in >> m.duration >> m.totalInstructions >> m.dutyCycle >>
+          m.peakTemp >> m.emergencies >> m.throttleActuations >>
+          m.migrations >> m.migrationPenaltyTime >> m.maxOvershoot >>
+          m.settleTime))
+        return false;
+    if (!(in >> m.fallbackSibling >> m.fallbackChipWide >>
+          m.failSafeActivations))
+        return false;
+    return readCounts(in, m.faultClassCounts) &&
+        readDoubles(in, m.coreInstructions) &&
+        readDoubles(in, m.coreDuty) &&
+        readDoubles(in, m.coreMeanFreq) &&
+        readDoubles(in, m.processInstructions);
+}
+
+SweepJournal::SweepJournal(std::string path, std::string configKeyHex,
+                           std::size_t numJobs)
+    : path_(std::move(path)), key_(std::move(configKeyHex)),
+      numJobs_(numJobs), done_(numJobs, 0), results_(numJobs)
+{
+}
+
+bool
+SweepJournal::load()
+{
+    std::ifstream in(path_);
+    if (!in)
+        return false; // no journal yet: a fresh sweep, not an error
+    std::string magic, key;
+    std::size_t jobs = 0;
+    if (!(in >> magic >> key >> jobs)) {
+        warn("sweep journal ", path_, " has no valid header; ignoring");
+        return false;
+    }
+    if (magic != kJournalMagic) {
+        warn("sweep journal ", path_, " has schema '", magic,
+             "', expected ", kJournalMagic, "; ignoring");
+        return false;
+    }
+    if (key != key_ || jobs != numJobs_) {
+        warn("sweep journal ", path_, " was written for config ", key,
+             " with ", jobs, " jobs, expected ", key_, " with ",
+             numJobs_, "; ignoring");
+        return false;
+    }
+    // Parse entries into a staging area: a journal that goes bad
+    // halfway (truncated write from a dying process despite the
+    // atomic rename, manual edit) is rejected wholesale.
+    std::vector<char> done(numJobs_, 0);
+    std::vector<RunMetrics> results(numJobs_);
+    std::string tag;
+    while (in >> tag) {
+        std::size_t i = 0;
+        if (tag != "job" || !(in >> i) || i >= numJobs_) {
+            warn("sweep journal ", path_,
+                 " has a malformed entry; ignoring the journal");
+            return false;
+        }
+        RunMetrics m;
+        if (!readRunMetricsBody(in, m)) {
+            warn("sweep journal ", path_, " entry for job ", i,
+                 " is malformed; ignoring the journal");
+            return false;
+        }
+        done[i] = 1;
+        results[i] = std::move(m);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_ = std::move(done);
+    results_ = std::move(results);
+    return true;
+}
+
+bool
+SweepJournal::has(std::size_t job) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return job < done_.size() && done_[job] != 0;
+}
+
+const RunMetrics &
+SweepJournal::result(std::size_t job) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return results_.at(job);
+}
+
+std::size_t
+SweepJournal::completedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (char d : done_)
+        n += d != 0;
+    return n;
+}
+
+void
+SweepJournal::record(std::size_t job, const RunMetrics &m)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job >= numJobs_)
+        panic("sweep journal record out of range");
+    done_[job] = 1;
+    results_[job] = m;
+    rewriteLocked();
+}
+
+void
+SweepJournal::rewriteLocked()
+{
+    obs::atomicWriteFile(path_, "sweep-journal", [&](std::ostream &out) {
+        out << kJournalMagic << " " << key_ << " " << numJobs_ << "\n";
+        for (std::size_t i = 0; i < numJobs_; ++i) {
+            if (!done_[i])
+                continue;
+            out << "job " << i << "\n";
+            writeRunMetricsBody(out, results_[i]);
+        }
+    });
+}
+
+} // namespace coolcmp

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Crash-safe sweep journal: resumable runMany.
+ *
+ * A SweepJournal records every completed job of a sweep to one file,
+ * rewritten atomically (tmp+rename via obs::atomicWriteFile) after
+ * each completion, so a killed sweep can be resumed by re-running
+ * only the unfinished jobs. The header stamps the experiment's
+ * configKey and the job count; a journal written under different
+ * constants, a different job list length, or an older schema is
+ * rejected wholesale and the sweep starts over — a stale journal must
+ * never smuggle results into a resumed run.
+ *
+ * Because every simulator owns its RNG streams (see FaultPlan and
+ * SensorModel seeding), a resumed sweep is bit-identical to an
+ * uninterrupted one: replayed jobs return the journaled metrics,
+ * re-run jobs recompute exactly what they would have produced.
+ *
+ * The RunMetrics body serialization (writeRunMetricsBody /
+ * readRunMetricsBody) is shared with the on-disk result cache in
+ * experiment.cc, so the two formats cannot drift apart.
+ */
+
+#ifndef COOLCMP_CORE_SWEEP_JOURNAL_HH
+#define COOLCMP_CORE_SWEEP_JOURNAL_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hh"
+
+namespace coolcmp {
+
+/** Serialize the RunMetrics payload (no header line). */
+void writeRunMetricsBody(std::ostream &out, const RunMetrics &m);
+
+/** Parse a writeRunMetricsBody payload; false on malformed input. */
+bool readRunMetricsBody(std::istream &in, RunMetrics &m);
+
+/**
+ * The journal of one sweep. Thread-safe: runMany workers record
+ * completions concurrently; each record() rewrites the whole file
+ * under the lock (sweeps are tens-to-hundreds of jobs, so the full
+ * rewrite is cheap next to one simulation, and it keeps the on-disk
+ * state self-validating — no append-truncation corner cases).
+ */
+class SweepJournal
+{
+  public:
+    /**
+     * @param path journal file (created on first record())
+     * @param configKeyHex hex Experiment::configKey() of the sweep
+     * @param numJobs length of the job list being journaled
+     */
+    SweepJournal(std::string path, std::string configKeyHex,
+                 std::size_t numJobs);
+
+    /**
+     * Load an existing journal file. Returns true when the file
+     * existed, matched the header (schema, configKey, job count), and
+     * parsed cleanly; its entries are then served via has()/result().
+     * A missing file is a clean false; a mismatched or corrupt file
+     * warns and is ignored (the sweep recomputes everything).
+     */
+    bool load();
+
+    /** True when `job` has a journaled result. */
+    bool has(std::size_t job) const;
+
+    /** The journaled result of `job` (valid only when has(job)). */
+    const RunMetrics &result(std::size_t job) const;
+
+    /** Number of journaled jobs. */
+    std::size_t completedCount() const;
+
+    /** Record one completed job and atomically rewrite the file. */
+    void record(std::size_t job, const RunMetrics &m);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::string key_;
+    std::size_t numJobs_;
+
+    mutable std::mutex mutex_;
+    std::vector<char> done_;
+    std::vector<RunMetrics> results_;
+
+    void rewriteLocked();
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_CORE_SWEEP_JOURNAL_HH

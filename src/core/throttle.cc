@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/injector.hh"
 #include "obs/tracer.hh"
 #include "util/logging.hh"
 
@@ -29,8 +30,13 @@ ThrottleDomain::update(double hottestTemp, double now)
     if (mechanism_ == ThrottleMechanism::StopGo) {
         if (now >= unavailableUntil_ &&
             hottestTemp >= config_.stopGoTrip) {
-            // Thermal trap: freeze the domain for the full stall.
-            unavailableUntil_ = now + config_.stopGoStall;
+            // Thermal trap: freeze the domain for the full stall. A
+            // slipping stop-go timer stretches (or cuts short) the
+            // stall it was meant to hold.
+            double stall = config_.stopGoStall;
+            if (injector_)
+                stall = injector_->stallDuration(stall, id_, now);
+            unavailableUntil_ = now + stall;
             ++actuations_;
             if (config_.tracer)
                 config_.tracer->stopGoTrip(now, id_, hottestTemp,
@@ -50,11 +56,22 @@ ThrottleDomain::update(double hottestTemp, double now)
     if (config_.tracer)
         config_.tracer->piUpdate(now, id_, error, integral, commanded);
     if (std::abs(commanded - freqScale_) >= config_.minTransition) {
+        double penalty = config_.dvfsTransitionPenalty;
+        if (injector_) {
+            const FaultInjector::DvfsOutcome outcome =
+                injector_->onDvfsTransition(id_, now);
+            if (!outcome.apply) {
+                // Sticking PLL: the command is dropped on the floor.
+                // The regulator keeps integrating and re-issues a
+                // transition at the next sample if still warranted.
+                return;
+            }
+            penalty += outcome.extraLag;
+        }
         const double from = freqScale_;
         freqScale_ = commanded;
         unavailableUntil_ =
-            std::max(unavailableUntil_,
-                     now + config_.dvfsTransitionPenalty);
+            std::max(unavailableUntil_, now + penalty);
         ++actuations_;
         if (config_.tracer)
             config_.tracer->pllRelock(now, id_, from, commanded,
@@ -176,6 +193,13 @@ ThrottleBank::actuations() const
     for (const auto &domain : domains_)
         total += domain.actuations();
     return total;
+}
+
+void
+ThrottleBank::setFaultInjector(FaultInjector *injector)
+{
+    for (auto &domain : domains_)
+        domain.setFaultInjector(injector);
 }
 
 } // namespace coolcmp

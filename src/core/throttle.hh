@@ -17,6 +17,8 @@
 
 namespace coolcmp {
 
+class FaultInjector;
+
 /**
  * One throttle domain (a core, or the whole chip under global scope).
  *
@@ -77,11 +79,23 @@ class ThrottleDomain
     /** Reset to the initial (full-speed) state. */
     void reset();
 
+    /**
+     * Attach the run's fault injector (borrowed, may be null): stop-go
+     * stalls are stretched by timer slip and DVFS transitions consult
+     * it for dropped commands and extra PLL relock lag. Null keeps the
+     * exact fault-free actuation path.
+     */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
   private:
     ThrottleMechanism mechanism_;
     const DtmConfig &config_;
     int id_;
     std::unique_ptr<DiscretePidController> pi_;
+    FaultInjector *injector_ = nullptr;
     double freqScale_ = 1.0;
     double unavailableUntil_ = 0.0;
     std::uint64_t actuations_ = 0;
@@ -122,6 +136,10 @@ class ThrottleBank
 
     /** Total actuations across domains. */
     std::uint64_t actuations() const;
+
+    /** Fan the run's fault injector out to every domain (null
+     *  detaches; see ThrottleDomain::setFaultInjector). */
+    void setFaultInjector(FaultInjector *injector);
 
     ControlScope scope() const { return scope_; }
 

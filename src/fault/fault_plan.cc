@@ -1,0 +1,405 @@
+#include "fault/fault_plan.hh"
+
+#include <cstdlib>
+
+#include "util/env.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace coolcmp {
+
+const char *
+faultClassName(FaultClass cls)
+{
+    switch (cls) {
+      case FaultClass::SensorStuck:
+        return "sensor_stuck";
+      case FaultClass::SensorDropout:
+        return "sensor_dropout";
+      case FaultClass::SensorDrift:
+        return "sensor_drift";
+      case FaultClass::SensorNoise:
+        return "sensor_noise";
+      case FaultClass::SensorQuantize:
+        return "sensor_quantize";
+      case FaultClass::DvfsLag:
+        return "dvfs_lag";
+      case FaultClass::DvfsStick:
+        return "dvfs_stick";
+      case FaultClass::StopGoSlip:
+        return "stopgo_slip";
+      case FaultClass::PowerSpike:
+        return "power_spike";
+    }
+    return "unknown";
+}
+
+bool
+isSensorFault(FaultClass cls)
+{
+    switch (cls) {
+      case FaultClass::SensorStuck:
+      case FaultClass::SensorDropout:
+      case FaultClass::SensorDrift:
+      case FaultClass::SensorNoise:
+      case FaultClass::SensorQuantize:
+        return true;
+      default:
+        return false;
+    }
+}
+
+FaultPlan &
+FaultPlan::withSeed(std::uint64_t seed)
+{
+    seed_ = seed;
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::add(const FaultSpec &spec)
+{
+    faults_.push_back(spec);
+    return *this;
+}
+
+namespace {
+
+FaultSpec
+make(FaultClass cls, double start, double duration, int core,
+     int sensor, double magnitude)
+{
+    FaultSpec s;
+    s.cls = cls;
+    s.start = start;
+    s.duration = duration;
+    s.core = core;
+    s.sensor = sensor;
+    s.magnitude = magnitude;
+    return s;
+}
+
+} // namespace
+
+FaultPlan &
+FaultPlan::stuckAt(double start, double duration, int core, int sensor)
+{
+    return add(make(FaultClass::SensorStuck, start, duration, core,
+                    sensor, 0.0));
+}
+
+FaultPlan &
+FaultPlan::dropout(double start, double duration, int core, int sensor)
+{
+    return add(make(FaultClass::SensorDropout, start, duration, core,
+                    sensor, 0.0));
+}
+
+FaultPlan &
+FaultPlan::drift(double start, double duration, int core,
+                 double degPerSecond, int sensor)
+{
+    return add(make(FaultClass::SensorDrift, start, duration, core,
+                    sensor, degPerSecond));
+}
+
+FaultPlan &
+FaultPlan::extraNoise(double start, double duration, int core,
+                      double stddev, int sensor)
+{
+    return add(make(FaultClass::SensorNoise, start, duration, core,
+                    sensor, stddev));
+}
+
+FaultPlan &
+FaultPlan::quantize(double start, double duration, int core,
+                    double step, int sensor)
+{
+    return add(make(FaultClass::SensorQuantize, start, duration, core,
+                    sensor, step));
+}
+
+FaultPlan &
+FaultPlan::dvfsLag(double start, double duration, int core,
+                   double extraSeconds)
+{
+    return add(make(FaultClass::DvfsLag, start, duration, core, -1,
+                    extraSeconds));
+}
+
+FaultPlan &
+FaultPlan::dvfsStick(double start, double duration, int core)
+{
+    return add(make(FaultClass::DvfsStick, start, duration, core, -1,
+                    0.0));
+}
+
+FaultPlan &
+FaultPlan::stopGoSlip(double start, double duration, int core,
+                      double factor)
+{
+    return add(make(FaultClass::StopGoSlip, start, duration, core, -1,
+                    factor));
+}
+
+FaultPlan &
+FaultPlan::powerSpike(double start, double duration, int core,
+                      double factor)
+{
+    return add(make(FaultClass::PowerSpike, start, duration, core, -1,
+                    factor));
+}
+
+std::uint64_t
+FaultPlan::faultSeed(std::size_t index) const
+{
+    return mixSeed(seed_ ^ mixSeed(index + 1));
+}
+
+void
+FaultPlan::mixInto(std::uint64_t &hash) const
+{
+    auto mixBytes = [&hash](const void *data, std::size_t len) {
+        const auto *bytes = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < len; ++i) {
+            hash ^= bytes[i];
+            hash *= 0x100000001b3ULL;
+        }
+    };
+    mixBytes(&seed_, sizeof(seed_));
+    const std::size_t n = faults_.size();
+    mixBytes(&n, sizeof(n));
+    for (const FaultSpec &f : faults_) {
+        const auto cls = static_cast<std::uint8_t>(f.cls);
+        mixBytes(&cls, sizeof(cls));
+        mixBytes(&f.start, sizeof(f.start));
+        mixBytes(&f.duration, sizeof(f.duration));
+        mixBytes(&f.core, sizeof(f.core));
+        mixBytes(&f.sensor, sizeof(f.sensor));
+        mixBytes(&f.magnitude, sizeof(f.magnitude));
+    }
+}
+
+namespace {
+
+bool
+parseClass(const std::string &name, FaultClass &out)
+{
+    static const struct
+    {
+        const char *name;
+        FaultClass cls;
+    } kTable[] = {
+        {"stuck", FaultClass::SensorStuck},
+        {"drop", FaultClass::SensorDropout},
+        {"drift", FaultClass::SensorDrift},
+        {"noise", FaultClass::SensorNoise},
+        {"quant", FaultClass::SensorQuantize},
+        {"dvfslag", FaultClass::DvfsLag},
+        {"dvfsstick", FaultClass::DvfsStick},
+        {"sgslip", FaultClass::StopGoSlip},
+        {"powerspike", FaultClass::PowerSpike},
+    };
+    for (const auto &entry : kTable) {
+        if (name == entry.name) {
+            out = entry.cls;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseDouble(const std::string &text, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(text.c_str(), &end);
+    return end != text.c_str() && *end == '\0';
+}
+
+/** "coreN[.int|.fp]" or "all" -> (core, sensor). */
+bool
+parseTarget(const std::string &text, int &core, int &sensor)
+{
+    core = -1;
+    sensor = -1;
+    if (text == "all")
+        return true;
+    if (text.rfind("core", 0) != 0)
+        return false;
+    std::string rest = text.substr(4);
+    const auto dot = rest.find('.');
+    if (dot != std::string::npos) {
+        const std::string which = rest.substr(dot + 1);
+        if (which == "int")
+            sensor = 0;
+        else if (which == "fp")
+            sensor = 1;
+        else
+            return false;
+        rest = rest.substr(0, dot);
+    }
+    char *end = nullptr;
+    const long v = std::strtol(rest.c_str(), &end, 10);
+    if (end == rest.c_str() || *end != '\0' || v < 0 || v > 255)
+        return false;
+    core = static_cast<int>(v);
+    return true;
+}
+
+/** One "class@start[+dur][:target][=mag]" item. */
+bool
+parseItem(const std::string &item, FaultSpec &spec)
+{
+    const auto at = item.find('@');
+    if (at == std::string::npos)
+        return false;
+    if (!parseClass(item.substr(0, at), spec.cls))
+        return false;
+
+    std::string rest = item.substr(at + 1);
+    // Peel "=magnitude" then ":target" off the tail so the time part
+    // is whatever remains.
+    const auto eq = rest.find('=');
+    if (eq != std::string::npos) {
+        if (!parseDouble(rest.substr(eq + 1), spec.magnitude))
+            return false;
+        rest = rest.substr(0, eq);
+    }
+    const auto colon = rest.find(':');
+    if (colon != std::string::npos) {
+        if (!parseTarget(rest.substr(colon + 1), spec.core,
+                         spec.sensor))
+            return false;
+        rest = rest.substr(0, colon);
+    }
+    const auto plus = rest.find('+');
+    if (plus != std::string::npos) {
+        if (!parseDouble(rest.substr(plus + 1), spec.duration))
+            return false;
+        rest = rest.substr(0, plus);
+    }
+    return parseDouble(rest, spec.start);
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &text)
+{
+    FaultPlan plan;
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+        auto end = text.find(';', begin);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string item = text.substr(begin, end - begin);
+        begin = end + 1;
+        if (item.empty())
+            continue;
+        if (item.rfind("seed=", 0) == 0) {
+            char *stop = nullptr;
+            const unsigned long long v =
+                std::strtoull(item.c_str() + 5, &stop, 10);
+            if (stop && *stop == '\0')
+                plan.withSeed(v);
+            else
+                warnLimited("fault-plan", "ignoring bad fault-plan "
+                            "seed item '", item, "'");
+            continue;
+        }
+        if (item.rfind("random:", 0) == 0) {
+            // random:SEED[+HORIZON] — HORIZON (simulated seconds)
+            // bounds the drawn fault windows, default 0.5.
+            char *stop = nullptr;
+            const unsigned long long v =
+                std::strtoull(item.c_str() + 7, &stop, 10);
+            double horizon = 0.5;
+            bool ok = stop != nullptr && stop != item.c_str() + 7;
+            if (ok && *stop == '+') {
+                char *end = nullptr;
+                horizon = std::strtod(stop + 1, &end);
+                ok = end && *end == '\0' && horizon > 0.0;
+            } else if (ok) {
+                ok = *stop == '\0';
+            }
+            if (ok) {
+                const FaultPlan r = randomized(v, horizon);
+                plan.withSeed(r.seed());
+                for (const FaultSpec &f : r.faults())
+                    plan.add(f);
+            } else {
+                warnLimited("fault-plan", "ignoring bad fault-plan "
+                            "random item '", item, "'");
+            }
+            continue;
+        }
+        FaultSpec spec;
+        if (parseItem(item, spec))
+            plan.add(spec);
+        else
+            warnLimited("fault-plan", "ignoring malformed fault-plan "
+                        "item '", item, "'");
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::fromEnv()
+{
+    const std::string text = envString("COOLCMP_FAULT_PLAN");
+    return text.empty() ? FaultPlan{} : parse(text);
+}
+
+FaultPlan
+FaultPlan::randomized(std::uint64_t seed, double horizon)
+{
+    FaultPlan plan;
+    plan.withSeed(mixSeed(seed));
+    Rng rng(mixSeed(seed ^ 0xfa17ULL));
+    static constexpr FaultClass kAll[] = {
+        FaultClass::SensorStuck,    FaultClass::SensorDropout,
+        FaultClass::SensorDrift,    FaultClass::SensorNoise,
+        FaultClass::SensorQuantize, FaultClass::DvfsLag,
+        FaultClass::DvfsStick,      FaultClass::StopGoSlip,
+        FaultClass::PowerSpike,
+    };
+    for (FaultClass cls : kAll) {
+        FaultSpec spec;
+        spec.cls = cls;
+        spec.start = rng.uniform(0.0, 0.6 * horizon);
+        spec.duration = rng.uniform(0.05, 0.4) * horizon;
+        // Mostly single-core faults, occasionally chip-wide.
+        spec.core = rng.chance(0.25)
+            ? -1
+            : static_cast<int>(rng.below(4));
+        if (isSensorFault(cls))
+            spec.sensor = static_cast<int>(rng.range(-1, 1));
+        switch (cls) {
+          case FaultClass::SensorDrift:
+            spec.magnitude = rng.uniform(1.0, 20.0); // C per second
+            break;
+          case FaultClass::SensorNoise:
+            spec.magnitude = rng.uniform(0.2, 2.0);
+            break;
+          case FaultClass::SensorQuantize:
+            spec.magnitude = rng.uniform(0.5, 2.0);
+            break;
+          case FaultClass::DvfsLag:
+            spec.magnitude = rng.uniform(1e-5, 5e-4);
+            break;
+          case FaultClass::StopGoSlip:
+            spec.magnitude = rng.uniform(0.5, 3.0);
+            break;
+          case FaultClass::PowerSpike:
+            spec.magnitude = rng.uniform(1.1, 1.6);
+            break;
+          default:
+            break;
+        }
+        plan.add(spec);
+    }
+    return plan;
+}
+
+} // namespace coolcmp

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Deterministic fault injection: the schedule of what goes wrong.
+ *
+ * Real thermal management hardware misbehaves: diodes drift, stick,
+ * and quantize (Rotem et al. report 1 C-rounded edge diodes on the
+ * Core Duo), PLLs miss relock deadlines, and stop-go timers slip. A
+ * FaultPlan is a seeded, declarative schedule of such faults over
+ * simulated time. It is pure configuration: the plan is part of the
+ * experiment's configKey (fault runs cache separately from clean
+ * runs), and all stochastic fault behaviour draws from streams
+ * derived from (plan seed, fault index), so the same plan produces
+ * bit-identical runs at any worker count or batch width.
+ *
+ * The runtime counterpart is FaultInjector (fault/injector.hh), one
+ * per simulator, which evaluates the plan step by step.
+ */
+
+#ifndef COOLCMP_FAULT_FAULT_PLAN_HH
+#define COOLCMP_FAULT_FAULT_PLAN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace coolcmp {
+
+/**
+ * Fault taxonomy. Sensor classes corrupt diode readings, actuator
+ * classes degrade the throttling mechanisms, and PowerSpike corrupts
+ * the power trace feeding the thermal model.
+ */
+enum class FaultClass : std::uint8_t {
+    SensorStuck,    ///< reading latches at its value on fault entry
+    SensorDropout,  ///< sensor returns no reading at all (dead)
+    SensorDrift,    ///< additive offset growing at `magnitude` C/s
+    SensorNoise,    ///< extra Gaussian noise, stddev `magnitude` C
+    SensorQuantize, ///< coarse rounding to `magnitude` C steps
+    DvfsLag,        ///< each PLL relock pays `magnitude` extra seconds
+    DvfsStick,      ///< commanded DVFS transitions are dropped
+    StopGoSlip,     ///< stop-go stalls last `magnitude` x nominal
+    PowerSpike,     ///< core dynamic power scaled by `magnitude`
+};
+
+inline constexpr std::size_t kNumFaultClasses = 9;
+
+/** Stable lower-case name ("sensor_stuck", ...) used in reports,
+ *  registry counter names, and the COOLCMP_FAULT_PLAN grammar. */
+const char *faultClassName(FaultClass cls);
+
+/** True for the classes that act on a thermal diode reading. */
+bool isSensorFault(FaultClass cls);
+
+/** One scheduled fault window. */
+struct FaultSpec
+{
+    FaultClass cls = FaultClass::SensorStuck;
+
+    /** Window of simulated seconds [start, start + duration). */
+    double start = 0.0;
+    double duration = std::numeric_limits<double>::infinity();
+
+    /** Target core; -1 = every core (and the global throttle
+     *  domain for actuator classes). */
+    int core = -1;
+
+    /** Sensor within the core for sensor classes: 0 = integer RF
+     *  diode, 1 = FP RF diode, -1 = both. Ignored otherwise. */
+    int sensor = -1;
+
+    /** Class-specific magnitude (see FaultClass). Classes without a
+     *  natural magnitude (stuck, dropout, stick) ignore it. */
+    double magnitude = 0.0;
+
+    bool activeAt(double t) const
+    {
+        return t >= start && t - start < duration;
+    }
+
+    bool appliesToCore(int c) const { return core < 0 || core == c; }
+};
+
+/**
+ * A seeded schedule of fault windows. Value-semantic configuration:
+ * copied into DtmConfig and hashed into the experiment configKey.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    bool empty() const { return faults_.empty(); }
+    std::size_t size() const { return faults_.size(); }
+    const std::vector<FaultSpec> &faults() const { return faults_; }
+
+    std::uint64_t seed() const { return seed_; }
+    FaultPlan &withSeed(std::uint64_t seed);
+
+    /** Append one fault window (fluent). */
+    FaultPlan &add(const FaultSpec &spec);
+
+    // --- Typed builder shorthands (fluent). ---
+    FaultPlan &stuckAt(double start, double duration, int core,
+                       int sensor = -1);
+    FaultPlan &dropout(double start, double duration, int core,
+                       int sensor = -1);
+    FaultPlan &drift(double start, double duration, int core,
+                     double degPerSecond, int sensor = -1);
+    FaultPlan &extraNoise(double start, double duration, int core,
+                          double stddev, int sensor = -1);
+    FaultPlan &quantize(double start, double duration, int core,
+                        double step, int sensor = -1);
+    FaultPlan &dvfsLag(double start, double duration, int core,
+                       double extraSeconds);
+    FaultPlan &dvfsStick(double start, double duration, int core);
+    FaultPlan &stopGoSlip(double start, double duration, int core,
+                          double factor);
+    FaultPlan &powerSpike(double start, double duration, int core,
+                          double factor);
+
+    /** Deterministic stream seed for one fault window. */
+    std::uint64_t faultSeed(std::size_t index) const;
+
+    /** Fold the plan into a config hash (order-sensitive). */
+    void mixInto(std::uint64_t &hash) const;
+
+    /**
+     * Parse the COOLCMP_FAULT_PLAN grammar:
+     *
+     *   plan    := item (';' item)*
+     *   item    := 'seed=' N
+     *            | 'random:' N ['+' horizon]
+     *              (expands to randomized(N, horizon); horizon in
+     *               simulated seconds, default 0.5)
+     *            | class '@' start ['+' duration]
+     *              [':' target] ['=' magnitude]
+     *   class   := stuck|drop|drift|noise|quant|dvfslag|dvfsstick
+     *            | sgslip|powerspike
+     *   target  := 'core' N ['.int' | '.fp'] | 'all'
+     *
+     * Times are simulated seconds. Example:
+     *   "seed=42;drop@0.1+0.05:core0.int;powerspike@0.3+0.1:all=1.5"
+     *
+     * Malformed items warn and are skipped; the rest of the plan
+     * still applies (a bad knob must not kill a long sweep).
+     */
+    static FaultPlan parse(const std::string &text);
+
+    /** Plan from the COOLCMP_FAULT_PLAN environment variable
+     *  (empty plan when unset). */
+    static FaultPlan fromEnv();
+
+    /**
+     * Randomized soak plan: every fault class at least once, with
+     * windows, targets, and magnitudes drawn deterministically from
+     * `seed` within [0, horizon) seconds. Used by the CI fault soak.
+     */
+    static FaultPlan randomized(std::uint64_t seed,
+                                double horizon = 0.5);
+
+  private:
+    std::uint64_t seed_ = 0x5eedfa17ULL; // any fixed default
+    std::vector<FaultSpec> faults_;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_FAULT_FAULT_PLAN_HH

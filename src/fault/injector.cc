@@ -1,0 +1,226 @@
+#include "fault/injector.hh"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "obs/registry.hh"
+#include "obs/tracer.hh"
+
+namespace coolcmp {
+
+namespace {
+constexpr double kUnlatched = std::numeric_limits<double>::quiet_NaN();
+} // namespace
+
+FaultInjector::FaultInjector(const FaultPlan &plan, int numCores,
+                             obs::Registry *registry,
+                             obs::Tracer *tracer)
+    : plan_(plan), numCores_(numCores), registry_(registry),
+      tracer_(tracer)
+{
+    if (registry_) {
+        for (std::size_t c = 0; c < kNumFaultClasses; ++c)
+            classCounters_[c] = &registry_->counter(
+                std::string("fault.active.") +
+                faultClassName(static_cast<FaultClass>(c)));
+        siblingCounter_ =
+            &registry_->counter("fault.fallback.sibling");
+        chipCounter_ = &registry_->counter("fault.fallback.chip");
+        failSafeCounter_ =
+            &registry_->counter("fault.fallback.failsafe");
+    }
+    reset();
+}
+
+void
+FaultInjector::reset()
+{
+    states_.assign(plan_.size(), FaultState{});
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        states_[i].rng = Rng(plan_.faultSeed(i));
+        states_[i].latched.assign(
+            static_cast<std::size_t>(numCores_) * kSensorsPerCore,
+            kUnlatched);
+    }
+    coreSource_.assign(static_cast<std::size_t>(numCores_),
+                       SensorSource::Own);
+    classActivations_.fill(0);
+    fallbackSibling_ = 0;
+    fallbackChip_ = 0;
+    failSafe_ = 0;
+}
+
+void
+FaultInjector::beginStep(double now)
+{
+    const auto &faults = plan_.faults();
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        const bool active = faults[i].activeAt(now);
+        FaultState &st = states_[i];
+        if (active && !st.active) {
+            // Window opening: count the exposure once per window.
+            const auto cls = static_cast<std::size_t>(faults[i].cls);
+            ++classActivations_[cls];
+            if (classCounters_[cls])
+                classCounters_[cls]->add();
+            if (tracer_)
+                tracer_->faultActivated(now, faults[i].core,
+                                        static_cast<int>(cls),
+                                        faults[i].magnitude);
+        } else if (!active && st.active) {
+            // Window closing: clear the stuck latches so a later
+            // window of the same fault re-latches fresh.
+            for (double &v : st.latched)
+                v = kUnlatched;
+        }
+        st.active = active;
+        st.activeSteps = active ? st.activeSteps + 1 : 0;
+    }
+}
+
+bool
+FaultInjector::matches(const FaultSpec &f, int core, int sensor,
+                       double now) const
+{
+    if (!f.activeAt(now) || !f.appliesToCore(core))
+        return false;
+    return f.sensor < 0 || sensor < 0 || f.sensor == sensor;
+}
+
+FaultInjector::Reading
+FaultInjector::transformReading(int core, int sensor, double raw,
+                                double now)
+{
+    Reading out{raw, true};
+    const auto &faults = plan_.faults();
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        const FaultSpec &f = faults[i];
+        if (!isSensorFault(f.cls) || !states_[i].active ||
+            !matches(f, core, sensor, now))
+            continue;
+        FaultState &st = states_[i];
+        switch (f.cls) {
+          case FaultClass::SensorDropout:
+            // Dead sensor: no reading at all. Distrusted at once
+            // (parity errors and absent ACKs are visible in
+            // hardware), value kept only for tracing.
+            out.healthy = false;
+            break;
+          case FaultClass::SensorStuck: {
+            const std::size_t slot =
+                static_cast<std::size_t>(core) * kSensorsPerCore +
+                static_cast<std::size_t>(sensor);
+            if (std::isnan(st.latched[slot]))
+                st.latched[slot] = out.value;
+            out.value = st.latched[slot];
+            // A frozen reading is only *detected* after the watch
+            // window; until then the controller trusts the lie.
+            if (st.activeSteps >= kStuckDetectSteps)
+                out.healthy = false;
+            break;
+          }
+          case FaultClass::SensorDrift:
+            out.value += f.magnitude * (now - f.start);
+            break;
+          case FaultClass::SensorNoise:
+            out.value += st.rng.gaussian(0.0, f.magnitude);
+            break;
+          case FaultClass::SensorQuantize:
+            if (f.magnitude > 0.0)
+                out.value = std::round(out.value / f.magnitude) *
+                    f.magnitude;
+            break;
+          default:
+            break;
+        }
+    }
+    return out;
+}
+
+double
+FaultInjector::powerScale(int core, double now) const
+{
+    double scale = 1.0;
+    for (std::size_t i = 0; i < plan_.size(); ++i) {
+        const FaultSpec &f = plan_.faults()[i];
+        if (f.cls == FaultClass::PowerSpike && states_[i].active &&
+            f.appliesToCore(core) && f.activeAt(now))
+            scale *= f.magnitude;
+    }
+    return scale;
+}
+
+double
+FaultInjector::stallDuration(double nominal, int core,
+                             double now) const
+{
+    double stall = nominal;
+    for (std::size_t i = 0; i < plan_.size(); ++i) {
+        const FaultSpec &f = plan_.faults()[i];
+        if (f.cls == FaultClass::StopGoSlip && states_[i].active &&
+            f.appliesToCore(core) && f.activeAt(now))
+            stall *= f.magnitude;
+    }
+    return stall;
+}
+
+FaultInjector::DvfsOutcome
+FaultInjector::onDvfsTransition(int core, double now)
+{
+    DvfsOutcome out;
+    for (std::size_t i = 0; i < plan_.size(); ++i) {
+        const FaultSpec &f = plan_.faults()[i];
+        if (!states_[i].active || !f.appliesToCore(core) ||
+            !f.activeAt(now))
+            continue;
+        if (f.cls == FaultClass::DvfsStick)
+            out.apply = false;
+        else if (f.cls == FaultClass::DvfsLag)
+            out.extraLag += f.magnitude;
+    }
+    return out;
+}
+
+void
+FaultInjector::noteSensorSource(int core, SensorSource source,
+                                double now)
+{
+    SensorSource &cur = coreSource_[static_cast<std::size_t>(core)];
+    if (cur == source)
+        return;
+    cur = source;
+    switch (source) {
+      case SensorSource::Own:
+        return; // recovery; nothing to count
+      case SensorSource::Sibling:
+        ++fallbackSibling_;
+        if (siblingCounter_)
+            siblingCounter_->add();
+        break;
+      case SensorSource::ChipWide:
+        ++fallbackChip_;
+        if (chipCounter_)
+            chipCounter_->add();
+        break;
+      case SensorSource::FailSafe:
+        ++failSafe_;
+        if (failSafeCounter_)
+            failSafeCounter_->add();
+        break;
+    }
+    if (tracer_)
+        tracer_->sensorFallback(now, core,
+                                static_cast<int>(source));
+}
+
+std::uint64_t
+FaultInjector::totalActivations() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t n : classActivations_)
+        total += n;
+    return total;
+}
+
+} // namespace coolcmp

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * FaultInjector: the per-simulator runtime of a FaultPlan.
+ *
+ * One injector belongs to exactly one DtmSimulator (it is as
+ * thread-confined as the simulator itself). Each simulation step the
+ * simulator calls beginStep(now) once, then queries:
+ *
+ *   - transformReading(): corrupt a diode sample and report whether
+ *     the DTM layer should still trust it (dropout is distrusted
+ *     immediately, stuck-at after a detection window — real stuck
+ *     sensors are caught by watching for frozen readings);
+ *   - powerScale(): PowerSpike corruption of a core's dynamic power;
+ *   - stallDuration() / onDvfsTransition(): actuator faults consulted
+ *     by the throttle domains;
+ *   - noteSensorSource(): degradation-ladder bookkeeping — the
+ *     simulator reports which source level fed each core's
+ *     controller, and the injector counts/traces transitions.
+ *
+ * Every random draw comes from per-fault streams seeded by
+ * FaultPlan::faultSeed(), so runs are bit-identical across worker
+ * counts and batch widths. Fault exposure counters are copied into
+ * RunMetrics at the end of the run and mirrored into the metrics
+ * registry when one is attached.
+ */
+
+#ifndef COOLCMP_FAULT_INJECTOR_HH
+#define COOLCMP_FAULT_INJECTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+#include "util/rng.hh"
+
+namespace coolcmp::obs {
+class Counter;
+class Registry;
+class Tracer;
+} // namespace coolcmp::obs
+
+namespace coolcmp {
+
+/** Which source fed a core's thermal controller this step. */
+enum class SensorSource : std::uint8_t {
+    Own = 0,      ///< the core's own hottest healthy RF diode
+    Sibling = 1,  ///< one RF diode dead; the sibling covers for it
+    ChipWide = 2, ///< both core diodes dead; hottest healthy on chip
+    FailSafe = 3, ///< no healthy diode anywhere; fail-safe regime
+};
+
+inline constexpr int kSensorsPerCore = 2; // IntRF, FpRF
+
+class FaultInjector
+{
+  public:
+    /** Steps a stuck fault must persist before the frozen-reading
+     *  detector declares the sensor unhealthy. */
+    static constexpr std::uint64_t kStuckDetectSteps = 32;
+
+    /**
+     * @param plan the fault schedule (copied)
+     * @param numCores cores on the chip (targets outside are inert)
+     * @param registry optional metrics registry for fault counters
+     * @param tracer optional event tracer for activation/fallback
+     * events; both may be null and are borrowed
+     */
+    FaultInjector(const FaultPlan &plan, int numCores,
+                  obs::Registry *registry, obs::Tracer *tracer);
+
+    /** Reset all runtime state (latches, windows, counters) for a
+     *  fresh run. */
+    void reset();
+
+    /** Advance the fault windows to simulated time `now`; must be
+     *  called exactly once per simulation step, before queries. */
+    void beginStep(double now);
+
+    /** A possibly-corrupted diode sample. */
+    struct Reading
+    {
+        double value = 0.0;
+        /** False once the DTM layer should stop trusting this
+         *  sensor (dead, or detected stuck). */
+        bool healthy = true;
+    };
+
+    /**
+     * Apply active sensor faults to a raw diode sample.
+     * @param core core index
+     * @param sensor 0 = IntRF diode, 1 = FpRF diode
+     */
+    Reading transformReading(int core, int sensor, double raw,
+                             double now);
+
+    /** Multiplier on a core's dynamic power (PowerSpike). */
+    double powerScale(int core, double now) const;
+
+    /** Stop-go stall length after timer slip. `core` is the throttle
+     *  domain id (-1 for the global domain, matched like a chip-wide
+     *  target). */
+    double stallDuration(double nominal, int core, double now) const;
+
+    /** Outcome of a commanded DVFS transition under actuator
+     *  faults. */
+    struct DvfsOutcome
+    {
+        bool apply = true;      ///< false: transition dropped (stick)
+        double extraLag = 0.0;  ///< added PLL relock penalty, seconds
+    };
+
+    DvfsOutcome onDvfsTransition(int core, double now);
+
+    /** Degradation-ladder bookkeeping: record which source level fed
+     *  `core` this step; transitions away from Own are counted and
+     *  traced. */
+    void noteSensorSource(int core, SensorSource source, double now);
+
+    // --- Exposure counters (copied into RunMetrics). ---
+    const std::array<std::uint64_t, kNumFaultClasses> &
+    classActivations() const
+    {
+        return classActivations_;
+    }
+
+    std::uint64_t totalActivations() const;
+    std::uint64_t fallbackSibling() const { return fallbackSibling_; }
+    std::uint64_t fallbackChipWide() const { return fallbackChip_; }
+    std::uint64_t failSafeActivations() const { return failSafe_; }
+
+  private:
+    FaultPlan plan_;
+    int numCores_;
+    obs::Registry *registry_;
+    obs::Tracer *tracer_;
+
+    /** Runtime state of one fault window. */
+    struct FaultState
+    {
+        bool active = false;
+        std::uint64_t activeSteps = 0;
+        Rng rng{0};
+        /** Stuck-at latch per (core, sensor); NaN = not latched. */
+        std::vector<double> latched;
+    };
+
+    std::vector<FaultState> states_;
+    std::vector<SensorSource> coreSource_;
+
+    std::array<std::uint64_t, kNumFaultClasses> classActivations_{};
+    std::uint64_t fallbackSibling_ = 0;
+    std::uint64_t fallbackChip_ = 0;
+    std::uint64_t failSafe_ = 0;
+
+    // Registry counters resolved once (null when no registry).
+    std::array<obs::Counter *, kNumFaultClasses> classCounters_{};
+    obs::Counter *siblingCounter_ = nullptr;
+    obs::Counter *chipCounter_ = nullptr;
+    obs::Counter *failSafeCounter_ = nullptr;
+
+    bool matches(const FaultSpec &f, int core, int sensor,
+                 double now) const;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_FAULT_INJECTOR_HH

@@ -165,6 +165,20 @@ writeEvent(ElementWriter &w, int pid, const TraceEvent &e)
                  << ",\"args\":{\"temp_c\":" << e.a
                  << ",\"threshold_c\":" << e.b << "}}";
         return;
+      case EventKind::FaultActivated:
+        w.next() << "{\"name\":\"fault active\",\"cat\":\"fault\","
+                 << "\"ph\":\"i\",\"s\":\"p\",\"pid\":" << pid
+                 << ",\"tid\":" << eventTid(e) << ",\"ts\":" << ts
+                 << ",\"args\":{\"class\":" << static_cast<int>(e.a)
+                 << ",\"magnitude\":" << e.b << "}}";
+        return;
+      case EventKind::SensorFallback:
+        w.next() << "{\"name\":\"sensor fallback\",\"cat\":\"fault\","
+                 << "\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid
+                 << ",\"tid\":" << eventTid(e) << ",\"ts\":" << ts
+                 << ",\"args\":{\"level\":" << static_cast<int>(e.a)
+                 << "}}";
+        return;
     }
 }
 

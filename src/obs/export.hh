@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/step_sample.hh"
+#include "obs/exporter.hh"
 #include "obs/tracer.hh"
 
 namespace coolcmp::obs {
@@ -40,6 +41,22 @@ void writeChromeTrace(std::ostream &out, const TraceSession &session);
 /** Same, to a file; returns false (with a warning) on I/O failure. */
 bool writeChromeTrace(const std::string &path,
                       const TraceSession &session);
+
+/** A TraceSession as a Chrome trace-event JSON artifact. */
+class ChromeTraceExporter : public Exporter
+{
+  public:
+    explicit ChromeTraceExporter(const TraceSession &session)
+        : session_(&session)
+    {
+    }
+
+    const char *name() const override { return "chrome-trace"; }
+    void exportTo(std::ostream &out) const override;
+
+  private:
+    const TraceSession *session_;
+};
 
 /** Write a single run's tracer as its own one-process trace. */
 void writeChromeTrace(std::ostream &out, const Tracer &tracer,

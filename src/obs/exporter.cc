@@ -1,0 +1,54 @@
+#include "obs/exporter.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace coolcmp::obs {
+
+bool
+atomicWriteFile(const std::string &path, const char *what,
+                const std::function<void(std::ostream &)> &body)
+{
+    // Thread-unique temp name: concurrent writers (runMany workers
+    // checkpointing the same journal, parallel bench processes
+    // sharing a cache dir) each stage their own file; rename decides
+    // the winner atomically.
+    const std::string tmp = path + ".tmp." +
+        std::to_string(std::hash<std::thread::id>{}(
+            std::this_thread::get_id()));
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            warnLimited(what, "cannot write ", what, " file ", tmp);
+            return false;
+        }
+        body(out);
+        if (!out) {
+            warnLimited(what, "error writing ", what, " file ", tmp);
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        warnLimited(what, "cannot rename ", what, " file to ", path);
+        return false;
+    }
+    return true;
+}
+
+bool
+Exporter::exportToFile(const std::string &path) const
+{
+    return atomicWriteFile(path, name(),
+                           [this](std::ostream &out) { exportTo(out); });
+}
+
+} // namespace coolcmp::obs

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The one exporter interface of the observability subsystem.
+ *
+ * Every snapshot-style output format — Prometheus text exposition,
+ * Chrome trace-event JSON, the JSON run report, the plain-text
+ * registry dump — implements Exporter: render to any std::ostream via
+ * exportTo(), or to a file via exportToFile(), which always writes
+ * tmp+rename so a concurrent reader (Prometheus textfile collector,
+ * CI artifact scraper, resumed sweep) never observes a half-written
+ * file. atomicWriteFile() is the single implementation of that
+ * tmp+rename dance; the result cache and the sweep journal in core
+ * use it too, replacing the per-site copies that used to live in
+ * prom_export.cc and experiment.cc.
+ *
+ * The CSV time-series writer (obs/export.hh CsvExporter) is the one
+ * deliberate exception: it streams rows as the simulation produces
+ * them and cannot re-render on demand, so it stays incremental.
+ */
+
+#ifndef COOLCMP_OBS_EXPORTER_HH
+#define COOLCMP_OBS_EXPORTER_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace coolcmp::obs {
+
+/**
+ * Atomically replace `path` with the bytes `body` writes: the body
+ * renders into a thread-unique temp file which is then renamed over
+ * the target. Returns false (after a rate-limited warning keyed by
+ * `what`) on any I/O failure; the temp file never survives.
+ */
+bool atomicWriteFile(const std::string &path, const char *what,
+                     const std::function<void(std::ostream &)> &body);
+
+/** A renderable observability artifact. */
+class Exporter
+{
+  public:
+    virtual ~Exporter() = default;
+
+    /** Short slug ("prometheus", "chrome-trace", ...) used in
+     *  warnings and artifact listings. */
+    virtual const char *name() const = 0;
+
+    /** Render the artifact to a stream. */
+    virtual void exportTo(std::ostream &out) const = 0;
+
+    /** Render to a file via atomicWriteFile. */
+    bool exportToFile(const std::string &path) const;
+};
+
+} // namespace coolcmp::obs
+
+#endif // COOLCMP_OBS_EXPORTER_HH

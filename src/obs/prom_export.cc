@@ -2,12 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
-#include <fstream>
-#include <functional>
 #include <ostream>
-#include <thread>
 
+#include "obs/registry.hh"
 #include "util/logging.hh"
 
 namespace coolcmp::obs {
@@ -88,37 +85,24 @@ writePrometheus(std::ostream &out, const Registry &registry)
     writePrometheus(out, takeSnapshot(registry));
 }
 
+void
+PromExporter::exportTo(std::ostream &out) const
+{
+    writePrometheus(out, *registry_);
+}
+
+void
+RegistryTextExporter::exportTo(std::ostream &out) const
+{
+    registry_->dumpText(out);
+}
+
 bool
 writePrometheusFile(const std::string &path, const Registry &registry)
 {
-    // tmp+rename, like the result cache: a Prometheus textfile
-    // collector may scrape the path at any moment.
-    const std::string tmp = path + ".tmp." +
-        std::to_string(std::hash<std::thread::id>{}(
-            std::this_thread::get_id()));
-    {
-        std::ofstream out(tmp);
-        if (!out) {
-            warnLimited("prom-export", "cannot write metrics file ",
-                        tmp);
-            return false;
-        }
-        writePrometheus(out, registry);
-        if (!out) {
-            warnLimited("prom-export", "error writing metrics file ",
-                        tmp);
-            return false;
-        }
-    }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
-        std::filesystem::remove(tmp, ec);
-        warnLimited("prom-export", "cannot rename metrics file to ",
-                    path);
-        return false;
-    }
-    return true;
+    // A Prometheus textfile collector may scrape the path at any
+    // moment; the Exporter file path is tmp+rename.
+    return PromExporter(registry).exportToFile(path);
 }
 
 } // namespace coolcmp::obs

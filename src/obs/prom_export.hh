@@ -17,12 +17,46 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/exporter.hh"
 #include "obs/snapshot.hh"
 
 namespace coolcmp::obs {
 
 /** `coolcmp_` + name with non-[a-zA-Z0-9_:] bytes replaced by '_'. */
 std::string promMetricName(const std::string &name);
+
+/** Prometheus text exposition of a registry (snapshotted at export
+ *  time). Borrows the registry; exportToFile is tmp+rename. */
+class PromExporter : public Exporter
+{
+  public:
+    explicit PromExporter(const Registry &registry)
+        : registry_(&registry)
+    {
+    }
+
+    const char *name() const override { return "prometheus"; }
+    void exportTo(std::ostream &out) const override;
+
+  private:
+    const Registry *registry_;
+};
+
+/** Plain-text registry dump (Registry::dumpText) as an Exporter. */
+class RegistryTextExporter : public Exporter
+{
+  public:
+    explicit RegistryTextExporter(const Registry &registry)
+        : registry_(&registry)
+    {
+    }
+
+    const char *name() const override { return "registry-dump"; }
+    void exportTo(std::ostream &out) const override;
+
+  private:
+    const Registry *registry_;
+};
 
 /** Render one snapshot as Prometheus text exposition. */
 void writePrometheus(std::ostream &out, const MetricsSnapshot &snap);

@@ -1,10 +1,7 @@
 #include "obs/run_report.hh"
 
 #include <cstdio>
-#include <fstream>
 #include <ostream>
-
-#include "util/logging.hh"
 
 namespace coolcmp::obs {
 
@@ -53,6 +50,20 @@ jsonNumber(double v)
     return buf;
 }
 
+void
+writeCountPairs(
+    std::ostream &out,
+    const std::vector<std::pair<std::string, std::uint64_t>> &pairs)
+{
+    out << "{";
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        out << (i ? ", " : "");
+        out << "\"" << jsonEscape(pairs[i].first)
+            << "\": " << pairs[i].second;
+    }
+    out << "}";
+}
+
 } // namespace
 
 double
@@ -80,6 +91,9 @@ writeRunReportJson(std::ostream &out, const RunReport &report)
         << "\",\n";
     out << "  \"jobs\": " << report.jobs << ",\n";
     out << "  \"cached_jobs\": " << report.cachedJobs << ",\n";
+    out << "  \"resumed_jobs\": " << report.resumedJobs << ",\n";
+    out << "  \"retried_jobs\": " << report.retriedJobs << ",\n";
+    out << "  \"failed_jobs\": " << report.failedJobs << ",\n";
     out << "  \"total_steps\": " << report.totalSteps << ",\n";
     out << "  \"wall_seconds\": " << jsonNumber(report.wallSeconds)
         << ",\n";
@@ -112,26 +126,35 @@ writeRunReportJson(std::ostream &out, const RunReport &report)
             << ", \"max_overshoot_c\": " << jsonNumber(j.maxOvershootC)
             << ", \"settle_time_s\": " << jsonNumber(j.settleTimeS)
             << ", \"from_cache\": " << (j.fromCache ? "true" : "false")
-            << "}";
+            << ", \"threshold_exceeded\": "
+            << (j.thresholdExceeded ? "true" : "false")
+            << ", \"fault_counts\": ";
+        writeCountPairs(out, j.faultCounts);
+        out << ", \"fallback_sibling\": " << j.fallbackSibling
+            << ", \"fallback_chip_wide\": " << j.fallbackChipWide
+            << ", \"fail_safe\": " << j.failSafe
+            << ", \"resumed\": " << (j.resumed ? "true" : "false")
+            << ", \"failed\": " << (j.failed ? "true" : "false")
+            << ", \"attempts\": " << j.attempts << "}";
     }
-    out << (report.jobEntries.empty() ? "]\n" : "\n  ]\n");
+    out << (report.jobEntries.empty() ? "],\n" : "\n  ],\n");
+
+    out << "  \"fault_totals\": ";
+    writeCountPairs(out, report.faultTotals);
+    out << "\n";
     out << "}\n";
+}
+
+void
+RunReportExporter::exportTo(std::ostream &out) const
+{
+    writeRunReportJson(out, *report_);
 }
 
 bool
 writeRunReportJson(const std::string &path, const RunReport &report)
 {
-    std::ofstream out(path);
-    if (!out) {
-        warnLimited("run-report", "cannot write run report ", path);
-        return false;
-    }
-    writeRunReportJson(out, report);
-    if (!out) {
-        warnLimited("run-report", "error writing run report ", path);
-        return false;
-    }
-    return true;
+    return RunReportExporter(report).exportToFile(path);
 }
 
 } // namespace coolcmp::obs

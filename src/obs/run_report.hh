@@ -17,14 +17,20 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/exporter.hh"
 
 namespace coolcmp::obs {
 
 struct RunReport
 {
-    /** Schema version emitted as "report_version". */
-    static constexpr int kVersion = 1;
+    /** Schema version emitted as "report_version". Version 2 added
+     *  the resilience columns: per-class fault counts, degradation
+     *  fallback activations, threshold-exceeded flags, and the
+     *  resumed/failed/attempts supervision fields. */
+    static constexpr int kVersion = 2;
 
     std::string sweepName = "sweep";
 
@@ -33,6 +39,14 @@ struct RunReport
 
     std::size_t jobs = 0;
     std::size_t cachedJobs = 0;
+
+    /** Jobs replayed from a resume journal instead of re-run. */
+    std::size_t resumedJobs = 0;
+
+    /** Jobs that needed more than one attempt / never succeeded. */
+    std::size_t retriedJobs = 0;
+    std::size_t failedJobs = 0;
+
     std::uint64_t totalSteps = 0;
 
     /** Wall-clock duration of the runMany call. */
@@ -76,9 +90,48 @@ struct RunReport
         double settleTimeS = 0.0;
 
         bool fromCache = false;
+
+        // --- Resilience (version 2). ---
+
+        /** True when any hottest-block sample exceeded the thermal
+         *  constraint (the paper's 84.2 C) during the run. */
+        bool thresholdExceeded = false;
+
+        /** Injected-fault exposure: (class name, windows opened),
+         *  non-zero classes only. */
+        std::vector<std::pair<std::string, std::uint64_t>> faultCounts;
+
+        /** Degradation-ladder activations. */
+        std::uint64_t fallbackSibling = 0;
+        std::uint64_t fallbackChipWide = 0;
+        std::uint64_t failSafe = 0;
+
+        /** Supervision: journal replay / retry accounting. */
+        bool resumed = false;
+        bool failed = false;
+        std::uint32_t attempts = 1;
     };
 
     std::vector<JobEntry> jobEntries;
+
+    /** Sweep-wide per-class fault totals (non-zero classes only). */
+    std::vector<std::pair<std::string, std::uint64_t>> faultTotals;
+};
+
+/** A RunReport as a JSON artifact (atomic file writes). */
+class RunReportExporter : public Exporter
+{
+  public:
+    explicit RunReportExporter(const RunReport &report)
+        : report_(&report)
+    {
+    }
+
+    const char *name() const override { return "run-report"; }
+    void exportTo(std::ostream &out) const override;
+
+  private:
+    const RunReport *report_;
 };
 
 /** Render `report` as JSON. */

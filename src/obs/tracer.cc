@@ -26,6 +26,10 @@ eventKindName(EventKind kind)
         return "time_slice";
       case EventKind::Emergency:
         return "thermal_emergency";
+      case EventKind::FaultActivated:
+        return "fault_activated";
+      case EventKind::SensorFallback:
+        return "sensor_fallback";
     }
     return "unknown";
 }
@@ -150,6 +154,30 @@ Tracer::emergency(double t, double temp, double threshold)
     e.kind = EventKind::Emergency;
     e.a = temp;
     e.b = threshold;
+    record(e);
+}
+
+void
+Tracer::faultActivated(double t, int core, int faultClass,
+                       double magnitude)
+{
+    TraceEvent e;
+    e.time = t;
+    e.kind = EventKind::FaultActivated;
+    e.core = static_cast<std::int8_t>(core);
+    e.a = static_cast<double>(faultClass);
+    e.b = magnitude;
+    record(e);
+}
+
+void
+Tracer::sensorFallback(double t, int core, int level)
+{
+    TraceEvent e;
+    e.time = t;
+    e.kind = EventKind::SensorFallback;
+    e.core = static_cast<std::int8_t>(core);
+    e.a = static_cast<double>(level);
     record(e);
 }
 

@@ -48,6 +48,8 @@ enum class EventKind : std::uint8_t {
     MigrationApplied,  ///< kernel actuated a migration round
     TimeSliceRotation, ///< oversubscription round-robin swap
     Emergency,         ///< hottest block crossed the threshold upward
+    FaultActivated,    ///< an injected fault window opened
+    SensorFallback,    ///< degradation ladder switched a core's source
 };
 
 const char *eventKindName(EventKind kind);
@@ -67,6 +69,10 @@ const char *eventKindName(EventKind kind);
  *   MigrationApplied   n cores; before/after=assignments, a=switched
  *   TimeSliceRotation  n cores; before/after=assignments
  *   Emergency          a=hottest block temp, b=threshold
+ *   FaultActivated     core (-1 chip-wide); a=FaultClass index,
+ *                      b=magnitude
+ *   SensorFallback     core; a=SensorSource level (1=sibling,
+ *                      2=chip-wide, 3=fail-safe)
  *
  * `core` is -1 for chip-scope events (including the single global
  * throttle domain).
@@ -114,6 +120,9 @@ class Tracer
     void timeSliceRotation(double t, const std::vector<int> &before,
                            const std::vector<int> &after);
     void emergency(double t, double temp, double threshold);
+    void faultActivated(double t, int core, int faultClass,
+                        double magnitude);
+    void sensorFallback(double t, int core, int level);
 
     const RingBuffer<TraceEvent> &events() const { return events_; }
     std::uint64_t dropped() const { return events_.dropped(); }

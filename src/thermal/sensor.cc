@@ -4,10 +4,17 @@
 
 namespace coolcmp {
 
+ThermalSensor::ThermalSensor(std::size_t block,
+                             const SensorModel &model)
+    : block_(block), quantization_(model.quantization),
+      noiseStddev_(model.noiseStddev), rng_(model.sensorSeed(block))
+{
+}
+
 ThermalSensor::ThermalSensor(std::size_t block, double quantization,
                              double noiseStddev, std::uint64_t seed)
-    : block_(block), quantization_(quantization),
-      noiseStddev_(noiseStddev), rng_(seed)
+    : ThermalSensor(block,
+                    SensorModel{noiseStddev, quantization, seed})
 {
 }
 
@@ -23,23 +30,28 @@ ThermalSensor::read(const TransientSolver &solver)
 }
 
 std::vector<CoreSensors>
-makeRegisterFileSensors(const Floorplan &floorplan, double quantization,
-                        double noiseStddev, std::uint64_t seed)
+makeRegisterFileSensors(const Floorplan &floorplan,
+                        const SensorModel &model)
 {
     std::vector<CoreSensors> out;
     out.reserve(static_cast<std::size_t>(floorplan.numCores()));
     for (int core = 0; core < floorplan.numCores(); ++core) {
         out.push_back(CoreSensors{
             ThermalSensor(floorplan.indexOf(core, UnitKind::IntRF),
-                          quantization, noiseStddev,
-                          seed * 977 + static_cast<std::uint64_t>(core)),
+                          model),
             ThermalSensor(floorplan.indexOf(core, UnitKind::FpRF),
-                          quantization, noiseStddev,
-                          seed * 977 + 31 +
-                              static_cast<std::uint64_t>(core)),
+                          model),
         });
     }
     return out;
+}
+
+std::vector<CoreSensors>
+makeRegisterFileSensors(const Floorplan &floorplan, double quantization,
+                        double noiseStddev, std::uint64_t seed)
+{
+    return makeRegisterFileSensors(
+        floorplan, SensorModel{noiseStddev, quantization, seed});
 }
 
 } // namespace coolcmp

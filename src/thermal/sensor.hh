@@ -14,6 +14,7 @@
 #define COOLCMP_THERMAL_SENSOR_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "thermal/transient.hh"
@@ -21,15 +22,51 @@
 
 namespace coolcmp {
 
+/**
+ * The read-path model every diode on the chip shares: baseline
+ * quantization and Gaussian read noise, plus the base seed the
+ * per-sensor noise streams derive from. Value-semantic configuration:
+ * it lives in DtmConfig (part of the experiment configKey) and is the
+ * healthy baseline the fault layer's FaultPlan corrupts further.
+ */
+struct SensorModel
+{
+    double noiseStddev = 0.0;  ///< Gaussian read noise in C (0 = ideal)
+    double quantization = 0.0; ///< reading granularity in C (0 = cont.)
+    std::uint64_t seed = 1;    ///< base seed for the noise streams
+
+    /** True when readings are exact block temperatures. */
+    bool ideal() const
+    {
+        return noiseStddev <= 0.0 && quantization <= 0.0;
+    }
+
+    /**
+     * Noise-stream seed of the diode at floorplan block `block`,
+     * derived from (base seed, block index) so no two sensors on the
+     * chip ever share a stream — even when every field is default.
+     */
+    std::uint64_t sensorSeed(std::size_t block) const
+    {
+        return mixSeed(seed ^ mixSeed(block + 1));
+    }
+};
+
 /** One thermal diode attached to a floorplan block. */
 class ThermalSensor
 {
   public:
+    /** A diode at `block` reading through the shared model (its noise
+     *  stream is model.sensorSeed(block)). */
+    ThermalSensor(std::size_t block, const SensorModel &model);
+
     /**
+     * Legacy shim predating SensorModel.
      * @param block floorplan block index the diode sits in
      * @param quantization reading granularity in C (0 = continuous)
      * @param noiseStddev Gaussian read noise in C (0 = ideal)
-     * @param seed RNG seed for the noise stream
+     * @param seed base seed; the stream seed is derived from
+     * (seed, block), never shared between two sensors
      */
     explicit ThermalSensor(std::size_t block, double quantization = 0.0,
                            double noiseStddev = 0.0,
@@ -56,6 +93,10 @@ struct CoreSensors
 };
 
 /** Build the per-core register-file sensor pairs for a floorplan. */
+std::vector<CoreSensors> makeRegisterFileSensors(
+    const Floorplan &floorplan, const SensorModel &model);
+
+/** Legacy shim: scattered knobs gathered into a SensorModel. */
 std::vector<CoreSensors> makeRegisterFileSensors(
     const Floorplan &floorplan, double quantization = 0.0,
     double noiseStddev = 0.0, std::uint64_t seed = 1);

@@ -16,6 +16,21 @@
 namespace coolcmp {
 
 /**
+ * splitmix64 finalizer: decorrelates derived seeds. Use to spawn
+ * per-instance streams from a (base seed, index) pair — e.g.
+ * mixSeed(base ^ mixSeed(index + 1)) — so nearby indices give
+ * unrelated streams without constructing an intermediate Rng.
+ */
+constexpr std::uint64_t
+mixSeed(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
  * xoshiro256** pseudo-random generator with convenience distributions.
  *
  * Satisfies the UniformRandomBitGenerator requirements so it can also be

@@ -244,7 +244,7 @@ TEST(ExperimentBatched, RunManyMatchesSerialBitForBit)
 
     for (const char *width : {"5", "8"}) {
         setenv("COOLCMP_BATCH", width, 1);
-        const std::vector<RunMetrics> batched = exp.runMany(jobs, 1);
+        const std::vector<RunMetrics> batched = exp.run(RunRequest(jobs).threads(1));
         ASSERT_EQ(batched.size(), serial.size()) << "width " << width;
         for (std::size_t i = 0; i < serial.size(); ++i)
             expectSameMetrics(serial[i], batched[i], i);
@@ -253,7 +253,7 @@ TEST(ExperimentBatched, RunManyMatchesSerialBitForBit)
     // Multi-worker batched dispatch must agree too (lanes split
     // across workers, different drain interleavings).
     setenv("COOLCMP_BATCH", "4", 1);
-    const std::vector<RunMetrics> threaded = exp.runMany(jobs, 3);
+    const std::vector<RunMetrics> threaded = exp.run(RunRequest(jobs).threads(3));
     for (std::size_t i = 0; i < serial.size(); ++i)
         expectSameMetrics(serial[i], threaded[i], i);
 
@@ -261,7 +261,7 @@ TEST(ExperimentBatched, RunManyMatchesSerialBitForBit)
     // the sequential path and still agree.
     setenv("COOLCMP_BATCH", "8", 1);
     const std::vector<RunMetrics> one =
-        exp.runMany({jobs.front()}, 2);
+        exp.run(RunRequest({jobs.front()}).threads(2));
     ASSERT_EQ(one.size(), 1u);
     expectSameMetrics(serial.front(), one.front(), 0);
 

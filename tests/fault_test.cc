@@ -1,0 +1,549 @@
+/**
+ * @file
+ * Resilience-layer coverage: FaultPlan parsing and determinism, the
+ * per-sensor noise-stream fix, fault-aware runs through the
+ * degradation ladder, deterministic fault replay across worker counts
+ * and batch widths, the crash-safe sweep journal with kill-and-resume
+ * equality, per-job timeout + retry supervision, and the randomized
+ * fault soak the CI matrix runs under ASan.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/sweep_journal.hh"
+#include "fault/fault_plan.hh"
+#include "fault/injector.hh"
+#include "test_util.hh"
+#include "thermal/sensor.hh"
+#include "util/rng.hh"
+
+namespace coolcmp {
+namespace {
+
+std::string
+hexKey(std::uint64_t key)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+/** Every RunMetrics field, bit for bit (fault exposure included). */
+void
+expectIdentical(const RunMetrics &a, const RunMetrics &b,
+                std::size_t i)
+{
+    EXPECT_EQ(a.duration, b.duration) << "job " << i;
+    EXPECT_EQ(a.totalInstructions, b.totalInstructions) << "job " << i;
+    EXPECT_EQ(a.dutyCycle, b.dutyCycle) << "job " << i;
+    EXPECT_EQ(a.peakTemp, b.peakTemp) << "job " << i;
+    EXPECT_EQ(a.emergencies, b.emergencies) << "job " << i;
+    EXPECT_EQ(a.maxOvershoot, b.maxOvershoot) << "job " << i;
+    EXPECT_EQ(a.settleTime, b.settleTime) << "job " << i;
+    EXPECT_EQ(a.throttleActuations, b.throttleActuations)
+        << "job " << i;
+    EXPECT_EQ(a.migrations, b.migrations) << "job " << i;
+    EXPECT_EQ(a.migrationPenaltyTime, b.migrationPenaltyTime)
+        << "job " << i;
+    ASSERT_EQ(a.faultClassCounts, b.faultClassCounts) << "job " << i;
+    EXPECT_EQ(a.fallbackSibling, b.fallbackSibling) << "job " << i;
+    EXPECT_EQ(a.fallbackChipWide, b.fallbackChipWide) << "job " << i;
+    EXPECT_EQ(a.failSafeActivations, b.failSafeActivations)
+        << "job " << i;
+    ASSERT_EQ(a.coreInstructions, b.coreInstructions) << "job " << i;
+    ASSERT_EQ(a.coreDuty, b.coreDuty) << "job " << i;
+    ASSERT_EQ(a.coreMeanFreq, b.coreMeanFreq) << "job " << i;
+    ASSERT_EQ(a.processInstructions, b.processInstructions)
+        << "job " << i;
+}
+
+/** A schedule hitting every fault class inside a 4 ms run. */
+FaultPlan
+allClassesPlan()
+{
+    return FaultPlan{}
+        .withSeed(42)
+        .stuckAt(0.0002, 0.002, 0)
+        .dropout(0.0004, 0.002, 1, 0)
+        .drift(0.0002, 0.003, 2, 400.0)
+        .extraNoise(0.0002, 0.003, 3, 0.5)
+        .quantize(0.0002, 0.003, -1, 1.0)
+        .dvfsLag(0.0, 0.004, -1, 20e-6)
+        .dvfsStick(0.0025, 0.001, -1)
+        .stopGoSlip(0.0, 0.004, -1, 2.0)
+        .powerSpike(0.001, 0.002, -1, 1.3);
+}
+
+TEST(SensorModelTest, PerSensorStreamsDiverge)
+{
+    // The old ThermalSensor defaulted every diode to seed 1, so two
+    // default-built sensors shared one noise stream. Streams must now
+    // derive from (base seed, block index).
+    const SensorModel model;
+    EXPECT_NE(model.sensorSeed(0), model.sensorSeed(1));
+    Rng a(model.sensorSeed(0));
+    Rng b(model.sensorSeed(1));
+    bool differ = false;
+    for (int i = 0; i < 8; ++i)
+        differ = differ || a.gaussian() != b.gaussian();
+    EXPECT_TRUE(differ);
+
+    // Same block, same model: the stream is reproducible.
+    Rng c(model.sensorSeed(3));
+    Rng d(model.sensorSeed(3));
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(c.gaussian(), d.gaussian());
+
+    // The base seed shifts every per-sensor stream.
+    SensorModel reseeded;
+    reseeded.seed = 2;
+    EXPECT_NE(model.sensorSeed(0), reseeded.sensorSeed(0));
+}
+
+TEST(SensorModelTest, PartOfConfigKey)
+{
+    coolcmp::testing::quiet();
+    DtmConfig plain = coolcmp::testing::fastDtmConfig();
+    DtmConfig noisy = plain;
+    noisy.sensors.noiseStddev = 0.5;
+    DtmConfig reseeded = noisy;
+    reseeded.sensors.seed = 7;
+    const TraceBuilderConfig tc = coolcmp::testing::fastTraceConfig();
+    EXPECT_NE(Experiment(plain, tc).configKey(),
+              Experiment(noisy, tc).configKey());
+    EXPECT_NE(Experiment(noisy, tc).configKey(),
+              Experiment(reseeded, tc).configKey());
+}
+
+TEST(FaultPlanTest, ParsesTheEnvGrammar)
+{
+    coolcmp::testing::quiet();
+    const FaultPlan plan = FaultPlan::parse(
+        "seed=42;drop@0.1+0.05:core0.int;powerspike@0.3+0.1:all=1.5");
+    EXPECT_EQ(plan.seed(), 42u);
+    ASSERT_EQ(plan.size(), 2u);
+    const FaultSpec &drop = plan.faults()[0];
+    EXPECT_EQ(drop.cls, FaultClass::SensorDropout);
+    EXPECT_DOUBLE_EQ(drop.start, 0.1);
+    EXPECT_DOUBLE_EQ(drop.duration, 0.05);
+    EXPECT_EQ(drop.core, 0);
+    EXPECT_EQ(drop.sensor, 0);
+    const FaultSpec &spike = plan.faults()[1];
+    EXPECT_EQ(spike.cls, FaultClass::PowerSpike);
+    EXPECT_EQ(spike.core, -1);
+    EXPECT_DOUBLE_EQ(spike.magnitude, 1.5);
+}
+
+TEST(FaultPlanTest, SkipsMalformedItems)
+{
+    coolcmp::testing::quiet();
+    // A bad knob must not kill the sweep: malformed items are skipped
+    // with a warning, the rest of the plan still applies.
+    const FaultPlan plan =
+        FaultPlan::parse("bogus@zzz;drift@0.2:core1=10;seed=nope");
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan.faults()[0].cls, FaultClass::SensorDrift);
+    EXPECT_EQ(plan.faults()[0].core, 1);
+}
+
+TEST(FaultPlanTest, FromEnvironment)
+{
+    coolcmp::testing::quiet();
+    setenv("COOLCMP_FAULT_PLAN", "seed=9;noise@0.0+0.5:all=0.25", 1);
+    const FaultPlan plan = FaultPlan::fromEnv();
+    EXPECT_EQ(plan.seed(), 9u);
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan.faults()[0].cls, FaultClass::SensorNoise);
+    unsetenv("COOLCMP_FAULT_PLAN");
+    EXPECT_TRUE(FaultPlan::fromEnv().empty());
+}
+
+TEST(FaultPlanTest, RandomizedIsDeterministicAndComplete)
+{
+    const FaultPlan a = FaultPlan::randomized(7);
+    const FaultPlan b = FaultPlan::randomized(7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.faults()[i].cls, b.faults()[i].cls);
+        EXPECT_EQ(a.faults()[i].start, b.faults()[i].start);
+        EXPECT_EQ(a.faults()[i].duration, b.faults()[i].duration);
+        EXPECT_EQ(a.faults()[i].core, b.faults()[i].core);
+        EXPECT_EQ(a.faults()[i].magnitude, b.faults()[i].magnitude);
+    }
+    // Every class appears at least once (the soak's coverage floor).
+    std::vector<bool> seen(kNumFaultClasses, false);
+    for (const FaultSpec &f : a.faults())
+        seen[static_cast<std::size_t>(f.cls)] = true;
+    for (std::size_t c = 0; c < kNumFaultClasses; ++c)
+        EXPECT_TRUE(seen[c]) << faultClassName(
+            static_cast<FaultClass>(c));
+    // Per-fault stream seeds are distinct.
+    EXPECT_NE(a.faultSeed(0), a.faultSeed(1));
+}
+
+TEST(FaultPlanTest, ChangesTheConfigKey)
+{
+    coolcmp::testing::quiet();
+    DtmConfig clean = coolcmp::testing::fastDtmConfig();
+    DtmConfig faulty = clean;
+    faulty.faults = allClassesPlan();
+    DtmConfig reseeded = faulty;
+    reseeded.faults.withSeed(43);
+    const TraceBuilderConfig tc = coolcmp::testing::fastTraceConfig();
+    EXPECT_NE(Experiment(clean, tc).configKey(),
+              Experiment(faulty, tc).configKey());
+    EXPECT_NE(Experiment(faulty, tc).configKey(),
+              Experiment(reseeded, tc).configKey());
+}
+
+TEST(DegradationLadder, SiblingCoversOneDeadDiode)
+{
+    coolcmp::testing::quiet();
+    DtmConfig cfg = coolcmp::testing::fastDtmConfig();
+    cfg.duration = 0.004;
+    cfg.faults = FaultPlan{}.dropout(0.0, 1.0, 0, 0);
+    Experiment exp(cfg, coolcmp::testing::fastTraceConfig());
+    const RunMetrics m =
+        exp.run(findWorkload("workload1"), baselinePolicy());
+    ASSERT_EQ(m.faultClassCounts.size(), kNumFaultClasses);
+    EXPECT_EQ(m.faultClassCounts[static_cast<std::size_t>(
+                  FaultClass::SensorDropout)],
+              1u);
+    EXPECT_GE(m.fallbackSibling, 1u);
+    EXPECT_EQ(m.fallbackChipWide, 0u);
+    EXPECT_EQ(m.failSafeActivations, 0u);
+    EXPECT_GT(m.totalInstructions, 0.0);
+}
+
+TEST(DegradationLadder, ChipWideCoversADeadCore)
+{
+    coolcmp::testing::quiet();
+    DtmConfig cfg = coolcmp::testing::fastDtmConfig();
+    cfg.duration = 0.004;
+    cfg.faults = FaultPlan{}.dropout(0.0, 1.0, 0, -1);
+    Experiment exp(cfg, coolcmp::testing::fastTraceConfig());
+    const RunMetrics m =
+        exp.run(findWorkload("workload1"), baselinePolicy());
+    EXPECT_GE(m.fallbackChipWide, 1u);
+    EXPECT_EQ(m.failSafeActivations, 0u);
+}
+
+TEST(DegradationLadder, FailSafeWhenNoHealthySensorRemains)
+{
+    coolcmp::testing::quiet();
+    DtmConfig cfg = coolcmp::testing::fastDtmConfig();
+    cfg.duration = 0.004;
+    cfg.faults = FaultPlan{}.dropout(0.0, 1.0, -1, -1);
+    Experiment exp(cfg, coolcmp::testing::fastTraceConfig());
+    const RunMetrics m =
+        exp.run(findWorkload("workload1"), baselinePolicy());
+    EXPECT_GE(m.failSafeActivations, 4u); // every core falls through
+    // Fail-safe feeds the threshold itself to the stop-go trips, so
+    // the chip spends the outage throttled, not blind.
+    EXPECT_GT(m.throttleActuations, 0u);
+    EXPECT_LT(m.dutyCycle, 1.0);
+}
+
+TEST(DegradationLadder, CleanRunHasNoFaultExposure)
+{
+    coolcmp::testing::quiet();
+    DtmConfig cfg = coolcmp::testing::fastDtmConfig();
+    cfg.duration = 0.004;
+    Experiment exp(cfg, coolcmp::testing::fastTraceConfig());
+    const RunMetrics m =
+        exp.run(findWorkload("workload1"), baselinePolicy());
+    EXPECT_TRUE(m.faultClassCounts.empty());
+    EXPECT_EQ(m.fallbackSibling, 0u);
+    EXPECT_EQ(m.fallbackChipWide, 0u);
+    EXPECT_EQ(m.failSafeActivations, 0u);
+}
+
+TEST(FaultDeterminism, ReplayAcrossWorkersAndBatchWidths)
+{
+    // The acceptance bar of the fault layer: the same FaultPlan seed
+    // must produce bit-identical RunMetrics whether jobs run serially,
+    // on 4 workers, or co-stepped in batched lanes — every fault draw
+    // comes from per-fault streams, never from shared state.
+    coolcmp::testing::quiet();
+    DtmConfig cfg = coolcmp::testing::fastDtmConfig();
+    cfg.duration = 0.004;
+    cfg.faults = allClassesPlan();
+    cfg.sensors.noiseStddev = 0.25;
+    Experiment exp(cfg, coolcmp::testing::fastTraceConfig());
+
+    std::vector<RunJob> jobs;
+    const PolicyConfig policies[] = {
+        baselinePolicy(),
+        {ThrottleMechanism::Dvfs, ControlScope::Distributed,
+         MigrationKind::CounterBased},
+    };
+    for (const char *name : {"workload1", "workload7"})
+        for (const PolicyConfig &policy : policies)
+            jobs.push_back({findWorkload(name), policy, ""});
+
+    setenv("COOLCMP_BATCH", "1", 1);
+    std::vector<RunMetrics> serial;
+    for (const RunJob &job : jobs)
+        serial.push_back(exp.run(job.workload, job.policy));
+    ASSERT_FALSE(serial[0].faultClassCounts.empty());
+
+    const std::vector<RunMetrics> threaded =
+        exp.run(RunRequest(jobs).threads(4));
+    ASSERT_EQ(threaded.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectIdentical(serial[i], threaded[i], i);
+
+    setenv("COOLCMP_BATCH", "8", 1);
+    const std::vector<RunMetrics> batched =
+        exp.run(RunRequest(jobs).threads(2));
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectIdentical(serial[i], batched[i], i);
+    unsetenv("COOLCMP_BATCH");
+}
+
+TEST(FaultSweep, AllClassesReportExposure)
+{
+    // Acceptance: a sweep with every fault class enabled completes
+    // with zero crashes and the run report records per-class counts,
+    // fallback activations, and the threshold-exceeded flag.
+    coolcmp::testing::quiet();
+    DtmConfig cfg = coolcmp::testing::fastDtmConfig();
+    cfg.duration = 0.004;
+    cfg.faults = allClassesPlan();
+    Experiment exp(cfg, coolcmp::testing::fastTraceConfig());
+
+    std::vector<RunJob> jobs;
+    for (const char *name : {"workload1", "workload7"})
+        for (const PolicyConfig &policy :
+             {baselinePolicy(),
+              PolicyConfig{ThrottleMechanism::Dvfs,
+                           ControlScope::Distributed,
+                           MigrationKind::None}})
+            jobs.push_back({findWorkload(name), policy, ""});
+
+    const std::string reportPath =
+        ::testing::TempDir() + "coolcmp-fault-report.json";
+    exp.setRunReportPath(reportPath);
+    const auto out = exp.run(RunRequest(jobs).threads(2));
+    exp.setRunReportPath("");
+    ASSERT_EQ(out.size(), jobs.size());
+
+    const obs::RunReport &report = exp.lastRunReport();
+    ASSERT_EQ(report.jobEntries.size(), jobs.size());
+    EXPECT_FALSE(report.faultTotals.empty());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const obs::RunReport::JobEntry &entry = report.jobEntries[i];
+        EXPECT_FALSE(entry.faultCounts.empty()) << "job " << i;
+        EXPECT_EQ(entry.thresholdExceeded, out[i].emergencies > 0)
+            << "job " << i;
+        EXPECT_EQ(entry.fallbackSibling, out[i].fallbackSibling);
+        EXPECT_EQ(entry.fallbackChipWide, out[i].fallbackChipWide);
+        EXPECT_EQ(entry.failSafe, out[i].failSafeActivations);
+        EXPECT_FALSE(entry.failed);
+    }
+
+    // The JSON artifact carries the new schema and the fault totals.
+    std::ifstream in(reportPath);
+    ASSERT_TRUE(in.good());
+    std::stringstream body;
+    body << in.rdbuf();
+    EXPECT_NE(body.str().find("\"report_version\": 2"),
+              std::string::npos);
+    EXPECT_NE(body.str().find("\"fault_totals\""), std::string::npos);
+    std::filesystem::remove(reportPath);
+}
+
+TEST(RunMetricsBody, RoundTripsFaultFields)
+{
+    RunMetrics m;
+    m.duration = 0.5;
+    m.totalInstructions = 123456.0;
+    m.emergencies = 3;
+    m.faultClassCounts = {1, 0, 2, 0, 0, 4, 0, 1, 9};
+    m.fallbackSibling = 5;
+    m.fallbackChipWide = 2;
+    m.failSafeActivations = 1;
+    m.coreInstructions = {1.0, 2.0, 3.0, 4.0};
+    m.processInstructions = {10.0, 20.0};
+    std::stringstream s;
+    writeRunMetricsBody(s, m);
+    RunMetrics back;
+    ASSERT_TRUE(readRunMetricsBody(s, back));
+    EXPECT_EQ(back.duration, m.duration);
+    EXPECT_EQ(back.emergencies, m.emergencies);
+    EXPECT_EQ(back.faultClassCounts, m.faultClassCounts);
+    EXPECT_EQ(back.fallbackSibling, m.fallbackSibling);
+    EXPECT_EQ(back.fallbackChipWide, m.fallbackChipWide);
+    EXPECT_EQ(back.failSafeActivations, m.failSafeActivations);
+    EXPECT_EQ(back.coreInstructions, m.coreInstructions);
+    EXPECT_EQ(back.processInstructions, m.processInstructions);
+}
+
+TEST(SweepJournalTest, RejectsMismatchedHeaders)
+{
+    coolcmp::testing::quiet();
+    const std::string path =
+        ::testing::TempDir() + "coolcmp-journal-header-test";
+    std::filesystem::remove(path);
+    RunMetrics m;
+    m.duration = 1.0;
+    {
+        SweepJournal journal(path, "aaaa", 2);
+        journal.record(0, m);
+    }
+    SweepJournal same(path, "aaaa", 2);
+    EXPECT_TRUE(same.load());
+    EXPECT_TRUE(same.has(0));
+    EXPECT_FALSE(same.has(1));
+    SweepJournal wrongKey(path, "bbbb", 2);
+    EXPECT_FALSE(wrongKey.load());
+    SweepJournal wrongCount(path, "aaaa", 3);
+    EXPECT_FALSE(wrongCount.load());
+    SweepJournal missing(path + ".nope", "aaaa", 2);
+    EXPECT_FALSE(missing.load());
+    std::filesystem::remove(path);
+}
+
+TEST(SweepResume, KilledSweepResumesBitIdentically)
+{
+    // Acceptance: a 16-job sweep interrupted halfway and resumed from
+    // its journal must yield results identical to an uninterrupted
+    // sweep. The "kill" is simulated by seeding a journal with only
+    // the first 8 completions.
+    coolcmp::testing::quiet();
+    DtmConfig cfg = coolcmp::testing::fastDtmConfig();
+    cfg.duration = 0.002;
+    cfg.faults = FaultPlan{}.withSeed(11).dropout(0.0005, 0.001, 1, 0);
+    Experiment exp(cfg, coolcmp::testing::fastTraceConfig());
+
+    std::vector<RunJob> jobs;
+    const PolicyConfig policies[] = {
+        baselinePolicy(),
+        {ThrottleMechanism::StopGo, ControlScope::Global,
+         MigrationKind::None},
+        {ThrottleMechanism::Dvfs, ControlScope::Distributed,
+         MigrationKind::None},
+        {ThrottleMechanism::Dvfs, ControlScope::Global,
+         MigrationKind::None},
+    };
+    for (const char *name :
+         {"workload1", "workload3", "workload7", "workload12"})
+        for (const PolicyConfig &policy : policies)
+            jobs.push_back({findWorkload(name), policy, ""});
+    ASSERT_EQ(jobs.size(), 16u);
+
+    const std::vector<RunMetrics> baseline =
+        exp.run(RunRequest(jobs).threads(4));
+
+    const std::string path =
+        ::testing::TempDir() + "coolcmp-resume-journal";
+    std::filesystem::remove(path);
+    {
+        // The first 8 jobs completed before the "crash".
+        SweepJournal half(path, hexKey(exp.configKey()), jobs.size());
+        for (std::size_t i = 0; i < 8; ++i)
+            half.record(i, baseline[i]);
+    }
+
+    const std::vector<RunMetrics> resumed =
+        exp.run(RunRequest(jobs).threads(4).journal(path));
+    ASSERT_EQ(resumed.size(), baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i)
+        expectIdentical(baseline[i], resumed[i], i);
+
+    const obs::RunReport &report = exp.lastRunReport();
+    EXPECT_EQ(report.resumedJobs, 8u);
+    EXPECT_EQ(report.failedJobs, 0u);
+
+    // The finished journal now covers every job; a re-run replays all.
+    SweepJournal full(path, hexKey(exp.configKey()), jobs.size());
+    EXPECT_TRUE(full.load());
+    EXPECT_EQ(full.completedCount(), jobs.size());
+    const std::vector<RunMetrics> replayed =
+        exp.run(RunRequest(jobs).threads(2).journal(path));
+    for (std::size_t i = 0; i < baseline.size(); ++i)
+        expectIdentical(baseline[i], replayed[i], i);
+    EXPECT_EQ(exp.lastRunReport().resumedJobs, jobs.size());
+    std::filesystem::remove(path);
+}
+
+TEST(JobSupervision, TimeoutMarksJobsFailedAfterRetries)
+{
+    coolcmp::testing::quiet();
+    DtmConfig cfg = coolcmp::testing::fastDtmConfig();
+    cfg.duration = 0.004;
+    Experiment exp(cfg, coolcmp::testing::fastTraceConfig());
+    std::vector<RunJob> jobs{
+        {findWorkload("workload1"), baselinePolicy(), ""}};
+
+    // An impossible deadline: every attempt times out, the job is
+    // marked failed with zeroed metrics, and the sweep still returns.
+    const auto out = exp.run(
+        RunRequest(jobs).threads(1).timeout(1e-9).retry(2, 0.0));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].totalInstructions, 0.0);
+    const obs::RunReport &report = exp.lastRunReport();
+    EXPECT_EQ(report.failedJobs, 1u);
+    EXPECT_EQ(report.retriedJobs, 1u);
+    ASSERT_EQ(report.jobEntries.size(), 1u);
+    EXPECT_TRUE(report.jobEntries[0].failed);
+    EXPECT_EQ(report.jobEntries[0].attempts, 2u);
+
+    // A generous deadline on the same request succeeds untouched.
+    const auto ok = exp.run(
+        RunRequest(jobs).threads(1).timeout(3600.0).retry(2, 0.0));
+    EXPECT_GT(ok[0].totalInstructions, 0.0);
+    EXPECT_EQ(exp.lastRunReport().failedJobs, 0u);
+    EXPECT_EQ(exp.lastRunReport().jobEntries[0].attempts, 1u);
+}
+
+TEST(JobSupervision, RequestValidation)
+{
+    coolcmp::testing::quiet();
+    std::vector<RunJob> jobs{
+        {findWorkload("workload1"), baselinePolicy(), ""}};
+    EXPECT_TRUE(RunRequest(jobs).validate().empty());
+    EXPECT_FALSE(RunRequest(jobs).retry(0).validate().empty());
+    EXPECT_FALSE(RunRequest(jobs).timeout(-1.0).validate().empty());
+    EXPECT_FALSE(
+        RunRequest(jobs).retry(2, -0.5).validate().empty());
+    Workload empty;
+    empty.name = "empty";
+    EXPECT_FALSE(
+        RunRequest{}.add(empty, baselinePolicy()).validate().empty());
+}
+
+TEST(FaultSoak, RandomizedPlansNeverCrash)
+{
+    // The CI soak in miniature: randomized plans under a fixed seed
+    // matrix must complete with finite metrics, whatever combination
+    // of windows and magnitudes the seed draws.
+    coolcmp::testing::quiet();
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+        DtmConfig cfg = coolcmp::testing::fastDtmConfig();
+        cfg.duration = 0.004;
+        cfg.faults = FaultPlan::randomized(seed, cfg.duration);
+        Experiment exp(cfg, coolcmp::testing::fastTraceConfig());
+        const RunMetrics m =
+            exp.run(findWorkload("workload7"),
+                    {ThrottleMechanism::Dvfs,
+                     ControlScope::Distributed,
+                     MigrationKind::SensorBased});
+        EXPECT_GT(m.duration, 0.0) << "seed " << seed;
+        EXPECT_TRUE(std::isfinite(m.totalInstructions))
+            << "seed " << seed;
+        EXPECT_TRUE(std::isfinite(m.peakTemp)) << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace coolcmp

@@ -162,7 +162,7 @@ TEST(Experiment, RunManyMatchesSerialBitForBit)
     for (const RunJob &job : jobs)
         serial.push_back(exp.run(job.workload, job.policy));
 
-    const std::vector<RunMetrics> parallel = exp.runMany(jobs, 4);
+    const std::vector<RunMetrics> parallel = exp.run(RunRequest(jobs).threads(4));
 
     ASSERT_EQ(parallel.size(), serial.size());
     for (std::size_t i = 0; i < serial.size(); ++i) {
@@ -189,7 +189,7 @@ TEST(Experiment, RunManyMatchesSerialBitForBit)
 
     // A second parallel sweep (warm traces, different interleaving)
     // must agree with itself too.
-    const std::vector<RunMetrics> again = exp.runMany(jobs, 4);
+    const std::vector<RunMetrics> again = exp.run(RunRequest(jobs).threads(4));
     for (std::size_t i = 0; i < serial.size(); ++i)
         EXPECT_EQ(serial[i].totalInstructions,
                   again[i].totalInstructions);
@@ -208,14 +208,14 @@ TEST(Experiment, RunManyThroughResultCache)
     for (const char *name : {"workload1", "workload2"})
         jobs.push_back({findWorkload(name), baselinePolicy(), dir});
 
-    const auto fresh = exp.runMany(jobs, 4);
+    const auto fresh = exp.run(RunRequest(jobs).threads(4));
     ASSERT_FALSE(std::filesystem::is_empty(dir));
     // No stray temp files may survive the atomic-rename publication.
     for (const auto &entry :
          std::filesystem::directory_iterator(dir))
         EXPECT_EQ(entry.path().extension(), ".metrics")
             << entry.path();
-    const auto cached = exp.runMany(jobs, 4);
+    const auto cached = exp.run(RunRequest(jobs).threads(4));
     for (std::size_t i = 0; i < fresh.size(); ++i) {
         EXPECT_DOUBLE_EQ(fresh[i].totalInstructions,
                          cached[i].totalInstructions);

@@ -494,7 +494,7 @@ class ObsSweepTest : public ::testing::Test
                               coolcmp::testing::fastTraceConfig());
         experiment.attachSession(&session);
         const auto jobs = smallSweep();
-        const auto metrics = experiment.runMany(jobs, threads);
+        const auto metrics = experiment.run(RunRequest(jobs).threads(threads));
         EXPECT_EQ(metrics.size(), jobs.size());
 
         std::map<std::string, std::string> byLabel;

@@ -260,7 +260,7 @@ TEST(SnapshotAggregatorTest, ConcurrentSnapshotsWhileRunManyHammers)
 
     obs::SnapshotAggregator agg(registry, std::chrono::milliseconds(1));
     agg.start();
-    const std::vector<RunMetrics> out = experiment.runMany(jobs, 4);
+    const std::vector<RunMetrics> out = experiment.run(RunRequest(jobs).threads(4));
     const obs::MetricsSnapshot final = agg.snapshotNow();
     agg.stop();
 
@@ -507,19 +507,31 @@ TEST(RunReportTest, GoldenJson)
     report.stepsPerSecond = 700.0;
     report.phases = {{"gather_powers", 1.0, 1400},
                      {"step_thermal", 0.5, 1400}};
-    report.jobEntries = {{"workload7/dvfs", 700, 3, 1.25, 0.012,
-                          false},
-                         {"workload7/stop-go", 700, 0, 0.0, 0.0,
-                          true}};
+    report.jobEntries.resize(2);
+    report.jobEntries[0].configKey = "workload7/dvfs";
+    report.jobEntries[0].steps = 700;
+    report.jobEntries[0].emergencies = 3;
+    report.jobEntries[0].maxOvershootC = 1.25;
+    report.jobEntries[0].settleTimeS = 0.012;
+    report.jobEntries[1].configKey = "workload7/stop-go";
+    report.jobEntries[1].steps = 700;
+    report.jobEntries[1].fromCache = true;
+    report.jobEntries[0].thresholdExceeded = true;
+    report.jobEntries[0].faultCounts = {{"sensor_stuck", 2}};
+    report.jobEntries[0].fallbackSibling = 1;
+    report.faultTotals = {{"sensor_stuck", 2}};
 
     std::ostringstream out;
     obs::writeRunReportJson(out, report);
     const std::string expected = R"({
-  "report_version": 1,
+  "report_version": 2,
   "sweep": "sweep \"7\"",
   "config_key": "00c0ffee00c0ffee",
   "jobs": 2,
   "cached_jobs": 1,
+  "resumed_jobs": 0,
+  "retried_jobs": 0,
+  "failed_jobs": 0,
   "total_steps": 1400,
   "wall_seconds": 2,
   "busy_seconds": 1.6,
@@ -531,9 +543,10 @@ TEST(RunReportTest, GoldenJson)
     {"name": "step_thermal", "seconds": 0.5, "calls": 1400}
   ],
   "job_entries": [
-    {"config_key": "workload7/dvfs", "steps": 700, "emergencies": 3, "max_overshoot_c": 1.25, "settle_time_s": 0.012, "from_cache": false},
-    {"config_key": "workload7/stop-go", "steps": 700, "emergencies": 0, "max_overshoot_c": 0, "settle_time_s": 0, "from_cache": true}
-  ]
+    {"config_key": "workload7/dvfs", "steps": 700, "emergencies": 3, "max_overshoot_c": 1.25, "settle_time_s": 0.012, "from_cache": false, "threshold_exceeded": true, "fault_counts": {"sensor_stuck": 2}, "fallback_sibling": 1, "fallback_chip_wide": 0, "fail_safe": 0, "resumed": false, "failed": false, "attempts": 1},
+    {"config_key": "workload7/stop-go", "steps": 700, "emergencies": 0, "max_overshoot_c": 0, "settle_time_s": 0, "from_cache": true, "threshold_exceeded": false, "fault_counts": {}, "fallback_sibling": 0, "fallback_chip_wide": 0, "fail_safe": 0, "resumed": false, "failed": false, "attempts": 1}
+  ],
+  "fault_totals": {"sensor_stuck": 2}
 }
 )";
     EXPECT_EQ(out.str(), expected);
@@ -592,7 +605,7 @@ TEST_F(RunReportSweepTest, RunManyFillsReportWithPhaseBreakdown)
     Experiment experiment(config, coolcmp::testing::fastTraceConfig());
 
     const std::vector<RunJob> jobs = sweepJobs("");
-    experiment.runMany(jobs, 2);
+    experiment.run(RunRequest(jobs).threads(2));
     const obs::RunReport &report = experiment.lastRunReport();
 
     EXPECT_EQ(report.jobs, jobs.size());
@@ -650,10 +663,10 @@ TEST_F(RunReportSweepTest, CachedRerunIsMarkedAndWritesReportFile)
 
     const std::vector<RunJob> jobs =
         sweepJobs((dir / "cache").string());
-    experiment.runMany(jobs, 2);
+    experiment.run(RunRequest(jobs).threads(2));
     ASSERT_EQ(experiment.lastRunReport().cachedJobs, 0u);
 
-    experiment.runMany(jobs, 2);
+    experiment.run(RunRequest(jobs).threads(2));
     const obs::RunReport &report = experiment.lastRunReport();
     EXPECT_EQ(report.cachedJobs, jobs.size());
     for (const auto &job : report.jobEntries) {
@@ -666,7 +679,7 @@ TEST_F(RunReportSweepTest, CachedRerunIsMarkedAndWritesReportFile)
     ASSERT_TRUE(in.good());
     std::stringstream text;
     text << in.rdbuf();
-    EXPECT_NE(text.str().find("\"report_version\": 1"),
+    EXPECT_NE(text.str().find("\"report_version\": 2"),
               std::string::npos);
     EXPECT_NE(text.str().find("\"cached_jobs\": 4"),
               std::string::npos);
