@@ -7,10 +7,15 @@
  * exact propagator makes full 0.5-second policy sweeps affordable.
  */
 
+#include <cmath>
+#include <map>
+
 #include <benchmark/benchmark.h>
 
 #include "core/chip_model.hh"
 #include "core/experiment.hh"
+#include "linalg/eigen_sym.hh"
+#include "thermal/reduced.hh"
 #include "obs/registry.hh"
 #include "obs/snapshot.hh"
 #include "obs/tracer.hh"
@@ -88,7 +93,94 @@ BM_BatchedZohStep(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()) *
         static_cast<std::int64_t>(B));
 }
-BENCHMARK(BM_BatchedZohStep)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_BatchedZohStep)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(
+    32);
+
+const Floorplan &
+gridPlan()
+{
+    static const Floorplan plan = makeGridFloorplan(16);
+    return plan;
+}
+
+const RcNetwork &
+gridNetwork()
+{
+    static const RcNetwork net(gridPlan(), PackageParams::desktop());
+    return net;
+}
+
+void
+BM_GridZohStep(benchmark::State &state)
+{
+    // Full dense step on the 16-core synthetic grid (n = 428): the
+    // baseline BM_ReducedZohStep is measured against.
+    const double dt = 100000.0 / 3.6e9;
+    ZohPropagator solver(gridNetwork(), dt);
+    Vector powers(gridPlan().numBlocks(), 1.0);
+    for (auto _ : state) {
+        solver.step(powers, dt);
+        benchmark::DoNotOptimize(solver.temperatures());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GridZohStep);
+
+void
+BM_ReducedZohStep(benchmark::State &state)
+{
+    // Reduced-order step on the same 16-core grid at a pinned mode
+    // count k: the k x k diagonal operator + k x m input map replace
+    // the dense n x (n+m) GEMV. Arg 0 lets the tolerance-driven
+    // selection pick k. Pure stepping rate — temperatures stay
+    // unreconstructed, which is exactly what the lazy design buys a
+    // stepping loop (a consumer that reads every die temperature
+    // every step pays m x (k + m) extra flops per read).
+    const double dt = 100000.0 / 3.6e9;
+    ReducedOptions opts;
+    opts.tolerance = 1e-6;
+    opts.forcedModes = static_cast<std::size_t>(state.range(0));
+    static std::map<std::size_t,
+                    std::shared_ptr<const ReducedThermalModel>>
+        models;
+    auto &model = models[opts.forcedModes];
+    if (!model)
+        model = std::make_shared<const ReducedThermalModel>(
+            gridNetwork(), dt, opts);
+    ReducedZohPropagator solver(model);
+    Vector powers(gridPlan().numBlocks(), 1.0);
+    for (auto _ : state) {
+        solver.step(powers, dt);
+        benchmark::DoNotOptimize(solver.augmentedState().data());
+    }
+    benchmark::DoNotOptimize(solver.blockTemperatures());
+    state.counters["k"] =
+        static_cast<double>(model->numModes());
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReducedZohStep)->Arg(0)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_SymmetricEigen(benchmark::State &state)
+{
+    // One-time cost of the modal decomposition behind the reduced
+    // solver (amortized across every lane of a sweep by the
+    // ChipModel cache, like the matrix exponential).
+    const RcNetwork &net = chipNetwork();
+    const std::size_t n = net.numNodes();
+    const Matrix &g = net.conductance();
+    const Vector &c = net.capacitance();
+    Matrix sym(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            sym(i, j) = -g(i, j) / std::sqrt(c[i] * c[j]);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(symmetricEigen(sym));
+    }
+}
+BENCHMARK(BM_SymmetricEigen);
 
 void
 BM_ZohStepUnfused(benchmark::State &state)
@@ -160,7 +252,12 @@ BM_MultiplyBatchedKernel(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()) *
         static_cast<std::int64_t>(B));
 }
-BENCHMARK(BM_MultiplyBatchedKernel)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_MultiplyBatchedKernel)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32);
 
 void
 BM_Rk4SolverStep(benchmark::State &state)

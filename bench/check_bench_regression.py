@@ -14,10 +14,18 @@ runner does not trip the gate while a kernel that regressed *relative
 to the machine's speed* still does. The calibration benchmark itself
 is exempt from the gate — pick a stable, single-threaded kernel.
 
+``--must-improve A>=B`` adds an ordering constraint WITHIN the fresh
+run: benchmark A's items/s must be at least benchmark B's (minus
+``--improve-slack``). Unlike the baseline diff this is machine-relative
+by construction, so it needs no calibration; it pins structural
+properties like "batch width 16 must not fall off a cliff below width
+8". Repeatable.
+
 Usage:
     build/bench/bench_micro --benchmark_format=json > fresh.json
     python3 bench/check_bench_regression.py BENCH_micro.json fresh.json \
-        --tolerance 0.15 --calibrate BM_MultiplyFusedKernel
+        --tolerance 0.15 --calibrate BM_MultiplyFusedKernel \
+        --must-improve 'BM_BatchedZohStep/16>=BM_BatchedZohStep/8'
 """
 
 import argparse
@@ -53,6 +61,13 @@ def main():
     parser.add_argument("--calibrate", default=None, metavar="NAME",
                         help="normalize by this benchmark's ratio to "
                         "absorb machine-speed differences")
+    parser.add_argument("--must-improve", action="append", default=[],
+                        metavar="A>=B", dest="must_improve",
+                        help="require fresh items/s of A to be >= B's "
+                        "(within --improve-slack); repeatable")
+    parser.add_argument("--improve-slack", type=float, default=0.02,
+                        help="fractional slack for --must-improve "
+                        "comparisons (default 0.02 = 2%%)")
     args = parser.parse_args()
 
     baseline = load_throughputs(args.baseline)
@@ -98,6 +113,24 @@ def main():
         print(f"note: {len(only_fresh)} new benchmark(s) without a "
               f"baseline (ignored): {', '.join(only_fresh)}")
 
+    ordering_failures = []
+    for constraint in args.must_improve:
+        if ">=" not in constraint:
+            sys.exit(f"error: malformed --must-improve '{constraint}' "
+                     "(expected 'A>=B')")
+        a, b = (part.strip() for part in constraint.split(">=", 1))
+        missing = [name for name in (a, b) if name not in fresh]
+        if missing:
+            sys.exit("error: --must-improve benchmark(s) missing from "
+                     f"the fresh run: {', '.join(missing)}")
+        floor = fresh[b] * (1.0 - args.improve_slack)
+        ok = fresh[a] >= floor
+        print(f"must-improve: {a} ({fresh[a]:.3e}/s) >= "
+              f"{b} ({fresh[b]:.3e}/s) - {args.improve_slack:.0%}: "
+              f"{'ok' if ok else 'VIOLATED'}")
+        if not ok:
+            ordering_failures.append((a, b, fresh[a], fresh[b]))
+
     if regressions:
         print()
         print(f"FAIL: {len(regressions)} benchmark(s) regressed more "
@@ -107,10 +140,19 @@ def main():
         print("If the slowdown is intended, refresh the baseline with "
               "'cmake --build build --target bench_baseline' and "
               "commit BENCH_micro.json.")
+    if ordering_failures:
+        print()
+        print(f"FAIL: {len(ordering_failures)} --must-improve "
+              "constraint(s) violated:")
+        for a, b, fa, fb in ordering_failures:
+            print(f"  {a} ({fa:.3e}/s) fell below {b} ({fb:.3e}/s)")
+    if regressions or ordering_failures:
         return 1
 
     print(f"OK: {len(shared)} benchmark(s) within {args.tolerance:.0%} "
-          "of baseline")
+          "of baseline"
+          + (f", {len(args.must_improve)} ordering constraint(s) hold"
+             if args.must_improve else ""))
     return 0
 
 

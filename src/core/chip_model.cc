@@ -33,8 +33,11 @@ ChipModel::buildIndex()
 }
 
 std::unique_ptr<ZohPropagator>
-ChipModel::makeSolver(double dt) const
+ChipModel::makeSolver(double dt, double romTolerance) const
 {
+    if (romTolerance > 0.0)
+        return std::make_unique<ReducedZohPropagator>(
+            reducedModel(dt, romTolerance));
     if (dt == stepSeconds_)
         return std::make_unique<ZohPropagator>(network_, dt, disc_);
     std::lock_guard<std::mutex> lock(discCacheMutex_);
@@ -42,6 +45,32 @@ ChipModel::makeSolver(double dt) const
     if (!disc)
         disc = ZohPropagator::makeDiscretization(network_, dt);
     return std::make_unique<ZohPropagator>(network_, dt, disc);
+}
+
+std::shared_ptr<const ReducedThermalModel>
+ChipModel::reducedModel(double dt, double tolerance) const
+{
+    std::lock_guard<std::mutex> lock(discCacheMutex_);
+    auto &model = reducedCache_[{dt, tolerance}];
+    if (!model) {
+        // Reuse the matching dense discretization for the selection
+        // cross-check instead of rebuilding the matrix exponential.
+        std::shared_ptr<const ZohDiscretization> full;
+        if (dt == stepSeconds_) {
+            full = disc_;
+        } else {
+            auto &cached = discCache_[dt];
+            if (!cached)
+                cached =
+                    ZohPropagator::makeDiscretization(network_, dt);
+            full = cached;
+        }
+        ReducedOptions opts;
+        opts.tolerance = tolerance;
+        model = std::make_shared<const ReducedThermalModel>(
+            network_, dt, opts, std::move(full));
+    }
+    return model;
 }
 
 std::size_t

@@ -18,6 +18,7 @@
 #include "power/leakage.hh"
 #include "thermal/floorplan.hh"
 #include "thermal/rc_network.hh"
+#include "thermal/reduced.hh"
 #include "thermal/transient.hh"
 
 namespace coolcmp {
@@ -52,8 +53,22 @@ class ChipModel
      * standard step share disc_; other steps are discretized once and
      * memoized, so concurrent simulators never repeat the expensive
      * matrix exponential. Thread-safe.
+     *
+     * romTolerance > 0 returns a ReducedZohPropagator over the shared
+     * reduced model selected to keep die temperatures within that
+     * many kelvin of the dense model (see reducedModel()); 0 returns
+     * the full dense propagator.
      */
-    std::unique_ptr<ZohPropagator> makeSolver(double dt) const;
+    std::unique_ptr<ZohPropagator>
+    makeSolver(double dt, double romTolerance = 0.0) const;
+
+    /**
+     * Shared reduced-order model for (dt, tolerance): the eigenbasis
+     * and mode selection run once and are memoized, so every lane of
+     * a sweep reuses them the same way disc_ is reused. Thread-safe.
+     */
+    std::shared_ptr<const ReducedThermalModel>
+    reducedModel(double dt, double tolerance) const;
 
     /** Floorplan block index of (core, unit). */
     std::size_t blockOf(int core, UnitKind kind) const;
@@ -70,6 +85,9 @@ class ChipModel
     mutable std::mutex discCacheMutex_;
     mutable std::map<double, std::shared_ptr<const ZohDiscretization>>
         discCache_; ///< non-standard steps, keyed by dt
+    mutable std::map<std::pair<double, double>,
+                     std::shared_ptr<const ReducedThermalModel>>
+        reducedCache_; ///< keyed by (dt, tolerance)
     std::vector<std::size_t> blockIndex_; ///< [core][unit]
     std::size_t l2Block_;
 

@@ -17,6 +17,7 @@
 #include "power/power_model.hh"
 #include "thermal/package.hh"
 #include "thermal/sensor.hh"
+#include "util/env.hh"
 #include "util/units.hh"
 
 namespace coolcmp::obs {
@@ -25,6 +26,14 @@ class Tracer;
 } // namespace coolcmp::obs
 
 namespace coolcmp {
+
+/** Default reduced-order tolerance: COOLCMP_ROM_TOL in kelvin, 0
+ *  (= reduced solver off) when unset. */
+inline double
+defaultRomTolerance()
+{
+    return envDouble("COOLCMP_ROM_TOL", 0.0, 0.0, 1e3);
+}
 
 /** All knobs of one DTM simulation. */
 struct DtmConfig
@@ -52,6 +61,13 @@ struct DtmConfig
     // --- Simulation timing (Section 3). ---
     std::uint64_t intervalCycles = 100000; ///< one thermal sample
     double duration = seconds(0.5);        ///< silicon time per run
+
+    // --- Reduced-order thermal solver (src/thermal/reduced): > 0
+    //     steps the modal solver selected to keep every die
+    //     temperature within this many kelvin of the full dense
+    //     model; 0 keeps the dense propagator. Part of configKey()
+    //     (changes simulated temperatures at the tolerance level). ---
+    double romTolerance = defaultRomTolerance();
 
     // --- OS parameters (Section 6, Table 3). ---
     KernelParams kernel;

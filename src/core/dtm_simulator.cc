@@ -16,7 +16,8 @@ DtmSimulator::DtmSimulator(
     : chip_(std::move(chip)), policy_(policy), config_(config),
       throttles_(policy.mechanism, policy.scope, chip_->numCores(),
                  config_),
-      solver_(chip_->makeSolver(config_.stepSeconds())),
+      solver_(chip_->makeSolver(config_.stepSeconds(),
+                                config_.romTolerance)),
       sensors_(makeRegisterFileSensors(chip_->floorplan(),
                                        config_.sensors)),
       l2IdleWatts_(config_.power.units[UnitKind::L2].idleWatts)
@@ -246,8 +247,11 @@ DtmSimulator::gatherPowers()
     rs.blockPowers[chip_->l2Block()] += l2Power;
 
     // --- Close the leakage loop at the step's start state. ---
+    // blockTemperatures() instead of temperatures(): leakage only
+    // reads die-node entries (block b's node is b), and a reduced
+    // solver materializes just those instead of all n nodes.
     chip_->leakage().addLeakage(
-        solver_->temperatures(),
+        solver_->blockTemperatures(),
         [&](std::size_t block) {
             const int core =
                 chip_->floorplan().blocks()[block].core;

@@ -171,7 +171,76 @@ loadRunMetrics(const std::string &path, RunMetrics &m,
              ", expected ", configKeyHex(configKey), "; rebuilding");
         return false;
     }
-    return readRunMetricsBody(in, m);
+    if (!readRunMetricsBody(in, m))
+        return false;
+    // A hit counts as a use: refresh the mtime so the size bound
+    // below evicts by recency of use, not by write order.
+    std::error_code ec;
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now(), ec);
+    return true;
+}
+
+std::uint64_t
+resultCacheMaxBytes()
+{
+    // 0 disables the bound; the cap keeps MB * 2^20 within uint64.
+    return static_cast<std::uint64_t>(envSizeT(
+               "COOLCMP_CACHE_MAX_MB", 1024, 0, std::size_t{1} << 30))
+        << 20;
+}
+
+std::size_t
+enforceResultCacheBound(const std::string &dir, std::uint64_t maxBytes,
+                        obs::Registry *registry)
+{
+    if (maxBytes == 0 || dir.empty())
+        return 0;
+    namespace fs = std::filesystem;
+    struct Entry
+    {
+        fs::file_time_type mtime;
+        std::string path;
+        std::uint64_t size;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        if (it->path().extension() != ".metrics")
+            continue;
+        std::error_code statEc;
+        const auto size = it->file_size(statEc);
+        const auto mtime = it->last_write_time(statEc);
+        if (statEc) // racing eviction/writer; skip
+            continue;
+        total += size;
+        entries.push_back({mtime, it->path().string(), size});
+    }
+    if (total <= maxBytes)
+        return 0;
+    // Oldest use first; ties broken by path so concurrent enforcers
+    // converge on the same victims instead of each deleting one half.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.path < b.path;
+              });
+    std::size_t evicted = 0;
+    for (const Entry &e : entries) {
+        if (total <= maxBytes)
+            break;
+        std::error_code rmEc;
+        if (fs::remove(e.path, rmEc) && !rmEc)
+            ++evicted;
+        // Count the bytes gone either way: a failed remove usually
+        // means another enforcer got there first.
+        total -= e.size;
+    }
+    if (evicted && registry)
+        registry->counter("cache.evictions").add(evicted);
+    return evicted;
 }
 
 std::uint64_t
@@ -185,6 +254,7 @@ Experiment::configKey() const
                      c.piGains.kd, c.minFreqScale, c.minTransition,
                      c.dvfsTransitionPenalty,
                      static_cast<double>(c.intervalCycles), c.duration,
+                     c.romTolerance,
                      c.kernel.timerInterval,
                      c.kernel.migrationMinInterval,
                      c.kernel.migrationPenalty,
@@ -314,6 +384,8 @@ Experiment::runJob(const RunJob &job, obs::Tracer *tracer,
     std::filesystem::create_directories(job.resultDir, ec);
     if (!saveRunMetrics(path, fresh, key))
         warn("cannot write result cache file ", path);
+    enforceResultCacheBound(job.resultDir, resultCacheMaxBytes(),
+                            registry);
     return fresh;
 }
 
@@ -371,6 +443,13 @@ Experiment::run(const RunRequest &request)
     std::vector<RunMetrics> out(jobs.size());
     JobStatus status(jobs.size());
 
+    // Per-request reduced-order override: swapped into the config for
+    // the duration of the sweep so configKey(), the journal stamp,
+    // and the result cache all see the effective value.
+    const double savedRomTol = config_.romTolerance;
+    if (options.romTolerance >= 0.0)
+        config_.romTolerance = options.romTolerance;
+
     // Bracket the sweep with registry snapshots: the registry
     // accumulates across sweeps, so the run report is built from
     // deltas, not absolute values.
@@ -410,6 +489,7 @@ Experiment::run(const RunRequest &request)
     buildRunReport(jobs, out, status, reg, before, wall);
     if (!runReportPath_.empty())
         obs::writeRunReportJson(runReportPath_, lastReport_);
+    config_.romTolerance = savedRomTol;
     return out;
 }
 
@@ -594,6 +674,10 @@ Experiment::runManyBatched(const std::vector<RunJob> &jobs,
                 const std::string path = cachePath(job);
                 if (!saveRunMetrics(path, metrics, key))
                     warn("cannot write result cache file ", path);
+                enforceResultCacheBound(
+                    job.resultDir, resultCacheMaxBytes(),
+                    session ? &session->registry()
+                            : config_.registry);
             }
             out[lane.tag] = std::move(metrics);
             finishJobObs(lane.tag);

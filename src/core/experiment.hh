@@ -80,6 +80,13 @@ struct SweepOptions
      *  attempt k waits k * backoff). */
     double retryBackoffSeconds = 0.05;
 
+    /** Reduced-order thermal override for this sweep: >= 0 replaces
+     *  DtmConfig::romTolerance (0 forces the dense solver, > 0 the
+     *  modal solver at that kelvin tolerance); the default -1
+     *  inherits the experiment config. Part of the effective config,
+     *  so cached results key on it. */
+    double romTolerance = -1.0;
+
     /** Empty when the options are coherent, else a diagnostic. */
     std::string validate() const;
 
@@ -164,6 +171,14 @@ class RunRequest
     {
         options_.maxAttempts = maxAttempts;
         options_.retryBackoffSeconds = backoffSeconds;
+        return *this;
+    }
+
+    /** Override the reduced-order tolerance for this sweep (see
+     *  SweepOptions::romTolerance). */
+    RunRequest &reducedTolerance(double kelvin)
+    {
+        options_.romTolerance = kelvin;
         return *this;
     }
 
@@ -417,10 +432,32 @@ bool saveRunMetrics(const std::string &path, const RunMetrics &m,
 /**
  * Load run metrics written by saveRunMetrics. Returns false (after a
  * warning, unless the file simply does not exist) when the schema
- * version or config hash does not match @p configKey.
+ * version or config hash does not match @p configKey. A hit also
+ * refreshes the file's mtime so the cache size bound (see
+ * enforceResultCacheBound) evicts least-recently-USED entries, not
+ * merely oldest-written ones.
  */
 bool loadRunMetrics(const std::string &path, RunMetrics &m,
                     std::uint64_t configKey);
+
+/** Result-cache size budget in bytes: COOLCMP_CACHE_MAX_MB
+ *  megabytes (default 1024); 0 disables the bound. */
+std::uint64_t resultCacheMaxBytes();
+
+/**
+ * Bound an on-disk result-cache directory: while the .metrics files
+ * under @p dir exceed @p maxBytes, delete the least recently used
+ * (oldest mtime; ties broken by path, so concurrent enforcers make
+ * the same deterministic choice). Every save site calls this, which
+ * keeps long sweep campaigns from growing the cache without limit.
+ * Evictions are counted into the registry's "cache.evictions"
+ * counter when one is attached.
+ *
+ * @return the number of files evicted.
+ */
+std::size_t enforceResultCacheBound(const std::string &dir,
+                                    std::uint64_t maxBytes,
+                                    obs::Registry *registry = nullptr);
 
 /** Table 1 reproduction: mobile single-core steady-state thermals. */
 struct MobileThermalReading

@@ -1,0 +1,255 @@
+#include "linalg/eigen_sym.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+namespace {
+
+/*
+ * Classic EISPACK-style two-phase symmetric eigensolver (the same
+ * algorithm as tred2 + tql2, in its widely used C translation).
+ * Phase one reduces the matrix to tridiagonal form with Householder
+ * reflections, accumulating the transforms in v; phase two
+ * diagonalizes the tridiagonal form with implicit-shift QL rotations
+ * applied to the accumulated columns. Everything is straight-line
+ * deterministic floating point — no pivot ties broken by address or
+ * randomization — which the reduced-order solver relies on for
+ * reproducible mode bases.
+ */
+
+void
+tridiagonalize(Matrix &v, Vector &d, Vector &e)
+{
+    const std::size_t n = d.size();
+    for (std::size_t j = 0; j < n; ++j)
+        d[j] = v(n - 1, j);
+
+    for (std::size_t i = n - 1; i > 0; --i) {
+        double scale = 0.0;
+        double h = 0.0;
+        for (std::size_t k = 0; k < i; ++k)
+            scale += std::abs(d[k]);
+        if (scale == 0.0) {
+            e[i] = d[i - 1];
+            for (std::size_t j = 0; j < i; ++j) {
+                d[j] = v(i - 1, j);
+                v(i, j) = 0.0;
+                v(j, i) = 0.0;
+            }
+        } else {
+            for (std::size_t k = 0; k < i; ++k) {
+                d[k] /= scale;
+                h += d[k] * d[k];
+            }
+            double f = d[i - 1];
+            double g = std::sqrt(h);
+            if (f > 0.0)
+                g = -g;
+            e[i] = scale * g;
+            h -= f * g;
+            d[i - 1] = f - g;
+            for (std::size_t j = 0; j < i; ++j)
+                e[j] = 0.0;
+            for (std::size_t j = 0; j < i; ++j) {
+                f = d[j];
+                v(j, i) = f;
+                g = e[j] + v(j, j) * f;
+                for (std::size_t k = j + 1; k < i; ++k) {
+                    g += v(k, j) * d[k];
+                    e[k] += v(k, j) * f;
+                }
+                e[j] = g;
+            }
+            f = 0.0;
+            for (std::size_t j = 0; j < i; ++j) {
+                e[j] /= h;
+                f += e[j] * d[j];
+            }
+            const double hh = f / (h + h);
+            for (std::size_t j = 0; j < i; ++j)
+                e[j] -= hh * d[j];
+            for (std::size_t j = 0; j < i; ++j) {
+                f = d[j];
+                g = e[j];
+                for (std::size_t k = j; k < i; ++k)
+                    v(k, j) -= f * e[k] + g * d[k];
+                d[j] = v(i - 1, j);
+                v(i, j) = 0.0;
+            }
+        }
+        d[i] = h;
+    }
+
+    // Accumulate the Householder transforms into v.
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        v(n - 1, i) = v(i, i);
+        v(i, i) = 1.0;
+        const double h = d[i + 1];
+        if (h != 0.0) {
+            for (std::size_t k = 0; k <= i; ++k)
+                d[k] = v(k, i + 1) / h;
+            for (std::size_t j = 0; j <= i; ++j) {
+                double g = 0.0;
+                for (std::size_t k = 0; k <= i; ++k)
+                    g += v(k, i + 1) * v(k, j);
+                for (std::size_t k = 0; k <= i; ++k)
+                    v(k, j) -= g * d[k];
+            }
+        }
+        for (std::size_t k = 0; k <= i; ++k)
+            v(k, i + 1) = 0.0;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+        d[j] = v(n - 1, j);
+        v(n - 1, j) = 0.0;
+    }
+    v(n - 1, n - 1) = 1.0;
+    e[0] = 0.0;
+}
+
+void
+diagonalize(Matrix &v, Vector &d, Vector &e)
+{
+    const std::size_t n = d.size();
+    for (std::size_t i = 1; i < n; ++i)
+        e[i - 1] = e[i];
+    e[n - 1] = 0.0;
+
+    double f = 0.0;
+    double tst1 = 0.0;
+    const double eps = std::ldexp(1.0, -52);
+    for (std::size_t l = 0; l < n; ++l) {
+        tst1 = std::max(tst1, std::abs(d[l]) + std::abs(e[l]));
+        std::size_t m = l;
+        while (m < n && std::abs(e[m]) > eps * tst1)
+            ++m;
+        if (m > l) {
+            int iter = 0;
+            do {
+                if (++iter > 50)
+                    panic("symmetricEigen: QL failed to converge at "
+                          "eigenvalue ",
+                          l, " of ", n);
+                // One implicit-shift QL sweep on rows [l, m].
+                double g = d[l];
+                double p = (d[l + 1] - g) / (2.0 * e[l]);
+                double r = std::hypot(p, 1.0);
+                if (p < 0.0)
+                    r = -r;
+                d[l] = e[l] / (p + r);
+                d[l + 1] = e[l] * (p + r);
+                const double dl1 = d[l + 1];
+                double h = g - d[l];
+                for (std::size_t i = l + 2; i < n; ++i)
+                    d[i] -= h;
+                f += h;
+
+                p = d[m];
+                double c = 1.0;
+                double c2 = c;
+                double c3 = c;
+                const double el1 = e[l + 1];
+                double s = 0.0;
+                double s2 = 0.0;
+                for (std::size_t i = m; i-- > l;) {
+                    c3 = c2;
+                    c2 = c;
+                    s2 = s;
+                    g = c * e[i];
+                    h = c * p;
+                    r = std::hypot(p, e[i]);
+                    e[i + 1] = s * r;
+                    s = e[i] / r;
+                    c = p / r;
+                    p = c * d[i] - s * g;
+                    d[i + 1] = h + s * (c * g + s * d[i]);
+                    // Rotate the accumulated eigenvector columns.
+                    for (std::size_t k = 0; k < n; ++k) {
+                        h = v(k, i + 1);
+                        v(k, i + 1) = s * v(k, i) + c * h;
+                        v(k, i) = c * v(k, i) - s * h;
+                    }
+                }
+                p = -s * s2 * c3 * el1 * e[l] / dl1;
+                e[l] = s * p;
+                d[l] = c * p;
+            } while (std::abs(e[l]) > eps * tst1);
+        }
+        d[l] += f;
+        e[l] = 0.0;
+    }
+}
+
+} // namespace
+
+SymmetricEigen
+symmetricEigen(const Matrix &a)
+{
+    const std::size_t n = a.rows();
+    if (a.cols() != n)
+        panic("symmetricEigen requires a square matrix, got ", n, "x",
+              a.cols());
+
+    SymmetricEigen out;
+    out.values.assign(n, 0.0);
+    out.vectors = Matrix(n, n);
+    if (n == 0)
+        return out;
+
+    // Mirror the lower triangle so a not-quite-symmetric input (e.g.
+    // rounding asymmetry from upstream products) cannot perturb the
+    // decomposition.
+    Matrix &v = out.vectors;
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j <= i; ++j) {
+            v(i, j) = a(i, j);
+            v(j, i) = a(i, j);
+        }
+
+    Vector &d = out.values;
+    Vector e(n, 0.0);
+    if (n == 1) {
+        d[0] = v(0, 0);
+        v(0, 0) = 1.0;
+        return out;
+    }
+    tridiagonalize(v, d, e);
+    diagonalize(v, d, e);
+
+    // QL leaves the eigenvalues nearly sorted; finish with a
+    // deterministic selection sort swapping whole columns.
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        std::size_t k = i;
+        for (std::size_t j = i + 1; j < n; ++j)
+            if (d[j] < d[k])
+                k = j;
+        if (k != i) {
+            std::swap(d[i], d[k]);
+            for (std::size_t r = 0; r < n; ++r)
+                std::swap(v(r, i), v(r, k));
+        }
+    }
+
+    // Sign-normalize each column (largest-magnitude entry positive)
+    // so the basis is unique: eigenvectors are only defined up to
+    // sign and downstream caches compare reduced models bit-for-bit.
+    for (std::size_t j = 0; j < n; ++j) {
+        std::size_t arg = 0;
+        double best = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double mag = std::abs(v(i, j));
+            if (mag > best) {
+                best = mag;
+                arg = i;
+            }
+        }
+        if (v(arg, j) < 0.0)
+            for (std::size_t i = 0; i < n; ++i)
+                v(i, j) = -v(i, j);
+    }
+    return out;
+}
+
+} // namespace coolcmp

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Dense symmetric eigendecomposition for the reduced-order thermal
+ * solver.
+ *
+ * The thermal RC state matrix A = -C^{-1} G is not symmetric, but the
+ * similarity transform C^{1/2} A C^{-1/2} = -C^{-1/2} G C^{-1/2} is
+ * (G symmetric positive definite, C diagonal positive), so the modal
+ * analysis reduces to one symmetric eigenproblem. The networks here
+ * are a few hundred nodes, so the classic dense two-phase algorithm
+ * (Householder tridiagonalization + implicit-shift QL) is the right
+ * tool: O(n^3) with a small constant, fully deterministic, and run
+ * once per (floorplan, dt) before being cached.
+ */
+
+#ifndef COOLCMP_LINALG_EIGEN_SYM_HH
+#define COOLCMP_LINALG_EIGEN_SYM_HH
+
+#include "linalg/matrix.hh"
+
+namespace coolcmp {
+
+/** Eigendecomposition of a symmetric matrix: A = V diag(values) V^T. */
+struct SymmetricEigen
+{
+    /** Eigenvalues in ascending order. */
+    Vector values;
+    /** Orthonormal eigenvectors, one per column, matching values. */
+    Matrix vectors;
+};
+
+/**
+ * Full eigendecomposition of a symmetric matrix (only the lower
+ * triangle is read). Householder tridiagonalization with accumulated
+ * transforms, then implicit-shift QL on the tridiagonal form —
+ * deterministic, no randomized pivoting. Eigenvalues are returned in
+ * ascending order; each eigenvector column is sign-normalized so its
+ * largest-magnitude entry is positive, making the decomposition
+ * unique and reproducible across runs. Panics if the QL sweep fails
+ * to converge (does not happen for symmetric input).
+ */
+SymmetricEigen symmetricEigen(const Matrix &a);
+
+} // namespace coolcmp
+
+#endif // COOLCMP_LINALG_EIGEN_SYM_HH

@@ -1,5 +1,7 @@
 #include "linalg/matrix.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 
@@ -7,7 +9,22 @@
 #include <immintrin.h>
 #endif
 
+#include "util/env.hh"
 #include "util/logging.hh"
+
+/*
+ * This file must be compiled with FP contraction disabled (see
+ * src/linalg/CMakeLists.txt, which passes -ffp-contract=off): the
+ * batched micro-kernels and multiplyFused promise bit-identical
+ * results across SIMD tiers, and a compiler that fuses any of the
+ * explicit mul/add pairs into an FMA changes the rounding on that
+ * tier only. The pragma covers compilers that honor it (clang); the
+ * build flag covers the rest, including -march=native builds where
+ * the autovectorizer would otherwise contract multiplyFused itself.
+ */
+#if defined(__clang__)
+#pragma STDC FP_CONTRACT OFF
+#endif
 
 namespace coolcmp {
 
@@ -110,24 +127,26 @@ aligned64(const void *p)
 }
 
 /*
- * Four-column panel micro-kernels for multiplyBatched. Every variant
- * performs the identical sequence of IEEE mul-then-add operations per
- * column (four mod-4 accumulators over the k loop, tail into the
- * first, pairwise final sum — multiplyFused's order), so which one
- * the dispatcher picks never changes a single output bit; only the
- * number of columns retired per instruction differs.
+ * Panel micro-kernels for multiplyBatched. Every variant performs the
+ * identical sequence of IEEE mul-then-add operations per column (four
+ * mod-4 accumulators over the k loop, tail into the first, pairwise
+ * final sum — multiplyFused's order), so which one the dispatcher
+ * picks never changes a single output bit; only the number of columns
+ * retired per instruction differs.
  *
  * The SIMD variants exist because the autovectorizer turns the scalar
- * form into shuffle-heavy code that loses to the plain GEMV. The AVX
- * variant deliberately targets "avx" and not "avx2,fma": with no FMA
- * instruction available the compiler cannot contract the explicit
- * mul/add pairs, which would change rounding versus the sequential
- * kernel.
+ * form into shuffle-heavy code that loses to the plain GEMV. None of
+ * the tiers may use an actual fused multiply-add — contraction would
+ * change rounding versus the sequential kernel — which is why the
+ * file is built with -ffp-contract=off and every kernel spells the
+ * mul and the add separately. The FMA3 and AVX-512 tiers still pay
+ * for themselves: AVX2 encodings on the one hand, 8-wide zmm
+ * accumulators and a 16-column block on the other.
  */
-using Block4Fn = void (*)(const double *, std::size_t, std::size_t,
-                          const double *, std::size_t, double *);
+using PanelFn = void (*)(const double *, std::size_t, std::size_t,
+                         const double *, std::size_t, double *);
 
-[[maybe_unused]] void
+void
 batchedBlock4Scalar(const double *__restrict mat, std::size_t rows,
                     std::size_t cols, const double *__restrict xb,
                     std::size_t ldb, double *__restrict yb)
@@ -322,36 +341,529 @@ batchedBlock8Avx(const double *__restrict mat, std::size_t rows,
     }
 }
 
-Block4Fn
-pickBlock4()
+/*
+ * FMA3-tier kernels: the same bodies as the AVX variants, compiled
+ * for "avx2,fma". The bit-identity contract forbids actually fusing
+ * the mul/add pairs (the file is built with -ffp-contract=off), so
+ * this rung buys only AVX2 encodings; it exists so CPUs with AVX2 but
+ * no AVX-512 get their own dispatch point and so the equivalence
+ * tests can pin a tier where the compiler *could* have contracted.
+ */
+__attribute__((target("avx2,fma"))) void
+batchedBlock4Fma(const double *__restrict mat, std::size_t rows,
+                 std::size_t cols, const double *__restrict xb,
+                 std::size_t ldb, double *__restrict yb)
 {
-    return __builtin_cpu_supports("avx") ? batchedBlock4Avx
-                                         : batchedBlock4Sse2;
+    const std::size_t tail = cols % 4;
+    const std::size_t main = cols - tail;
+    for (std::size_t i = 0; i < rows; ++i) {
+        const double *__restrict a = mat + i * cols;
+        __m256d s0 = _mm256_setzero_pd();
+        __m256d s1 = _mm256_setzero_pd();
+        __m256d s2 = _mm256_setzero_pd();
+        __m256d s3 = _mm256_setzero_pd();
+        const double *__restrict r = xb;
+        for (std::size_t j = 0; j < main; j += 4) {
+            s0 = _mm256_add_pd(
+                s0, _mm256_mul_pd(_mm256_broadcast_sd(a + j),
+                                  _mm256_loadu_pd(r)));
+            s1 = _mm256_add_pd(
+                s1, _mm256_mul_pd(_mm256_broadcast_sd(a + j + 1),
+                                  _mm256_loadu_pd(r + ldb)));
+            s2 = _mm256_add_pd(
+                s2, _mm256_mul_pd(_mm256_broadcast_sd(a + j + 2),
+                                  _mm256_loadu_pd(r + 2 * ldb)));
+            s3 = _mm256_add_pd(
+                s3, _mm256_mul_pd(_mm256_broadcast_sd(a + j + 3),
+                                  _mm256_loadu_pd(r + 3 * ldb)));
+            r += 4 * ldb;
+        }
+        for (std::size_t j = main; j < cols; ++j)
+            s0 = _mm256_add_pd(
+                s0, _mm256_mul_pd(_mm256_broadcast_sd(a + j),
+                                  _mm256_loadu_pd(xb + j * ldb)));
+        _mm256_storeu_pd(yb + i * ldb,
+                         _mm256_add_pd(_mm256_add_pd(s0, s1),
+                                       _mm256_add_pd(s2, s3)));
+    }
 }
 
-Block4Fn
-pickBlock8()
+__attribute__((target("avx2,fma"))) void
+batchedBlock8Fma(const double *__restrict mat, std::size_t rows,
+                 std::size_t cols, const double *__restrict xb,
+                 std::size_t ldb, double *__restrict yb)
 {
-    return __builtin_cpu_supports("avx") ? batchedBlock8Avx : nullptr;
+    const std::size_t tail = cols % 4;
+    const std::size_t main = cols - tail;
+    for (std::size_t i = 0; i < rows; ++i) {
+        const double *__restrict a = mat + i * cols;
+        __m256d s0l = _mm256_setzero_pd(), s0h = _mm256_setzero_pd();
+        __m256d s1l = _mm256_setzero_pd(), s1h = _mm256_setzero_pd();
+        __m256d s2l = _mm256_setzero_pd(), s2h = _mm256_setzero_pd();
+        __m256d s3l = _mm256_setzero_pd(), s3h = _mm256_setzero_pd();
+        const double *__restrict r = xb;
+        for (std::size_t j = 0; j < main; j += 4) {
+            const __m256d a0 = _mm256_broadcast_sd(a + j);
+            const __m256d a1 = _mm256_broadcast_sd(a + j + 1);
+            const __m256d a2 = _mm256_broadcast_sd(a + j + 2);
+            const __m256d a3 = _mm256_broadcast_sd(a + j + 3);
+            s0l = _mm256_add_pd(
+                s0l, _mm256_mul_pd(a0, _mm256_loadu_pd(r)));
+            s0h = _mm256_add_pd(
+                s0h, _mm256_mul_pd(a0, _mm256_loadu_pd(r + 4)));
+            s1l = _mm256_add_pd(
+                s1l, _mm256_mul_pd(a1, _mm256_loadu_pd(r + ldb)));
+            s1h = _mm256_add_pd(
+                s1h, _mm256_mul_pd(a1, _mm256_loadu_pd(r + ldb + 4)));
+            s2l = _mm256_add_pd(
+                s2l, _mm256_mul_pd(a2, _mm256_loadu_pd(r + 2 * ldb)));
+            s2h = _mm256_add_pd(
+                s2h,
+                _mm256_mul_pd(a2, _mm256_loadu_pd(r + 2 * ldb + 4)));
+            s3l = _mm256_add_pd(
+                s3l, _mm256_mul_pd(a3, _mm256_loadu_pd(r + 3 * ldb)));
+            s3h = _mm256_add_pd(
+                s3h,
+                _mm256_mul_pd(a3, _mm256_loadu_pd(r + 3 * ldb + 4)));
+            r += 4 * ldb;
+        }
+        for (std::size_t j = main; j < cols; ++j) {
+            const __m256d aj = _mm256_broadcast_sd(a + j);
+            const double *rt = xb + j * ldb;
+            s0l = _mm256_add_pd(
+                s0l, _mm256_mul_pd(aj, _mm256_loadu_pd(rt)));
+            s0h = _mm256_add_pd(
+                s0h, _mm256_mul_pd(aj, _mm256_loadu_pd(rt + 4)));
+        }
+        double *out = yb + i * ldb;
+        _mm256_storeu_pd(out,
+                         _mm256_add_pd(_mm256_add_pd(s0l, s1l),
+                                       _mm256_add_pd(s2l, s3l)));
+        _mm256_storeu_pd(out + 4,
+                         _mm256_add_pd(_mm256_add_pd(s0h, s1h),
+                                       _mm256_add_pd(s2h, s3h)));
+    }
 }
 
+/*
+ * AVX-512 tier: one zmm register covers eight panel columns, so the
+ * eight-column block needs only 4 accumulators and the sixteen-column
+ * block (8 accumulators + 4 broadcasts out of 32 zmm) retires a whole
+ * batch-16 panel in one streaming pass over the operator — the
+ * configuration where the two-pass AVX path fell off the L1 cliff.
+ */
+__attribute__((target("avx512f"))) void
+batchedBlock8Avx512(const double *__restrict mat, std::size_t rows,
+                    std::size_t cols, const double *__restrict xb,
+                    std::size_t ldb, double *__restrict yb)
+{
+    const std::size_t tail = cols % 4;
+    const std::size_t main = cols - tail;
+    for (std::size_t i = 0; i < rows; ++i) {
+        const double *__restrict a = mat + i * cols;
+        __m512d s0 = _mm512_setzero_pd();
+        __m512d s1 = _mm512_setzero_pd();
+        __m512d s2 = _mm512_setzero_pd();
+        __m512d s3 = _mm512_setzero_pd();
+        const double *__restrict r = xb;
+        for (std::size_t j = 0; j < main; j += 4) {
+            s0 = _mm512_add_pd(
+                s0, _mm512_mul_pd(_mm512_set1_pd(a[j]),
+                                  _mm512_loadu_pd(r)));
+            s1 = _mm512_add_pd(
+                s1, _mm512_mul_pd(_mm512_set1_pd(a[j + 1]),
+                                  _mm512_loadu_pd(r + ldb)));
+            s2 = _mm512_add_pd(
+                s2, _mm512_mul_pd(_mm512_set1_pd(a[j + 2]),
+                                  _mm512_loadu_pd(r + 2 * ldb)));
+            s3 = _mm512_add_pd(
+                s3, _mm512_mul_pd(_mm512_set1_pd(a[j + 3]),
+                                  _mm512_loadu_pd(r + 3 * ldb)));
+            r += 4 * ldb;
+        }
+        for (std::size_t j = main; j < cols; ++j)
+            s0 = _mm512_add_pd(
+                s0, _mm512_mul_pd(_mm512_set1_pd(a[j]),
+                                  _mm512_loadu_pd(xb + j * ldb)));
+        _mm512_storeu_pd(yb + i * ldb,
+                         _mm512_add_pd(_mm512_add_pd(s0, s1),
+                                       _mm512_add_pd(s2, s3)));
+    }
+}
+
+__attribute__((target("avx512f"))) void
+batchedBlock16Avx512(const double *__restrict mat, std::size_t rows,
+                     std::size_t cols, const double *__restrict xb,
+                     std::size_t ldb, double *__restrict yb)
+{
+    const std::size_t tail = cols % 4;
+    const std::size_t main = cols - tail;
+    for (std::size_t i = 0; i < rows; ++i) {
+        const double *__restrict a = mat + i * cols;
+        __m512d s0l = _mm512_setzero_pd(), s0h = _mm512_setzero_pd();
+        __m512d s1l = _mm512_setzero_pd(), s1h = _mm512_setzero_pd();
+        __m512d s2l = _mm512_setzero_pd(), s2h = _mm512_setzero_pd();
+        __m512d s3l = _mm512_setzero_pd(), s3h = _mm512_setzero_pd();
+        const double *__restrict r = xb;
+        for (std::size_t j = 0; j < main; j += 4) {
+            const __m512d a0 = _mm512_set1_pd(a[j]);
+            const __m512d a1 = _mm512_set1_pd(a[j + 1]);
+            const __m512d a2 = _mm512_set1_pd(a[j + 2]);
+            const __m512d a3 = _mm512_set1_pd(a[j + 3]);
+            s0l = _mm512_add_pd(
+                s0l, _mm512_mul_pd(a0, _mm512_loadu_pd(r)));
+            s0h = _mm512_add_pd(
+                s0h, _mm512_mul_pd(a0, _mm512_loadu_pd(r + 8)));
+            s1l = _mm512_add_pd(
+                s1l, _mm512_mul_pd(a1, _mm512_loadu_pd(r + ldb)));
+            s1h = _mm512_add_pd(
+                s1h, _mm512_mul_pd(a1, _mm512_loadu_pd(r + ldb + 8)));
+            s2l = _mm512_add_pd(
+                s2l, _mm512_mul_pd(a2, _mm512_loadu_pd(r + 2 * ldb)));
+            s2h = _mm512_add_pd(
+                s2h,
+                _mm512_mul_pd(a2, _mm512_loadu_pd(r + 2 * ldb + 8)));
+            s3l = _mm512_add_pd(
+                s3l, _mm512_mul_pd(a3, _mm512_loadu_pd(r + 3 * ldb)));
+            s3h = _mm512_add_pd(
+                s3h,
+                _mm512_mul_pd(a3, _mm512_loadu_pd(r + 3 * ldb + 8)));
+            r += 4 * ldb;
+        }
+        for (std::size_t j = main; j < cols; ++j) {
+            const __m512d aj = _mm512_set1_pd(a[j]);
+            const double *rt = xb + j * ldb;
+            s0l = _mm512_add_pd(
+                s0l, _mm512_mul_pd(aj, _mm512_loadu_pd(rt)));
+            s0h = _mm512_add_pd(
+                s0h, _mm512_mul_pd(aj, _mm512_loadu_pd(rt + 8)));
+        }
+        double *out = yb + i * ldb;
+        _mm512_storeu_pd(out,
+                         _mm512_add_pd(_mm512_add_pd(s0l, s1l),
+                                       _mm512_add_pd(s2l, s3l)));
+        _mm512_storeu_pd(out + 8,
+                         _mm512_add_pd(_mm512_add_pd(s0h, s1h),
+                                       _mm512_add_pd(s2h, s3h)));
+    }
+}
+
+#endif // x86 SIMD kernels
+
+/*
+ * diagonalFusedStep kernels. The virtual dense operator row i is
+ * [0 .. decay_i .. 0 | F.row(i)]; multiplyFused would feed dense
+ * column c into accumulator c%4 (c < main; tail columns into chain
+ * 0). Renaming chains by q = (c - k) mod 4 makes the F part land in
+ * t[j & 3] for input column j — a plain unit-stride 4-chain dot
+ * product a SIMD lane per chain can carry — while the diagonal term
+ * (dense column i, the first nonzero of its chain) seeds
+ * t[(d - k) & 3] with d = i%4 (or chain 0 when i lands in the
+ * column tail), and input columns past `main` append to chain 0 =
+ * t[q0]. The final pairwise sum reads the chains back in dense
+ * order s_l = t[(l + q0) & 3].
+ */
+void
+diagFusedScalar(const double *__restrict decay,
+                const double *__restrict f, std::size_t k,
+                std::size_t m, const double *__restrict xu,
+                double *__restrict next)
+{
+    const std::size_t cols = k + m;
+    const std::size_t main = cols - cols % 4;
+    const std::size_t jTail = main > k ? main - k : 0;
+    const std::size_t jVec = jTail - jTail % 4;
+    const std::size_t q0 = (4 - (k & 3)) & 3;
+    const double *__restrict u = xu + k;
+    for (std::size_t i = 0; i < k; ++i) {
+        const double *__restrict fr = f + i * m;
+        double t[4] = {0.0, 0.0, 0.0, 0.0};
+        const std::size_t d = i < main ? (i & 3) : 0;
+        t[(d + q0) & 3] = decay[i] * xu[i];
+        for (std::size_t j = 0; j < jVec; j += 4) {
+            t[0] += fr[j] * u[j];
+            t[1] += fr[j + 1] * u[j + 1];
+            t[2] += fr[j + 2] * u[j + 2];
+            t[3] += fr[j + 3] * u[j + 3];
+        }
+        for (std::size_t j = jVec; j < jTail; ++j)
+            t[j & 3] += fr[j] * u[j];
+        for (std::size_t j = jTail; j < m; ++j)
+            t[q0] += fr[j] * u[j];
+        next[i] = (t[q0] + t[(1 + q0) & 3]) +
+            (t[(2 + q0) & 3] + t[(3 + q0) & 3]);
+    }
+}
+
+#if defined(__x86_64__) && defined(__SSE2__) && defined(__GNUC__)
+
+void
+diagFusedSse2(const double *__restrict decay,
+              const double *__restrict f, std::size_t k,
+              std::size_t m, const double *__restrict xu,
+              double *__restrict next)
+{
+    const std::size_t cols = k + m;
+    const std::size_t main = cols - cols % 4;
+    const std::size_t jTail = main > k ? main - k : 0;
+    const std::size_t jVec = jTail - jTail % 4;
+    const std::size_t q0 = (4 - (k & 3)) & 3;
+    const double *__restrict u = xu + k;
+    for (std::size_t i = 0; i < k; ++i) {
+        const double *__restrict fr = f + i * m;
+        double t[4] = {0.0, 0.0, 0.0, 0.0};
+        const std::size_t d = i < main ? (i & 3) : 0;
+        t[(d + q0) & 3] = decay[i] * xu[i];
+        __m128d lo = _mm_loadu_pd(t);
+        __m128d hi = _mm_loadu_pd(t + 2);
+        for (std::size_t j = 0; j < jVec; j += 4) {
+            lo = _mm_add_pd(lo, _mm_mul_pd(_mm_loadu_pd(fr + j),
+                                           _mm_loadu_pd(u + j)));
+            hi = _mm_add_pd(hi,
+                            _mm_mul_pd(_mm_loadu_pd(fr + j + 2),
+                                       _mm_loadu_pd(u + j + 2)));
+        }
+        _mm_storeu_pd(t, lo);
+        _mm_storeu_pd(t + 2, hi);
+        for (std::size_t j = jVec; j < jTail; ++j)
+            t[j & 3] += fr[j] * u[j];
+        for (std::size_t j = jTail; j < m; ++j)
+            t[q0] += fr[j] * u[j];
+        next[i] = (t[q0] + t[(1 + q0) & 3]) +
+            (t[(2 + q0) & 3] + t[(3 + q0) & 3]);
+    }
+}
+
+/*
+ * AVX variant: one ymm carries all four chains of a row, and rows are
+ * paired so each load of u feeds two rows' multiplies. Chains stay in
+ * fixed lanes with in-order appends, so pairing changes nothing
+ * bitwise.
+ */
+__attribute__((target("avx"))) void
+diagFusedAvx(const double *__restrict decay,
+             const double *__restrict f, std::size_t k, std::size_t m,
+             const double *__restrict xu, double *__restrict next)
+{
+    const std::size_t cols = k + m;
+    const std::size_t main = cols - cols % 4;
+    const std::size_t jTail = main > k ? main - k : 0;
+    const std::size_t jVec = jTail - jTail % 4;
+    const std::size_t q0 = (4 - (k & 3)) & 3;
+    const double *__restrict u = xu + k;
+    std::size_t i = 0;
+    for (; i + 2 <= k; i += 2) {
+        const double *__restrict f0 = f + i * m;
+        const double *__restrict f1 = f0 + m;
+        double t0[4] = {0.0, 0.0, 0.0, 0.0};
+        double t1[4] = {0.0, 0.0, 0.0, 0.0};
+        const std::size_t d0 = i < main ? (i & 3) : 0;
+        const std::size_t d1 = i + 1 < main ? ((i + 1) & 3) : 0;
+        t0[(d0 + q0) & 3] = decay[i] * xu[i];
+        t1[(d1 + q0) & 3] = decay[i + 1] * xu[i + 1];
+        __m256d a0 = _mm256_loadu_pd(t0);
+        __m256d a1 = _mm256_loadu_pd(t1);
+        for (std::size_t j = 0; j < jVec; j += 4) {
+            const __m256d uj = _mm256_loadu_pd(u + j);
+            a0 = _mm256_add_pd(
+                a0, _mm256_mul_pd(_mm256_loadu_pd(f0 + j), uj));
+            a1 = _mm256_add_pd(
+                a1, _mm256_mul_pd(_mm256_loadu_pd(f1 + j), uj));
+        }
+        _mm256_storeu_pd(t0, a0);
+        _mm256_storeu_pd(t1, a1);
+        for (std::size_t j = jVec; j < jTail; ++j) {
+            t0[j & 3] += f0[j] * u[j];
+            t1[j & 3] += f1[j] * u[j];
+        }
+        for (std::size_t j = jTail; j < m; ++j) {
+            t0[q0] += f0[j] * u[j];
+            t1[q0] += f1[j] * u[j];
+        }
+        next[i] = (t0[q0] + t0[(1 + q0) & 3]) +
+            (t0[(2 + q0) & 3] + t0[(3 + q0) & 3]);
+        next[i + 1] = (t1[q0] + t1[(1 + q0) & 3]) +
+            (t1[(2 + q0) & 3] + t1[(3 + q0) & 3]);
+    }
+    for (; i < k; ++i) {
+        const double *__restrict fr = f + i * m;
+        double t[4] = {0.0, 0.0, 0.0, 0.0};
+        const std::size_t d = i < main ? (i & 3) : 0;
+        t[(d + q0) & 3] = decay[i] * xu[i];
+        __m256d acc = _mm256_loadu_pd(t);
+        for (std::size_t j = 0; j < jVec; j += 4)
+            acc = _mm256_add_pd(
+                acc, _mm256_mul_pd(_mm256_loadu_pd(fr + j),
+                                   _mm256_loadu_pd(u + j)));
+        _mm256_storeu_pd(t, acc);
+        for (std::size_t j = jVec; j < jTail; ++j)
+            t[j & 3] += fr[j] * u[j];
+        for (std::size_t j = jTail; j < m; ++j)
+            t[q0] += fr[j] * u[j];
+        next[i] = (t[q0] + t[(1 + q0) & 3]) +
+            (t[(2 + q0) & 3] + t[(3 + q0) & 3]);
+    }
+}
+
+#endif // x86 diagonal-step kernels
+
+/** The widest column blocks each tier provides (null = unavailable;
+ *  multiplyBatched falls through to the next narrower block). */
+struct KernelSet
+{
+    PanelFn block4;
+    PanelFn block8;
+    PanelFn block16;
+};
+
+KernelSet
+kernelSetFor(SimdTier tier)
+{
+#if defined(__x86_64__) && defined(__SSE2__) && defined(__GNUC__)
+    switch (tier) {
+    case SimdTier::Sse2:
+        return {batchedBlock4Sse2, nullptr, nullptr};
+    case SimdTier::Avx:
+        return {batchedBlock4Avx, batchedBlock8Avx, nullptr};
+    case SimdTier::Fma:
+        return {batchedBlock4Fma, batchedBlock8Fma, nullptr};
+    case SimdTier::Avx512:
+        // The 4-column cleanup rides the FMA-tier encodings; every
+        // avx512f CPU has avx2+fma.
+        return {batchedBlock4Fma, batchedBlock8Avx512,
+                batchedBlock16Avx512};
+    case SimdTier::Scalar:
+        break;
+    }
 #else
-
-Block4Fn
-pickBlock4()
-{
-    return batchedBlock4Scalar;
-}
-
-Block4Fn
-pickBlock8()
-{
-    return nullptr;
-}
-
+    (void)tier;
 #endif
+    return {batchedBlock4Scalar, nullptr, nullptr};
+}
+
+/** Resolved dispatch tier; -1 until first use. setSimdTier stores. */
+std::atomic<int> g_simdTier{-1};
+
+SimdTier
+bestSupportedTier()
+{
+    for (SimdTier tier : {SimdTier::Avx512, SimdTier::Fma,
+                          SimdTier::Avx, SimdTier::Sse2})
+        if (simdTierSupported(tier))
+            return tier;
+    return SimdTier::Scalar;
+}
+
+SimdTier
+resolveTier()
+{
+    const std::string wanted = envString("COOLCMP_KERNEL");
+    if (wanted.empty())
+        return bestSupportedTier();
+    for (SimdTier tier : {SimdTier::Scalar, SimdTier::Sse2,
+                          SimdTier::Avx, SimdTier::Fma,
+                          SimdTier::Avx512}) {
+        if (wanted != simdTierName(tier))
+            continue;
+        if (simdTierSupported(tier))
+            return tier;
+        warnLimited("COOLCMP_KERNEL", "COOLCMP_KERNEL tier '", wanted,
+                    "' is not supported on this CPU; using '",
+                    simdTierName(bestSupportedTier()), "'");
+        return bestSupportedTier();
+    }
+    warnLimited("COOLCMP_KERNEL", "ignoring unknown COOLCMP_KERNEL '",
+                wanted, "' (scalar/sse2/avx/fma/avx512); using '",
+                simdTierName(bestSupportedTier()), "'");
+    return bestSupportedTier();
+}
+
+/**
+ * Row-tile height for the batched kernel. The auto heuristic keeps
+ * one operator tile within half of a conservative 32 KB L1d — the
+ * streaming panel slices and the output rows share the rest — and
+ * never goes below 8 rows so the per-tile loop overhead stays noise.
+ * COOLCMP_BATCH_TILE pins an explicit height (in operator rows);
+ * reading the environment per call keeps the knob runtime-tunable,
+ * and a getenv is noise next to a panel GEMM.
+ */
+std::size_t
+rowTileFor(std::size_t cols)
+{
+    const std::size_t forced =
+        envSizeT("COOLCMP_BATCH_TILE", 0, 0, std::size_t{1} << 20);
+    if (forced > 0)
+        return forced;
+    const std::size_t budgetDoubles = (16 * 1024) / sizeof(double);
+    return std::max<std::size_t>(
+        8, budgetDoubles / std::max<std::size_t>(1, cols));
+}
 
 } // namespace
+
+const char *
+simdTierName(SimdTier tier)
+{
+    switch (tier) {
+    case SimdTier::Scalar:
+        return "scalar";
+    case SimdTier::Sse2:
+        return "sse2";
+    case SimdTier::Avx:
+        return "avx";
+    case SimdTier::Fma:
+        return "fma";
+    case SimdTier::Avx512:
+        return "avx512";
+    }
+    return "unknown";
+}
+
+bool
+simdTierSupported(SimdTier tier)
+{
+    if (tier == SimdTier::Scalar)
+        return true;
+#if defined(__x86_64__) && defined(__SSE2__) && defined(__GNUC__)
+    switch (tier) {
+    case SimdTier::Sse2:
+        return true;
+    case SimdTier::Avx:
+        return __builtin_cpu_supports("avx");
+    case SimdTier::Fma:
+        return __builtin_cpu_supports("avx2") &&
+            __builtin_cpu_supports("fma");
+    case SimdTier::Avx512:
+        return __builtin_cpu_supports("avx512f");
+    case SimdTier::Scalar:
+        break;
+    }
+#endif
+    return false;
+}
+
+SimdTier
+activeSimdTier()
+{
+    int tier = g_simdTier.load(std::memory_order_relaxed);
+    if (tier < 0) {
+        tier = static_cast<int>(resolveTier());
+        // Last resolver wins; every resolution yields the same value
+        // for a given environment, so the race is benign.
+        g_simdTier.store(tier, std::memory_order_relaxed);
+    }
+    return static_cast<SimdTier>(tier);
+}
+
+bool
+setSimdTier(SimdTier tier)
+{
+    if (!simdTierSupported(tier))
+        return false;
+    g_simdTier.store(static_cast<int>(tier),
+                     std::memory_order_relaxed);
+    return true;
+}
 
 void
 Matrix::multiplyBatched(const double *__restrict x,
@@ -368,40 +880,86 @@ Matrix::multiplyBatched(const double *__restrict x,
     const std::size_t tail = cols % 4;
     const std::size_t main = cols - tail;
 
-    // Four columns per pass: because the batch dimension is
+    // Wide columns per pass: because the batch dimension is
     // contiguous, one broadcast of a[j] feeds a whole vector of
-    // columns and the operator row a[] is loaded once for all four,
-    // so the matrix streams from memory batch/4 times per step
-    // instead of batch times. All micro-kernel variants share
-    // multiplyFused's per-column accumulation order, so the result is
-    // bit-identical to stepping the columns one by one.
-    static const Block4Fn block4 = pickBlock4();
-    static const Block4Fn block8 = pickBlock8();
-    std::size_t b = 0;
-    if (block8)
-        for (; b + 8 <= batch; b += 8)
-            block8(data_.data(), rows_, cols, x + b, ldb, y + b);
-    for (; b + 4 <= batch; b += 4)
-        block4(data_.data(), rows_, cols, x + b, ldb, y + b);
-    // Remainder columns (batch % 4): scalar walk down the strided
-    // column, same accumulation order as multiplyFused.
-    for (; b < batch; ++b) {
-        const double *__restrict xb = x + b;
-        double *__restrict yb = y + b;
-        for (std::size_t i = 0; i < rows_; ++i) {
-            const double *__restrict a = data_.data() + i * cols;
-            double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-            for (std::size_t j = 0; j < main; j += 4) {
-                s0 += a[j] * xb[j * ldb];
-                s1 += a[j + 1] * xb[(j + 1) * ldb];
-                s2 += a[j + 2] * xb[(j + 2) * ldb];
-                s3 += a[j + 3] * xb[(j + 3) * ldb];
+    // columns and the operator row a[] is loaded once for the whole
+    // block, so the matrix streams from memory batch/blockwidth times
+    // per step instead of batch times. All micro-kernel variants
+    // share multiplyFused's per-column accumulation order, so the
+    // result is bit-identical to stepping the columns one by one.
+    //
+    // The outer loop tiles the operator rows: one tile of rows is
+    // swept across every column block before the next tile streams
+    // in, so for wide batches the [E|F] rows come from L1 instead of
+    // being re-streamed per column block (the batch-16 cliff). Tiling
+    // only reorders whole (tile, block) kernel calls — each output
+    // element is still produced by exactly one kernel invocation with
+    // the canonical accumulation order.
+    const KernelSet kernels = kernelSetFor(activeSimdTier());
+    const std::size_t rowTile = rowTileFor(cols);
+    for (std::size_t r0 = 0; r0 < rows_; r0 += rowTile) {
+        const std::size_t rt = std::min(rowTile, rows_ - r0);
+        const double *__restrict mt = data_.data() + r0 * cols;
+        double *__restrict yt = y + r0 * ldb;
+        std::size_t b = 0;
+        if (kernels.block16)
+            for (; b + 16 <= batch; b += 16)
+                kernels.block16(mt, rt, cols, x + b, ldb, yt + b);
+        if (kernels.block8)
+            for (; b + 8 <= batch; b += 8)
+                kernels.block8(mt, rt, cols, x + b, ldb, yt + b);
+        for (; b + 4 <= batch; b += 4)
+            kernels.block4(mt, rt, cols, x + b, ldb, yt + b);
+        // Remainder columns (batch % 4): scalar walk down the strided
+        // column, same accumulation order as multiplyFused.
+        for (; b < batch; ++b) {
+            const double *__restrict xb = x + b;
+            double *__restrict yb = yt + b;
+            for (std::size_t i = 0; i < rt; ++i) {
+                const double *__restrict a = mt + i * cols;
+                double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+                for (std::size_t j = 0; j < main; j += 4) {
+                    s0 += a[j] * xb[j * ldb];
+                    s1 += a[j + 1] * xb[(j + 1) * ldb];
+                    s2 += a[j + 2] * xb[(j + 2) * ldb];
+                    s3 += a[j + 3] * xb[(j + 3) * ldb];
+                }
+                for (std::size_t j = main; j < cols; ++j)
+                    s0 += a[j] * xb[j * ldb];
+                yb[i * ldb] = (s0 + s1) + (s2 + s3);
             }
-            for (std::size_t j = main; j < cols; ++j)
-                s0 += a[j] * xb[j * ldb];
-            yb[i * ldb] = (s0 + s1) + (s2 + s3);
         }
     }
+}
+
+void
+diagonalFusedStep(const Vector &decay, const Matrix &f,
+                  const double *__restrict xu,
+                  double *__restrict next)
+{
+    if (f.rows() != decay.size())
+        panic("diagonalFusedStep: decay/operator row mismatch");
+#if defined(__x86_64__) && defined(__SSE2__) && defined(__GNUC__)
+    switch (activeSimdTier()) {
+    case SimdTier::Avx:
+    case SimdTier::Fma:
+    case SimdTier::Avx512:
+        // One ymm holds all four chains; wider registers cannot help
+        // without splitting a chain across lanes (which would change
+        // the accumulation order and the bits).
+        diagFusedAvx(decay.data(), f.row(0), f.rows(), f.cols(), xu,
+                     next);
+        return;
+    case SimdTier::Sse2:
+        diagFusedSse2(decay.data(), f.row(0), f.rows(), f.cols(), xu,
+                      next);
+        return;
+    case SimdTier::Scalar:
+        break;
+    }
+#endif
+    diagFusedScalar(decay.data(), f.row(0), f.rows(), f.cols(), xu,
+                    next);
 }
 
 Matrix

@@ -22,6 +22,42 @@ namespace coolcmp {
 /** Dense vector of doubles. */
 using Vector = std::vector<double>;
 
+/**
+ * SIMD tier of the batched panel micro-kernels (multiplyBatched).
+ * Every tier performs the identical sequence of IEEE mul-then-add
+ * operations per output column, so switching tiers never changes a
+ * single output bit; tiers differ only in how many panel columns one
+ * instruction retires (1, 2, 4, or 8 doubles) and in the widest
+ * column block available (4, 8, or 16).
+ *
+ * Dispatch resolves to the widest tier this CPU supports at first
+ * use. The COOLCMP_KERNEL environment variable ("scalar", "sse2",
+ * "avx", "fma", "avx512") or setSimdTier() pins a specific tier —
+ * the dispatch-equivalence tests sweep every supported tier through
+ * the same inputs and assert bit-identical panels.
+ */
+enum class SimdTier
+{
+    Scalar = 0,
+    Sse2,
+    Avx,
+    Fma,   ///< AVX2 encodings; mul/add stay separate (no contraction)
+    Avx512 ///< 8-wide zmm accumulators, 16-column block
+};
+
+/** Lowercase tier name, matching the COOLCMP_KERNEL spelling. */
+const char *simdTierName(SimdTier tier);
+
+/** True when this build and CPU can execute the tier's kernels. */
+bool simdTierSupported(SimdTier tier);
+
+/** The tier multiplyBatched currently dispatches to. */
+SimdTier activeSimdTier();
+
+/** Pin the dispatch tier. Returns false (keeping the current tier)
+ *  when the tier is unsupported on this CPU. Thread-safe. */
+bool setSimdTier(SimdTier tier);
+
 /** Dense row-major matrix of doubles. */
 class Matrix
 {
@@ -116,6 +152,15 @@ class Matrix
      * The matrix storage and both panels must be 64-byte aligned and
      * ldb a multiple of 8 doubles (so every panel row stays aligned);
      * the kernel enforces this.
+     *
+     * When the operator is larger than the L1 working set, the kernel
+     * blocks over rows: a tile of operator rows is swept across every
+     * column block before the next tile streams in, so the [E|F] rows
+     * are read from L1 instead of re-streamed from L2/DRAM once per
+     * column block. COOLCMP_BATCH_TILE overrides the tile height in
+     * rows (0 = auto-size to the L1 budget). Tiling only reorders
+     * whole (row, column-block) kernel calls, never the accumulation
+     * inside one output element, so bit-identity is unaffected.
      */
     void multiplyBatched(const double *__restrict x,
                          double *__restrict y, std::size_t ldb,
@@ -126,6 +171,25 @@ class Matrix
     std::size_t cols_ = 0;
     AlignedVector data_;
 };
+
+/**
+ * Diagonal-plus-input fused step for the reduced thermal solver:
+ * next_i = decay_i * xu_i + F.row(i) . u where xu packs [x | u]
+ * (k state entries followed by m = F.cols() inputs) and next gets k
+ * entries. Semantically this is multiplyFused over the dense
+ * k x (k+m) operator [diag(decay) | F] — and bitwise too: every
+ * off-diagonal entry of the diagonal block contributes an exact
+ * IEEE no-op (a zero product added to an accumulator that is never
+ * -0.0), so the kernel reproduces multiplyFused's four mod-4
+ * accumulation chains per virtual dense column while touching only
+ * the k + m nonzero entries. The SIMD variants (dispatched on the
+ * same tier as multiplyBatched) keep each chain in its own vector
+ * lane, so results are bit-identical across tiers and to the
+ * batched GEMM over the expanded dense operator.
+ */
+void diagonalFusedStep(const Vector &decay, const Matrix &f,
+                       const double *__restrict xu,
+                       double *__restrict next);
 
 /** y = a*x + y for vectors. */
 void axpy(double a, const Vector &x, Vector &y);

@@ -197,4 +197,33 @@ makeMobileFloorplan()
     return buildCmp(1, 7.7e-3, 4.5e-3, 3.6e-3);
 }
 
+Floorplan
+makeGridFloorplan(int numCores, double coreWidth, double coreHeight)
+{
+    if (numCores < 1)
+        fatal("makeGridFloorplan requires at least one core");
+
+    // Near-square grid, row-major, over a shared L2 strip spanning
+    // the full chip width — the same topology as the paper's 4-core
+    // plan, scaled to arbitrary core counts for the many-core
+    // studies. The last row may be partial; lateral adjacency only
+    // needs blocks, not a full rectangle.
+    const int columns = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(numCores))));
+    const double chipW = columns * coreWidth;
+    const double l2Height = 4.0e-3;
+
+    std::vector<Block> blocks;
+    blocks.push_back(
+        {"L2", UnitKind::L2, -1, 0.0, 0.0, chipW, l2Height});
+    for (int core = 0; core < numCores; ++core) {
+        const int col = core % columns;
+        const int row = core / columns;
+        appendCoreBlocks(blocks, core, col * coreWidth,
+                         l2Height + row * coreHeight, coreWidth,
+                         coreHeight);
+    }
+    return Floorplan(std::move(blocks), numCores);
+}
+
 } // namespace coolcmp

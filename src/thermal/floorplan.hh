@@ -109,6 +109,15 @@ Floorplan makeCmpFloorplan(int numCores, double coreWidth = 5.6e-3,
  */
 Floorplan makeMobileFloorplan();
 
+/**
+ * Synthetic many-core floorplan for scaling studies: numCores full
+ * 13-unit cores in a near-square grid (row-major, last row possibly
+ * partial) above a shared L2 strip spanning the chip width. Any core
+ * count >= 1; the 16- and 64-core reduced-order benchmarks use this.
+ */
+Floorplan makeGridFloorplan(int numCores, double coreWidth = 5.6e-3,
+                            double coreHeight = 4.0e-3);
+
 } // namespace coolcmp
 
 #endif // COOLCMP_THERMAL_FLOORPLAN_HH

@@ -1,0 +1,456 @@
+#include "thermal/reduced.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen_sym.hh"
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+/*
+ * Modal coordinates. With x = T - Tamb, the network obeys
+ * x' = A x + B u, A = -C^{-1} G. Substituting y = C^{1/2} x gives
+ * y' = At y + C^{-1/2} S u with At = -C^{-1/2} G C^{-1/2} symmetric
+ * negative definite, so At = V diag(-mu) V^T with mu > 0 and V
+ * orthonormal. The modal state z = V^T y satisfies n decoupled
+ * scalar equations z_i' = -mu_i z_i + (Bm u)_i whose exact ZOH
+ * update is z_i[n+1] = e^{-mu_i dt} z_i[n] + phi_i (Bm u)_i with
+ * phi_i = (1 - e^{-mu_i dt}) / mu_i. Temperatures come back through
+ * x = W z, W = C^{-1/2} V.
+ *
+ * Static correction. A truncated mode i >= k is approximated by its
+ * quasi-static value qs_i = (Bm u)_i / mu_i, so reconstruction reads
+ *   T = Tamb + W_k z + Xc u,   Xc = G^{-1} S - W_k diag(1/mu_k) Bm_k
+ * (G^{-1} S is the exact steady-state map; subtracting the retained
+ * modes' DC part leaves the truncated tail's). This makes the
+ * reduced model DC-exact at every k; the only error is the truncated
+ * modes' transient deviation z_i - qs_i, which the selection below
+ * profiles directly.
+ */
+
+ReducedThermalModel::ReducedThermalModel(
+    const RcNetwork &network, double dt, const ReducedOptions &opts,
+    std::shared_ptr<const ZohDiscretization> fullDisc)
+    : network_(network), dt_(dt), opts_(opts)
+{
+    if (dt <= 0.0)
+        fatal("ReducedThermalModel requires a positive step");
+    if (opts_.tolerance <= 0.0)
+        fatal("ReducedThermalModel requires a positive tolerance");
+
+    const std::size_t n = network.numNodes();
+    const std::size_t m = network.numInputs();
+    const Matrix &g = network.conductance();
+    const Vector &cap = network.capacitance();
+
+    Vector sqrtC(n), invSqrtC(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        sqrtC[i] = std::sqrt(cap[i]);
+        invSqrtC[i] = 1.0 / sqrtC[i];
+    }
+
+    Matrix sym(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j <= i; ++j) {
+            const double v = -g(i, j) * invSqrtC[i] * invSqrtC[j];
+            sym(i, j) = v;
+            sym(j, i) = v;
+        }
+
+    const SymmetricEigen eig = symmetricEigen(sym);
+
+    // symmetricEigen sorts ascending (most negative = fastest mode
+    // first); everything below wants the dominant slow modes first,
+    // so column i here is eigen column n-1-i.
+    mu_.assign(n, 0.0);
+    w_ = Matrix(n, n);
+    p_ = Matrix(n, n);
+    bm_ = Matrix(n, m);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t src = n - 1 - i;
+        mu_[i] = -eig.values[src];
+        if (!(mu_[i] > 0.0))
+            fatal("thermal RC network produced a non-decaying mode "
+                  "(mu = ",
+                  mu_[i], "); conductance matrix not PD?");
+        for (std::size_t r = 0; r < n; ++r) {
+            const double v = eig.vectors(r, src);
+            w_(r, i) = v * invSqrtC[r];
+            p_(i, r) = v * sqrtC[r];
+        }
+        for (std::size_t j = 0; j < m; ++j)
+            bm_(i, j) = w_(network.dieNode(j), i);
+    }
+
+    // Exact steady-state map G^{-1} S, one factorized solve per
+    // input, used to assemble the static correction at any k.
+    tmap_ = Matrix(n, m);
+    {
+        Vector unit(m, 0.0);
+        const double amb = network.ambient();
+        for (std::size_t j = 0; j < m; ++j) {
+            unit[j] = 1.0;
+            const Vector col = network.steadyState(unit);
+            unit[j] = 0.0;
+            for (std::size_t r = 0; r < n; ++r)
+                tmap_(r, j) = col[r] - amb;
+        }
+    }
+
+    if (opts_.forcedModes > 0) {
+        finalizeFor(std::min(opts_.forcedModes, n));
+        return;
+    }
+
+    // Selection: one windowed modal simulation yields the true
+    // deviation profile for every candidate k at once; pick the
+    // smallest k within half the tolerance (margin for trajectories
+    // unlike the selection pattern), then confirm against the actual
+    // dense discretization and widen geometrically if rounding or
+    // the pattern disagree.
+    const Vector profile = deviationProfile();
+    std::size_t k = n;
+    for (std::size_t cand = 0; cand <= n; ++cand)
+        if (profile[cand] <= 0.5 * opts_.tolerance) {
+            k = std::max<std::size_t>(1, cand);
+            break;
+        }
+    finalizeFor(k);
+
+    if (opts_.crossCheckSteps > 0) {
+        if (!fullDisc)
+            fullDisc = std::make_shared<const ZohDiscretization>(
+                discretizeZoh(network.stateMatrix(),
+                              network.inputMatrix(), dt));
+        for (;;) {
+            crossErr_ = crossCheck(*fullDisc);
+            if (crossErr_ <= opts_.tolerance || k_ >= n)
+                break;
+            finalizeFor(std::min(
+                n, k_ + std::max<std::size_t>(1, k_ / 4)));
+        }
+    }
+}
+
+void
+ReducedThermalModel::finalizeFor(std::size_t k)
+{
+    const std::size_t n = mu_.size();
+    const std::size_t m = bm_.cols();
+    k_ = k;
+
+    decay_.assign(k, 0.0);
+    auto disc = std::make_shared<ZohDiscretization>();
+    disc->e = Matrix(k, k);
+    disc->f = Matrix(k, m);
+    disc->ef = Matrix(k, k + m);
+    for (std::size_t i = 0; i < k; ++i) {
+        decay_[i] = std::exp(-mu_[i] * dt_);
+        // (1 - e^{-mu dt}) / mu via expm1 for small exponents.
+        const double phi = -std::expm1(-mu_[i] * dt_) / mu_[i];
+        disc->e(i, i) = decay_[i];
+        disc->ef(i, i) = decay_[i];
+        for (std::size_t j = 0; j < m; ++j) {
+            const double f = phi * bm_(i, j);
+            disc->f(i, j) = f;
+            disc->ef(i, k + j) = f;
+        }
+    }
+    disc_ = std::move(disc);
+
+    // Static correction: full steady-state map minus the retained
+    // modes' DC part.
+    xc_ = Matrix(n, m);
+    for (std::size_t r = 0; r < n; ++r) {
+        const double *wr = w_.row(r);
+        for (std::size_t j = 0; j < m; ++j) {
+            double dc = 0.0;
+            for (std::size_t i = 0; i < k; ++i)
+                dc += wr[i] * bm_(i, j) / mu_[i];
+            xc_(r, j) = tmap_(r, j) - dc;
+        }
+    }
+
+    bound_ = errorBoundFor(k);
+}
+
+double
+ReducedThermalModel::errorBoundFor(std::size_t k) const
+{
+    const std::size_t n = mu_.size();
+    const std::size_t m = bm_.cols();
+    if (k >= n)
+        return 0.0;
+    // |z_i - qs_i| <= 2 ||Bm_i||_1 uMax / mu_i: both the mode and its
+    // quasi-static value are bounded by the DC gain at the power
+    // bound. Triangle-summed over modes and maximized over die nodes
+    // — unconditional, but ignores the cancellation the selection
+    // profile measures.
+    Vector gain(n - k);
+    for (std::size_t i = k; i < n; ++i) {
+        double l1 = 0.0;
+        for (std::size_t j = 0; j < m; ++j)
+            l1 += std::abs(bm_(i, j));
+        gain[i - k] = 2.0 * l1 * opts_.maxInputPower / mu_[i];
+    }
+    double worst = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+        const std::size_t die = network_.dieNode(j);
+        double sum = 0.0;
+        for (std::size_t i = k; i < n; ++i)
+            sum += std::abs(w_(die, i)) * gain[i - k];
+        worst = std::max(worst, sum);
+    }
+    return worst;
+}
+
+void
+ReducedThermalModel::patternPowers(std::size_t step, Vector &u) const
+{
+    // Deterministic pattern with full-range per-step jumps in
+    // [0.2, 0.8] uMax and per-block phase: harsher than real DTM
+    // traces (whole-chip power never slews every block every step),
+    // so selection errs conservative.
+    const std::size_t m = u.size();
+    for (std::size_t j = 0; j < m; ++j) {
+        const double frac =
+            static_cast<double>((j * 7 + step * 3) % 11) / 10.0;
+        u[j] = opts_.maxInputPower * (0.2 + 0.6 * frac);
+    }
+}
+
+Vector
+ReducedThermalModel::deviationProfile() const
+{
+    const std::size_t n = mu_.size();
+    const std::size_t m = bm_.cols();
+    const std::size_t steps = std::max<std::size_t>(
+        opts_.crossCheckSteps, 64);
+
+    Vector decay(n), phi(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        decay[i] = std::exp(-mu_[i] * dt_);
+        phi[i] = -std::expm1(-mu_[i] * dt_) / mu_[i];
+    }
+
+    Vector u(m), g(n), z(n), qs(n);
+    patternPowers(0, u);
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < m; ++j)
+            s += bm_(i, j) * u[j];
+        z[i] = s / mu_[i]; // start at the pattern's steady state
+    }
+
+    // profile[k] = max over the window and die nodes of the
+    // DC-corrected truncation error | sum_{i>=k} W(j,i)(z_i - qs_i) |
+    // — every candidate k from one backward suffix sweep per sample.
+    Vector profile(n + 1, 0.0);
+    for (std::size_t step = 0; step < steps; ++step) {
+        patternPowers(step, u);
+        for (std::size_t i = 0; i < n; ++i) {
+            double s = 0.0;
+            for (std::size_t j = 0; j < m; ++j)
+                s += bm_(i, j) * u[j];
+            z[i] = decay[i] * z[i] + phi[i] * s;
+            qs[i] = s / mu_[i];
+        }
+        for (std::size_t jb = 0; jb < m; ++jb) {
+            const double *wr = w_.row(network_.dieNode(jb));
+            double tail = 0.0;
+            for (std::size_t i = n; i-- > 0;) {
+                tail += wr[i] * (z[i] - qs[i]);
+                const double mag = std::abs(tail);
+                if (mag > profile[i])
+                    profile[i] = mag;
+            }
+        }
+    }
+    return profile;
+}
+
+double
+ReducedThermalModel::crossCheck(const ZohDiscretization &full) const
+{
+    const std::size_t n = mu_.size();
+    const std::size_t m = bm_.cols();
+    const std::size_t k = k_;
+
+    Vector u(m);
+    patternPowers(0, u);
+
+    // Both models from the same steady state the propagators would
+    // use (initSteadyState + projection).
+    const Vector ss = network_.steadyState(u);
+    const double amb = network_.ambient();
+    Vector xu(n + m, 0.0), xNext(n);
+    for (std::size_t i = 0; i < n; ++i)
+        xu[i] = ss[i] - amb;
+    Vector z(k), zNext(k);
+    project(xu.data(), z.data());
+
+    const Matrix &f = disc_->f;
+    double worst = 0.0;
+    for (std::size_t step = 0; step < opts_.crossCheckSteps; ++step) {
+        patternPowers(step, u);
+        for (std::size_t j = 0; j < m; ++j)
+            xu[n + j] = u[j];
+        full.ef.multiplyFused(xu.data(), xNext.data());
+        std::copy(xNext.begin(), xNext.end(), xu.begin());
+        for (std::size_t i = 0; i < k; ++i) {
+            double s = 0.0;
+            for (std::size_t j = 0; j < m; ++j)
+                s += f(i, j) * u[j];
+            zNext[i] = decay_[i] * z[i] + s;
+        }
+        z.swap(zNext);
+        for (std::size_t j = 0; j < m; ++j) {
+            const std::size_t die = network_.dieNode(j);
+            const double t =
+                nodeTemp(die, z.data(), u.data()) - amb;
+            worst = std::max(worst, std::abs(t - xu[die]));
+        }
+    }
+    return worst;
+}
+
+void
+ReducedThermalModel::project(const double *x, double *z) const
+{
+    const std::size_t n = p_.cols();
+    for (std::size_t i = 0; i < k_; ++i) {
+        const double *row = p_.row(i);
+        double s = 0.0;
+        for (std::size_t r = 0; r < n; ++r)
+            s += row[r] * x[r];
+        z[i] = s;
+    }
+}
+
+double
+ReducedThermalModel::nodeTemp(std::size_t r, const double *z,
+                              const double *u) const
+{
+    // Single shared expression for every reconstruction path (eager
+    // die refresh, lazy die refresh, full rebuild) so the same (z, u)
+    // always yields the same bits.
+    const double *wr = w_.row(r);
+    double s = 0.0;
+    for (std::size_t i = 0; i < k_; ++i)
+        s += wr[i] * z[i];
+    const double *xr = xc_.row(r);
+    double t = 0.0;
+    const std::size_t m = xc_.cols();
+    for (std::size_t j = 0; j < m; ++j)
+        t += xr[j] * u[j];
+    return (s + t) + network_.ambient();
+}
+
+void
+ReducedThermalModel::commitDieTemps(const double *z, const double *u,
+                                    Vector &temps) const
+{
+    const std::size_t m = bm_.cols();
+    for (std::size_t j = 0; j < m; ++j) {
+        const std::size_t die = network_.dieNode(j);
+        temps[die] = nodeTemp(die, z, u);
+    }
+}
+
+void
+ReducedThermalModel::reconstructFull(const double *z, const double *u,
+                                     Vector &temps) const
+{
+    const std::size_t n = w_.rows();
+    for (std::size_t r = 0; r < n; ++r)
+        temps[r] = nodeTemp(r, z, u);
+}
+
+ReducedZohPropagator::ReducedZohPropagator(
+    std::shared_ptr<const ReducedThermalModel> model)
+    : ZohPropagator(model->network(), model->dt(),
+                    model->discretization(), model->numModes()),
+      model_(std::move(model))
+{
+    stateChanged();
+}
+
+void
+ReducedZohPropagator::stateChanged()
+{
+    // temps_ was just overwritten with full absolute temperatures
+    // (reset, steady-state init, fault injection): project the
+    // ambient-relative state onto the retained modes. The truncated
+    // component is not representable; it is replaced by the
+    // quasi-static tail on the next reconstruction.
+    const double amb = network_.ambient();
+    Vector x(temps_.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = temps_[i] - amb;
+    model_->project(x.data(), xu_.data());
+    dieFresh_ = true;
+    fullFresh_ = true;
+}
+
+void
+ReducedZohPropagator::step(const Vector &blockPowers, double dt)
+{
+    if (std::abs(dt - dt_) > dt_ * 1e-6)
+        panic("ReducedZohPropagator built for dt=", dt_,
+              " stepped with ", dt);
+    setInputs(blockPowers);
+
+    // Diagonal ZOH update through the shared linalg kernel, which
+    // replicates multiplyFused's accumulation discipline over the
+    // virtual dense [e|f] row (zero off-diagonal entries of e are
+    // exact IEEE no-ops): the diagonal shortcut is bit-identical to
+    // the batched GEMM over the dense ef — the contract every
+    // stepping path in this codebase keeps — at k + k*m flops
+    // instead of the dense k*(k+m).
+    diagonalFusedStep(model_->decay(), model_->discretization()->f,
+                      xu_.data(), next_.data());
+    commitNext(next_.data());
+}
+
+void
+ReducedZohPropagator::commitNext(const double *next,
+                                 std::size_t stride)
+{
+    const std::size_t k = next_.size();
+    for (std::size_t i = 0; i < k; ++i)
+        xu_[i] = next[i * stride];
+    // Lazy from here: die temps materialize when sensors or leakage
+    // read blockTemperatures(), the full vector on temperatures().
+    dieFresh_ = false;
+    fullFresh_ = false;
+}
+
+const Vector &
+ReducedZohPropagator::blockTemperatures() const
+{
+    if (!dieFresh_) {
+        auto *self = const_cast<ReducedZohPropagator *>(this);
+        model_->commitDieTemps(xu_.data(),
+                               xu_.data() + next_.size(),
+                               self->temps_);
+        self->dieFresh_ = true;
+    }
+    return temps_;
+}
+
+const Vector &
+ReducedZohPropagator::temperatures() const
+{
+    if (!fullFresh_) {
+        auto *self = const_cast<ReducedZohPropagator *>(this);
+        model_->reconstructFull(xu_.data(),
+                                xu_.data() + next_.size(),
+                                self->temps_);
+        self->fullFresh_ = true;
+        self->dieFresh_ = true;
+    }
+    return temps_;
+}
+
+} // namespace coolcmp

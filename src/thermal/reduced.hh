@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Reduced-order (modal-truncation) thermal solver.
+ *
+ * The RC network's state matrix A = -C^{-1} G is similar to the
+ * symmetric negative-definite -C^{-1/2} G C^{-1/2}, so the system
+ * decomposes into n independent first-order modes with real decay
+ * rates mu_i > 0 and the ZOH step becomes diagonal: k multiplies for
+ * the state plus a k x m input map, instead of the dense n x (n+m)
+ * GEMV. That diagonalization alone is a ~3x step-rate win at full
+ * order; truncating to the k dominant modes stacks further savings.
+ *
+ * Plain truncation does not work on these networks: the fast modes
+ * are die-local (die node through TIM) and carry tens of kelvin of
+ * DC gain, so dropping them loses real steady-state temperature. The
+ * solver therefore uses truncation with STATIC CORRECTION: the
+ * truncated modes contribute their exact quasi-static response
+ * through a precomputed correction map Xc u (making the reduced
+ * model DC-exact for any k), and only their transient deviation from
+ * quasi-static is approximated. Die temperatures are reconstructed
+ * lazily — the simulator reads them every step through
+ * blockTemperatures(), a standalone stepping loop never pays for
+ * them.
+ *
+ * Mode selection: a windowed modal simulation profiles the true
+ * deviation for every candidate k in one pass, the smallest k within
+ * half the tolerance is picked, and a final cross-check against the
+ * full dense discretization confirms (and can widen) the choice. The
+ * a-priori bound reported by errorBound() is unconditional but loose
+ * (triangle inequality over modes ignores the cancellation that
+ * makes truncation work); the tolerance guarantee comes from the
+ * cross-check.
+ */
+
+#ifndef COOLCMP_THERMAL_REDUCED_HH
+#define COOLCMP_THERMAL_REDUCED_HH
+
+#include <memory>
+
+#include "linalg/expm.hh"
+#include "linalg/matrix.hh"
+#include "thermal/rc_network.hh"
+#include "thermal/transient.hh"
+
+namespace coolcmp {
+
+/** Knobs of the reduced-order model construction. */
+struct ReducedOptions
+{
+    /** Die-temperature error to stay within (K), enforced by the
+     *  selection cross-check. */
+    double tolerance = 1e-6;
+
+    /** Per-block power bound (W) the selection trajectory and the
+     *  a-priori bound assume; the error guarantee degrades linearly
+     *  for trajectories that exceed it. */
+    double maxInputPower = 20.0;
+
+    /** Pin the mode count instead of selecting by tolerance (0 =
+     *  auto; clamped to the full order). Benchmarks use this. */
+    std::size_t forcedModes = 0;
+
+    /** Steps of the deterministic selection/cross-check trajectory. */
+    std::size_t crossCheckSteps = 256;
+};
+
+/**
+ * The precomputed modal basis, reduced ZOH discretization, and
+ * static-correction map for one (network, dt) pair. Immutable once
+ * built; shared across every lane of a batched sweep the same way
+ * ZohDiscretization is.
+ */
+class ReducedThermalModel
+{
+  public:
+    /**
+     * @param network the RC network (must outlive the model)
+     * @param dt the fixed step the reduced propagator is built for
+     * @param opts selection knobs
+     * @param fullDisc optional precomputed full discretization for
+     * the final cross-check; computed on demand when null.
+     */
+    ReducedThermalModel(
+        const RcNetwork &network, double dt,
+        const ReducedOptions &opts = {},
+        std::shared_ptr<const ZohDiscretization> fullDisc = nullptr);
+
+    const RcNetwork &network() const { return network_; }
+    double dt() const { return dt_; }
+    const ReducedOptions &options() const { return opts_; }
+
+    /** Selected mode count k. */
+    std::size_t numModes() const { return k_; }
+
+    /** Full model order n (state nodes). */
+    std::size_t fullOrder() const { return mu_.size(); }
+
+    /**
+     * Unconditional a-priori bound (K) on the die-temperature error
+     * of the DC-corrected truncation, for any trajectory from a
+     * projected state with block powers in [0, maxInputPower]: each
+     * truncated mode's deviation from quasi-static can never exceed
+     * twice its DC gain. Loose by design — see crossCheckError() for
+     * the observed error the tolerance selection is based on.
+     */
+    double errorBound() const { return bound_; }
+
+    /** Same bound for an arbitrary truncation order. */
+    double errorBoundFor(std::size_t k) const;
+
+    /** Max die-temperature error vs the full dense model observed on
+     *  the selection trajectory (K). */
+    double crossCheckError() const { return crossErr_; }
+
+    /**
+     * Reduced ZOH discretization: e is diagonal (stored dense k x k
+     * for the batched GEMM path), f = ef's right block is the mapped
+     * input integral. The fused ef is what batched lanes multiply.
+     */
+    const std::shared_ptr<const ZohDiscretization> &
+    discretization() const
+    {
+        return disc_;
+    }
+
+    /** Modal decay factors e^{-mu_i dt}, slowest first (k entries). */
+    const Vector &decay() const { return decay_; }
+
+    /** Modal decay rates mu_i (1/s) of all n modes, slowest first. */
+    const Vector &decayRates() const { return mu_; }
+
+    /** z = P x: project an ambient-relative node state onto the
+     *  retained modes (x has n entries, z gets k). */
+    void project(const double *x, double *z) const;
+
+    /** Absolute temperature of node r from the modal state z (k
+     *  entries) and the block powers u driving the current step (the
+     *  static correction needs them). */
+    double nodeTemp(std::size_t r, const double *z,
+                    const double *u) const;
+
+    /** Refresh the die-node entries of temps from (z, u). */
+    void commitDieTemps(const double *z, const double *u,
+                        Vector &temps) const;
+
+    /** Reconstruct all n absolute node temperatures from (z, u). */
+    void reconstructFull(const double *z, const double *u,
+                         Vector &temps) const;
+
+  private:
+    const RcNetwork &network_;
+    double dt_;
+    ReducedOptions opts_;
+    std::size_t k_ = 0;
+    double bound_ = 0.0;
+    double crossErr_ = 0.0;
+    Vector mu_;     ///< all n decay rates, slowest first
+    Vector decay_;  ///< e^{-mu_i dt}, retained modes
+    Matrix w_;      ///< n x n reconstruction basis C^{-1/2} V
+    Matrix p_;      ///< n x n projection V^T C^{1/2}
+    Matrix bm_;     ///< n x m modal input map V^T C^{-1/2} S
+    Matrix tmap_;   ///< n x m exact steady-state map G^{-1} S
+    Matrix xc_;     ///< n x m static correction for the selected k
+    std::shared_ptr<const ZohDiscretization> disc_;
+
+    void finalizeFor(std::size_t k);
+    Vector deviationProfile() const;
+    double crossCheck(const ZohDiscretization &full) const;
+    void patternPowers(std::size_t step, Vector &u) const;
+};
+
+/**
+ * Fixed-step propagator over the reduced modal state. Drop-in for
+ * ZohPropagator: batched lanes group by the shared reduced
+ * discretization and multiply the dense fused [e|f] panel, while the
+ * sequential step() exploits the diagonal operator directly — both
+ * produce bit-identical modal states because the dense kernel's
+ * extra off-diagonal terms are exact zeros folded in multiplyFused's
+ * accumulation order, which the diagonal path replicates.
+ *
+ * Temperatures are lazy: commitNext() only adopts the modal state;
+ * die-node values materialize when blockTemperatures()/blockTemp()
+ * is read, the full node vector when temperatures() is.
+ */
+class ReducedZohPropagator : public ZohPropagator
+{
+  public:
+    explicit ReducedZohPropagator(
+        std::shared_ptr<const ReducedThermalModel> model);
+
+    const ReducedThermalModel &model() const { return *model_; }
+
+    /** Diagonal-operator step; bit-identical to the batched path. */
+    void step(const Vector &blockPowers, double dt) override;
+
+    /** Materializes the full node vector on demand. */
+    const Vector &temperatures() const override;
+
+    /** Materializes die-node entries on demand. */
+    const Vector &blockTemperatures() const override;
+
+    using ZohPropagator::commitNext;
+    void commitNext(const double *next, std::size_t stride) override;
+
+  protected:
+    void stateChanged() override;
+
+  private:
+    std::shared_ptr<const ReducedThermalModel> model_;
+    /** Freshness of temps_: die entries / all n entries. */
+    mutable bool dieFresh_ = true;
+    mutable bool fullFresh_ = true;
+};
+
+} // namespace coolcmp
+
+#endif // COOLCMP_THERMAL_REDUCED_HH

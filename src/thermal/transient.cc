@@ -39,15 +39,16 @@ TransientSolver::blockTemp(std::size_t block) const
 {
     if (block >= network_.numInputs())
         panic("blockTemp index out of range");
-    return temps_[network_.dieNode(block)];
+    return blockTemperatures()[network_.dieNode(block)];
 }
 
 double
 TransientSolver::maxBlockTemp() const
 {
+    const Vector &temps = blockTemperatures();
     double best = -1e9;
     for (std::size_t b = 0; b < network_.numInputs(); ++b)
-        best = std::max(best, temps_[network_.dieNode(b)]);
+        best = std::max(best, temps[network_.dieNode(b)]);
     return best;
 }
 
@@ -71,6 +72,16 @@ ZohPropagator::ZohPropagator(const RcNetwork &network, double dt,
         fatal("ZohPropagator discretization lacks a matching fused "
               "[E|F] block");
     stateChanged();
+}
+
+ZohPropagator::ZohPropagator(const RcNetwork &network, double dt,
+                             std::shared_ptr<const ZohDiscretization> disc,
+                             std::size_t stateDim)
+    : TransientSolver(network), dt_(dt), disc_(std::move(disc)),
+      xu_(stateDim + network.numInputs()), next_(stateDim)
+{
+    if (dt <= 0.0)
+        fatal("ZohPropagator requires a positive step");
 }
 
 void

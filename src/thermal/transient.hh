@@ -29,8 +29,22 @@ class TransientSolver
     explicit TransientSolver(const RcNetwork &network);
     virtual ~TransientSolver() = default;
 
-    /** Current absolute node temperatures (C). */
-    const Vector &temperatures() const { return temps_; }
+    /**
+     * Current absolute node temperatures (C). Virtual because the
+     * reduced-order propagator evolves a modal state and materializes
+     * the full node vector only when this is called.
+     */
+    virtual const Vector &temperatures() const { return temps_; }
+
+    /**
+     * Node-temperature vector whose die-node entries (indices
+     * 0 .. numInputs-1) are guaranteed fresh. Per-block consumers on
+     * the hot path (leakage, sensors) should read this: it costs a
+     * die-only reconstruction on a reduced solver, where
+     * temperatures() pays for all n nodes. Non-die entries may be
+     * stale under a reduced solver.
+     */
+    virtual const Vector &blockTemperatures() const { return temps_; }
 
     /** Overwrite the state with absolute temperatures. */
     void setTemperatures(const Vector &temps);
@@ -108,25 +122,38 @@ class ZohPropagator : public TransientSolver
     const Vector &augmentedState() const { return xu_; }
 
     /** Adopt an externally computed next ambient-relative state
-     *  (numNodes entries): refreshes both xu_ and temps_. */
+     *  (stateDim entries): refreshes both xu_ and temps_. */
     void commitNext(const double *next) { commitNext(next, 1); }
 
     /** Strided variant: entry i lives at next[i * stride] (reads a
-     *  batched panel column in place, no gather copy). */
-    void commitNext(const double *next, std::size_t stride);
+     *  batched panel column in place, no gather copy). Virtual so the
+     *  reduced propagator can adopt a modal state instead. */
+    virtual void commitNext(const double *next, std::size_t stride);
 
-  private:
+  protected:
+    /**
+     * Subclass constructor for propagators whose evolved state is not
+     * the node-temperature vector (the reduced-order solver): sizes
+     * the augmented vector as stateDim + numInputs and performs no
+     * discretization-shape checks and no initial stateChanged() — the
+     * derived constructor must validate its own discretization and
+     * call stateChanged() once its members are ready.
+     */
+    ZohPropagator(const RcNetwork &network, double dt,
+                  std::shared_ptr<const ZohDiscretization> disc,
+                  std::size_t stateDim);
+
     double dt_;
     std::shared_ptr<const ZohDiscretization> disc_;
 
     /**
      * Augmented [x | u] vector the fused kernel consumes: the first
-     * numNodes entries hold the state in ambient-relative form across
-     * steps (no temps_ -> x conversion in the hot loop), the tail
-     * holds the block powers of the current step.
+     * stateDim entries hold the evolved state in ambient-relative
+     * form across steps (no temps_ -> x conversion in the hot loop),
+     * the tail holds the block powers of the current step.
      */
     Vector xu_;
-    Vector next_; ///< scratch: next ambient-relative state
+    Vector next_; ///< scratch: next evolved state
 
     void stateChanged() override;
 };

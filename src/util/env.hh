@@ -54,6 +54,32 @@ envSizeT(const char *name, std::size_t fallback, std::size_t lo = 0,
     return parsed;
 }
 
+/**
+ * Read a floating-point knob from the environment (same contract as
+ * envSizeT: fallback on unset/empty/garbage, clamp into [lo, hi]).
+ */
+inline double
+envDouble(const char *name, double fallback,
+          double lo = -std::numeric_limits<double>::infinity(),
+          double hi = std::numeric_limits<double>::infinity())
+{
+    const char *env = std::getenv(name);
+    if (!env || !*env)
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end == env || *end != '\0' || v != v) {
+        warnLimited(name, "ignoring invalid ", name, " value '", env,
+                    "'; using ", fallback);
+        return fallback;
+    }
+    if (v < lo)
+        return lo;
+    if (v > hi)
+        return hi;
+    return v;
+}
+
 /** Read a string knob; the fallback covers unset and empty. */
 inline std::string
 envString(const char *name, const std::string &fallback = {})

@@ -91,6 +91,91 @@ TEST(MultiplyBatched, MatchesNaiveAndFusedAcrossShapes)
     }
 }
 
+TEST(MultiplyBatched, AllSimdTiersProduceIdenticalPanels)
+{
+    // The dispatch-equivalence contract: every tier this CPU supports
+    // (scalar and SSE2 always; AVX/FMA/AVX-512 when available) must
+    // produce bit-identical output panels for the same inputs, and
+    // bit-identical to multiplyFused per column. Batch sizes cover
+    // the full 16-block (AVX-512's widest), a mixed remainder (19),
+    // and two 16-blocks (32).
+    const SimdTier original = activeSimdTier();
+    const Matrix m = randomMatrix(37, 41, 23);
+    for (const std::size_t batch :
+         {std::size_t{16}, std::size_t{19}, std::size_t{32}}) {
+        const std::size_t ldb = padStride(batch);
+        AlignedVector x(m.cols() * ldb, 0.0);
+        std::mt19937 rng(900 + batch);
+        std::uniform_real_distribution<double> dist(-2.0, 2.0);
+        for (std::size_t j = 0; j < m.cols(); ++j)
+            for (std::size_t b = 0; b < batch; ++b)
+                x[j * ldb + b] = dist(rng);
+
+        ASSERT_TRUE(setSimdTier(SimdTier::Scalar));
+        AlignedVector ref(m.rows() * ldb, -1.0);
+        m.multiplyBatched(x.data(), ref.data(), ldb, batch);
+
+        for (const SimdTier tier :
+             {SimdTier::Sse2, SimdTier::Avx, SimdTier::Fma,
+              SimdTier::Avx512}) {
+            if (!simdTierSupported(tier))
+                continue;
+            ASSERT_TRUE(setSimdTier(tier));
+            AlignedVector y(m.rows() * ldb, -2.0);
+            m.multiplyBatched(x.data(), y.data(), ldb, batch);
+            for (std::size_t i = 0; i < m.rows(); ++i)
+                for (std::size_t b = 0; b < batch; ++b)
+                    ASSERT_EQ(y[i * ldb + b], ref[i * ldb + b])
+                        << simdTierName(tier) << " batch " << batch
+                        << " row " << i << " lane " << b;
+        }
+
+        // Per-column agreement with the sequential fused kernel.
+        Vector column(m.cols()), fused(m.rows());
+        for (std::size_t b = 0; b < batch; ++b) {
+            for (std::size_t j = 0; j < m.cols(); ++j)
+                column[j] = x[j * ldb + b];
+            m.multiplyFused(column.data(), fused.data());
+            for (std::size_t i = 0; i < m.rows(); ++i)
+                ASSERT_EQ(ref[i * ldb + b], fused[i])
+                    << "batch " << batch << " lane " << b;
+        }
+    }
+    setSimdTier(original);
+}
+
+TEST(MultiplyBatched, RowTilingDoesNotChangeBits)
+{
+    // COOLCMP_BATCH_TILE reorders whole (row-tile, column-block)
+    // kernel sweeps; every output element must be bit-identical for
+    // any tile height, including degenerate ones.
+    const Matrix m = randomMatrix(64, 48, 31);
+    const std::size_t batch = 24;
+    const std::size_t ldb = padStride(batch);
+    AlignedVector x(m.cols() * ldb, 0.0);
+    std::mt19937 rng(77);
+    std::uniform_real_distribution<double> dist(-1.5, 1.5);
+    for (std::size_t j = 0; j < m.cols(); ++j)
+        for (std::size_t b = 0; b < batch; ++b)
+            x[j * ldb + b] = dist(rng);
+
+    unsetenv("COOLCMP_BATCH_TILE");
+    AlignedVector ref(m.rows() * ldb, -1.0);
+    m.multiplyBatched(x.data(), ref.data(), ldb, batch);
+
+    for (const char *tile : {"1", "3", "8", "63", "64", "4096"}) {
+        setenv("COOLCMP_BATCH_TILE", tile, 1);
+        AlignedVector y(m.rows() * ldb, -2.0);
+        m.multiplyBatched(x.data(), y.data(), ldb, batch);
+        for (std::size_t i = 0; i < m.rows(); ++i)
+            for (std::size_t b = 0; b < batch; ++b)
+                ASSERT_EQ(y[i * ldb + b], ref[i * ldb + b])
+                    << "tile " << tile << " row " << i << " lane "
+                    << b;
+    }
+    unsetenv("COOLCMP_BATCH_TILE");
+}
+
 TEST(MultiplyBatched, MatrixStorageIsCacheLineAligned)
 {
     // The kernel asserts 64-byte alignment; the Matrix allocator must

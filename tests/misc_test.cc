@@ -5,12 +5,16 @@
  * behaviour.
  */
 
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
 #include "core/experiment.hh"
 #include "core/throttle.hh"
+#include "obs/registry.hh"
 #include "test_util.hh"
 #include "util/logging.hh"
 
@@ -95,6 +99,96 @@ TEST(ResultCache, EmptyDirDisablesCaching)
     const RunMetrics m =
         exp.runCached(findWorkload("workload2"), baselinePolicy(), "");
     EXPECT_GT(m.totalInstructions, 0.0);
+}
+
+TEST(ResultCache, MaxBytesParsesEnvironment)
+{
+    coolcmp::testing::quiet();
+    unsetenv("COOLCMP_CACHE_MAX_MB");
+    EXPECT_EQ(resultCacheMaxBytes(), 1024ull << 20);
+    setenv("COOLCMP_CACHE_MAX_MB", "2", 1);
+    EXPECT_EQ(resultCacheMaxBytes(), 2ull << 20);
+    setenv("COOLCMP_CACHE_MAX_MB", "0", 1);
+    EXPECT_EQ(resultCacheMaxBytes(), 0u);
+    setenv("COOLCMP_CACHE_MAX_MB", "nonsense", 1);
+    EXPECT_EQ(resultCacheMaxBytes(), 1024ull << 20);
+    unsetenv("COOLCMP_CACHE_MAX_MB");
+}
+
+TEST(ResultCache, SizeBoundEvictsLeastRecentlyUsed)
+{
+    coolcmp::testing::quiet();
+    namespace fs = std::filesystem;
+    const std::string dir =
+        ::testing::TempDir() + "coolcmp-evict-test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    // Four 1 KB cache entries with strictly increasing mtimes, plus
+    // one non-metrics bystander that must never be touched.
+    const std::string payload(1024, 'x');
+    const auto base = fs::file_time_type::clock::now();
+    for (int i = 0; i < 4; ++i) {
+        const std::string path =
+            dir + "/entry" + std::to_string(i) + ".metrics";
+        std::ofstream(path) << payload;
+        fs::last_write_time(path, base + std::chrono::seconds(i));
+    }
+    std::ofstream(dir + "/keep.json") << payload;
+
+    // Budget unbounded, or large enough: nothing evicted.
+    obs::Registry registry;
+    EXPECT_EQ(enforceResultCacheBound(dir, 0, &registry), 0u);
+    EXPECT_EQ(enforceResultCacheBound(dir, 1 << 20, &registry), 0u);
+    EXPECT_EQ(registry.counter("cache.evictions").value(), 0u);
+
+    // Budget for two entries: the two oldest go, newest two stay.
+    EXPECT_EQ(enforceResultCacheBound(dir, 2 * 1024, &registry), 2u);
+    EXPECT_FALSE(fs::exists(dir + "/entry0.metrics"));
+    EXPECT_FALSE(fs::exists(dir + "/entry1.metrics"));
+    EXPECT_TRUE(fs::exists(dir + "/entry2.metrics"));
+    EXPECT_TRUE(fs::exists(dir + "/entry3.metrics"));
+    EXPECT_TRUE(fs::exists(dir + "/keep.json"));
+    EXPECT_EQ(registry.counter("cache.evictions").value(), 2u);
+
+    // A load hit refreshes recency: touch entry2, shrink to one
+    // entry, and entry3 (now the stalest) is the victim.
+    fs::last_write_time(dir + "/entry2.metrics",
+                        base + std::chrono::seconds(60));
+    EXPECT_EQ(enforceResultCacheBound(dir, 1024, &registry), 1u);
+    EXPECT_TRUE(fs::exists(dir + "/entry2.metrics"));
+    EXPECT_FALSE(fs::exists(dir + "/entry3.metrics"));
+    EXPECT_EQ(registry.counter("cache.evictions").value(), 3u);
+
+    fs::remove_all(dir);
+}
+
+TEST(ResultCache, LoadHitRefreshesMtime)
+{
+    // The LRU half of the contract end-to-end: re-reading a cached
+    // result through runCached must move its mtime forward so the
+    // bound treats it as recently used.
+    coolcmp::testing::quiet();
+    namespace fs = std::filesystem;
+    Experiment exp(coolcmp::testing::fastDtmConfig(),
+                   coolcmp::testing::fastTraceConfig());
+    const std::string dir =
+        ::testing::TempDir() + "coolcmp-lru-touch-test";
+    fs::remove_all(dir);
+    const Workload &w = findWorkload("workload1");
+    exp.runCached(w, baselinePolicy(), dir);
+    std::string path;
+    for (const auto &entry : fs::directory_iterator(dir))
+        if (entry.path().extension() == ".metrics")
+            path = entry.path().string();
+    ASSERT_FALSE(path.empty());
+    const auto stale = fs::file_time_type::clock::now() -
+        std::chrono::hours(24);
+    fs::last_write_time(path, stale);
+    exp.runCached(w, baselinePolicy(), dir); // cache hit
+    EXPECT_GT(fs::last_write_time(path),
+              stale + std::chrono::hours(1));
+    fs::remove_all(dir);
 }
 
 TEST(GlobalDvfs, SingleControllerForChip)

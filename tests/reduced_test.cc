@@ -1,0 +1,485 @@
+/**
+ * @file
+ * Coverage for the reduced-order thermal solver: the symmetric
+ * eigendecomposition it is built on, the DC-corrected modal
+ * truncation (error within the reported bound and the configured
+ * tolerance), drop-in agreement with the dense solver through the
+ * full DTM pipeline, and bit-for-bit determinism of reduced sweeps
+ * across worker counts and batch widths — including under an active
+ * fault plan.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "fault/fault_plan.hh"
+#include "linalg/eigen_sym.hh"
+#include "linalg/matrix.hh"
+#include "test_util.hh"
+#include "thermal/batched.hh"
+#include "thermal/floorplan.hh"
+#include "thermal/rc_network.hh"
+#include "thermal/reduced.hh"
+#include "thermal/transient.hh"
+
+namespace coolcmp {
+namespace {
+
+TEST(SymmetricEigen, UniformRcChainMatchesAnalyticSpectrum)
+{
+    // A uniform grounded RC chain tridiagonalizes to the Toeplitz
+    // matrix tridiag(1, -2, 1) whose spectrum is known in closed
+    // form: lambda_k = -2 + 2 cos(k pi / (n + 1)).
+    const std::size_t n = 24;
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a(i, i) = -2.0;
+        if (i + 1 < n) {
+            a(i + 1, i) = 1.0;
+            a(i, i + 1) = 1.0;
+        }
+    }
+    const SymmetricEigen eig = symmetricEigen(a);
+    ASSERT_EQ(eig.values.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Ascending order: the analytic index runs n..1.
+        const double exact =
+            -2.0 + 2.0 * std::cos(static_cast<double>(n - i) * M_PI /
+                                  static_cast<double>(n + 1));
+        EXPECT_NEAR(eig.values[i], exact, 1e-10) << "mode " << i;
+    }
+}
+
+TEST(SymmetricEigen, ReconstructsAndStaysOrthonormal)
+{
+    // Random symmetric matrix: A V = V diag(lambda), V^T V = I, and
+    // the decomposition is deterministic across repeat calls.
+    const std::size_t n = 17;
+    std::mt19937 rng(42);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j <= i; ++j)
+            a(i, j) = a(j, i) = dist(rng);
+    const SymmetricEigen eig = symmetricEigen(a);
+    for (std::size_t i = 1; i < n; ++i)
+        EXPECT_LE(eig.values[i - 1], eig.values[i]);
+    for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t d = 0; d < n; ++d) {
+            double dot = 0.0;
+            for (std::size_t r = 0; r < n; ++r)
+                dot += eig.vectors(r, c) * eig.vectors(r, d);
+            EXPECT_NEAR(dot, c == d ? 1.0 : 0.0, 1e-11)
+                << "columns " << c << ", " << d;
+        }
+        for (std::size_t r = 0; r < n; ++r) {
+            double av = 0.0;
+            for (std::size_t j = 0; j < n; ++j)
+                av += a(r, j) * eig.vectors(j, c);
+            EXPECT_NEAR(av, eig.values[c] * eig.vectors(r, c), 1e-10)
+                << "row " << r << " column " << c;
+        }
+    }
+    const SymmetricEigen again = symmetricEigen(a);
+    EXPECT_EQ(eig.values, again.values);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            EXPECT_EQ(eig.vectors(i, j), again.vectors(i, j));
+}
+
+TEST(SymmetricEigen, RcStateMatrixSpectrumIsNegativeReal)
+{
+    // The similarity-transformed RC state matrix must come out
+    // negative definite (every thermal mode decays), and its spectrum
+    // must match the eigenvalues of A = -C^{-1} G.
+    const Floorplan plan = makeCmpFloorplan(2);
+    const RcNetwork net(plan, PackageParams::desktop());
+    const std::size_t n = net.numNodes();
+    const Matrix &g = net.conductance();
+    const Vector &c = net.capacitance();
+    Matrix sym(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            sym(i, j) = -g(i, j) / std::sqrt(c[i] * c[j]);
+    const SymmetricEigen eig = symmetricEigen(sym);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_LT(eig.values[i], 0.0) << "mode " << i;
+    // Spot-check the extreme decay rates against the network's own
+    // estimates (computed independently inside RcNetwork): the power
+    // iteration converges to the true slowest time constant, while
+    // the diagonal C_i/G_ii estimate is a Rayleigh-quotient upper
+    // bound on the fastest one.
+    EXPECT_NEAR(-1.0 / eig.values[n - 1], net.slowestTimeConstant(),
+                1e-6 * net.slowestTimeConstant());
+    EXPECT_LE(-1.0 / eig.values[0], net.fastestTimeConstant());
+}
+
+/** Deterministic per-block power pattern, scaled into [0, peak] W. */
+void
+fillPowers(std::size_t step, double peak, Vector &u)
+{
+    for (std::size_t j = 0; j < u.size(); ++j)
+        u[j] = peak *
+            (0.15 + 0.7 *
+                 static_cast<double>((j * 5 + step * 2 + 3) % 13) /
+                 12.0);
+}
+
+TEST(ReducedThermalModel, DcExactAtEveryTruncationOrder)
+{
+    // The static correction makes the reduced model DC-exact for ANY
+    // k: at quasi-static modal state z_i = (Bm u)_i / mu_i the full
+    // reconstruction must reproduce the network steady state even
+    // when most modes are truncated.
+    coolcmp::testing::quiet();
+    const Floorplan plan = makeCmpFloorplan(4);
+    const RcNetwork net(plan, PackageParams::desktop());
+    const double dt = 100000.0 / 3.6e9;
+    Vector u(net.numInputs());
+    fillPowers(7, 12.0, u);
+    const Vector exact = net.steadyState(u);
+    for (const std::size_t forced : {std::size_t{8}, net.numNodes()}) {
+        ReducedOptions opts;
+        opts.forcedModes = forced;
+        const ReducedThermalModel model(net, dt, opts);
+        ASSERT_EQ(model.numModes(), forced);
+        // Project the exact ambient-relative steady state...
+        Vector rel(net.numNodes());
+        for (std::size_t r = 0; r < rel.size(); ++r)
+            rel[r] = exact[r] - net.ambient();
+        Vector z(forced);
+        model.project(rel.data(), z.data());
+        // ...and reconstruct: the truncated modes' share comes back
+        // through the correction map, so the answer is exact.
+        Vector rebuilt(net.numNodes());
+        model.reconstructFull(z.data(), u.data(), rebuilt);
+        for (std::size_t r = 0; r < rebuilt.size(); ++r)
+            EXPECT_NEAR(rebuilt[r], exact[r], 1e-8)
+                << "k " << forced << " node " << r;
+    }
+}
+
+TEST(ReducedThermalModel, ErrorWithinBoundAndToleranceAcrossPatterns)
+{
+    // Drive the reduced and the full dense propagator with the same
+    // power schedules — three deterministic patterns standing in for
+    // the paper's Figure 3/5/7 workload mixes (low / medium / high
+    // activity) — and check every die temperature at every step
+    // against (a) the configured tolerance for the auto-selected k
+    // and (b) the unconditional a-priori bound for a forced, heavily
+    // truncated k.
+    coolcmp::testing::quiet();
+    const Floorplan plan = makeCmpFloorplan(4);
+    const RcNetwork net(plan, PackageParams::desktop());
+    const double dt = 100000.0 / 3.6e9;
+    const auto disc = ZohPropagator::makeDiscretization(net, dt);
+    const double peaks[] = {4.0, 10.0, 18.0}; // W per block
+
+    ReducedOptions opts;
+    opts.tolerance = 1e-6;
+    const auto model = std::make_shared<const ReducedThermalModel>(
+        net, dt, opts, disc);
+    EXPECT_GE(model->errorBound(), 0.0);
+    EXPECT_LE(model->crossCheckError(), opts.tolerance);
+
+    ReducedOptions truncated;
+    truncated.forcedModes = net.numNodes() / 2;
+    const auto rough = std::make_shared<const ReducedThermalModel>(
+        net, dt, truncated, disc);
+    ASSERT_LT(rough->numModes(), net.numNodes());
+    EXPECT_GT(rough->errorBound(), 0.0);
+
+    for (const double peak : peaks) {
+        ZohPropagator full(net, dt, disc);
+        ReducedZohPropagator tight(model);
+        ReducedZohPropagator loose(rough);
+        Vector u(net.numInputs());
+        double maxTight = 0.0, maxLoose = 0.0;
+        for (std::size_t step = 0; step < 200; ++step) {
+            fillPowers(step, peak, u);
+            full.step(u, dt);
+            tight.step(u, dt);
+            loose.step(u, dt);
+            const Vector &ref = full.blockTemperatures();
+            const Vector &a = tight.blockTemperatures();
+            const Vector &b = loose.blockTemperatures();
+            for (std::size_t blk = 0; blk < plan.numBlocks(); ++blk) {
+                maxTight = std::max(
+                    maxTight, std::abs(a[blk] - ref[blk]));
+                maxLoose = std::max(
+                    maxLoose, std::abs(b[blk] - ref[blk]));
+            }
+        }
+        EXPECT_LE(maxTight, opts.tolerance) << "peak " << peak;
+        EXPECT_LE(maxLoose, rough->errorBound()) << "peak " << peak;
+        // temperatures() must agree with blockTemperatures() on die
+        // nodes after the lazy full reconstruction.
+        const Vector &fullVec = tight.temperatures();
+        const Vector &blocks = tight.blockTemperatures();
+        for (std::size_t blk = 0; blk < plan.numBlocks(); ++blk)
+            EXPECT_EQ(fullVec[net.dieNode(blk)], blocks[blk]);
+    }
+}
+
+TEST(ReducedThermalModel, BoundDecreasesAndVanishesAtFullOrder)
+{
+    coolcmp::testing::quiet();
+    const Floorplan plan = makeCmpFloorplan(2);
+    const RcNetwork net(plan, PackageParams::desktop());
+    const double dt = 100000.0 / 3.6e9;
+    ReducedOptions opts;
+    opts.forcedModes = net.numNodes();
+    const ReducedThermalModel model(net, dt, opts);
+    const std::size_t n = model.fullOrder();
+    // Truncating less can only shrink the bound; retaining everything
+    // leaves no truncated contribution at all.
+    double prev = model.errorBoundFor(0);
+    for (std::size_t k = 1; k <= n; ++k) {
+        const double bound = model.errorBoundFor(k);
+        EXPECT_LE(bound, prev) << "k " << k;
+        prev = bound;
+    }
+    EXPECT_EQ(model.errorBoundFor(n), 0.0);
+    EXPECT_GT(model.errorBoundFor(0), 0.0);
+}
+
+TEST(ReducedZohPropagator, SequentialMatchesBatchedBitForBit)
+{
+    // The determinism contract extended to the reduced solver: lanes
+    // stepped through the batched GEMM over the dense fused [e|f]
+    // operator must reproduce the sequential diagonal kernel to the
+    // bit, because the off-diagonal zeros are exact IEEE no-ops.
+    coolcmp::testing::quiet();
+    const Floorplan plan = makeGridFloorplan(6);
+    const RcNetwork net(plan, PackageParams::desktop());
+    const double dt = 100000.0 / 3.6e9;
+    ReducedOptions opts;
+    opts.forcedModes = net.numNodes() / 2;
+    const auto model = std::make_shared<const ReducedThermalModel>(
+        net, dt, opts);
+
+    for (const std::size_t lanesWanted : {2, 5, 8}) {
+        std::vector<std::unique_ptr<ReducedZohPropagator>> batched;
+        std::vector<std::unique_ptr<ReducedZohPropagator>> serial;
+        std::vector<ZohPropagator *> lanes;
+        for (std::size_t b = 0; b < lanesWanted; ++b) {
+            batched.push_back(
+                std::make_unique<ReducedZohPropagator>(model));
+            serial.push_back(
+                std::make_unique<ReducedZohPropagator>(model));
+            lanes.push_back(batched.back().get());
+        }
+        BatchedZohPropagator engine(model->discretization(),
+                                    lanesWanted);
+        Vector u(net.numInputs());
+        for (std::size_t step = 0; step < 50; ++step) {
+            for (std::size_t b = 0; b < lanesWanted; ++b) {
+                fillPowers(step + 3 * b, 15.0, u);
+                lanes[b]->setInputs(u);
+                serial[b]->step(u, dt);
+            }
+            engine.step(lanes);
+            for (std::size_t b = 0; b < lanesWanted; ++b) {
+                ASSERT_EQ(batched[b]->blockTemperatures(),
+                          serial[b]->blockTemperatures())
+                    << "lanes " << lanesWanted << " step " << step
+                    << " lane " << b;
+                ASSERT_EQ(batched[b]->temperatures(),
+                          serial[b]->temperatures());
+            }
+        }
+    }
+}
+
+void
+expectSameMetrics(const RunMetrics &a, const RunMetrics &b,
+                  std::size_t i)
+{
+    EXPECT_EQ(a.duration, b.duration) << "job " << i;
+    EXPECT_EQ(a.totalInstructions, b.totalInstructions) << "job " << i;
+    EXPECT_EQ(a.dutyCycle, b.dutyCycle) << "job " << i;
+    EXPECT_EQ(a.peakTemp, b.peakTemp) << "job " << i;
+    EXPECT_EQ(a.emergencies, b.emergencies) << "job " << i;
+    EXPECT_EQ(a.throttleActuations, b.throttleActuations)
+        << "job " << i;
+    EXPECT_EQ(a.migrations, b.migrations) << "job " << i;
+    ASSERT_EQ(a.coreInstructions, b.coreInstructions) << "job " << i;
+    ASSERT_EQ(a.coreDuty, b.coreDuty) << "job " << i;
+    ASSERT_EQ(a.coreMeanFreq, b.coreMeanFreq) << "job " << i;
+}
+
+std::vector<RunJob>
+sampleJobs()
+{
+    std::vector<RunJob> jobs;
+    const PolicyConfig policies[] = {
+        baselinePolicy(),
+        {ThrottleMechanism::Dvfs, ControlScope::Distributed,
+         MigrationKind::CounterBased},
+    };
+    for (const char *name : {"workload1", "workload5", "workload9"})
+        for (const PolicyConfig &policy : policies)
+            jobs.push_back({findWorkload(name), policy, ""});
+    return jobs;
+}
+
+TEST(ReducedExperiment, MetricsAgreeWithDenseWithinTolerance)
+{
+    // Full pipeline: the same sweep run dense and reduced (tolerance
+    // 1e-6 K) must agree on every continuous metric to well under a
+    // millikelvin, and exactly on the discrete ones — 1e-6 K of die
+    // temperature cannot flip a threshold crossing that the dense
+    // model does not itself sit on.
+    coolcmp::testing::quiet();
+    DtmConfig cfg = coolcmp::testing::fastDtmConfig();
+    cfg.duration = 0.004;
+    Experiment exp(cfg, coolcmp::testing::fastTraceConfig());
+    const std::vector<RunJob> jobs = sampleJobs();
+
+    setenv("COOLCMP_BATCH", "1", 1);
+    const std::vector<RunMetrics> dense =
+        exp.run(RunRequest(jobs).threads(1));
+    const std::vector<RunMetrics> reduced = exp.run(
+        RunRequest(jobs).threads(1).reducedTolerance(1e-6));
+    ASSERT_EQ(reduced.size(), dense.size());
+    for (std::size_t i = 0; i < dense.size(); ++i) {
+        EXPECT_EQ(dense[i].duration, reduced[i].duration);
+        EXPECT_NEAR(dense[i].peakTemp, reduced[i].peakTemp, 1e-3)
+            << "job " << i;
+        EXPECT_NEAR(dense[i].dutyCycle, reduced[i].dutyCycle, 1e-6)
+            << "job " << i;
+        EXPECT_EQ(dense[i].emergencies, reduced[i].emergencies)
+            << "job " << i;
+        // DVFS scales frequency continuously off the sensed
+        // temperature, so instruction totals track the (sub-1e-6 K)
+        // temperature difference rather than matching exactly.
+        EXPECT_NEAR(dense[i].totalInstructions,
+                    reduced[i].totalInstructions,
+                    1e-6 * dense[i].totalInstructions)
+            << "job " << i;
+    }
+    unsetenv("COOLCMP_BATCH");
+}
+
+TEST(ReducedExperiment, BitIdenticalAcrossWorkersAndWidths)
+{
+    // Reduced sweeps must satisfy the same determinism bar as dense
+    // ones: serial, batched at several widths, and multi-worker runs
+    // all reproduce identical metrics — including with an active
+    // fault plan, whose injections depend only on (job, step).
+    coolcmp::testing::quiet();
+    DtmConfig cfg = coolcmp::testing::fastDtmConfig();
+    cfg.duration = 0.004;
+    for (const bool faulted : {false, true}) {
+        DtmConfig runCfg = cfg;
+        if (faulted)
+            runCfg.faults = FaultPlan::parse(
+                "seed=11;noise@0.0+0.004:all=0.2;"
+                "stuck@0.001+0.002:core1=355");
+        Experiment exp(runCfg, coolcmp::testing::fastTraceConfig());
+        const std::vector<RunJob> jobs = sampleJobs();
+
+        setenv("COOLCMP_BATCH", "1", 1);
+        const std::vector<RunMetrics> serial = exp.run(
+            RunRequest(jobs).threads(1).reducedTolerance(1e-6));
+
+        for (const char *width : {"5", "8"}) {
+            setenv("COOLCMP_BATCH", width, 1);
+            const std::vector<RunMetrics> batched = exp.run(
+                RunRequest(jobs).threads(1).reducedTolerance(1e-6));
+            ASSERT_EQ(batched.size(), serial.size());
+            for (std::size_t i = 0; i < serial.size(); ++i)
+                expectSameMetrics(serial[i], batched[i], i);
+        }
+
+        setenv("COOLCMP_BATCH", "4", 1);
+        const std::vector<RunMetrics> threaded = exp.run(
+            RunRequest(jobs).threads(4).reducedTolerance(1e-6));
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            expectSameMetrics(serial[i], threaded[i], i);
+        unsetenv("COOLCMP_BATCH");
+    }
+}
+
+TEST(ReducedExperiment, RomToleranceChangesConfigKeyAndEnv)
+{
+    // Reduced results must never be served from a dense run's cache
+    // entry (or vice versa): the tolerance is part of the config key.
+    coolcmp::testing::quiet();
+    DtmConfig a = coolcmp::testing::fastDtmConfig();
+    a.romTolerance = 0.0; // pin dense even when COOLCMP_ROM_TOL forces ROM
+    DtmConfig b = a;
+    b.romTolerance = 1e-6;
+    Experiment ea(a, coolcmp::testing::fastTraceConfig());
+    Experiment eb(b, coolcmp::testing::fastTraceConfig());
+    EXPECT_NE(ea.configKey(), eb.configKey());
+
+    const char *prev = std::getenv("COOLCMP_ROM_TOL");
+    const std::string saved = prev ? prev : "";
+    setenv("COOLCMP_ROM_TOL", "0.001", 1);
+    EXPECT_EQ(defaultRomTolerance(), 0.001);
+    setenv("COOLCMP_ROM_TOL", "-1", 1);
+    EXPECT_EQ(defaultRomTolerance(), 0.0); // clamped: negatives off
+    unsetenv("COOLCMP_ROM_TOL");
+    EXPECT_EQ(defaultRomTolerance(), 0.0);
+    if (prev)
+        setenv("COOLCMP_ROM_TOL", saved.c_str(), 1);
+}
+
+TEST(ReducedZohPropagator, FasterThanDenseOnManyCoreGrid)
+{
+    // The acceptance bar: on a >= 16-core synthetic floorplan the
+    // reduced step rate must beat the dense solver by >= 3x. Measured
+    // as best-of-3 over identical power schedules so a background
+    // scheduling hiccup cannot fail the build spuriously.
+    coolcmp::testing::quiet();
+    const Floorplan plan = makeGridFloorplan(16);
+    const RcNetwork net(plan, PackageParams::desktop());
+    const double dt = 100000.0 / 3.6e9;
+    const auto disc = ZohPropagator::makeDiscretization(net, dt);
+    ReducedOptions opts;
+    opts.tolerance = 1e-6;
+    const auto model = std::make_shared<const ReducedThermalModel>(
+        net, dt, opts, disc);
+
+    Vector u(net.numInputs());
+    fillPowers(1, 10.0, u);
+    const std::size_t steps = 400;
+    auto timeSolver = [&](ZohPropagator &solver) {
+        double best = 1e300;
+        for (int rep = 0; rep < 3; ++rep) {
+            const auto t0 = std::chrono::steady_clock::now();
+            for (std::size_t s = 0; s < steps; ++s)
+                solver.step(u, dt);
+            best = std::min(
+                best, std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+        }
+        return best;
+    };
+    ZohPropagator dense(net, dt, disc);
+    ReducedZohPropagator reduced(model);
+    const double denseTime = timeSolver(dense);
+    const double reducedTime = timeSolver(reduced);
+    EXPECT_GE(denseTime / reducedTime, 3.0)
+        << "dense " << denseTime << " s, reduced " << reducedTime
+        << " s for " << steps << " steps at k = "
+        << model->numModes() << " of " << model->fullOrder();
+    // And the accuracy half of the acceptance criterion: after the
+    // timed run both solvers saw identical inputs, so their die
+    // temperatures must still be within tolerance.
+    const Vector &a = dense.blockTemperatures();
+    const Vector &b = reduced.blockTemperatures();
+    for (std::size_t blk = 0; blk < plan.numBlocks(); ++blk)
+        EXPECT_NEAR(a[blk], b[blk], opts.tolerance) << "block " << blk;
+}
+
+} // namespace
+} // namespace coolcmp
