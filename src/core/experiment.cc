@@ -423,15 +423,6 @@ RunRequest::validate() const
 }
 
 std::vector<RunMetrics>
-Experiment::runMany(const std::vector<RunJob> &jobs,
-                    std::size_t threads)
-{
-    // Deprecated shim kept for old call sites; all behaviour lives in
-    // run(RunRequest).
-    return run(RunRequest(jobs).threads(threads));
-}
-
-std::vector<RunMetrics>
 Experiment::run(const RunRequest &request)
 {
     const std::string error = request.validate();

@@ -52,7 +52,7 @@ class JobTimeout : public std::runtime_error
 
 /**
  * Sweep-level execution options. Every future knob lands here instead
- * of growing another defaulted runMany parameter.
+ * of growing another defaulted run() parameter.
  */
 struct SweepOptions
 {
@@ -103,7 +103,7 @@ struct SweepOptions
  * A whole sweep as one value: the job list plus its SweepOptions,
  * built fluently. This is the one entry point for multi-run
  * execution — Experiment::run(RunRequest) — replacing the
- * ever-growing parameter lists of the old runMany overloads:
+ * ever-growing parameter lists of the old sweep overloads:
  *
  *   auto results = experiment.run(RunRequest()
  *       .add(workload, policy)
@@ -215,8 +215,8 @@ class Experiment
      *  parallel and block only on the trace they need. */
     std::shared_ptr<const PowerTrace> trace(const std::string &name);
 
-    /** Build several benchmark traces concurrently (see runMany for
-     *  the worker-count convention). */
+    /** Build several benchmark traces concurrently (see
+     *  SweepOptions::threads for the worker-count convention). */
     void prefetchTraces(const std::vector<std::string> &names,
                         std::size_t threads = 0);
 
@@ -233,7 +233,7 @@ class Experiment
         obs::Tracer *tracer, obs::Registry *registry);
 
     /**
-     * Attach a trace session: every subsequent runMany job gets its
+     * Attach a trace session: every subsequent sweep job gets its
      * own event tracer and wall-clock span, the session registry
      * collects sweep metrics (queue depth, job count), and exporters
      * can turn the session into a Chrome trace afterwards. Borrowed;
@@ -248,7 +248,7 @@ class Experiment
 
     /**
      * Write a JSON run report (obs::RunReport) to this path after
-     * every runMany; empty disables the file. Initialized from
+     * every run(RunRequest); empty disables the file. Initialized from
      * COOLCMP_RUN_REPORT, so sweeps can opt in without code changes.
      * The in-memory report is always available via lastRunReport().
      */
@@ -259,7 +259,8 @@ class Experiment
 
     const std::string &runReportPath() const { return runReportPath_; }
 
-    /** Report of the most recent runMany (default-constructed until
+    /** Report of the most recent run(RunRequest) (default-constructed
+     *  until
      *  one completes). Phase breakdown and busy/step totals need an
      *  attached registry (session or config); job health columns come
      *  from the returned metrics and are always filled. */
@@ -310,15 +311,7 @@ class Experiment
     std::vector<RunMetrics> run(const RunRequest &request);
 
     /**
-     * Deprecated shim: wraps the job list in a RunRequest. Use
-     * run(RunRequest) — new call sites should not add parameters
-     * here.
-     */
-    std::vector<RunMetrics> runMany(const std::vector<RunJob> &jobs,
-                                    std::size_t threads = 0);
-
-    /**
-     * Lanes per worker for batched runMany dispatch: the
+     * Lanes per worker for batched sweep dispatch: the
      * COOLCMP_BATCH environment variable (clamped to [1, 64]; 0 or 1
      * disables batching), default 8. Read per call so tests and
      * sweeps can switch modes at runtime.
@@ -326,8 +319,8 @@ class Experiment
     static std::size_t batchWidth();
 
     /**
-     * Run one policy over all Table 4 workloads (in parallel; see
-     * runMany).
+     * Run one policy over all Table 4 workloads (in parallel, via
+     * run(RunRequest)).
      * @return per-workload metrics in Table 4 order.
      */
     std::vector<RunMetrics> runAllWorkloads(const PolicyConfig &policy);

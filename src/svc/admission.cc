@@ -1,0 +1,144 @@
+#include "svc/admission.hh"
+
+namespace coolcmp::svc {
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued: return "queued";
+      case JobState::Running: return "running";
+      case JobState::Done: return "done";
+      default: return "failed";
+    }
+}
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity)
+    : capacity_(capacity)
+{
+}
+
+AdmissionQueue::Admit
+AdmissionQueue::submit(std::shared_ptr<SweepJob> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            return Admit::Closed;
+        if (queue_.size() >= capacity_)
+            return Admit::Full;
+        queue_.emplace(std::make_pair(-job->priority, seq_++),
+                       std::move(job));
+    }
+    available_.notify_one();
+    return Admit::Accepted;
+}
+
+std::shared_ptr<SweepJob>
+AdmissionQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    available_.wait(lock,
+                    [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty())
+        return nullptr;
+    auto it = queue_.begin();
+    std::shared_ptr<SweepJob> job = std::move(it->second);
+    queue_.erase(it);
+    return job;
+}
+
+void
+AdmissionQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    available_.notify_all();
+}
+
+bool
+AdmissionQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+std::size_t
+AdmissionQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+bool
+AdmissionQueue::saturated() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size() >= capacity_;
+}
+
+JobTable::JobTable(std::size_t maxRetained)
+    : maxRetained_(maxRetained)
+{
+}
+
+std::string
+JobTable::add(const std::shared_ptr<SweepJob> &job)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->id = "j-" + std::to_string(nextId_++);
+    jobs_.emplace(job->id, job);
+    return job->id;
+}
+
+std::shared_ptr<SweepJob>
+JobTable::find(const std::string &id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : it->second;
+}
+
+void
+JobTable::retire(const std::shared_ptr<SweepJob> &job)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    retired_.push_back(job->id);
+    while (retired_.size() > maxRetained_) {
+        jobs_.erase(retired_.front());
+        retired_.pop_front();
+    }
+}
+
+void
+JobTable::remove(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.erase(id);
+}
+
+std::size_t
+JobTable::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return jobs_.size();
+}
+
+bool
+QuotaSet::admit(const std::string &client,
+                std::chrono::steady_clock::time_point now)
+{
+    if (rate_ <= 0.0)
+        return true;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = buckets_.find(client);
+    if (it == buckets_.end())
+        it = buckets_
+                 .emplace(client, TokenBucket(rate_, burst_, now))
+                 .first;
+    return it->second.tryAcquire(now);
+}
+
+} // namespace coolcmp::svc

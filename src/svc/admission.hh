@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Admission control for the sweep service: a bounded priority queue
+ * in front of the worker pool, per-client token-bucket quotas, and
+ * the job table that tracks every submission through
+ * queued -> running -> done | failed.
+ *
+ * Echoing the admission/assignment framing of SMDP thermal-aware
+ * scheduling (arXiv:2009.02813): requests are admitted (or shed with
+ * an explicit, immediately-visible rejection) at the door, then
+ * assigned to workers by priority — the simulator itself never sees
+ * overload.
+ */
+
+#ifndef COOLCMP_SVC_ADMISSION_HH
+#define COOLCMP_SVC_ADMISSION_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/metrics.hh"
+
+namespace coolcmp::svc {
+
+/**
+ * Classic token bucket: `rate` tokens/s refill up to `burst`. Time is
+ * passed in by the caller so tests are deterministic. A rate of 0
+ * means "no quota" and always admits.
+ */
+struct TokenBucket
+{
+    double rate = 0.0;
+    double burst = 1.0;
+    double tokens = 1.0;
+    std::chrono::steady_clock::time_point last{};
+
+    TokenBucket() = default;
+    TokenBucket(double ratePerSec, double burstSize,
+                std::chrono::steady_clock::time_point now)
+        : rate(ratePerSec), burst(burstSize), tokens(burstSize),
+          last(now)
+    {
+    }
+
+    /** Take one token if available; refills lazily from `now`. */
+    bool tryAcquire(std::chrono::steady_clock::time_point now)
+    {
+        if (rate <= 0.0)
+            return true;
+        const double dt =
+            std::chrono::duration<double>(now - last).count();
+        last = now;
+        tokens = std::min(burst, tokens + dt * rate);
+        if (tokens < 1.0)
+            return false;
+        tokens -= 1.0;
+        return true;
+    }
+};
+
+/** Lifecycle of one submitted sweep. */
+enum class JobState { Queued, Running, Done, Failed };
+
+const char *jobStateName(JobState state);
+
+/** One submitted sweep and everything the status/result endpoints
+ *  report about it. Mutable fields are guarded by `mutex`. */
+struct SweepJob
+{
+    // Immutable after admission.
+    std::string id;
+    std::string client;
+    int priority = 0;
+    RunRequest request;
+    std::chrono::steady_clock::time_point submitted{};
+
+    // Guarded by mutex.
+    mutable std::mutex mutex;
+    JobState state = JobState::Queued;
+    std::string error;        ///< non-empty when state == Failed
+    std::string configKey;    ///< hex, filled on completion
+    std::vector<RunMetrics> results;
+    std::vector<char> fromCache; ///< per-job cache hits
+    std::size_t cachedJobs = 0;
+    double waitSeconds = 0.0; ///< admission -> worker pickup
+    double runSeconds = 0.0;  ///< worker pickup -> completion
+
+    bool terminal() const
+    {
+        return state == JobState::Done || state == JobState::Failed;
+    }
+};
+
+/**
+ * Bounded priority queue between admission and the workers. Higher
+ * priority pops first; within a priority, FIFO. close() stops
+ * admissions while letting pop() drain what is already queued —
+ * the graceful-shutdown half of SIGTERM handling.
+ */
+class AdmissionQueue
+{
+  public:
+    explicit AdmissionQueue(std::size_t capacity);
+
+    enum class Admit { Accepted, Full, Closed };
+
+    Admit submit(std::shared_ptr<SweepJob> job);
+
+    /**
+     * Block until a job is available or the queue is closed and
+     * drained; null means "no more work, ever" (worker exit).
+     */
+    std::shared_ptr<SweepJob> pop();
+
+    /** Stop admissions; queued jobs remain poppable (drain). */
+    void close();
+
+    bool closed() const;
+    std::size_t depth() const;
+    std::size_t capacity() const { return capacity_; }
+
+    /** Admission-pressure signal for /healthz. */
+    bool saturated() const;
+
+  private:
+    const std::size_t capacity_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable available_;
+    bool closed_ = false;
+    std::uint64_t seq_ = 0;
+    /** Keyed by (-priority, arrival): begin() is next to run. */
+    std::map<std::pair<int, std::uint64_t>,
+             std::shared_ptr<SweepJob>>
+        queue_;
+};
+
+/**
+ * Id-indexed record of every admitted job. Retention is bounded:
+ * once more than `maxRetained` jobs have reached a terminal state,
+ * the oldest terminal records are forgotten (their ids then 404) so
+ * a long-lived daemon cannot grow without limit.
+ */
+class JobTable
+{
+  public:
+    explicit JobTable(std::size_t maxRetained = 65536);
+
+    /** Assign the next id ("j-1", "j-2", ...) and index the job. */
+    std::string add(const std::shared_ptr<SweepJob> &job);
+
+    std::shared_ptr<SweepJob> find(const std::string &id) const;
+
+    /** Mark `job` terminal for retention accounting (call after its
+     *  state is set to Done/Failed). */
+    void retire(const std::shared_ptr<SweepJob> &job);
+
+    /** Drop a job outright (admission rolled back before queuing). */
+    void remove(const std::string &id);
+
+    std::size_t size() const;
+
+  private:
+    const std::size_t maxRetained_;
+
+    mutable std::mutex mutex_;
+    std::uint64_t nextId_ = 1;
+    std::unordered_map<std::string, std::shared_ptr<SweepJob>> jobs_;
+    std::deque<std::string> retired_;
+};
+
+/** Per-client token buckets sharing one rate/burst configuration. */
+class QuotaSet
+{
+  public:
+    /** @param ratePerSec admissions/s per client; 0 disables quotas
+     *  @param burst bucket depth (initial credit) */
+    QuotaSet(double ratePerSec, double burst)
+        : rate_(ratePerSec), burst_(burst)
+    {
+    }
+
+    /** True when `client` may admit one more job at `now`. */
+    bool admit(const std::string &client,
+               std::chrono::steady_clock::time_point now);
+
+  private:
+    const double rate_;
+    const double burst_;
+
+    std::mutex mutex_;
+    std::map<std::string, TokenBucket> buckets_;
+};
+
+} // namespace coolcmp::svc
+
+#endif // COOLCMP_SVC_ADMISSION_HH

@@ -1,0 +1,286 @@
+#include "svc/codec.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/sweep_journal.hh"
+#include "workload/benchmark_profile.hh"
+#include "workload/workloads.hh"
+
+namespace coolcmp::svc {
+
+namespace {
+
+/** Non-fatal Table 4 lookup (findWorkload aborts on unknown names,
+ *  which a network-facing decoder must never do). */
+const Workload *
+tryFindWorkload(const std::string &name)
+{
+    for (const Workload &w : table4Workloads())
+        if (w.name == name)
+            return &w;
+    return nullptr;
+}
+
+/** Non-fatal SPEC2000 profile existence check. */
+bool
+profileExists(const std::string &name)
+{
+    for (const BenchmarkProfile &p : spec2000Profiles())
+        if (p.name == name)
+            return true;
+    return false;
+}
+
+std::string
+parsePolicy(const JsonValue &node, PolicyConfig &out)
+{
+    if (!node.isObject())
+        return "policy must be an object";
+    if (const JsonValue *v = node.find("mechanism")) {
+        const std::string &s = v->asString();
+        if (s == "stop-go" || s == "stopgo")
+            out.mechanism = ThrottleMechanism::StopGo;
+        else if (s == "dvfs")
+            out.mechanism = ThrottleMechanism::Dvfs;
+        else
+            return "unknown mechanism '" + s +
+                "' (want stop-go | dvfs)";
+    }
+    if (const JsonValue *v = node.find("scope")) {
+        const std::string &s = v->asString();
+        if (s == "global")
+            out.scope = ControlScope::Global;
+        else if (s == "distributed" || s == "dist")
+            out.scope = ControlScope::Distributed;
+        else
+            return "unknown scope '" + s +
+                "' (want global | distributed)";
+    }
+    if (const JsonValue *v = node.find("migration")) {
+        const std::string &s = v->asString();
+        if (s == "none")
+            out.migration = MigrationKind::None;
+        else if (s == "counter")
+            out.migration = MigrationKind::CounterBased;
+        else if (s == "sensor")
+            out.migration = MigrationKind::SensorBased;
+        else
+            return "unknown migration '" + s +
+                "' (want none | counter | sensor)";
+    }
+    return {};
+}
+
+std::string
+parseJob(const JsonValue &node, std::size_t index, RunJob &out)
+{
+    const std::string where = "jobs[" + std::to_string(index) + "]";
+    if (!node.isObject())
+        return where + " must be an object";
+    const JsonValue *workload = node.find("workload");
+    const JsonValue *benchmarks = node.find("benchmarks");
+    if (workload && benchmarks)
+        return where + ": give workload or benchmarks, not both";
+    if (workload) {
+        if (!workload->isString())
+            return where + ".workload must be a string";
+        const Workload *found = tryFindWorkload(workload->asString());
+        if (!found)
+            return where + ": unknown workload '" +
+                workload->asString() + "'";
+        out.workload = *found;
+    } else if (benchmarks) {
+        if (!benchmarks->isArray() ||
+            benchmarks->items().size() !=
+                out.workload.benchmarks.size())
+            return where + ".benchmarks must be an array of " +
+                std::to_string(out.workload.benchmarks.size()) +
+                " names";
+        std::string name = "custom";
+        for (std::size_t i = 0; i < benchmarks->items().size(); ++i) {
+            const JsonValue &b = benchmarks->items()[i];
+            if (!b.isString() || !profileExists(b.asString()))
+                return where + ": unknown benchmark '" +
+                    b.asString() + "'";
+            out.workload.benchmarks[i] = b.asString();
+            name += "-" + b.asString();
+        }
+        out.workload.name = name;
+    } else {
+        return where + " needs a workload or benchmarks";
+    }
+    if (const JsonValue *policy = node.find("policy")) {
+        const std::string error = parsePolicy(*policy, out.policy);
+        if (!error.empty())
+            return where + "." + error;
+    }
+    return {};
+}
+
+std::string
+parseOptions(const JsonValue &node, SweepOptions &out)
+{
+    if (!node.isObject())
+        return "options must be an object";
+    auto number = [&](const char *key, double &into,
+                      bool integral) -> std::string {
+        const JsonValue *v = node.find(key);
+        if (!v)
+            return {};
+        if (!v->isNumber() ||
+            (integral &&
+             v->asDouble() != std::floor(v->asDouble())))
+            return std::string("options.") + key +
+                " must be a number";
+        into = v->asDouble();
+        return {};
+    };
+    double threads = static_cast<double>(out.threads);
+    double maxAttempts = out.maxAttempts;
+    std::string error;
+    if (!(error = number("threads", threads, true)).empty())
+        return error;
+    if (!(error = number("timeout_s", out.jobTimeoutSeconds, false))
+             .empty())
+        return error;
+    if (!(error = number("max_attempts", maxAttempts, true)).empty())
+        return error;
+    if (!(error = number("backoff_s", out.retryBackoffSeconds, false))
+             .empty())
+        return error;
+    if (!(error = number("rom_tolerance", out.romTolerance, false))
+             .empty())
+        return error;
+    if (threads < 0 || threads > 64)
+        return "options.threads must be in [0, 64]";
+    out.threads = static_cast<std::size_t>(threads);
+    // Range errors beyond decodability (negative timeout, zero
+    // attempts) are validate()'s job, so they surface as
+    // invalid_request, not bad_request.
+    out.maxAttempts = static_cast<int>(maxAttempts);
+    return {};
+}
+
+} // namespace
+
+std::string
+parseSweepRequest(const JsonValue &root, WireSweep &out)
+{
+    out = WireSweep{};
+    if (!root.isObject())
+        return "request body must be a JSON object";
+    if (const JsonValue *v = root.find("client")) {
+        if (!v->isString() || v->asString().empty())
+            return "client must be a non-empty string";
+        if (v->asString().size() > 64)
+            return "client must be at most 64 characters";
+        out.client = v->asString();
+    }
+    if (const JsonValue *v = root.find("priority")) {
+        if (!v->isNumber() ||
+            v->asDouble() != std::floor(v->asDouble()) ||
+            std::fabs(v->asDouble()) > 1e6)
+            return "priority must be a small integer";
+        out.priority = static_cast<int>(v->asDouble());
+    }
+    const JsonValue *jobs = root.find("jobs");
+    if (!jobs || !jobs->isArray() || jobs->items().empty())
+        return "jobs must be a non-empty array";
+    std::vector<RunJob> parsed;
+    parsed.reserve(jobs->items().size());
+    for (std::size_t i = 0; i < jobs->items().size(); ++i) {
+        RunJob job;
+        const std::string error = parseJob(jobs->items()[i], i, job);
+        if (!error.empty())
+            return error;
+        parsed.push_back(std::move(job));
+    }
+    out.request.withJobs(std::move(parsed));
+    if (const JsonValue *options = root.find("options")) {
+        SweepOptions decoded;
+        const std::string error = parseOptions(*options, decoded);
+        if (!error.empty())
+            return error;
+        out.request.withOptions(std::move(decoded));
+    }
+    return {};
+}
+
+std::string
+mechanismToken(ThrottleMechanism mechanism)
+{
+    return mechanism == ThrottleMechanism::StopGo ? "stop-go" : "dvfs";
+}
+
+std::string
+scopeToken(ControlScope scope)
+{
+    return scope == ControlScope::Global ? "global" : "distributed";
+}
+
+std::string
+migrationToken(MigrationKind kind)
+{
+    switch (kind) {
+      case MigrationKind::None: return "none";
+      case MigrationKind::CounterBased: return "counter";
+      default: return "sensor";
+    }
+}
+
+JsonValue
+sweepRequestToJson(const WireSweep &sweep)
+{
+    JsonValue root = JsonValue::object();
+    root.set("client", sweep.client);
+    root.set("priority", sweep.priority);
+    JsonValue jobs = JsonValue::array();
+    for (const RunJob &job : sweep.request.jobs()) {
+        JsonValue node = JsonValue::object();
+        // A Table 4 workload round-trips by name; anything else (a
+        // custom mix built via "benchmarks") re-emits the explicit
+        // benchmark list.
+        if (tryFindWorkload(job.workload.name)) {
+            node.set("workload", job.workload.name);
+        } else {
+            JsonValue benchmarks = JsonValue::array();
+            for (const std::string &b : job.workload.benchmarks)
+                benchmarks.push(b);
+            node.set("benchmarks", std::move(benchmarks));
+        }
+        JsonValue policy = JsonValue::object();
+        policy.set("mechanism", mechanismToken(job.policy.mechanism));
+        policy.set("scope", scopeToken(job.policy.scope));
+        policy.set("migration", migrationToken(job.policy.migration));
+        node.set("policy", std::move(policy));
+        jobs.push(std::move(node));
+    }
+    root.set("jobs", std::move(jobs));
+    const SweepOptions &options = sweep.request.options();
+    JsonValue opts = JsonValue::object();
+    opts.set("threads", options.threads);
+    opts.set("timeout_s", options.jobTimeoutSeconds);
+    opts.set("max_attempts", options.maxAttempts);
+    opts.set("backoff_s", options.retryBackoffSeconds);
+    opts.set("rom_tolerance", options.romTolerance);
+    root.set("options", std::move(opts));
+    return root;
+}
+
+std::string
+runMetricsToBody(const RunMetrics &m)
+{
+    std::ostringstream out;
+    writeRunMetricsBody(out, m);
+    return out.str();
+}
+
+bool
+runMetricsFromBody(const std::string &body, RunMetrics &m)
+{
+    std::istringstream in(body);
+    return readRunMetricsBody(in, m);
+}
+
+} // namespace coolcmp::svc

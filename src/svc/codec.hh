@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Wire codec for the sweep service: the existing fluent RunRequest /
+ * SweepOptions API rendered as JSON, so the daemon's wire schema IS
+ * the in-process API rather than a parallel one that can drift.
+ *
+ * Request bodies parse into a WireSweep (client identity + priority +
+ * a RunRequest); the same struct serializes back byte-identically, so
+ * serialize -> parse -> serialize is the codec's round-trip contract
+ * (tested against golden bodies). Result payloads reuse the v4
+ * result-cache body format (writeRunMetricsBody / readRunMetricsBody
+ * from core/sweep_journal.hh) embedded as a JSON string: a service
+ * client deserializes the exact bytes the on-disk cache would hold,
+ * which is what makes "same configKey => bit-identical RunMetrics"
+ * checkable over the wire.
+ *
+ * Server-side paths (result cache directory, resume journal) are
+ * deliberately NOT part of the wire schema: clients must not steer
+ * daemon filesystem writes.
+ */
+
+#ifndef COOLCMP_SVC_CODEC_HH
+#define COOLCMP_SVC_CODEC_HH
+
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/metrics.hh"
+#include "svc/json.hh"
+
+namespace coolcmp::svc {
+
+/** One POST /v1/sweeps body: who is asking, how urgently, and the
+ *  sweep itself. */
+struct WireSweep
+{
+    std::string client = "anonymous";
+    int priority = 0;
+    RunRequest request;
+};
+
+/**
+ * Decode a parsed JSON document into a WireSweep. Schema:
+ *
+ *   {
+ *     "client": "tenant-a",            // optional
+ *     "priority": 1,                   // optional, higher runs first
+ *     "jobs": [
+ *       {"workload": "workload7",      // Table 4 name, or instead:
+ *        "benchmarks": ["gzip", ...],  // 4 SPEC2000 names
+ *        "policy": {"mechanism": "dvfs" | "stop-go",
+ *                   "scope": "distributed" | "global",
+ *                   "migration": "none" | "counter" | "sensor"}}
+ *     ],
+ *     "options": {"threads": 2, "timeout_s": 30.0,
+ *                 "max_attempts": 2, "backoff_s": 0.05,
+ *                 "rom_tolerance": -1}          // all optional
+ *   }
+ *
+ * Unknown keys are ignored (forward compatibility). Lookups are
+ * non-fatal: an unknown workload, benchmark, or enum token is a
+ * decode error, never a process abort.
+ *
+ * @return empty on success, else a diagnostic suitable for an HTTP
+ * 400 "message" field. Note RunRequest::validate() is NOT called
+ * here — the daemon maps that separately so decode errors and
+ * semantic-validation errors are distinguishable.
+ */
+std::string parseSweepRequest(const JsonValue &root, WireSweep &out);
+
+/** Encode a WireSweep as the schema parseSweepRequest accepts. */
+JsonValue sweepRequestToJson(const WireSweep &sweep);
+
+/** RunMetrics -> the v4 result-cache body text (header-less). */
+std::string runMetricsToBody(const RunMetrics &m);
+
+/** Parse a v4 cache body produced by runMetricsToBody; false on
+ *  malformed input. */
+bool runMetricsFromBody(const std::string &body, RunMetrics &m);
+
+/** Canonical policy tokens ("dvfs", "distributed", "sensor", ...)
+ *  used by the wire schema; the inverse of the parse mapping. */
+std::string mechanismToken(ThrottleMechanism mechanism);
+std::string scopeToken(ControlScope scope);
+std::string migrationToken(MigrationKind kind);
+
+} // namespace coolcmp::svc
+
+#endif // COOLCMP_SVC_CODEC_HH

@@ -1,0 +1,425 @@
+#include "svc/daemon.hh"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "obs/prom_export.hh"
+#include "svc/codec.hh"
+#include "util/logging.hh"
+
+namespace coolcmp::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0, Clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+HttpResponse
+jsonResponse(int status, const JsonValue &body)
+{
+    HttpResponse response;
+    response.status = status;
+    response.body = jsonToString(body);
+    return response;
+}
+
+/** Machine-readable error envelope: "error" is the stable code a
+ *  client switches on, "message" the human diagnostic. */
+HttpResponse
+errorResponse(int status, const std::string &code,
+              const std::string &message = {})
+{
+    JsonValue body = JsonValue::object();
+    body.set("error", code);
+    if (!message.empty())
+        body.set("message", message);
+    return jsonResponse(status, body);
+}
+
+/** Latency buckets: 1 ms doubling up to ~17 min. */
+std::vector<double>
+latencyEdges()
+{
+    return obs::Histogram::exponentialEdges(1e-3, 2.0, 20);
+}
+
+} // namespace
+
+SweepServiceDaemon::SweepServiceDaemon(Options options,
+                                       DtmConfig config,
+                                       TraceBuilderConfig traceConfig)
+    : options_(std::move(options)), config_(std::move(config)),
+      traceConfig_(std::move(traceConfig)),
+      queue_(options_.queueDepth), jobs_(options_.maxRetainedJobs),
+      quotas_(options_.quotaRatePerSec, options_.quotaBurst)
+{
+}
+
+SweepServiceDaemon::~SweepServiceDaemon()
+{
+    stop();
+}
+
+bool
+SweepServiceDaemon::start()
+{
+    if (started_.load())
+        return true;
+
+    HttpServer::Options http;
+    http.port = options_.port;
+    http.connectionThreads = options_.httpThreads;
+    http.maxRequestBytes = options_.maxRequestBytes;
+    http_ = std::make_unique<HttpServer>(
+        http, [this](const HttpRequest &r) { return handle(r); });
+    if (!http_->start()) {
+        http_.reset();
+        return false;
+    }
+
+    started_.store(true);
+    draining_.store(false);
+    workers_.reserve(options_.workers);
+    for (std::size_t i = 0; i < options_.workers; ++i)
+        workers_.emplace_back([this, i] { workerMain(i); });
+    inform("coolcmpd serving on 127.0.0.1:", http_->port(), " with ",
+           options_.workers, " sweep workers, queue depth ",
+           options_.queueDepth);
+    return true;
+}
+
+void
+SweepServiceDaemon::stop()
+{
+    if (!started_.exchange(false))
+        return;
+    // Drain order: refuse new admissions, let the workers finish
+    // everything already accepted (clients can still poll status and
+    // fetch results meanwhile), then take the listener down.
+    draining_.store(true);
+    queue_.close();
+    for (std::thread &worker : workers_)
+        worker.join();
+    workers_.clear();
+    if (http_) {
+        http_->stop();
+        http_.reset();
+    }
+}
+
+std::uint16_t
+SweepServiceDaemon::port() const
+{
+    return http_ ? http_->port() : 0;
+}
+
+void
+SweepServiceDaemon::workerMain(std::size_t index)
+{
+    try {
+        // A private engine per worker: concurrent sweeps never share
+        // mutable state, so service results stay bit-identical to
+        // direct in-process runs. The registry is the one shared
+        // sink (it is thread-safe by design).
+        DtmConfig config = config_;
+        config.registry = &registry_;
+        config.tracer = nullptr;
+        Experiment experiment(config, traceConfig_);
+        experiment.setRunReportPath({}); // report consumed in memory
+
+        while (std::shared_ptr<SweepJob> job = queue_.pop())
+            executeJob(experiment, job);
+    } catch (const std::exception &e) {
+        warn("sweep worker ", index, " died: ", e.what());
+        registry_.counter("svc.workers.died").add();
+    } catch (...) {
+        warn("sweep worker ", index, " died: unknown exception");
+        registry_.counter("svc.workers.died").add();
+    }
+}
+
+void
+SweepServiceDaemon::executeJob(Experiment &experiment,
+                               const std::shared_ptr<SweepJob> &job)
+{
+    const auto t0 = Clock::now();
+    {
+        std::lock_guard<std::mutex> lock(job->mutex);
+        job->state = JobState::Running;
+        job->waitSeconds = secondsSince(job->submitted, t0);
+    }
+    registry_.gauge("svc.queue.depth")
+        .set(static_cast<double>(queue_.depth()));
+    registry_.gauge("svc.jobs.running")
+        .set(static_cast<double>(++runningJobs_));
+    registry_.histogram("svc.job.wait_seconds", latencyEdges())
+        .observe(secondsSince(job->submitted, t0));
+
+    bool failed = false;
+    std::string error;
+    try {
+        // Server-side cache policy: every job shares the daemon's
+        // result directory (the cross-tenant memo); clients cannot
+        // pick filesystem paths.
+        RunRequest request = job->request;
+        request.cacheResults(options_.resultDir);
+
+        std::vector<RunMetrics> results = experiment.run(request);
+        const obs::RunReport &report = experiment.lastRunReport();
+
+        std::lock_guard<std::mutex> lock(job->mutex);
+        job->results = std::move(results);
+        job->configKey = report.configKey;
+        job->cachedJobs = report.cachedJobs;
+        job->fromCache.assign(job->request.jobs().size(), 0);
+        for (std::size_t i = 0; i < report.jobEntries.size() &&
+             i < job->fromCache.size();
+             ++i)
+            job->fromCache[i] = report.jobEntries[i].fromCache;
+        if (report.failedJobs > 0) {
+            failed = true;
+            error = std::to_string(report.failedJobs) + " of " +
+                std::to_string(report.jobs) +
+                " jobs failed (deadline exhausted)";
+        }
+    } catch (const std::exception &e) {
+        failed = true;
+        error = e.what();
+    }
+
+    const double runSeconds = secondsSince(t0, Clock::now());
+    {
+        std::lock_guard<std::mutex> lock(job->mutex);
+        job->runSeconds = runSeconds;
+        job->state = failed ? JobState::Failed : JobState::Done;
+        job->error = error;
+    }
+    jobs_.retire(job);
+    registry_.counter(failed ? "svc.jobs.failed"
+                             : "svc.jobs.completed")
+        .add();
+    if (!failed) {
+        std::lock_guard<std::mutex> lock(job->mutex);
+        if (job->cachedJobs > 0)
+            registry_.counter("svc.cache.hits").add(job->cachedJobs);
+    }
+    registry_.histogram("svc.job.run_seconds", latencyEdges())
+        .observe(runSeconds);
+    registry_.gauge("svc.jobs.running")
+        .set(static_cast<double>(--runningJobs_));
+}
+
+HttpResponse
+SweepServiceDaemon::handle(const HttpRequest &request)
+{
+    if (request.method == "GET") {
+        if (request.path == "/healthz")
+            return handleHealth();
+        if (request.path == "/metrics" || request.path == "/")
+            return handleMetrics();
+        const std::string prefix = "/v1/jobs/";
+        if (request.path.rfind(prefix, 0) == 0) {
+            std::string rest = request.path.substr(prefix.size());
+            const std::string resultSuffix = "/result";
+            if (rest.size() > resultSuffix.size() &&
+                rest.compare(rest.size() - resultSuffix.size(),
+                             resultSuffix.size(),
+                             resultSuffix) == 0)
+                return handleJobResult(rest.substr(
+                    0, rest.size() - resultSuffix.size()));
+            return handleJobStatus(rest);
+        }
+        return errorResponse(404, "not_found");
+    }
+    if (request.method == "POST") {
+        if (request.path == "/v1/sweeps")
+            return handleSubmit(request);
+        return errorResponse(404, "not_found");
+    }
+    return errorResponse(405, "method_not_allowed");
+}
+
+HttpResponse
+SweepServiceDaemon::handleSubmit(const HttpRequest &request)
+{
+    if (draining_.load() || !started_.load())
+        return errorResponse(503, "shutting_down");
+
+    JsonValue root;
+    const std::string jsonError = parseJson(request.body, root);
+    if (!jsonError.empty()) {
+        registry_.counter("svc.jobs.rejected").add();
+        return errorResponse(400, "bad_json", jsonError);
+    }
+
+    WireSweep sweep;
+    const std::string decodeError = parseSweepRequest(root, sweep);
+    if (!decodeError.empty()) {
+        registry_.counter("svc.jobs.rejected").add();
+        return errorResponse(400, "bad_request", decodeError);
+    }
+
+    // Client identity: explicit body field, else the X-Client-Id
+    // header, else anonymous (one shared quota bucket).
+    if (!root.find("client")) {
+        if (const std::string *h = request.header("x-client-id"))
+            if (!h->empty() && h->size() <= 64)
+                sweep.client = *h;
+    }
+
+    // Semantic validation is the engine's own validate(): the wire
+    // schema cannot drift from the in-process contract.
+    const std::string invalid = sweep.request.validate();
+    if (!invalid.empty()) {
+        registry_.counter("svc.jobs.rejected").add();
+        return errorResponse(400, "invalid_request", invalid);
+    }
+
+    const auto now = Clock::now();
+    if (!quotas_.admit(sweep.client, now)) {
+        registry_.counter("svc.jobs.rejected").add();
+        registry_.counter("svc.quota.trips").add();
+        registry_
+            .counter("svc.client." + sweep.client + ".quota_trips")
+            .add();
+        return errorResponse(429, "quota_exceeded",
+                             "client '" + sweep.client +
+                                 "' is over its admission rate");
+    }
+
+    auto job = std::make_shared<SweepJob>();
+    job->client = sweep.client;
+    job->priority = sweep.priority;
+    job->request = std::move(sweep.request);
+    job->submitted = now;
+    const std::string id = jobs_.add(job);
+
+    const AdmissionQueue::Admit admitted = queue_.submit(job);
+    if (admitted != AdmissionQueue::Admit::Accepted) {
+        jobs_.remove(id);
+        registry_.counter("svc.jobs.rejected").add();
+        if (admitted == AdmissionQueue::Admit::Closed)
+            return errorResponse(503, "shutting_down");
+        return errorResponse(429, "queue_full",
+                             "admission queue is at capacity " +
+                                 std::to_string(queue_.capacity()));
+    }
+    registry_.counter("svc.jobs.accepted").add();
+    registry_.gauge("svc.queue.depth")
+        .set(static_cast<double>(queue_.depth()));
+
+    JsonValue body = JsonValue::object();
+    body.set("job", id);
+    body.set("state", jobStateName(JobState::Queued));
+    body.set("queue_depth", queue_.depth());
+    return jsonResponse(202, body);
+}
+
+HttpResponse
+SweepServiceDaemon::handleJobStatus(const std::string &id)
+{
+    const std::shared_ptr<SweepJob> job = jobs_.find(id);
+    if (!job)
+        return errorResponse(404, "not_found",
+                             "no job '" + id + "'");
+    std::lock_guard<std::mutex> lock(job->mutex);
+    JsonValue body = JsonValue::object();
+    body.set("job", job->id);
+    body.set("state", jobStateName(job->state));
+    body.set("client", job->client);
+    body.set("priority", job->priority);
+    body.set("jobs", job->request.jobs().size());
+    body.set("cached", job->cachedJobs);
+    body.set("wait_s", job->waitSeconds);
+    body.set("run_s", job->runSeconds);
+    if (!job->error.empty())
+        body.set("error", job->error);
+    return jsonResponse(200, body);
+}
+
+HttpResponse
+SweepServiceDaemon::handleJobResult(const std::string &id)
+{
+    const std::shared_ptr<SweepJob> job = jobs_.find(id);
+    if (!job)
+        return errorResponse(404, "not_found",
+                             "no job '" + id + "'");
+    std::lock_guard<std::mutex> lock(job->mutex);
+    if (!job->terminal()) {
+        JsonValue body = JsonValue::object();
+        body.set("error", "not_done");
+        body.set("state", jobStateName(job->state));
+        return jsonResponse(409, body);
+    }
+    JsonValue body = JsonValue::object();
+    body.set("job", job->id);
+    body.set("state", jobStateName(job->state));
+    body.set("config_key", job->configKey);
+    if (!job->error.empty())
+        body.set("error", job->error);
+    JsonValue results = JsonValue::array();
+    const std::vector<RunJob> &requested = job->request.jobs();
+    for (std::size_t i = 0; i < job->results.size(); ++i) {
+        JsonValue entry = JsonValue::object();
+        if (i < requested.size()) {
+            entry.set("workload", requested[i].workload.name);
+            entry.set("policy", requested[i].policy.slug());
+        }
+        entry.set("from_cache",
+                  i < job->fromCache.size() &&
+                      job->fromCache[i] != 0);
+        // The payload IS the v4 result-cache body: a client
+        // deserializes the exact bytes the on-disk cache holds, so
+        // over-the-wire results are bit-identical to in-process ones.
+        entry.set("metrics_v4", runMetricsToBody(job->results[i]));
+        results.push(std::move(entry));
+    }
+    body.set("results", std::move(results));
+    return jsonResponse(200, body);
+}
+
+HttpResponse
+SweepServiceDaemon::handleHealth()
+{
+    const std::size_t depth = queue_.depth();
+    const bool saturated = queue_.saturated();
+    const std::uint64_t workersDead =
+        registry_.counter("svc.workers.died").value();
+    const bool draining = draining_.load();
+    const bool healthy = !saturated && workersDead == 0 && !draining;
+
+    JsonValue body = JsonValue::object();
+    body.set("status", draining        ? "draining"
+                       : healthy       ? "ok"
+                                       : "degraded");
+    body.set("queue_depth", depth);
+    body.set("queue_capacity", queue_.capacity());
+    body.set("workers", options_.workers);
+    body.set("workers_dead", workersDead);
+    body.set("jobs_running",
+             runningJobs_.load(std::memory_order_relaxed));
+    HttpResponse response =
+        jsonResponse(healthy ? 200 : 503, body);
+    return response;
+}
+
+HttpResponse
+SweepServiceDaemon::handleMetrics()
+{
+    registry_.gauge("svc.queue.depth")
+        .set(static_cast<double>(queue_.depth()));
+    std::ostringstream body;
+    obs::writePrometheus(body, registry_);
+    HttpResponse response;
+    response.contentType = "text/plain; version=0.0.4";
+    response.body = body.str();
+    return response;
+}
+
+} // namespace coolcmp::svc

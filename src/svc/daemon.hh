@@ -1,0 +1,150 @@
+/**
+ * @file
+ * coolcmpd — the sweep service daemon: thermal-sim-as-a-service.
+ *
+ * One deterministic engine (core::Experiment) behind a JSON/HTTP
+ * frontend, following the engine-behind-frontends split: the daemon
+ * owns admission, quotas, and job bookkeeping, and the engine stays
+ * frontend-agnostic. Endpoints, all on one listener:
+ *
+ *   POST /v1/sweeps            submit a sweep (svc/codec.hh schema)
+ *                              -> 202 {"job": "j-1", ...}
+ *                              -> 400 bad_json | bad_request |
+ *                                     invalid_request
+ *                              -> 429 queue_full | quota_exceeded
+ *                              -> 503 shutting_down
+ *   GET  /v1/jobs/<id>         job status (queued/running/done/failed)
+ *   GET  /v1/jobs/<id>/result  RunMetrics per job, each embedded as
+ *                              the v4 cache body (bit-exact)
+ *   GET  /metrics              Prometheus text exposition
+ *   GET  /healthz              {"status": "ok"} — or "degraded"
+ *                              (HTTP 503) when the queue is
+ *                              saturated or a worker has died
+ *
+ * Execution: N workers each own a private Experiment built from the
+ * same configuration, so concurrent sweeps proceed truly in parallel
+ * while staying bit-identical to direct in-process execution (every
+ * simulator owns its RNG streams; nothing is shared mutably). The
+ * shared on-disk result cache is the cross-tenant memo: identical
+ * configKeys — whoever submitted them — are served without
+ * re-simulation, bounded by COOLCMP_CACHE_MAX_MB with LRU eviction.
+ *
+ * Shutdown is graceful: stop() refuses new admissions, drains every
+ * queued job through the workers, finishes in-flight HTTP exchanges,
+ * then joins. SIGTERM handling in tools/coolcmpd.cc is just stop().
+ */
+
+#ifndef COOLCMP_SVC_DAEMON_HH
+#define COOLCMP_SVC_DAEMON_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dtm_config.hh"
+#include "core/experiment.hh"
+#include "obs/registry.hh"
+#include "svc/admission.hh"
+#include "svc/http.hh"
+
+namespace coolcmp::svc {
+
+class SweepServiceDaemon
+{
+  public:
+    struct Options
+    {
+        /** Loopback port; 0 binds an ephemeral one (see port()). */
+        std::uint16_t port = 0;
+
+        /** Sweep workers, each with a private engine. 0 admits but
+         *  never runs — useful only for tests of the queue surface. */
+        std::size_t workers = 2;
+
+        /** Admission-queue capacity; submissions beyond it get 429
+         *  queue_full. */
+        std::size_t queueDepth = 64;
+
+        /** Per-client token-bucket rate (sweeps/s); 0 = no quota. */
+        double quotaRatePerSec = 0.0;
+
+        /** Token-bucket depth (burst credit) per client. */
+        double quotaBurst = 8.0;
+
+        /** Shared result-cache directory (the cross-tenant memo);
+         *  empty disables caching. */
+        std::string resultDir = ".coolcmpd-results";
+
+        /** HTTP connection workers (concurrent clients served). */
+        std::size_t httpThreads = 8;
+
+        /** Request size bound; larger bodies get 413. */
+        std::size_t maxRequestBytes = std::size_t{1} << 20;
+
+        /** Completed jobs kept addressable before the oldest are
+         *  forgotten. */
+        std::size_t maxRetainedJobs = 65536;
+    };
+
+    SweepServiceDaemon(Options options, DtmConfig config = {},
+                       TraceBuilderConfig traceConfig = {});
+    ~SweepServiceDaemon();
+
+    SweepServiceDaemon(const SweepServiceDaemon &) = delete;
+    SweepServiceDaemon &operator=(const SweepServiceDaemon &) = delete;
+
+    /** Launch workers and the HTTP frontend; false if the bind
+     *  fails. Idempotent. */
+    bool start();
+
+    /** Graceful shutdown: close admissions, drain the queue, join
+     *  workers and the HTTP pool. Idempotent. */
+    void stop();
+
+    bool running() const { return started_.load(); }
+
+    /** Actual bound port (resolves port-0 requests). */
+    std::uint16_t port() const;
+
+    /** The daemon's metrics registry (svc.* + engine metrics). */
+    obs::Registry &registry() { return registry_; }
+
+    /**
+     * The request router, exposed for handler-level tests; the HTTP
+     * server calls exactly this.
+     */
+    HttpResponse handle(const HttpRequest &request);
+
+  private:
+    const Options options_;
+    const DtmConfig config_;
+    const TraceBuilderConfig traceConfig_;
+
+    obs::Registry registry_;
+    AdmissionQueue queue_;
+    JobTable jobs_;
+    QuotaSet quotas_;
+    std::unique_ptr<HttpServer> http_;
+
+    std::atomic<bool> started_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<std::size_t> runningJobs_{0};
+    std::vector<std::thread> workers_;
+
+    void workerMain(std::size_t index);
+    void executeJob(Experiment &experiment,
+                    const std::shared_ptr<SweepJob> &job);
+
+    HttpResponse handleSubmit(const HttpRequest &request);
+    HttpResponse handleJobStatus(const std::string &id);
+    HttpResponse handleJobResult(const std::string &id);
+    HttpResponse handleHealth();
+    HttpResponse handleMetrics();
+};
+
+} // namespace coolcmp::svc
+
+#endif // COOLCMP_SVC_DAEMON_HH

@@ -1,0 +1,564 @@
+#include "svc/http.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace coolcmp::svc {
+
+namespace {
+
+/// Poll granularity of every blocking loop; bounds stop() latency.
+constexpr int kPollSliceMs = 100;
+
+/// Per-read patience once a request has started arriving.
+constexpr int kReadTimeoutMs = 2000;
+
+bool
+sendAll(int fd, const char *data, std::size_t size)
+{
+    std::size_t sent = 0;
+    while (sent < size) {
+        // MSG_NOSIGNAL: a client hanging up mid-response must not
+        // SIGPIPE the daemon.
+        const ssize_t n =
+            ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && (s[b] == ' ' || s[b] == '\t'))
+        ++b;
+    while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' ||
+                     s[e - 1] == '\r'))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/**
+ * Wait for fd readability in stop-aware slices. Returns false on
+ * timeout, error, or shutdown request.
+ */
+bool
+waitReadable(int fd, int timeoutMs, const std::atomic<bool> *stopping)
+{
+    int waited = 0;
+    while (waited < timeoutMs) {
+        if (stopping && stopping->load(std::memory_order_relaxed))
+            return false;
+        pollfd pfd{fd, POLLIN, 0};
+        const int slice = std::min(kPollSliceMs, timeoutMs - waited);
+        const int ready = ::poll(&pfd, 1, slice);
+        if (ready > 0)
+            return (pfd.revents & (POLLIN | POLLHUP)) != 0;
+        if (ready < 0 && errno != EINTR)
+            return false;
+        waited += slice;
+    }
+    return false;
+}
+
+enum class ReadOutcome { Ok, Closed, Timeout, TooLarge, Malformed };
+
+/**
+ * Read and parse one request off a (possibly persistent) connection.
+ * `firstByteTimeoutMs` is the keep-alive idle budget; once bytes
+ * start flowing the shorter per-read patience applies.
+ */
+ReadOutcome
+readRequest(int fd, std::size_t maxBytes, int firstByteTimeoutMs,
+            const std::atomic<bool> *stopping, HttpRequest &out)
+{
+    std::string buf;
+    std::size_t headerEnd = std::string::npos;
+    bool firstByte = true;
+    char chunk[4096];
+    while (headerEnd == std::string::npos) {
+        if (!waitReadable(fd,
+                          firstByte ? firstByteTimeoutMs
+                                    : kReadTimeoutMs,
+                          stopping))
+            return ReadOutcome::Timeout;
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n == 0)
+            return firstByte ? ReadOutcome::Closed
+                             : ReadOutcome::Malformed;
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                continue;
+            return ReadOutcome::Closed;
+        }
+        firstByte = false;
+        buf.append(chunk, static_cast<std::size_t>(n));
+        if (buf.size() > maxBytes)
+            return ReadOutcome::TooLarge;
+        headerEnd = buf.find("\r\n\r\n");
+    }
+
+    // Request line: METHOD SP PATH SP HTTP/1.x
+    const std::size_t lineEnd = buf.find("\r\n");
+    std::istringstream requestLine(buf.substr(0, lineEnd));
+    std::string version;
+    if (!(requestLine >> out.method >> out.path >> version) ||
+        version.rfind("HTTP/1.", 0) != 0)
+        return ReadOutcome::Malformed;
+
+    // Headers.
+    std::size_t cursor = lineEnd + 2;
+    std::size_t contentLength = 0;
+    bool haveLength = false;
+    while (cursor < headerEnd) {
+        const std::size_t eol = buf.find("\r\n", cursor);
+        const std::string line = buf.substr(cursor, eol - cursor);
+        cursor = eol + 2;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            return ReadOutcome::Malformed;
+        std::string name = toLower(trim(line.substr(0, colon)));
+        std::string value = trim(line.substr(colon + 1));
+        if (name == "content-length") {
+            char *end = nullptr;
+            const unsigned long long v =
+                std::strtoull(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0')
+                return ReadOutcome::Malformed;
+            contentLength = static_cast<std::size_t>(v);
+            haveLength = true;
+        }
+        out.headers.emplace_back(std::move(name), std::move(value));
+    }
+
+    const std::size_t bodyStart = headerEnd + 4;
+    if (haveLength &&
+        (contentLength > maxBytes ||
+         bodyStart + contentLength > maxBytes))
+        return ReadOutcome::TooLarge;
+    if (!haveLength && (out.method == "POST" || out.method == "PUT") &&
+        buf.size() > bodyStart)
+        return ReadOutcome::Malformed; // no chunked support
+
+    while (buf.size() < bodyStart + contentLength) {
+        if (!waitReadable(fd, kReadTimeoutMs, stopping))
+            return ReadOutcome::Timeout;
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            return ReadOutcome::Malformed;
+        buf.append(chunk, static_cast<std::size_t>(n));
+        if (buf.size() > maxBytes)
+            return ReadOutcome::TooLarge;
+    }
+    out.body = buf.substr(bodyStart, contentLength);
+    return ReadOutcome::Ok;
+}
+
+std::string
+serializeResponse(const HttpResponse &response, bool keepAlive)
+{
+    std::ostringstream out;
+    out << "HTTP/1.1 " << response.status << ' '
+        << httpStatusText(response.status) << "\r\n"
+        << "Content-Type: " << response.contentType << "\r\n"
+        << "Content-Length: " << response.body.size() << "\r\n"
+        << "Connection: " << (keepAlive ? "keep-alive" : "close")
+        << "\r\n\r\n"
+        << response.body;
+    return out.str();
+}
+
+} // namespace
+
+const std::string *
+HttpRequest::header(const std::string &name) const
+{
+    for (const auto &[key, value] : headers)
+        if (key == name)
+            return &value;
+    return nullptr;
+}
+
+const char *
+httpStatusText(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 202: return "Accepted";
+      case 204: return "No Content";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 409: return "Conflict";
+      case 413: return "Payload Too Large";
+      case 429: return "Too Many Requests";
+      case 500: return "Internal Server Error";
+      case 503: return "Service Unavailable";
+      default: return "Unknown";
+    }
+}
+
+HttpServer::HttpServer(Options options, Handler handler)
+    : options_(options), handler_(std::move(handler))
+{
+}
+
+HttpServer::~HttpServer()
+{
+    stop();
+}
+
+bool
+HttpServer::start()
+{
+    std::lock_guard<std::mutex> lock(lifecycleMutex_);
+    if (started_)
+        return true;
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warnLimited("svc-http", "cannot create service socket: ",
+                    std::strerror(errno));
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+        warnLimited("svc-http", "cannot bind service port ",
+                    options_.port, ": ", std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &len) == 0)
+        port_ = ntohs(bound.sin_port);
+    else
+        port_ = options_.port;
+
+    stopping_.store(false, std::memory_order_relaxed);
+    listenFd_ = fd;
+    started_ = true;
+    acceptThread_ = std::thread([this, fd] { acceptLoop(fd); });
+    workers_.reserve(options_.connectionThreads);
+    for (std::size_t i = 0; i < options_.connectionThreads; ++i)
+        workers_.emplace_back([this] { connectionWorker(); });
+    return true;
+}
+
+void
+HttpServer::stop()
+{
+    std::thread accept;
+    std::vector<std::thread> workers;
+    int fd = -1;
+    {
+        std::lock_guard<std::mutex> lock(lifecycleMutex_);
+        if (!started_)
+            return;
+        started_ = false;
+        stopping_.store(true, std::memory_order_relaxed);
+        accept = std::move(acceptThread_);
+        workers = std::move(workers_);
+        fd = listenFd_;
+        listenFd_ = -1;
+        port_ = 0;
+    }
+    connAvailable_.notify_all();
+    accept.join();
+    for (std::thread &worker : workers)
+        worker.join();
+    if (fd >= 0)
+        ::close(fd);
+    // Unserved connections left in the hand-off queue get a hard
+    // close; their clients see a reset, which is the honest signal
+    // during shutdown.
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (int pending : pendingConns_)
+        ::close(pending);
+    pendingConns_.clear();
+}
+
+bool
+HttpServer::running() const
+{
+    std::lock_guard<std::mutex> lock(lifecycleMutex_);
+    return started_;
+}
+
+std::uint16_t
+HttpServer::port() const
+{
+    std::lock_guard<std::mutex> lock(lifecycleMutex_);
+    return port_;
+}
+
+void
+HttpServer::acceptLoop(int listenFd)
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        pollfd pfd{listenFd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, kPollSliceMs);
+        if (ready <= 0)
+            continue;
+        const int client = ::accept(listenFd, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            // Shed rather than buffer unboundedly when every worker
+            // is busy and a backlog has already formed.
+            if (pendingConns_.size() >=
+                2 * options_.connectionThreads) {
+                ::close(client);
+                continue;
+            }
+            pendingConns_.push_back(client);
+        }
+        connAvailable_.notify_one();
+    }
+}
+
+void
+HttpServer::connectionWorker()
+{
+    for (;;) {
+        int fd = -1;
+        {
+            std::unique_lock<std::mutex> lock(connMutex_);
+            connAvailable_.wait(lock, [this] {
+                return stopping_.load(std::memory_order_relaxed) ||
+                    !pendingConns_.empty();
+            });
+            if (pendingConns_.empty())
+                return; // stopping
+            fd = pendingConns_.front();
+            pendingConns_.pop_front();
+        }
+        serveConnection(fd);
+        ::close(fd);
+    }
+}
+
+void
+HttpServer::serveConnection(int fd)
+{
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    for (;;) {
+        HttpRequest request;
+        const ReadOutcome outcome =
+            readRequest(fd, options_.maxRequestBytes,
+                        options_.idleTimeoutMs, &stopping_, request);
+        if (outcome == ReadOutcome::Closed ||
+            outcome == ReadOutcome::Timeout)
+            return;
+        if (outcome == ReadOutcome::TooLarge) {
+            HttpResponse r;
+            r.status = 413;
+            r.body = "{\"error\": \"body_too_large\"}";
+            const std::string wire = serializeResponse(r, false);
+            sendAll(fd, wire.data(), wire.size());
+            return;
+        }
+        if (outcome == ReadOutcome::Malformed) {
+            HttpResponse r;
+            r.status = 400;
+            r.body = "{\"error\": \"malformed_request\"}";
+            const std::string wire = serializeResponse(r, false);
+            sendAll(fd, wire.data(), wire.size());
+            return;
+        }
+
+        HttpResponse response;
+        try {
+            response = handler_(request);
+        } catch (const std::exception &e) {
+            response.status = 500;
+            response.body = std::string(
+                               "{\"error\": \"internal\", "
+                               "\"message\": \"") +
+                e.what() + "\"}";
+        }
+
+        const std::string *connection =
+            request.header("connection");
+        const bool clientCloses =
+            connection && toLower(*connection) == "close";
+        const bool keepAlive = !clientCloses &&
+            !response.closeConnection &&
+            !stopping_.load(std::memory_order_relaxed);
+        const std::string wire =
+            serializeResponse(response, keepAlive);
+        if (!sendAll(fd, wire.data(), wire.size()) || !keepAlive)
+            return;
+    }
+}
+
+HttpClient::HttpClient(std::string host, std::uint16_t port)
+    : host_(std::move(host)), port_(port)
+{
+}
+
+HttpClient::~HttpClient()
+{
+    disconnect();
+}
+
+bool
+HttpClient::ensureConnected()
+{
+    if (fd_ >= 0)
+        return true;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port_);
+    if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    fd_ = fd;
+    return true;
+}
+
+void
+HttpClient::disconnect()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+HttpClient::readResponse(HttpResponse &out, bool &serverCloses)
+{
+    std::string buf;
+    char chunk[4096];
+    std::size_t headerEnd = std::string::npos;
+    while (headerEnd == std::string::npos) {
+        if (!waitReadable(fd_, 30000, nullptr))
+            return false;
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            return false;
+        buf.append(chunk, static_cast<std::size_t>(n));
+        headerEnd = buf.find("\r\n\r\n");
+    }
+    const std::size_t lineEnd = buf.find("\r\n");
+    std::istringstream statusLine(buf.substr(0, lineEnd));
+    std::string version;
+    int status = 0;
+    if (!(statusLine >> version >> status))
+        return false;
+
+    std::size_t cursor = lineEnd + 2;
+    std::size_t contentLength = 0;
+    serverCloses = false;
+    while (cursor < headerEnd) {
+        const std::size_t eol = buf.find("\r\n", cursor);
+        const std::string line = buf.substr(cursor, eol - cursor);
+        cursor = eol + 2;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        const std::string name = toLower(trim(line.substr(0, colon)));
+        const std::string value = trim(line.substr(colon + 1));
+        if (name == "content-length")
+            contentLength = static_cast<std::size_t>(
+                std::strtoull(value.c_str(), nullptr, 10));
+        else if (name == "connection" && toLower(value) == "close")
+            serverCloses = true;
+        else if (name == "content-type")
+            out.contentType = value;
+    }
+
+    const std::size_t bodyStart = headerEnd + 4;
+    while (buf.size() < bodyStart + contentLength) {
+        if (!waitReadable(fd_, 30000, nullptr))
+            return false;
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            return false;
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+    out.status = status;
+    out.body = buf.substr(bodyStart, contentLength);
+    return true;
+}
+
+bool
+HttpClient::request(
+    const std::string &method, const std::string &path,
+    const std::string &body, HttpResponse &out,
+    const std::vector<std::pair<std::string, std::string>> &headers)
+{
+    // One transparent retry: a keep-alive connection the server has
+    // since closed fails on the first write or read, and a fresh
+    // connect distinguishes "server gone" from "stale socket".
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        if (!ensureConnected())
+            return false;
+        std::ostringstream wire;
+        wire << method << ' ' << path << " HTTP/1.1\r\n"
+             << "Host: " << host_ << "\r\n";
+        for (const auto &[name, value] : headers)
+            wire << name << ": " << value << "\r\n";
+        wire << "Content-Length: " << body.size() << "\r\n\r\n"
+             << body;
+        const std::string text = wire.str();
+        bool serverCloses = false;
+        if (sendAll(fd_, text.data(), text.size()) &&
+            readResponse(out, serverCloses)) {
+            if (serverCloses)
+                disconnect();
+            return true;
+        }
+        disconnect();
+    }
+    return false;
+}
+
+} // namespace coolcmp::svc

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Multi-client HTTP/1.1 substrate for the sweep service daemon —
+ * the promotion of obs/http_server's single-threaded scrape endpoint
+ * into something that can hold many concurrent API clients:
+ *
+ *   - a poll()-driven accept loop handing connections to a fixed
+ *     pool of connection workers (blocking I/O per connection, no
+ *     thread-per-client explosion),
+ *   - persistent connections (HTTP/1.1 keep-alive with
+ *     Content-Length framing) so a closed-loop client pays one
+ *     connect for its whole session,
+ *   - a hard request-size bound (413 on oversized bodies, 400 on
+ *     malformed framing) enforced before any allocation grows, and
+ *   - graceful shutdown: stop() closes the listener, lets in-flight
+ *     requests finish, then joins every worker.
+ *
+ * The server is routing-agnostic: one Handler callback maps requests
+ * to responses (the daemon layers the /v1, /metrics and /healthz
+ * routes on top). A minimal blocking HttpClient lives here too,
+ * shared by the
+ * load generator and the socket-level tests.
+ */
+
+#ifndef COOLCMP_SVC_HTTP_HH
+#define COOLCMP_SVC_HTTP_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace coolcmp::svc {
+
+/** One parsed request. Header names are lower-cased on parse. */
+struct HttpRequest
+{
+    std::string method;
+    std::string path;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** Header lookup by lower-case name; null when absent. */
+    const std::string *header(const std::string &name) const;
+};
+
+/** One response (also doubles as the client-side parse target). */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "application/json";
+    std::string body;
+    /** Force Connection: close after this response. */
+    bool closeConnection = false;
+};
+
+/** Reason phrase for the status codes the service emits. */
+const char *httpStatusText(int status);
+
+class HttpServer
+{
+  public:
+    struct Options
+    {
+        /** Loopback port; 0 binds an ephemeral one (see port()). */
+        std::uint16_t port = 0;
+        /** Connection workers = max concurrently-served clients. */
+        std::size_t connectionThreads = 8;
+        /** Hard cap on one request (line + headers + body). */
+        std::size_t maxRequestBytes = std::size_t{1} << 20;
+        /** Idle keep-alive connections are dropped after this. */
+        int idleTimeoutMs = 5000;
+    };
+
+    using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+    HttpServer(Options options, Handler handler);
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** Bind 127.0.0.1 and launch the accept loop + workers; false
+     *  (with a warning) when the bind fails. Idempotent. */
+    bool start();
+
+    /** Graceful: close the listener, finish in-flight requests,
+     *  join every thread. Idempotent. */
+    void stop();
+
+    bool running() const;
+
+    /** Actual bound port (resolves port-0 requests); 0 if stopped. */
+    std::uint16_t port() const;
+
+  private:
+    const Options options_;
+    const Handler handler_;
+
+    mutable std::mutex lifecycleMutex_;
+    std::thread acceptThread_;
+    std::vector<std::thread> workers_;
+    bool started_ = false;
+    std::uint16_t port_ = 0;
+    int listenFd_ = -1;
+
+    std::atomic<bool> stopping_{false};
+
+    /** Accepted fds awaiting a connection worker. */
+    std::mutex connMutex_;
+    std::condition_variable connAvailable_;
+    std::deque<int> pendingConns_;
+
+    void acceptLoop(int listenFd);
+    void connectionWorker();
+    void serveConnection(int fd);
+};
+
+/**
+ * Minimal blocking HTTP/1.1 client over one persistent loopback
+ * connection; reconnects transparently when the server closed it.
+ */
+class HttpClient
+{
+  public:
+    HttpClient(std::string host, std::uint16_t port);
+    ~HttpClient();
+
+    HttpClient(const HttpClient &) = delete;
+    HttpClient &operator=(const HttpClient &) = delete;
+
+    /**
+     * Issue one request and block for the response. Extra headers are
+     * (name, value) pairs. False on transport failure (connect, send,
+     * or response framing), with the response left untouched.
+     */
+    bool request(const std::string &method, const std::string &path,
+                 const std::string &body, HttpResponse &out,
+                 const std::vector<std::pair<std::string, std::string>>
+                     &headers = {});
+
+  private:
+    const std::string host_;
+    const std::uint16_t port_;
+    int fd_ = -1;
+
+    bool ensureConnected();
+    void disconnect();
+    bool readResponse(HttpResponse &out, bool &serverCloses);
+};
+
+} // namespace coolcmp::svc
+
+#endif // COOLCMP_SVC_HTTP_HH

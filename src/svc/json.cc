@@ -1,0 +1,416 @@
+#include "svc/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+namespace coolcmp::svc {
+
+namespace {
+
+/** Nesting bound: the service schema is ~4 levels deep, so 64 leaves
+ *  ample headroom while keeping hostile input from exhausting the
+ *  stack. */
+constexpr int kMaxDepth = 64;
+
+struct Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool fail(const std::string &what)
+    {
+        if (error.empty())
+            error = "byte " + std::to_string(pos) + ": " + what;
+        return false;
+    }
+
+    bool atEnd() const { return pos >= text.size(); }
+
+    char peek() const { return text[pos]; }
+
+    void skipSpace()
+    {
+        while (!atEnd()) {
+            const char c = text[pos];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                return;
+            ++pos;
+        }
+    }
+
+    bool consume(char c)
+    {
+        if (atEnd() || text[pos] != c)
+            return false;
+        ++pos;
+        return true;
+    }
+
+    bool literal(std::string_view word)
+    {
+        if (text.substr(pos, word.size()) != word)
+            return fail("invalid literal");
+        pos += word.size();
+        return true;
+    }
+
+    /** Append one \uXXXX escape (handling surrogate pairs) as UTF-8. */
+    bool unicodeEscape(std::string &out)
+    {
+        auto hex4 = [&](std::uint32_t &v) {
+            if (pos + 4 > text.size())
+                return fail("truncated \\u escape");
+            v = 0;
+            for (int i = 0; i < 4; ++i) {
+                const char c = text[pos++];
+                v <<= 4;
+                if (c >= '0' && c <= '9')
+                    v |= static_cast<std::uint32_t>(c - '0');
+                else if (c >= 'a' && c <= 'f')
+                    v |= static_cast<std::uint32_t>(c - 'a' + 10);
+                else if (c >= 'A' && c <= 'F')
+                    v |= static_cast<std::uint32_t>(c - 'A' + 10);
+                else
+                    return fail("invalid \\u escape digit");
+            }
+            return true;
+        };
+        std::uint32_t cp = 0;
+        if (!hex4(cp))
+            return false;
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (!consume('\\') || !consume('u'))
+                return fail("unpaired surrogate");
+            std::uint32_t low = 0;
+            if (!hex4(low))
+                return false;
+            if (low < 0xDC00 || low > 0xDFFF)
+                return fail("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+        } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired surrogate");
+        }
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        out.clear();
+        while (!atEnd()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (atEnd())
+                return fail("truncated escape");
+            const char e = text[pos++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u':
+                if (!unicodeEscape(out))
+                    return false;
+                break;
+              default: return fail("invalid escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos;
+        if (consume('-')) {
+        }
+        if (atEnd() || peek() < '0' || peek() > '9')
+            return fail("invalid number");
+        while (!atEnd() &&
+               ((peek() >= '0' && peek() <= '9') || peek() == '.' ||
+                peek() == 'e' || peek() == 'E' || peek() == '+' ||
+                peek() == '-'))
+            ++pos;
+        const std::string token(text.substr(start, pos - start));
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size() || !std::isfinite(v)) {
+            pos = start;
+            return fail("invalid number");
+        }
+        out = JsonValue(v);
+        return true;
+    }
+
+    bool parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipSpace();
+        if (atEnd())
+            return fail("unexpected end of input");
+        switch (peek()) {
+          case '{': {
+            ++pos;
+            JsonValue obj = JsonValue::object();
+            skipSpace();
+            if (consume('}')) {
+                out = std::move(obj);
+                return true;
+            }
+            for (;;) {
+                skipSpace();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipSpace();
+                if (!consume(':'))
+                    return fail("expected ':'");
+                JsonValue member;
+                if (!parseValue(member, depth + 1))
+                    return false;
+                obj.set(std::move(key), std::move(member));
+                skipSpace();
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    break;
+                return fail("expected ',' or '}'");
+            }
+            out = std::move(obj);
+            return true;
+          }
+          case '[': {
+            ++pos;
+            JsonValue arr = JsonValue::array();
+            skipSpace();
+            if (consume(']')) {
+                out = std::move(arr);
+                return true;
+            }
+            for (;;) {
+                JsonValue item;
+                if (!parseValue(item, depth + 1))
+                    return false;
+                arr.push(std::move(item));
+                skipSpace();
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    break;
+                return fail("expected ',' or ']'");
+            }
+            out = std::move(arr);
+            return true;
+          }
+          case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = JsonValue(std::move(s));
+            return true;
+          }
+          case 't':
+            if (!literal("true"))
+                return false;
+            out = JsonValue(true);
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return false;
+            out = JsonValue(false);
+            return true;
+          case 'n':
+            if (!literal("null"))
+                return false;
+            out = JsonValue();
+            return true;
+          default: return parseNumber(out);
+        }
+    }
+};
+
+/** Shortest decimal that round-trips; integral values print without
+ *  a fraction (mirrors obs/prom_export's formatting contract). */
+std::string
+fmtNumber(double v)
+{
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    if (std::strtod(buf, nullptr) != v)
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const Member &m : object_)
+        if (m.first == key)
+            return &m.second;
+    return nullptr;
+}
+
+JsonValue &
+JsonValue::push(JsonValue v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    array_.push_back(std::move(v));
+    return *this;
+}
+
+JsonValue &
+JsonValue::set(std::string key, JsonValue v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    for (Member &m : object_) {
+        if (m.first == key) {
+            m.second = std::move(v);
+            return *this;
+        }
+    }
+    object_.emplace_back(std::move(key), std::move(v));
+    return *this;
+}
+
+std::string
+parseJson(std::string_view text, JsonValue &out)
+{
+    out = JsonValue();
+    Parser p{text, 0, {}};
+    JsonValue value;
+    if (!p.parseValue(value, 0))
+        return p.error;
+    p.skipSpace();
+    if (!p.atEnd()) {
+        p.fail("trailing characters after document");
+        return p.error;
+    }
+    out = std::move(value);
+    return {};
+}
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeJson(std::ostream &out, const JsonValue &value)
+{
+    switch (value.kind()) {
+      case JsonValue::Kind::Null: out << "null"; break;
+      case JsonValue::Kind::Bool:
+        out << (value.asBool() ? "true" : "false");
+        break;
+      case JsonValue::Kind::Number:
+        out << fmtNumber(value.asDouble());
+        break;
+      case JsonValue::Kind::String:
+        out << '"' << jsonEscape(value.asString()) << '"';
+        break;
+      case JsonValue::Kind::Array: {
+        out << '[';
+        bool first = true;
+        for (const JsonValue &item : value.items()) {
+            if (!first)
+                out << ", ";
+            first = false;
+            writeJson(out, item);
+        }
+        out << ']';
+        break;
+      }
+      case JsonValue::Kind::Object: {
+        out << '{';
+        bool first = true;
+        for (const auto &[key, member] : value.members()) {
+            if (!first)
+                out << ", ";
+            first = false;
+            out << '"' << jsonEscape(key) << "\": ";
+            writeJson(out, member);
+        }
+        out << '}';
+        break;
+      }
+    }
+}
+
+std::string
+jsonToString(const JsonValue &value)
+{
+    std::ostringstream out;
+    writeJson(out, value);
+    return out.str();
+}
+
+} // namespace coolcmp::svc

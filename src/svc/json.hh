@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Minimal JSON document model for the sweep service wire format.
+ *
+ * The daemon speaks a small, fixed schema (see svc/codec.hh), so this
+ * is deliberately not a general-purpose JSON library: one value type
+ * holding every kind, a strict recursive-descent parser with a depth
+ * bound and byte-accurate error positions, and a deterministic writer
+ * (objects keep insertion order, numbers render shortest-round-trip)
+ * so golden-body tests can compare exact strings. No external
+ * dependencies — the container image only guarantees the C++
+ * toolchain.
+ */
+
+#ifndef COOLCMP_SVC_JSON_HH
+#define COOLCMP_SVC_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace coolcmp::svc {
+
+/** One JSON value of any kind. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    using Array = std::vector<JsonValue>;
+    using Member = std::pair<std::string, JsonValue>;
+    /** Insertion-ordered members: the writer emits exactly this
+     *  order, which keeps serialized bodies deterministic. */
+    using Object = std::vector<Member>;
+
+    JsonValue() = default;
+    JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    JsonValue(double v) : kind_(Kind::Number), number_(v) {}
+    template <typename T,
+              typename = std::enable_if_t<std::is_integral_v<T> &&
+                                          !std::is_same_v<T, bool>>>
+    JsonValue(T v)
+        : kind_(Kind::Number), number_(static_cast<double>(v))
+    {
+    }
+    JsonValue(const char *s) : kind_(Kind::String), string_(s) {}
+    JsonValue(std::string s)
+        : kind_(Kind::String), string_(std::move(s))
+    {
+    }
+
+    static JsonValue array() { return ofKind(Kind::Array); }
+    static JsonValue object() { return ofKind(Kind::Object); }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool(bool fallback = false) const
+    {
+        return isBool() ? bool_ : fallback;
+    }
+
+    double asDouble(double fallback = 0.0) const
+    {
+        return isNumber() ? number_ : fallback;
+    }
+
+    const std::string &asString() const { return string_; }
+
+    const Array &items() const { return array_; }
+    const Object &members() const { return object_; }
+
+    /** Object member lookup; null when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Append to an array value (converts a null to an array). */
+    JsonValue &push(JsonValue v);
+
+    /** Set an object member, replacing an existing key (converts a
+     *  null to an object). */
+    JsonValue &set(std::string key, JsonValue v);
+
+  private:
+    static JsonValue ofKind(Kind kind)
+    {
+        JsonValue v;
+        v.kind_ = kind;
+        return v;
+    }
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+/**
+ * Parse one JSON document. Strict: the whole input must be consumed
+ * (trailing garbage is an error), nesting is bounded, and numbers
+ * must be finite.
+ *
+ * @return empty string on success, else "byte N: what went wrong"
+ * (and `out` is left null).
+ */
+std::string parseJson(std::string_view text, JsonValue &out);
+
+/**
+ * Serialize compactly but readably: ": " after keys, ", " between
+ * elements, no newlines. Numbers that hold an integral value within
+ * 2^53 print as integers; others print with the fewest digits that
+ * round-trip.
+ */
+void writeJson(std::ostream &out, const JsonValue &value);
+
+/** writeJson into a string. */
+std::string jsonToString(const JsonValue &value);
+
+/** Escape a string for embedding between JSON quotes. */
+std::string jsonEscape(std::string_view s);
+
+} // namespace coolcmp::svc
+
+#endif // COOLCMP_SVC_JSON_HH

@@ -1,0 +1,813 @@
+/**
+ * @file
+ * Sweep service tests: the JSON document model, the wire codec and
+ * its golden bodies, admission control (token buckets, the bounded
+ * priority queue, the job table), the daemon's HTTP surface down to
+ * raw-socket framing errors, and the end-to-end guarantee that
+ * service results are bit-identical to direct in-process execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <chrono>
+#include <filesystem>
+#include <netinet/in.h>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "svc/admission.hh"
+#include "svc/codec.hh"
+#include "svc/daemon.hh"
+#include "svc/http.hh"
+#include "svc/json.hh"
+#include "workload/workloads.hh"
+
+#include "test_util.hh"
+
+using namespace coolcmp;
+using namespace coolcmp::svc;
+
+namespace {
+
+std::chrono::steady_clock::time_point
+at(double seconds)
+{
+    return std::chrono::steady_clock::time_point(
+        std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(seconds)));
+}
+
+// --------------------------------------------------------------------
+// JSON document model
+
+TEST(JsonTest, ParsesScalarsArraysAndObjects)
+{
+    JsonValue v;
+    EXPECT_EQ(parseJson("null", v), "");
+    EXPECT_TRUE(v.isNull());
+    EXPECT_EQ(parseJson("true", v), "");
+    EXPECT_TRUE(v.asBool());
+    EXPECT_EQ(parseJson("-12.5e2", v), "");
+    EXPECT_DOUBLE_EQ(v.asDouble(), -1250.0);
+    EXPECT_EQ(parseJson("\"a\\n\\u0041\\u00e9\"", v), "");
+    EXPECT_EQ(v.asString(), "a\nA\xc3\xa9");
+
+    EXPECT_EQ(parseJson("  [1, [2, 3], {\"k\": \"v\"}] ", v), "");
+    ASSERT_TRUE(v.isArray());
+    ASSERT_EQ(v.items().size(), 3u);
+    EXPECT_DOUBLE_EQ(v.items()[0].asDouble(), 1.0);
+    EXPECT_DOUBLE_EQ(v.items()[1].items()[1].asDouble(), 3.0);
+    ASSERT_NE(v.items()[2].find("k"), nullptr);
+    EXPECT_EQ(v.items()[2].find("k")->asString(), "v");
+}
+
+TEST(JsonTest, RejectsMalformedDocuments)
+{
+    JsonValue v;
+    EXPECT_NE(parseJson("", v), "");
+    EXPECT_NE(parseJson("{", v), "");
+    EXPECT_NE(parseJson("[1,]", v), "");
+    EXPECT_NE(parseJson("{\"a\" 1}", v), "");
+    EXPECT_NE(parseJson("\"unterminated", v), "");
+    EXPECT_NE(parseJson("nul", v), "");
+    EXPECT_NE(parseJson("1 2", v), ""); // trailing garbage
+    EXPECT_NE(parseJson("\"bad \\x escape\"", v), "");
+    // Error messages carry a byte position.
+    EXPECT_NE(parseJson("[1, }", v).find("byte"), std::string::npos);
+}
+
+TEST(JsonTest, BoundsNestingDepth)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += "[";
+    JsonValue v;
+    EXPECT_NE(parseJson(deep, v), "");
+}
+
+TEST(JsonTest, WriterIsDeterministicAndRoundTrips)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("b", 2);          // insertion order is preserved,
+    obj.set("a", 1.5);        // not sorted
+    obj.set("s", "x\"y");
+    JsonValue arr = JsonValue::array();
+    arr.push(true);
+    arr.push(JsonValue());
+    obj.set("list", std::move(arr));
+    const std::string text = jsonToString(obj);
+    EXPECT_EQ(text,
+              "{\"b\": 2, \"a\": 1.5, \"s\": \"x\\\"y\", "
+              "\"list\": [true, null]}");
+
+    JsonValue back;
+    ASSERT_EQ(parseJson(text, back), "");
+    EXPECT_EQ(jsonToString(back), text);
+}
+
+// --------------------------------------------------------------------
+// Wire codec
+
+/** The golden POST /v1/sweeps body: the serialize -> parse ->
+ *  serialize fixed point. */
+std::string
+goldenBody()
+{
+    return "{\"client\": \"tenant-a\", \"priority\": 1, "
+           "\"jobs\": [{\"workload\": \"workload7\", "
+           "\"policy\": {\"mechanism\": \"dvfs\", "
+           "\"scope\": \"distributed\", \"migration\": \"none\"}}], "
+           "\"options\": {\"threads\": 2, \"timeout_s\": 30, "
+           "\"max_attempts\": 2, \"backoff_s\": 0.05, "
+           "\"rom_tolerance\": -1}}";
+}
+
+TEST(CodecTest, GoldenBodyRoundTripsByteIdentically)
+{
+    JsonValue doc;
+    ASSERT_EQ(parseJson(goldenBody(), doc), "");
+    WireSweep sweep;
+    ASSERT_EQ(parseSweepRequest(doc, sweep), "");
+    EXPECT_EQ(sweep.client, "tenant-a");
+    EXPECT_EQ(sweep.priority, 1);
+    ASSERT_EQ(sweep.request.jobs().size(), 1u);
+    EXPECT_EQ(sweep.request.jobs()[0].workload.name, "workload7");
+    EXPECT_EQ(sweep.request.jobs()[0].policy.mechanism,
+              ThrottleMechanism::Dvfs);
+    EXPECT_EQ(sweep.request.options().threads, 2u);
+    EXPECT_DOUBLE_EQ(sweep.request.options().jobTimeoutSeconds, 30.0);
+
+    EXPECT_EQ(jsonToString(sweepRequestToJson(sweep)), goldenBody());
+}
+
+TEST(CodecTest, CustomBenchmarkMixRoundTrips)
+{
+    const std::string body =
+        "{\"jobs\": [{\"benchmarks\": "
+        "[\"gzip\", \"gcc\", \"mcf\", \"art\"], "
+        "\"policy\": {\"mechanism\": \"stop-go\", "
+        "\"scope\": \"global\", \"migration\": \"sensor\"}}]}";
+    JsonValue doc;
+    ASSERT_EQ(parseJson(body, doc), "");
+    WireSweep sweep;
+    ASSERT_EQ(parseSweepRequest(doc, sweep), "");
+    EXPECT_EQ(sweep.client, "anonymous");
+    ASSERT_EQ(sweep.request.jobs().size(), 1u);
+    const Workload &w = sweep.request.jobs()[0].workload;
+    EXPECT_EQ(w.benchmarks[0], "gzip");
+    EXPECT_EQ(w.benchmarks[3], "art");
+
+    // Serialize re-emits the explicit benchmark list (the name is
+    // synthetic, not a Table 4 entry).
+    const std::string round =
+        jsonToString(sweepRequestToJson(sweep));
+    EXPECT_NE(round.find("\"benchmarks\": [\"gzip\", \"gcc\", "
+                         "\"mcf\", \"art\"]"),
+              std::string::npos);
+
+    JsonValue doc2;
+    ASSERT_EQ(parseJson(round, doc2), "");
+    WireSweep sweep2;
+    ASSERT_EQ(parseSweepRequest(doc2, sweep2), "");
+    EXPECT_EQ(jsonToString(sweepRequestToJson(sweep2)), round);
+}
+
+TEST(CodecTest, RejectsUndecodableRequests)
+{
+    auto decodeError = [](const std::string &body) {
+        JsonValue doc;
+        EXPECT_EQ(parseJson(body, doc), "");
+        WireSweep sweep;
+        return parseSweepRequest(doc, sweep);
+    };
+    EXPECT_NE(decodeError("{}"), "");           // no jobs
+    EXPECT_NE(decodeError("{\"jobs\": []}"), ""); // empty jobs
+    EXPECT_NE(decodeError("{\"jobs\": [{\"workload\": \"nope\"}]}"),
+              "");
+    EXPECT_NE(decodeError("{\"jobs\": [{\"workload\": \"workload1\","
+                          " \"benchmarks\": [\"gzip\"]}]}"),
+              ""); // both forms at once
+    EXPECT_NE(
+        decodeError("{\"jobs\": [{\"benchmarks\": [\"gzip\"]}]}"),
+        ""); // wrong arity
+    EXPECT_NE(decodeError(
+                  "{\"jobs\": [{\"workload\": \"workload1\", "
+                  "\"policy\": {\"mechanism\": \"overclock\"}}]}"),
+              "");
+    EXPECT_NE(decodeError("{\"client\": \"\", \"jobs\": "
+                          "[{\"workload\": \"workload1\"}]}"),
+              "");
+    EXPECT_NE(decodeError("{\"jobs\": [{\"workload\": \"workload1\"}],"
+                          " \"options\": {\"threads\": 65}}"),
+              "");
+    EXPECT_NE(decodeError("{\"jobs\": [{\"workload\": \"workload1\"}],"
+                          " \"options\": {\"threads\": 1.5}}"),
+              "");
+}
+
+TEST(CodecTest, MetricsBodyRoundTripsBitExactly)
+{
+    RunMetrics m;
+    m.duration = 0.02;
+    m.totalInstructions = 169694609.02676055;
+    m.dutyCycle = 0.91479019859390309;
+    m.peakTemp = 83.424545189188635;
+    const std::string body = runMetricsToBody(m);
+    RunMetrics back;
+    ASSERT_TRUE(runMetricsFromBody(body, back));
+    EXPECT_EQ(runMetricsToBody(back), body); // bit-exact round trip
+    EXPECT_EQ(back.totalInstructions, m.totalInstructions);
+
+    RunMetrics junk;
+    EXPECT_FALSE(runMetricsFromBody("not a metrics body", junk));
+}
+
+// --------------------------------------------------------------------
+// Admission control
+
+TEST(AdmissionTest, TokenBucketRefillsDeterministically)
+{
+    TokenBucket bucket(2.0, 2.0, at(0.0)); // 2/s, burst 2
+    EXPECT_TRUE(bucket.tryAcquire(at(0.0)));
+    EXPECT_TRUE(bucket.tryAcquire(at(0.0)));
+    EXPECT_FALSE(bucket.tryAcquire(at(0.0))); // burst spent
+    EXPECT_FALSE(bucket.tryAcquire(at(0.2))); // 0.4 tokens back
+    EXPECT_TRUE(bucket.tryAcquire(at(0.5)));  // 1.0 by now
+    // A long idle period caps at burst, not unbounded credit.
+    EXPECT_TRUE(bucket.tryAcquire(at(100.0)));
+    EXPECT_TRUE(bucket.tryAcquire(at(100.0)));
+    EXPECT_FALSE(bucket.tryAcquire(at(100.0)));
+
+    TokenBucket unlimited(0.0, 1.0, at(0.0));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(unlimited.tryAcquire(at(0.0)));
+}
+
+TEST(AdmissionTest, QuotaSetIsPerClient)
+{
+    QuotaSet quotas(1.0, 1.0);
+    EXPECT_TRUE(quotas.admit("a", at(0.0)));
+    EXPECT_FALSE(quotas.admit("a", at(0.0)));
+    EXPECT_TRUE(quotas.admit("b", at(0.0))); // separate bucket
+    EXPECT_TRUE(quotas.admit("a", at(1.5)));
+}
+
+std::shared_ptr<SweepJob>
+makeJob(int priority)
+{
+    auto job = std::make_shared<SweepJob>();
+    job->priority = priority;
+    return job;
+}
+
+TEST(AdmissionTest, QueueOrdersByPriorityThenArrival)
+{
+    AdmissionQueue queue(8);
+    auto low = makeJob(0);
+    auto high = makeJob(5);
+    auto alsoLow = makeJob(0);
+    EXPECT_EQ(queue.submit(low), AdmissionQueue::Admit::Accepted);
+    EXPECT_EQ(queue.submit(high), AdmissionQueue::Admit::Accepted);
+    EXPECT_EQ(queue.submit(alsoLow), AdmissionQueue::Admit::Accepted);
+    EXPECT_EQ(queue.depth(), 3u);
+    EXPECT_EQ(queue.pop(), high);
+    EXPECT_EQ(queue.pop(), low); // FIFO within a priority
+    EXPECT_EQ(queue.pop(), alsoLow);
+}
+
+TEST(AdmissionTest, QueueBoundsDepthAndDrainsAfterClose)
+{
+    AdmissionQueue queue(2);
+    EXPECT_EQ(queue.submit(makeJob(0)),
+              AdmissionQueue::Admit::Accepted);
+    EXPECT_EQ(queue.submit(makeJob(0)),
+              AdmissionQueue::Admit::Accepted);
+    EXPECT_TRUE(queue.saturated());
+    EXPECT_EQ(queue.submit(makeJob(0)), AdmissionQueue::Admit::Full);
+
+    queue.close();
+    EXPECT_EQ(queue.submit(makeJob(0)),
+              AdmissionQueue::Admit::Closed);
+    EXPECT_NE(queue.pop(), nullptr); // drain continues
+    EXPECT_NE(queue.pop(), nullptr);
+    EXPECT_EQ(queue.pop(), nullptr); // drained: workers exit
+}
+
+TEST(AdmissionTest, JobTableAssignsIdsAndBoundsRetention)
+{
+    JobTable table(2); // retain at most 2 terminal jobs
+    auto a = makeJob(0);
+    auto b = makeJob(0);
+    auto c = makeJob(0);
+    EXPECT_EQ(table.add(a), "j-1");
+    EXPECT_EQ(table.add(b), "j-2");
+    EXPECT_EQ(table.add(c), "j-3");
+    EXPECT_EQ(table.find("j-2"), b);
+    EXPECT_EQ(table.find("j-9"), nullptr);
+
+    table.retire(a);
+    table.retire(b);
+    table.retire(c); // evicts the oldest terminal record (j-1)
+    EXPECT_EQ(table.find("j-1"), nullptr);
+    EXPECT_EQ(table.find("j-3"), c);
+
+    table.remove("j-3");
+    EXPECT_EQ(table.find("j-3"), nullptr);
+}
+
+// --------------------------------------------------------------------
+// Daemon HTTP surface (handler level: workers=0 admits but never runs,
+// so queue/quota behavior is deterministic)
+
+HttpRequest
+postSweeps(const std::string &body)
+{
+    HttpRequest request;
+    request.method = "POST";
+    request.path = "/v1/sweeps";
+    request.body = body;
+    return request;
+}
+
+HttpRequest
+get(const std::string &path)
+{
+    HttpRequest request;
+    request.method = "GET";
+    request.path = path;
+    return request;
+}
+
+/** The error code an error response carries. */
+std::string
+errorCode(const HttpResponse &response)
+{
+    JsonValue doc;
+    if (!parseJson(response.body, doc).empty() || !doc.find("error"))
+        return "<unparseable>";
+    return doc.find("error")->asString();
+}
+
+class DaemonSurfaceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        coolcmp::testing::quiet();
+        SweepServiceDaemon::Options options;
+        options.workers = 0; // admit-only: jobs stay queued
+        options.queueDepth = 2;
+        options.quotaRatePerSec = 1e-6; // ~never refills
+        options.quotaBurst = 3.0;
+        options.resultDir.clear();
+        daemon_ = std::make_unique<SweepServiceDaemon>(
+            options, coolcmp::testing::fastDtmConfig(),
+            coolcmp::testing::fastTraceConfig());
+        ASSERT_TRUE(daemon_->start());
+    }
+
+    void TearDown() override { daemon_->stop(); }
+
+    std::unique_ptr<SweepServiceDaemon> daemon_;
+};
+
+TEST_F(DaemonSurfaceTest, SubmitStatusAndErrorSurface)
+{
+    // Malformed JSON -> bad_json.
+    HttpResponse response = daemon_->handle(postSweeps("{nope"));
+    EXPECT_EQ(response.status, 400);
+    EXPECT_EQ(errorCode(response), "bad_json");
+
+    // Decodable JSON, undecodable schema -> bad_request.
+    response = daemon_->handle(postSweeps("{\"jobs\": []}"));
+    EXPECT_EQ(response.status, 400);
+    EXPECT_EQ(errorCode(response), "bad_request");
+
+    // Decodes fine but fails RunRequest::validate() ->
+    // invalid_request (negative timeout).
+    response = daemon_->handle(postSweeps(
+        "{\"jobs\": [{\"workload\": \"workload1\"}], "
+        "\"options\": {\"timeout_s\": -1}}"));
+    EXPECT_EQ(response.status, 400);
+    EXPECT_EQ(errorCode(response), "invalid_request");
+
+    // A good submission queues.
+    response = daemon_->handle(
+        postSweeps("{\"jobs\": [{\"workload\": \"workload1\"}]}"));
+    ASSERT_EQ(response.status, 202);
+    JsonValue doc;
+    ASSERT_EQ(parseJson(response.body, doc), "");
+    const std::string id = doc.find("job")->asString();
+    EXPECT_EQ(id, "j-1");
+    EXPECT_EQ(doc.find("state")->asString(), "queued");
+
+    // Status reflects the queued job; its result is not ready (409).
+    response = daemon_->handle(get("/v1/jobs/" + id));
+    EXPECT_EQ(response.status, 200);
+    ASSERT_EQ(parseJson(response.body, doc), "");
+    EXPECT_EQ(doc.find("state")->asString(), "queued");
+
+    response = daemon_->handle(get("/v1/jobs/" + id + "/result"));
+    EXPECT_EQ(response.status, 409);
+    EXPECT_EQ(errorCode(response), "not_done");
+
+    // Unknown ids 404; wrong method 405.
+    response = daemon_->handle(get("/v1/jobs/j-999"));
+    EXPECT_EQ(response.status, 404);
+    EXPECT_EQ(errorCode(response), "not_found");
+    HttpRequest del;
+    del.method = "DELETE";
+    del.path = "/v1/sweeps";
+    EXPECT_EQ(daemon_->handle(del).status, 405);
+}
+
+TEST_F(DaemonSurfaceTest, ShedsOnQueueFullAndQuota)
+{
+    const std::string good =
+        "{\"jobs\": [{\"workload\": \"workload1\"}]}";
+    // Distinct clients dodge the quota; depth 2 fills after two.
+    EXPECT_EQ(daemon_
+                  ->handle(postSweeps(
+                      "{\"client\": \"a\", \"jobs\": "
+                      "[{\"workload\": \"workload1\"}]}"))
+                  .status,
+              202);
+    EXPECT_EQ(daemon_
+                  ->handle(postSweeps(
+                      "{\"client\": \"b\", \"jobs\": "
+                      "[{\"workload\": \"workload1\"}]}"))
+                  .status,
+              202);
+    HttpResponse response = daemon_->handle(postSweeps(
+        "{\"client\": \"c\", \"jobs\": "
+        "[{\"workload\": \"workload1\"}]}"));
+    EXPECT_EQ(response.status, 429);
+    EXPECT_EQ(errorCode(response), "queue_full");
+
+    // A saturated queue degrades /healthz (non-200 with a status
+    // field).
+    response = daemon_->handle(get("/healthz"));
+    EXPECT_EQ(response.status, 503);
+    JsonValue doc;
+    ASSERT_EQ(parseJson(response.body, doc), "");
+    EXPECT_EQ(doc.find("status")->asString(), "degraded");
+
+    // Per-client quota: burst 3 with ~no refill, so the fourth
+    // same-client submission trips even with queue room.
+    SweepServiceDaemon::Options options;
+    options.workers = 0;
+    options.queueDepth = 64;
+    options.quotaRatePerSec = 1e-6;
+    options.quotaBurst = 3.0;
+    options.resultDir.clear();
+    SweepServiceDaemon throttled(
+        options, coolcmp::testing::fastDtmConfig(),
+        coolcmp::testing::fastTraceConfig());
+    ASSERT_TRUE(throttled.start());
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(throttled.handle(postSweeps(good)).status, 202);
+    response = throttled.handle(postSweeps(good));
+    EXPECT_EQ(response.status, 429);
+    EXPECT_EQ(errorCode(response), "quota_exceeded");
+
+    // Quota trips surface in the registry (per client and total).
+    bool sawTotal = false, sawClient = false;
+    for (const auto &[name, value] :
+         throttled.registry().counterValues()) {
+        if (name == "svc.quota.trips")
+            sawTotal = value >= 1;
+        if (name == "svc.client.anonymous.quota_trips")
+            sawClient = value >= 1;
+    }
+    EXPECT_TRUE(sawTotal);
+    EXPECT_TRUE(sawClient);
+    throttled.stop();
+}
+
+TEST_F(DaemonSurfaceTest, HealthzDegradesWhenAWorkerDies)
+{
+    EXPECT_EQ(daemon_->handle(get("/healthz")).status, 200);
+    daemon_->registry().counter("svc.workers.died").add();
+    HttpResponse response = daemon_->handle(get("/healthz"));
+    EXPECT_EQ(response.status, 503);
+    JsonValue doc;
+    ASSERT_EQ(parseJson(response.body, doc), "");
+    EXPECT_EQ(doc.find("status")->asString(), "degraded");
+    EXPECT_DOUBLE_EQ(doc.find("workers_dead")->asDouble(), 1.0);
+}
+
+TEST_F(DaemonSurfaceTest, ClientIdentityFallsBackToHeader)
+{
+    HttpRequest request =
+        postSweeps("{\"jobs\": [{\"workload\": \"workload1\"}]}");
+    request.headers.emplace_back("x-client-id", "tenant-x");
+    ASSERT_EQ(daemon_->handle(request).status, 202);
+    JsonValue doc;
+    const HttpResponse status = daemon_->handle(get("/v1/jobs/j-1"));
+    ASSERT_EQ(parseJson(status.body, doc), "");
+    EXPECT_EQ(doc.find("client")->asString(), "tenant-x");
+}
+
+// --------------------------------------------------------------------
+// Raw-socket framing errors against the real listener
+
+std::string
+rawExchange(std::uint16_t port, const std::string &wire)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return {};
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return {};
+    }
+    ::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+TEST(DaemonSocketTest, OversizedAndMalformedBodies)
+{
+    coolcmp::testing::quiet();
+    SweepServiceDaemon::Options options;
+    options.workers = 0;
+    options.maxRequestBytes = 512;
+    options.resultDir.clear();
+    SweepServiceDaemon daemon(options,
+                              coolcmp::testing::fastDtmConfig(),
+                              coolcmp::testing::fastTraceConfig());
+    ASSERT_TRUE(daemon.start());
+    const std::uint16_t port = daemon.port();
+    ASSERT_GT(port, 0);
+
+    // Content-Length beyond the bound -> 413 before the body is read.
+    std::string big = "POST /v1/sweeps HTTP/1.1\r\n"
+                      "Host: 127.0.0.1\r\n"
+                      "Content-Length: 100000\r\n\r\n";
+    std::string response = rawExchange(port, big);
+    EXPECT_NE(response.find("413"), std::string::npos);
+    EXPECT_NE(response.find("body_too_large"), std::string::npos);
+
+    // A request line that is not HTTP -> 400 malformed_request.
+    response = rawExchange(port, "FLY ME TO /the/moon\r\n\r\n");
+    EXPECT_NE(response.find("400"), std::string::npos);
+    EXPECT_NE(response.find("malformed_request"), std::string::npos);
+
+    // Garbage Content-Length -> 400 malformed_request.
+    response = rawExchange(port,
+                           "POST /v1/sweeps HTTP/1.1\r\n"
+                           "Content-Length: banana\r\n\r\n");
+    EXPECT_NE(response.find("400"), std::string::npos);
+    EXPECT_NE(response.find("malformed_request"), std::string::npos);
+
+    daemon.stop();
+}
+
+// --------------------------------------------------------------------
+// End to end: service results == direct in-process results, bit for
+// bit; identical resubmissions come from the cross-tenant memo.
+
+/** Poll a job until terminal; returns its final state name. */
+std::string
+awaitJob(HttpClient &http, const std::string &id,
+         double budgetSeconds = 120.0)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    for (;;) {
+        HttpResponse response;
+        if (!http.request("GET", "/v1/jobs/" + id, {}, response))
+            return "<transport>";
+        JsonValue doc;
+        if (!parseJson(response.body, doc).empty())
+            return "<unparseable>";
+        const std::string state = doc.find("state")->asString();
+        if (state == "done" || state == "failed")
+            return state;
+        if (std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count() > budgetSeconds)
+            return "<timeout>";
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+}
+
+TEST(DaemonEndToEndTest, ResultsMatchDirectExecutionBitForBit)
+{
+    coolcmp::testing::quiet();
+    const std::string dir =
+        ::testing::TempDir() + "coolcmp-svc-e2e";
+    std::filesystem::remove_all(dir);
+
+    SweepServiceDaemon::Options options;
+    options.workers = 2;
+    options.resultDir = dir;
+    SweepServiceDaemon daemon(options,
+                              coolcmp::testing::fastDtmConfig(),
+                              coolcmp::testing::fastTraceConfig());
+    ASSERT_TRUE(daemon.start());
+
+    const std::string body =
+        "{\"client\": \"tenant-a\", \"jobs\": ["
+        "{\"workload\": \"workload1\", \"policy\": "
+        "{\"mechanism\": \"dvfs\", \"scope\": \"distributed\"}}, "
+        "{\"workload\": \"workload2\", \"policy\": "
+        "{\"mechanism\": \"stop-go\", \"scope\": \"global\"}}]}";
+
+    HttpClient http("127.0.0.1", daemon.port());
+    HttpResponse response;
+    ASSERT_TRUE(http.request("POST", "/v1/sweeps", body, response));
+    ASSERT_EQ(response.status, 202) << response.body;
+    JsonValue doc;
+    ASSERT_EQ(parseJson(response.body, doc), "");
+    const std::string id = doc.find("job")->asString();
+    ASSERT_EQ(awaitJob(http, id), "done");
+
+    ASSERT_TRUE(
+        http.request("GET", "/v1/jobs/" + id + "/result", {},
+                     response));
+    ASSERT_EQ(response.status, 200);
+    ASSERT_EQ(parseJson(response.body, doc), "");
+    const JsonValue *results = doc.find("results");
+    ASSERT_NE(results, nullptr);
+    ASSERT_EQ(results->items().size(), 2u);
+
+    // The same sweep, executed directly in process (no cache, no
+    // service): the wire payload must be byte-identical v4 bodies.
+    JsonValue parsedBody;
+    ASSERT_EQ(parseJson(body, parsedBody), "");
+    WireSweep sweep;
+    ASSERT_EQ(parseSweepRequest(parsedBody, sweep), "");
+    Experiment direct(coolcmp::testing::fastDtmConfig(),
+                      coolcmp::testing::fastTraceConfig());
+    const std::vector<RunMetrics> expected =
+        direct.run(sweep.request);
+    ASSERT_EQ(expected.size(), 2u);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        const JsonValue &entry = results->items()[i];
+        EXPECT_FALSE(entry.find("from_cache")->asBool());
+        EXPECT_EQ(entry.find("metrics_v4")->asString(),
+                  runMetricsToBody(expected[i]));
+    }
+
+    // Resubmit the identical sweep as a different tenant: served
+    // from the shared result memo, bit-identical again.
+    std::string tenantB = body;
+    tenantB.replace(tenantB.find("tenant-a"), 8, "tenant-b");
+    ASSERT_TRUE(
+        http.request("POST", "/v1/sweeps", tenantB, response));
+    ASSERT_EQ(response.status, 202);
+    ASSERT_EQ(parseJson(response.body, doc), "");
+    const std::string id2 = doc.find("job")->asString();
+    ASSERT_EQ(awaitJob(http, id2), "done");
+
+    ASSERT_TRUE(
+        http.request("GET", "/v1/jobs/" + id2 + "/result", {},
+                     response));
+    ASSERT_EQ(parseJson(response.body, doc), "");
+    const JsonValue *cached = doc.find("results");
+    ASSERT_EQ(cached->items().size(), 2u);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        const JsonValue &entry = cached->items()[i];
+        EXPECT_TRUE(entry.find("from_cache")->asBool());
+        EXPECT_EQ(entry.find("metrics_v4")->asString(),
+                  runMetricsToBody(expected[i]));
+    }
+
+    bool sawHits = false;
+    for (const auto &[name, value] :
+         daemon.registry().counterValues())
+        if (name == "svc.cache.hits")
+            sawHits = value >= 2;
+    EXPECT_TRUE(sawHits);
+
+    daemon.stop();
+    std::filesystem::remove_all(dir);
+}
+
+TEST(DaemonEndToEndTest, SustainsConcurrentClients)
+{
+    coolcmp::testing::quiet();
+    const std::string dir =
+        ::testing::TempDir() + "coolcmp-svc-concurrent";
+    std::filesystem::remove_all(dir);
+
+    SweepServiceDaemon::Options options;
+    options.workers = 2;
+    options.resultDir = dir;
+    SweepServiceDaemon daemon(options,
+                              coolcmp::testing::fastDtmConfig(),
+                              coolcmp::testing::fastTraceConfig());
+    ASSERT_TRUE(daemon.start());
+    const std::uint16_t port = daemon.port();
+
+    // 4 concurrent clients cycling 2 distinct sweeps: exercises the
+    // accept loop, the worker pool, and the shared memo under TSan.
+    const std::vector<std::string> bodies = {
+        "{\"jobs\": [{\"workload\": \"workload1\"}]}",
+        "{\"jobs\": [{\"workload\": \"workload3\", \"policy\": "
+        "{\"mechanism\": \"stop-go\"}}]}",
+    };
+    std::vector<int> failures(4, 0);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c)
+        clients.emplace_back([&, c] {
+            HttpClient http("127.0.0.1", port);
+            for (int r = 0; r < 3; ++r) {
+                HttpResponse response;
+                if (!http.request("POST", "/v1/sweeps",
+                                  bodies[r % bodies.size()],
+                                  response) ||
+                    response.status != 202) {
+                    ++failures[c];
+                    continue;
+                }
+                JsonValue doc;
+                if (!parseJson(response.body, doc).empty()) {
+                    ++failures[c];
+                    continue;
+                }
+                if (awaitJob(http,
+                             doc.find("job")->asString()) != "done")
+                    ++failures[c];
+            }
+        });
+    for (std::thread &t : clients)
+        t.join();
+    for (int c = 0; c < 4; ++c)
+        EXPECT_EQ(failures[c], 0) << "client " << c;
+
+    // Every submission completed.
+    std::uint64_t accepted = 0, completed = 0, failed = 0;
+    for (const auto &[name, value] :
+         daemon.registry().counterValues()) {
+        if (name == "svc.jobs.accepted")
+            accepted = value;
+        if (name == "svc.jobs.completed")
+            completed = value;
+        if (name == "svc.jobs.failed")
+            failed = value;
+    }
+    EXPECT_EQ(accepted, 12u);
+    EXPECT_EQ(completed, 12u);
+    EXPECT_EQ(failed, 0u);
+
+    daemon.stop();
+    EXPECT_FALSE(daemon.running());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(DaemonEndToEndTest, StopDrainsAcceptedJobs)
+{
+    coolcmp::testing::quiet();
+    SweepServiceDaemon::Options options;
+    options.workers = 1;
+    options.resultDir.clear();
+    SweepServiceDaemon daemon(options,
+                              coolcmp::testing::fastDtmConfig(),
+                              coolcmp::testing::fastTraceConfig());
+    ASSERT_TRUE(daemon.start());
+
+    HttpClient http("127.0.0.1", daemon.port());
+    HttpResponse response;
+    ASSERT_TRUE(http.request(
+        "POST", "/v1/sweeps",
+        "{\"jobs\": [{\"workload\": \"workload1\"}]}", response));
+    ASSERT_EQ(response.status, 202);
+    JsonValue doc;
+    ASSERT_EQ(parseJson(response.body, doc), "");
+    const std::string id = doc.find("job")->asString();
+
+    // stop() returns only after the accepted job ran to completion.
+    daemon.stop();
+    const std::shared_ptr<SweepJob> job =
+        [&] {
+            // The HTTP surface is down; inspect through handle().
+            HttpResponse status = daemon.handle(get("/v1/jobs/" + id));
+            JsonValue parsed;
+            EXPECT_EQ(parseJson(status.body, parsed), "");
+            EXPECT_EQ(parsed.find("state")->asString(), "done");
+            return nullptr;
+        }();
+    (void)job;
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * coolcmpd — the sweep service daemon binary.
+ *
+ * Serves the deterministic DTM sweep engine over loopback HTTP/JSON
+ * (see src/svc/daemon.hh for the endpoint surface). SIGTERM/SIGINT
+ * trigger a graceful drain: admissions close, every accepted job
+ * finishes, then the listener goes down.
+ *
+ * Usage:
+ *   coolcmpd [--port N] [--workers N] [--http-threads N]
+ *            [--queue-depth N] [--quota-rate R] [--quota-burst B]
+ *            [--result-dir PATH] [--max-body BYTES]
+ *            [--sim-duration SECONDS] [--fast] [--port-file PATH]
+ *
+ * --fast shrinks the simulation (20 ms of silicon time, 16-interval
+ * traces) so CI smoke runs complete in seconds; --port 0 (default)
+ * binds an ephemeral port, published via --port-file for scripts.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "svc/daemon.hh"
+#include "util/logging.hh"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--port N] [--workers N] [--http-threads N]\n"
+        "          [--queue-depth N] [--quota-rate R] "
+        "[--quota-burst B]\n"
+        "          [--result-dir PATH] [--max-body BYTES]\n"
+        "          [--sim-duration SECONDS] [--fast] "
+        "[--port-file PATH]\n",
+        argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace coolcmp;
+
+    setDefaultLogLevel(LogLevel::Inform);
+
+    svc::SweepServiceDaemon::Options options;
+    DtmConfig config;
+    TraceBuilderConfig traceConfig;
+    std::string portFile;
+    double simDuration = 0.0;
+
+    auto next = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--port")
+            options.port =
+                static_cast<std::uint16_t>(std::stoi(next(i)));
+        else if (arg == "--workers")
+            options.workers = std::stoul(next(i));
+        else if (arg == "--http-threads")
+            options.httpThreads = std::stoul(next(i));
+        else if (arg == "--queue-depth")
+            options.queueDepth = std::stoul(next(i));
+        else if (arg == "--quota-rate")
+            options.quotaRatePerSec = std::stod(next(i));
+        else if (arg == "--quota-burst")
+            options.quotaBurst = std::stod(next(i));
+        else if (arg == "--result-dir")
+            options.resultDir = next(i);
+        else if (arg == "--max-body")
+            options.maxRequestBytes = std::stoul(next(i));
+        else if (arg == "--sim-duration")
+            simDuration = std::stod(next(i));
+        else if (arg == "--port-file")
+            portFile = next(i);
+        else if (arg == "--fast") {
+            config.duration = 0.02;
+            traceConfig.numIntervals = 16;
+            traceConfig.sampledShare = 0.2;
+            traceConfig.warmupCycles = 30000;
+        } else
+            usage(argv[0]);
+    }
+    if (simDuration > 0.0)
+        config.duration = simDuration;
+    if (options.workers == 0) {
+        std::fprintf(stderr, "coolcmpd: --workers must be >= 1\n");
+        return 2;
+    }
+
+    svc::SweepServiceDaemon daemon(options, config, traceConfig);
+    if (!daemon.start())
+        return 1;
+
+    if (!portFile.empty()) {
+        std::ofstream out(portFile, std::ios::trunc);
+        out << daemon.port() << "\n";
+        if (!out) {
+            warn("cannot write port file ", portFile);
+            daemon.stop();
+            return 1;
+        }
+    }
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    while (!g_stop.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    inform("coolcmpd: signal received, draining");
+    daemon.stop();
+    inform("coolcmpd: drained, bye");
+    return 0;
+}

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * loadgen — closed-loop load generator for coolcmpd.
+ *
+ * N client threads each keep one persistent HTTP connection and
+ * drive submit -> poll -> fetch-result loops against a running
+ * daemon, cycling a shared set of distinct sweeps so identical
+ * configKeys recur across clients (exercising the cross-tenant result
+ * memo). End-to-end job latency (submit to terminal state) lands in
+ * an obs::Histogram, and the run ends with an SLO report:
+ *
+ *   {"clients": 4, "total": 32, "failed": 0, "shed_429": 3,
+ *    "cache_hits": 24, "p50_ms": ..., "p95_ms": ..., "p99_ms": ...}
+ *
+ * Exit status is the SLO gate: nonzero when any job failed or when
+ * --max-p99-ms is set and breached, so CI can call this binary
+ * directly.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/taxonomy.hh"
+#include "obs/registry.hh"
+#include "svc/codec.hh"
+#include "svc/http.hh"
+#include "svc/json.hh"
+#include "util/logging.hh"
+#include "workload/workloads.hh"
+
+namespace {
+
+using namespace coolcmp;
+using Clock = std::chrono::steady_clock;
+
+struct LoadgenOptions
+{
+    std::uint16_t port = 0;
+    std::size_t clients = 4;
+    std::size_t requestsPerClient = 8;
+    std::size_t distinctSweeps = 4;
+    double pollBudgetSeconds = 120.0;
+    double maxP99Ms = 0.0; ///< 0 = no latency gate
+    std::string reportPath;
+};
+
+struct Totals
+{
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> shed429{0};
+    std::atomic<std::uint64_t> cacheHits{0};
+};
+
+/** The sweeps every client cycles: one Table 4 workload paired with a
+ *  varying policy corner, so sweep k is identical across clients. */
+std::vector<svc::WireSweep>
+buildSweeps(std::size_t distinct)
+{
+    const std::vector<Workload> &table = table4Workloads();
+    const PolicyConfig corners[] = {
+        {ThrottleMechanism::Dvfs, ControlScope::Distributed,
+         MigrationKind::None},
+        {ThrottleMechanism::StopGo, ControlScope::Global,
+         MigrationKind::None},
+        {ThrottleMechanism::Dvfs, ControlScope::Global,
+         MigrationKind::CounterBased},
+        {ThrottleMechanism::StopGo, ControlScope::Distributed,
+         MigrationKind::SensorBased},
+    };
+    std::vector<svc::WireSweep> sweeps;
+    sweeps.reserve(distinct);
+    for (std::size_t k = 0; k < distinct; ++k) {
+        svc::WireSweep sweep;
+        sweep.request.add(table[k % table.size()],
+                          corners[k % std::size(corners)]);
+        sweeps.push_back(std::move(sweep));
+    }
+    return sweeps;
+}
+
+/** One submit -> poll -> result round trip; false counts as a failed
+ *  job. 429 shedding retries after a short pause (closed loop). */
+bool
+runOne(svc::HttpClient &http, const std::string &clientName,
+       const svc::WireSweep &sweep, const LoadgenOptions &options,
+       Totals &totals, obs::Histogram &latency)
+{
+    svc::WireSweep tagged = sweep;
+    tagged.client = clientName;
+    const std::string body =
+        jsonToString(svc::sweepRequestToJson(tagged));
+
+    const auto t0 = Clock::now();
+    svc::HttpResponse response;
+    std::string jobId;
+    for (;;) {
+        if (!http.request("POST", "/v1/sweeps", body, response)) {
+            warn(clientName, ": transport failure on submit");
+            return false;
+        }
+        if (response.status == 429) {
+            totals.shed429.fetch_add(1);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+            continue;
+        }
+        if (response.status != 202) {
+            warn(clientName, ": submit rejected: HTTP ",
+                 response.status, " ", response.body);
+            return false;
+        }
+        svc::JsonValue parsed;
+        if (!svc::parseJson(response.body, parsed).empty() ||
+            !parsed.find("job")) {
+            warn(clientName, ": unparseable submit response");
+            return false;
+        }
+        jobId = parsed.find("job")->asString();
+        break;
+    }
+
+    const std::string statusPath = "/v1/jobs/" + jobId;
+    for (;;) {
+        if (std::chrono::duration<double>(Clock::now() - t0).count() >
+            options.pollBudgetSeconds) {
+            warn(clientName, ": poll budget exhausted on ", jobId);
+            return false;
+        }
+        if (!http.request("GET", statusPath, {}, response)) {
+            warn(clientName, ": transport failure polling ", jobId);
+            return false;
+        }
+        svc::JsonValue parsed;
+        if (!svc::parseJson(response.body, parsed).empty() ||
+            !parsed.find("state")) {
+            warn(clientName, ": unparseable status for ", jobId);
+            return false;
+        }
+        const std::string &state =
+            parsed.find("state")->asString();
+        if (state == "done")
+            break;
+        if (state == "failed") {
+            warn(clientName, ": job ", jobId, " failed");
+            return false;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    latency.observe(
+        std::chrono::duration<double>(Clock::now() - t0).count());
+
+    if (!http.request("GET", statusPath + "/result", {}, response) ||
+        response.status != 200) {
+        warn(clientName, ": cannot fetch result for ", jobId);
+        return false;
+    }
+    svc::JsonValue parsed;
+    if (!svc::parseJson(response.body, parsed).empty() ||
+        !parsed.find("results")) {
+        warn(clientName, ": unparseable result for ", jobId);
+        return false;
+    }
+    for (const svc::JsonValue &entry :
+         parsed.find("results")->items()) {
+        const svc::JsonValue *metrics = entry.find("metrics_v4");
+        RunMetrics decoded;
+        if (!metrics ||
+            !svc::runMetricsFromBody(metrics->asString(), decoded)) {
+            warn(clientName, ": undecodable metrics body in ", jobId);
+            return false;
+        }
+        const svc::JsonValue *fromCache = entry.find("from_cache");
+        if (fromCache && fromCache->asBool())
+            totals.cacheHits.fetch_add(1);
+    }
+    return true;
+}
+
+void
+clientMain(std::size_t index, const LoadgenOptions &options,
+           const std::vector<svc::WireSweep> &sweeps, Totals &totals,
+           obs::Histogram &latency)
+{
+    const std::string name = "lg-" + std::to_string(index);
+    svc::HttpClient http("127.0.0.1", options.port);
+    for (std::size_t r = 0; r < options.requestsPerClient; ++r) {
+        if (runOne(http, name, sweeps[r % sweeps.size()], options,
+                   totals, latency))
+            totals.completed.fetch_add(1);
+        else
+            totals.failed.fetch_add(1);
+    }
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --port N [--clients N] [--requests N]\n"
+                 "          [--distinct N] [--poll-budget SECONDS]\n"
+                 "          [--max-p99-ms MS] [--report PATH]\n",
+                 argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setDefaultLogLevel(LogLevel::Inform);
+
+    LoadgenOptions options;
+    auto next = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--port")
+            options.port =
+                static_cast<std::uint16_t>(std::stoi(next(i)));
+        else if (arg == "--clients")
+            options.clients = std::stoul(next(i));
+        else if (arg == "--requests")
+            options.requestsPerClient = std::stoul(next(i));
+        else if (arg == "--distinct")
+            options.distinctSweeps = std::stoul(next(i));
+        else if (arg == "--poll-budget")
+            options.pollBudgetSeconds = std::stod(next(i));
+        else if (arg == "--max-p99-ms")
+            options.maxP99Ms = std::stod(next(i));
+        else if (arg == "--report")
+            options.reportPath = next(i);
+        else
+            usage(argv[0]);
+    }
+    if (options.port == 0 || options.clients == 0 ||
+        options.requestsPerClient == 0 ||
+        options.distinctSweeps == 0)
+        usage(argv[0]);
+
+    const std::vector<svc::WireSweep> sweeps =
+        buildSweeps(options.distinctSweeps);
+
+    obs::Registry registry;
+    obs::Histogram &latency = registry.histogram(
+        "loadgen.job_seconds",
+        obs::Histogram::exponentialEdges(1e-3, 2.0, 24));
+    Totals totals;
+
+    const auto t0 = Clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(options.clients);
+    for (std::size_t c = 0; c < options.clients; ++c)
+        clients.emplace_back([&, c] {
+            clientMain(c, options, sweeps, totals, latency);
+        });
+    for (std::thread &t : clients)
+        t.join();
+    const double wallSeconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    const obs::Histogram::Snapshot snap = latency.snapshot();
+    const std::uint64_t total =
+        totals.completed.load() + totals.failed.load();
+
+    svc::JsonValue report = svc::JsonValue::object();
+    report.set("clients", options.clients);
+    report.set("requests_per_client", options.requestsPerClient);
+    report.set("distinct_sweeps", options.distinctSweeps);
+    report.set("total", total);
+    report.set("completed", totals.completed.load());
+    report.set("failed", totals.failed.load());
+    report.set("shed_429", totals.shed429.load());
+    report.set("cache_hits", totals.cacheHits.load());
+    report.set("p50_ms", snap.quantile(0.50) * 1e3);
+    report.set("p95_ms", snap.quantile(0.95) * 1e3);
+    report.set("p99_ms", snap.quantile(0.99) * 1e3);
+    report.set("mean_ms", snap.mean() * 1e3);
+    report.set("wall_s", wallSeconds);
+    report.set("jobs_per_s",
+               wallSeconds > 0.0
+                   ? static_cast<double>(total) / wallSeconds
+                   : 0.0);
+    const std::string rendered = jsonToString(report);
+    std::cout << rendered << "\n";
+    if (!options.reportPath.empty()) {
+        std::ofstream out(options.reportPath, std::ios::trunc);
+        out << rendered << "\n";
+        if (!out) {
+            warn("cannot write report ", options.reportPath);
+            return 1;
+        }
+    }
+
+    if (totals.failed.load() > 0) {
+        warn("SLO gate: ", totals.failed.load(), " jobs failed");
+        return 1;
+    }
+    if (options.maxP99Ms > 0.0 &&
+        snap.quantile(0.99) * 1e3 > options.maxP99Ms) {
+        warn("SLO gate: p99 ", snap.quantile(0.99) * 1e3,
+             " ms exceeds bound ", options.maxP99Ms, " ms");
+        return 1;
+    }
+    return 0;
+}
