@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Merge google-benchmark JSON results into a baseline file.
+
+Usage: merge_bench.py BASELINE.json EXTRA.json [EXTRA2.json ...]
+
+Entries in the extra files replace same-name entries in the baseline
+(or are appended), so BENCH_micro.json can carry results from more
+than one benchmark binary (bench_micro + bench_fleet).
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline_path = sys.argv[1]
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    benchmarks = baseline.setdefault("benchmarks", [])
+    for extra_path in sys.argv[2:]:
+        with open(extra_path) as f:
+            extra = json.load(f)
+        for entry in extra.get("benchmarks", []):
+            name = entry.get("name")
+            for i, existing in enumerate(benchmarks):
+                if existing.get("name") == name:
+                    benchmarks[i] = entry
+                    break
+            else:
+                benchmarks.append(entry)
+    with open(baseline_path, "w") as f:
+        json.dump(baseline, f, indent=2)
+        f.write("\n")
+    print(f"merged {len(sys.argv) - 2} file(s) into {baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

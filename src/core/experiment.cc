@@ -121,6 +121,8 @@ mixDouble(std::uint64_t &hash, double v)
     mixBytes(hash, &v, sizeof(v));
 }
 
+} // namespace
+
 std::string
 configKeyHex(std::uint64_t key)
 {
@@ -129,8 +131,6 @@ configKeyHex(std::uint64_t key)
                   static_cast<unsigned long long>(key));
     return buf;
 }
-
-} // namespace
 
 bool
 saveRunMetrics(const std::string &path, const RunMetrics &m,

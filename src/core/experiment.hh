@@ -9,6 +9,8 @@
 #ifndef COOLCMP_CORE_EXPERIMENT_HH
 #define COOLCMP_CORE_EXPERIMENT_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <future>
 #include <map>
 #include <memory>
@@ -186,6 +188,31 @@ class RunRequest
     {
         options_ = std::move(options);
         return *this;
+    }
+
+    /**
+     * The sub-range [lo, hi) of the job list as its own request —
+     * the unit of work a fleet worker runs for one lease. Options
+     * carry over except the journal path: journaling a whole sweep
+     * is the coordinator's job, and two slices writing one journal
+     * file would reject each other's headers (different job counts).
+     * Because every simulator owns its RNG streams, running slices
+     * on separate processes and concatenating the results is
+     * bit-identical to running the full request in one process.
+     */
+    RunRequest slice(std::size_t lo, std::size_t hi) const
+    {
+        RunRequest out;
+        if (lo < hi && lo < jobs_.size()) {
+            hi = std::min(hi, jobs_.size());
+            out.jobs_.assign(jobs_.begin() +
+                                 static_cast<std::ptrdiff_t>(lo),
+                             jobs_.begin() +
+                                 static_cast<std::ptrdiff_t>(hi));
+        }
+        out.options_ = options_;
+        out.options_.journalPath.clear();
+        return out;
     }
 
     const std::vector<RunJob> &jobs() const { return jobs_; }
@@ -412,6 +439,10 @@ class Experiment
     std::mutex tracesMutex_;
     std::map<std::string, TraceFuture> traces_;
 };
+
+/** Canonical 16-digit hex rendering of an Experiment::configKey()
+ *  (the form journals, caches, and the fleet protocol exchange). */
+std::string configKeyHex(std::uint64_t key);
 
 /**
  * Persist run metrics to a result-cache file. The header stamps the

@@ -191,6 +191,22 @@ SweepJournal::record(std::size_t job, const RunMetrics &m)
 }
 
 void
+SweepJournal::recordAll(
+    const std::vector<std::pair<std::size_t, RunMetrics>> &entries)
+{
+    if (entries.empty())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[job, m] : entries) {
+        if (job >= numJobs_)
+            panic("sweep journal record out of range");
+        done_[job] = 1;
+        results_[job] = m;
+    }
+    rewriteLocked();
+}
+
+void
 SweepJournal::rewriteLocked()
 {
     obs::atomicWriteFile(path_, "sweep-journal", [&](std::ostream &out) {

@@ -28,6 +28,7 @@
 #include <iosfwd>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/metrics.hh"
@@ -78,6 +79,16 @@ class SweepJournal
 
     /** Record one completed job and atomically rewrite the file. */
     void record(std::size_t job, const RunMetrics &m);
+
+    /** Record a batch of completed jobs with ONE atomic rewrite —
+     *  the fleet coordinator commits every result of a streamed
+     *  batch in a single file write instead of one rewrite per job.
+     *  The final file bytes are identical to recording the jobs one
+     *  at a time (entries are always emitted in ascending index
+     *  order). */
+    void
+    recordAll(const std::vector<std::pair<std::size_t, RunMetrics>>
+                  &entries);
 
     const std::string &path() const { return path_; }
 

@@ -1,0 +1,533 @@
+#include "fleet/coordinator.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "obs/prom_export.hh"
+#include "svc/json.hh"
+#include "util/logging.hh"
+
+namespace coolcmp::fleet {
+
+namespace {
+
+using svc::HttpRequest;
+using svc::HttpResponse;
+using svc::JsonValue;
+
+using Clock = std::chrono::steady_clock;
+
+/** Sweep-spec bodies past this stream chunked (a 10k-job spec is a
+ *  few MB; workers dechunk transparently). */
+constexpr std::size_t kChunkedSpecBytes = std::size_t{256} << 10;
+
+HttpResponse
+jsonResponse(int status, const JsonValue &body)
+{
+    HttpResponse response;
+    response.status = status;
+    response.body = jsonToString(body);
+    return response;
+}
+
+HttpResponse
+errorResponse(int status, const std::string &code,
+              const std::string &message = {})
+{
+    JsonValue body = JsonValue::object();
+    body.set("error", code);
+    if (!message.empty())
+        body.set("message", message);
+    return jsonResponse(status, body);
+}
+
+/** Parse "<id>/<verb>" from a /v1/leases/ path suffix. */
+bool
+parseLeasePath(const std::string &rest, std::uint64_t &id,
+               std::string &verb)
+{
+    const std::size_t slash = rest.find('/');
+    if (slash == std::string::npos || slash == 0)
+        return false;
+    const std::string idText = rest.substr(0, slash);
+    char *end = nullptr;
+    id = std::strtoull(idText.c_str(), &end, 10);
+    if (end == idText.c_str() || *end != '\0')
+        return false;
+    verb = rest.substr(slash + 1);
+    return true;
+}
+
+double
+leaseSecondsLeft(const LeaseTable &table, std::uint64_t id,
+                 TimePoint now)
+{
+    for (const LeaseInfo &info : table.leases())
+        if (info.id == id)
+            return std::max(
+                0.0,
+                std::chrono::duration<double>(info.deadline - now)
+                    .count());
+    return 0.0;
+}
+
+} // namespace
+
+FleetCoordinator::FleetCoordinator(svc::WireSweep sweep,
+                                   Options options, DtmConfig config,
+                                   TraceBuilderConfig traceConfig)
+    : options_(std::move(options)), config_(std::move(config)),
+      traceConfig_(std::move(traceConfig)), sweep_(std::move(sweep)),
+      table_(sweep_.request.jobs().size(), options_.leaseSeconds),
+      results_(sweep_.request.jobs().size())
+{
+    // Fold a request-level rom_tolerance override into the config so
+    // the configKey served to workers is the effective one — exactly
+    // what Experiment::run() does before keying its journal.
+    if (sweep_.request.options().romTolerance >= 0.0)
+        config_.romTolerance = sweep_.request.options().romTolerance;
+    Experiment experiment(config_, traceConfig_);
+    keyHex_ = configKeyHex(experiment.configKey());
+
+    // Render the sweep spec once: the job list (codec schema), the
+    // effective engine profile a worker needs to rebuild the same
+    // configKey, and the key itself for the worker-side cross-check.
+    JsonValue doc = JsonValue::object();
+    doc.set("config_key", keyHex_);
+    doc.set("jobs", sweep_.request.jobs().size());
+    JsonValue profile = JsonValue::object();
+    profile.set("duration", config_.duration);
+    profile.set("interval_cycles", config_.intervalCycles);
+    profile.set("num_intervals", traceConfig_.numIntervals);
+    profile.set("sampled_share", traceConfig_.sampledShare);
+    profile.set("warmup_cycles", traceConfig_.warmupCycles);
+    profile.set("rom_tolerance", config_.romTolerance);
+    doc.set("profile", std::move(profile));
+    doc.set("sweep", svc::sweepRequestToJson(sweep_));
+    sweepDoc_ = jsonToString(doc);
+
+    if (!options_.journalPath.empty())
+        journal_ = std::make_unique<SweepJournal>(
+            options_.journalPath, keyHex_,
+            sweep_.request.jobs().size());
+
+    registry_.gauge("fleet.jobs.total")
+        .set(static_cast<double>(sweep_.request.jobs().size()));
+}
+
+FleetCoordinator::~FleetCoordinator()
+{
+    stop();
+}
+
+bool
+FleetCoordinator::start()
+{
+    if (started_)
+        return true;
+
+    // Resume: replay a matching journal into the lease table before
+    // any worker can acquire, so resumed jobs are never recomputed.
+    if (journal_ && journal_->load()) {
+        for (std::size_t i = 0; i < table_.numJobs(); ++i) {
+            if (!journal_->has(i))
+                continue;
+            table_.markDone(i);
+            std::lock_guard<std::mutex> lock(resultsMutex_);
+            results_[i] = journal_->result(i);
+        }
+        inform("fleet coordinator resumed ", table_.completed(),
+               " of ", table_.numJobs(), " jobs from ",
+               journal_->path());
+    }
+
+    svc::HttpServer::Options http;
+    http.port = options_.port;
+    http.connectionThreads = options_.httpThreads;
+    http.maxRequestBytes = options_.maxRequestBytes;
+    http_ = std::make_unique<svc::HttpServer>(
+        http, [this](const HttpRequest &r) { return handle(r); });
+    if (!http_->start()) {
+        http_.reset();
+        return false;
+    }
+
+    started_ = true;
+    stopReaper_ = false;
+    reaper_ = std::thread([this] { reaperMain(); });
+    inform("fleet coordinator serving ", table_.numJobs(),
+           " jobs on 127.0.0.1:", http_->port(), ", lease ",
+           options_.leaseSeconds, " s, max range ",
+           options_.maxLeaseJobs);
+    return true;
+}
+
+void
+FleetCoordinator::stop()
+{
+    if (!started_)
+        return;
+    started_ = false;
+    {
+        std::lock_guard<std::mutex> lock(doneMutex_);
+        stopReaper_ = true;
+    }
+    doneCv_.notify_all();
+    if (reaper_.joinable())
+        reaper_.join();
+    if (http_) {
+        http_->stop();
+        http_.reset();
+    }
+}
+
+std::uint16_t
+FleetCoordinator::port() const
+{
+    return http_ ? http_->port() : 0;
+}
+
+bool
+FleetCoordinator::waitUntilDone(double timeoutSeconds)
+{
+    std::unique_lock<std::mutex> lock(doneMutex_);
+    const auto pred = [this] { return table_.allDone(); };
+    if (timeoutSeconds <= 0.0) {
+        doneCv_.wait(lock, pred);
+        return true;
+    }
+    return doneCv_.wait_for(
+        lock, std::chrono::duration<double>(timeoutSeconds), pred);
+}
+
+std::vector<RunMetrics>
+FleetCoordinator::results() const
+{
+    std::lock_guard<std::mutex> lock(resultsMutex_);
+    return results_;
+}
+
+void
+FleetCoordinator::reaperMain()
+{
+    std::unique_lock<std::mutex> lock(doneMutex_);
+    while (!stopReaper_) {
+        doneCv_.wait_for(
+            lock,
+            std::chrono::milliseconds(
+                std::max(options_.reaperIntervalMs, 10)),
+            [this] { return stopReaper_; });
+        if (stopReaper_)
+            break;
+        lock.unlock();
+        const auto now = Clock::now();
+        if (const std::size_t revoked = table_.expire(now))
+            warn("fleet: revoked ", revoked,
+                 " expired lease(s); jobs requeued");
+        updateGauges(now);
+        lock.lock();
+    }
+}
+
+void
+FleetCoordinator::updateGauges(TimePoint now)
+{
+    const LeaseStats stats = table_.stats();
+    registry_.gauge("fleet.jobs.completed")
+        .set(static_cast<double>(table_.completed()));
+    registry_.gauge("fleet.jobs.pending")
+        .set(static_cast<double>(table_.pendingJobs()));
+    registry_.gauge("fleet.leases.active")
+        .set(static_cast<double>(table_.activeLeases()));
+    registry_.gauge("fleet.leases.granted")
+        .set(static_cast<double>(stats.leasesGranted));
+    registry_.gauge("fleet.leases.retired")
+        .set(static_cast<double>(stats.leasesRetired));
+    registry_.gauge("fleet.leases.revoked")
+        .set(static_cast<double>(stats.leasesRevoked));
+    registry_.gauge("fleet.jobs.requeued")
+        .set(static_cast<double>(stats.jobsRequeued));
+    registry_.gauge("fleet.results.duplicate")
+        .set(static_cast<double>(stats.duplicateCommits));
+
+    // A worker is live while it has spoken within two lease windows
+    // (every acquire, heartbeat, and results batch counts).
+    const double liveWindow = std::max(2.0 * options_.leaseSeconds, 1.0);
+    std::size_t live = 0;
+    std::lock_guard<std::mutex> lock(workersMutex_);
+    for (auto &[name, state] : workers_) {
+        const double idle =
+            std::chrono::duration<double>(now - state.lastSeen)
+                .count();
+        if (idle < liveWindow)
+            ++live;
+        registry_.gauge("fleet.worker." + name + ".jobs_per_s")
+            .set(state.rate.perSecond(now));
+    }
+    registry_.gauge("fleet.workers.live")
+        .set(static_cast<double>(live));
+}
+
+void
+FleetCoordinator::touchWorker(const std::string &worker,
+                              std::uint64_t jobs, TimePoint now)
+{
+    std::lock_guard<std::mutex> lock(workersMutex_);
+    WorkerState &state = workers_[worker];
+    state.lastSeen = now;
+    if (jobs > 0) {
+        state.jobs += jobs;
+        state.rate.observe(static_cast<double>(jobs), now);
+        registry_.counter("fleet.worker." + worker + ".jobs")
+            .add(jobs);
+    }
+}
+
+HttpResponse
+FleetCoordinator::handle(const HttpRequest &request)
+{
+    if (request.method == "GET") {
+        if (request.path == "/healthz")
+            return handleHealth();
+        if (request.path == "/metrics" || request.path == "/")
+            return handleMetrics();
+        if (request.path == "/v1/sweep")
+            return handleSweepSpec();
+        if (request.path == "/v1/status")
+            return handleStatus();
+        return errorResponse(404, "not_found");
+    }
+    if (request.method == "POST") {
+        if (request.path == "/v1/leases")
+            return handleLease(request);
+        const std::string prefix = "/v1/leases/";
+        if (request.path.rfind(prefix, 0) == 0) {
+            std::uint64_t id = 0;
+            std::string verb;
+            if (!parseLeasePath(request.path.substr(prefix.size()),
+                                id, verb))
+                return errorResponse(404, "not_found");
+            if (verb == "results")
+                return handleResults(id, request);
+            if (verb == "heartbeat")
+                return handleHeartbeat(id, request);
+        }
+        return errorResponse(404, "not_found");
+    }
+    return errorResponse(405, "method_not_allowed");
+}
+
+HttpResponse
+FleetCoordinator::handleSweepSpec()
+{
+    HttpResponse response;
+    response.body = sweepDoc_;
+    response.chunked = response.body.size() > kChunkedSpecBytes;
+    return response;
+}
+
+HttpResponse
+FleetCoordinator::handleLease(const HttpRequest &request)
+{
+    JsonValue root;
+    const std::string jsonError = parseJson(request.body, root);
+    if (!jsonError.empty())
+        return errorResponse(400, "bad_json", jsonError);
+    const JsonValue *workerField = root.find("worker");
+    if (!workerField || !workerField->isString() ||
+        workerField->asString().empty() ||
+        workerField->asString().size() > 64)
+        return errorResponse(400, "bad_request",
+                             "worker must be a short string");
+    const std::string worker = workerField->asString();
+    std::size_t maxJobs = options_.maxLeaseJobs;
+    if (const JsonValue *v = root.find("max_jobs")) {
+        if (!v->isNumber() || v->asDouble() < 1)
+            return errorResponse(400, "bad_request",
+                                 "max_jobs must be >= 1");
+        maxJobs = std::min(
+            maxJobs, static_cast<std::size_t>(v->asDouble()));
+    }
+
+    const auto now = Clock::now();
+    touchWorker(worker, 0, now);
+
+    JsonValue body = JsonValue::object();
+    if (const auto grant = table_.acquire(worker, maxJobs, now)) {
+        body.set("lease", grant->id);
+        body.set("lo", grant->lo);
+        body.set("hi", grant->hi);
+        body.set("deadline_s", options_.leaseSeconds);
+        registry_.counter("fleet.leases.requested").add();
+        return jsonResponse(200, body);
+    }
+    if (table_.allDone()) {
+        body.set("done", true);
+        return jsonResponse(200, body);
+    }
+    // Everything is leased out: tell the worker to poll again soon
+    // (a revocation may requeue work for it).
+    body.set("wait", true);
+    body.set("retry_ms", std::max(options_.reaperIntervalMs, 10));
+    return jsonResponse(200, body);
+}
+
+HttpResponse
+FleetCoordinator::handleResults(std::uint64_t leaseId,
+                                const HttpRequest &request)
+{
+    JsonValue root;
+    const std::string jsonError = parseJson(request.body, root);
+    if (!jsonError.empty())
+        return errorResponse(400, "bad_json", jsonError);
+    const JsonValue *items = root.find("results");
+    if (!items || !items->isArray() || items->items().empty())
+        return errorResponse(400, "bad_request",
+                             "results must be a non-empty array");
+    std::string worker = "unknown";
+    if (const JsonValue *v = root.find("worker"))
+        if (v->isString() && !v->asString().empty() &&
+            v->asString().size() <= 64)
+            worker = v->asString();
+
+    // Decode the whole batch before committing anything: a malformed
+    // entry rejects the batch and nothing is recorded.
+    std::vector<std::pair<std::size_t, RunMetrics>> decoded;
+    decoded.reserve(items->items().size());
+    for (const JsonValue &item : items->items()) {
+        const JsonValue *jobField =
+            item.isObject() ? item.find("job") : nullptr;
+        const JsonValue *bodyField =
+            item.isObject() ? item.find("metrics_v4") : nullptr;
+        if (!jobField || !jobField->isNumber() || !bodyField ||
+            !bodyField->isString())
+            return errorResponse(400, "bad_request",
+                                 "each result needs job + metrics_v4");
+        const double jobNumber = jobField->asDouble();
+        if (jobNumber < 0 ||
+            jobNumber >= static_cast<double>(table_.numJobs()))
+            return errorResponse(400, "bad_request",
+                                 "job index out of range");
+        RunMetrics m;
+        if (!svc::runMetricsFromBody(bodyField->asString(), m))
+            return errorResponse(400, "bad_request",
+                                 "malformed metrics_v4 body");
+        decoded.emplace_back(static_cast<std::size_t>(jobNumber),
+                             std::move(m));
+    }
+
+    const auto now = Clock::now();
+    std::size_t accepted = 0;
+    std::size_t duplicate = 0;
+    std::vector<std::pair<std::size_t, RunMetrics>> fresh;
+    for (auto &[job, m] : decoded) {
+        switch (table_.commit(leaseId, job, now)) {
+          case LeaseTable::Commit::Accepted:
+            ++accepted;
+            {
+                std::lock_guard<std::mutex> lock(resultsMutex_);
+                results_[job] = m;
+            }
+            fresh.emplace_back(job, std::move(m));
+            break;
+          case LeaseTable::Commit::Duplicate:
+            ++duplicate;
+            break;
+          case LeaseTable::Commit::Invalid:
+            break; // unreachable: range-checked above
+        }
+    }
+    // One atomic journal rewrite per streamed batch, only for jobs
+    // accepted first — duplicate commits after a revoked lease land
+    // here and must not (and do not) change the file.
+    if (journal_ && !fresh.empty())
+        journal_->recordAll(fresh);
+
+    touchWorker(worker, accepted, now);
+    registry_.counter("fleet.results.batches").add();
+    registry_.counter("fleet.results.jobs").add(accepted);
+
+    const bool sweepDone = table_.allDone();
+    if (sweepDone)
+        doneCv_.notify_all();
+    updateGauges(now);
+
+    JsonValue body = JsonValue::object();
+    body.set("accepted", accepted);
+    body.set("duplicate", duplicate);
+    body.set("sweep_done", sweepDone);
+    body.set("lease_s",
+             leaseSecondsLeft(table_, leaseId, Clock::now()));
+    return jsonResponse(200, body);
+}
+
+HttpResponse
+FleetCoordinator::handleHeartbeat(std::uint64_t leaseId,
+                                  const HttpRequest &request)
+{
+    const auto now = Clock::now();
+    JsonValue root;
+    if (parseJson(request.body, root).empty())
+        if (const JsonValue *v = root.find("worker"))
+            if (v->isString() && !v->asString().empty() &&
+                v->asString().size() <= 64)
+                touchWorker(v->asString(), 0, now);
+    if (!table_.renew(leaseId, now))
+        return errorResponse(404, "unknown_lease",
+                             "lease expired or retired; re-acquire");
+    JsonValue body = JsonValue::object();
+    body.set("ok", true);
+    body.set("deadline_s", options_.leaseSeconds);
+    return jsonResponse(200, body);
+}
+
+HttpResponse
+FleetCoordinator::handleStatus()
+{
+    const LeaseStats stats = table_.stats();
+    JsonValue body = JsonValue::object();
+    body.set("jobs", table_.numJobs());
+    body.set("completed", table_.completed());
+    body.set("pending", table_.pendingJobs());
+    body.set("active_leases", table_.activeLeases());
+    body.set("leases_granted", stats.leasesGranted);
+    body.set("leases_revoked", stats.leasesRevoked);
+    body.set("jobs_requeued", stats.jobsRequeued);
+    body.set("duplicate_commits", stats.duplicateCommits);
+    body.set("done", table_.allDone());
+    JsonValue workers = JsonValue::object();
+    {
+        std::lock_guard<std::mutex> lock(workersMutex_);
+        for (const auto &[name, state] : workers_)
+            workers.set(name, state.jobs);
+    }
+    body.set("workers", std::move(workers));
+    return jsonResponse(200, body);
+}
+
+HttpResponse
+FleetCoordinator::handleHealth()
+{
+    JsonValue body = JsonValue::object();
+    body.set("status", "ok");
+    body.set("done", table_.allDone());
+    body.set("completed", table_.completed());
+    body.set("jobs", table_.numJobs());
+    return jsonResponse(200, body);
+}
+
+HttpResponse
+FleetCoordinator::handleMetrics()
+{
+    updateGauges(Clock::now());
+    std::ostringstream out;
+    obs::writePrometheus(out, registry_);
+    HttpResponse response;
+    response.contentType = "text/plain; version=0.0.4";
+    response.body = out.str();
+    return response;
+}
+
+} // namespace coolcmp::fleet

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Fleet coordinator: one process owns a sweep — its job list, its
+ * SweepJournal, and the lease bookkeeping — and shards the work over
+ * any number of worker processes through a small HTTP/JSON protocol
+ * on the svc substrate:
+ *
+ *   GET  /v1/sweep                the sweep spec: config profile,
+ *                                 configKey, and the full job list
+ *                                 (codec schema); chunked when large
+ *   POST /v1/leases               {"worker": W, "max_jobs": N}
+ *                                 -> {"lease": id, "lo", "hi",
+ *                                     "deadline_s"}
+ *                                 -> {"done": true}   sweep complete
+ *                                 -> {"wait": true, "retry_ms": M}
+ *   POST /v1/leases/<id>/results  stream completed jobs, each as the
+ *                                 v4 cache body; implicit heartbeat
+ *   POST /v1/leases/<id>/heartbeat  renew; 404 when revoked (worker
+ *                                 abandons the range and re-leases)
+ *   GET  /v1/status               progress + per-worker job counts
+ *   GET  /metrics, /healthz       scrape + liveness
+ *
+ * Split ownership is what keeps the fleet deterministic: workers
+ * compute (each job a pure function of the spec and its index) and
+ * only the coordinator writes — the journal is rewritten atomically
+ * in ascending job order, so the final bytes are identical whether
+ * the sweep ran in-process, on one worker, or on ten with one of
+ * them SIGKILLed halfway. Commits are idempotent (see LeaseTable),
+ * which makes revoke-and-requeue after a worker death safe.
+ */
+
+#ifndef COOLCMP_FLEET_COORDINATOR_HH
+#define COOLCMP_FLEET_COORDINATOR_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/sweep_journal.hh"
+#include "fleet/lease.hh"
+#include "obs/rate.hh"
+#include "obs/registry.hh"
+#include "svc/codec.hh"
+#include "svc/http.hh"
+
+namespace coolcmp::fleet {
+
+class FleetCoordinator
+{
+  public:
+    struct Options
+    {
+        /** Loopback port; 0 binds an ephemeral one (see port()). */
+        std::uint16_t port = 0;
+
+        /** Lease deadline; a worker silent this long is presumed
+         *  dead and its range requeued. */
+        double leaseSeconds = 30.0;
+
+        /** Longest range granted per lease. */
+        std::size_t maxLeaseJobs = 64;
+
+        /** Crash-safe journal path; empty disables journaling. An
+         *  existing matching journal is replayed (resume). */
+        std::string journalPath;
+
+        /** HTTP connection workers. */
+        std::size_t httpThreads = 8;
+
+        /** Request size bound (a results batch must fit). */
+        std::size_t maxRequestBytes = std::size_t{4} << 20;
+
+        /** Expiry/gauge maintenance cadence, milliseconds. */
+        int reaperIntervalMs = 100;
+    };
+
+    /**
+     * @param sweep the job list (and options) to distribute
+     * @param config engine config; a request-level rom_tolerance
+     *        override is folded in so the served configKey is the
+     *        effective one
+     */
+    FleetCoordinator(svc::WireSweep sweep, Options options,
+                     DtmConfig config = {},
+                     TraceBuilderConfig traceConfig = {});
+    ~FleetCoordinator();
+
+    FleetCoordinator(const FleetCoordinator &) = delete;
+    FleetCoordinator &operator=(const FleetCoordinator &) = delete;
+
+    /** Replay the journal (if any) and serve; false on bind
+     *  failure. Idempotent. */
+    bool start();
+
+    /** Stop serving and join the reaper. Idempotent; does NOT wait
+     *  for completion (see waitUntilDone). */
+    void stop();
+
+    std::uint16_t port() const;
+
+    /** The request router, exposed for handler-level tests. */
+    svc::HttpResponse handle(const svc::HttpRequest &request);
+
+    bool done() const { return table_.allDone(); }
+
+    /** Block until every job is committed; false on timeout
+     *  (0 = wait forever). */
+    bool waitUntilDone(double timeoutSeconds = 0.0);
+
+    /** Results in job order; call only when done(). */
+    std::vector<RunMetrics> results() const;
+
+    const std::string &configKey() const { return keyHex_; }
+    obs::Registry &registry() { return registry_; }
+    LeaseTable &leaseTable() { return table_; }
+
+  private:
+    struct WorkerState
+    {
+        std::uint64_t jobs = 0;
+        obs::RateEstimator rate{5.0};
+        TimePoint lastSeen;
+    };
+
+    const Options options_;
+    DtmConfig config_;
+    const TraceBuilderConfig traceConfig_;
+    svc::WireSweep sweep_;
+
+    std::string keyHex_;
+    std::string sweepDoc_; ///< GET /v1/sweep body, rendered once
+
+    LeaseTable table_;
+    std::unique_ptr<SweepJournal> journal_;
+    obs::Registry registry_;
+    std::unique_ptr<svc::HttpServer> http_;
+
+    mutable std::mutex resultsMutex_;
+    std::vector<RunMetrics> results_;
+
+    mutable std::mutex workersMutex_;
+    std::map<std::string, WorkerState> workers_;
+
+    bool started_ = false;
+    std::thread reaper_;
+    mutable std::mutex doneMutex_;
+    std::condition_variable doneCv_;
+    bool stopReaper_ = false;
+
+    void reaperMain();
+    void updateGauges(TimePoint now);
+    void touchWorker(const std::string &worker, std::uint64_t jobs,
+                     TimePoint now);
+
+    svc::HttpResponse handleSweepSpec();
+    svc::HttpResponse handleLease(const svc::HttpRequest &request);
+    svc::HttpResponse handleResults(std::uint64_t leaseId,
+                                    const svc::HttpRequest &request);
+    svc::HttpResponse handleHeartbeat(std::uint64_t leaseId,
+                                      const svc::HttpRequest &request);
+    svc::HttpResponse handleStatus();
+    svc::HttpResponse handleHealth();
+    svc::HttpResponse handleMetrics();
+};
+
+} // namespace coolcmp::fleet
+
+#endif // COOLCMP_FLEET_COORDINATOR_HH

@@ -1,0 +1,57 @@
+#include "fleet/demo.hh"
+
+#include <vector>
+
+#include "workload/benchmark_profile.hh"
+
+namespace coolcmp::fleet {
+
+svc::WireSweep
+demoSweep(std::size_t n)
+{
+    const auto &profiles = spec2000Profiles();
+    const std::size_t numProfiles = profiles.size();
+
+    std::vector<RunJob> jobs;
+    jobs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        RunJob job;
+        // Coprime strides over the profile list give each job a
+        // distinct 4-benchmark mix (until the space is exhausted).
+        // The name matches what the wire codec reconstructs from a
+        // "benchmarks" array, so a parsed round-trip of this sweep
+        // is identical to the constructed one.
+        std::string name = "custom";
+        for (std::size_t k = 0; k < job.workload.benchmarks.size();
+             ++k) {
+            const std::size_t pick =
+                (i * 5 + k * 7 + i / numProfiles) % numProfiles;
+            job.workload.benchmarks[k] = profiles[pick].name;
+            name += "-" + profiles[pick].name;
+        }
+        job.workload.name = name;
+        job.policy.mechanism = (i % 2) == 0
+            ? ThrottleMechanism::Dvfs
+            : ThrottleMechanism::StopGo;
+        job.policy.scope = ((i / 2) % 2) == 0
+            ? ControlScope::Distributed
+            : ControlScope::Global;
+        switch ((i / 4) % 3) {
+          case 0: job.policy.migration = MigrationKind::None; break;
+          case 1:
+            job.policy.migration = MigrationKind::CounterBased;
+            break;
+          default:
+            job.policy.migration = MigrationKind::SensorBased;
+            break;
+        }
+        jobs.push_back(std::move(job));
+    }
+
+    svc::WireSweep sweep;
+    sweep.client = "fleet-demo";
+    sweep.request.withJobs(std::move(jobs));
+    return sweep;
+}
+
+} // namespace coolcmp::fleet

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Deterministic synthetic sweep generator for fleet benchmarks,
+ * smoke tests, and `coolcmpd --coordinator --demo-sweep N`: n jobs
+ * cycling through distinct SPEC2000 benchmark mixes and all twelve
+ * policy combinations (mechanism x scope x migration), so a large
+ * demo sweep exercises the whole policy space without an input file.
+ *
+ * The job list is a pure function of n: every process (coordinator,
+ * in-process comparison run, test oracle) that asks for demoSweep(n)
+ * gets byte-identically the same WireSweep, which is what the fleet
+ * bit-identity checks compare against.
+ */
+
+#ifndef COOLCMP_FLEET_DEMO_HH
+#define COOLCMP_FLEET_DEMO_HH
+
+#include <cstddef>
+
+#include "svc/codec.hh"
+
+namespace coolcmp::fleet {
+
+/** Build the canonical n-job demo sweep (client "fleet-demo"). */
+svc::WireSweep demoSweep(std::size_t n);
+
+} // namespace coolcmp::fleet
+
+#endif // COOLCMP_FLEET_DEMO_HH

@@ -1,0 +1,229 @@
+#include "fleet/lease.hh"
+
+#include <algorithm>
+
+namespace coolcmp::fleet {
+
+LeaseTable::LeaseTable(std::size_t numJobs, double leaseSeconds)
+    : numJobs_(numJobs),
+      leaseDuration_(std::chrono::duration_cast<
+                     std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(std::max(leaseSeconds, 1e-3)))),
+      done_(numJobs, 0)
+{
+    if (numJobs_ > 0)
+        pending_.emplace(0, numJobs_);
+}
+
+std::optional<LeaseGrant>
+LeaseTable::acquire(const std::string &worker, std::size_t maxJobs,
+                    TimePoint now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    expireLocked(now);
+    if (pending_.empty() || maxJobs == 0)
+        return std::nullopt;
+
+    auto it = pending_.begin();
+    const std::size_t lo = it->first;
+    const std::size_t rangeHi = it->second;
+    const std::size_t hi = std::min(rangeHi, lo + maxJobs);
+    pending_.erase(it);
+    if (hi < rangeHi)
+        pending_.emplace(hi, rangeHi);
+
+    Lease lease;
+    lease.worker = worker;
+    lease.lo = lo;
+    lease.hi = hi;
+    lease.remaining = hi - lo;
+    lease.deadline = now + leaseDuration_;
+    lease.committed.assign(hi - lo, 0);
+
+    const std::uint64_t id = nextId_++;
+    active_.emplace(id, std::move(lease));
+    ++stats_.leasesGranted;
+    return LeaseGrant{id, lo, hi};
+}
+
+bool
+LeaseTable::renew(std::uint64_t id, TimePoint now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    expireLocked(now);
+    auto it = active_.find(id);
+    if (it == active_.end())
+        return false;
+    it->second.deadline = now + leaseDuration_;
+    return true;
+}
+
+LeaseTable::Commit
+LeaseTable::commit(std::uint64_t id, std::size_t job, TimePoint now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job >= numJobs_)
+        return Commit::Invalid;
+
+    const bool fresh = done_[job] == 0;
+    if (fresh) {
+        done_[job] = 1;
+        ++completed_;
+        removePendingLocked(job);
+    } else {
+        ++stats_.duplicateCommits;
+    }
+
+    // Every active lease covering this job sees it as committed —
+    // including a lease re-granted over a revoked range, whose worker
+    // would otherwise never retire.
+    for (auto it = active_.begin(); it != active_.end();) {
+        Lease &lease = it->second;
+        if (job >= lease.lo && job < lease.hi &&
+            lease.committed[job - lease.lo] == 0) {
+            lease.committed[job - lease.lo] = 1;
+            --lease.remaining;
+        }
+        if (it->first == id)
+            lease.deadline = now + leaseDuration_;
+        if (lease.remaining == 0) {
+            ++stats_.leasesRetired;
+            it = active_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return fresh ? Commit::Accepted : Commit::Duplicate;
+}
+
+std::size_t
+LeaseTable::expire(TimePoint now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t before = stats_.leasesRevoked;
+    expireLocked(now);
+    return static_cast<std::size_t>(stats_.leasesRevoked - before);
+}
+
+void
+LeaseTable::markDone(std::size_t job)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job >= numJobs_ || done_[job] != 0)
+        return;
+    done_[job] = 1;
+    ++completed_;
+    removePendingLocked(job);
+}
+
+bool
+LeaseTable::done(std::size_t job) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return job < numJobs_ && done_[job] != 0;
+}
+
+bool
+LeaseTable::allDone() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return completed_ == numJobs_;
+}
+
+std::size_t
+LeaseTable::completed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return completed_;
+}
+
+std::size_t
+LeaseTable::pendingJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto &[lo, hi] : pending_)
+        n += hi - lo;
+    return n;
+}
+
+std::size_t
+LeaseTable::activeLeases() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return active_.size();
+}
+
+std::vector<LeaseInfo>
+LeaseTable::leases() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<LeaseInfo> out;
+    out.reserve(active_.size());
+    for (const auto &[id, lease] : active_)
+        out.push_back({id, lease.worker, lease.lo, lease.hi,
+                       lease.remaining, lease.deadline});
+    return out;
+}
+
+LeaseStats
+LeaseTable::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+LeaseTable::expireLocked(TimePoint now)
+{
+    for (auto it = active_.begin(); it != active_.end();) {
+        if (it->second.deadline < now) {
+            requeueLocked(it->second);
+            ++stats_.leasesRevoked;
+            it = active_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+/** Carve `job` out of the pending range containing it (if any),
+ *  splitting the range into the surviving pieces. */
+void
+LeaseTable::removePendingLocked(std::size_t job)
+{
+    auto it = pending_.upper_bound(job);
+    if (it == pending_.begin())
+        return;
+    --it;
+    const std::size_t lo = it->first;
+    const std::size_t hi = it->second;
+    if (job >= hi)
+        return;
+    pending_.erase(it);
+    if (job > lo)
+        pending_.emplace(lo, job);
+    if (job + 1 < hi)
+        pending_.emplace(job + 1, hi);
+}
+
+/** Requeue the runs of globally-undone jobs of a revoked lease. */
+void
+LeaseTable::requeueLocked(const Lease &lease)
+{
+    std::size_t runLo = lease.lo;
+    bool inRun = false;
+    for (std::size_t job = lease.lo; job <= lease.hi; ++job) {
+        const bool undone = job < lease.hi && done_[job] == 0;
+        if (undone && !inRun) {
+            runLo = job;
+            inRun = true;
+        } else if (!undone && inRun) {
+            pending_.emplace(runLo, job);
+            stats_.jobsRequeued += job - runLo;
+            inRun = false;
+        }
+    }
+}
+
+} // namespace coolcmp::fleet

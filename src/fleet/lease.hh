@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Lease bookkeeping for the distributed sweep fleet.
+ *
+ * A LeaseTable tracks one sweep's jobs as contiguous index ranges:
+ * workers acquire a leased range with a deadline, commit completed
+ * jobs one by one, and renew the deadline via heartbeats; a lease
+ * whose deadline passes is revoked and its unfinished jobs requeued
+ * for the next acquirer. Commits are idempotent — results are
+ * deterministic functions of (seed, job index), so a late commit
+ * from a revoked lease (a worker that stalled but didn't die) is
+ * accepted if the job is still open and answered `Duplicate` if a
+ * re-leased worker got there first. Either way the recorded bytes
+ * are identical, which is what makes revoke-and-requeue safe.
+ *
+ * The table is caller-clocked (every entry point takes `now`, the
+ * svc::TokenBucket convention) so expiry tests are deterministic,
+ * and it knows nothing about HTTP — FleetCoordinator maps the wire
+ * protocol onto it.
+ */
+
+#ifndef COOLCMP_FLEET_LEASE_HH
+#define COOLCMP_FLEET_LEASE_HH
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace coolcmp::fleet {
+
+using TimePoint = std::chrono::steady_clock::time_point;
+
+/** One granted range [lo, hi). */
+struct LeaseGrant
+{
+    std::uint64_t id = 0;
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+};
+
+/** Snapshot of one active lease (status endpoint / tests). */
+struct LeaseInfo
+{
+    std::uint64_t id = 0;
+    std::string worker;
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    /** Jobs of [lo, hi) not yet committed through this lease. */
+    std::size_t remaining = 0;
+    TimePoint deadline;
+};
+
+/** Cumulative counters (monotone; exported as fleet.* metrics). */
+struct LeaseStats
+{
+    std::uint64_t leasesGranted = 0;
+    std::uint64_t leasesRetired = 0;
+    std::uint64_t leasesRevoked = 0;
+    std::uint64_t jobsRequeued = 0;
+    std::uint64_t duplicateCommits = 0;
+};
+
+class LeaseTable
+{
+  public:
+    /**
+     * @param numJobs sweep length; job indices are [0, numJobs)
+     * @param leaseSeconds deadline granted per acquire/renew/commit
+     */
+    LeaseTable(std::size_t numJobs, double leaseSeconds);
+
+    /**
+     * Lease the next pending range to `worker`, at most `maxJobs`
+     * long. Expired leases are reaped first (lazy expiry), so a
+     * caller never needs a separate reaper to make progress.
+     * Empty optional when nothing is pending — the caller decides
+     * between "sweep done" (allDone()) and "wait and retry".
+     */
+    std::optional<LeaseGrant> acquire(const std::string &worker,
+                                      std::size_t maxJobs,
+                                      TimePoint now);
+
+    /** Push the lease deadline out; false when the lease is gone
+     *  (expired/retired) — the worker should abandon the range and
+     *  acquire a fresh one. */
+    bool renew(std::uint64_t id, TimePoint now);
+
+    enum class Commit
+    {
+        Accepted,  ///< first result for this job; record it
+        Duplicate, ///< job already done (replay / revoked lease)
+        Invalid,   ///< job index out of range
+    };
+
+    /**
+     * Commit one completed job. The lease id is advisory: a commit
+     * from a revoked or unknown lease is still Accepted when the job
+     * is open (determinism makes the result just as good). A live
+     * committing lease has its deadline renewed — streaming results
+     * is an implicit heartbeat — and is retired once every job of
+     * its range is done.
+     */
+    Commit commit(std::uint64_t id, std::size_t job, TimePoint now);
+
+    /** Revoke leases whose deadline passed, requeueing their undone
+     *  jobs. Returns the number of leases revoked. */
+    std::size_t expire(TimePoint now);
+
+    /** Mark a job done outside any lease (journal replay on
+     *  coordinator restart, before workers connect). */
+    void markDone(std::size_t job);
+
+    bool done(std::size_t job) const;
+    bool allDone() const;
+    std::size_t numJobs() const { return numJobs_; }
+    std::size_t completed() const;
+    /** Jobs neither done nor covered by an active lease. */
+    std::size_t pendingJobs() const;
+    std::size_t activeLeases() const;
+    std::vector<LeaseInfo> leases() const;
+    LeaseStats stats() const;
+
+  private:
+    struct Lease
+    {
+        std::string worker;
+        std::size_t lo = 0;
+        std::size_t hi = 0;
+        std::size_t remaining = 0;
+        TimePoint deadline;
+        std::vector<char> committed; ///< per-lease, offset by lo
+    };
+
+    const std::size_t numJobs_;
+    const std::chrono::steady_clock::duration leaseDuration_;
+
+    mutable std::mutex mutex_;
+    std::vector<char> done_;
+    std::size_t completed_ = 0;
+    /** Pending ranges lo -> hi, disjoint, ascending. */
+    std::map<std::size_t, std::size_t> pending_;
+    std::map<std::uint64_t, Lease> active_;
+    std::uint64_t nextId_ = 1;
+    LeaseStats stats_;
+
+    void expireLocked(TimePoint now);
+    void removePendingLocked(std::size_t job);
+    void requeueLocked(const Lease &lease);
+};
+
+} // namespace coolcmp::fleet
+
+#endif // COOLCMP_FLEET_LEASE_HH

@@ -1,0 +1,211 @@
+#include "fleet/worker.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "core/experiment.hh"
+#include "svc/codec.hh"
+#include "svc/http.hh"
+#include "svc/json.hh"
+#include "util/logging.hh"
+
+namespace coolcmp::fleet {
+
+namespace {
+
+using svc::HttpClient;
+using svc::HttpResponse;
+using svc::JsonValue;
+
+void
+sleepMs(int ms)
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/** One coordinator exchange with linear-backoff retries; false when
+ *  the coordinator stayed unreachable for every attempt. */
+bool
+exchange(HttpClient &client, const FleetWorker::Options &options,
+         const std::string &method, const std::string &path,
+         const std::string &body, HttpResponse &out)
+{
+    for (int attempt = 1; attempt <= options.maxAttempts; ++attempt) {
+        if (client.request(method, path, body, out))
+            return true;
+        if (attempt < options.maxAttempts)
+            sleepMs(options.backoffMs * attempt);
+    }
+    return false;
+}
+
+} // namespace
+
+FleetWorker::FleetWorker(Options options) : options_(std::move(options))
+{
+}
+
+int
+FleetWorker::run()
+{
+    Options options = options_;
+    if (options.name.empty())
+        options.name = "w-" + std::to_string(getpid());
+
+    HttpClient client(options.host, options.port);
+
+    // --- Fetch and decode the sweep spec. ---
+    HttpResponse response;
+    if (!exchange(client, options, "GET", "/v1/sweep", "", response) ||
+        response.status != 200) {
+        warn("fleet worker ", options.name,
+             ": cannot fetch /v1/sweep from ", options.host, ":",
+             options.port);
+        return 1;
+    }
+    JsonValue spec;
+    if (!parseJson(response.body, spec).empty() || !spec.isObject()) {
+        warn("fleet worker ", options.name, ": malformed sweep spec");
+        return 1;
+    }
+    const JsonValue *keyField = spec.find("config_key");
+    const JsonValue *profile = spec.find("profile");
+    const JsonValue *sweepNode = spec.find("sweep");
+    if (!keyField || !keyField->isString() || !profile ||
+        !profile->isObject() || !sweepNode) {
+        warn("fleet worker ", options.name,
+             ": sweep spec is missing fields");
+        return 1;
+    }
+
+    svc::WireSweep sweep;
+    const std::string decodeError =
+        svc::parseSweepRequest(*sweepNode, sweep);
+    if (!decodeError.empty()) {
+        warn("fleet worker ", options.name,
+             ": cannot decode sweep: ", decodeError);
+        return 1;
+    }
+
+    // --- Rebuild the engine from the served profile. ---
+    DtmConfig config;
+    TraceBuilderConfig traceConfig;
+    auto number = [&](const char *key, double fallback) {
+        const JsonValue *v = profile->find(key);
+        return v && v->isNumber() ? v->asDouble() : fallback;
+    };
+    config.duration = number("duration", config.duration);
+    config.intervalCycles = static_cast<std::uint64_t>(number(
+        "interval_cycles",
+        static_cast<double>(config.intervalCycles)));
+    config.romTolerance =
+        number("rom_tolerance", config.romTolerance);
+    traceConfig.intervalCycles = config.intervalCycles;
+    traceConfig.numIntervals = static_cast<std::size_t>(number(
+        "num_intervals",
+        static_cast<double>(traceConfig.numIntervals)));
+    traceConfig.sampledShare =
+        number("sampled_share", traceConfig.sampledShare);
+    traceConfig.warmupCycles = static_cast<std::uint64_t>(number(
+        "warmup_cycles",
+        static_cast<double>(traceConfig.warmupCycles)));
+    if (!options.traceCacheDir.empty())
+        traceConfig.cacheDir = options.traceCacheDir;
+
+    Experiment experiment(config, traceConfig);
+    const std::string localKey = configKeyHex(experiment.configKey());
+    if (localKey != keyField->asString()) {
+        // Constants drifted between the binaries (or env overrides
+        // differ): refusing is what keeps fleet results bit-exact.
+        warn("fleet worker ", options.name, ": configKey mismatch — ",
+             "coordinator ", keyField->asString(), ", local ",
+             localKey, "; refusing to compute");
+        return 1;
+    }
+
+    RunRequest request = sweep.request;
+    if (options.threads > 0)
+        request.threads(options.threads);
+    std::size_t chunk = options.chunkJobs > 0
+        ? options.chunkJobs
+        : Experiment::batchWidth();
+    chunk = std::max<std::size_t>(chunk, 1);
+
+    inform("fleet worker ", options.name, ": sweep of ",
+           request.jobs().size(), " jobs, key ", localKey,
+           ", chunk ", chunk);
+
+    // --- Greedy lease loop. ---
+    const std::string leaseBody = "{\"worker\": \"" + options.name +
+        "\", \"max_jobs\": " + std::to_string(options.maxLeaseJobs) +
+        "}";
+    for (;;) {
+        if (!exchange(client, options, "POST", "/v1/leases",
+                      leaseBody, response) ||
+            response.status != 200) {
+            warn("fleet worker ", options.name,
+                 ": coordinator unreachable; giving up");
+            return 1;
+        }
+        JsonValue grant;
+        if (!parseJson(response.body, grant).empty())
+            return 1;
+        if (const JsonValue *done = grant.find("done");
+            done && done->asBool()) {
+            inform("fleet worker ", options.name, ": sweep done, ",
+                   jobsCompleted_, " jobs computed here");
+            return 0;
+        }
+        if (grant.find("wait")) {
+            sleepMs(options.pollMs);
+            continue;
+        }
+        const JsonValue *leaseField = grant.find("lease");
+        const JsonValue *loField = grant.find("lo");
+        const JsonValue *hiField = grant.find("hi");
+        if (!leaseField || !loField || !hiField)
+            return 1;
+        const std::uint64_t lease =
+            static_cast<std::uint64_t>(leaseField->asDouble());
+        const std::size_t lo =
+            static_cast<std::size_t>(loField->asDouble());
+        const std::size_t hi =
+            static_cast<std::size_t>(hiField->asDouble());
+
+        // Run the range chunk by chunk, streaming each chunk's
+        // results as they retire; every batch renews the lease.
+        for (std::size_t at = lo; at < hi; at += chunk) {
+            const std::size_t end = std::min(at + chunk, hi);
+            const std::vector<RunMetrics> metrics =
+                experiment.run(request.slice(at, end));
+
+            JsonValue batch = JsonValue::object();
+            batch.set("worker", options.name);
+            JsonValue items = JsonValue::array();
+            for (std::size_t i = 0; i < metrics.size(); ++i) {
+                JsonValue item = JsonValue::object();
+                item.set("job", at + i);
+                item.set("metrics_v4",
+                         svc::runMetricsToBody(metrics[i]));
+                items.push(std::move(item));
+            }
+            batch.set("results", std::move(items));
+            const std::string path = "/v1/leases/" +
+                std::to_string(lease) + "/results";
+            if (!exchange(client, options, "POST", path,
+                          jsonToString(batch), response) ||
+                response.status != 200) {
+                warn("fleet worker ", options.name,
+                     ": cannot stream results; giving up");
+                return 1;
+            }
+            jobsCompleted_ += metrics.size();
+        }
+    }
+}
+
+} // namespace coolcmp::fleet

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fleet worker: the compute half of the distributed sweep. One
+ * worker connects to a coordinator over loopback HTTP (the shared
+ * svc::HttpClient, with reconnect + linear backoff), fetches the
+ * sweep spec once, rebuilds the engine from the served profile, and
+ * verifies its configKey against the coordinator's before touching a
+ * single job — a worker built from drifted constants must fail fast,
+ * not stream subtly different results.
+ *
+ * Then it pulls leased ranges greedily: acquire, run the range
+ * through a private Experiment in chunks (RunRequest::slice), stream
+ * each chunk's RunMetrics back as v4 cache bodies as they retire
+ * (each batch doubles as a heartbeat), repeat until the coordinator
+ * says the sweep is done. Workers hold no durable state — killing
+ * one mid-lease loses nothing but the not-yet-streamed chunk, which
+ * the coordinator requeues at the lease deadline.
+ */
+
+#ifndef COOLCMP_FLEET_WORKER_HH
+#define COOLCMP_FLEET_WORKER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace coolcmp::fleet {
+
+class FleetWorker
+{
+  public:
+    struct Options
+    {
+        std::string host = "127.0.0.1";
+        std::uint16_t port = 0;
+
+        /** Worker identity in leases and fleet.* metrics; empty
+         *  defaults to "w-<pid>". */
+        std::string name;
+
+        /** Largest range to request per lease. */
+        std::size_t maxLeaseJobs = 32;
+
+        /** Jobs computed between result streams; 0 = the engine's
+         *  batch width (one lane group per stream). */
+        std::size_t chunkJobs = 0;
+
+        /** Engine threads for each slice (SweepOptions::threads). */
+        std::size_t threads = 1;
+
+        /** Sleep when the coordinator says "wait", milliseconds. */
+        int pollMs = 100;
+
+        /** Base reconnect backoff (linear: attempt k sleeps k of
+         *  these), milliseconds. */
+        int backoffMs = 100;
+
+        /** Transport attempts per request before giving up. */
+        int maxAttempts = 20;
+
+        /** Trace cache directory override; empty keeps the builder
+         *  default (workers on one host share the memoized traces). */
+        std::string traceCacheDir;
+    };
+
+    explicit FleetWorker(Options options);
+
+    /**
+     * Run until the coordinator reports the sweep done (exit 0) or
+     * the coordinator stays unreachable / the spec is incompatible
+     * (exit 1). Designed as the whole body of tools/coolcmp-worker.
+     */
+    int run();
+
+    /** Jobs this worker computed and streamed (post-run). */
+    std::size_t jobsCompleted() const { return jobsCompleted_; }
+
+  private:
+    const Options options_;
+    std::size_t jobsCompleted_ = 0;
+};
+
+} // namespace coolcmp::fleet
+
+#endif // COOLCMP_FLEET_WORKER_HH

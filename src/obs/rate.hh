@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Exponentially-decaying event-rate estimator: the fleet
+ * coordinator's per-worker throughput gauges (jobs/s per worker)
+ * need a rate that is smooth over bursty result batches, converges
+ * to the true rate of a steady stream, and sinks toward zero when a
+ * worker goes quiet — without any background thread. Time is passed
+ * in by the caller, so tests are deterministic (the same convention
+ * as svc::TokenBucket).
+ *
+ * Both the event count and the elapsed time are decayed with the
+ * same time constant, and the rate is their ratio: a decaying-window
+ * "events per second" that weights the last ~tau seconds.
+ */
+
+#ifndef COOLCMP_OBS_RATE_HH
+#define COOLCMP_OBS_RATE_HH
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace coolcmp::obs {
+
+class RateEstimator
+{
+  public:
+    using TimePoint = std::chrono::steady_clock::time_point;
+
+    /** @param halfLifeSeconds weight of past events halves every
+     *  this many seconds (the window is ~1.44x the half-life). */
+    explicit RateEstimator(double halfLifeSeconds = 5.0)
+        : tau_(std::max(halfLifeSeconds, 1e-3) / std::log(2.0))
+    {
+    }
+
+    /** Account `count` events landing at `now`. */
+    void observe(double count, TimePoint now)
+    {
+        decayTo(now);
+        events_ += count;
+    }
+
+    /** Estimated events/second as of `now`; 0 before any event. */
+    double perSecond(TimePoint now) const
+    {
+        const double dt = sinceLast(now);
+        const double a = std::exp(-dt / tau_);
+        const double events = events_ * a;
+        const double window = window_ * a + dt;
+        return window > 1e-9 ? events / window : 0.0;
+    }
+
+  private:
+    const double tau_;
+    double events_ = 0.0;
+    double window_ = 0.0;
+    TimePoint last_{};
+    bool started_ = false;
+
+    double sinceLast(TimePoint now) const
+    {
+        if (!started_)
+            return 0.0;
+        return std::max(
+            0.0, std::chrono::duration<double>(now - last_).count());
+    }
+
+    void decayTo(TimePoint now)
+    {
+        const double dt = sinceLast(now);
+        const double a = std::exp(-dt / tau_);
+        events_ *= a;
+        window_ = window_ * a + dt;
+        last_ = now;
+        started_ = true;
+    }
+};
+
+} // namespace coolcmp::obs
+
+#endif // COOLCMP_OBS_RATE_HH

@@ -1,6 +1,7 @@
 #include "power/trace.hh"
 
 #include <istream>
+#include <limits>
 #include <ostream>
 
 #include "util/logging.hh"
@@ -9,7 +10,12 @@ namespace coolcmp {
 
 namespace {
 
-constexpr const char *traceMagic = "coolcmp-trace-v1";
+// v2: points serialized at max_digits10 so a cache round-trip is
+// bit-exact — a simulation fed a reloaded trace must produce the
+// same bytes as one fed the freshly generated trace (the fleet
+// bit-identity contract). v1 caches (12 significant digits) are
+// rejected by the magic check and regenerated.
+constexpr const char *traceMagic = "coolcmp-trace-v2";
 
 } // namespace
 
@@ -86,11 +92,11 @@ PowerTrace::averageIpc() const
 void
 PowerTrace::save(std::ostream &os) const
 {
+    os.precision(std::numeric_limits<double>::max_digits10);
     os << traceMagic << "\n";
     os << benchmark_ << "\n";
     os << intervalCycles_ << " " << nominalFreq_ << " " << points_.size()
        << "\n";
-    os.precision(12);
     for (const auto &pt : points_) {
         for (double p : pt.power)
             os << p << " ";

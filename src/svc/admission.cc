@@ -25,10 +25,15 @@ AdmissionQueue::submit(std::shared_ptr<SweepJob> job)
         std::lock_guard<std::mutex> lock(mutex_);
         if (closed_)
             return Admit::Closed;
-        if (queue_.size() >= capacity_)
+        if (size_ >= capacity_)
             return Admit::Full;
-        queue_.emplace(std::make_pair(-job->priority, seq_++),
-                       std::move(job));
+        PriorityBucket &bucket = buckets_[-job->priority];
+        std::deque<std::shared_ptr<SweepJob>> &lane =
+            bucket.lanes[job->client];
+        if (lane.empty())
+            bucket.rotation.push_back(job->client);
+        lane.push_back(std::move(job));
+        ++size_;
     }
     available_.notify_one();
     return Admit::Accepted;
@@ -38,13 +43,25 @@ std::shared_ptr<SweepJob>
 AdmissionQueue::pop()
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    available_.wait(lock,
-                    [this] { return closed_ || !queue_.empty(); });
-    if (queue_.empty())
+    available_.wait(lock, [this] { return closed_ || size_ > 0; });
+    if (size_ == 0)
         return nullptr;
-    auto it = queue_.begin();
-    std::shared_ptr<SweepJob> job = std::move(it->second);
-    queue_.erase(it);
+    auto bucketIt = buckets_.begin();
+    PriorityBucket &bucket = bucketIt->second;
+    // Whoever waited longest since their last turn goes next; a
+    // client with more work re-enters at the back of the rotation.
+    const std::string client = std::move(bucket.rotation.front());
+    bucket.rotation.pop_front();
+    auto laneIt = bucket.lanes.find(client);
+    std::shared_ptr<SweepJob> job = std::move(laneIt->second.front());
+    laneIt->second.pop_front();
+    if (laneIt->second.empty())
+        bucket.lanes.erase(laneIt);
+    else
+        bucket.rotation.push_back(client);
+    if (bucket.lanes.empty())
+        buckets_.erase(bucketIt);
+    --size_;
     return job;
 }
 
@@ -69,14 +86,14 @@ std::size_t
 AdmissionQueue::depth() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return queue_.size();
+    return size_;
 }
 
 bool
 AdmissionQueue::saturated() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return queue_.size() >= capacity_;
+    return size_ >= capacity_;
 }
 
 JobTable::JobTable(std::size_t maxRetained)

@@ -102,9 +102,11 @@ struct SweepJob
 
 /**
  * Bounded priority queue between admission and the workers. Higher
- * priority pops first; within a priority, FIFO. close() stops
- * admissions while letting pop() drain what is already queued —
- * the graceful-shutdown half of SIGTERM handling.
+ * priority pops first; within a priority, clients take turns
+ * round-robin (so one noisy tenant staying inside its quota can no
+ * longer monopolize FIFO order) and each client's own jobs stay
+ * FIFO. close() stops admissions while letting pop() drain what is
+ * already queued — the graceful-shutdown half of SIGTERM handling.
  */
 class AdmissionQueue
 {
@@ -132,16 +134,25 @@ class AdmissionQueue
     bool saturated() const;
 
   private:
+    /** One priority level: per-client FIFO lanes plus the rotation
+     *  deciding whose turn is next. A client appears in `rotation`
+     *  exactly once while it has queued jobs. */
+    struct PriorityBucket
+    {
+        std::map<std::string,
+                 std::deque<std::shared_ptr<SweepJob>>>
+            lanes;
+        std::deque<std::string> rotation;
+    };
+
     const std::size_t capacity_;
 
     mutable std::mutex mutex_;
     std::condition_variable available_;
     bool closed_ = false;
-    std::uint64_t seq_ = 0;
-    /** Keyed by (-priority, arrival): begin() is next to run. */
-    std::map<std::pair<int, std::uint64_t>,
-             std::shared_ptr<SweepJob>>
-        queue_;
+    std::size_t size_ = 0;
+    /** Keyed by -priority: begin() is the level that pops next. */
+    std::map<int, PriorityBucket> buckets_;
 };
 
 /**

@@ -42,6 +42,11 @@ errorResponse(int status, const std::string &code,
     return jsonResponse(status, body);
 }
 
+/** Result payloads past this size are served with
+ *  Transfer-Encoding: chunked so a very large sweep's result body
+ *  streams in bounded frames instead of one Content-Length blob. */
+constexpr std::size_t kChunkedResultBytes = std::size_t{256} << 10;
+
 /** Latency buckets: 1 ms doubling up to ~17 min. */
 std::vector<double>
 latencyEdges()
@@ -381,7 +386,9 @@ SweepServiceDaemon::handleJobResult(const std::string &id)
         results.push(std::move(entry));
     }
     body.set("results", std::move(results));
-    return jsonResponse(200, body);
+    HttpResponse response = jsonResponse(200, body);
+    response.chunked = response.body.size() > kChunkedResultBytes;
+    return response;
 }
 
 HttpResponse

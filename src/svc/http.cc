@@ -179,17 +179,40 @@ readRequest(int fd, std::size_t maxBytes, int firstByteTimeoutMs,
     return ReadOutcome::Ok;
 }
 
+/// Payload bytes per chunk when a response opts into chunked
+/// framing: big enough to amortize the size-line overhead, small
+/// enough that no single send needs a contiguous multi-megabyte
+/// buffer beyond the body itself.
+constexpr std::size_t kChunkBytes = std::size_t{64} << 10;
+
 std::string
 serializeResponse(const HttpResponse &response, bool keepAlive)
 {
     std::ostringstream out;
     out << "HTTP/1.1 " << response.status << ' '
         << httpStatusText(response.status) << "\r\n"
-        << "Content-Type: " << response.contentType << "\r\n"
-        << "Content-Length: " << response.body.size() << "\r\n"
-        << "Connection: " << (keepAlive ? "keep-alive" : "close")
-        << "\r\n\r\n"
-        << response.body;
+        << "Content-Type: " << response.contentType << "\r\n";
+    if (response.chunked) {
+        out << "Transfer-Encoding: chunked\r\n"
+            << "Connection: "
+            << (keepAlive ? "keep-alive" : "close") << "\r\n\r\n";
+        for (std::size_t off = 0; off < response.body.size();
+             off += kChunkBytes) {
+            const std::size_t n =
+                std::min(kChunkBytes, response.body.size() - off);
+            out << std::hex << n << std::dec << "\r\n";
+            out.write(response.body.data() +
+                          static_cast<std::ptrdiff_t>(off),
+                      static_cast<std::streamsize>(n));
+            out << "\r\n";
+        }
+        out << "0\r\n\r\n"; // last chunk, no trailers
+    } else {
+        out << "Content-Length: " << response.body.size() << "\r\n"
+            << "Connection: "
+            << (keepAlive ? "keep-alive" : "close") << "\r\n\r\n"
+            << response.body;
+    }
     return out.str();
 }
 
@@ -496,6 +519,7 @@ HttpClient::readResponse(HttpResponse &out, bool &serverCloses)
 
     std::size_t cursor = lineEnd + 2;
     std::size_t contentLength = 0;
+    bool chunked = false;
     serverCloses = false;
     while (cursor < headerEnd) {
         const std::size_t eol = buf.find("\r\n", cursor);
@@ -509,23 +533,79 @@ HttpClient::readResponse(HttpResponse &out, bool &serverCloses)
         if (name == "content-length")
             contentLength = static_cast<std::size_t>(
                 std::strtoull(value.c_str(), nullptr, 10));
+        else if (name == "transfer-encoding" &&
+                 toLower(value) == "chunked")
+            chunked = true;
         else if (name == "connection" && toLower(value) == "close")
             serverCloses = true;
         else if (name == "content-type")
             out.contentType = value;
     }
 
-    const std::size_t bodyStart = headerEnd + 4;
-    while (buf.size() < bodyStart + contentLength) {
-        if (!waitReadable(fd_, 30000, nullptr))
+    // Pull more bytes until `buf` reaches `need` characters.
+    auto fill = [&](std::size_t need) -> bool {
+        while (buf.size() < need) {
+            if (!waitReadable(fd_, 30000, nullptr))
+                return false;
+            const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n <= 0)
+                return false;
+            buf.append(chunk, static_cast<std::size_t>(n));
+        }
+        return true;
+    };
+    // Ensure a "\r\n" exists at or after `from`; returns its offset
+    // or npos on transport failure.
+    auto fillLine = [&](std::size_t from) -> std::size_t {
+        for (;;) {
+            const std::size_t eol = buf.find("\r\n", from);
+            if (eol != std::string::npos)
+                return eol;
+            if (!fill(buf.size() + 1))
+                return std::string::npos;
+        }
+    };
+
+    std::size_t bodyStart = headerEnd + 4;
+    out.body.clear();
+    if (chunked) {
+        // Dechunk: <hex-size>\r\n <payload> \r\n ... 0\r\n [trailers]
+        // \r\n. Trailers are tolerated and discarded.
+        for (;;) {
+            const std::size_t eol = fillLine(bodyStart);
+            if (eol == std::string::npos)
+                return false;
+            char *end = nullptr;
+            const std::string sizeLine =
+                trim(buf.substr(bodyStart, eol - bodyStart));
+            const unsigned long long size =
+                std::strtoull(sizeLine.c_str(), &end, 16);
+            if (end == sizeLine.c_str())
+                return false;
+            bodyStart = eol + 2;
+            if (size == 0)
+                break;
+            if (!fill(bodyStart + size + 2))
+                return false;
+            out.body.append(buf, bodyStart,
+                            static_cast<std::size_t>(size));
+            bodyStart += static_cast<std::size_t>(size) + 2;
+        }
+        for (;;) { // optional trailer lines, then the blank line
+            const std::size_t eol = fillLine(bodyStart);
+            if (eol == std::string::npos)
+                return false;
+            const bool blank = eol == bodyStart;
+            bodyStart = eol + 2;
+            if (blank)
+                break;
+        }
+    } else {
+        if (!fill(bodyStart + contentLength))
             return false;
-        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-        if (n <= 0)
-            return false;
-        buf.append(chunk, static_cast<std::size_t>(n));
+        out.body = buf.substr(bodyStart, contentLength);
     }
     out.status = status;
-    out.body = buf.substr(bodyStart, contentLength);
     return true;
 }
 
@@ -535,10 +615,15 @@ HttpClient::request(
     const std::string &body, HttpResponse &out,
     const std::vector<std::pair<std::string, std::string>> &headers)
 {
-    // One transparent retry: a keep-alive connection the server has
-    // since closed fails on the first write or read, and a fresh
-    // connect distinguishes "server gone" from "stale socket".
+    // One transparent retry, but only when the failure happened on a
+    // REUSED keep-alive connection: the server may have closed it
+    // while idle (ECONNRESET/EOF on reuse), and a fresh connect
+    // distinguishes "server gone" from "stale socket". A failure on
+    // a just-opened connection is a real transport error and is
+    // surfaced immediately — retrying it could double-deliver a POST
+    // to a server that died mid-response.
     for (int attempt = 0; attempt < 2; ++attempt) {
+        const bool reused = fd_ >= 0;
         if (!ensureConnected())
             return false;
         std::ostringstream wire;
@@ -557,6 +642,8 @@ HttpClient::request(
             return true;
         }
         disconnect();
+        if (!reused)
+            return false;
     }
     return false;
 }

@@ -58,6 +58,13 @@ struct HttpResponse
     std::string body;
     /** Force Connection: close after this response. */
     bool closeConnection = false;
+    /** Serve with Transfer-Encoding: chunked instead of
+     *  Content-Length — large bodies (a 10k-job sweep result) go out
+     *  in bounded frames instead of one contiguous buffer, and the
+     *  client can start consuming before the last byte is framed.
+     *  HttpClient dechunks transparently; `body` holds the payload
+     *  either way. */
+    bool chunked = false;
 };
 
 /** Reason phrase for the status codes the service emits. */

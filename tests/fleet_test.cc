@@ -1,0 +1,717 @@
+/**
+ * @file
+ * Fleet tests: lease bookkeeping (idempotent commits, expiry and
+ * requeue), the rate estimator, the coordinator's wire handlers, and
+ * two end-to-end properties — a multi-worker fleet produces results
+ * and journal bytes identical to a direct in-process run, and stays
+ * bit-identical when a worker is SIGKILLed mid-lease and its range
+ * requeued.
+ */
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/sweep_journal.hh"
+#include "fleet/coordinator.hh"
+#include "fleet/demo.hh"
+#include "fleet/lease.hh"
+#include "fleet/worker.hh"
+#include "obs/rate.hh"
+#include "svc/codec.hh"
+#include "svc/json.hh"
+#include "test_util.hh"
+
+namespace fs = std::filesystem;
+
+using namespace coolcmp;
+using coolcmp::testing::fastDtmConfig;
+using coolcmp::testing::fastTraceConfig;
+using fleet::FleetCoordinator;
+using fleet::FleetWorker;
+using fleet::LeaseTable;
+using svc::HttpRequest;
+using svc::HttpResponse;
+using svc::JsonValue;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Deterministic clock for the caller-clocked lease table. */
+fleet::TimePoint
+at(double seconds)
+{
+    static const auto base = Clock::now();
+    return base + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(seconds));
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** Fresh scratch directory under the system temp dir. */
+fs::path
+scratchDir(const std::string &tag)
+{
+    static int counter = 0;
+    const fs::path dir = fs::temp_directory_path() /
+        ("coolcmp-fleet-" + tag + "-" + std::to_string(getpid()) +
+         "-" + std::to_string(counter++));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+HttpRequest
+post(const std::string &path, const std::string &body)
+{
+    HttpRequest request;
+    request.method = "POST";
+    request.path = path;
+    request.body = body;
+    return request;
+}
+
+HttpRequest
+get(const std::string &path)
+{
+    HttpRequest request;
+    request.method = "GET";
+    request.path = path;
+    return request;
+}
+
+JsonValue
+parse(const HttpResponse &response)
+{
+    JsonValue root;
+    EXPECT_EQ("", svc::parseJson(response.body, root))
+        << response.body;
+    return root;
+}
+
+/** A distinguishable metrics payload for handler-level commits. */
+std::string
+fakeMetricsBody(std::size_t job)
+{
+    RunMetrics m;
+    m.duration = 0.5;
+    m.peakTemp = 80.0 + static_cast<double>(job);
+    m.totalInstructions = 1e9 + static_cast<double>(job);
+    return svc::runMetricsToBody(m);
+}
+
+} // namespace
+
+// --- RateEstimator ---------------------------------------------------
+
+TEST(RateEstimatorTest, SteadyStreamConvergesToTrueRate)
+{
+    obs::RateEstimator rate(2.0);
+    // 10 events/s for 30 seconds.
+    for (int i = 0; i < 300; ++i)
+        rate.observe(1.0, at(0.1 * i));
+    const double estimate = rate.perSecond(at(30.0));
+    EXPECT_NEAR(estimate, 10.0, 2.0);
+}
+
+TEST(RateEstimatorTest, DecaysTowardZeroWhenIdle)
+{
+    obs::RateEstimator rate(2.0);
+    for (int i = 0; i < 100; ++i)
+        rate.observe(1.0, at(0.1 * i));
+    EXPECT_GT(rate.perSecond(at(10.0)), 5.0);
+    EXPECT_LT(rate.perSecond(at(40.0)), 1.0);
+    // Reading must not mutate: same answer twice.
+    EXPECT_DOUBLE_EQ(rate.perSecond(at(40.0)),
+                     rate.perSecond(at(40.0)));
+}
+
+TEST(RateEstimatorTest, ZeroBeforeAnyObservation)
+{
+    obs::RateEstimator rate;
+    EXPECT_DOUBLE_EQ(rate.perSecond(at(5.0)), 0.0);
+}
+
+// --- LeaseTable ------------------------------------------------------
+
+TEST(LeaseTableTest, GrantsContiguousRangesUntilExhausted)
+{
+    LeaseTable table(10, 30.0);
+    const auto a = table.acquire("w1", 4, at(0));
+    const auto b = table.acquire("w2", 4, at(0));
+    const auto c = table.acquire("w1", 4, at(0));
+    ASSERT_TRUE(a && b && c);
+    EXPECT_EQ(a->lo, 0u);
+    EXPECT_EQ(a->hi, 4u);
+    EXPECT_EQ(b->lo, 4u);
+    EXPECT_EQ(b->hi, 8u);
+    EXPECT_EQ(c->lo, 8u);
+    EXPECT_EQ(c->hi, 10u);
+    EXPECT_FALSE(table.acquire("w3", 4, at(0)));
+    EXPECT_EQ(table.pendingJobs(), 0u);
+    EXPECT_EQ(table.activeLeases(), 3u);
+    EXPECT_FALSE(table.allDone());
+}
+
+TEST(LeaseTableTest, CommitIsIdempotentAndRetiresLeases)
+{
+    LeaseTable table(4, 30.0);
+    const auto grant = table.acquire("w", 4, at(0));
+    ASSERT_TRUE(grant);
+    for (std::size_t job = 0; job < 4; ++job)
+        EXPECT_EQ(table.commit(grant->id, job, at(1)),
+                  LeaseTable::Commit::Accepted);
+    // The fully-committed lease retired itself.
+    EXPECT_EQ(table.activeLeases(), 0u);
+    EXPECT_TRUE(table.allDone());
+    // Re-commit: idempotent, counted, nothing changes.
+    EXPECT_EQ(table.commit(grant->id, 2, at(2)),
+              LeaseTable::Commit::Duplicate);
+    EXPECT_EQ(table.stats().duplicateCommits, 1u);
+    EXPECT_EQ(table.commit(grant->id, 99, at(2)),
+              LeaseTable::Commit::Invalid);
+    EXPECT_EQ(table.stats().leasesRetired, 1u);
+}
+
+TEST(LeaseTableTest, ExpiryRequeuesOnlyUndoneJobs)
+{
+    LeaseTable table(8, 1.0);
+    const auto grant = table.acquire("dying", 4, at(0));
+    ASSERT_TRUE(grant);
+    table.commit(grant->id, 0, at(0.5));
+    table.commit(grant->id, 2, at(0.5));
+
+    // Commit renewed the deadline, so expiry counts from the last
+    // commit, not the acquire.
+    EXPECT_EQ(table.expire(at(1.2)), 0u);
+    EXPECT_EQ(table.expire(at(2.0)), 1u);
+    EXPECT_EQ(table.stats().leasesRevoked, 1u);
+    EXPECT_EQ(table.stats().jobsRequeued, 2u); // jobs 1 and 3
+    EXPECT_EQ(table.pendingJobs(), 6u);        // 1, 3, 4..8
+
+    // The requeued singles come back first, as contiguous ranges.
+    const auto r1 = table.acquire("healthy", 8, at(2.1));
+    ASSERT_TRUE(r1);
+    EXPECT_EQ(r1->lo, 1u);
+    EXPECT_EQ(r1->hi, 2u);
+    const auto r2 = table.acquire("healthy", 8, at(2.1));
+    ASSERT_TRUE(r2);
+    EXPECT_EQ(r2->lo, 3u);
+    EXPECT_EQ(r2->hi, 4u);
+    const auto r3 = table.acquire("healthy", 8, at(2.1));
+    ASSERT_TRUE(r3);
+    EXPECT_EQ(r3->lo, 4u);
+    EXPECT_EQ(r3->hi, 8u);
+}
+
+TEST(LeaseTableTest, LateCommitFromRevokedLeaseIsAccepted)
+{
+    LeaseTable table(2, 1.0);
+    const auto dying = table.acquire("dying", 2, at(0));
+    ASSERT_TRUE(dying);
+    ASSERT_EQ(table.expire(at(5.0)), 1u);
+
+    // The range was re-leased to a healthy worker...
+    const auto healthy = table.acquire("healthy", 2, at(5.0));
+    ASSERT_TRUE(healthy);
+    EXPECT_EQ(healthy->lo, 0u);
+
+    // ...but the original worker was merely stalled, not dead, and
+    // streams job 0 first: deterministic results make it acceptable.
+    EXPECT_EQ(table.commit(dying->id, 0, at(5.1)),
+              LeaseTable::Commit::Accepted);
+    // The healthy lease saw job 0 complete; its own commit is a
+    // duplicate and its lease retires after job 1.
+    EXPECT_EQ(table.commit(healthy->id, 0, at(5.2)),
+              LeaseTable::Commit::Duplicate);
+    EXPECT_EQ(table.commit(healthy->id, 1, at(5.3)),
+              LeaseTable::Commit::Accepted);
+    EXPECT_TRUE(table.allDone());
+    EXPECT_EQ(table.activeLeases(), 0u);
+}
+
+TEST(LeaseTableTest, RenewExtendsTheDeadline)
+{
+    LeaseTable table(4, 1.0);
+    const auto grant = table.acquire("w", 4, at(0));
+    ASSERT_TRUE(grant);
+    EXPECT_TRUE(table.renew(grant->id, at(0.9)));
+    EXPECT_EQ(table.expire(at(1.5)), 0u); // renewed to 1.9
+    EXPECT_EQ(table.expire(at(2.5)), 1u);
+    EXPECT_FALSE(table.renew(grant->id, at(2.6)));
+}
+
+TEST(LeaseTableTest, MarkDoneReplaysJournalledJobs)
+{
+    LeaseTable table(6, 30.0);
+    table.markDone(0);
+    table.markDone(3);
+    table.markDone(3); // idempotent
+    EXPECT_EQ(table.completed(), 2u);
+    const auto grant = table.acquire("w", 6, at(0));
+    ASSERT_TRUE(grant);
+    EXPECT_EQ(grant->lo, 1u);
+    EXPECT_EQ(grant->hi, 3u); // job 3 is done: range stops there
+}
+
+// --- demoSweep -------------------------------------------------------
+
+TEST(DemoSweepTest, DeterministicAndCodecStable)
+{
+    const svc::WireSweep a = fleet::demoSweep(24);
+    const svc::WireSweep b = fleet::demoSweep(24);
+    ASSERT_EQ(a.request.jobs().size(), 24u);
+    const std::string aJson =
+        svc::jsonToString(svc::sweepRequestToJson(a));
+    const std::string bJson =
+        svc::jsonToString(svc::sweepRequestToJson(b));
+    EXPECT_EQ(aJson, bJson);
+
+    // Parse -> serialize round-trips byte-identically, so the job
+    // list a worker decodes is exactly the one the coordinator owns.
+    JsonValue doc;
+    ASSERT_EQ("", svc::parseJson(aJson, doc));
+    svc::WireSweep parsed;
+    ASSERT_EQ("", svc::parseSweepRequest(doc, parsed));
+    EXPECT_EQ(aJson, svc::jsonToString(svc::sweepRequestToJson(parsed)));
+
+    // Early jobs get distinct mixes.
+    EXPECT_NE(a.request.jobs()[0].workload.name,
+              a.request.jobs()[1].workload.name);
+}
+
+// --- Coordinator handlers (no HTTP, no simulations) ------------------
+
+namespace {
+
+FleetCoordinator::Options
+handlerOptions()
+{
+    FleetCoordinator::Options options;
+    options.leaseSeconds = 30.0;
+    options.maxLeaseJobs = 4;
+    return options;
+}
+
+} // namespace
+
+TEST(CoordinatorHandlerTest, SweepSpecCarriesKeyProfileAndJobs)
+{
+    coolcmp::testing::quiet();
+    FleetCoordinator coordinator(fleet::demoSweep(8),
+                                 handlerOptions(), fastDtmConfig(),
+                                 fastTraceConfig());
+    const HttpResponse response =
+        coordinator.handle(get("/v1/sweep"));
+    ASSERT_EQ(response.status, 200);
+    const JsonValue spec = parse(response);
+    ASSERT_TRUE(spec.find("config_key"));
+    EXPECT_EQ(spec.find("config_key")->asString(),
+              coordinator.configKey());
+    EXPECT_EQ(spec.find("jobs")->asDouble(), 8.0);
+    const JsonValue *profile = spec.find("profile");
+    ASSERT_TRUE(profile);
+    EXPECT_DOUBLE_EQ(profile->find("duration")->asDouble(), 0.02);
+    svc::WireSweep decoded;
+    ASSERT_EQ("", svc::parseSweepRequest(*spec.find("sweep"), decoded));
+    EXPECT_EQ(decoded.request.jobs().size(), 8u);
+}
+
+TEST(CoordinatorHandlerTest, LeaseResultsAndStatusRoundTrip)
+{
+    coolcmp::testing::quiet();
+    FleetCoordinator coordinator(fleet::demoSweep(6),
+                                 handlerOptions(), fastDtmConfig(),
+                                 fastTraceConfig());
+
+    // Acquire: first range is [0, 4).
+    HttpResponse response = coordinator.handle(
+        post("/v1/leases", "{\"worker\": \"w1\"}"));
+    ASSERT_EQ(response.status, 200);
+    JsonValue grant = parse(response);
+    ASSERT_TRUE(grant.find("lease"));
+    EXPECT_EQ(grant.find("lo")->asDouble(), 0.0);
+    EXPECT_EQ(grant.find("hi")->asDouble(), 4.0);
+    const auto leaseId = static_cast<std::uint64_t>(
+        grant.find("lease")->asDouble());
+
+    // Stream two results; the response reports them accepted.
+    JsonValue batch = JsonValue::object();
+    batch.set("worker", "w1");
+    JsonValue items = JsonValue::array();
+    for (std::size_t job : {0u, 1u}) {
+        JsonValue item = JsonValue::object();
+        item.set("job", job);
+        item.set("metrics_v4", fakeMetricsBody(job));
+        items.push(std::move(item));
+    }
+    batch.set("results", std::move(items));
+    response = coordinator.handle(
+        post("/v1/leases/" + std::to_string(leaseId) + "/results",
+             svc::jsonToString(batch)));
+    ASSERT_EQ(response.status, 200);
+    JsonValue outcome = parse(response);
+    EXPECT_EQ(outcome.find("accepted")->asDouble(), 2.0);
+    EXPECT_EQ(outcome.find("duplicate")->asDouble(), 0.0);
+    EXPECT_FALSE(outcome.find("sweep_done")->asBool());
+
+    // Replaying the same batch is idempotent.
+    response = coordinator.handle(
+        post("/v1/leases/" + std::to_string(leaseId) + "/results",
+             svc::jsonToString(batch)));
+    outcome = parse(response);
+    EXPECT_EQ(outcome.find("accepted")->asDouble(), 0.0);
+    EXPECT_EQ(outcome.find("duplicate")->asDouble(), 2.0);
+
+    // Heartbeat renews; an unknown lease is 404.
+    response = coordinator.handle(post(
+        "/v1/leases/" + std::to_string(leaseId) + "/heartbeat",
+        "{\"worker\": \"w1\"}"));
+    EXPECT_EQ(response.status, 200);
+    response =
+        coordinator.handle(post("/v1/leases/9999/heartbeat", "{}"));
+    EXPECT_EQ(response.status, 404);
+
+    // Status reflects progress and the per-worker tally.
+    response = coordinator.handle(get("/v1/status"));
+    const JsonValue status = parse(response);
+    EXPECT_EQ(status.find("jobs")->asDouble(), 6.0);
+    EXPECT_EQ(status.find("completed")->asDouble(), 2.0);
+    EXPECT_FALSE(status.find("done")->asBool());
+    ASSERT_TRUE(status.find("workers"));
+    EXPECT_EQ(status.find("workers")->find("w1")->asDouble(), 2.0);
+
+    // The metrics exposition carries the fleet gauges.
+    response = coordinator.handle(get("/metrics"));
+    ASSERT_EQ(response.status, 200);
+    EXPECT_NE(response.body.find("coolcmp_fleet_jobs_completed 2"),
+              std::string::npos)
+        << response.body;
+    EXPECT_NE(response.body.find("coolcmp_fleet_jobs_total 6"),
+              std::string::npos);
+}
+
+TEST(CoordinatorHandlerTest, MalformedResultsAreRejectedAtomically)
+{
+    coolcmp::testing::quiet();
+    FleetCoordinator coordinator(fleet::demoSweep(4),
+                                 handlerOptions(), fastDtmConfig(),
+                                 fastTraceConfig());
+    const HttpResponse grantResponse = coordinator.handle(
+        post("/v1/leases", "{\"worker\": \"w\"}"));
+    const JsonValue grant = parse(grantResponse);
+    const std::string base = "/v1/leases/" +
+        std::to_string(static_cast<std::uint64_t>(
+            grant.find("lease")->asDouble()));
+
+    EXPECT_EQ(coordinator.handle(post(base + "/results", "{nope"))
+                  .status,
+              400);
+    EXPECT_EQ(coordinator
+                  .handle(post(base + "/results",
+                               "{\"results\": []}"))
+                  .status,
+              400);
+    // One good entry + one out-of-range: the whole batch bounces and
+    // nothing commits.
+    JsonValue batch = JsonValue::object();
+    JsonValue items = JsonValue::array();
+    JsonValue good = JsonValue::object();
+    good.set("job", 0);
+    good.set("metrics_v4", fakeMetricsBody(0));
+    items.push(std::move(good));
+    JsonValue bad = JsonValue::object();
+    bad.set("job", 99);
+    bad.set("metrics_v4", fakeMetricsBody(99));
+    items.push(std::move(bad));
+    batch.set("results", std::move(items));
+    EXPECT_EQ(coordinator
+                  .handle(post(base + "/results",
+                               svc::jsonToString(batch)))
+                  .status,
+              400);
+    EXPECT_EQ(coordinator.leaseTable().completed(), 0u);
+    // Garbage metrics body.
+    JsonValue mangled = JsonValue::object();
+    JsonValue mangledItems = JsonValue::array();
+    JsonValue entry = JsonValue::object();
+    entry.set("job", 0);
+    entry.set("metrics_v4", "not a metrics body");
+    mangledItems.push(std::move(entry));
+    mangled.set("results", std::move(mangledItems));
+    EXPECT_EQ(coordinator
+                  .handle(post(base + "/results",
+                               svc::jsonToString(mangled)))
+                  .status,
+              400);
+}
+
+TEST(CoordinatorHandlerTest, LargeSweepSpecStreamsChunked)
+{
+    coolcmp::testing::quiet();
+    FleetCoordinator coordinator(fleet::demoSweep(5000),
+                                 handlerOptions(), fastDtmConfig(),
+                                 fastTraceConfig());
+    const HttpResponse response =
+        coordinator.handle(get("/v1/sweep"));
+    ASSERT_EQ(response.status, 200);
+    EXPECT_TRUE(response.chunked);
+    EXPECT_GT(response.body.size(), std::size_t{256} << 10);
+}
+
+// --- End-to-end: fleet == direct run, bit for bit --------------------
+
+namespace {
+
+/** Run the canonical oracle: the same sweep executed directly in
+ *  this process with the journal on, returning its results. */
+std::vector<RunMetrics>
+runOracle(const svc::WireSweep &sweep, const std::string &journalPath,
+          const std::string &traceCache)
+{
+    TraceBuilderConfig traceConfig = fastTraceConfig();
+    traceConfig.cacheDir = traceCache;
+    Experiment experiment(fastDtmConfig(), traceConfig);
+    RunRequest request = sweep.request;
+    request.journal(journalPath);
+    return experiment.run(request);
+}
+
+FleetWorker::Options
+workerOptions(std::uint16_t port, const std::string &name,
+              const std::string &traceCache)
+{
+    FleetWorker::Options options;
+    options.port = port;
+    options.name = name;
+    options.threads = 1;
+    options.traceCacheDir = traceCache;
+    options.pollMs = 20;
+    return options;
+}
+
+} // namespace
+
+TEST(FleetE2ETest, TwoWorkerFleetMatchesDirectRunBitForBit)
+{
+    coolcmp::testing::quiet();
+    const fs::path dir = scratchDir("e2e");
+    const std::string traceCache = (dir / "traces").string();
+    const svc::WireSweep sweep = fleet::demoSweep(12);
+
+    const std::vector<RunMetrics> oracle = runOracle(
+        sweep, (dir / "oracle.journal").string(), traceCache);
+
+    TraceBuilderConfig traceConfig = fastTraceConfig();
+    traceConfig.cacheDir = traceCache;
+    FleetCoordinator::Options options;
+    options.leaseSeconds = 20.0;
+    options.maxLeaseJobs = 4;
+    options.journalPath = (dir / "fleet.journal").string();
+    FleetCoordinator coordinator(sweep, options, fastDtmConfig(),
+                                 traceConfig);
+    ASSERT_TRUE(coordinator.start());
+
+    int exitA = -1, exitB = -1;
+    std::thread workerA([&] {
+        FleetWorker worker(
+            workerOptions(coordinator.port(), "wa", traceCache));
+        exitA = worker.run();
+    });
+    std::thread workerB([&] {
+        FleetWorker worker(
+            workerOptions(coordinator.port(), "wb", traceCache));
+        exitB = worker.run();
+    });
+
+    ASSERT_TRUE(coordinator.waitUntilDone(300.0));
+    workerA.join();
+    workerB.join();
+    EXPECT_EQ(exitA, 0);
+    EXPECT_EQ(exitB, 0);
+
+    // Results: every job's v4 body identical to the direct run.
+    const std::vector<RunMetrics> fleetResults =
+        coordinator.results();
+    ASSERT_EQ(fleetResults.size(), oracle.size());
+    for (std::size_t i = 0; i < oracle.size(); ++i)
+        EXPECT_EQ(svc::runMetricsToBody(fleetResults[i]),
+                  svc::runMetricsToBody(oracle[i]))
+            << "job " << i;
+
+    // Journal: the file the coordinator wrote is byte-identical to
+    // the one the direct journaled run wrote.
+    const std::string oracleJournal =
+        readFile((dir / "oracle.journal").string());
+    const std::string fleetJournal =
+        readFile((dir / "fleet.journal").string());
+    ASSERT_FALSE(oracleJournal.empty());
+    EXPECT_EQ(oracleJournal, fleetJournal);
+
+    // Both workers actually computed jobs.
+    const HttpResponse status =
+        coordinator.handle(get("/v1/status"));
+    const JsonValue doc = parse(status);
+    EXPECT_GT(doc.find("workers")->find("wa")->asDouble(), 0.0);
+    EXPECT_GT(doc.find("workers")->find("wb")->asDouble(), 0.0);
+
+    coordinator.stop();
+    fs::remove_all(dir);
+}
+
+TEST(FleetE2ETest, KilledWorkerIsRequeuedAndStaysBitIdentical)
+{
+    coolcmp::testing::quiet();
+    const fs::path dir = scratchDir("kill");
+    const std::string traceCache = (dir / "traces").string();
+    const svc::WireSweep sweep = fleet::demoSweep(8);
+
+    const std::vector<RunMetrics> oracle = runOracle(
+        sweep, (dir / "oracle.journal").string(), traceCache);
+
+    TraceBuilderConfig traceConfig = fastTraceConfig();
+    traceConfig.cacheDir = traceCache;
+    FleetCoordinator::Options options;
+    options.leaseSeconds = 0.5; // presumed dead after half a second
+    options.maxLeaseJobs = 64;
+    options.journalPath = (dir / "fleet.journal").string();
+    FleetCoordinator coordinator(sweep, options, fastDtmConfig(),
+                                 traceConfig);
+    ASSERT_TRUE(coordinator.start());
+
+    // Launch the doomed worker as a real process, with a chunk size
+    // larger than the sweep so it never streams before the kill.
+    const std::string portArg = std::to_string(coordinator.port());
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        execl(COOLCMP_WORKER_BIN, "coolcmp-worker", "--port",
+              portArg.c_str(), "--name", "doomed", "--chunk", "64",
+              "--max-lease", "64", "--trace-cache",
+              traceCache.c_str(), static_cast<char *>(nullptr));
+        _exit(127);
+    }
+
+    // SIGKILL the moment it holds a lease: mid-lease, zero results
+    // streamed.
+    const auto deadline = Clock::now() + std::chrono::seconds(120);
+    while (coordinator.leaseTable().activeLeases() == 0 &&
+           Clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_GT(coordinator.leaseTable().activeLeases(), 0u)
+        << "doomed worker never acquired a lease";
+    ASSERT_EQ(kill(pid, SIGKILL), 0);
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(wstatus));
+    EXPECT_EQ(coordinator.leaseTable().completed(), 0u);
+
+    // A healthy worker picks up the requeued range and finishes.
+    int exitHealthy = -1;
+    std::thread healthy([&] {
+        FleetWorker worker(
+            workerOptions(coordinator.port(), "healthy", traceCache));
+        exitHealthy = worker.run();
+    });
+    ASSERT_TRUE(coordinator.waitUntilDone(300.0));
+    healthy.join();
+    EXPECT_EQ(exitHealthy, 0);
+
+    // The death was observed and the range requeued.
+    const fleet::LeaseStats stats =
+        coordinator.leaseTable().stats();
+    EXPECT_GE(stats.leasesRevoked, 1u);
+    EXPECT_GE(stats.jobsRequeued, 1u);
+
+    // And the output is still bit-identical to the direct run.
+    const std::vector<RunMetrics> fleetResults =
+        coordinator.results();
+    ASSERT_EQ(fleetResults.size(), oracle.size());
+    for (std::size_t i = 0; i < oracle.size(); ++i)
+        EXPECT_EQ(svc::runMetricsToBody(fleetResults[i]),
+                  svc::runMetricsToBody(oracle[i]))
+            << "job " << i;
+    EXPECT_EQ(readFile((dir / "oracle.journal").string()),
+              readFile((dir / "fleet.journal").string()));
+
+    coordinator.stop();
+    fs::remove_all(dir);
+}
+
+// --- Coordinator resume (journal replay) -----------------------------
+
+TEST(FleetE2ETest, CoordinatorResumeReplaysJournalledJobs)
+{
+    coolcmp::testing::quiet();
+    const fs::path dir = scratchDir("resume");
+    const std::string journalPath = (dir / "fleet.journal").string();
+    const svc::WireSweep sweep = fleet::demoSweep(6);
+
+    FleetCoordinator::Options options;
+    options.leaseSeconds = 30.0;
+    options.maxLeaseJobs = 8;
+    options.journalPath = journalPath;
+
+    // First coordinator: commit 3 of 6 jobs through the handlers,
+    // then die (destructor, no completion).
+    {
+        FleetCoordinator first(sweep, options, fastDtmConfig(),
+                               fastTraceConfig());
+        ASSERT_TRUE(first.start());
+        const JsonValue grant = parse(first.handle(
+            post("/v1/leases", "{\"worker\": \"w\"}")));
+        JsonValue batch = JsonValue::object();
+        JsonValue items = JsonValue::array();
+        for (std::size_t job : {0u, 1u, 2u}) {
+            JsonValue item = JsonValue::object();
+            item.set("job", job);
+            item.set("metrics_v4", fakeMetricsBody(job));
+            items.push(std::move(item));
+        }
+        batch.set("results", std::move(items));
+        const HttpResponse response = first.handle(post(
+            "/v1/leases/" +
+                std::to_string(static_cast<std::uint64_t>(
+                    grant.find("lease")->asDouble())) +
+                "/results",
+            svc::jsonToString(batch)));
+        ASSERT_EQ(response.status, 200);
+        first.stop();
+    }
+
+    // Second coordinator on the same journal: the 3 jobs are done
+    // before any worker connects, and their bodies replay exactly.
+    FleetCoordinator second(sweep, options, fastDtmConfig(),
+                            fastTraceConfig());
+    ASSERT_TRUE(second.start());
+    EXPECT_EQ(second.leaseTable().completed(), 3u);
+    const JsonValue grant = parse(
+        second.handle(post("/v1/leases", "{\"worker\": \"w2\"}")));
+    EXPECT_EQ(grant.find("lo")->asDouble(), 3.0);
+    EXPECT_EQ(grant.find("hi")->asDouble(), 6.0);
+    EXPECT_EQ(svc::runMetricsToBody(second.results()[1]),
+              fakeMetricsBody(1));
+    second.stop();
+    fs::remove_all(dir);
+}

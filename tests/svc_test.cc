@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <netinet/in.h>
 #include <string>
@@ -281,6 +283,65 @@ TEST(AdmissionTest, QueueOrdersByPriorityThenArrival)
     EXPECT_EQ(queue.pop(), alsoLow);
 }
 
+std::shared_ptr<SweepJob>
+makeClientJob(const std::string &client, int priority = 0)
+{
+    auto job = std::make_shared<SweepJob>();
+    job->client = client;
+    job->priority = priority;
+    return job;
+}
+
+TEST(AdmissionTest, QueueRoundRobinsClientsAtEqualPriority)
+{
+    // A noisy tenant bursts 4 sweeps before a second tenant shows
+    // up; round-robin means the late tenant is served every other
+    // pop instead of waiting out the whole burst.
+    AdmissionQueue queue(16);
+    std::vector<std::shared_ptr<SweepJob>> noisy, late;
+    for (int i = 0; i < 4; ++i) {
+        noisy.push_back(makeClientJob("noisy"));
+        ASSERT_EQ(queue.submit(noisy.back()),
+                  AdmissionQueue::Admit::Accepted);
+    }
+    for (int i = 0; i < 2; ++i) {
+        late.push_back(makeClientJob("late"));
+        ASSERT_EQ(queue.submit(late.back()),
+                  AdmissionQueue::Admit::Accepted);
+    }
+    // Interleaved turns, each client's own jobs in FIFO order.
+    EXPECT_EQ(queue.pop(), noisy[0]);
+    EXPECT_EQ(queue.pop(), late[0]);
+    EXPECT_EQ(queue.pop(), noisy[1]);
+    EXPECT_EQ(queue.pop(), late[1]);
+    EXPECT_EQ(queue.pop(), noisy[2]);
+    EXPECT_EQ(queue.pop(), noisy[3]);
+
+    // A second interleaved burst: the rotation keeps alternating
+    // even when submissions arrive interleaved rather than batched.
+    auto a1 = makeClientJob("a"), b1 = makeClientJob("b");
+    auto a2 = makeClientJob("a"), b2 = makeClientJob("b");
+    queue.submit(a1);
+    queue.submit(b1);
+    queue.submit(a2);
+    queue.submit(b2);
+    EXPECT_EQ(queue.pop(), a1);
+    EXPECT_EQ(queue.pop(), b1);
+    EXPECT_EQ(queue.pop(), a2);
+    EXPECT_EQ(queue.pop(), b2);
+
+    // Priority still dominates fairness: a high-priority job jumps
+    // every equal-priority rotation.
+    auto lowA = makeClientJob("a"), lowB = makeClientJob("b");
+    auto high = makeClientJob("a", 5);
+    queue.submit(lowA);
+    queue.submit(lowB);
+    queue.submit(high);
+    EXPECT_EQ(queue.pop(), high);
+    EXPECT_EQ(queue.pop(), lowA);
+    EXPECT_EQ(queue.pop(), lowB);
+}
+
 TEST(AdmissionTest, QueueBoundsDepthAndDrainsAfterClose)
 {
     AdmissionQueue queue(2);
@@ -543,6 +604,134 @@ rawExchange(std::uint16_t port, const std::string &wire)
     }
     ::close(fd);
     return response;
+}
+
+// --------------------------------------------------------------------
+// HTTP substrate: keep-alive resilience and chunked responses
+
+TEST(HttpClientTest, RetriesTransparentlyOnStaleKeepAlive)
+{
+    coolcmp::testing::quiet();
+    // A server that drops idle keep-alive connections after 100 ms:
+    // the client's second request lands on a socket the server
+    // already closed and must succeed via one transparent reconnect.
+    std::atomic<int> served{0};
+    HttpServer::Options options;
+    options.idleTimeoutMs = 100;
+    HttpServer server(options, [&](const HttpRequest &) {
+        ++served;
+        HttpResponse r;
+        r.body = "{\"ok\": true}";
+        return r;
+    });
+    ASSERT_TRUE(server.start());
+
+    HttpClient client("127.0.0.1", server.port());
+    HttpResponse response;
+    ASSERT_TRUE(client.request("GET", "/", {}, response));
+    EXPECT_EQ(response.status, 200);
+
+    // Let the server's idle reaper close the connection under us.
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    ASSERT_TRUE(client.request("GET", "/", {}, response))
+        << "stale keep-alive reuse must reconnect, not error";
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(served.load(), 2);
+
+    // A dead server is a real error: no response, no hang.
+    server.stop();
+    EXPECT_FALSE(client.request("GET", "/", {}, response));
+}
+
+TEST(HttpChunkedTest, LargeBodyRoundTripsThroughChunkedFraming)
+{
+    coolcmp::testing::quiet();
+    // ~1 MiB of non-repeating payload: spans many 64 KiB chunks and
+    // catches any off-by-one in the chunk splicing.
+    std::string payload;
+    payload.reserve(1 << 20);
+    std::uint32_t x = 0x2545f491u;
+    while (payload.size() < (1u << 20)) {
+        x = x * 1664525u + 1013904223u;
+        payload += std::to_string(x);
+        payload += ',';
+    }
+
+    HttpServer server({}, [&](const HttpRequest &request) {
+        HttpResponse r;
+        r.contentType = "text/plain";
+        r.body = payload;
+        r.chunked = request.path == "/chunked";
+        return r;
+    });
+    ASSERT_TRUE(server.start());
+    HttpClient client("127.0.0.1", server.port());
+
+    HttpResponse chunked;
+    ASSERT_TRUE(client.request("GET", "/chunked", {}, chunked));
+    EXPECT_EQ(chunked.status, 200);
+    EXPECT_EQ(chunked.body, payload);
+
+    // Same payload with Content-Length framing: identical result.
+    HttpResponse plain;
+    ASSERT_TRUE(client.request("GET", "/plain", {}, plain));
+    EXPECT_EQ(plain.body, payload);
+
+    // Keep-alive survives a chunked exchange: the client must have
+    // consumed exactly the terminating 0-chunk, leaving the
+    // connection aligned for the next request.
+    HttpResponse again;
+    ASSERT_TRUE(client.request("GET", "/chunked", {}, again));
+    EXPECT_EQ(again.body, payload);
+    server.stop();
+}
+
+TEST(HttpChunkedTest, WireFramingIsWellFormed)
+{
+    coolcmp::testing::quiet();
+    HttpServer server({}, [&](const HttpRequest &) {
+        HttpResponse r;
+        r.contentType = "text/plain";
+        r.body = "hello chunked world";
+        r.chunked = true;
+        r.closeConnection = true;
+        return r;
+    });
+    ASSERT_TRUE(server.start());
+
+    const std::string wire = [&] {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(server.port());
+        EXPECT_EQ(::connect(fd,
+                            reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr)),
+                  0);
+        const std::string request =
+            "GET / HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+        ::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+        std::string out;
+        char buf[4096];
+        for (;;) {
+            const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+            if (n <= 0)
+                break;
+            out.append(buf, static_cast<std::size_t>(n));
+        }
+        ::close(fd);
+        return out;
+    }();
+    server.stop();
+
+    EXPECT_NE(wire.find("Transfer-Encoding: chunked\r\n"),
+              std::string::npos);
+    EXPECT_EQ(wire.find("Content-Length:"), std::string::npos);
+    // One 19-byte chunk (0x13), then the terminating 0-chunk.
+    EXPECT_NE(wire.find("\r\n\r\n13\r\nhello chunked world\r\n"
+                        "0\r\n\r\n"),
+              std::string::npos);
 }
 
 TEST(DaemonSocketTest, OversizedAndMalformedBodies)

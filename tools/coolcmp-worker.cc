@@ -1,0 +1,124 @@
+/**
+ * @file
+ * coolcmp-worker — fleet worker binary.
+ *
+ * Connects to a fleet coordinator (tools/coolcmpd --coordinator),
+ * fetches the sweep spec, verifies the configKey, then pulls leased
+ * job ranges and streams results until the sweep is done (exit 0).
+ * Exit 1 means the coordinator stayed unreachable or the spec was
+ * incompatible. Workers are stateless: SIGKILL one at any moment and
+ * the coordinator requeues its unfinished range at the lease
+ * deadline.
+ *
+ * Usage:
+ *   coolcmp-worker (--port N | --port-file PATH) [--host H]
+ *                  [--name W] [--max-lease N] [--chunk N]
+ *                  [--threads N] [--poll-ms N] [--backoff-ms N]
+ *                  [--attempts N] [--trace-cache DIR]
+ *
+ * --port-file polls for the file coolcmpd publishes with
+ * --port-file, so scripts can start both without a fixed port.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "fleet/worker.hh"
+#include "util/logging.hh"
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s (--port N | --port-file PATH) [--host H]\n"
+        "          [--name W] [--max-lease N] [--chunk N]\n"
+        "          [--threads N] [--poll-ms N] [--backoff-ms N]\n"
+        "          [--attempts N] [--trace-cache DIR]\n",
+        argv0);
+    std::exit(2);
+}
+
+/** Poll for the coordinator's port file (written after bind). */
+std::uint16_t
+waitForPortFile(const std::string &path, double timeoutSeconds)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::duration<double>(timeoutSeconds);
+    while (std::chrono::steady_clock::now() < deadline) {
+        std::ifstream in(path);
+        int port = 0;
+        if (in >> port && port > 0 && port < 65536)
+            return static_cast<std::uint16_t>(port);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace coolcmp;
+
+    setDefaultLogLevel(LogLevel::Inform);
+
+    fleet::FleetWorker::Options options;
+    std::string portFile;
+
+    auto next = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--host")
+            options.host = next(i);
+        else if (arg == "--port")
+            options.port =
+                static_cast<std::uint16_t>(std::stoi(next(i)));
+        else if (arg == "--port-file")
+            portFile = next(i);
+        else if (arg == "--name")
+            options.name = next(i);
+        else if (arg == "--max-lease")
+            options.maxLeaseJobs = std::stoul(next(i));
+        else if (arg == "--chunk")
+            options.chunkJobs = std::stoul(next(i));
+        else if (arg == "--threads")
+            options.threads = std::stoul(next(i));
+        else if (arg == "--poll-ms")
+            options.pollMs = std::stoi(next(i));
+        else if (arg == "--backoff-ms")
+            options.backoffMs = std::stoi(next(i));
+        else if (arg == "--attempts")
+            options.maxAttempts = std::stoi(next(i));
+        else if (arg == "--trace-cache")
+            options.traceCacheDir = next(i);
+        else
+            usage(argv[0]);
+    }
+
+    if (!portFile.empty()) {
+        options.port = waitForPortFile(portFile, 30.0);
+        if (options.port == 0) {
+            std::fprintf(stderr,
+                         "coolcmp-worker: no port appeared in %s\n",
+                         portFile.c_str());
+            return 1;
+        }
+    }
+    if (options.port == 0)
+        usage(argv[0]);
+
+    fleet::FleetWorker worker(options);
+    return worker.run();
+}

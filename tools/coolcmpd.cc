@@ -1,17 +1,31 @@
 /**
  * @file
- * coolcmpd — the sweep service daemon binary.
+ * coolcmpd — the sweep service daemon binary, and (with
+ * --coordinator) the fleet coordinator.
  *
- * Serves the deterministic DTM sweep engine over loopback HTTP/JSON
- * (see src/svc/daemon.hh for the endpoint surface). SIGTERM/SIGINT
- * trigger a graceful drain: admissions close, every accepted job
- * finishes, then the listener goes down.
+ * Daemon mode serves the deterministic DTM sweep engine over
+ * loopback HTTP/JSON (see src/svc/daemon.hh for the endpoint
+ * surface). SIGTERM/SIGINT trigger a graceful drain: admissions
+ * close, every accepted job finishes, then the listener goes down.
+ *
+ * Coordinator mode owns one sweep (from --sweep FILE in the codec
+ * schema, or the synthetic --demo-sweep N) and shards it over
+ * coolcmp-worker processes via the lease protocol (see
+ * src/fleet/coordinator.hh): it journals results as workers stream
+ * them, writes the final metrics to --out, then lingers briefly so
+ * workers observe "done" and exit 0. --inprocess runs the identical
+ * sweep directly in this process and writes the same artifacts —
+ * the comparison oracle for fleet bit-identity checks.
  *
  * Usage:
  *   coolcmpd [--port N] [--workers N] [--http-threads N]
  *            [--queue-depth N] [--quota-rate R] [--quota-burst B]
  *            [--result-dir PATH] [--max-body BYTES]
  *            [--sim-duration SECONDS] [--fast] [--port-file PATH]
+ *   coolcmpd --coordinator (--sweep FILE | --demo-sweep N)
+ *            [--journal PATH] [--out PATH] [--lease-seconds S]
+ *            [--max-lease N] [--linger S] [--inprocess]
+ *            [--port N] [--port-file PATH] [--fast] ...
  *
  * --fast shrinks the simulation (20 ms of silicon time, 16-interval
  * traces) so CI smoke runs complete in seconds; --port 0 (default)
@@ -24,9 +38,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "core/sweep_journal.hh"
+#include "fleet/coordinator.hh"
+#include "fleet/demo.hh"
 #include "svc/daemon.hh"
 #include "util/logging.hh"
 
@@ -50,9 +70,30 @@ usage(const char *argv0)
         "[--quota-burst B]\n"
         "          [--result-dir PATH] [--max-body BYTES]\n"
         "          [--sim-duration SECONDS] [--fast] "
-        "[--port-file PATH]\n",
-        argv0);
+        "[--port-file PATH]\n"
+        "       %s --coordinator (--sweep FILE | --demo-sweep N)\n"
+        "          [--journal PATH] [--out PATH] "
+        "[--lease-seconds S]\n"
+        "          [--max-lease N] [--linger S] [--inprocess]\n",
+        argv0, argv0);
     std::exit(2);
+}
+
+/** Canonical results artifact: every job's v4 metrics body in job
+ *  order — identical bytes whether the sweep ran in-process or on a
+ *  fleet of any size. */
+bool
+writeResultsFile(const std::string &path,
+                 const std::vector<coolcmp::RunMetrics> &results)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        out << "job " << i << "\n";
+        coolcmp::writeRunMetricsBody(out, results[i]);
+    }
+    return static_cast<bool>(out);
 }
 
 } // namespace
@@ -65,10 +106,18 @@ main(int argc, char **argv)
     setDefaultLogLevel(LogLevel::Inform);
 
     svc::SweepServiceDaemon::Options options;
+    fleet::FleetCoordinator::Options fleetOptions;
     DtmConfig config;
     TraceBuilderConfig traceConfig;
     std::string portFile;
     double simDuration = 0.0;
+
+    bool coordinator = false;
+    bool inprocess = false;
+    std::string sweepFile;
+    std::size_t demoJobs = 0;
+    std::string outPath;
+    double lingerSeconds = 3.0;
 
     auto next = [&](int &i) -> std::string {
         if (i + 1 >= argc)
@@ -78,12 +127,13 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--port")
-            options.port =
+            options.port = fleetOptions.port =
                 static_cast<std::uint16_t>(std::stoi(next(i)));
         else if (arg == "--workers")
             options.workers = std::stoul(next(i));
         else if (arg == "--http-threads")
-            options.httpThreads = std::stoul(next(i));
+            options.httpThreads = fleetOptions.httpThreads =
+                std::stoul(next(i));
         else if (arg == "--queue-depth")
             options.queueDepth = std::stoul(next(i));
         else if (arg == "--quota-rate")
@@ -93,11 +143,30 @@ main(int argc, char **argv)
         else if (arg == "--result-dir")
             options.resultDir = next(i);
         else if (arg == "--max-body")
-            options.maxRequestBytes = std::stoul(next(i));
+            options.maxRequestBytes = fleetOptions.maxRequestBytes =
+                std::stoul(next(i));
         else if (arg == "--sim-duration")
             simDuration = std::stod(next(i));
         else if (arg == "--port-file")
             portFile = next(i);
+        else if (arg == "--coordinator")
+            coordinator = true;
+        else if (arg == "--inprocess")
+            inprocess = true;
+        else if (arg == "--sweep")
+            sweepFile = next(i);
+        else if (arg == "--demo-sweep")
+            demoJobs = std::stoul(next(i));
+        else if (arg == "--journal")
+            fleetOptions.journalPath = next(i);
+        else if (arg == "--out")
+            outPath = next(i);
+        else if (arg == "--lease-seconds")
+            fleetOptions.leaseSeconds = std::stod(next(i));
+        else if (arg == "--max-lease")
+            fleetOptions.maxLeaseJobs = std::stoul(next(i));
+        else if (arg == "--linger")
+            lingerSeconds = std::stod(next(i));
         else if (arg == "--fast") {
             config.duration = 0.02;
             traceConfig.numIntervals = 16;
@@ -108,6 +177,113 @@ main(int argc, char **argv)
     }
     if (simDuration > 0.0)
         config.duration = simDuration;
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    if (coordinator || inprocess) {
+        // --- Build the sweep. ---
+        svc::WireSweep sweep;
+        if (demoJobs > 0 && sweepFile.empty()) {
+            sweep = fleet::demoSweep(demoJobs);
+        } else if (!sweepFile.empty() && demoJobs == 0) {
+            std::ifstream in(sweepFile);
+            if (!in) {
+                std::fprintf(stderr,
+                             "coolcmpd: cannot read sweep file %s\n",
+                             sweepFile.c_str());
+                return 1;
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+            svc::JsonValue root;
+            const std::string jsonError =
+                svc::parseJson(text.str(), root);
+            if (!jsonError.empty()) {
+                std::fprintf(stderr, "coolcmpd: %s: %s\n",
+                             sweepFile.c_str(), jsonError.c_str());
+                return 1;
+            }
+            const std::string decodeError =
+                svc::parseSweepRequest(root, sweep);
+            if (!decodeError.empty()) {
+                std::fprintf(stderr, "coolcmpd: %s: %s\n",
+                             sweepFile.c_str(), decodeError.c_str());
+                return 1;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "coolcmpd: coordinator mode needs exactly "
+                         "one of --sweep FILE or --demo-sweep N\n");
+            return 2;
+        }
+
+        if (inprocess) {
+            // The comparison oracle: same sweep, same journal format,
+            // same results artifact, one process, zero HTTP.
+            if (sweep.request.options().romTolerance >= 0.0)
+                config.romTolerance =
+                    sweep.request.options().romTolerance;
+            Experiment experiment(config, traceConfig);
+            RunRequest request = sweep.request;
+            if (!fleetOptions.journalPath.empty())
+                request.journal(fleetOptions.journalPath);
+            const std::vector<RunMetrics> results =
+                experiment.run(request);
+            if (!outPath.empty() &&
+                !writeResultsFile(outPath, results)) {
+                warn("cannot write results file ", outPath);
+                return 1;
+            }
+            inform("coolcmpd: in-process sweep of ", results.size(),
+                   " jobs complete");
+            return 0;
+        }
+
+        fleet::FleetCoordinator coord(std::move(sweep), fleetOptions,
+                                      config, traceConfig);
+        if (!coord.start())
+            return 1;
+
+        if (!portFile.empty()) {
+            std::ofstream out(portFile, std::ios::trunc);
+            out << coord.port() << "\n";
+            if (!out) {
+                warn("cannot write port file ", portFile);
+                coord.stop();
+                return 1;
+            }
+        }
+
+        while (!g_stop.load() && !coord.done())
+            coord.waitUntilDone(0.1);
+        if (!coord.done()) {
+            inform("coolcmpd: coordinator interrupted before "
+                   "completion");
+            coord.stop();
+            return 1;
+        }
+
+        if (!outPath.empty() &&
+            !writeResultsFile(outPath, coord.results())) {
+            warn("cannot write results file ", outPath);
+            coord.stop();
+            return 1;
+        }
+
+        // Keep serving "done" briefly so every worker's next lease
+        // poll sees it and exits 0 instead of a connect failure.
+        const auto deadline = std::chrono::steady_clock::now() +
+            std::chrono::duration<double>(lingerSeconds);
+        while (!g_stop.load() &&
+               std::chrono::steady_clock::now() < deadline)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        coord.stop();
+        inform("coolcmpd: fleet sweep complete");
+        return 0;
+    }
+
     if (options.workers == 0) {
         std::fprintf(stderr, "coolcmpd: --workers must be >= 1\n");
         return 2;
@@ -127,8 +303,6 @@ main(int argc, char **argv)
         }
     }
 
-    std::signal(SIGTERM, onSignal);
-    std::signal(SIGINT, onSignal);
     while (!g_stop.load())
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
