@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""CI gate for the merged fleet trace (`coolcmpd --trace-out`).
+
+Asserts that the Chrome trace-event JSON the coordinator assembled
+from its own spans plus every worker's shipped spans actually holds
+the distributed-tracing contract:
+
+  * the file parses and carries a non-empty traceEvents array;
+  * there is a process_name metadata track for the coordinator and
+    for every worker named on the command line;
+  * every named worker contributed at least one span (X event);
+  * per-job stitching: for every job index observed in span args (and
+    for all of 0..--jobs-1 when given), the spans tagged with that job
+    share one trace id, and that trace id appears in at least two
+    distinct process tracks — the coordinator's commit span and some
+    worker's compute span joined without any runtime coordination.
+
+Usage:
+  check_fleet_trace.py TRACE.json --workers w1 w2 w3 [--jobs N]
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def fail(message):
+    print(f"check_fleet_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="merged Chrome trace JSON")
+    parser.add_argument("--workers", nargs="+", default=[],
+                        help="worker names that must have span tracks")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="require jobs 0..N-1 all present")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot parse {args.trace}: {error}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    process_names = {}  # pid -> name
+    spans_per_pid = collections.Counter()
+    job_traces = collections.defaultdict(set)  # job -> {trace_id}
+    trace_pids = collections.defaultdict(set)  # trace_id -> {pid}
+
+    for event in events:
+        ph = event.get("ph")
+        if ph == "M" and event.get("name") == "process_name":
+            process_names[event["pid"]] = event["args"]["name"]
+        elif ph == "X":
+            pid = event["pid"]
+            spans_per_pid[pid] += 1
+            trace_id = event.get("args", {}).get("trace_id")
+            if trace_id:
+                trace_pids[trace_id].add(pid)
+            job = event.get("args", {}).get("job", -1)
+            if isinstance(job, (int, float)) and job >= 0 and trace_id:
+                job_traces[int(job)].add(trace_id)
+
+    by_name = {name: pid for pid, name in process_names.items()}
+    for required in ["coordinator"] + args.workers:
+        if required not in by_name:
+            fail(f"no process track named {required!r} "
+                 f"(have {sorted(by_name)})")
+        if spans_per_pid[by_name[required]] == 0:
+            fail(f"process {required!r} shipped no spans")
+
+    if args.jobs:
+        missing = [j for j in range(args.jobs) if j not in job_traces]
+        if missing:
+            fail(f"{len(missing)} of {args.jobs} jobs have no spans "
+                 f"(first missing: {missing[0]})")
+
+    single_process = []
+    for job, traces in sorted(job_traces.items()):
+        if len(traces) != 1:
+            fail(f"job {job} spans carry {len(traces)} distinct "
+                 f"trace ids (expected exactly one)")
+        (trace_id,) = traces
+        if len(trace_pids[trace_id]) < 2:
+            single_process.append(job)
+    if single_process:
+        fail(f"{len(single_process)} jobs have spans in only one "
+             f"process (first: {single_process[0]}) — trace ids did "
+             f"not stitch across coordinator and workers")
+
+    print(f"check_fleet_trace: OK: {len(events)} events, "
+          f"{len(process_names)} process tracks, "
+          f"{len(job_traces)} jobs stitched across processes")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/prom_export.hh"
+#include "svc/build_info.hh"
 #include "svc/json.hh"
 #include "util/logging.hh"
 
@@ -263,7 +264,12 @@ FleetCoordinator::updateGauges(TimePoint now)
                 .count();
         if (idle < liveWindow)
             ++live;
-        registry_.gauge("fleet.worker." + name + ".jobs_per_s")
+        // Per-worker series carry the id as a Prometheus label
+        // (bounded metric-name cardinality); before PR 9 these were
+        // fleet.worker.<name>.jobs_per_s.
+        registry_
+            .gauge(obs::labeledName("fleet.worker.jobs_per_s",
+                                    {{"worker", name}}))
             .set(state.rate.perSecond(now));
     }
     registry_.gauge("fleet.workers.live")
@@ -280,7 +286,9 @@ FleetCoordinator::touchWorker(const std::string &worker,
     if (jobs > 0) {
         state.jobs += jobs;
         state.rate.observe(static_cast<double>(jobs), now);
-        registry_.counter("fleet.worker." + worker + ".jobs")
+        registry_
+            .counter(obs::labeledName("fleet.worker.jobs",
+                                      {{"worker", worker}}))
             .add(jobs);
     }
 }
@@ -302,6 +310,8 @@ FleetCoordinator::handle(const HttpRequest &request)
     if (request.method == "POST") {
         if (request.path == "/v1/leases")
             return handleLease(request);
+        if (request.path == "/v1/spans")
+            return handleWorkerSpans(request);
         const std::string prefix = "/v1/leases/";
         if (request.path.rfind(prefix, 0) == 0) {
             std::uint64_t id = 0;
@@ -317,6 +327,70 @@ FleetCoordinator::handle(const HttpRequest &request)
         return errorResponse(404, "not_found");
     }
     return errorResponse(405, "method_not_allowed");
+}
+
+obs::TraceContext
+FleetCoordinator::jobContext(std::size_t job) const
+{
+    return obs::TraceContext::derive(keyHex_, job);
+}
+
+void
+FleetCoordinator::ingestTelemetry(const std::string &worker,
+                                  const JsonValue &root)
+{
+    std::vector<obs::Span> spans;
+    if (const JsonValue *v = root.find("spans"))
+        spans = svc::spansFromJson(*v);
+    const JsonValue *metrics = root.find("metrics");
+    if (spans.empty() && !metrics)
+        return;
+    std::lock_guard<std::mutex> lock(telemetryMutex_);
+    if (!spans.empty()) {
+        auto &store = workerSpans_[worker];
+        store.insert(store.end(),
+                     std::make_move_iterator(spans.begin()),
+                     std::make_move_iterator(spans.end()));
+    }
+    if (metrics)
+        svc::metricsSnapshotFromJson(*metrics,
+                                     workerMetrics_[worker]);
+}
+
+std::vector<obs::ProcessSpans>
+FleetCoordinator::traceProcesses() const
+{
+    std::vector<obs::ProcessSpans> tracks;
+    tracks.push_back({"coordinator", spans_.snapshot()});
+    std::lock_guard<std::mutex> lock(telemetryMutex_);
+    for (const auto &[name, spans] : workerSpans_)
+        tracks.push_back({name, spans});
+    return tracks;
+}
+
+bool
+FleetCoordinator::writeTrace(const std::string &path) const
+{
+    return obs::writeChromeTraceSpans(path, traceProcesses());
+}
+
+HttpResponse
+FleetCoordinator::handleWorkerSpans(const HttpRequest &request)
+{
+    JsonValue root;
+    const std::string jsonError = parseJson(request.body, root);
+    if (!jsonError.empty())
+        return errorResponse(400, "bad_json", jsonError);
+    std::string worker = "unknown";
+    if (const JsonValue *v = root.find("worker"))
+        if (v->isString() && !v->asString().empty() &&
+            v->asString().size() <= 64)
+            worker = v->asString();
+    ingestTelemetry(worker, root);
+    touchWorker(worker, 0, Clock::now());
+    JsonValue body = JsonValue::object();
+    body.set("ok", true);
+    return jsonResponse(200, body);
 }
 
 HttpResponse
@@ -360,6 +434,17 @@ FleetCoordinator::handleLease(const HttpRequest &request)
         body.set("lo", grant->lo);
         body.set("hi", grant->hi);
         body.set("deadline_s", options_.leaseSeconds);
+        // Hand the worker a trace context rooted at the range's first
+        // job; its lease-scoped spans parent onto this grant span.
+        const obs::TraceContext ctx = jobContext(grant->lo);
+        const obs::TraceContext grantCtx = ctx.withSpan(
+            obs::deriveSpanId(ctx, "lease.grant", grant->id));
+        body.set("traceparent", grantCtx.traceparent());
+        obs::Span span = obs::makeSpan(
+            grantCtx, ctx.spanId, "lease.grant",
+            static_cast<std::int64_t>(grant->lo));
+        span.startUs = obs::SpanCollector::nowUs();
+        spans_.record(std::move(span));
         registry_.counter("fleet.leases.requested").add();
         return jsonResponse(200, body);
     }
@@ -378,10 +463,16 @@ HttpResponse
 FleetCoordinator::handleResults(std::uint64_t leaseId,
                                 const HttpRequest &request)
 {
+    const double arrivedUs = obs::SpanCollector::nowUs();
     JsonValue root;
     const std::string jsonError = parseJson(request.body, root);
     if (!jsonError.empty())
         return errorResponse(400, "bad_json", jsonError);
+    // The worker's stream span, when propagated, parents the
+    // coordinator-side commit spans.
+    obs::TraceContext streamCtx;
+    if (const std::string *tp = request.header("traceparent"))
+        obs::TraceContext::parse(*tp, streamCtx);
     const JsonValue *items = root.find("results");
     if (!items || !items->isArray() || items->items().empty())
         return errorResponse(400, "bad_request",
@@ -430,6 +521,20 @@ FleetCoordinator::handleResults(std::uint64_t leaseId,
                 std::lock_guard<std::mutex> lock(resultsMutex_);
                 results_[job] = m;
             }
+            {
+                // One commit span per accepted job, on the job's own
+                // trace — the coordinator half of "one trace id per
+                // job" in the merged view.
+                const obs::TraceContext ctx = jobContext(job);
+                obs::Span span = obs::makeSpan(
+                    ctx.withSpan(
+                        obs::deriveSpanId(ctx, "commit", leaseId)),
+                    streamCtx.valid() ? streamCtx.spanId : ctx.spanId,
+                    "commit", static_cast<std::int64_t>(job));
+                span.startUs = arrivedUs;
+                span.durUs = obs::SpanCollector::nowUs() - arrivedUs;
+                spans_.record(std::move(span));
+            }
             fresh.emplace_back(job, std::move(m));
             break;
           case LeaseTable::Commit::Duplicate:
@@ -446,6 +551,7 @@ FleetCoordinator::handleResults(std::uint64_t leaseId,
         journal_->recordAll(fresh);
 
     touchWorker(worker, accepted, now);
+    ingestTelemetry(worker, root);
     registry_.counter("fleet.results.batches").add();
     registry_.counter("fleet.results.jobs").add(accepted);
 
@@ -472,8 +578,10 @@ FleetCoordinator::handleHeartbeat(std::uint64_t leaseId,
     if (parseJson(request.body, root).empty())
         if (const JsonValue *v = root.find("worker"))
             if (v->isString() && !v->asString().empty() &&
-                v->asString().size() <= 64)
+                v->asString().size() <= 64) {
                 touchWorker(v->asString(), 0, now);
+                ingestTelemetry(v->asString(), root);
+            }
     if (!table_.renew(leaseId, now))
         return errorResponse(404, "unknown_lease",
                              "lease expired or retired; re-acquire");
@@ -504,6 +612,7 @@ FleetCoordinator::handleStatus()
             workers.set(name, state.jobs);
     }
     body.set("workers", std::move(workers));
+    body.set("build", svc::buildInfoJson());
     return jsonResponse(200, body);
 }
 
@@ -515,6 +624,7 @@ FleetCoordinator::handleHealth()
     body.set("done", table_.allDone());
     body.set("completed", table_.completed());
     body.set("jobs", table_.numJobs());
+    body.set("build", svc::buildInfoJson());
     return jsonResponse(200, body);
 }
 
@@ -522,8 +632,26 @@ HttpResponse
 FleetCoordinator::handleMetrics()
 {
     updateGauges(Clock::now());
+    // One merged exposition: the coordinator's own registry plus the
+    // latest snapshot each worker pushed, every federated series
+    // tagged with its worker label. Same-base series group under one
+    // # TYPE line in the exporter.
+    obs::MetricsSnapshot merged = obs::takeSnapshot(registry_);
+    {
+        std::lock_guard<std::mutex> lock(telemetryMutex_);
+        for (const auto &[name, snap] : workerMetrics_) {
+            for (const auto &[metric, value] : snap.counters)
+                merged.counters.emplace_back(
+                    obs::labeledName(metric, {{"worker", name}}),
+                    value);
+            for (const auto &[metric, value] : snap.gauges)
+                merged.gauges.emplace_back(
+                    obs::labeledName(metric, {{"worker", name}}),
+                    value);
+        }
+    }
     std::ostringstream out;
-    obs::writePrometheus(out, registry_);
+    obs::writePrometheus(out, merged);
     HttpResponse response;
     response.contentType = "text/plain; version=0.0.4";
     response.body = out.str();

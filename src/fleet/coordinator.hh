@@ -14,9 +14,15 @@
  *                                 -> {"done": true}   sweep complete
  *                                 -> {"wait": true, "retry_ms": M}
  *   POST /v1/leases/<id>/results  stream completed jobs, each as the
- *                                 v4 cache body; implicit heartbeat
+ *                                 v4 cache body; implicit heartbeat.
+ *                                 Batches piggyback worker telemetry:
+ *                                 "spans" (wall-clock trace spans)
+ *                                 and "metrics" (registry snapshot)
  *   POST /v1/leases/<id>/heartbeat  renew; 404 when revoked (worker
- *                                 abandons the range and re-leases)
+ *                                 abandons the range and re-leases);
+ *                                 also carries "metrics"
+ *   POST /v1/spans                final span/metrics flush on worker
+ *                                 exit (no lease required)
  *   GET  /v1/status               progress + per-worker job counts
  *   GET  /metrics, /healthz       scrape + liveness
  *
@@ -45,8 +51,11 @@
 #include "core/experiment.hh"
 #include "core/sweep_journal.hh"
 #include "fleet/lease.hh"
+#include "obs/export.hh"
 #include "obs/rate.hh"
 #include "obs/registry.hh"
+#include "obs/snapshot.hh"
+#include "obs/trace_context.hh"
 #include "svc/codec.hh"
 #include "svc/http.hh"
 
@@ -121,6 +130,18 @@ class FleetCoordinator
     obs::Registry &registry() { return registry_; }
     LeaseTable &leaseTable() { return table_; }
 
+    /** Deterministic per-job trace ids (configKey x job index) —
+     *  the same derivation every worker applies. */
+    obs::TraceContext jobContext(std::size_t job) const;
+
+    /** Merged trace tracks: the coordinator's own spans first, then
+     *  one track per worker that shipped spans (sorted by name). */
+    std::vector<obs::ProcessSpans> traceProcesses() const;
+
+    /** Write the merged fleet trace as Chrome trace-event JSON
+     *  (`--trace-out`); false on I/O failure. */
+    bool writeTrace(const std::string &path) const;
+
   private:
     struct WorkerState
     {
@@ -148,6 +169,13 @@ class FleetCoordinator
     mutable std::mutex workersMutex_;
     std::map<std::string, WorkerState> workers_;
 
+    obs::SpanCollector spans_; ///< coordinator-side spans
+    mutable std::mutex telemetryMutex_;
+    /** Spans shipped by workers, keyed by worker name. */
+    std::map<std::string, std::vector<obs::Span>> workerSpans_;
+    /** Latest federated registry snapshot per worker. */
+    std::map<std::string, obs::MetricsSnapshot> workerMetrics_;
+
     bool started_ = false;
     std::thread reaper_;
     mutable std::mutex doneMutex_;
@@ -159,7 +187,13 @@ class FleetCoordinator
     void touchWorker(const std::string &worker, std::uint64_t jobs,
                      TimePoint now);
 
+    /** Absorb piggybacked "spans"/"metrics" members of a worker
+     *  request body into the federation stores. */
+    void ingestTelemetry(const std::string &worker,
+                         const svc::JsonValue &root);
+
     svc::HttpResponse handleSweepSpec();
+    svc::HttpResponse handleWorkerSpans(const svc::HttpRequest &request);
     svc::HttpResponse handleLease(const svc::HttpRequest &request);
     svc::HttpResponse handleResults(std::uint64_t leaseId,
                                     const svc::HttpRequest &request);

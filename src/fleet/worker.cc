@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "core/experiment.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/snapshot.hh"
 #include "svc/codec.hh"
 #include "svc/http.hh"
 #include "svc/json.hh"
@@ -32,10 +34,12 @@ sleepMs(int ms)
 bool
 exchange(HttpClient &client, const FleetWorker::Options &options,
          const std::string &method, const std::string &path,
-         const std::string &body, HttpResponse &out)
+         const std::string &body, HttpResponse &out,
+         const std::vector<std::pair<std::string, std::string>>
+             &headers = {})
 {
     for (int attempt = 1; attempt <= options.maxAttempts; ++attempt) {
-        if (client.request(method, path, body, out))
+        if (client.request(method, path, body, out, headers))
             return true;
         if (attempt < options.maxAttempts)
             sleepMs(options.backoffMs * attempt);
@@ -57,14 +61,39 @@ FleetWorker::run()
         options.name = "w-" + std::to_string(getpid());
 
     HttpClient client(options.host, options.port);
+    obs::FlightRecorder &flight = obs::FlightRecorder::instance();
+    flight.note("boot",
+                "worker " + options.name + " -> " + options.host +
+                    ":" + std::to_string(options.port));
+
+    // Worker-lifecycle spans (spec fetch, backoff) live on the
+    // worker's own trace; job spans use per-job derived trace ids.
+    const obs::TraceContext workerCtx =
+        obs::TraceContext::derive("worker/" + options.name, 0);
+
+    // Best-effort final telemetry flush — on exit (done or giving
+    // up) whatever spans/metrics have not piggybacked yet go out in
+    // one POST; a dead coordinator just means the flush is lost.
+    auto flushTelemetry = [&]() {
+        JsonValue doc = JsonValue::object();
+        doc.set("worker", options.name);
+        doc.set("spans", svc::spansToJson(spans_.drain()));
+        doc.set("metrics",
+                svc::metricsSnapshotToJson(obs::takeSnapshot(registry_)));
+        HttpResponse flushResponse;
+        client.request("POST", "/v1/spans", jsonToString(doc),
+                       flushResponse);
+    };
 
     // --- Fetch and decode the sweep spec. ---
+    const double fetchStartUs = obs::SpanCollector::nowUs();
     HttpResponse response;
     if (!exchange(client, options, "GET", "/v1/sweep", "", response) ||
         response.status != 200) {
         warn("fleet worker ", options.name,
              ": cannot fetch /v1/sweep from ", options.host, ":",
              options.port);
+        flight.note("fatal", "cannot fetch /v1/sweep");
         return 1;
     }
     JsonValue spec;
@@ -115,6 +144,9 @@ FleetWorker::run()
         static_cast<double>(traceConfig.warmupCycles)));
     if (!options.traceCacheDir.empty())
         traceConfig.cacheDir = options.traceCacheDir;
+    // Local observation only: registry reads never steer the engine,
+    // so attaching it cannot change computed bytes.
+    config.registry = &registry_;
 
     Experiment experiment(config, traceConfig);
     const std::string localKey = configKeyHex(experiment.configKey());
@@ -124,8 +156,19 @@ FleetWorker::run()
         warn("fleet worker ", options.name, ": configKey mismatch — ",
              "coordinator ", keyField->asString(), ", local ",
              localKey, "; refusing to compute");
+        flight.note("fatal", "configKey mismatch: local " + localKey);
         return 1;
     }
+    {
+        obs::Span fetch = obs::makeSpan(
+            workerCtx.withSpan(
+                obs::deriveSpanId(workerCtx, "sweep.fetch", 0)),
+            workerCtx.spanId, "sweep.fetch");
+        fetch.startUs = fetchStartUs;
+        fetch.durUs = obs::SpanCollector::nowUs() - fetchStartUs;
+        spans_.record(std::move(fetch));
+    }
+    flight.note("spec", "key " + localKey);
 
     RunRequest request = sweep.request;
     if (options.threads > 0)
@@ -143,12 +186,14 @@ FleetWorker::run()
     const std::string leaseBody = "{\"worker\": \"" + options.name +
         "\", \"max_jobs\": " + std::to_string(options.maxLeaseJobs) +
         "}";
+    std::uint64_t backoffs = 0;
     for (;;) {
         if (!exchange(client, options, "POST", "/v1/leases",
                       leaseBody, response) ||
             response.status != 200) {
             warn("fleet worker ", options.name,
                  ": coordinator unreachable; giving up");
+            flight.note("fatal", "coordinator unreachable on lease");
             return 1;
         }
         JsonValue grant;
@@ -156,12 +201,24 @@ FleetWorker::run()
             return 1;
         if (const JsonValue *done = grant.find("done");
             done && done->asBool()) {
+            flight.note("done",
+                        std::to_string(jobsCompleted_) +
+                            " jobs computed");
+            flushTelemetry();
             inform("fleet worker ", options.name, ": sweep done, ",
                    jobsCompleted_, " jobs computed here");
             return 0;
         }
         if (grant.find("wait")) {
+            registry_.counter("worker.backoffs").add();
+            obs::Span wait = obs::makeSpan(
+                workerCtx.withSpan(obs::deriveSpanId(
+                    workerCtx, "backoff", ++backoffs)),
+                workerCtx.spanId, "backoff");
+            wait.startUs = obs::SpanCollector::nowUs();
             sleepMs(options.pollMs);
+            wait.durUs = obs::SpanCollector::nowUs() - wait.startUs;
+            spans_.record(std::move(wait));
             continue;
         }
         const JsonValue *leaseField = grant.find("lease");
@@ -175,13 +232,48 @@ FleetWorker::run()
             static_cast<std::size_t>(loField->asDouble());
         const std::size_t hi =
             static_cast<std::size_t>(hiField->asDouble());
+        // The grant's traceparent roots this lease's spans in the
+        // trace the coordinator started for the range's first job.
+        obs::TraceContext leaseCtx;
+        if (const JsonValue *tp = grant.find("traceparent");
+            tp && tp->isString())
+            obs::TraceContext::parse(tp->asString(), leaseCtx);
+        registry_.counter("worker.leases.acquired").add();
+        flight.note("lease",
+                    "lease " + std::to_string(lease) + " [" +
+                        std::to_string(lo) + "," +
+                        std::to_string(hi) + ")");
 
         // Run the range chunk by chunk, streaming each chunk's
         // results as they retire; every batch renews the lease.
         for (std::size_t at = lo; at < hi; at += chunk) {
             const std::size_t end = std::min(at + chunk, hi);
+            const double runStartUs = obs::SpanCollector::nowUs();
             const std::vector<RunMetrics> metrics =
                 experiment.run(request.slice(at, end));
+            const double runEndUs = obs::SpanCollector::nowUs();
+
+            // One compute span per job, on the job's derived trace.
+            // Batched lanes retire together, so every job in the
+            // chunk honestly shares the chunk's wall window.
+            for (std::size_t i = 0; i < metrics.size(); ++i) {
+                const std::size_t job = at + i;
+                const obs::TraceContext ctx =
+                    obs::TraceContext::derive(localKey, job);
+                const bool sameTrace =
+                    leaseCtx.traceHi == ctx.traceHi &&
+                    leaseCtx.traceLo == ctx.traceLo;
+                obs::Span span = obs::makeSpan(
+                    ctx.withSpan(
+                        obs::deriveSpanId(ctx, "compute", lease)),
+                    sameTrace ? leaseCtx.spanId : ctx.spanId,
+                    "compute", static_cast<std::int64_t>(job));
+                span.startUs = runStartUs;
+                span.durUs = runEndUs - runStartUs;
+                spans_.record(std::move(span));
+            }
+            registry_.counter("worker.jobs.computed")
+                .add(metrics.size());
 
             JsonValue batch = JsonValue::object();
             batch.set("worker", options.name);
@@ -194,15 +286,41 @@ FleetWorker::run()
                 items.push(std::move(item));
             }
             batch.set("results", std::move(items));
+            // Piggyback telemetry: finished spans + a registry
+            // snapshot ride every results commit.
+            batch.set("spans", svc::spansToJson(spans_.drain()));
+            batch.set("metrics", svc::metricsSnapshotToJson(
+                                     obs::takeSnapshot(registry_)));
+
+            // The stream span's context travels as the request's
+            // traceparent; coordinator commit spans parent onto it.
+            const obs::TraceContext chunkCtx =
+                obs::TraceContext::derive(localKey, at);
+            const obs::TraceContext streamCtx = chunkCtx.withSpan(
+                obs::deriveSpanId(chunkCtx, "results.stream", lease));
             const std::string path = "/v1/leases/" +
                 std::to_string(lease) + "/results";
             if (!exchange(client, options, "POST", path,
-                          jsonToString(batch), response) ||
+                          jsonToString(batch), response,
+                          {{"traceparent", streamCtx.traceparent()}}) ||
                 response.status != 200) {
                 warn("fleet worker ", options.name,
                      ": cannot stream results; giving up");
+                flight.note("fatal", "cannot stream results");
                 return 1;
             }
+            obs::Span stream =
+                obs::makeSpan(streamCtx, chunkCtx.spanId,
+                              "results.stream",
+                              static_cast<std::int64_t>(at));
+            stream.startUs = runEndUs;
+            stream.durUs = obs::SpanCollector::nowUs() - runEndUs;
+            spans_.record(std::move(stream));
+            registry_.counter("worker.batches.streamed").add();
+            flight.note("stream",
+                        "lease " + std::to_string(lease) + " jobs [" +
+                            std::to_string(at) + "," +
+                            std::to_string(end) + ")");
             jobsCompleted_ += metrics.size();
         }
     }

@@ -15,6 +15,14 @@
  * says the sweep is done. Workers hold no durable state — killing
  * one mid-lease loses nothing but the not-yet-streamed chunk, which
  * the coordinator requeues at the lease deadline.
+ *
+ * Telemetry rides the same exchanges: every results batch carries
+ * the worker's finished wall-clock spans (lease fetch, per-job
+ * compute, result stream, backoff — tagged with the trace ids the
+ * coordinator's lease grant propagated) and a snapshot of its local
+ * metrics registry; a final POST /v1/spans flushes what is left on
+ * exit. None of it touches computed bytes — results are identical
+ * with telemetry on or off.
  */
 
 #ifndef COOLCMP_FLEET_WORKER_HH
@@ -23,6 +31,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+
+#include "obs/registry.hh"
+#include "obs/trace_context.hh"
 
 namespace coolcmp::fleet {
 
@@ -75,9 +86,18 @@ class FleetWorker
     /** Jobs this worker computed and streamed (post-run). */
     std::size_t jobsCompleted() const { return jobsCompleted_; }
 
+    /** The worker's local metrics (worker.* + engine metrics); its
+     *  snapshots are what the coordinator federates. */
+    obs::Registry &registry() { return registry_; }
+
+    /** Local spans not yet shipped to the coordinator. */
+    obs::SpanCollector &spanCollector() { return spans_; }
+
   private:
     const Options options_;
     std::size_t jobsCompleted_ = 0;
+    obs::Registry registry_;
+    obs::SpanCollector spans_;
 };
 
 } // namespace coolcmp::fleet

@@ -1,6 +1,7 @@
 #include "obs/export.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "util/logging.hh"
@@ -200,6 +201,64 @@ writeTracerTracks(ElementWriter &w, int pid, const Tracer &tracer,
 }
 
 } // namespace
+
+void
+writeChromeTraceSpans(std::ostream &out,
+                      const std::vector<ProcessSpans> &tracks)
+{
+    const auto precision = out.precision(12);
+    // Normalise to the earliest span so the trace starts at t=0
+    // regardless of when the fleet booted.
+    double t0 = std::numeric_limits<double>::infinity();
+    for (const auto &track : tracks)
+        for (const Span &s : track.spans)
+            t0 = std::min(t0, s.startUs);
+    if (!std::isfinite(t0))
+        t0 = 0.0;
+
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    ElementWriter w{out};
+    for (std::size_t p = 0; p < tracks.size(); ++p) {
+        const int pid = static_cast<int>(p);
+        writeMetadata(w, pid, 0, "process_name", tracks[p].process);
+        writeMetadata(w, pid, 0, "thread_name", "spans");
+        for (const Span &s : tracks[p].spans) {
+            const TraceContext ctx{s.traceHi, s.traceLo, s.spanId};
+            w.next() << "{\"name\":\"" << jsonEscape(s.name)
+                     << "\",\"cat\":\"fleet\",\"ph\":\"X\",\"pid\":"
+                     << pid << ",\"tid\":0,\"ts\":"
+                     << s.startUs - t0 << ",\"dur\":"
+                     << std::max(s.durUs, 1.0)
+                     << ",\"args\":{\"trace_id\":\""
+                     << ctx.traceIdHex() << "\",\"span_id\":\""
+                     << ctx.spanIdHex() << "\",\"parent_id\":\""
+                     << TraceContext{0, 0, s.parentId}.spanIdHex()
+                     << "\",\"job\":" << s.job << "}}";
+        }
+    }
+    out << "]}";
+    out.precision(precision);
+}
+
+bool
+writeChromeTraceSpans(const std::string &path,
+                      const std::vector<ProcessSpans> &tracks)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot open chrome trace file ", path);
+        return false;
+    }
+    writeChromeTraceSpans(out, tracks);
+    out.close();
+    if (!out) {
+        warn("error writing chrome trace file ", path);
+        return false;
+    }
+    inform("merged span trace written to ", path,
+           " (load it in chrome://tracing or ui.perfetto.dev)");
+    return true;
+}
 
 void
 writeChromeTrace(std::ostream &out, const TraceSession &session)

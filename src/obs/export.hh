@@ -26,9 +26,31 @@
 
 #include "core/step_sample.hh"
 #include "obs/exporter.hh"
+#include "obs/trace_context.hh"
 #include "obs/tracer.hh"
 
 namespace coolcmp::obs {
+
+/** One process track of a merged distributed trace. */
+struct ProcessSpans
+{
+    std::string process; ///< track label ("coordinator", "w-a", ...)
+    std::vector<Span> spans;
+};
+
+/**
+ * Write wall-clock spans from several processes as one Chrome trace:
+ * each ProcessSpans becomes a pid/track, timestamps are normalised to
+ * the earliest span, and every event carries trace_id/span_id/
+ * parent_id/job args so a job can be followed across tracks. This is
+ * the merged fleet trace (`coolcmpd --trace-out`).
+ */
+void writeChromeTraceSpans(std::ostream &out,
+                           const std::vector<ProcessSpans> &tracks);
+
+/** Same, to a file; false (with a warning) on I/O failure. */
+bool writeChromeTraceSpans(const std::string &path,
+                           const std::vector<ProcessSpans> &tracks);
 
 /**
  * Write a whole sweep as Chrome trace-event JSON. Simulated time maps

@@ -1,0 +1,191 @@
+#include "obs/flight_recorder.hh"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace coolcmp::obs {
+
+namespace {
+
+/** Copy `src` into a fixed buffer, JSON-escaping as we go so the
+ *  signal-time dump never has to escape. Quotes/backslashes/control
+ *  bytes become '_' — fidelity loss beats a broken artifact. */
+void
+copyEscaped(char *dst, std::size_t cap, const char *src,
+            std::size_t len)
+{
+    std::size_t o = 0;
+    for (std::size_t i = 0; i < len && o + 1 < cap; ++i) {
+        const unsigned char c = static_cast<unsigned char>(src[i]);
+        dst[o++] = (c == '"' || c == '\\' || c < 0x20) ? '_'
+                                                       : static_cast<char>(c);
+    }
+    dst[o] = '\0';
+}
+
+double
+wallNow()
+{
+    const auto now = std::chrono::system_clock::now();
+    return std::chrono::duration<double>(now.time_since_epoch())
+        .count();
+}
+
+// Signal-dump state: fixed buffers only; set once by
+// installSignalDump before any handler can fire.
+constexpr int kDumpSignals[] = {SIGTERM, SIGSEGV, SIGBUS, SIGFPE,
+                                SIGABRT};
+constexpr std::size_t kNumDumpSignals =
+    sizeof(kDumpSignals) / sizeof(kDumpSignals[0]);
+char g_dumpPath[512] = {};
+struct sigaction g_oldActions[kNumDumpSignals];
+std::atomic<bool> g_installed{false};
+
+int
+signalSlot(int sig)
+{
+    for (std::size_t i = 0; i < kNumDumpSignals; ++i)
+        if (kDumpSignals[i] == sig)
+            return static_cast<int>(i);
+    return -1;
+}
+
+const char *
+signalName(int sig)
+{
+    switch (sig) {
+      case SIGTERM:
+        return "SIGTERM";
+      case SIGSEGV:
+        return "SIGSEGV";
+      case SIGBUS:
+        return "SIGBUS";
+      case SIGFPE:
+        return "SIGFPE";
+      case SIGABRT:
+        return "SIGABRT";
+      default:
+        return "signal";
+    }
+}
+
+extern "C" void
+flightSignalHandler(int sig)
+{
+    if (g_dumpPath[0] != '\0') {
+        const int fd = ::open(g_dumpPath,
+                              O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd >= 0) {
+            FlightRecorder::instance().dumpTo(fd, signalName(sig));
+            ::close(fd);
+        }
+    }
+    const int slot = signalSlot(sig);
+    if (slot < 0)
+        return;
+    const struct sigaction &old = g_oldActions[slot];
+    if (sig == SIGTERM && old.sa_handler != SIG_DFL &&
+        old.sa_handler != SIG_IGN && !(old.sa_flags & SA_SIGINFO)) {
+        // Chain to a graceful-drain handler (coolcmpd's stop flag).
+        old.sa_handler(sig);
+        return;
+    }
+    // Fatal signals (and an unhandled SIGTERM): restore the previous
+    // disposition and re-raise so the process still dies with the
+    // right status once the black box is on disk.
+    ::sigaction(sig, &old, nullptr);
+    ::raise(sig);
+}
+
+} // namespace
+
+FlightRecorder &
+FlightRecorder::instance()
+{
+    static FlightRecorder recorder;
+    return recorder;
+}
+
+void
+FlightRecorder::note(const char *kind, const std::string &detail)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t n =
+        count_.load(std::memory_order_relaxed);
+    Entry &e = ring_[n % kCapacity];
+    e.wallSeconds = wallNow();
+    copyEscaped(e.kind, sizeof(e.kind), kind, std::strlen(kind));
+    copyEscaped(e.detail, sizeof(e.detail), detail.data(),
+                detail.size());
+    count_.store(n + 1, std::memory_order_release);
+}
+
+std::uint64_t
+FlightRecorder::recorded() const
+{
+    return count_.load(std::memory_order_acquire);
+}
+
+void
+FlightRecorder::dumpTo(int fd, const char *reason) const
+{
+    char buf[320];
+    const std::uint64_t total =
+        count_.load(std::memory_order_acquire);
+    const std::uint64_t kept =
+        total < kCapacity ? total : kCapacity;
+    int n = std::snprintf(
+        buf, sizeof(buf),
+        "{\"pid\":%ld,\"reason\":\"%s\",\"recorded\":%llu,"
+        "\"events\":[",
+        static_cast<long>(::getpid()), reason ? reason : "",
+        static_cast<unsigned long long>(total));
+    ::write(fd, buf, static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < kept; ++i) {
+        const Entry &e = ring_[(total - kept + i) % kCapacity];
+        n = std::snprintf(buf, sizeof(buf),
+                          "%s{\"t_unix\":%.6f,\"kind\":\"%s\","
+                          "\"detail\":\"%s\"}",
+                          i ? "," : "", e.wallSeconds, e.kind,
+                          e.detail);
+        if (n > 0)
+            ::write(fd, buf, static_cast<std::size_t>(n));
+    }
+    ::write(fd, "]}\n", 3);
+}
+
+bool
+FlightRecorder::dumpToFile(const std::string &path,
+                           const char *reason) const
+{
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+    dumpTo(fd, reason);
+    ::close(fd);
+    return true;
+}
+
+void
+FlightRecorder::installSignalDump(const std::string &path)
+{
+    bool expected = false;
+    if (!g_installed.compare_exchange_strong(expected, true))
+        return;
+    std::snprintf(g_dumpPath, sizeof(g_dumpPath), "%s",
+                  path.c_str());
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = flightSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    for (std::size_t i = 0; i < kNumDumpSignals; ++i)
+        ::sigaction(kDumpSignals[i], &sa, &g_oldActions[i]);
+}
+
+} // namespace coolcmp::obs

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-process flight recorder: a bounded ring of recent annotated
+ * events that can be dumped as JSON on SIGTERM or a fatal signal, so
+ * a killed worker or a crashing daemon leaves a black box behind.
+ *
+ * Recording (`note`) is mutex-guarded and cheap; the dump path uses
+ * only snprintf + write so it can run from a signal handler. Entries
+ * are fixed-size POD and JSON-escaped at record time, which keeps the
+ * dump free of allocation and escaping work. A dump racing an
+ * in-flight note may show one torn entry — acceptable for a
+ * post-mortem artifact; everything older is intact.
+ *
+ * `installSignalDump(path)` arms SIGTERM plus the fatal set
+ * (SIGSEGV/SIGBUS/SIGFPE/SIGABRT): the handler dumps the ring to
+ * `path` and then forwards to whatever handler was installed before
+ * (or re-raises with the default for the fatal set), so existing
+ * graceful-drain handlers keep working unchanged.
+ */
+
+#ifndef COOLCMP_OBS_FLIGHT_RECORDER_HH
+#define COOLCMP_OBS_FLIGHT_RECORDER_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace coolcmp::obs {
+
+/** Process-wide bounded event ring with a signal-safe JSON dump. */
+class FlightRecorder
+{
+  public:
+    static constexpr std::size_t kCapacity = 256;
+
+    /** The process-wide instance (tools and libraries share it). */
+    static FlightRecorder &instance();
+
+    /** Record an event; both strings are truncated to the fixed
+     *  entry size and escaped for JSON at record time. */
+    void note(const char *kind, const std::string &detail);
+
+    /** Events recorded since process start (may exceed kCapacity). */
+    std::uint64_t recorded() const;
+
+    /** Dump the ring as JSON to an open fd. Signal-safe: snprintf +
+     *  write only, no locks, no allocation. */
+    void dumpTo(int fd, const char *reason) const;
+
+    /** Dump to a file (create/truncate); false on open failure. */
+    bool dumpToFile(const std::string &path, const char *reason) const;
+
+    /**
+     * Arm SIGTERM + fatal signals to dump the process-wide recorder
+     * to `path` before chaining to the previously installed handler.
+     * Call at most once per process, after other handlers are set.
+     */
+    static void installSignalDump(const std::string &path);
+
+    FlightRecorder() = default;
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+  private:
+    struct Entry
+    {
+        double wallSeconds = 0.0;
+        char kind[16] = {};
+        char detail[144] = {};
+    };
+
+    mutable std::mutex mutex_;
+    std::array<Entry, kCapacity> ring_;
+    std::atomic<std::uint64_t> count_{0};
+};
+
+} // namespace coolcmp::obs
+
+#endif // COOLCMP_OBS_FLIGHT_RECORDER_HH

@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <ostream>
+#include <utility>
+#include <vector>
 
 #include "obs/registry.hh"
 #include "util/logging.hh"
@@ -25,11 +28,27 @@ fmtDouble(double v)
     return buf;
 }
 
+/** `{labels}` when present, "" otherwise. */
+std::string
+labelBlock(const std::string &labels)
+{
+    return labels.empty() ? std::string() : "{" + labels + "}";
+}
+
+/** Label block with `le` appended to any existing labels. */
+std::string
+leBlock(const std::string &labels, const std::string &le)
+{
+    if (labels.empty())
+        return "{le=\"" + le + "\"}";
+    return "{" + labels + ",le=\"" + le + "\"}";
+}
+
 void
 writeHistogram(std::ostream &out, const std::string &name,
+               const std::string &labels,
                const Histogram::Snapshot &snap)
 {
-    out << "# TYPE " << name << " histogram\n";
     // Our buckets are half-open [e_{i-1}, e_i); Prometheus buckets
     // are cumulative <= le. Values below the first edge (our
     // underflow) are < e_0, so folding them into le="e_0" is exact;
@@ -38,12 +57,43 @@ writeHistogram(std::ostream &out, const std::string &name,
     std::uint64_t cum = 0;
     for (std::size_t e = 0; e < snap.edges.size(); ++e) {
         cum += snap.buckets[e];
-        out << name << "_bucket{le=\"" << fmtDouble(snap.edges[e])
-            << "\"} " << cum << "\n";
+        out << name << "_bucket"
+            << leBlock(labels, fmtDouble(snap.edges[e])) << " " << cum
+            << "\n";
     }
-    out << name << "_bucket{le=\"+Inf\"} " << snap.count << "\n";
-    out << name << "_sum " << fmtDouble(snap.sum) << "\n";
-    out << name << "_count " << snap.count << "\n";
+    out << name << "_bucket" << leBlock(labels, "+Inf") << " "
+        << snap.count << "\n";
+    out << name << "_sum" << labelBlock(labels) << " "
+        << fmtDouble(snap.sum) << "\n";
+    out << name << "_count" << labelBlock(labels) << " " << snap.count
+        << "\n";
+}
+
+/**
+ * Group label variants of one base name so `# TYPE` is emitted once
+ * per metric (the exposition format requires it). First-seen order of
+ * bases and of series within a base is preserved, so unlabelled
+ * registries render exactly as before labels existed.
+ */
+template <typename Value>
+std::vector<std::pair<std::string,
+                      std::vector<std::pair<std::string, Value>>>>
+groupByBase(const std::vector<std::pair<std::string, Value>> &series)
+{
+    std::vector<std::pair<std::string,
+                          std::vector<std::pair<std::string, Value>>>>
+        groups;
+    std::map<std::string, std::size_t> index;
+    for (const auto &[name, value] : series) {
+        std::string base;
+        std::string labels;
+        splitLabeledName(name, base, labels);
+        auto [it, fresh] = index.try_emplace(base, groups.size());
+        if (fresh)
+            groups.push_back({base, {}});
+        groups[it->second].second.emplace_back(labels, value);
+    }
+    return groups;
 }
 
 } // namespace
@@ -65,18 +115,25 @@ promMetricName(const std::string &name)
 void
 writePrometheus(std::ostream &out, const MetricsSnapshot &snap)
 {
-    for (const auto &[name, value] : snap.counters) {
-        const std::string prom = promMetricName(name) + "_total";
+    for (const auto &[base, series] : groupByBase(snap.counters)) {
+        const std::string prom = promMetricName(base) + "_total";
         out << "# TYPE " << prom << " counter\n";
-        out << prom << " " << value << "\n";
+        for (const auto &[labels, value] : series)
+            out << prom << labelBlock(labels) << " " << value << "\n";
     }
-    for (const auto &[name, value] : snap.gauges) {
-        const std::string prom = promMetricName(name);
+    for (const auto &[base, series] : groupByBase(snap.gauges)) {
+        const std::string prom = promMetricName(base);
         out << "# TYPE " << prom << " gauge\n";
-        out << prom << " " << fmtDouble(value) << "\n";
+        for (const auto &[labels, value] : series)
+            out << prom << labelBlock(labels) << " "
+                << fmtDouble(value) << "\n";
     }
-    for (const auto &[name, hist] : snap.histograms)
-        writeHistogram(out, promMetricName(name), hist);
+    for (const auto &[base, series] : groupByBase(snap.histograms)) {
+        const std::string prom = promMetricName(base);
+        out << "# TYPE " << prom << " histogram\n";
+        for (const auto &[labels, hist] : series)
+            writeHistogram(out, prom, labels, hist);
+    }
 }
 
 void

@@ -5,7 +5,10 @@
  * Counters map to `coolcmp_<name>_total`, gauges to `coolcmp_<name>`,
  * histograms to the standard cumulative `_bucket{le="..."}` series
  * plus `_sum` and `_count`. Metric-name characters outside
- * [a-zA-Z0-9_:] (the registry uses dots) become underscores. The
+ * [a-zA-Z0-9_:] (the registry uses dots) become underscores.
+ * Registry names encoded with obs::labeledName render as proper
+ * Prometheus label sets — variants of one base share a single
+ * `# TYPE` line, and histogram `le` merges into the label block. The
  * file writer uses write-then-rename so a scraping sidecar never
  * reads a half-written exposition; the live endpoint is
  * obs/http_server.hh.

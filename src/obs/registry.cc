@@ -8,6 +8,52 @@
 
 namespace coolcmp::obs {
 
+std::string
+labeledName(const std::string &base,
+            std::vector<std::pair<std::string, std::string>> labels)
+{
+    if (labels.empty())
+        return base;
+    std::sort(labels.begin(), labels.end());
+    std::string out = base;
+    out += '{';
+    bool first = true;
+    for (const auto &[key, value] : labels) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += key;
+        out += "=\"";
+        for (char c : value) {
+            if (c == '\\')
+                out += "\\\\";
+            else if (c == '"')
+                out += "\\\"";
+            else if (c == '\n')
+                out += "\\n";
+            else
+                out += c;
+        }
+        out += '"';
+    }
+    out += '}';
+    return out;
+}
+
+void
+splitLabeledName(const std::string &name, std::string &base,
+                 std::string &labels)
+{
+    const std::size_t brace = name.find('{');
+    if (brace == std::string::npos || name.back() != '}') {
+        base = name;
+        labels.clear();
+        return;
+    }
+    base = name.substr(0, brace);
+    labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
 Counter &
 Registry::counter(const std::string &name)
 {

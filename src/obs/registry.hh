@@ -22,6 +22,23 @@
 
 namespace coolcmp::obs {
 
+/**
+ * Canonical labelled metric name: `base{k1="v1",k2="v2"}` with keys
+ * sorted and values escaped (`\` `"` and newline). The registry keys
+ * metrics by this flat string — same base + labels from any call
+ * site lands on the same series — and the Prometheus exporter splits
+ * it back apart, so `registry.gauge(labeledName("fleet.worker.jobs_per_s",
+ * {{"worker", name}}))` scrapes as `coolcmp_fleet_worker_jobs_per_s{worker="w1"}`.
+ */
+std::string
+labeledName(const std::string &base,
+            std::vector<std::pair<std::string, std::string>> labels);
+
+/** Split an encoded name into its base and label block (the block is
+ *  returned without braces; empty when the name carries no labels). */
+void splitLabeledName(const std::string &name, std::string &base,
+                      std::string &labels);
+
 /** Thread-safe registry of named metrics. */
 class Registry
 {

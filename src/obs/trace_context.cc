@@ -1,0 +1,194 @@
+#include "obs/trace_context.hh"
+
+#include <chrono>
+#include <cstdio>
+
+namespace coolcmp::obs {
+
+namespace {
+
+/** splitmix64 finalizer: cheap, well-mixed, and stable across
+ *  platforms — exactly what deterministic ids need. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+fnv1a(const std::string &s, std::uint64_t seed)
+{
+    std::uint64_t h = seed ^ 0xcbf29ce484222325ULL;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+hex(std::uint64_t v, int digits)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%0*llx", digits,
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+bool
+parseHex(const std::string &s, std::size_t at, std::size_t n,
+         std::uint64_t &out)
+{
+    out = 0;
+    for (std::size_t i = at; i < at + n; ++i) {
+        const char c = s[i];
+        out <<= 4;
+        if (c >= '0' && c <= '9')
+            out |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            out |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            out |= static_cast<std::uint64_t>(c - 'A' + 10);
+        else
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+TraceContext::traceIdHex() const
+{
+    return hex(traceHi, 16) + hex(traceLo, 16);
+}
+
+std::string
+TraceContext::spanIdHex() const
+{
+    return hex(spanId, 16);
+}
+
+std::string
+TraceContext::traceparent() const
+{
+    return "00-" + traceIdHex() + "-" + spanIdHex() + "-01";
+}
+
+TraceContext
+TraceContext::derive(const std::string &key, std::uint64_t seq)
+{
+    const std::uint64_t base = fnv1a(key, 0);
+    TraceContext ctx;
+    ctx.traceHi = mix64(base ^ (seq * 0x9e3779b97f4a7c15ULL));
+    ctx.traceLo = mix64(base + seq + 0x6a09e667f3bcc909ULL);
+    // The W3C forbids an all-zero trace id; astronomically unlikely
+    // from the mixer, but the contract is cheap to keep.
+    if ((ctx.traceHi | ctx.traceLo) == 0)
+        ctx.traceLo = 1;
+    ctx.spanId = mix64(ctx.traceLo ^ 0x5bf03635dad5f1ddULL);
+    if (ctx.spanId == 0)
+        ctx.spanId = 1;
+    return ctx;
+}
+
+bool
+TraceContext::parse(const std::string &header, TraceContext &out)
+{
+    // 00-<32 hex>-<16 hex>-<2 hex> == 55 bytes.
+    if (header.size() != 55 || header[2] != '-' || header[35] != '-' ||
+        header[52] != '-')
+        return false;
+    if (header[0] != '0' || header[1] != '0')
+        return false; // only version 00 is understood
+    TraceContext ctx;
+    std::uint64_t flags = 0;
+    if (!parseHex(header, 3, 16, ctx.traceHi) ||
+        !parseHex(header, 19, 16, ctx.traceLo) ||
+        !parseHex(header, 36, 16, ctx.spanId) ||
+        !parseHex(header, 53, 2, flags))
+        return false;
+    if (!ctx.valid() || ctx.spanId == 0)
+        return false;
+    out = ctx;
+    return true;
+}
+
+std::uint64_t
+deriveSpanId(const TraceContext &parent, const std::string &name,
+             std::uint64_t seq)
+{
+    const std::uint64_t h = fnv1a(name, parent.traceLo);
+    std::uint64_t id =
+        mix64(h ^ parent.spanId ^ (seq * 0xd1342543de82ef95ULL));
+    return id ? id : 1;
+}
+
+Span
+makeSpan(const TraceContext &ctx, std::uint64_t parentId,
+         std::string name, std::int64_t job)
+{
+    Span s;
+    s.traceHi = ctx.traceHi;
+    s.traceLo = ctx.traceLo;
+    s.spanId = ctx.spanId;
+    s.parentId = parentId;
+    s.name = std::move(name);
+    s.job = job;
+    return s;
+}
+
+void
+SpanCollector::record(Span span)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (spans_.size() >= capacity_) {
+        ++dropped_;
+        return;
+    }
+    spans_.push_back(std::move(span));
+}
+
+std::vector<Span>
+SpanCollector::drain()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Span> out;
+    out.swap(spans_);
+    return out;
+}
+
+std::vector<Span>
+SpanCollector::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+}
+
+std::size_t
+SpanCollector::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_.size();
+}
+
+std::uint64_t
+SpanCollector::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+double
+SpanCollector::nowUs()
+{
+    const auto now = std::chrono::system_clock::now();
+    return std::chrono::duration<double, std::micro>(
+               now.time_since_epoch())
+        .count();
+}
+
+} // namespace coolcmp::obs

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Cross-process trace context: a W3C-traceparent-style header
+ * (128-bit trace id + 64-bit span id) plus the wall-clock spans that
+ * carry it between the loadgen, daemon, coordinator, and workers.
+ *
+ * Trace ids are *derived*, not random: `TraceContext::derive` hashes
+ * the sweep's config-key hex and the job sequence number, so the same
+ * run always produces the same ids and traces from independent
+ * processes stitch together without coordination. Span ids for child
+ * spans mix the parent trace with a name and ordinal the same way.
+ *
+ * This is distinct from obs/tracer.hh (simulated-time control-loop
+ * events inside one engine); these spans are wall-clock and exist to
+ * explain *where a request spent its life across processes*. Nothing
+ * here may influence computed bytes — spans are observation only.
+ */
+
+#ifndef COOLCMP_OBS_TRACE_CONTEXT_HH
+#define COOLCMP_OBS_TRACE_CONTEXT_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace coolcmp::obs {
+
+/** The propagated ids: 128-bit trace + the current span. */
+struct TraceContext
+{
+    std::uint64_t traceHi = 0;
+    std::uint64_t traceLo = 0;
+    std::uint64_t spanId = 0;
+
+    bool valid() const { return (traceHi | traceLo) != 0; }
+
+    /** 32 lower-case hex chars of the trace id. */
+    std::string traceIdHex() const;
+
+    /** 16 lower-case hex chars of the span id. */
+    std::string spanIdHex() const;
+
+    /** `00-<traceid>-<spanid>-01`, the header wire form. */
+    std::string traceparent() const;
+
+    /** Same context with a different current span. */
+    TraceContext withSpan(std::uint64_t span) const
+    {
+        return {traceHi, traceLo, span};
+    }
+
+    /**
+     * Deterministic context for job `seq` of the sweep identified by
+     * `key` (config-key hex, but any stable string works). The root
+     * span id is derived alongside so an origin process needs no
+     * extra state.
+     */
+    static TraceContext derive(const std::string &key,
+                               std::uint64_t seq);
+
+    /** Parse a traceparent header; false on malformed/all-zero ids. */
+    static bool parse(const std::string &header, TraceContext &out);
+};
+
+/** Deterministic child-span id: parent context x name x ordinal. */
+std::uint64_t deriveSpanId(const TraceContext &parent,
+                           const std::string &name, std::uint64_t seq);
+
+/** One finished wall-clock span, ready to ship or export. */
+struct Span
+{
+    std::uint64_t traceHi = 0;
+    std::uint64_t traceLo = 0;
+    std::uint64_t spanId = 0;
+    std::uint64_t parentId = 0; ///< 0 = root
+    std::string name;
+    double startUs = 0.0; ///< wall clock, µs since the Unix epoch
+    double durUs = 0.0;
+    std::int64_t job = -1; ///< sweep job index, -1 when not job-bound
+
+    std::string traceIdHex() const
+    {
+        return TraceContext{traceHi, traceLo, spanId}.traceIdHex();
+    }
+};
+
+/** Span with the ids of `ctx`; start/dur still to be filled. */
+Span makeSpan(const TraceContext &ctx, std::uint64_t parentId,
+              std::string name, std::int64_t job = -1);
+
+/**
+ * Thread-safe bounded buffer of finished spans. Producers `record`,
+ * the shipping side `drain`s (results piggyback, exit flush) or
+ * `snapshot`s (end-of-run export). Overflow drops the newest span and
+ * counts it — telemetry must degrade, never block or grow unbounded.
+ */
+class SpanCollector
+{
+  public:
+    explicit SpanCollector(std::size_t capacity = 16384)
+        : capacity_(capacity)
+    {
+    }
+
+    void record(Span span);
+
+    /** Remove and return everything recorded so far. */
+    std::vector<Span> drain();
+
+    /** Copy without consuming. */
+    std::vector<Span> snapshot() const;
+
+    std::size_t size() const;
+    std::uint64_t dropped() const;
+
+    /** Wall clock now, µs since the Unix epoch. */
+    static double nowUs();
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::vector<Span> spans_;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace coolcmp::obs
+
+#endif // COOLCMP_OBS_TRACE_CONTEXT_HH

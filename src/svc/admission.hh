@@ -28,6 +28,7 @@
 
 #include "core/experiment.hh"
 #include "core/metrics.hh"
+#include "obs/trace_context.hh"
 
 namespace coolcmp::svc {
 
@@ -82,6 +83,10 @@ struct SweepJob
     int priority = 0;
     RunRequest request;
     std::chrono::steady_clock::time_point submitted{};
+    /** Propagated (traceparent header) or derived trace ids. */
+    obs::TraceContext trace;
+    /** Wall clock at admission, µs — base of the queue-wait span. */
+    double submittedUs = 0.0;
 
     // Guarded by mutex.
     mutable std::mutex mutex;

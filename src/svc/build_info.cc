@@ -1,0 +1,38 @@
+#include "svc/build_info.hh"
+
+#include "linalg/matrix.hh"
+
+#ifndef COOLCMP_GIT_DESCRIBE
+#define COOLCMP_GIT_DESCRIBE "unknown"
+#endif
+
+namespace coolcmp::svc {
+
+BuildInfo
+buildInfo()
+{
+    BuildInfo info;
+    info.version = COOLCMP_GIT_DESCRIBE;
+#if defined(__clang__)
+    info.compiler = "clang " __clang_version__;
+#elif defined(__GNUC__)
+    info.compiler = "gcc " __VERSION__;
+#else
+    info.compiler = "unknown";
+#endif
+    info.simd = simdTierName(activeSimdTier());
+    return info;
+}
+
+JsonValue
+buildInfoJson()
+{
+    const BuildInfo info = buildInfo();
+    JsonValue out = JsonValue::object();
+    out.set("version", JsonValue(info.version));
+    out.set("compiler", JsonValue(info.compiler));
+    out.set("simd", JsonValue(info.simd));
+    return out;
+}
+
+} // namespace coolcmp::svc

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Build attribution for fleet artifacts: git describe, compiler, and
+ * the SIMD tier the running process dispatched to. Exposed on every
+ * `/healthz` and `/v1/status` so a trace, scrape, or flight-recorder
+ * dump collected from a multi-host fleet can always be tied back to
+ * the binary that produced it.
+ */
+
+#ifndef COOLCMP_SVC_BUILD_INFO_HH
+#define COOLCMP_SVC_BUILD_INFO_HH
+
+#include <string>
+
+#include "svc/json.hh"
+
+namespace coolcmp::svc {
+
+struct BuildInfo
+{
+    std::string version;  ///< `git describe` at configure time
+    std::string compiler; ///< compiler id + version
+    std::string simd;     ///< runtime-dispatched SIMD tier name
+};
+
+/** The running binary's attribution (SIMD tier resolved now). */
+BuildInfo buildInfo();
+
+/** `{"version": ..., "compiler": ..., "simd": ...}`. */
+JsonValue buildInfoJson();
+
+} // namespace coolcmp::svc
+
+#endif // COOLCMP_SVC_BUILD_INFO_HH

@@ -283,4 +283,144 @@ runMetricsFromBody(const std::string &body, RunMetrics &m)
     return readRunMetricsBody(in, m);
 }
 
+namespace {
+
+/** Parse exactly `n` lower/upper hex chars at `at`; false otherwise. */
+bool
+hexField(const std::string &s, std::size_t at, std::size_t n,
+         std::uint64_t &out)
+{
+    if (s.size() < at + n)
+        return false;
+    out = 0;
+    for (std::size_t i = at; i < at + n; ++i) {
+        const char c = s[i];
+        out <<= 4;
+        if (c >= '0' && c <= '9')
+            out |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            out |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            out |= static_cast<std::uint64_t>(c - 'A' + 10);
+        else
+            return false;
+    }
+    return true;
+}
+
+const std::string *
+findString(const JsonValue &v, const char *key)
+{
+    const JsonValue *node = v.find(key);
+    return node && node->isString() ? &node->asString() : nullptr;
+}
+
+} // namespace
+
+JsonValue
+spanToJson(const obs::Span &span)
+{
+    const obs::TraceContext ctx{span.traceHi, span.traceLo,
+                                span.spanId};
+    JsonValue out = JsonValue::object();
+    out.set("trace_id", ctx.traceIdHex());
+    out.set("span_id", ctx.spanIdHex());
+    out.set("parent_id",
+            obs::TraceContext{0, 0, span.parentId}.spanIdHex());
+    out.set("name", span.name);
+    out.set("start_us", span.startUs);
+    out.set("dur_us", span.durUs);
+    out.set("job", static_cast<double>(span.job));
+    return out;
+}
+
+bool
+spanFromJson(const JsonValue &v, obs::Span &out)
+{
+    if (!v.isObject())
+        return false;
+    const std::string *traceId = findString(v, "trace_id");
+    const std::string *spanId = findString(v, "span_id");
+    const std::string *name = findString(v, "name");
+    if (!traceId || traceId->size() != 32 || !spanId ||
+        spanId->size() != 16 || !name)
+        return false;
+    obs::Span span;
+    if (!hexField(*traceId, 0, 16, span.traceHi) ||
+        !hexField(*traceId, 16, 16, span.traceLo) ||
+        !hexField(*spanId, 0, 16, span.spanId))
+        return false;
+    if (const std::string *parent = findString(v, "parent_id")) {
+        if (parent->size() != 16 ||
+            !hexField(*parent, 0, 16, span.parentId))
+            return false;
+    }
+    span.name = *name;
+    if (const JsonValue *node = v.find("start_us"))
+        span.startUs = node->asDouble();
+    if (const JsonValue *node = v.find("dur_us"))
+        span.durUs = node->asDouble();
+    if (const JsonValue *node = v.find("job"))
+        span.job = static_cast<std::int64_t>(node->asDouble(-1.0));
+    out = std::move(span);
+    return true;
+}
+
+JsonValue
+spansToJson(const std::vector<obs::Span> &spans)
+{
+    JsonValue out = JsonValue::array();
+    for (const obs::Span &span : spans)
+        out.push(spanToJson(span));
+    return out;
+}
+
+std::vector<obs::Span>
+spansFromJson(const JsonValue &v)
+{
+    std::vector<obs::Span> out;
+    if (!v.isArray())
+        return out;
+    for (const JsonValue &item : v.items()) {
+        obs::Span span;
+        if (spanFromJson(item, span))
+            out.push_back(std::move(span));
+    }
+    return out;
+}
+
+JsonValue
+metricsSnapshotToJson(const obs::MetricsSnapshot &snap)
+{
+    JsonValue out = JsonValue::object();
+    JsonValue counters = JsonValue::object();
+    for (const auto &[name, value] : snap.counters)
+        counters.set(name, static_cast<double>(value));
+    out.set("counters", std::move(counters));
+    JsonValue gauges = JsonValue::object();
+    for (const auto &[name, value] : snap.gauges)
+        gauges.set(name, value);
+    out.set("gauges", std::move(gauges));
+    return out;
+}
+
+void
+metricsSnapshotFromJson(const JsonValue &v, obs::MetricsSnapshot &out)
+{
+    out.counters.clear();
+    out.gauges.clear();
+    if (!v.isObject())
+        return;
+    if (const JsonValue *counters = v.find("counters");
+        counters && counters->isObject())
+        for (const auto &[name, value] : counters->members())
+            out.counters.emplace_back(
+                name,
+                static_cast<std::uint64_t>(value.asDouble()));
+    if (const JsonValue *gauges = v.find("gauges");
+        gauges && gauges->isObject())
+        for (const auto &[name, value] : gauges->members())
+            out.gauges.emplace_back(name, value.asDouble());
+}
+
 } // namespace coolcmp::svc

@@ -23,9 +23,12 @@
 #define COOLCMP_SVC_CODEC_HH
 
 #include <string>
+#include <vector>
 
 #include "core/experiment.hh"
 #include "core/metrics.hh"
+#include "obs/snapshot.hh"
+#include "obs/trace_context.hh"
 #include "svc/json.hh"
 
 namespace coolcmp::svc {
@@ -77,6 +80,31 @@ std::string runMetricsToBody(const RunMetrics &m);
 /** Parse a v4 cache body produced by runMetricsToBody; false on
  *  malformed input. */
 bool runMetricsFromBody(const std::string &body, RunMetrics &m);
+
+// --- Telemetry wire forms (span shipping + metrics federation).
+//     These live here rather than in obs because obs sits below the
+//     service layer and must not know about JSON wire schemas. ---
+
+/** One span as its wire object: hex ids + name/start/dur/job. */
+JsonValue spanToJson(const obs::Span &span);
+
+/** Decode one wire span; false on missing/malformed fields. */
+bool spanFromJson(const JsonValue &v, obs::Span &out);
+
+/** Encode a batch of spans as a JSON array. */
+JsonValue spansToJson(const std::vector<obs::Span> &spans);
+
+/** Decode a wire span array, skipping malformed elements. */
+std::vector<obs::Span> spansFromJson(const JsonValue &v);
+
+/** Counters + gauges of a snapshot as `{"counters": {...},
+ *  "gauges": {...}}` — the federation payload workers push with
+ *  results and heartbeats. Histograms stay process-local. */
+JsonValue metricsSnapshotToJson(const obs::MetricsSnapshot &snap);
+
+/** Decode a federation payload (missing sections decode empty). */
+void metricsSnapshotFromJson(const JsonValue &v,
+                             obs::MetricsSnapshot &out);
 
 /** Canonical policy tokens ("dvfs", "distributed", "sensor", ...)
  *  used by the wire schema; the inverse of the parse mapping. */

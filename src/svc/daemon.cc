@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/prom_export.hh"
+#include "svc/build_info.hh"
 #include "svc/codec.hh"
 #include "util/logging.hh"
 
@@ -64,6 +65,10 @@ SweepServiceDaemon::SweepServiceDaemon(Options options,
       queue_(options_.queueDepth), jobs_(options_.maxRetainedJobs),
       quotas_(options_.quotaRatePerSec, options_.quotaBurst)
 {
+    // Trace ids derive from the engine configKey so a replayed run
+    // produces identical ids; a throwaway engine computes it once.
+    traceKey_ = configKeyHex(
+        Experiment(config_, traceConfig_).configKey());
 }
 
 SweepServiceDaemon::~SweepServiceDaemon()
@@ -154,10 +159,20 @@ SweepServiceDaemon::executeJob(Experiment &experiment,
                                const std::shared_ptr<SweepJob> &job)
 {
     const auto t0 = Clock::now();
+    const double pickupUs = obs::SpanCollector::nowUs();
     {
         std::lock_guard<std::mutex> lock(job->mutex);
         job->state = JobState::Running;
         job->waitSeconds = secondsSince(job->submitted, t0);
+    }
+    {
+        obs::Span wait = obs::makeSpan(
+            job->trace.withSpan(
+                obs::deriveSpanId(job->trace, "queue.wait", 0)),
+            job->trace.spanId, "queue.wait");
+        wait.startUs = job->submittedUs;
+        wait.durUs = pickupUs - job->submittedUs;
+        spans_.record(std::move(wait));
     }
     registry_.gauge("svc.queue.depth")
         .set(static_cast<double>(queue_.depth()));
@@ -218,6 +233,13 @@ SweepServiceDaemon::executeJob(Experiment &experiment,
         .observe(runSeconds);
     registry_.gauge("svc.jobs.running")
         .set(static_cast<double>(--runningJobs_));
+    obs::Span run = obs::makeSpan(
+        job->trace.withSpan(
+            obs::deriveSpanId(job->trace, "job.run", 0)),
+        job->trace.spanId, failed ? "job.run (failed)" : "job.run");
+    run.startUs = pickupUs;
+    run.durUs = runSeconds * 1e6;
+    spans_.record(std::move(run));
 }
 
 HttpResponse
@@ -291,7 +313,8 @@ SweepServiceDaemon::handleSubmit(const HttpRequest &request)
         registry_.counter("svc.jobs.rejected").add();
         registry_.counter("svc.quota.trips").add();
         registry_
-            .counter("svc.client." + sweep.client + ".quota_trips")
+            .counter(obs::labeledName("svc.quota_trips",
+                                      {{"client", sweep.client}}))
             .add();
         return errorResponse(429, "quota_exceeded",
                              "client '" + sweep.client +
@@ -303,6 +326,13 @@ SweepServiceDaemon::handleSubmit(const HttpRequest &request)
     job->priority = sweep.priority;
     job->request = std::move(sweep.request);
     job->submitted = now;
+    job->submittedUs = obs::SpanCollector::nowUs();
+    // Adopt the caller's trace context (one trace from loadgen to
+    // engine), else derive deterministic ids from configKey + seq.
+    const std::uint64_t seq = ++submitSeq_;
+    if (const std::string *tp = request.header("traceparent");
+        !tp || !obs::TraceContext::parse(*tp, job->trace))
+        job->trace = obs::TraceContext::derive(traceKey_, seq);
     const std::string id = jobs_.add(job);
 
     const AdmissionQueue::Admit admitted = queue_.submit(job);
@@ -323,6 +353,7 @@ SweepServiceDaemon::handleSubmit(const HttpRequest &request)
     body.set("job", id);
     body.set("state", jobStateName(JobState::Queued));
     body.set("queue_depth", queue_.depth());
+    body.set("trace_id", job->trace.traceIdHex());
     return jsonResponse(202, body);
 }
 
@@ -343,6 +374,7 @@ SweepServiceDaemon::handleJobStatus(const std::string &id)
     body.set("cached", job->cachedJobs);
     body.set("wait_s", job->waitSeconds);
     body.set("run_s", job->runSeconds);
+    body.set("trace_id", job->trace.traceIdHex());
     if (!job->error.empty())
         body.set("error", job->error);
     return jsonResponse(200, body);
@@ -366,6 +398,7 @@ SweepServiceDaemon::handleJobResult(const std::string &id)
     body.set("job", job->id);
     body.set("state", jobStateName(job->state));
     body.set("config_key", job->configKey);
+    body.set("trace_id", job->trace.traceIdHex());
     if (!job->error.empty())
         body.set("error", job->error);
     JsonValue results = JsonValue::array();
@@ -411,6 +444,7 @@ SweepServiceDaemon::handleHealth()
     body.set("workers_dead", workersDead);
     body.set("jobs_running",
              runningJobs_.load(std::memory_order_relaxed));
+    body.set("build", buildInfoJson());
     HttpResponse response =
         jsonResponse(healthy ? 200 : 503, body);
     return response;

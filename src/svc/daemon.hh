@@ -47,6 +47,7 @@
 #include "core/dtm_config.hh"
 #include "core/experiment.hh"
 #include "obs/registry.hh"
+#include "obs/trace_context.hh"
 #include "svc/admission.hh"
 #include "svc/http.hh"
 
@@ -112,6 +113,10 @@ class SweepServiceDaemon
     /** The daemon's metrics registry (svc.* + engine metrics). */
     obs::Registry &registry() { return registry_; }
 
+    /** Wall-clock request spans (queue wait, run) for `--trace-out`
+     *  export; tagged with propagated or derived trace ids. */
+    obs::SpanCollector &spanCollector() { return spans_; }
+
     /**
      * The request router, exposed for handler-level tests; the HTTP
      * server calls exactly this.
@@ -124,10 +129,15 @@ class SweepServiceDaemon
     const TraceBuilderConfig traceConfig_;
 
     obs::Registry registry_;
+    obs::SpanCollector spans_;
     AdmissionQueue queue_;
     JobTable jobs_;
     QuotaSet quotas_;
     std::unique_ptr<HttpServer> http_;
+    /** Trace-id derivation key: the engine configKey hex, so ids are
+     *  reproducible run to run. */
+    std::string traceKey_;
+    std::atomic<std::uint64_t> submitSeq_{0};
 
     std::atomic<bool> started_{false};
     std::atomic<bool> draining_{false};

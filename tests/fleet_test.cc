@@ -2,10 +2,13 @@
  * @file
  * Fleet tests: lease bookkeeping (idempotent commits, expiry and
  * requeue), the rate estimator, the coordinator's wire handlers, and
- * two end-to-end properties — a multi-worker fleet produces results
- * and journal bytes identical to a direct in-process run, and stays
- * bit-identical when a worker is SIGKILLed mid-lease and its range
- * requeued.
+ * end-to-end properties — a multi-worker fleet produces results
+ * and journal bytes identical to a direct in-process run (with
+ * tracing on), stays bit-identical when a worker is SIGKILLed
+ * mid-lease and its range requeued, assembles one merged Chrome
+ * trace whose per-job trace ids span coordinator and worker tracks,
+ * federates worker metrics under labels, and leaves a parseable
+ * flight-recorder dump when a worker is SIGTERMed.
  */
 
 #include <gtest/gtest.h>
@@ -30,7 +33,9 @@
 #include "fleet/demo.hh"
 #include "fleet/lease.hh"
 #include "fleet/worker.hh"
+#include "obs/export.hh"
 #include "obs/rate.hh"
+#include "obs/trace_context.hh"
 #include "svc/codec.hh"
 #include "svc/json.hh"
 #include "test_util.hh"
@@ -575,6 +580,139 @@ TEST(FleetE2ETest, TwoWorkerFleetMatchesDirectRunBitForBit)
     const JsonValue doc = parse(status);
     EXPECT_GT(doc.find("workers")->find("wa")->asDouble(), 0.0);
     EXPECT_GT(doc.find("workers")->find("wb")->asDouble(), 0.0);
+
+    // --- Fleet observability rode along without touching bytes. ---
+
+    // The merged trace has a coordinator track plus one per worker,
+    // all shipped over the wire (results piggyback + exit flush).
+    const std::vector<obs::ProcessSpans> tracks =
+        coordinator.traceProcesses();
+    ASSERT_EQ(tracks.size(), 3u);
+    EXPECT_EQ(tracks[0].process, "coordinator");
+    EXPECT_FALSE(tracks[0].spans.empty());
+    for (const std::string &name : {"wa", "wb"}) {
+        bool found = false;
+        for (const obs::ProcessSpans &track : tracks)
+            if (track.process == name && !track.spans.empty())
+                found = true;
+        EXPECT_TRUE(found) << "no spans from worker " << name;
+    }
+
+    // Every job's derived trace id appears in the coordinator track
+    // (commit span) AND in some worker track (compute span): one
+    // trace per job, stitched across processes with no coordination.
+    for (std::size_t job = 0; job < oracle.size(); ++job) {
+        const std::string traceId =
+            coordinator.jobContext(job).traceIdHex();
+        bool inCoordinator = false, inWorker = false;
+        for (const obs::ProcessSpans &track : tracks)
+            for (const obs::Span &span : track.spans)
+                if (span.traceIdHex() == traceId) {
+                    if (track.process == "coordinator")
+                        inCoordinator = true;
+                    else
+                        inWorker = true;
+                }
+        EXPECT_TRUE(inCoordinator)
+            << "job " << job << " has no coordinator span";
+        EXPECT_TRUE(inWorker)
+            << "job " << job << " has no worker span";
+    }
+
+    // The merged trace exports as parseable Chrome JSON with a
+    // process_name metadata event per track.
+    const std::string tracePath = (dir / "fleet-trace.json").string();
+    ASSERT_TRUE(coordinator.writeTrace(tracePath));
+    JsonValue traceDoc;
+    ASSERT_EQ("", svc::parseJson(readFile(tracePath), traceDoc));
+    const JsonValue *events = traceDoc.find("traceEvents");
+    ASSERT_TRUE(events && events->isArray());
+    std::size_t processTracks = 0;
+    for (const JsonValue &event : events->items())
+        if (event.find("ph")->asString() == "M" &&
+            event.find("name")->asString() == "process_name")
+            ++processTracks;
+    EXPECT_EQ(processTracks, 3u);
+
+    // /metrics federates worker registries under per-worker labels —
+    // one base series, one label per worker, not a name per worker.
+    const HttpResponse metrics = coordinator.handle(get("/metrics"));
+    ASSERT_EQ(metrics.status, 200);
+    for (const std::string &name : {"wa", "wb"}) {
+        EXPECT_NE(metrics.body.find("coolcmp_fleet_worker_jobs_total"
+                                    "{worker=\"" +
+                                    name + "\"}"),
+                  std::string::npos)
+            << metrics.body;
+        EXPECT_NE(metrics.body.find(
+                      "coolcmp_worker_jobs_computed_total{worker=\"" +
+                      name + "\"}"),
+                  std::string::npos);
+    }
+
+    coordinator.stop();
+    fs::remove_all(dir);
+}
+
+TEST(FleetE2ETest, SigtermedWorkerLeavesAFlightRecorderDump)
+{
+    coolcmp::testing::quiet();
+    const fs::path dir = scratchDir("flight");
+    const std::string traceCache = (dir / "traces").string();
+    const std::string dumpPath = (dir / "flight.json").string();
+    const svc::WireSweep sweep = fleet::demoSweep(8);
+
+    FleetCoordinator::Options options;
+    options.leaseSeconds = 20.0;
+    options.maxLeaseJobs = 64;
+    FleetCoordinator coordinator(sweep, options, fastDtmConfig(),
+                                 fastTraceConfig());
+    ASSERT_TRUE(coordinator.start());
+
+    // A real worker process, armed with the flight recorder and a
+    // chunk larger than the sweep so it is mid-compute when killed.
+    const std::string portArg = std::to_string(coordinator.port());
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        execl(COOLCMP_WORKER_BIN, "coolcmp-worker", "--port",
+              portArg.c_str(), "--name", "blackbox", "--chunk", "64",
+              "--max-lease", "64", "--trace-cache",
+              traceCache.c_str(), "--flight-recorder",
+              dumpPath.c_str(), static_cast<char *>(nullptr));
+        _exit(127);
+    }
+
+    const auto deadline = Clock::now() + std::chrono::seconds(120);
+    while (coordinator.leaseTable().activeLeases() == 0 &&
+           Clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_GT(coordinator.leaseTable().activeLeases(), 0u)
+        << "worker never acquired a lease";
+    ASSERT_EQ(kill(pid, SIGTERM), 0);
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+    // The dump handler re-raises with the default disposition, so the
+    // worker still dies *by* SIGTERM after writing the black box.
+    ASSERT_TRUE(WIFSIGNALED(wstatus));
+    EXPECT_EQ(WTERMSIG(wstatus), SIGTERM);
+
+    // The dump is valid JSON naming the signal, with the boot/spec/
+    // lease breadcrumbs recorded before the kill.
+    const std::string text = readFile(dumpPath);
+    ASSERT_FALSE(text.empty()) << "no flight-recorder dump written";
+    JsonValue doc;
+    ASSERT_EQ("", svc::parseJson(text, doc)) << text;
+    EXPECT_EQ(doc.find("reason")->asString(), "SIGTERM");
+    EXPECT_GT(doc.find("recorded")->asDouble(), 0.0);
+    const JsonValue *events = doc.find("events");
+    ASSERT_TRUE(events && events->isArray());
+    ASSERT_FALSE(events->items().empty());
+    bool sawLease = false;
+    for (const JsonValue &event : events->items())
+        if (event.find("kind")->asString() == "lease")
+            sawLease = true;
+    EXPECT_TRUE(sawLease) << text;
 
     coordinator.stop();
     fs::remove_all(dir);

@@ -537,13 +537,15 @@ TEST_F(DaemonSurfaceTest, ShedsOnQueueFullAndQuota)
     EXPECT_EQ(response.status, 429);
     EXPECT_EQ(errorCode(response), "quota_exceeded");
 
-    // Quota trips surface in the registry (per client and total).
+    // Quota trips surface in the registry: a total counter plus a
+    // client-labelled series (PR 9 renamed the per-client metric from
+    // svc.client.<name>.quota_trips to a label on one base name).
     bool sawTotal = false, sawClient = false;
     for (const auto &[name, value] :
          throttled.registry().counterValues()) {
         if (name == "svc.quota.trips")
             sawTotal = value >= 1;
-        if (name == "svc.client.anonymous.quota_trips")
+        if (name == "svc.quota_trips{client=\"anonymous\"}")
             sawClient = value >= 1;
     }
     EXPECT_TRUE(sawTotal);

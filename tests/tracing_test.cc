@@ -1,0 +1,570 @@
+/**
+ * @file
+ * Distributed-tracing and telemetry-federation tests: deterministic
+ * trace-context derivation, the traceparent wire form and its parse
+ * rejections, span collection bounds, labelled metric names through
+ * the Prometheus exporter, span/metrics JSON codecs, the merged
+ * Chrome trace writer, the flight recorder's ring and dump, header
+ * propagation through the real HttpClient/HttpServer pair, and the
+ * daemon/coordinator surfaces that adopt, derive, and federate the
+ * lot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fleet/coordinator.hh"
+#include "fleet/demo.hh"
+#include "obs/export.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/prom_export.hh"
+#include "obs/registry.hh"
+#include "obs/snapshot.hh"
+#include "obs/trace_context.hh"
+#include "svc/build_info.hh"
+#include "svc/codec.hh"
+#include "svc/daemon.hh"
+#include "svc/http.hh"
+#include "svc/json.hh"
+#include "test_util.hh"
+
+namespace fs = std::filesystem;
+
+using namespace coolcmp;
+using coolcmp::testing::fastDtmConfig;
+using coolcmp::testing::fastTraceConfig;
+using obs::Span;
+using obs::SpanCollector;
+using obs::TraceContext;
+using svc::HttpRequest;
+using svc::HttpResponse;
+using svc::JsonValue;
+
+namespace {
+
+JsonValue
+parse(const std::string &text)
+{
+    JsonValue root;
+    EXPECT_EQ("", svc::parseJson(text, root)) << text;
+    return root;
+}
+
+HttpRequest
+makeRequest(const std::string &method, const std::string &path,
+            const std::string &body = {},
+            std::vector<std::pair<std::string, std::string>> headers = {})
+{
+    HttpRequest request;
+    request.method = method;
+    request.path = path;
+    request.body = body;
+    request.headers = std::move(headers);
+    return request;
+}
+
+} // namespace
+
+// --- TraceContext derivation -----------------------------------------
+
+TEST(TraceContextTest, DerivationIsDeterministic)
+{
+    const TraceContext a = TraceContext::derive("deadbeef", 7);
+    const TraceContext b = TraceContext::derive("deadbeef", 7);
+    EXPECT_TRUE(a.valid());
+    EXPECT_EQ(a.traceHi, b.traceHi);
+    EXPECT_EQ(a.traceLo, b.traceLo);
+    EXPECT_EQ(a.spanId, b.spanId);
+    EXPECT_EQ(a.traceparent(), b.traceparent());
+}
+
+TEST(TraceContextTest, DistinctInputsGetDistinctTraces)
+{
+    const TraceContext base = TraceContext::derive("deadbeef", 7);
+    EXPECT_NE(base.traceIdHex(),
+              TraceContext::derive("deadbeef", 8).traceIdHex());
+    EXPECT_NE(base.traceIdHex(),
+              TraceContext::derive("deadbeee", 7).traceIdHex());
+    // Neighbouring sequence numbers must not collide pairwise either.
+    std::set<std::string> seen;
+    for (std::uint64_t seq = 0; seq < 256; ++seq)
+        seen.insert(TraceContext::derive("deadbeef", seq).traceIdHex());
+    EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(TraceContextTest, TraceparentGoldenRoundTrip)
+{
+    const TraceContext ctx{0x0123456789abcdefULL, 0xfedcba9876543210ULL,
+                           0x1122334455667788ULL};
+    const std::string header = ctx.traceparent();
+    EXPECT_EQ(header,
+              "00-0123456789abcdeffedcba9876543210-1122334455667788-01");
+    ASSERT_EQ(header.size(), 55u);
+
+    TraceContext parsed;
+    ASSERT_TRUE(TraceContext::parse(header, parsed));
+    EXPECT_EQ(parsed.traceHi, ctx.traceHi);
+    EXPECT_EQ(parsed.traceLo, ctx.traceLo);
+    EXPECT_EQ(parsed.spanId, ctx.spanId);
+    EXPECT_EQ(parsed.traceparent(), header);
+}
+
+TEST(TraceContextTest, ParseRejectsMalformedHeaders)
+{
+    TraceContext out;
+    // Too short / too long.
+    EXPECT_FALSE(TraceContext::parse("", out));
+    EXPECT_FALSE(TraceContext::parse("00-abc-def-01", out));
+    // Wrong version.
+    EXPECT_FALSE(TraceContext::parse(
+        "01-0123456789abcdeffedcba9876543210-1122334455667788-01",
+        out));
+    // All-zero trace id.
+    EXPECT_FALSE(TraceContext::parse(
+        "00-00000000000000000000000000000000-1122334455667788-01",
+        out));
+    // All-zero span id.
+    EXPECT_FALSE(TraceContext::parse(
+        "00-0123456789abcdeffedcba9876543210-0000000000000000-01",
+        out));
+    // Non-hex garbage in the trace id.
+    EXPECT_FALSE(TraceContext::parse(
+        "00-0123456789abcdeffedcba98765432zz-1122334455667788-01",
+        out));
+    // Misplaced dash.
+    EXPECT_FALSE(TraceContext::parse(
+        "00x0123456789abcdeffedcba9876543210-1122334455667788-01",
+        out));
+}
+
+TEST(TraceContextTest, ChildSpanIdsAreDeterministicAndDistinct)
+{
+    const TraceContext ctx = TraceContext::derive("deadbeef", 3);
+    const std::uint64_t a = obs::deriveSpanId(ctx, "compute", 1);
+    EXPECT_EQ(a, obs::deriveSpanId(ctx, "compute", 1));
+    EXPECT_NE(a, obs::deriveSpanId(ctx, "compute", 2));
+    EXPECT_NE(a, obs::deriveSpanId(ctx, "commit", 1));
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(a, ctx.spanId);
+}
+
+// --- SpanCollector ----------------------------------------------------
+
+TEST(SpanCollectorTest, RecordsDrainsAndBoundsMemory)
+{
+    SpanCollector spans(4);
+    const TraceContext ctx = TraceContext::derive("k", 1);
+    for (int i = 0; i < 6; ++i)
+        spans.record(obs::makeSpan(ctx, 0, "s" + std::to_string(i)));
+    EXPECT_EQ(spans.size(), 4u);
+    EXPECT_EQ(spans.dropped(), 2u);
+
+    // snapshot() copies; drain() consumes.
+    EXPECT_EQ(spans.snapshot().size(), 4u);
+    EXPECT_EQ(spans.size(), 4u);
+    const std::vector<Span> drained = spans.drain();
+    ASSERT_EQ(drained.size(), 4u);
+    EXPECT_EQ(drained[0].name, "s0");
+    EXPECT_EQ(spans.size(), 0u);
+    EXPECT_TRUE(spans.drain().empty());
+}
+
+// --- Labelled metric names -------------------------------------------
+
+TEST(LabeledNameTest, CanonicalizesSortsAndEscapes)
+{
+    EXPECT_EQ(obs::labeledName("fleet.worker.jobs", {}),
+              "fleet.worker.jobs");
+    EXPECT_EQ(obs::labeledName("fleet.worker.jobs", {{"worker", "w1"}}),
+              "fleet.worker.jobs{worker=\"w1\"}");
+    // Keys are sorted, so call-site order cannot fork a series.
+    EXPECT_EQ(
+        obs::labeledName("m", {{"b", "2"}, {"a", "1"}}),
+        obs::labeledName("m", {{"a", "1"}, {"b", "2"}}));
+    // Quotes and backslashes in values are escaped.
+    const std::string escaped =
+        obs::labeledName("m", {{"k", "a\"b\\c"}});
+    EXPECT_EQ(escaped, "m{k=\"a\\\"b\\\\c\"}");
+
+    std::string base, labels;
+    obs::splitLabeledName(escaped, base, labels);
+    EXPECT_EQ(base, "m");
+    EXPECT_EQ(labels, "k=\"a\\\"b\\\\c\"");
+    obs::splitLabeledName("plain.name", base, labels);
+    EXPECT_EQ(base, "plain.name");
+    EXPECT_EQ(labels, "");
+}
+
+TEST(LabeledNameTest, PrometheusExporterGroupsLabelVariants)
+{
+    obs::Registry registry;
+    registry.counter("fleet.jobs").add(6);
+    registry
+        .counter(obs::labeledName("fleet.worker.jobs",
+                                  {{"worker", "w1"}}))
+        .add(4);
+    registry
+        .counter(obs::labeledName("fleet.worker.jobs",
+                                  {{"worker", "w2"}}))
+        .add(2);
+    registry
+        .gauge(obs::labeledName("fleet.worker.jobs_per_s",
+                                {{"worker", "w1"}}))
+        .set(1.5);
+
+    std::ostringstream out;
+    obs::writePrometheus(out, registry);
+    const std::string text = out.str();
+
+    EXPECT_NE(text.find("coolcmp_fleet_worker_jobs_total"
+                        "{worker=\"w1\"} 4"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("coolcmp_fleet_worker_jobs_total"
+                        "{worker=\"w2\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("coolcmp_fleet_worker_jobs_per_s"
+                        "{worker=\"w1\"} 1.5"),
+              std::string::npos);
+    // One TYPE line covers every label variant of a base name.
+    std::size_t typeLines = 0, from = 0;
+    const std::string needle =
+        "# TYPE coolcmp_fleet_worker_jobs_total counter";
+    while ((from = text.find(needle, from)) != std::string::npos) {
+        ++typeLines;
+        from += needle.size();
+    }
+    EXPECT_EQ(typeLines, 1u);
+}
+
+// --- Span / metrics JSON codecs --------------------------------------
+
+TEST(SpanCodecTest, SpansRoundTripThroughJson)
+{
+    const TraceContext ctx = TraceContext::derive("cafef00d", 11);
+    Span span = obs::makeSpan(
+        ctx.withSpan(obs::deriveSpanId(ctx, "compute", 5)),
+        ctx.spanId, "compute", 11);
+    span.startUs = 1.5e12;
+    span.durUs = 2500.0;
+
+    const JsonValue doc = svc::spansToJson({span});
+    const std::vector<Span> back = svc::spansFromJson(doc);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].traceHi, span.traceHi);
+    EXPECT_EQ(back[0].traceLo, span.traceLo);
+    EXPECT_EQ(back[0].spanId, span.spanId);
+    EXPECT_EQ(back[0].parentId, span.parentId);
+    EXPECT_EQ(back[0].name, "compute");
+    EXPECT_DOUBLE_EQ(back[0].startUs, span.startUs);
+    EXPECT_DOUBLE_EQ(back[0].durUs, span.durUs);
+    EXPECT_EQ(back[0].job, 11);
+
+    // Malformed entries are skipped, not fatal.
+    JsonValue mixed = JsonValue::array();
+    mixed.push(svc::spanToJson(span));
+    JsonValue bogus = JsonValue::object();
+    bogus.set("trace_id", "nope");
+    mixed.push(std::move(bogus));
+    EXPECT_EQ(svc::spansFromJson(mixed).size(), 1u);
+}
+
+TEST(SpanCodecTest, MetricsSnapshotRoundTripsThroughJson)
+{
+    obs::Registry registry;
+    registry.counter("worker.jobs.computed").add(9);
+    registry.gauge("worker.rate").set(3.25);
+    const obs::MetricsSnapshot snap = obs::takeSnapshot(registry);
+
+    obs::MetricsSnapshot back;
+    svc::metricsSnapshotFromJson(svc::metricsSnapshotToJson(snap),
+                                 back);
+    ASSERT_EQ(back.counters.size(), 1u);
+    EXPECT_EQ(back.counters[0].first, "worker.jobs.computed");
+    EXPECT_EQ(back.counters[0].second, 9u);
+    ASSERT_EQ(back.gauges.size(), 1u);
+    EXPECT_EQ(back.gauges[0].first, "worker.rate");
+    EXPECT_DOUBLE_EQ(back.gauges[0].second, 3.25);
+}
+
+// --- Merged Chrome trace export --------------------------------------
+
+TEST(ChromeTraceSpansTest, MergedTraceHasPerProcessTracks)
+{
+    const TraceContext ctx = TraceContext::derive("feedface", 2);
+    Span lease = obs::makeSpan(ctx, 0, "lease.grant", 2);
+    lease.startUs = 1000.0;
+    lease.durUs = 50.0;
+    Span compute = obs::makeSpan(
+        ctx.withSpan(obs::deriveSpanId(ctx, "compute", 1)),
+        ctx.spanId, "compute", 2);
+    compute.startUs = 1100.0;
+    compute.durUs = 900.0;
+
+    std::ostringstream out;
+    obs::writeChromeTraceSpans(
+        out, {{"coordinator", {lease}}, {"worker w1", {compute}}});
+
+    const JsonValue doc = parse(out.str());
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_TRUE(events && events->isArray());
+
+    std::set<std::string> processNames;
+    std::set<double> spanPids;
+    std::set<std::string> traceIds;
+    for (const JsonValue &event : events->items()) {
+        const std::string ph = event.find("ph")->asString();
+        if (ph == "M" &&
+            event.find("name")->asString() == "process_name")
+            processNames.insert(event.find("args")
+                                    ->find("name")
+                                    ->asString());
+        if (ph == "X") {
+            spanPids.insert(event.find("pid")->asDouble());
+            traceIds.insert(
+                event.find("args")->find("trace_id")->asString());
+        }
+    }
+    EXPECT_EQ(processNames,
+              (std::set<std::string>{"coordinator", "worker w1"}));
+    EXPECT_EQ(spanPids.size(), 2u);
+    // Both tracks carry the same derived trace id: one trace, two
+    // processes.
+    ASSERT_EQ(traceIds.size(), 1u);
+    EXPECT_EQ(*traceIds.begin(), ctx.traceIdHex());
+}
+
+// --- Flight recorder --------------------------------------------------
+
+TEST(FlightRecorderTest, RingBoundsAndDumpParses)
+{
+    obs::FlightRecorder recorder;
+    // Overflow the ring; quotes and newlines must not break the JSON.
+    for (std::size_t i = 0;
+         i < obs::FlightRecorder::kCapacity + 10; ++i)
+        recorder.note("evt", "detail \"quoted\"\nline " +
+                                 std::to_string(i));
+    EXPECT_EQ(recorder.recorded(),
+              obs::FlightRecorder::kCapacity + 10);
+
+    const fs::path path = fs::temp_directory_path() /
+        ("coolcmp-flight-" + std::to_string(getpid()) + ".json");
+    ASSERT_TRUE(recorder.dumpToFile(path.string(), "test"));
+
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    const JsonValue doc = parse(text.str());
+    EXPECT_EQ(doc.find("reason")->asString(), "test");
+    EXPECT_DOUBLE_EQ(
+        doc.find("recorded")->asDouble(),
+        static_cast<double>(obs::FlightRecorder::kCapacity + 10));
+    const JsonValue *events = doc.find("events");
+    ASSERT_TRUE(events && events->isArray());
+    // Ring capacity bounds the dump; oldest entries were overwritten.
+    EXPECT_EQ(events->items().size(), obs::FlightRecorder::kCapacity);
+    EXPECT_EQ(events->items()[0].find("kind")->asString(), "evt");
+    fs::remove(path);
+}
+
+// --- Header propagation over the real HTTP stack ---------------------
+
+TEST(TracePropagationTest, TraceparentSurvivesClientServerRoundTrip)
+{
+    coolcmp::testing::quiet();
+    svc::HttpServer::Options options;
+    options.connectionThreads = 1;
+    svc::HttpServer server(options, [](const HttpRequest &request) {
+        HttpResponse response;
+        const std::string *tp = request.header("traceparent");
+        JsonValue body = JsonValue::object();
+        body.set("traceparent",
+                 tp ? JsonValue(*tp) : JsonValue());
+        response.body = svc::jsonToString(body);
+        return response;
+    });
+    ASSERT_TRUE(server.start());
+
+    const TraceContext ctx = TraceContext::derive("0badc0de", 42);
+    svc::HttpClient client("127.0.0.1", server.port());
+    HttpResponse response;
+    ASSERT_TRUE(client.request(
+        "GET", "/echo", "", response,
+        {{"traceparent", ctx.traceparent()}}));
+    const JsonValue echoed = parse(response.body);
+    EXPECT_EQ(echoed.find("traceparent")->asString(),
+              ctx.traceparent());
+
+    // The echoed header parses back to the identical context.
+    TraceContext back;
+    ASSERT_TRUE(TraceContext::parse(
+        echoed.find("traceparent")->asString(), back));
+    EXPECT_EQ(back.traceIdHex(), ctx.traceIdHex());
+    EXPECT_EQ(back.spanId, ctx.spanId);
+    server.stop();
+}
+
+// --- Daemon adoption / derivation / build info -----------------------
+
+namespace {
+
+svc::SweepServiceDaemon::Options
+queueOnlyOptions()
+{
+    svc::SweepServiceDaemon::Options options;
+    options.workers = 0; // queue only: no execution, handlers testable
+    options.queueDepth = 16;
+    options.resultDir.clear();
+    return options;
+}
+
+HttpRequest
+submitRequest(std::vector<std::pair<std::string, std::string>> headers = {})
+{
+    return makeRequest("POST", "/v1/sweeps",
+                       "{\"jobs\": [{\"workload\": \"workload1\"}]}",
+                       std::move(headers));
+}
+
+} // namespace
+
+TEST(DaemonTracingTest, AdoptsCallerTraceparentOnSubmit)
+{
+    coolcmp::testing::quiet();
+    svc::SweepServiceDaemon daemon(queueOnlyOptions(), fastDtmConfig(),
+                                   fastTraceConfig());
+    ASSERT_TRUE(daemon.start());
+
+    const TraceContext caller = TraceContext::derive("loadgen/lg-0", 1);
+    const HttpResponse adopted = daemon.handle(
+        submitRequest({{"traceparent", caller.traceparent()}}));
+    ASSERT_EQ(adopted.status, 202);
+    EXPECT_EQ(parse(adopted.body).find("trace_id")->asString(),
+              caller.traceIdHex());
+
+    // A malformed header falls back to a derived (non-empty, 32-hex)
+    // trace id instead of adopting garbage.
+    const HttpResponse derived = daemon.handle(
+        submitRequest({{"traceparent", "garbage"}}));
+    ASSERT_EQ(derived.status, 202);
+    const std::string id =
+        parse(derived.body).find("trace_id")->asString();
+    EXPECT_EQ(id.size(), 32u);
+    EXPECT_NE(id, std::string(32, '0'));
+    EXPECT_NE(id, caller.traceIdHex());
+    daemon.stop();
+}
+
+TEST(DaemonTracingTest, HealthzCarriesBuildInfo)
+{
+    coolcmp::testing::quiet();
+    svc::SweepServiceDaemon daemon(queueOnlyOptions(), fastDtmConfig(),
+                                   fastTraceConfig());
+    ASSERT_TRUE(daemon.start());
+    const HttpResponse response =
+        daemon.handle(makeRequest("GET", "/healthz"));
+    ASSERT_EQ(response.status, 200);
+    const JsonValue doc = parse(response.body);
+    const JsonValue *build = doc.find("build");
+    ASSERT_TRUE(build && build->isObject());
+    EXPECT_FALSE(build->find("version")->asString().empty());
+    EXPECT_FALSE(build->find("compiler")->asString().empty());
+    EXPECT_EQ(build->find("simd")->asString(),
+              svc::buildInfo().simd);
+    daemon.stop();
+}
+
+// --- Coordinator federation ------------------------------------------
+
+TEST(CoordinatorFederationTest, IngestsWorkerSpansAndMetrics)
+{
+    coolcmp::testing::quiet();
+    fleet::FleetCoordinator::Options options;
+    options.maxLeaseJobs = 4;
+    fleet::FleetCoordinator coordinator(fleet::demoSweep(4), options,
+                                        fastDtmConfig(),
+                                        fastTraceConfig());
+
+    // The lease grant carries a traceparent rooted in the range's
+    // first job, the same context jobContext derives.
+    const HttpResponse grantResponse = coordinator.handle(
+        makeRequest("POST", "/v1/leases", "{\"worker\": \"w9\"}"));
+    ASSERT_EQ(grantResponse.status, 200);
+    const JsonValue grant = parse(grantResponse.body);
+    const JsonValue *tp = grant.find("traceparent");
+    ASSERT_TRUE(tp && tp->isString());
+    TraceContext leaseCtx;
+    ASSERT_TRUE(TraceContext::parse(tp->asString(), leaseCtx));
+    EXPECT_EQ(leaseCtx.traceIdHex(),
+              coordinator.jobContext(0).traceIdHex());
+
+    // Ship a span batch + registry snapshot via the exit-flush route.
+    const TraceContext ctx = coordinator.jobContext(0);
+    Span compute = obs::makeSpan(
+        ctx.withSpan(obs::deriveSpanId(ctx, "compute", 1)),
+        leaseCtx.spanId, "compute", 0);
+    compute.startUs = SpanCollector::nowUs();
+    compute.durUs = 1000.0;
+
+    obs::Registry workerRegistry;
+    workerRegistry.counter("worker.jobs.computed").add(4);
+    JsonValue flush = JsonValue::object();
+    flush.set("worker", "w9");
+    flush.set("spans", svc::spansToJson({compute}));
+    flush.set("metrics", svc::metricsSnapshotToJson(
+                             obs::takeSnapshot(workerRegistry)));
+    ASSERT_EQ(coordinator
+                  .handle(makeRequest("POST", "/v1/spans",
+                                      svc::jsonToString(flush)))
+                  .status,
+              200);
+
+    // The merged trace now has a coordinator track and a w9 track.
+    const std::vector<obs::ProcessSpans> tracks =
+        coordinator.traceProcesses();
+    ASSERT_GE(tracks.size(), 2u);
+    EXPECT_EQ(tracks[0].process, "coordinator");
+    bool sawWorkerTrack = false;
+    for (const obs::ProcessSpans &track : tracks)
+        if (track.process == "w9" && !track.spans.empty())
+            sawWorkerTrack = true;
+    EXPECT_TRUE(sawWorkerTrack);
+
+    // /metrics federates the snapshot under a worker label.
+    const HttpResponse metrics =
+        coordinator.handle(makeRequest("GET", "/metrics"));
+    ASSERT_EQ(metrics.status, 200);
+    EXPECT_NE(metrics.body.find("coolcmp_worker_jobs_computed_total"
+                                "{worker=\"w9\"} 4"),
+              std::string::npos)
+        << metrics.body;
+
+    // /v1/status carries build info for fleet-wide version skew
+    // checks.
+    const JsonValue status = parse(
+        coordinator.handle(makeRequest("GET", "/v1/status")).body);
+    ASSERT_TRUE(status.find("build"));
+    EXPECT_FALSE(
+        status.find("build")->find("version")->asString().empty());
+
+    // writeTrace emits the merged view as parseable Chrome JSON.
+    const fs::path path = fs::temp_directory_path() /
+        ("coolcmp-trace-" + std::to_string(getpid()) + ".json");
+    ASSERT_TRUE(coordinator.writeTrace(path.string()));
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    const JsonValue doc = parse(text.str());
+    ASSERT_TRUE(doc.find("traceEvents"));
+    fs::remove(path);
+}

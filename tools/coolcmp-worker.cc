@@ -15,9 +15,12 @@
  *                  [--name W] [--max-lease N] [--chunk N]
  *                  [--threads N] [--poll-ms N] [--backoff-ms N]
  *                  [--attempts N] [--trace-cache DIR]
+ *                  [--flight-recorder PATH]
  *
  * --port-file polls for the file coolcmpd publishes with
  * --port-file, so scripts can start both without a fixed port.
+ * --flight-recorder dumps the in-memory event ring to PATH as JSON
+ * on SIGTERM or a fatal signal (the fleet's post-mortem black box).
  */
 
 #include <chrono>
@@ -28,6 +31,7 @@
 #include <thread>
 
 #include "fleet/worker.hh"
+#include "obs/flight_recorder.hh"
 #include "util/logging.hh"
 
 namespace {
@@ -40,7 +44,8 @@ usage(const char *argv0)
         "usage: %s (--port N | --port-file PATH) [--host H]\n"
         "          [--name W] [--max-lease N] [--chunk N]\n"
         "          [--threads N] [--poll-ms N] [--backoff-ms N]\n"
-        "          [--attempts N] [--trace-cache DIR]\n",
+        "          [--attempts N] [--trace-cache DIR]\n"
+        "          [--flight-recorder PATH]\n",
         argv0);
     std::exit(2);
 }
@@ -103,6 +108,8 @@ main(int argc, char **argv)
             options.maxAttempts = std::stoi(next(i));
         else if (arg == "--trace-cache")
             options.traceCacheDir = next(i);
+        else if (arg == "--flight-recorder")
+            coolcmp::obs::FlightRecorder::installSignalDump(next(i));
         else
             usage(argv[0]);
     }

@@ -47,6 +47,8 @@
 #include "core/sweep_journal.hh"
 #include "fleet/coordinator.hh"
 #include "fleet/demo.hh"
+#include "obs/export.hh"
+#include "obs/flight_recorder.hh"
 #include "svc/daemon.hh"
 #include "util/logging.hh"
 
@@ -74,7 +76,9 @@ usage(const char *argv0)
         "       %s --coordinator (--sweep FILE | --demo-sweep N)\n"
         "          [--journal PATH] [--out PATH] "
         "[--lease-seconds S]\n"
-        "          [--max-lease N] [--linger S] [--inprocess]\n",
+        "          [--max-lease N] [--linger S] [--inprocess]\n"
+        "       both modes also accept [--trace-out PATH] "
+        "[--flight-recorder PATH]\n",
         argv0, argv0);
     std::exit(2);
 }
@@ -117,6 +121,8 @@ main(int argc, char **argv)
     std::string sweepFile;
     std::size_t demoJobs = 0;
     std::string outPath;
+    std::string traceOut;
+    std::string flightPath;
     double lingerSeconds = 3.0;
 
     auto next = [&](int &i) -> std::string {
@@ -167,6 +173,10 @@ main(int argc, char **argv)
             fleetOptions.maxLeaseJobs = std::stoul(next(i));
         else if (arg == "--linger")
             lingerSeconds = std::stod(next(i));
+        else if (arg == "--trace-out")
+            traceOut = next(i);
+        else if (arg == "--flight-recorder")
+            flightPath = next(i);
         else if (arg == "--fast") {
             config.duration = 0.02;
             traceConfig.numIntervals = 16;
@@ -180,6 +190,10 @@ main(int argc, char **argv)
 
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
+    // Installed after the drain handlers so the black-box dump runs
+    // first and then chains into the graceful stop.
+    if (!flightPath.empty())
+        obs::FlightRecorder::installSignalDump(flightPath);
 
     if (coordinator || inprocess) {
         // --- Build the sweep. ---
@@ -280,6 +294,12 @@ main(int argc, char **argv)
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(50));
         coord.stop();
+        // After the linger, so the workers' exit-time span flushes
+        // (POST /v1/spans) made it into the merged trace.
+        if (!traceOut.empty() && !coord.writeTrace(traceOut)) {
+            warn("cannot write trace file ", traceOut);
+            return 1;
+        }
         inform("coolcmpd: fleet sweep complete");
         return 0;
     }
@@ -308,6 +328,11 @@ main(int argc, char **argv)
 
     inform("coolcmpd: signal received, draining");
     daemon.stop();
+    if (!traceOut.empty() &&
+        !obs::writeChromeTraceSpans(
+            traceOut,
+            {{"coolcmpd", daemon.spanCollector().snapshot()}}))
+        warn("cannot write trace file ", traceOut);
     inform("coolcmpd: drained, bye");
     return 0;
 }

@@ -10,7 +10,15 @@
  * an obs::Histogram, and the run ends with an SLO report:
  *
  *   {"clients": 4, "total": 32, "failed": 0, "shed_429": 3,
- *    "cache_hits": 24, "p50_ms": ..., "p95_ms": ..., "p99_ms": ...}
+ *    "cache_hits": 24, "p50_ms": ..., "p95_ms": ..., "p99_ms": ...,
+ *    "queue_wait_p50_ms": ..., "run_p50_ms": ..., ...}
+ *
+ * Each submission carries a deterministic traceparent header
+ * (derived from the client name and request sequence), so daemon-side
+ * spans for loadgen jobs join traces the generator chose — grep a
+ * trace id from loadgen's logs straight into the daemon's trace. The
+ * terminal status's wait_s/run_s split feeds the queue-wait vs
+ * run-time breakdown in the report.
  *
  * Exit status is the SLO gate: nonzero when any job failed or when
  * --max-p99-ms is set and breached, so CI can call this binary
@@ -29,6 +37,7 @@
 
 #include "core/taxonomy.hh"
 #include "obs/registry.hh"
+#include "obs/trace_context.hh"
 #include "svc/codec.hh"
 #include "svc/http.hh"
 #include "svc/json.hh"
@@ -57,6 +66,15 @@ struct Totals
     std::atomic<std::uint64_t> failed{0};
     std::atomic<std::uint64_t> shed429{0};
     std::atomic<std::uint64_t> cacheHits{0};
+};
+
+/** Latency decomposition: end-to-end, plus the daemon-reported
+ *  queue-wait and run-time split of each terminal job. */
+struct Latencies
+{
+    obs::Histogram &endToEnd;
+    obs::Histogram &queueWait;
+    obs::Histogram &run;
 };
 
 /** The sweeps every client cycles: one Table 4 workload paired with a
@@ -90,19 +108,27 @@ buildSweeps(std::size_t distinct)
  *  job. 429 shedding retries after a short pause (closed loop). */
 bool
 runOne(svc::HttpClient &http, const std::string &clientName,
-       const svc::WireSweep &sweep, const LoadgenOptions &options,
-       Totals &totals, obs::Histogram &latency)
+       std::uint64_t seq, const svc::WireSweep &sweep,
+       const LoadgenOptions &options, Totals &totals,
+       Latencies &latency)
 {
     svc::WireSweep tagged = sweep;
     tagged.client = clientName;
     const std::string body =
         jsonToString(svc::sweepRequestToJson(tagged));
 
+    // Deterministic trace context: the daemon adopts this header, so
+    // its queue-wait/run spans join a trace the generator can name in
+    // advance (client name x request sequence).
+    const obs::TraceContext trace =
+        obs::TraceContext::derive("loadgen/" + clientName, seq);
+
     const auto t0 = Clock::now();
     svc::HttpResponse response;
     std::string jobId;
     for (;;) {
-        if (!http.request("POST", "/v1/sweeps", body, response)) {
+        if (!http.request("POST", "/v1/sweeps", body, response,
+                          {{"traceparent", trace.traceparent()}})) {
             warn(clientName, ": transport failure on submit");
             return false;
         }
@@ -146,15 +172,24 @@ runOne(svc::HttpClient &http, const std::string &clientName,
         }
         const std::string &state =
             parsed.find("state")->asString();
-        if (state == "done")
+        if (state == "done") {
+            // The terminal status carries the daemon-side breakdown
+            // of this job's latency: time queued vs time computing.
+            if (const svc::JsonValue *w = parsed.find("wait_s");
+                w && w->isNumber())
+                latency.queueWait.observe(w->asDouble());
+            if (const svc::JsonValue *r = parsed.find("run_s");
+                r && r->isNumber())
+                latency.run.observe(r->asDouble());
             break;
+        }
         if (state == "failed") {
             warn(clientName, ": job ", jobId, " failed");
             return false;
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
-    latency.observe(
+    latency.endToEnd.observe(
         std::chrono::duration<double>(Clock::now() - t0).count());
 
     if (!http.request("GET", statusPath + "/result", {}, response) ||
@@ -187,13 +222,13 @@ runOne(svc::HttpClient &http, const std::string &clientName,
 void
 clientMain(std::size_t index, const LoadgenOptions &options,
            const std::vector<svc::WireSweep> &sweeps, Totals &totals,
-           obs::Histogram &latency)
+           Latencies &latency)
 {
     const std::string name = "lg-" + std::to_string(index);
     svc::HttpClient http("127.0.0.1", options.port);
     for (std::size_t r = 0; r < options.requestsPerClient; ++r) {
-        if (runOne(http, name, sweeps[r % sweeps.size()], options,
-                   totals, latency))
+        if (runOne(http, name, r + 1, sweeps[r % sweeps.size()],
+                   options, totals, latency))
             totals.completed.fetch_add(1);
         else
             totals.failed.fetch_add(1);
@@ -253,9 +288,13 @@ main(int argc, char **argv)
         buildSweeps(options.distinctSweeps);
 
     obs::Registry registry;
-    obs::Histogram &latency = registry.histogram(
-        "loadgen.job_seconds",
-        obs::Histogram::exponentialEdges(1e-3, 2.0, 24));
+    const std::vector<double> edges =
+        obs::Histogram::exponentialEdges(1e-3, 2.0, 24);
+    Latencies latency{
+        registry.histogram("loadgen.job_seconds", edges),
+        registry.histogram("loadgen.queue_wait_seconds", edges),
+        registry.histogram("loadgen.run_seconds", edges),
+    };
     Totals totals;
 
     const auto t0 = Clock::now();
@@ -270,7 +309,10 @@ main(int argc, char **argv)
     const double wallSeconds =
         std::chrono::duration<double>(Clock::now() - t0).count();
 
-    const obs::Histogram::Snapshot snap = latency.snapshot();
+    const obs::Histogram::Snapshot snap = latency.endToEnd.snapshot();
+    const obs::Histogram::Snapshot waitSnap =
+        latency.queueWait.snapshot();
+    const obs::Histogram::Snapshot runSnap = latency.run.snapshot();
     const std::uint64_t total =
         totals.completed.load() + totals.failed.load();
 
@@ -287,6 +329,12 @@ main(int argc, char **argv)
     report.set("p95_ms", snap.quantile(0.95) * 1e3);
     report.set("p99_ms", snap.quantile(0.99) * 1e3);
     report.set("mean_ms", snap.mean() * 1e3);
+    report.set("queue_wait_p50_ms", waitSnap.quantile(0.50) * 1e3);
+    report.set("queue_wait_p99_ms", waitSnap.quantile(0.99) * 1e3);
+    report.set("queue_wait_mean_ms", waitSnap.mean() * 1e3);
+    report.set("run_p50_ms", runSnap.quantile(0.50) * 1e3);
+    report.set("run_p99_ms", runSnap.quantile(0.99) * 1e3);
+    report.set("run_mean_ms", runSnap.mean() * 1e3);
     report.set("wall_s", wallSeconds);
     report.set("jobs_per_s",
                wallSeconds > 0.0
