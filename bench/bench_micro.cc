@@ -21,6 +21,7 @@
 #include "obs/tracer.hh"
 #include "thermal/batched.hh"
 #include "thermal/floorplan.hh"
+#include "thermal/floorplan_spec.hh"
 #include "thermal/rc_network.hh"
 #include "thermal/transient.hh"
 #include "uarch/ooo_core.hh"
@@ -97,27 +98,37 @@ BENCHMARK(BM_BatchedZohStep)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(
     32);
 
 const Floorplan &
-gridPlan()
+gridPlan(int cores = 16)
 {
-    static const Floorplan plan = makeGridFloorplan(16);
-    return plan;
+    static const Floorplan plan16 = makeGridFloorplan(16);
+    static const Floorplan plan64 = makeGridFloorplan(64);
+    return cores == 64 ? plan64 : plan16;
 }
 
 const RcNetwork &
-gridNetwork()
+gridNetwork(int cores = 16)
 {
-    static const RcNetwork net(gridPlan(), PackageParams::desktop());
-    return net;
+    // The 64-core mesh outsizes the desktop spreader, so fit the
+    // package to the die the same way ChipModel does.
+    static const RcNetwork net16(gridPlan(16),
+                                 PackageParams::desktop());
+    static const RcNetwork net64(
+        gridPlan(64),
+        PackageParams::desktop().fittedTo(gridPlan(64).chipArea()));
+    return cores == 64 ? net64 : net16;
 }
 
 void
 BM_GridZohStep(benchmark::State &state)
 {
-    // Full dense step on the 16-core synthetic grid (n = 428): the
-    // baseline BM_ReducedZohStep is measured against.
+    // Full dense step on the synthetic mesh: 16 cores (n = 428) is
+    // the baseline BM_ReducedZohStep is measured against; 64 cores
+    // (n = 1676) shows the dense wall the ROM auto-promotion exists
+    // to avoid.
+    const int cores = static_cast<int>(state.range(0));
     const double dt = 100000.0 / 3.6e9;
-    ZohPropagator solver(gridNetwork(), dt);
-    Vector powers(gridPlan().numBlocks(), 1.0);
+    ZohPropagator solver(gridNetwork(cores), dt);
+    Vector powers(gridPlan(cores).numBlocks(), 1.0);
     for (auto _ : state) {
         solver.step(powers, dt);
         benchmark::DoNotOptimize(solver.temperatures());
@@ -125,7 +136,7 @@ BM_GridZohStep(benchmark::State &state)
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_GridZohStep);
+BENCHMARK(BM_GridZohStep)->Arg(16)->Arg(64);
 
 void
 BM_ReducedZohStep(benchmark::State &state)
@@ -360,6 +371,38 @@ BENCHMARK(BM_RunManySweep)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
+
+void
+BM_MeshSweep(benchmark::State &state)
+{
+    // A run on the generated 16-core mesh through the FloorplanSpec
+    // axis: what a data-driven topology costs end-to-end relative to
+    // the hardcoded paper chip (BM_RunManySweep). The ChipModel for
+    // the mesh is built once and cached per spec hash, so iterations
+    // measure the 428-node simulation, not model assembly.
+    static Experiment *experiment = [] {
+        setDefaultLogLevel(LogLevel::Warn);
+        DtmConfig cfg;
+        cfg.duration = 0.01;
+        TraceBuilderConfig traceCfg;
+        traceCfg.numIntervals = 32;
+        traceCfg.sampledShare = 0.2;
+        traceCfg.warmupCycles = 50000;
+        traceCfg.cacheDir.clear();
+        return new Experiment(cfg, traceCfg);
+    }();
+
+    RunRequest request;
+    request.add(findWorkload("workload1"), baselinePolicy());
+    request.floorplan(meshSpec(16).toText());
+    for (auto _ : state) {
+        auto metrics = experiment->run(request);
+        benchmark::DoNotOptimize(metrics.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MeshSweep)->Unit(benchmark::kMillisecond);
 
 void
 BM_DtmRunObservability(benchmark::State &state)

@@ -4,15 +4,54 @@
 
 namespace coolcmp {
 
+namespace {
+
+/** Wrap a hand-built floorplan into a spec with homogeneous cores. */
+FloorplanSpec
+wrapFloorplan(const Floorplan &plan, const std::string &name)
+{
+    FloorplanSpec spec;
+    spec.name = name;
+    spec.layers = plan.numLayers();
+    spec.blocks = plan.blocks();
+    spec.cores.assign(static_cast<std::size_t>(plan.numCores()),
+                      CoreSpec{});
+    return spec;
+}
+
+/** Per-block leakage multipliers from the owning core's class. */
+std::vector<double>
+leakageScales(const FloorplanSpec &spec)
+{
+    std::vector<double> scales;
+    scales.reserve(spec.blocks.size());
+    for (const Block &blk : spec.blocks)
+        scales.push_back(
+            blk.core < 0
+                ? 1.0
+                : spec.cores[static_cast<std::size_t>(blk.core)]
+                      .leakageScale);
+    return scales;
+}
+
+} // namespace
+
 ChipModel::ChipModel(int numCores, const DtmConfig &config)
-    : ChipModel(makeCmpFloorplan(numCores), config)
+    : ChipModel(paperCmpSpec(numCores), config)
 {
 }
 
 ChipModel::ChipModel(Floorplan floorplan, const DtmConfig &config)
-    : floorplan_(std::move(floorplan)),
-      network_(floorplan_, config.package),
-      leakage_(floorplan_, config.leakage),
+    : ChipModel(wrapFloorplan(floorplan, "custom"), config)
+{
+}
+
+ChipModel::ChipModel(const FloorplanSpec &spec, const DtmConfig &config)
+    : spec_(spec), specText_(spec_.toText()), specHash_(spec_.hash()),
+      floorplan_(spec_.materialize()),
+      network_(floorplan_,
+               config.package.fittedTo(floorplan_.chipArea())),
+      leakage_(floorplan_, config.leakage, leakageScales(spec_)),
       stepSeconds_(config.stepSeconds()),
       disc_(ZohPropagator::makeDiscretization(network_, stepSeconds_)),
       l2Block_(floorplan_.indexOf(-1, UnitKind::L2))

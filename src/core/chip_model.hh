@@ -17,6 +17,7 @@
 #include "core/dtm_config.hh"
 #include "power/leakage.hh"
 #include "thermal/floorplan.hh"
+#include "thermal/floorplan_spec.hh"
 #include "thermal/rc_network.hh"
 #include "thermal/reduced.hh"
 #include "thermal/transient.hh"
@@ -34,13 +35,38 @@ class ChipModel
      */
     ChipModel(int numCores, const DtmConfig &config);
 
-    /** Build from an explicit floorplan (e.g. the mobile chip). */
+    /** Build from an explicit floorplan (e.g. the mobile chip);
+     *  wrapped into a spec with default (homogeneous) cores. */
     ChipModel(Floorplan floorplan, const DtmConfig &config);
+
+    /**
+     * Build from a data-driven spec: geometry and layers materialize
+     * into the RC network (with inter-layer coupling for stacked
+     * dies), per-core calibration feeds the power and leakage models.
+     * The spec must be valid (validate() first for wire input).
+     */
+    ChipModel(const FloorplanSpec &spec, const DtmConfig &config);
 
     int numCores() const { return floorplan_.numCores(); }
     const Floorplan &floorplan() const { return floorplan_; }
     const RcNetwork &network() const { return network_; }
     const LeakageModel &leakage() const { return leakage_; }
+
+    /** The spec this chip was built from. */
+    const FloorplanSpec &spec() const { return spec_; }
+
+    /** Per-core descriptor (class and calibration scales). */
+    const CoreSpec &coreSpec(int core) const
+    {
+        return spec_.cores.at(static_cast<std::size_t>(core));
+    }
+
+    /** Canonical spec text (what travels on the wire). */
+    const std::string &specText() const { return specText_; }
+
+    /** FNV-1a hash of the canonical spec text; configKey() mixes this
+     *  so caches and journals are keyed per chip topology. */
+    std::uint64_t specHash() const { return specHash_; }
 
     /** Shared exact-step discretization at config.stepSeconds(). */
     std::shared_ptr<const ZohDiscretization> discretization() const
@@ -77,6 +103,9 @@ class ChipModel
     std::size_t l2Block() const { return l2Block_; }
 
   private:
+    FloorplanSpec spec_; ///< declared before floorplan_: it feeds it
+    std::string specText_;
+    std::uint64_t specHash_;
     Floorplan floorplan_;
     RcNetwork network_;
     LeakageModel leakage_;

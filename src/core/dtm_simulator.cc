@@ -24,6 +24,14 @@ DtmSimulator::DtmSimulator(
 {
     if (traces.size() < static_cast<std::size_t>(chip_->numCores()))
         fatal("need at least one process per core");
+    const auto nc = static_cast<std::size_t>(chip_->numCores());
+    corePowerScale_.resize(nc);
+    coreFreqCap_.resize(nc);
+    for (std::size_t c = 0; c < nc; ++c) {
+        const CoreSpec &cs = chip_->coreSpec(static_cast<int>(c));
+        corePowerScale_[c] = cs.powerScale;
+        coreFreqCap_[c] = cs.maxFreqScale;
+    }
     // One tracer pointer on the config fans out to every layer: the
     // throttle bank and migration policy read config_.tracer directly;
     // the kernel gets it through its params.
@@ -71,10 +79,12 @@ DtmSimulator::averageBlockPowers() const
         // for every core (O(trace * cores) per job in sweeps).
         const PerUnit<double> avg =
             proc->trace().averageUnitPower();
+        const double ps =
+            corePowerScale_[static_cast<std::size_t>(c)];
         for (UnitKind kind : coreUnitKinds())
-            powers[chip_->blockOf(c, kind)] += avg[kind];
+            powers[chip_->blockOf(c, kind)] += avg[kind] * ps;
         powers[chip_->l2Block()] +=
-            std::max(0.0, avg[UnitKind::L2] - l2IdleWatts_);
+            std::max(0.0, avg[UnitKind::L2] - l2IdleWatts_) * ps;
     }
     return powers;
 }
@@ -207,7 +217,10 @@ DtmSimulator::gatherPowers()
     for (int c = 0; c < numCores; ++c) {
         const auto ci = static_cast<std::size_t>(c);
         Process *proc = kernel_->runningOn(c);
-        const double s = throttles_.freqScale(c);
+        // The spec's frequency cap is the core's DVFS ceiling: a
+        // little core at cap 0.6 executes and dissipates as if the
+        // chip-wide controller output were scaled by 0.6.
+        const double s = throttles_.freqScale(c) * coreFreqCap_[ci];
         const double blockedUntil = std::max(
             throttles_.unavailableUntil(c),
             kernel_->frozenUntil(c));
@@ -230,7 +243,7 @@ DtmSimulator::gatherPowers()
             // about power, not about work done.
             const double spike = injector_
                 ? injector_->powerScale(c, now) : 1.0;
-            const double w = s3 * avail * spike;
+            const double w = s3 * avail * spike * corePowerScale_[ci];
             for (UnitKind kind : coreUnitKinds())
                 rs.blockPowers[chip_->blockOf(c, kind)] +=
                     pt.power[kind] * w;
@@ -449,7 +462,8 @@ DtmSimulator::finishStep()
         sample.freqScale.resize(nc);
         for (int c = 0; c < numCores; ++c)
             sample.freqScale[static_cast<std::size_t>(c)] =
-                throttles_.freqScale(c);
+                throttles_.freqScale(c) *
+                coreFreqCap_[static_cast<std::size_t>(c)];
         sample.assignment = kernel_->assignment();
         sample.maxBlockTemp = hottestBlock;
         sample.blockTemp.resize(

@@ -117,6 +117,13 @@ class DtmSimulator
     std::unique_ptr<FaultInjector> injector_;
     double l2IdleWatts_;
 
+    // Per-core heterogeneity calibration from the chip's
+    // FloorplanSpec, cached out of the hot loop. All 1.0 on a
+    // homogeneous chip — an exact IEEE no-op, keeping the paper model
+    // bit-identical to the pre-spec code.
+    std::vector<double> corePowerScale_;
+    std::vector<double> coreFreqCap_;
+
     std::function<void(const StepSample &)> hook_;
     std::uint64_t hookStride_ = 1;
 

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <limits>
 #include <thread>
 
 #include "core/batch_runner.hh"
@@ -86,10 +87,21 @@ Experiment::makeSimulator(const Workload &workload,
                           const PolicyConfig &policy,
                           obs::Tracer *tracer, obs::Registry *registry)
 {
+    if (workload.benchmarks.empty())
+        fatal("workload '", workload.name, "' has no benchmarks");
+    // The simulator needs one process per core. The paper's mixes
+    // carry exactly four for the 4-core chip; on larger data-driven
+    // floorplans the list cycles across cores (workload7 on mesh16
+    // runs gzip on cores 0, 4, 8, 12, ...), which keeps every Table 4
+    // workload runnable on every topology.
+    const std::size_t processes =
+        std::max(workload.benchmarks.size(),
+                 static_cast<std::size_t>(chip_->numCores()));
     std::vector<std::shared_ptr<const PowerTrace>> traces;
-    traces.reserve(workload.benchmarks.size());
-    for (const auto &name : workload.benchmarks)
-        traces.push_back(trace(name));
+    traces.reserve(processes);
+    for (std::size_t i = 0; i < processes; ++i)
+        traces.push_back(
+            trace(workload.benchmarks[i % workload.benchmarks.size()]));
     DtmConfig config = config_;
     config.tracer = tracer;
     config.registry = registry;
@@ -279,7 +291,71 @@ Experiment::configKey() const
     // clean runs (and from each other).
     mixBytes(hash, &c.sensors.seed, sizeof(c.sensors.seed));
     c.faults.mixInto(hash);
+    // The chip topology: results computed on one floorplan must never
+    // satisfy a cache probe for another. The spec hash covers the
+    // geometry, the layer stack, and the per-core calibration.
+    const std::uint64_t spec = chip_->specHash();
+    mixBytes(hash, &spec, sizeof(spec));
     return hash;
+}
+
+std::shared_ptr<const ChipModel>
+Experiment::chipFor(const std::string &nameOrText)
+{
+    FloorplanSpec spec;
+    const std::string error = resolveFloorplanSpec(nameOrText, spec);
+    if (!error.empty())
+        fatal("invalid floorplan: ", error);
+    const std::string text = spec.toText();
+    std::lock_guard<std::mutex> lock(chipCacheMutex_);
+    auto &slot = chipCache_[text];
+    if (!slot)
+        slot = std::make_shared<const ChipModel>(spec, config_);
+    return slot;
+}
+
+Experiment::SavedEnvironment
+Experiment::applyRequestEnvironment(const SweepOptions &options)
+{
+    SavedEnvironment saved{config_.romTolerance, chip_, false};
+    if (!options.floorplan.empty())
+        chip_ = chipFor(options.floorplan);
+    if (options.romTolerance >= 0.0)
+        config_.romTolerance = options.romTolerance;
+    // Automatic reduced-order promotion: large floorplans cross from
+    // "dense exact step is cheap" to "dense exact step dominates the
+    // sweep", so chips above the node-count threshold default to the
+    // modal solver at a modest tolerance. An explicit request
+    // tolerance (even 0) or a configured one wins; COOLCMP_ROM_AUTO=0
+    // disables the promotion entirely.
+    if (config_.romTolerance == 0.0 && options.romTolerance < 0.0) {
+        const std::size_t threshold = envSizeT(
+            "COOLCMP_ROM_AUTO", 512, 0,
+            std::numeric_limits<std::size_t>::max());
+        if (threshold > 0 &&
+            chip_->network().numNodes() > threshold) {
+            config_.romTolerance = 0.1;
+            saved.romAuto = true;
+        }
+    }
+    return saved;
+}
+
+void
+Experiment::restoreEnvironment(const SavedEnvironment &saved)
+{
+    config_.romTolerance = saved.romTolerance;
+    chip_ = saved.chip;
+}
+
+std::uint64_t
+Experiment::effectiveConfigKey(const RunRequest &request)
+{
+    const SavedEnvironment saved =
+        applyRequestEnvironment(request.options());
+    const std::uint64_t key = configKey();
+    restoreEnvironment(saved);
+    return key;
 }
 
 RunMetrics
@@ -404,6 +480,14 @@ SweepOptions::validate() const
         return "maxAttempts must be >= 1";
     if (retryBackoffSeconds < 0.0)
         return "retryBackoffSeconds must be >= 0";
+    if (!floorplan.empty()) {
+        FloorplanSpec spec;
+        std::string error = resolveFloorplanSpec(floorplan, spec);
+        if (error.empty())
+            error = spec.validate();
+        if (!error.empty())
+            return "floorplan: " + error;
+    }
     return {};
 }
 
@@ -434,12 +518,12 @@ Experiment::run(const RunRequest &request)
     std::vector<RunMetrics> out(jobs.size());
     JobStatus status(jobs.size());
 
-    // Per-request reduced-order override: swapped into the config for
-    // the duration of the sweep so configKey(), the journal stamp,
-    // and the result cache all see the effective value.
-    const double savedRomTol = config_.romTolerance;
-    if (options.romTolerance >= 0.0)
-        config_.romTolerance = options.romTolerance;
+    // Per-request overrides (floorplan chip, reduced-order tolerance,
+    // and the automatic reduced-order promotion) are swapped into the
+    // experiment for the duration of the sweep so configKey(), the
+    // journal stamp, and the result cache all see the effective
+    // values.
+    const SavedEnvironment saved = applyRequestEnvironment(options);
 
     // Bracket the sweep with registry snapshots: the registry
     // accumulates across sweeps, so the run report is built from
@@ -478,9 +562,12 @@ Experiment::run(const RunRequest &request)
                             std::chrono::steady_clock::now() - wall0)
                             .count();
     buildRunReport(jobs, out, status, reg, before, wall);
+    lastReport_.floorplan = chip_->spec().name;
+    lastReport_.romTolerance = config_.romTolerance;
+    lastReport_.romAuto = saved.romAuto;
     if (!runReportPath_.empty())
         obs::writeRunReportJson(runReportPath_, lastReport_);
-    config_.romTolerance = savedRomTol;
+    restoreEnvironment(saved);
     return out;
 }
 

@@ -26,6 +26,7 @@
 #include "obs/run_report.hh"
 #include "obs/snapshot.hh"
 #include "power/trace_builder.hh"
+#include "thermal/floorplan_spec.hh"
 #include "workload/workloads.hh"
 
 namespace coolcmp::obs {
@@ -86,8 +87,22 @@ struct SweepOptions
      *  DtmConfig::romTolerance (0 forces the dense solver, > 0 the
      *  modal solver at that kelvin tolerance); the default -1
      *  inherits the experiment config. Part of the effective config,
-     *  so cached results key on it. */
+     *  so cached results key on it.
+     *
+     *  An explicit 0 also disables the automatic reduced-order
+     *  promotion of large floorplans (COOLCMP_ROM_AUTO); -1 leaves
+     *  the auto decision to the experiment. */
     double romTolerance = -1.0;
+
+    /**
+     * Chip description for this sweep: a registered generator name
+     * ("paper4", "mesh16", "biglittle4+4", "stacked3d2x16") or full
+     * FloorplanSpec text. Empty inherits the experiment's default
+     * chip (the paper's 4-core CMP). Part of the effective config —
+     * the spec hash feeds configKey(), so caches, journals, and the
+     * fleet protocol key per topology.
+     */
+    std::string floorplan;
 
     /** Empty when the options are coherent, else a diagnostic. */
     std::string validate() const;
@@ -181,6 +196,22 @@ class RunRequest
     RunRequest &reducedTolerance(double kelvin)
     {
         options_.romTolerance = kelvin;
+        return *this;
+    }
+
+    /** Run this sweep on the given chip description: a registered
+     *  generator name or full spec text (see
+     *  SweepOptions::floorplan). */
+    RunRequest &floorplan(std::string nameOrText)
+    {
+        options_.floorplan = std::move(nameOrText);
+        return *this;
+    }
+
+    /** Same, from a spec value (serialized to canonical text). */
+    RunRequest &floorplan(const FloorplanSpec &spec)
+    {
+        options_.floorplan = spec.toText();
         return *this;
     }
 
@@ -308,8 +339,28 @@ class Experiment
                              ".coolcmp-results");
 
     /** Hash of the full experiment configuration (including the
-     *  sensor model and the fault plan). */
+     *  sensor model, the fault plan, and the current chip's
+     *  floorplan spec). */
     std::uint64_t configKey() const;
+
+    /**
+     * The configKey a run(request) will execute under, after folding
+     * in the request's romTolerance / floorplan overrides and the
+     * automatic reduced-order decision. This is what journals, result
+     * caches, and the fleet coordinator must stamp so a worker
+     * replaying the request computes the same key. Fatal on an
+     * unresolvable floorplan (validate the request first).
+     */
+    std::uint64_t effectiveConfigKey(const RunRequest &request);
+
+    /**
+     * Shared ChipModel for a floorplan argument (generator name or
+     * spec text), memoized by canonical spec text so every sweep on
+     * one topology reuses one matrix exponential. Thread-safe; fatal
+     * on an invalid spec.
+     */
+    std::shared_ptr<const ChipModel>
+    chipFor(const std::string &nameOrText);
 
     /**
      * Execute a sweep: fan the request's jobs over a worker pool.
@@ -431,6 +482,23 @@ class Experiment
                         double wallSeconds);
 
     /**
+     * Swap the request's floorplan/romTolerance overrides into
+     * config_/chip_ (including the COOLCMP_ROM_AUTO promotion) and
+     * return the previous values for restoration. Shared by run()
+     * and effectiveConfigKey() so both see the same effective
+     * configuration.
+     */
+    struct SavedEnvironment
+    {
+        double romTolerance;
+        std::shared_ptr<const ChipModel> chip;
+        bool romAuto = false; ///< auto promotion fired (output)
+    };
+
+    SavedEnvironment applyRequestEnvironment(const SweepOptions &options);
+    void restoreEnvironment(const SavedEnvironment &saved);
+
+    /**
      * Per-benchmark trace memo. Futures make concurrent lookups safe
      * and build each trace exactly once: the first caller claims the
      * slot under the mutex and builds outside it while later callers
@@ -438,6 +506,10 @@ class Experiment
      */
     std::mutex tracesMutex_;
     std::map<std::string, TraceFuture> traces_;
+
+    /** Chip models per canonical spec text (see chipFor). */
+    std::mutex chipCacheMutex_;
+    std::map<std::string, std::shared_ptr<const ChipModel>> chipCache_;
 };
 
 /** Canonical 16-digit hex rendering of an Experiment::configKey()

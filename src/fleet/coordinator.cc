@@ -85,12 +85,15 @@ FleetCoordinator::FleetCoordinator(svc::WireSweep sweep,
       results_(sweep_.request.jobs().size())
 {
     // Fold a request-level rom_tolerance override into the config so
-    // the configKey served to workers is the effective one — exactly
-    // what Experiment::run() does before keying its journal.
+    // the profile served to workers carries the effective value, and
+    // key the sweep exactly as Experiment::run() would key its
+    // journal: effectiveConfigKey folds the request's floorplan and
+    // the automatic reduced-order decision on top.
     if (sweep_.request.options().romTolerance >= 0.0)
         config_.romTolerance = sweep_.request.options().romTolerance;
     Experiment experiment(config_, traceConfig_);
-    keyHex_ = configKeyHex(experiment.configKey());
+    keyHex_ =
+        configKeyHex(experiment.effectiveConfigKey(sweep_.request));
 
     // Render the sweep spec once: the job list (codec schema), the
     // effective engine profile a worker needs to rebuild the same
@@ -105,6 +108,8 @@ FleetCoordinator::FleetCoordinator(svc::WireSweep sweep,
     profile.set("sampled_share", traceConfig_.sampledShare);
     profile.set("warmup_cycles", traceConfig_.warmupCycles);
     profile.set("rom_tolerance", config_.romTolerance);
+    if (!sweep_.request.options().floorplan.empty())
+        profile.set("floorplan", sweep_.request.options().floorplan);
     doc.set("profile", std::move(profile));
     doc.set("sweep", svc::sweepRequestToJson(sweep_));
     sweepDoc_ = jsonToString(doc);
@@ -301,7 +306,10 @@ FleetCoordinator::handle(const HttpRequest &request)
             return handleHealth();
         if (request.path == "/metrics" || request.path == "/")
             return handleMetrics();
-        if (request.path == "/v1/sweep")
+        // Canonical plural (matching the daemon's POST /v1/sweeps);
+        // the singular survives as a deprecated alias for workers
+        // built before the rename.
+        if (request.path == "/v1/sweeps" || request.path == "/v1/sweep")
             return handleSweepSpec();
         if (request.path == "/v1/status")
             return handleStatus();

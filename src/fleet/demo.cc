@@ -22,6 +22,7 @@ demoSweep(std::size_t n)
         // "benchmarks" array, so a parsed round-trip of this sweep
         // is identical to the constructed one.
         std::string name = "custom";
+        job.workload.benchmarks.resize(4);
         for (std::size_t k = 0; k < job.workload.benchmarks.size();
              ++k) {
             const std::size_t pick =

@@ -88,12 +88,13 @@ FleetWorker::run()
     // --- Fetch and decode the sweep spec. ---
     const double fetchStartUs = obs::SpanCollector::nowUs();
     HttpResponse response;
-    if (!exchange(client, options, "GET", "/v1/sweep", "", response) ||
+    if (!exchange(client, options, "GET", "/v1/sweeps", "",
+                  response) ||
         response.status != 200) {
         warn("fleet worker ", options.name,
-             ": cannot fetch /v1/sweep from ", options.host, ":",
+             ": cannot fetch /v1/sweeps from ", options.host, ":",
              options.port);
-        flight.note("fatal", "cannot fetch /v1/sweep");
+        flight.note("fatal", "cannot fetch /v1/sweeps");
         return 1;
     }
     JsonValue spec;
@@ -117,6 +118,15 @@ FleetWorker::run()
     if (!decodeError.empty()) {
         warn("fleet worker ", options.name,
              ": cannot decode sweep: ", decodeError);
+        return 1;
+    }
+    if (const std::string invalid = sweep.request.validate();
+        !invalid.empty()) {
+        // Validate before effectiveConfigKey: an unresolvable
+        // floorplan must be a clean exit, not a fatal().
+        warn("fleet worker ", options.name,
+             ": served sweep is invalid: ", invalid);
+        flight.note("fatal", "invalid sweep: " + invalid);
         return 1;
     }
 
@@ -149,7 +159,11 @@ FleetWorker::run()
     config.registry = &registry_;
 
     Experiment experiment(config, traceConfig);
-    const std::string localKey = configKeyHex(experiment.configKey());
+    // Key the sweep the way the coordinator (and an in-process run)
+    // does: fold the request's floorplan/rom overrides and the
+    // automatic reduced-order decision into the key.
+    const std::string localKey =
+        configKeyHex(experiment.effectiveConfigKey(sweep.request));
     if (localKey != keyField->asString()) {
         // Constants drifted between the binaries (or env overrides
         // differ): refusing is what keeps fleet results bit-exact.

@@ -89,6 +89,12 @@ writeRunReportJson(std::ostream &out, const RunReport &report)
     out << "  \"sweep\": \"" << jsonEscape(report.sweepName) << "\",\n";
     out << "  \"config_key\": \"" << jsonEscape(report.configKey)
         << "\",\n";
+    out << "  \"floorplan\": \"" << jsonEscape(report.floorplan)
+        << "\",\n";
+    out << "  \"rom_tolerance\": " << jsonNumber(report.romTolerance)
+        << ",\n";
+    out << "  \"rom_auto\": " << (report.romAuto ? "true" : "false")
+        << ",\n";
     out << "  \"jobs\": " << report.jobs << ",\n";
     out << "  \"cached_jobs\": " << report.cachedJobs << ",\n";
     out << "  \"resumed_jobs\": " << report.resumedJobs << ",\n";

@@ -37,6 +37,16 @@ struct RunReport
     /** Hex Experiment::configKey() the sweep ran under. */
     std::string configKey;
 
+    /** Floorplan spec name the sweep's chip was built from. */
+    std::string floorplan;
+
+    /** Effective reduced-order tolerance (K): 0 = dense solver. */
+    double romTolerance = 0.0;
+
+    /** True when the tolerance was picked automatically because the
+     *  chip crossed the COOLCMP_ROM_AUTO node-count threshold. */
+    bool romAuto = false;
+
     std::size_t jobs = 0;
     std::size_t cachedJobs = 0;
 

@@ -16,11 +16,17 @@ LeakageParams::mobile()
 }
 
 LeakageModel::LeakageModel(const Floorplan &floorplan,
-                           const LeakageParams &params)
-    : params_(params)
+                           const LeakageParams &params,
+                           std::vector<double> blockScales)
+    : params_(params), scales_(std::move(blockScales))
 {
     if (params_.densityAtRef < 0.0)
         fatal("leakage density must be non-negative");
+    if (!scales_.empty() && scales_.size() != floorplan.numBlocks())
+        fatal("leakage block scale vector size mismatch");
+    for (double s : scales_)
+        if (s < 0.0)
+            fatal("leakage block scales must be non-negative");
     areas_.reserve(floorplan.numBlocks());
     for (const auto &blk : floorplan.blocks())
         areas_.push_back(blk.area());
@@ -30,7 +36,9 @@ double
 LeakageModel::blockLeakage(std::size_t block, double tempC,
                            double vdd) const
 {
-    const double base = params_.densityAtRef * areas_.at(block);
+    double base = params_.densityAtRef * areas_.at(block);
+    if (!scales_.empty())
+        base *= scales_.at(block);
     const double vddScale = vdd / params_.nominalVdd;
     return base * vddScale *
         std::exp(params_.beta * (tempC - params_.refTemp));

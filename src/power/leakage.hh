@@ -42,7 +42,14 @@ struct LeakageParams
 class LeakageModel
 {
   public:
-    LeakageModel(const Floorplan &floorplan, const LeakageParams &params);
+    /**
+     * @param blockScales optional per-block leakage multiplier (core
+     * class calibration from a FloorplanSpec); empty means 1.0
+     * everywhere. A scale of exactly 1.0 is an IEEE no-op, so a
+     * homogeneous spec leaks bit-identically to the unscaled model.
+     */
+    LeakageModel(const Floorplan &floorplan, const LeakageParams &params,
+                 std::vector<double> blockScales = {});
 
     /**
      * Leakage power of block b at temperature tempC and supply vdd.
@@ -69,6 +76,7 @@ class LeakageModel
   private:
     LeakageParams params_;
     std::vector<double> areas_;
+    std::vector<double> scales_; ///< empty == all 1.0
 };
 
 } // namespace coolcmp

@@ -91,13 +91,12 @@ parseJob(const JsonValue &node, std::size_t index, RunJob &out)
                 workload->asString() + "'";
         out.workload = *found;
     } else if (benchmarks) {
-        if (!benchmarks->isArray() ||
-            benchmarks->items().size() !=
-                out.workload.benchmarks.size())
-            return where + ".benchmarks must be an array of " +
-                std::to_string(out.workload.benchmarks.size()) +
-                " names";
+        if (!benchmarks->isArray() || benchmarks->items().empty() ||
+            benchmarks->items().size() > 64)
+            return where +
+                ".benchmarks must be an array of 1..64 names";
         std::string name = "custom";
+        out.workload.benchmarks.resize(benchmarks->items().size());
         for (std::size_t i = 0; i < benchmarks->items().size(); ++i) {
             const JsonValue &b = benchmarks->items()[i];
             if (!b.isString() || !profileExists(b.asString()))
@@ -152,6 +151,13 @@ parseOptions(const JsonValue &node, SweepOptions &out)
     if (!(error = number("rom_tolerance", out.romTolerance, false))
              .empty())
         return error;
+    if (const JsonValue *v = node.find("floorplan")) {
+        if (!v->isString())
+            return "options.floorplan must be a string";
+        if (v->asString().size() > 65536)
+            return "options.floorplan is too large";
+        out.floorplan = v->asString();
+    }
     if (threads < 0 || threads > 64)
         return "options.threads must be in [0, 64]";
     out.threads = static_cast<std::size_t>(threads);
@@ -170,6 +176,15 @@ parseSweepRequest(const JsonValue &root, WireSweep &out)
     out = WireSweep{};
     if (!root.isObject())
         return "request body must be a JSON object";
+    if (const JsonValue *v = root.find("schema_version")) {
+        // Absent means v1 (bodies predate versioning); 1 and 2 are
+        // understood; anything else is a distinct, retryable-after-
+        // upgrade failure the daemon maps to bad_schema_version.
+        if (!v->isNumber() ||
+            v->asDouble() != std::floor(v->asDouble()) ||
+            (v->asDouble() != 1.0 && v->asDouble() != 2.0))
+            return "unsupported schema_version (want 1 or 2)";
+    }
     if (const JsonValue *v = root.find("client")) {
         if (!v->isString() || v->asString().empty())
             return "client must be a non-empty string";
@@ -233,6 +248,7 @@ JsonValue
 sweepRequestToJson(const WireSweep &sweep)
 {
     JsonValue root = JsonValue::object();
+    root.set("schema_version", 2);
     root.set("client", sweep.client);
     root.set("priority", sweep.priority);
     JsonValue jobs = JsonValue::array();
@@ -264,6 +280,8 @@ sweepRequestToJson(const WireSweep &sweep)
     opts.set("max_attempts", options.maxAttempts);
     opts.set("backoff_s", options.retryBackoffSeconds);
     opts.set("rom_tolerance", options.romTolerance);
+    if (!options.floorplan.empty())
+        opts.set("floorplan", options.floorplan);
     root.set("options", std::move(opts));
     return root;
 }

@@ -46,19 +46,28 @@ struct WireSweep
  * Decode a parsed JSON document into a WireSweep. Schema:
  *
  *   {
+ *     "schema_version": 2,             // optional; absent means 1
  *     "client": "tenant-a",            // optional
  *     "priority": 1,                   // optional, higher runs first
  *     "jobs": [
  *       {"workload": "workload7",      // Table 4 name, or instead:
- *        "benchmarks": ["gzip", ...],  // 4 SPEC2000 names
+ *        "benchmarks": ["gzip", ...],  // 1..64 SPEC2000 names
  *        "policy": {"mechanism": "dvfs" | "stop-go",
  *                   "scope": "distributed" | "global",
  *                   "migration": "none" | "counter" | "sensor"}}
  *     ],
  *     "options": {"threads": 2, "timeout_s": 30.0,
  *                 "max_attempts": 2, "backoff_s": 0.05,
- *                 "rom_tolerance": -1}          // all optional
+ *                 "rom_tolerance": -1,
+ *                 "floorplan": "mesh16"}        // all optional
  *   }
+ *
+ * "floorplan" is a generator name (paper4, mesh16, mesh64,
+ * biglittle4+4, stacked3d2x16) or inline FloorplanSpec text; it is
+ * validated semantically by SweepOptions::validate(), not here. A
+ * schema_version the decoder does not understand is rejected with a
+ * message starting "unsupported schema_version", which the daemon
+ * maps to the bad_schema_version error code.
  *
  * Unknown keys are ignored (forward compatibility). Lookups are
  * non-fatal: an unknown workload, benchmark, or enum token is a

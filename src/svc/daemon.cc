@@ -289,7 +289,13 @@ SweepServiceDaemon::handleSubmit(const HttpRequest &request)
     const std::string decodeError = parseSweepRequest(root, sweep);
     if (!decodeError.empty()) {
         registry_.counter("svc.jobs.rejected").add();
-        return errorResponse(400, "bad_request", decodeError);
+        // A version mismatch is actionable by upgrading the client,
+        // unlike a malformed body, so it gets its own error code.
+        const bool badVersion =
+            decodeError.rfind("unsupported schema_version", 0) == 0;
+        return errorResponse(
+            400, badVersion ? "bad_schema_version" : "bad_request",
+            decodeError);
     }
 
     // Client identity: explicit body field, else the X-Client-Id

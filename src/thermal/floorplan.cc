@@ -49,6 +49,7 @@ Floorplan::Floorplan(std::vector<Block> blocks, int numCores)
     for (const auto &blk : blocks_) {
         chipWidth_ = std::max(chipWidth_, blk.right());
         chipHeight_ = std::max(chipHeight_, blk.top());
+        numLayers_ = std::max(numLayers_, blk.layer + 1);
     }
     validate();
     computeAdjacency();
@@ -58,16 +59,28 @@ void
 Floorplan::validate() const
 {
     std::set<std::string> names;
+    std::vector<char> layerSeen(
+        static_cast<std::size_t>(numLayers_), 0);
     for (const auto &blk : blocks_) {
         if (blk.width <= 0.0 || blk.height <= 0.0)
             fatal("block ", blk.name, " has non-positive dimensions");
+        if (blk.layer < 0)
+            fatal("block ", blk.name, " has a negative layer");
         if (!names.insert(blk.name).second)
             fatal("duplicate block name ", blk.name);
+        layerSeen[static_cast<std::size_t>(blk.layer)] = 1;
     }
+    // Every layer of the stack must hold silicon: a gap would leave
+    // the layers above it floating with no conduction path down.
+    for (int l = 0; l < numLayers_; ++l)
+        if (!layerSeen[static_cast<std::size_t>(l)])
+            fatal("floorplan has no blocks on layer ", l);
     for (std::size_t i = 0; i < blocks_.size(); ++i) {
         for (std::size_t j = i + 1; j < blocks_.size(); ++j) {
             const Block &a = blocks_[i];
             const Block &b = blocks_[j];
+            if (a.layer != b.layer)
+                continue;
             const double ox =
                 overlapLength(a.x, a.right(), b.x, b.right());
             const double oy = overlapLength(a.y, a.top(), b.y, b.top());
@@ -82,9 +95,26 @@ Floorplan::computeAdjacency()
 {
     for (std::size_t i = 0; i < blocks_.size(); ++i) {
         for (std::size_t j = i + 1; j < blocks_.size(); ++j) {
-            const double len = sharedEdgeLength(blocks_[i], blocks_[j]);
-            if (len > geomEps)
-                adj_.push_back({i, j, len});
+            const Block &a = blocks_[i];
+            const Block &b = blocks_[j];
+            if (a.layer == b.layer) {
+                const double len = sharedEdgeLength(a, b);
+                if (len > geomEps)
+                    adj_.push_back({i, j, len});
+                continue;
+            }
+            // Vertical overlap across adjacent layers couples through
+            // the inter-layer bond in the thermal network.
+            if (a.layer + 1 != b.layer && b.layer + 1 != a.layer)
+                continue;
+            const double ox =
+                overlapLength(a.x, a.right(), b.x, b.right());
+            const double oy = overlapLength(a.y, a.top(), b.y, b.top());
+            if (ox > geomEps && oy > geomEps) {
+                const bool aLower = a.layer < b.layer;
+                stacked_.push_back(
+                    {aLower ? i : j, aLower ? j : i, ox * oy});
+            }
         }
     }
 }
@@ -126,18 +156,16 @@ Floorplan::coveredArea() const
     return sum;
 }
 
-namespace {
-
-/** Append the 13 unit blocks of one core at origin (cx, cy). */
 void
 appendCoreBlocks(std::vector<Block> &out, int core, double cx, double cy,
-                 double w, double h)
+                 double w, double h, int layer)
 {
     const std::string prefix = "core" + std::to_string(core) + ".";
     auto add = [&](UnitKind kind, double fx, double fy, double fw,
                    double fh) {
         out.push_back({prefix + unitKindName(kind), kind, core,
-                       cx + fx * w, cy + fy * h, fw * w, fh * h});
+                       cx + fx * w, cy + fy * h, fw * w, fh * h,
+                       layer});
     };
 
     // Bottom row: L1 caches.
@@ -157,6 +185,8 @@ appendCoreBlocks(std::vector<Block> &out, int core, double cx, double cy,
     add(UnitKind::FPU, 0.61, 0.70, 0.27, 0.30);
     add(UnitKind::Other, 0.88, 0.70, 0.12, 0.30);
 }
+
+namespace {
 
 Floorplan
 buildCmp(int numCores, double coreWidth, double coreHeight,

@@ -30,6 +30,7 @@ struct Block
     double y;           ///< bottom edge
     double width;
     double height;
+    int layer = 0;      ///< die layer, 0 = bonded to the package
 
     double area() const { return width * height; }
     double right() const { return x + width; }
@@ -64,7 +65,8 @@ class Floorplan
     /** True if a block exists for (core, kind). */
     bool has(int core, UnitKind kind) const;
 
-    /** Adjacent block pairs (i < j) with their shared edge length. */
+    /** Adjacent same-layer block pairs (i < j) with their shared edge
+     *  length. */
     struct Adjacency
     {
         std::size_t a;
@@ -73,6 +75,23 @@ class Floorplan
     };
 
     const std::vector<Adjacency> &adjacencies() const { return adj_; }
+
+    /** Number of stacked die layers (max block layer + 1). */
+    int numLayers() const { return numLayers_; }
+
+    /** Vertically overlapping block pairs on adjacent layers; the
+     *  thermal network couples them through the inter-layer bond. */
+    struct StackedPair
+    {
+        std::size_t lower; ///< block on layer L
+        std::size_t upper; ///< block on layer L + 1
+        double overlapArea;
+    };
+
+    const std::vector<StackedPair> &stackedPairs() const
+    {
+        return stacked_;
+    }
 
     /** Bounding box of the whole plan. */
     double chipWidth() const { return chipWidth_; }
@@ -85,13 +104,22 @@ class Floorplan
   private:
     std::vector<Block> blocks_;
     int numCores_;
+    int numLayers_ = 1;
     std::vector<Adjacency> adj_;
+    std::vector<StackedPair> stacked_;
     double chipWidth_ = 0.0;
     double chipHeight_ = 0.0;
 
     void validate() const;
     void computeAdjacency();
 };
+
+/** Append the 13 unit blocks of one core at origin (cx, cy) on the
+ *  given layer. Shared by the stock floorplans and the FloorplanSpec
+ *  generators, so a spec-built paper chip is double-for-double
+ *  identical to the hardcoded one. */
+void appendCoreBlocks(std::vector<Block> &out, int core, double cx,
+                      double cy, double w, double h, int layer = 0);
 
 /**
  * The paper's 4-core CMP floorplan: cores in a 2x2 grid above a shared

@@ -1,0 +1,669 @@
+#include "thermal/floorplan_spec.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace coolcmp {
+
+namespace {
+
+/** Render a double so that parse(render(v)) == v exactly. */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+bool
+parseDoubleToken(const std::string &tok, double &out)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(tok.c_str(), &end);
+    return end == tok.c_str() + tok.size() && std::isfinite(out);
+}
+
+bool
+parseIntToken(const std::string &tok, long &out)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtol(tok.c_str(), &end, 10);
+    return end == tok.c_str() + tok.size();
+}
+
+bool
+unitKindFromName(const std::string &name, UnitKind &out)
+{
+    for (std::size_t k = 0; k < numUnitKinds; ++k) {
+        const auto kind = static_cast<UnitKind>(k);
+        if (unitKindName(kind) == name) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+hasWhitespace(const std::string &s)
+{
+    for (char c : s)
+        if (std::isspace(static_cast<unsigned char>(c)))
+            return true;
+    return s.empty();
+}
+
+double
+overlap1d(double lo1, double hi1, double lo2, double hi2)
+{
+    return std::max(0.0, std::min(hi1, hi2) - std::max(lo1, lo2));
+}
+
+constexpr double geomEps = 1e-9;
+
+/** Where a validation issue anchors, so the parser can attach the
+ *  byte offset of the offending directive. */
+struct Issue
+{
+    std::string message;              ///< empty == spec is valid
+    std::ptrdiff_t block = -1;        ///< index into blocks, or -1
+    std::ptrdiff_t core = -1;         ///< index into cores, or -1
+};
+
+Issue
+findIssue(const FloorplanSpec &spec)
+{
+    if (hasWhitespace(spec.name))
+        return {"floorplan name must be one non-empty word"};
+    if (spec.layers < 1)
+        return {"spec must declare at least one layer"};
+    if (spec.bondResistivity <= 0.0)
+        return {"bond_resistivity must be positive"};
+    if (spec.cores.empty())
+        return {"spec declares no cores"};
+    if (spec.blocks.empty())
+        return {"spec declares no blocks"};
+
+    for (std::size_t c = 0; c < spec.cores.size(); ++c) {
+        const CoreSpec &cs = spec.cores[c];
+        const auto idx = static_cast<std::ptrdiff_t>(c);
+        if (hasWhitespace(cs.cls))
+            return {"core class must be one non-empty word", -1, idx};
+        if (!(cs.powerScale > 0.0))
+            return {"core " + std::to_string(c) +
+                        " power scale must be positive",
+                    -1, idx};
+        if (!(cs.maxFreqScale > 0.0) || cs.maxFreqScale > 1.0)
+            return {"core " + std::to_string(c) +
+                        " freq scale must be in (0, 1]",
+                    -1, idx};
+        if (cs.leakageScale < 0.0)
+            return {"core " + std::to_string(c) +
+                        " leakage scale must be non-negative",
+                    -1, idx};
+    }
+
+    const int numCores = spec.numCores();
+    std::set<std::string> names;
+    std::vector<char> layerSeen(
+        static_cast<std::size_t>(spec.layers), 0);
+    std::ptrdiff_t l2Block = -1;
+    for (std::size_t i = 0; i < spec.blocks.size(); ++i) {
+        const Block &blk = spec.blocks[i];
+        const auto idx = static_cast<std::ptrdiff_t>(i);
+        if (hasWhitespace(blk.name))
+            return {"block name must be one non-empty word", idx};
+        if (blk.width <= 0.0 || blk.height <= 0.0)
+            return {"block " + blk.name + " has zero or negative area",
+                    idx};
+        if (blk.x < 0.0 || blk.y < 0.0)
+            return {"block " + blk.name +
+                        " extends below the chip origin",
+                    idx};
+        if (blk.layer < 0 || blk.layer >= spec.layers)
+            return {"block " + blk.name + " sits on layer " +
+                        std::to_string(blk.layer) + " but the spec " +
+                        "declares " + std::to_string(spec.layers) +
+                        " layer(s)",
+                    idx};
+        if (blk.core < -1 || blk.core >= numCores)
+            return {"block " + blk.name + " references core " +
+                        std::to_string(blk.core) + " but the spec " +
+                        "declares " + std::to_string(numCores) +
+                        " core(s)",
+                    idx};
+        if (!names.insert(blk.name).second)
+            return {"duplicate block name " + blk.name, idx};
+        layerSeen[static_cast<std::size_t>(blk.layer)] = 1;
+        if (blk.kind == UnitKind::L2 && blk.core == -1) {
+            if (l2Block >= 0)
+                return {"more than one shared L2 block", idx};
+            l2Block = idx;
+        }
+    }
+    if (l2Block < 0)
+        return {"spec needs exactly one shared L2 block (core -1)"};
+    for (int l = 0; l < spec.layers; ++l)
+        if (!layerSeen[static_cast<std::size_t>(l)])
+            return {"floorplan has no blocks on layer " +
+                    std::to_string(l)};
+
+    for (std::size_t i = 0; i < spec.blocks.size(); ++i) {
+        for (std::size_t j = i + 1; j < spec.blocks.size(); ++j) {
+            const Block &a = spec.blocks[i];
+            const Block &b = spec.blocks[j];
+            if (a.layer != b.layer)
+                continue;
+            const double ox =
+                overlap1d(a.x, a.right(), b.x, b.right());
+            const double oy = overlap1d(a.y, a.top(), b.y, b.top());
+            if (ox > geomEps && oy > geomEps)
+                return {"blocks " + a.name + " and " + b.name +
+                            " overlap",
+                        static_cast<std::ptrdiff_t>(j)};
+        }
+    }
+
+    // Upper-layer blocks must conduct somewhere: each needs vertical
+    // overlap with the layer below, or its heat has no path to the
+    // package and the conductance matrix goes singular.
+    for (std::size_t i = 0; i < spec.blocks.size(); ++i) {
+        const Block &a = spec.blocks[i];
+        if (a.layer == 0)
+            continue;
+        bool coupled = false;
+        for (std::size_t j = 0; j < spec.blocks.size() && !coupled;
+             ++j) {
+            const Block &b = spec.blocks[j];
+            if (b.layer != a.layer - 1)
+                continue;
+            coupled = overlap1d(a.x, a.right(), b.x, b.right()) >
+                          geomEps &&
+                      overlap1d(a.y, a.top(), b.y, b.top()) > geomEps;
+        }
+        if (!coupled)
+            return {"block " + a.name + " on layer " +
+                        std::to_string(a.layer) +
+                        " has no vertical overlap with layer " +
+                        std::to_string(a.layer - 1),
+                    static_cast<std::ptrdiff_t>(i)};
+    }
+
+    // The simulator drives every unit of every core: a core missing a
+    // unit block would be a fatal lookup at run time, so reject here.
+    for (int c = 0; c < numCores; ++c) {
+        std::array<char, numCoreUnitKinds> seen{};
+        for (const Block &blk : spec.blocks)
+            if (blk.core == c &&
+                static_cast<std::size_t>(blk.kind) < numCoreUnitKinds)
+                seen[static_cast<std::size_t>(blk.kind)] = 1;
+        for (std::size_t k = 0; k < numCoreUnitKinds; ++k)
+            if (!seen[k])
+                return {"core " + std::to_string(c) +
+                            " is missing a " +
+                            unitKindName(static_cast<UnitKind>(k)) +
+                            " block",
+                        -1, c};
+    }
+    return {};
+}
+
+struct Token
+{
+    std::string text;
+    std::size_t offset; ///< byte offset into the full spec text
+};
+
+std::vector<Token>
+tokenizeLine(const std::string &text, std::size_t begin,
+             std::size_t end)
+{
+    std::vector<Token> toks;
+    std::size_t i = begin;
+    while (i < end) {
+        while (i < end &&
+               std::isspace(static_cast<unsigned char>(text[i])))
+            ++i;
+        if (i >= end)
+            break;
+        const std::size_t start = i;
+        while (i < end &&
+               !std::isspace(static_cast<unsigned char>(text[i])))
+            ++i;
+        toks.push_back({text.substr(start, i - start), start});
+    }
+    return toks;
+}
+
+std::string
+posError(std::size_t offset, const std::string &message)
+{
+    return "byte " + std::to_string(offset) + ": " + message;
+}
+
+/** Consume a `key value` pair at toks[i..i+1]; on success stores the
+ *  value token index in valueIdx and advances i. */
+std::string
+expectPair(const std::vector<Token> &toks, std::size_t &i,
+           const char *key, std::size_t &valueIdx)
+{
+    if (i >= toks.size() || toks[i].text != key)
+        return posError(i < toks.size() ? toks[i].offset
+                                        : toks.back().offset,
+                        std::string("expected '") + key + "'");
+    if (i + 1 >= toks.size())
+        return posError(toks[i].offset,
+                        std::string("'") + key + "' needs a value");
+    valueIdx = i + 1;
+    i += 2;
+    return {};
+}
+
+} // namespace
+
+std::string
+FloorplanSpec::validate() const
+{
+    return findIssue(*this).message;
+}
+
+std::string
+FloorplanSpec::toText() const
+{
+    std::ostringstream os;
+    os << "floorplan " << name << "\n";
+    os << "layers " << layers << "\n";
+    os << "bond_resistivity " << formatDouble(bondResistivity) << "\n";
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+        const CoreSpec &cs = cores[c];
+        os << "core " << c << " class " << cs.cls << " power "
+           << formatDouble(cs.powerScale) << " freq "
+           << formatDouble(cs.maxFreqScale) << " leakage "
+           << formatDouble(cs.leakageScale) << "\n";
+    }
+    for (const Block &blk : blocks) {
+        os << "block " << blk.name << " kind "
+           << unitKindName(blk.kind) << " core " << blk.core
+           << " layer " << blk.layer << " x " << formatDouble(blk.x)
+           << " y " << formatDouble(blk.y) << " w "
+           << formatDouble(blk.width) << " h "
+           << formatDouble(blk.height) << "\n";
+    }
+    return os.str();
+}
+
+std::uint64_t
+FloorplanSpec::hash() const
+{
+    // FNV-1a over the canonical text: identical specs hash identically
+    // no matter whether they came from a generator or the parser.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char byte : toText()) {
+        h ^= byte;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+Floorplan
+FloorplanSpec::materialize() const
+{
+    const std::string problem = validate();
+    if (!problem.empty())
+        fatal("invalid floorplan spec '", name, "': ", problem);
+    return Floorplan(blocks, numCores());
+}
+
+std::string
+parseFloorplanSpec(const std::string &text, FloorplanSpec &out)
+{
+    FloorplanSpec spec;
+    spec.name.clear();
+    bool sawName = false;
+    // Byte offset of the directive that declared each core / block,
+    // so semantic errors can point at their source line.
+    std::vector<std::size_t> coreOffsets;
+    std::vector<std::size_t> blockOffsets;
+
+    std::size_t lineStart = 0;
+    while (lineStart <= text.size()) {
+        std::size_t lineEnd = text.find('\n', lineStart);
+        if (lineEnd == std::string::npos)
+            lineEnd = text.size();
+        std::size_t effectiveEnd = lineEnd;
+        const std::size_t hash = text.find('#', lineStart);
+        if (hash != std::string::npos && hash < lineEnd)
+            effectiveEnd = hash;
+        const auto toks = tokenizeLine(text, lineStart, effectiveEnd);
+        const std::size_t nextLine = lineEnd + 1;
+        if (toks.empty()) {
+            if (lineEnd == text.size())
+                break;
+            lineStart = nextLine;
+            continue;
+        }
+
+        const Token &head = toks[0];
+        if (head.text == "floorplan") {
+            if (sawName)
+                return posError(head.offset,
+                                "duplicate 'floorplan' directive");
+            if (toks.size() != 2)
+                return posError(head.offset,
+                                "'floorplan' takes exactly one name");
+            spec.name = toks[1].text;
+            sawName = true;
+        } else if (head.text == "layers") {
+            long v = 0;
+            if (toks.size() != 2 || !parseIntToken(toks[1].text, v) ||
+                v < 1 || v > 64)
+                return posError(head.offset,
+                                "'layers' needs an integer in "
+                                "[1, 64]");
+            spec.layers = static_cast<int>(v);
+        } else if (head.text == "bond_resistivity") {
+            double v = 0.0;
+            if (toks.size() != 2 ||
+                !parseDoubleToken(toks[1].text, v) || v <= 0.0)
+                return posError(head.offset,
+                                "'bond_resistivity' needs a positive "
+                                "number");
+            spec.bondResistivity = v;
+        } else if (head.text == "core") {
+            long idx = 0;
+            if (toks.size() < 2 || !parseIntToken(toks[1].text, idx))
+                return posError(head.offset,
+                                "'core' needs an index");
+            if (idx !=
+                static_cast<long>(spec.cores.size()))
+                return posError(toks[1].offset,
+                                "core indices must be sequential "
+                                "from 0 (expected " +
+                                    std::to_string(spec.cores.size()) +
+                                    ")");
+            CoreSpec cs;
+            std::size_t i = 2, v = 0;
+            std::string err;
+            if (!(err = expectPair(toks, i, "class", v)).empty())
+                return err;
+            cs.cls = toks[v].text;
+            if (!(err = expectPair(toks, i, "power", v)).empty())
+                return err;
+            if (!parseDoubleToken(toks[v].text, cs.powerScale))
+                return posError(toks[v].offset, "bad power scale");
+            if (!(err = expectPair(toks, i, "freq", v)).empty())
+                return err;
+            if (!parseDoubleToken(toks[v].text, cs.maxFreqScale))
+                return posError(toks[v].offset, "bad freq scale");
+            if (!(err = expectPair(toks, i, "leakage", v)).empty())
+                return err;
+            if (!parseDoubleToken(toks[v].text, cs.leakageScale))
+                return posError(toks[v].offset, "bad leakage scale");
+            if (i != toks.size())
+                return posError(toks[i].offset,
+                                "trailing tokens after core "
+                                "directive");
+            spec.cores.push_back(cs);
+            coreOffsets.push_back(head.offset);
+        } else if (head.text == "block") {
+            if (toks.size() < 2)
+                return posError(head.offset, "'block' needs a name");
+            Block blk{};
+            blk.name = toks[1].text;
+            std::size_t i = 2, v = 0;
+            std::string err;
+            if (!(err = expectPair(toks, i, "kind", v)).empty())
+                return err;
+            if (!unitKindFromName(toks[v].text, blk.kind) ||
+                blk.kind == UnitKind::NumKinds)
+                return posError(toks[v].offset,
+                                "unknown unit kind '" + toks[v].text +
+                                    "'");
+            long iv = 0;
+            if (!(err = expectPair(toks, i, "core", v)).empty())
+                return err;
+            if (!parseIntToken(toks[v].text, iv))
+                return posError(toks[v].offset, "bad core index");
+            blk.core = static_cast<int>(iv);
+            if (!(err = expectPair(toks, i, "layer", v)).empty())
+                return err;
+            if (!parseIntToken(toks[v].text, iv))
+                return posError(toks[v].offset, "bad layer");
+            blk.layer = static_cast<int>(iv);
+            struct Field
+            {
+                const char *key;
+                double *dst;
+            } fields[] = {{"x", &blk.x},
+                          {"y", &blk.y},
+                          {"w", &blk.width},
+                          {"h", &blk.height}};
+            for (const Field &f : fields) {
+                if (!(err = expectPair(toks, i, f.key, v)).empty())
+                    return err;
+                if (!parseDoubleToken(toks[v].text, *f.dst))
+                    return posError(toks[v].offset,
+                                    std::string("bad ") + f.key +
+                                        " coordinate");
+            }
+            if (i != toks.size())
+                return posError(toks[i].offset,
+                                "trailing tokens after block "
+                                "directive");
+            spec.blocks.push_back(std::move(blk));
+            blockOffsets.push_back(head.offset);
+        } else {
+            return posError(head.offset,
+                            "unknown directive '" + head.text + "'");
+        }
+
+        if (lineEnd == text.size())
+            break;
+        lineStart = nextLine;
+    }
+
+    if (!sawName)
+        return posError(0, "spec must start with a 'floorplan <name>' "
+                           "directive");
+
+    const Issue issue = findIssue(spec);
+    if (!issue.message.empty()) {
+        std::size_t at = 0;
+        if (issue.block >= 0 &&
+            static_cast<std::size_t>(issue.block) <
+                blockOffsets.size())
+            at = blockOffsets[static_cast<std::size_t>(issue.block)];
+        else if (issue.core >= 0 &&
+                 static_cast<std::size_t>(issue.core) <
+                     coreOffsets.size())
+            at = coreOffsets[static_cast<std::size_t>(issue.core)];
+        return posError(at, issue.message);
+    }
+    out = std::move(spec);
+    return {};
+}
+
+FloorplanSpec
+paperCmpSpec(int numCores)
+{
+    FloorplanSpec spec;
+    spec.name = "paper" + std::to_string(numCores);
+    // Borrow the hardcoded plan's blocks so the spec materializes
+    // double-for-double identically to makeCmpFloorplan().
+    spec.blocks = makeCmpFloorplan(numCores).blocks();
+    spec.cores.assign(static_cast<std::size_t>(numCores), CoreSpec{});
+    return spec;
+}
+
+FloorplanSpec
+meshSpec(int numCores)
+{
+    FloorplanSpec spec;
+    spec.name = "mesh" + std::to_string(numCores);
+    spec.blocks = makeGridFloorplan(numCores).blocks();
+    spec.cores.assign(static_cast<std::size_t>(numCores), CoreSpec{});
+    return spec;
+}
+
+FloorplanSpec
+bigLittleSpec(int numBig, int numLittle)
+{
+    if (numBig < 1 || numLittle < 1)
+        fatal("bigLittleSpec needs at least one core of each class");
+
+    const double bigW = 5.6e-3, bigH = 4.0e-3;
+    const double littleW = 2.8e-3, littleH = 2.0e-3;
+    const double l2Height = 4.0e-3;
+    const double chipW =
+        std::max(numBig * bigW, numLittle * littleW);
+
+    FloorplanSpec spec;
+    spec.name = "biglittle" + std::to_string(numBig) + "+" +
+        std::to_string(numLittle);
+    spec.blocks.push_back(
+        {"L2", UnitKind::L2, -1, 0.0, 0.0, chipW, l2Height});
+    for (int c = 0; c < numBig; ++c)
+        appendCoreBlocks(spec.blocks, c, c * bigW, l2Height, bigW,
+                         bigH);
+    for (int c = 0; c < numLittle; ++c)
+        appendCoreBlocks(spec.blocks, numBig + c, c * littleW,
+                         l2Height + bigH, littleW, littleH);
+    spec.cores.assign(static_cast<std::size_t>(numBig), CoreSpec{});
+    CoreSpec little;
+    little.cls = "little";
+    little.powerScale = 0.35;
+    little.maxFreqScale = 0.6;
+    little.leakageScale = 0.5;
+    for (std::size_t c = 0; c < static_cast<std::size_t>(numBig); ++c)
+        spec.cores[c].cls = "big";
+    spec.cores.insert(spec.cores.end(),
+                      static_cast<std::size_t>(numLittle), little);
+    return spec;
+}
+
+FloorplanSpec
+stacked3dSpec(int numLayers, int coresPerLayer)
+{
+    if (numLayers < 1 || numLayers > 8)
+        fatal("stacked3dSpec supports 1 to 8 layers");
+    if (coresPerLayer < 1)
+        fatal("stacked3dSpec needs at least one core per layer");
+
+    const double coreW = 5.6e-3, coreH = 4.0e-3;
+    const double l2Height = 4.0e-3;
+    const int columns = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(coresPerLayer))));
+
+    FloorplanSpec spec;
+    spec.name = "stacked3d" + std::to_string(numLayers) + "x" +
+        std::to_string(coresPerLayer);
+    spec.layers = numLayers;
+    // Layer 0 is the package-bonded die: the grid plan with the L2.
+    spec.blocks = makeGridFloorplan(coresPerLayer).blocks();
+    // Upper layers replicate the core grid directly above layer 0's
+    // cores so every block has a vertical conduction path down.
+    for (int l = 1; l < numLayers; ++l) {
+        for (int c = 0; c < coresPerLayer; ++c) {
+            const int col = c % columns;
+            const int row = c / columns;
+            appendCoreBlocks(spec.blocks, l * coresPerLayer + c,
+                             col * coreW, l2Height + row * coreH,
+                             coreW, coreH, l);
+        }
+    }
+    spec.cores.assign(
+        static_cast<std::size_t>(numLayers * coresPerLayer),
+        CoreSpec{});
+    return spec;
+}
+
+namespace {
+
+/** Parse a decimal integer in [1, limit]; -1 on failure. */
+long
+smallInt(const std::string &s, long limit)
+{
+    long v = 0;
+    if (!parseIntToken(s, v) || v < 1 || v > limit)
+        return -1;
+    return v;
+}
+
+} // namespace
+
+bool
+namedFloorplanSpec(const std::string &name, FloorplanSpec &out)
+{
+    auto suffix = [&](const char *prefix) -> std::string {
+        const std::size_t n = std::string(prefix).size();
+        if (name.size() <= n || name.compare(0, n, prefix) != 0)
+            return {};
+        return name.substr(n);
+    };
+
+    if (std::string s = suffix("paper"); !s.empty()) {
+        const long n = smallInt(s, 4);
+        if (n != 1 && n != 2 && n != 4)
+            return false;
+        out = paperCmpSpec(static_cast<int>(n));
+        return true;
+    }
+    if (std::string s = suffix("mesh"); !s.empty()) {
+        const long n = smallInt(s, 4096);
+        if (n < 0)
+            return false;
+        out = meshSpec(static_cast<int>(n));
+        return true;
+    }
+    if (std::string s = suffix("biglittle"); !s.empty()) {
+        const std::size_t plus = s.find('+');
+        if (plus == std::string::npos)
+            return false;
+        const long big = smallInt(s.substr(0, plus), 256);
+        const long little = smallInt(s.substr(plus + 1), 256);
+        if (big < 0 || little < 0)
+            return false;
+        out = bigLittleSpec(static_cast<int>(big),
+                            static_cast<int>(little));
+        return true;
+    }
+    if (std::string s = suffix("stacked3d"); !s.empty()) {
+        const std::size_t x = s.find('x');
+        if (x == std::string::npos)
+            return false;
+        const long layers = smallInt(s.substr(0, x), 8);
+        const long cores = smallInt(s.substr(x + 1), 1024);
+        if (layers < 0 || cores < 0)
+            return false;
+        out = stacked3dSpec(static_cast<int>(layers),
+                            static_cast<int>(cores));
+        return true;
+    }
+    return false;
+}
+
+std::string
+resolveFloorplanSpec(const std::string &nameOrText, FloorplanSpec &out)
+{
+    if (nameOrText.empty())
+        return "empty floorplan argument";
+    if (nameOrText.find('\n') != std::string::npos ||
+        nameOrText.rfind("floorplan", 0) == 0)
+        return parseFloorplanSpec(nameOrText, out);
+    if (namedFloorplanSpec(nameOrText, out))
+        return {};
+    return "unknown floorplan name '" + nameOrText + "'";
+}
+
+} // namespace coolcmp

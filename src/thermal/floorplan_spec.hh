@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Data-driven chip descriptions: FloorplanSpec is the value type the
+ * whole scenario axis hangs off. A spec carries the block geometry
+ * (with die layers for stacked 3D chips), per-core descriptors
+ * (class, power/frequency/leakage calibration for heterogeneous
+ * big.LITTLE-style chips), and the inter-layer bond resistivity.
+ *
+ * Specs round-trip through a canonical line-oriented text form (see
+ * the grammar below); the strict parser reports errors with byte
+ * positions and never aborts, so a spec can safely arrive over the
+ * wire. Built-in generators reproduce the paper's hardcoded chips
+ * double-for-double (paperCmpSpec(4) == makeCmpFloorplan(4)) and
+ * scale to 16/64-core meshes, heterogeneous big.LITTLE chips, and
+ * stacked 3D dies.
+ *
+ * Grammar (one directive per line, '#' comments, blank lines
+ * ignored):
+ *
+ *   floorplan <name>
+ *   layers <n>                        # optional, default 1
+ *   bond_resistivity <K m^2/W>        # optional, 3D bond interface
+ *   core <index> class <word> power <scale> freq <scale> \
+ *       leakage <scale>               # one per core, indices 0..n-1
+ *   block <name> kind <UnitKind> core <index|-1> layer <l> \
+ *       x <m> y <m> w <m> h <m>
+ */
+
+#ifndef COOLCMP_THERMAL_FLOORPLAN_SPEC_HH
+#define COOLCMP_THERMAL_FLOORPLAN_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "thermal/floorplan.hh"
+
+namespace coolcmp {
+
+/** Per-core descriptor: class tag plus the heterogeneity knobs. All
+ *  scales default to 1.0, which is an exact IEEE no-op — a spec of
+ *  default cores is bit-identical to the homogeneous model. */
+struct CoreSpec
+{
+    std::string cls = "paper"; ///< "paper" | "big" | "little" | custom
+
+    /** Dynamic power multiplier for every unit of this core. */
+    double powerScale = 1.0;
+
+    /** Frequency ceiling as a fraction of the chip nominal clock;
+     *  the DVFS scale is multiplied by this cap. */
+    double maxFreqScale = 1.0;
+
+    /** Leakage area multiplier for this core's blocks (process /
+     *  cell-library differences between core classes). */
+    double leakageScale = 1.0;
+};
+
+/** A chip description as data: geometry, layers, and calibration. */
+struct FloorplanSpec
+{
+    std::string name = "custom";
+    int layers = 1;
+
+    /** Bond interface resistivity between stacked layers, K m^2/W. */
+    double bondResistivity = 2.0e-6;
+
+    std::vector<CoreSpec> cores;
+    std::vector<Block> blocks;
+
+    int numCores() const { return static_cast<int>(cores.size()); }
+
+    /**
+     * Full semantic validation: geometry (zero-area blocks, same-layer
+     * overlap, layer gaps), references (dangling core indices), and
+     * engine requirements (one shared L2, all 13 unit kinds per core).
+     * @return empty when the spec is runnable, else a diagnostic.
+     */
+    std::string validate() const;
+
+    /** Canonical text form; doubles render at max_digits10 so
+     *  serialize -> parse -> serialize is byte-identical. */
+    std::string toText() const;
+
+    /** FNV-1a hash of the canonical text — the value configKey()
+     *  mixes, so results cache per chip topology. */
+    std::uint64_t hash() const;
+
+    /** Build the validated Floorplan (fatal on an invalid spec;
+     *  validate() first when the spec came from outside). */
+    Floorplan materialize() const;
+};
+
+/**
+ * Parse canonical spec text. Strict: structural errors (unknown
+ * directives, malformed numbers, unknown unit kinds) and semantic
+ * errors (overlapping blocks, dangling core references, zero-area
+ * blocks, layer gaps) are both reported with the byte offset of the
+ * offending directive, e.g. "byte 184: blocks a and b overlap".
+ *
+ * @return empty on success, else the positioned diagnostic.
+ */
+std::string parseFloorplanSpec(const std::string &text,
+                               FloorplanSpec &out);
+
+/** The paper's CMP chip as a spec; materializes double-for-double
+ *  identical to makeCmpFloorplan(numCores). numCores in {1, 2, 4}. */
+FloorplanSpec paperCmpSpec(int numCores);
+
+/** Homogeneous many-core mesh (makeGridFloorplan layout): numCores
+ *  full cores in a near-square grid over a shared L2 strip. */
+FloorplanSpec meshSpec(int numCores);
+
+/**
+ * Heterogeneous big.LITTLE-style chip: numBig full-size cores in one
+ * row and numLittle quarter-area cores (power 0.35x, frequency cap
+ * 0.6x, leakage 0.5x) in a row above, sharing one L2 strip.
+ */
+FloorplanSpec bigLittleSpec(int numBig, int numLittle);
+
+/**
+ * Stacked 3D chip: numLayers dies of coresPerLayer cores each, upper
+ * layers vertically aligned with layer 0's core grid and coupled
+ * through the bond interface. The shared L2 sits on layer 0. Core
+ * indices run layer-major (layer 0 holds cores 0..c-1).
+ */
+FloorplanSpec stacked3dSpec(int numLayers, int coresPerLayer);
+
+/**
+ * Generator registry lookup by compact name: "paper4", "mesh16",
+ * "mesh64", "biglittle4+4", "stacked3d2x16", ... Returns false for
+ * unknown names (never aborts).
+ */
+bool namedFloorplanSpec(const std::string &name, FloorplanSpec &out);
+
+/**
+ * Resolve a wire/CLI floorplan argument: a registered generator name
+ * ("mesh16"), or full spec text (recognized by the "floorplan"
+ * keyword / an embedded newline). The form RunRequest options carry.
+ * @return empty on success, else a diagnostic.
+ */
+std::string resolveFloorplanSpec(const std::string &nameOrText,
+                                 FloorplanSpec &out);
+
+} // namespace coolcmp
+
+#endif // COOLCMP_THERMAL_FLOORPLAN_SPEC_HH

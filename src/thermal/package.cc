@@ -1,6 +1,20 @@
 #include "thermal/package.hh"
 
+#include <algorithm>
+#include <cmath>
+
 namespace coolcmp {
+
+PackageParams
+PackageParams::fittedTo(double dieArea) const
+{
+    PackageParams pkg = *this;
+    if (pkg.spreaderSide * pkg.spreaderSide >= dieArea)
+        return pkg;
+    pkg.spreaderSide = 1.2 * std::sqrt(dieArea);
+    pkg.sinkSide = std::max(pkg.sinkSide, 2.0 * pkg.spreaderSide);
+    return pkg;
+}
 
 PackageParams
 PackageParams::desktop()

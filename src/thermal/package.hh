@@ -41,11 +41,28 @@ struct PackageParams
     // Environment.
     double ambient = 45.0;              ///< C inside-case ambient
 
+    /** Inter-layer bond interface of a stacked 3D die: thermal
+     *  resistance times area (K m^2/W) between vertically overlapping
+     *  blocks on adjacent layers. Only read for multi-layer
+     *  floorplans. */
+    double interLayerBondResistivity = 2.0e-6;
+
     /** Lumped-capacitance correction for die blocks (HotSpot applies
      *  a comparable fudge factor to match measured transients: a
      *  single node per block under-represents the thermal mass that
      *  participates in ms-scale transients). */
     double dieCapFactor = 4.0;
+
+    /** This package grown, when needed, to cover a die of the given
+     *  area (m^2). The RC network requires the spreader to cover the
+     *  die, and the paper package tops out at a 30 mm spreader — a
+     *  64-core mesh (~40 mm a side) would refuse to build. Such
+     *  chips ship in larger packages: the spreader grows to 1.2x the
+     *  die side and the sink to at least twice the spreader, derived
+     *  deterministically from the die area alone. Returned unchanged
+     *  when the spreader already covers the die, so existing chips
+     *  stay bit-identical. */
+    PackageParams fittedTo(double dieArea) const;
 
     /** Desktop/server package: the 4-core CMP experiments. */
     static PackageParams desktop();

@@ -26,12 +26,24 @@ RcNetwork::RcNetwork(const Floorplan &floorplan, const PackageParams &pkgIn)
 {
     const PackageParams pkg = validated(pkgIn);
     const std::size_t nb = floorplan.numBlocks();
+    // TIM nodes exist only under layer-0 blocks (the die face bonded
+    // to the package); stacked upper layers couple down through the
+    // inter-layer bond instead. For a single-layer plan this reduces
+    // to exactly one TIM node per block at the historical indices.
+    constexpr std::size_t noTim = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> timIndex(nb, noTim);
+    std::size_t nTim = 0;
+    for (std::size_t b = 0; b < nb; ++b)
+        if (floorplan.blocks()[b].layer == 0)
+            timIndex[b] = nTim++;
+    if (nTim == 0)
+        fatal("floorplan has no layer-0 blocks");
     const std::size_t timBase = nb;
-    const std::size_t spCenter = 2 * nb;
+    const std::size_t spCenter = nb + nTim;
     const std::size_t spEdge0 = spCenter + 1;  // 4 edge nodes follow
     const std::size_t skCenter = spCenter + 5;
     const std::size_t skEdge0 = skCenter + 1;
-    const std::size_t numNodes = 2 * nb + 10;
+    const std::size_t numNodes = nb + nTim + 10;
 
     g_ = Matrix(numNodes, numNodes);
     cap_.assign(numNodes, 0.0);
@@ -49,10 +61,12 @@ RcNetwork::RcNetwork(const Floorplan &floorplan, const PackageParams &pkgIn)
     for (std::size_t b = 0; b < nb; ++b) {
         const Block &blk = floorplan.blocks()[b];
         nodeNames_[b] = blk.name;
-        nodeNames_[timBase + b] = blk.name + ".tim";
         cap_[b] = pkg.siliconVolHeat * blk.area() *
             pkg.dieThickness * pkg.dieCapFactor;
-        cap_[timBase + b] =
+        if (timIndex[b] == noTim)
+            continue;
+        nodeNames_[timBase + timIndex[b]] = blk.name + ".tim";
+        cap_[timBase + timIndex[b]] =
             pkg.timVolHeat * blk.area() * pkg.timThickness;
     }
     nodeNames_[spCenter] = "spreader.center";
@@ -93,17 +107,30 @@ RcNetwork::RcNetwork(const Floorplan &floorplan, const PackageParams &pkgIn)
 
     // --- Vertical path: die -> TIM -> spreader center. ---
     for (std::size_t b = 0; b < nb; ++b) {
+        if (timIndex[b] == noTim)
+            continue;
         const double area = floorplan.blocks()[b].area();
         const double rDieHalf = (tDie / 2.0) / (kSi * area);
         const double rTimHalf =
             (pkg.timThickness / 2.0) / (pkg.timK * area);
-        addConductance(b, timBase + b, 1.0 / (rDieHalf + rTimHalf));
+        addConductance(b, timBase + timIndex[b],
+                       1.0 / (rDieHalf + rTimHalf));
         // TIM to spreader: second TIM half plus a constriction term for
         // spreading from the block footprint into the copper.
         const double rConstrict =
             1.0 / (4.0 * pkg.copperK * std::sqrt(area / M_PI));
-        addConductance(timBase + b, spCenter,
+        addConductance(timBase + timIndex[b], spCenter,
                        1.0 / (rTimHalf + rConstrict));
+    }
+
+    // --- Stacked 3D layers: vertical conduction through the bond. ---
+    // Half the die thickness of conduction on each side of the
+    // interface plus the bond resistivity over the overlap area; a
+    // single-layer plan has no stacked pairs and adds nothing here.
+    for (const auto &st : floorplan.stackedPairs()) {
+        const double rVert = tDie / (kSi * st.overlapArea) +
+            pkg.interLayerBondResistivity / st.overlapArea;
+        addConductance(st.lower, st.upper, 1.0 / rVert);
     }
 
     // --- Spreader center <-> periphery, periphery -> sink. ---

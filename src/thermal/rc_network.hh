@@ -3,13 +3,16 @@
  * Compact RC thermal network built from a floorplan and a package.
  *
  * Topology (HotSpot-2.0-style block model):
- *   - one node per die block, laterally coupled through shared edges;
- *   - one TIM node per block, vertically below its die block;
+ *   - one node per die block, laterally coupled through shared edges
+ *     within its layer; stacked layers couple vertically through the
+ *     inter-layer bond over their overlap area;
+ *   - one TIM node per layer-0 block, vertically below its die block;
  *   - heat spreader: a center node under the die plus four periphery
  *     nodes;
  *   - heatsink: a center node plus four periphery nodes, all tied to
  *     ambient through the convection resistance;
- * giving 2*B + 10 state nodes for B blocks. Power enters at die nodes.
+ * giving B + T + 10 state nodes for B blocks of which T sit on layer 0
+ * (2*B + 10 for a single-layer plan). Power enters at die nodes.
  *
  * The network is a linear time-invariant system
  *   C dT/dt = -G (T - Tamb) + P

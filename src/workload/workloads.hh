@@ -14,11 +14,14 @@
 
 namespace coolcmp {
 
-/** One multiprogrammed workload: four benchmarks, one per core. */
+/** One multiprogrammed workload: one benchmark per process. The
+ *  paper's Table 4 mixes carry four; data-driven floorplans with
+ *  other core counts cycle the list across cores (see
+ *  Experiment::makeSimulator). */
 struct Workload
 {
-    std::string name;                      ///< "workload7"
-    std::array<std::string, 4> benchmarks; ///< benchmark names
+    std::string name;                   ///< "workload7"
+    std::vector<std::string> benchmarks; ///< benchmark names (>= 1)
 
     /** "gzip-twolf-ammp-lucas" style label used in Figures 3 and 7. */
     std::string label() const;

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * FloorplanSpec tests: canonical-text round-trips, positioned parse
+ * errors, generator geometry, and the bit-identity contract — a spec
+ * built paper chip must be indistinguishable (to the last double)
+ * from the hardcoded model, including sweep results and configKey.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "core/chip_model.hh"
+#include "core/experiment.hh"
+#include "core/sweep_journal.hh"
+#include "thermal/floorplan_spec.hh"
+#include "workload/workloads.hh"
+
+#include "test_util.hh"
+
+namespace coolcmp {
+namespace {
+
+TEST(FloorplanSpecTest, PaperSpecMaterializesDoubleForDouble)
+{
+    coolcmp::testing::quiet();
+    const Floorplan direct = makeCmpFloorplan(4);
+    const Floorplan fromSpec = paperCmpSpec(4).materialize();
+
+    ASSERT_EQ(fromSpec.numBlocks(), direct.numBlocks());
+    ASSERT_EQ(fromSpec.numCores(), direct.numCores());
+    for (std::size_t i = 0; i < direct.numBlocks(); ++i) {
+        const Block &a = direct.blocks()[i];
+        const Block &b = fromSpec.blocks()[i];
+        EXPECT_EQ(b.name, a.name);
+        EXPECT_EQ(b.kind, a.kind);
+        EXPECT_EQ(b.core, a.core);
+        EXPECT_EQ(b.layer, a.layer);
+        // Exact equality on purpose: the generator borrows the
+        // hardcoded geometry, it does not recompute it.
+        EXPECT_EQ(b.x, a.x);
+        EXPECT_EQ(b.y, a.y);
+        EXPECT_EQ(b.width, a.width);
+        EXPECT_EQ(b.height, a.height);
+    }
+}
+
+TEST(FloorplanSpecTest, CanonicalTextRoundTripsByteIdentically)
+{
+    coolcmp::testing::quiet();
+    for (const FloorplanSpec &spec :
+         {paperCmpSpec(4), meshSpec(16), bigLittleSpec(4, 4),
+          stacked3dSpec(2, 16)}) {
+        const std::string text = spec.toText();
+        FloorplanSpec parsed;
+        ASSERT_EQ(parseFloorplanSpec(text, parsed), "") << text;
+        EXPECT_EQ(parsed.toText(), text);
+        EXPECT_EQ(parsed.hash(), spec.hash());
+        EXPECT_EQ(parsed.validate(), "");
+    }
+}
+
+TEST(FloorplanSpecTest, ParserReportsPositionedErrors)
+{
+    coolcmp::testing::quiet();
+    auto parseError = [](const FloorplanSpec &spec) {
+        FloorplanSpec out;
+        return parseFloorplanSpec(spec.toText(), out);
+    };
+    auto expectPositioned = [](const std::string &error) {
+        EXPECT_EQ(error.rfind("byte ", 0), 0u) << error;
+    };
+
+    // Zero-area block.
+    FloorplanSpec spec = paperCmpSpec(2);
+    spec.blocks[3].width = 0.0;
+    std::string error = parseError(spec);
+    ASSERT_NE(error, "");
+    expectPositioned(error);
+
+    // Overlapping blocks on the same layer.
+    spec = paperCmpSpec(2);
+    spec.blocks[1].x = spec.blocks[0].x;
+    spec.blocks[1].y = spec.blocks[0].y;
+    spec.blocks[1].width = spec.blocks[0].width;
+    spec.blocks[1].height = spec.blocks[0].height;
+    error = parseError(spec);
+    ASSERT_NE(error, "");
+    expectPositioned(error);
+
+    // Dangling core reference.
+    spec = paperCmpSpec(2);
+    spec.blocks[0].core = 7;
+    error = parseError(spec);
+    ASSERT_NE(error, "");
+    expectPositioned(error);
+
+    // Layer gap: a block on layer 2 with nothing on layer 1.
+    spec = paperCmpSpec(2);
+    spec.layers = 3;
+    spec.blocks[5].layer = 2;
+    error = parseError(spec);
+    ASSERT_NE(error, "");
+    expectPositioned(error);
+
+    // Structural errors position too: an unknown directive...
+    FloorplanSpec out;
+    error = parseFloorplanSpec("floorplan x\nbogus 1\n", out);
+    ASSERT_NE(error, "");
+    expectPositioned(error);
+    // ...and a malformed number.
+    error = parseFloorplanSpec(
+        "floorplan x\ncore 0 class paper power nope freq 1 "
+        "leakage 1\n",
+        out);
+    ASSERT_NE(error, "");
+    expectPositioned(error);
+}
+
+TEST(FloorplanSpecTest, GeneratorsBuildExpectedTopologies)
+{
+    coolcmp::testing::quiet();
+    const DtmConfig config = coolcmp::testing::fastDtmConfig();
+
+    // mesh16: 16 cores x 13 units + L2 = 209 blocks, all on layer 0
+    // so every block gets a TIM node, plus 5 spreader + 5 sink.
+    {
+        const ChipModel chip(meshSpec(16), config);
+        EXPECT_EQ(chip.floorplan().numCores(), 16);
+        EXPECT_EQ(chip.floorplan().numBlocks(), 209u);
+        EXPECT_EQ(chip.network().numNodes(), 209u + 209u + 10u);
+        EXPECT_EQ(chip.floorplan().numLayers(), 1);
+    }
+    // mesh64 scales the same layout. Count at the floorplan level:
+    // a full 1676-node dense discretization takes ~30 s and the
+    // solver path is covered by the inflated chip below.
+    {
+        const Floorplan plan = meshSpec(64).materialize();
+        EXPECT_EQ(plan.numCores(), 64);
+        EXPECT_EQ(plan.numBlocks(), 833u);
+    }
+    // A die larger than the 30 mm paper spreader (mesh64 is ~40 mm a
+    // side) grows the package deterministically instead of refusing
+    // to build: inflate a small mesh to server-die size and check
+    // the model still assembles.
+    {
+        FloorplanSpec big = meshSpec(4);
+        big.name = "mesh4-inflated";
+        for (Block &blk : big.blocks) {
+            blk.x *= 4.0;
+            blk.y *= 4.0;
+            blk.width *= 4.0;
+            blk.height *= 4.0;
+        }
+        const ChipModel chip(big, config);
+        EXPECT_GT(chip.floorplan().chipArea(), 900e-6);
+        EXPECT_EQ(chip.floorplan().numCores(), 4);
+    }
+    // big.LITTLE: heterogeneity lives in the core descriptors.
+    {
+        const ChipModel chip(bigLittleSpec(4, 4), config);
+        EXPECT_EQ(chip.floorplan().numCores(), 8);
+        EXPECT_EQ(chip.coreSpec(0).cls, "big");
+        EXPECT_EQ(chip.coreSpec(0).maxFreqScale, 1.0);
+        EXPECT_EQ(chip.coreSpec(4).cls, "little");
+        EXPECT_LT(chip.coreSpec(4).powerScale, 1.0);
+        EXPECT_LT(chip.coreSpec(4).maxFreqScale, 1.0);
+        EXPECT_LT(chip.coreSpec(4).leakageScale, 1.0);
+    }
+    // Stacked 3D: only layer-0 blocks face the TIM; upper layers
+    // couple through stacked pairs instead.
+    {
+        const ChipModel chip(stacked3dSpec(2, 16), config);
+        EXPECT_EQ(chip.floorplan().numCores(), 32);
+        EXPECT_EQ(chip.floorplan().numLayers(), 2);
+        EXPECT_EQ(chip.floorplan().numBlocks(), 417u);
+        EXPECT_EQ(chip.network().numNodes(), 417u + 209u + 10u);
+        EXPECT_FALSE(chip.floorplan().stackedPairs().empty());
+    }
+}
+
+TEST(FloorplanSpecTest, NamedLookupAndResolution)
+{
+    coolcmp::testing::quiet();
+    FloorplanSpec spec;
+    EXPECT_TRUE(namedFloorplanSpec("paper4", spec));
+    EXPECT_TRUE(namedFloorplanSpec("mesh16", spec));
+    EXPECT_TRUE(namedFloorplanSpec("mesh64", spec));
+    EXPECT_TRUE(namedFloorplanSpec("biglittle4+4", spec));
+    EXPECT_TRUE(namedFloorplanSpec("stacked3d2x16", spec));
+    EXPECT_FALSE(namedFloorplanSpec("torus9000", spec));
+
+    // resolve accepts names and full spec text alike.
+    EXPECT_EQ(resolveFloorplanSpec("mesh16", spec), "");
+    EXPECT_EQ(spec.numCores(), 16);
+    EXPECT_EQ(resolveFloorplanSpec(meshSpec(16).toText(), spec), "");
+    EXPECT_EQ(spec.numCores(), 16);
+    EXPECT_NE(resolveFloorplanSpec("torus9000", spec), "");
+}
+
+TEST(FloorplanSpecTest, SpecHashKeysTheExperimentConfig)
+{
+    coolcmp::testing::quiet();
+    Experiment experiment(coolcmp::testing::fastDtmConfig(),
+                          coolcmp::testing::fastTraceConfig());
+
+    RunRequest request;
+    request.add(findWorkload("workload1"), PolicyConfig{});
+
+    // The default chip IS paperCmpSpec(4): asking for it explicitly
+    // must not change the key (caches survive the API migration).
+    const std::uint64_t base = experiment.effectiveConfigKey(request);
+    EXPECT_EQ(base, experiment.configKey());
+    RunRequest explicitPaper = request;
+    explicitPaper.floorplan("paper4");
+    EXPECT_EQ(experiment.effectiveConfigKey(explicitPaper), base);
+
+    // A different topology keys differently.
+    RunRequest mesh = request;
+    mesh.floorplan("mesh16");
+    EXPECT_NE(experiment.effectiveConfigKey(mesh), base);
+}
+
+TEST(FloorplanSpecTest, ExplicitPaperSpecSweepIsBitIdentical)
+{
+    coolcmp::testing::quiet();
+    Experiment experiment(coolcmp::testing::fastDtmConfig(),
+                          coolcmp::testing::fastTraceConfig());
+    const Workload workload = findWorkload("workload1");
+
+    RunRequest plain;
+    plain.add(workload, PolicyConfig{});
+    const std::vector<RunMetrics> a = experiment.run(plain);
+
+    RunRequest viaSpec;
+    viaSpec.add(workload, PolicyConfig{});
+    viaSpec.floorplan("paper4");
+    const std::vector<RunMetrics> b = experiment.run(viaSpec);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        std::ostringstream bodyA, bodyB;
+        writeRunMetricsBody(bodyA, a[i]);
+        writeRunMetricsBody(bodyB, b[i]);
+        EXPECT_EQ(bodyB.str(), bodyA.str());
+    }
+}
+
+TEST(FloorplanSpecTest, RomAutoPromotesLargeFloorplans)
+{
+    coolcmp::testing::quiet();
+    const char *prev = std::getenv("COOLCMP_ROM_AUTO");
+    const std::string saved = prev ? prev : "";
+
+    // Threshold of 50 nodes: paper4 (116 nodes) crosses it too, so
+    // pin the threshold then check both the promotion and the two
+    // opt-outs (explicit 0, and the env default of 512 for paper4).
+    setenv("COOLCMP_ROM_AUTO", "50", 1);
+    {
+        Experiment experiment(coolcmp::testing::fastDtmConfig(),
+                              coolcmp::testing::fastTraceConfig());
+        RunRequest request;
+        request.add(findWorkload("workload1"), PolicyConfig{});
+        request.floorplan("mesh16");
+        experiment.run(request);
+        const obs::RunReport &report = experiment.lastRunReport();
+        EXPECT_TRUE(report.romAuto);
+        EXPECT_GT(report.romTolerance, 0.0);
+        EXPECT_EQ(report.floorplan, meshSpec(16).name);
+
+        // An explicit dense override wins over the auto promotion.
+        RunRequest dense = request;
+        dense.reducedTolerance(0.0);
+        experiment.run(dense);
+        EXPECT_FALSE(experiment.lastRunReport().romAuto);
+        EXPECT_EQ(experiment.lastRunReport().romTolerance, 0.0);
+    }
+    if (prev)
+        setenv("COOLCMP_ROM_AUTO", saved.c_str(), 1);
+    else
+        unsetenv("COOLCMP_ROM_AUTO");
+
+    // At the default threshold (512 nodes) the paper chip stays dense.
+    {
+        Experiment experiment(coolcmp::testing::fastDtmConfig(),
+                              coolcmp::testing::fastTraceConfig());
+        RunRequest request;
+        request.add(findWorkload("workload1"), PolicyConfig{});
+        experiment.run(request);
+        EXPECT_FALSE(experiment.lastRunReport().romAuto);
+        EXPECT_EQ(experiment.lastRunReport().romTolerance, 0.0);
+    }
+}
+
+} // namespace
+} // namespace coolcmp

@@ -121,7 +121,8 @@ TEST(JsonTest, WriterIsDeterministicAndRoundTrips)
 std::string
 goldenBody()
 {
-    return "{\"client\": \"tenant-a\", \"priority\": 1, "
+    return "{\"schema_version\": 2, "
+           "\"client\": \"tenant-a\", \"priority\": 1, "
            "\"jobs\": [{\"workload\": \"workload7\", "
            "\"policy\": {\"mechanism\": \"dvfs\", "
            "\"scope\": \"distributed\", \"migration\": \"none\"}}], "
@@ -180,6 +181,58 @@ TEST(CodecTest, CustomBenchmarkMixRoundTrips)
     EXPECT_EQ(jsonToString(sweepRequestToJson(sweep2)), round);
 }
 
+TEST(CodecTest, SchemaVersionAndFloorplanFieldsDecode)
+{
+    auto decode = [](const std::string &body, WireSweep &sweep) {
+        JsonValue doc;
+        EXPECT_EQ(parseJson(body, doc), "");
+        return parseSweepRequest(doc, sweep);
+    };
+
+    // Absent (legacy v1), explicit 1, and current 2 all decode.
+    WireSweep sweep;
+    EXPECT_EQ(decode("{\"jobs\": [{\"workload\": \"workload1\"}]}",
+                     sweep),
+              "");
+    EXPECT_EQ(decode("{\"schema_version\": 1, \"jobs\": "
+                     "[{\"workload\": \"workload1\"}]}",
+                     sweep),
+              "");
+    EXPECT_EQ(decode("{\"schema_version\": 2, \"jobs\": "
+                     "[{\"workload\": \"workload1\"}]}",
+                     sweep),
+              "");
+
+    // An unknown version is a distinct, recognizable failure: the
+    // daemon keys its bad_schema_version error code off this prefix.
+    const std::string error = decode(
+        "{\"schema_version\": 99, \"jobs\": "
+        "[{\"workload\": \"workload1\"}]}",
+        sweep);
+    EXPECT_EQ(error.rfind("unsupported schema_version", 0), 0u)
+        << error;
+
+    // A single-benchmark mix is now a valid mix (manycore chips cycle
+    // it over every core), and the floorplan option rides the wire.
+    EXPECT_EQ(decode("{\"jobs\": [{\"benchmarks\": [\"gzip\"]}], "
+                     "\"options\": {\"floorplan\": \"mesh16\"}}",
+                     sweep),
+              "");
+    ASSERT_EQ(sweep.request.jobs().size(), 1u);
+    ASSERT_EQ(sweep.request.jobs()[0].workload.benchmarks.size(), 1u);
+    EXPECT_EQ(sweep.request.jobs()[0].workload.benchmarks[0], "gzip");
+    EXPECT_EQ(sweep.request.options().floorplan, "mesh16");
+
+    // And it round-trips: serialize -> parse -> serialize fixes.
+    const std::string round = jsonToString(sweepRequestToJson(sweep));
+    EXPECT_NE(round.find("\"schema_version\": 2"), std::string::npos);
+    EXPECT_NE(round.find("\"floorplan\": \"mesh16\""),
+              std::string::npos);
+    WireSweep sweep2;
+    EXPECT_EQ(decode(round, sweep2), "");
+    EXPECT_EQ(jsonToString(sweepRequestToJson(sweep2)), round);
+}
+
 TEST(CodecTest, RejectsUndecodableRequests)
 {
     auto decodeError = [](const std::string &body) {
@@ -195,9 +248,14 @@ TEST(CodecTest, RejectsUndecodableRequests)
     EXPECT_NE(decodeError("{\"jobs\": [{\"workload\": \"workload1\","
                           " \"benchmarks\": [\"gzip\"]}]}"),
               ""); // both forms at once
-    EXPECT_NE(
-        decodeError("{\"jobs\": [{\"benchmarks\": [\"gzip\"]}]}"),
-        ""); // wrong arity
+    EXPECT_NE(decodeError("{\"jobs\": [{\"benchmarks\": []}]}"),
+              ""); // empty mix
+    EXPECT_NE(decodeError("{\"schema_version\": 3, \"jobs\": "
+                          "[{\"workload\": \"workload1\"}]}"),
+              ""); // unknown wire version
+    EXPECT_NE(decodeError("{\"schema_version\": \"2\", \"jobs\": "
+                          "[{\"workload\": \"workload1\"}]}"),
+              ""); // version must be a number
     EXPECT_NE(decodeError(
                   "{\"jobs\": [{\"workload\": \"workload1\", "
                   "\"policy\": {\"mechanism\": \"overclock\"}}]}"),
@@ -449,6 +507,14 @@ TEST_F(DaemonSurfaceTest, SubmitStatusAndErrorSurface)
     response = daemon_->handle(postSweeps("{\"jobs\": []}"));
     EXPECT_EQ(response.status, 400);
     EXPECT_EQ(errorCode(response), "bad_request");
+
+    // A wire version this daemon does not speak -> its own code, so
+    // clients can tell "upgrade me" apart from "fix the body".
+    response = daemon_->handle(postSweeps(
+        "{\"schema_version\": 99, "
+        "\"jobs\": [{\"workload\": \"workload1\"}]}"));
+    EXPECT_EQ(response.status, 400);
+    EXPECT_EQ(errorCode(response), "bad_schema_version");
 
     // Decodes fine but fails RunRequest::validate() ->
     // invalid_request (negative timeout).

@@ -527,6 +527,9 @@ TEST(RunReportTest, GoldenJson)
   "report_version": 2,
   "sweep": "sweep \"7\"",
   "config_key": "00c0ffee00c0ffee",
+  "floorplan": "",
+  "rom_tolerance": 0,
+  "rom_auto": false,
   "jobs": 2,
   "cached_jobs": 1,
   "resumed_jobs": 0,

@@ -25,11 +25,16 @@
  *   coolcmpd --coordinator (--sweep FILE | --demo-sweep N)
  *            [--journal PATH] [--out PATH] [--lease-seconds S]
  *            [--max-lease N] [--linger S] [--inprocess]
+ *            [--floorplan NAME|FILE]
  *            [--port N] [--port-file PATH] [--fast] ...
  *
  * --fast shrinks the simulation (20 ms of silicon time, 16-interval
  * traces) so CI smoke runs complete in seconds; --port 0 (default)
  * binds an ephemeral port, published via --port-file for scripts.
+ * --floorplan runs the sweep on another chip: a generator name
+ * (paper4, mesh16, mesh64, biglittle4+4, stacked3d2x16) or a
+ * FloorplanSpec text file; it overrides any floorplan the sweep file
+ * carries and is served to workers as part of the sweep spec.
  */
 
 #include <atomic>
@@ -77,6 +82,7 @@ usage(const char *argv0)
         "          [--journal PATH] [--out PATH] "
         "[--lease-seconds S]\n"
         "          [--max-lease N] [--linger S] [--inprocess]\n"
+        "          [--floorplan NAME|FILE]\n"
         "       both modes also accept [--trace-out PATH] "
         "[--flight-recorder PATH]\n",
         argv0, argv0);
@@ -118,6 +124,7 @@ main(int argc, char **argv)
 
     bool coordinator = false;
     bool inprocess = false;
+    std::string floorplanArg;
     std::string sweepFile;
     std::size_t demoJobs = 0;
     std::string outPath;
@@ -159,6 +166,8 @@ main(int argc, char **argv)
             coordinator = true;
         else if (arg == "--inprocess")
             inprocess = true;
+        else if (arg == "--floorplan")
+            floorplanArg = next(i);
         else if (arg == "--sweep")
             sweepFile = next(i);
         else if (arg == "--demo-sweep")
@@ -230,6 +239,24 @@ main(int argc, char **argv)
                          "coolcmpd: coordinator mode needs exactly "
                          "one of --sweep FILE or --demo-sweep N\n");
             return 2;
+        }
+
+        if (!floorplanArg.empty()) {
+            // A readable file is spec text; anything else is a
+            // generator name (or inline text) resolved downstream.
+            std::string text = floorplanArg;
+            if (std::ifstream plan(floorplanArg); plan) {
+                std::ostringstream content;
+                content << plan.rdbuf();
+                text = content.str();
+            }
+            sweep.request.floorplan(std::move(text));
+        }
+        if (const std::string invalid = sweep.request.validate();
+            !invalid.empty()) {
+            std::fprintf(stderr, "coolcmpd: invalid sweep: %s\n",
+                         invalid.c_str());
+            return 1;
         }
 
         if (inprocess) {

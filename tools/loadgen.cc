@@ -58,6 +58,7 @@ struct LoadgenOptions
     double pollBudgetSeconds = 120.0;
     double maxP99Ms = 0.0; ///< 0 = no latency gate
     std::string reportPath;
+    std::string floorplan; ///< generator name / spec text; "" = default
 };
 
 struct Totals
@@ -80,7 +81,7 @@ struct Latencies
 /** The sweeps every client cycles: one Table 4 workload paired with a
  *  varying policy corner, so sweep k is identical across clients. */
 std::vector<svc::WireSweep>
-buildSweeps(std::size_t distinct)
+buildSweeps(std::size_t distinct, const std::string &floorplan)
 {
     const std::vector<Workload> &table = table4Workloads();
     const PolicyConfig corners[] = {
@@ -99,6 +100,8 @@ buildSweeps(std::size_t distinct)
         svc::WireSweep sweep;
         sweep.request.add(table[k % table.size()],
                           corners[k % std::size(corners)]);
+        if (!floorplan.empty())
+            sweep.request.floorplan(floorplan);
         sweeps.push_back(std::move(sweep));
     }
     return sweeps;
@@ -241,7 +244,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s --port N [--clients N] [--requests N]\n"
                  "          [--distinct N] [--poll-budget SECONDS]\n"
-                 "          [--max-p99-ms MS] [--report PATH]\n",
+                 "          [--max-p99-ms MS] [--report PATH]\n"
+                 "          [--floorplan NAME]\n",
                  argv0);
     std::exit(2);
 }
@@ -276,6 +280,8 @@ main(int argc, char **argv)
             options.maxP99Ms = std::stod(next(i));
         else if (arg == "--report")
             options.reportPath = next(i);
+        else if (arg == "--floorplan")
+            options.floorplan = next(i);
         else
             usage(argv[0]);
     }
@@ -285,7 +291,7 @@ main(int argc, char **argv)
         usage(argv[0]);
 
     const std::vector<svc::WireSweep> sweeps =
-        buildSweeps(options.distinctSweeps);
+        buildSweeps(options.distinctSweeps, options.floorplan);
 
     obs::Registry registry;
     const std::vector<double> edges =
